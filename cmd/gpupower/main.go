@@ -1,0 +1,75 @@
+// Command gpupower prints the extension tables: energy-optimal
+// configurations per scaling category (E-1), scaling-surface
+// prediction accuracy (E-2), and the power-cap governor comparison
+// (E-3).
+//
+// Usage:
+//
+//	gpupower            # all three extension tables
+//	gpupower -table 1   # one of them
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpuscale/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print one extension table (1..5)")
+	flag.Parse()
+
+	if err := run(*table); err != nil {
+		fmt.Fprintln(os.Stderr, "gpupower:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table int) error {
+	s, err := experiments.New()
+	if err != nil {
+		return err
+	}
+	all := table == 0
+	if all || table == 1 {
+		t, err := s.TableE1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	}
+	if all || table == 2 {
+		t, err := s.TableE2([]int{2, 4, 8, 12, 16})
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	}
+	if all || table == 3 {
+		t, err := s.TableE3([]float64{120, 150, 200, 275})
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	}
+	if all || table == 4 {
+		t, err := s.TableE4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	}
+	if all || table == 5 {
+		t, err := s.TableE5([]float64{0, 50_000, 1_000_000, 5_000_000})
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	}
+	if !all && (table < 1 || table > 5) {
+		return fmt.Errorf("no extension table %d", table)
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestRunTables(t *testing.T) {
+	for _, n := range []int{1, 3, 5} {
+		if err := run(n); err != nil {
+			t.Fatalf("-table %d: %v", n, err)
+		}
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	if err := run(9); err == nil {
+		t.Error("-table 9 accepted")
+	}
+}

@@ -1,0 +1,141 @@
+// Command gpusim simulates a single corpus kernel on one hardware
+// configuration (or along one axis) and prints the timing breakdown —
+// the interactive probe for exploring the simulator.
+//
+// Usage:
+//
+//	gpusim -list                          # list corpus kernels
+//	gpusim -kernel scicomp-p01.k1_stencil # one run at the reference config
+//	gpusim -kernel ... -cus 20 -core 600 -mem 700
+//	gpusim -kernel ... -axis cu           # marginal sweep along one axis
+//	gpusim -kernel ... -engine detailed   # high-fidelity engine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpuscale/internal/core"
+	"gpuscale/internal/gcn"
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+	"gpuscale/internal/report"
+	"gpuscale/internal/suites"
+	"gpuscale/internal/sweep"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list all corpus kernels")
+	name := flag.String("kernel", "", "corpus kernel name to simulate")
+	cus := flag.Int("cus", hw.MaxCUs, "compute units")
+	coreMHz := flag.Float64("core", 1000, "core clock (MHz)")
+	memMHz := flag.Float64("mem", 1250, "memory clock (MHz)")
+	axis := flag.String("axis", "", "sweep one axis instead: cu, coreclk, or memclk")
+	engine := flag.String("engine", "round", "simulator engine: round or detailed")
+	flag.Parse()
+
+	if err := run(*list, *name, *cus, *coreMHz, *memMHz, *axis, *engine); err != nil {
+		fmt.Fprintln(os.Stderr, "gpusim:", err)
+		os.Exit(1)
+	}
+}
+
+func findKernel(name string) (*kernel.Kernel, error) {
+	for _, k := range suites.AllKernels(suites.Corpus()) {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return nil, fmt.Errorf("kernel %q not in corpus (use -list)", name)
+}
+
+func run(list bool, name string, cus int, coreMHz, memMHz float64, axis, engine string) error {
+	if list {
+		t := &report.Table{
+			Title:  "Corpus kernels",
+			Header: []string{"kernel", "suite", "workgroups", "wg size"},
+		}
+		for _, s := range suites.Corpus() {
+			for _, p := range s.Programs {
+				for _, e := range p.Kernels {
+					t.AddRow(e.Kernel.Name, s.Name, e.Kernel.Workgroups, e.Kernel.WGSize)
+				}
+			}
+		}
+		fmt.Print(t)
+		return nil
+	}
+	if name == "" {
+		return fmt.Errorf("need -kernel or -list")
+	}
+	k, err := findKernel(name)
+	if err != nil {
+		return err
+	}
+	sim := gcn.Simulate
+	if engine == "detailed" {
+		sim = gcn.SimulateDetailed
+	} else if engine != "round" {
+		return fmt.Errorf("unknown engine %q", engine)
+	}
+
+	if axis != "" {
+		return sweepAxis(k, axis)
+	}
+
+	cfg := hw.Config{CUs: cus, CoreClockMHz: coreMHz, MemClockMHz: memMHz}
+	r, err := sim(k, cfg)
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:  fmt.Sprintf("%s @ %s (%s engine)", k.Name, cfg, engine),
+		Header: []string{"metric", "value"},
+	}
+	t.AddRow("time (us)", r.TimeNS/1000)
+	t.AddRow("kernel time (us)", r.KernelNS/1000)
+	t.AddRow("throughput (items/ns)", r.Throughput)
+	t.AddRow("achieved GFLOP/s", r.AchievedGFLOPS)
+	t.AddRow("achieved DRAM GB/s", r.AchievedGBs)
+	t.AddRow("peak GFLOP/s", cfg.PeakGFLOPS())
+	t.AddRow("peak DRAM GB/s", cfg.PeakBandwidthGBs())
+	t.AddRow("L1 hit rate", r.HitRates.L1)
+	t.AddRow("L2 hit rate", r.HitRates.L2)
+	t.AddRow("occupancy (waves/CU)", r.OccupancyWaves)
+	t.AddRow("dominant bound", fmt.Sprintf("%v (%.0f%% of time)", r.Bound, 100*r.BoundShare))
+	fmt.Print(t)
+	return nil
+}
+
+func sweepAxis(k *kernel.Kernel, axisName string) error {
+	var axis core.Axis
+	switch axisName {
+	case "cu":
+		axis = core.AxisCU
+	case "coreclk":
+		axis = core.AxisCoreClock
+	case "memclk":
+		axis = core.AxisMemClock
+	default:
+		return fmt.Errorf("unknown axis %q (want cu, coreclk, or memclk)", axisName)
+	}
+	space := hw.StudySpace()
+	m, err := sweep.Run([]*kernel.Kernel{k}, space, sweep.Options{})
+	if err != nil {
+		return err
+	}
+	s := core.Surfaces(m)[0]
+	r := s.Marginal(axis)
+	cl := core.DefaultClassifier().Classify(s)
+	chart := report.LineChart{
+		Title: fmt.Sprintf("%s vs %s (shape when swept: category %v)",
+			k.Name, axis, cl.Category),
+		XLabel: axis.String(), YLabel: "normalised speedup",
+		Series: []report.Series{{Name: k.Name, X: r.Settings, Y: r.Curve}},
+	}
+	fmt.Print(chart.String())
+	fmt.Println()
+	fmt.Print(cl.Explain())
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"testing"
+
+	"gpuscale/internal/suites"
+)
+
+// corpusKernel is any real corpus kernel name, discovered not guessed.
+var corpusKernel = suites.AllKernels(suites.Corpus())[0].Name
+
+func TestRunList(t *testing.T) {
+	if err := run(true, "", 44, 1000, 1250, "", "round"); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+}
+
+func TestRunSingle(t *testing.T) {
+	if err := run(false, corpusKernel, 20, 600, 700, "", "round"); err != nil {
+		t.Fatalf("single run: %v", err)
+	}
+	if err := run(false, corpusKernel, 20, 600, 700, "", "detailed"); err != nil {
+		t.Fatalf("detailed run: %v", err)
+	}
+}
+
+func TestRunAxisSweep(t *testing.T) {
+	for _, axis := range []string{"cu", "coreclk", "memclk"} {
+		if err := run(false, corpusKernel, 44, 1000, 1250, axis, "round"); err != nil {
+			t.Fatalf("-axis %s: %v", axis, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(false, "", 44, 1000, 1250, "", "round"); err == nil {
+		t.Error("missing kernel accepted")
+	}
+	if err := run(false, "nope", 44, 1000, 1250, "", "round"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if err := run(false, corpusKernel, 44, 1000, 1250, "", "warp"); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	if err := run(false, corpusKernel, 44, 1000, 1250, "diagonal", "round"); err == nil {
+		t.Error("unknown axis accepted")
+	}
+}

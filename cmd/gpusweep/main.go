@@ -1,0 +1,148 @@
+// Command gpusweep runs the 267-kernel x 891-configuration sweep and
+// optionally archives the raw measurements as CSV — the data-collection
+// step of the study.
+//
+// Usage:
+//
+//	gpusweep                         # run, print Table R-1 summary
+//	gpusweep -o results.csv          # also archive raw measurements
+//	gpusweep -suite proxyapps        # restrict to one suite
+//	gpusweep -engine detailed        # high-fidelity engine (slow)
+//	gpusweep -noise 0.05 -seed 7     # inject measurement noise
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gpuscale/internal/experiments"
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+	"gpuscale/internal/suites"
+	"gpuscale/internal/sweep"
+)
+
+func main() {
+	out := flag.String("o", "", "write raw measurements to this CSV file")
+	suite := flag.String("suite", "", "restrict the sweep to one suite")
+	engine := flag.String("engine", "round", "simulator engine: round or detailed")
+	noise := flag.Float64("noise", 0, "measurement-noise stddev (0 = none)")
+	seed := flag.Int64("seed", 1, "noise seed")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	corpusFile := flag.String("corpus", "", "sweep kernels from this JSON file instead of the built-in corpus")
+	dumpCorpus := flag.String("dump-corpus", "", "write the built-in corpus as JSON to this file and exit")
+	flag.Parse()
+
+	if *dumpCorpus != "" {
+		if err := writeCorpus(*dumpCorpus); err != nil {
+			fmt.Fprintln(os.Stderr, "gpusweep:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*out, *suite, *engine, *noise, *seed, *workers, *corpusFile); err != nil {
+		fmt.Fprintln(os.Stderr, "gpusweep:", err)
+		os.Exit(1)
+	}
+}
+
+// writeCorpus exports the built-in corpus as a JSON kernel list that
+// -corpus can read back (possibly after hand edits).
+func writeCorpus(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := kernel.WriteAll(f, suites.AllKernels(suites.Corpus())); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// loadCorpus reads a JSON kernel list for a custom sweep.
+func loadCorpus(path string) ([]*kernel.Kernel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return kernel.ReadAll(f)
+}
+
+func run(out, suiteName, engine string, noise float64, seed int64, workers int, corpusFile string) error {
+	opts := sweep.Options{Workers: workers, NoiseStdDev: noise, Seed: seed}
+	switch engine {
+	case "round":
+		opts.Engine = sweep.Round
+	case "detailed":
+		opts.Engine = sweep.Detailed
+	default:
+		return fmt.Errorf("unknown engine %q (want round or detailed)", engine)
+	}
+
+	var ks []*kernel.Kernel
+	switch {
+	case corpusFile != "":
+		if suiteName != "" {
+			return fmt.Errorf("-corpus and -suite are mutually exclusive")
+		}
+		var err error
+		ks, err = loadCorpus(corpusFile)
+		if err != nil {
+			return err
+		}
+	case suiteName == "":
+		ks = suites.AllKernels(suites.Corpus())
+	default:
+		s := suites.FindSuite(suites.Corpus(), suiteName)
+		if s == nil {
+			return fmt.Errorf("unknown suite %q", suiteName)
+		}
+		for _, p := range s.Programs {
+			for _, e := range p.Kernels {
+				ks = append(ks, e.Kernel)
+			}
+		}
+	}
+	space := hw.StudySpace()
+
+	start := time.Now()
+	m, err := sweep.Run(ks, space, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("swept %d kernels x %d configurations (%d simulations) in %v\n",
+		len(ks), space.Size(), sweep.Runs(len(ks), space.Size()), time.Since(start).Round(time.Millisecond))
+
+	if suiteName == "" && corpusFile == "" && noise == 0 && engine == "round" {
+		// The summary table needs the canonical full study.
+		s, err := experiments.New()
+		if err != nil {
+			return err
+		}
+		fmt.Println(s.TableR1())
+	}
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := m.WriteCSV(f); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return nil
+}

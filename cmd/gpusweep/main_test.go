@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gpuscale/internal/kernel"
+)
+
+func TestRunSuiteSubsetWithCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "results.csv")
+	if err := run(out, "graphana", "round", 0, 1, 0, ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.HasPrefix(s, "kernel,cus,core_mhz,mem_mhz") {
+		t.Fatalf("CSV header missing: %.80s", s)
+	}
+	if !strings.Contains(s, "graphana-p01") {
+		t.Fatal("CSV missing suite kernels")
+	}
+	// 24 kernels x 891 configs + header.
+	lines := strings.Count(s, "\n")
+	if lines != 24*891+1 {
+		t.Fatalf("CSV lines = %d, want %d", lines, 24*891+1)
+	}
+}
+
+func TestRunNoise(t *testing.T) {
+	if err := run("", "dwarfs", "round", 0.05, 7, 2, ""); err != nil {
+		t.Fatalf("noisy run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "nope", "round", 0, 1, 0, ""); err == nil {
+		t.Error("unknown suite accepted")
+	}
+	if err := run("", "", "quantum", 0, 1, 0, ""); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	if err := run("/no/such/dir/x.csv", "graphana", "round", 0, 1, 0, ""); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}
+
+func TestCorpusDumpAndReload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corpus.json")
+	if err := writeCorpus(path); err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	ks, err := loadCorpus(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(ks) != 267 {
+		t.Fatalf("reloaded %d kernels, want 267", len(ks))
+	}
+	// A tiny custom corpus must sweep end to end.
+	small := filepath.Join(dir, "small.json")
+	f, err := os.Create(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kernel.WriteAll(f, ks[:3]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out := filepath.Join(dir, "out.csv")
+	if err := run(out, "", "round", 0, 1, 0, small); err != nil {
+		t.Fatalf("custom-corpus sweep: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 3*891+1 {
+		t.Fatalf("CSV lines = %d, want %d", lines, 3*891+1)
+	}
+}
+
+func TestCorpusFlagConflicts(t *testing.T) {
+	if err := run("", "graphana", "round", 0, 1, 0, "also.json"); err == nil {
+		t.Error("-corpus with -suite accepted")
+	}
+	if err := run("", "", "round", 0, 1, 0, "/no/such/corpus.json"); err == nil {
+		t.Error("missing corpus file accepted")
+	}
+}

@@ -1,0 +1,65 @@
+// Command suitereport prints the corpus-composition and
+// suite-scalability artifacts (Tables R-2 and R-5, Fig R-8) — the
+// paper's "do current benchmark suites scale to modern GPU sizes?"
+// analysis.
+//
+// Usage:
+//
+//	suitereport              # all three artifacts
+//	suitereport -table 2     # corpus composition only
+//	suitereport -table 5     # scalability verdicts only
+//	suitereport -fig 8       # per-suite efficiency quartiles only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpuscale/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print one table (2 or 5)")
+	fig := flag.Int("fig", 0, "print one figure (8)")
+	flag.Parse()
+
+	if err := run(*table, *fig); err != nil {
+		fmt.Fprintln(os.Stderr, "suitereport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table, fig int) error {
+	s, err := experiments.New()
+	if err != nil {
+		return err
+	}
+	all := table == 0 && fig == 0
+	if all || table == 2 {
+		fmt.Println(s.TableR2())
+	}
+	if all || table == 5 {
+		t, err := s.TableR5()
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	}
+	if all || fig == 8 {
+		f, err := s.FigR8()
+		if err != nil {
+			return err
+		}
+		fmt.Println(f)
+	}
+	if !all {
+		if table != 0 && table != 2 && table != 5 {
+			return fmt.Errorf("no table %d here (taxonomy owns 1/3/4/6)", table)
+		}
+		if fig != 0 && fig != 8 {
+			return fmt.Errorf("no figure %d here (taxonomy owns 1..7)", fig)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunArtifacts(t *testing.T) {
+	if err := run(2, 0); err != nil {
+		t.Fatalf("-table 2: %v", err)
+	}
+	if err := run(5, 0); err != nil {
+		t.Fatalf("-table 5: %v", err)
+	}
+	if err := run(0, 8); err != nil {
+		t.Fatalf("-fig 8: %v", err)
+	}
+	if err := run(0, 0); err != nil {
+		t.Fatalf("default: %v", err)
+	}
+}
+
+func TestRunRejectsForeignArtifacts(t *testing.T) {
+	if err := run(3, 0); err == nil {
+		t.Error("-table 3 accepted (belongs to taxonomy)")
+	}
+	if err := run(0, 2); err == nil {
+		t.Error("-fig 2 accepted (belongs to taxonomy)")
+	}
+}

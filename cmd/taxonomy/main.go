@@ -1,0 +1,177 @@
+// Command taxonomy runs the full reproduction pipeline and prints the
+// taxonomy tables and figures of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	taxonomy -all           # every table and figure
+//	taxonomy -table 3       # one table (1, 3, 4, 6)
+//	taxonomy -fig 2         # one figure (1..8)
+//	taxonomy -baseline      # roofline-baseline confusion table
+//	taxonomy -k 8           # cluster count for table 6 / fig 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpuscale/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print one table (1, 3, 4, or 6)")
+	fig := flag.Int("fig", 0, "print one figure (1..8)")
+	all := flag.Bool("all", false, "print every table and figure")
+	baseline := flag.Bool("baseline", false, "print the roofline-baseline confusion table")
+	k := flag.Int("k", 8, "cluster count for the data-driven taxonomy")
+	csvPath := flag.String("csv", "", "also export per-kernel classifications to this CSV file")
+	mdPath := flag.String("md", "", "write the full study as a markdown report to this file")
+	svgDir := flag.String("svgdir", "", "write the key figures as SVG files into this directory")
+	flag.Parse()
+
+	if err := run(*table, *fig, *all, *baseline, *k, *csvPath, *mdPath, *svgDir); err != nil {
+		fmt.Fprintln(os.Stderr, "taxonomy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table, fig int, all, baseline bool, k int, csvPath, mdPath, svgDir string) error {
+	s, err := experiments.New()
+	if err != nil {
+		return err
+	}
+	wroteArtifacts := false
+	if svgDir != "" {
+		n, err := s.WriteSVGFigures(svgDir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d SVG figures to %s\n", n, svgDir)
+		wroteArtifacts = true
+	}
+	if mdPath != "" {
+		f, err := os.Create(mdPath)
+		if err != nil {
+			return err
+		}
+		if err := s.WriteMarkdownReport(f, k); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", mdPath)
+		wroteArtifacts = true
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		if err := s.WriteClassificationsCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", csvPath)
+		wroteArtifacts = true
+	}
+	if wroteArtifacts && table == 0 && fig == 0 && !all && !baseline {
+		return nil
+	}
+	if !all && table == 0 && fig == 0 && !baseline {
+		all = true
+	}
+	printTable := func(n int) error {
+		switch n {
+		case 1:
+			fmt.Println(s.TableR1())
+		case 3:
+			fmt.Println(s.TableR3())
+		case 4:
+			fmt.Println(s.TableR4())
+		case 6:
+			t, err := s.TableR6(k)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+		default:
+			return fmt.Errorf("no table %d here (2 and 5 live in suitereport)", n)
+		}
+		return nil
+	}
+	printFig := func(n int) error {
+		var out string
+		var err error
+		switch n {
+		case 1:
+			out, err = s.FigR1()
+		case 2:
+			out, err = s.FigR2()
+		case 3:
+			out, err = s.FigR3()
+		case 4:
+			out, err = s.FigR4(k)
+		case 5:
+			out, err = s.FigR5(10)
+		case 6:
+			out, err = s.FigR6()
+		case 7:
+			out = s.FigR7()
+		case 8:
+			out, err = s.FigR8()
+		default:
+			return fmt.Errorf("no figure %d", n)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+	}
+
+	if all {
+		for _, n := range []int{1, 3, 4, 6} {
+			if err := printTable(n); err != nil {
+				return err
+			}
+		}
+		p1, err := s.TableP1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(p1)
+		fmt.Println(s.TableC1())
+		i1, err := s.TableI1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(i1)
+		fmt.Println(s.TableBaseline())
+		fmt.Println(s.TableArchetypeRecovery())
+		for n := 1; n <= 8; n++ {
+			if err := printFig(n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if table != 0 {
+		if err := printTable(table); err != nil {
+			return err
+		}
+	}
+	if fig != 0 {
+		if err := printFig(fig); err != nil {
+			return err
+		}
+	}
+	if baseline {
+		fmt.Println(s.TableBaseline())
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package gpuscale_test
+
+import (
+	"fmt"
+
+	"gpuscale"
+)
+
+// Describe a kernel behaviourally and simulate it on the flagship
+// configuration.
+func ExampleSimulate() {
+	k := gpuscale.NewKernel("demo", "solver", "gemm").
+		Geometry(4096, 256).
+		Compute(24000, 800).
+		MustBuild()
+	r, err := gpuscale.Simulate(k, gpuscale.ReferenceConfig())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("bound by %v\n", r.Bound)
+	// Output: bound by compute
+}
+
+// Sweep the paper's 891-configuration grid and classify the scaling
+// behaviour.
+func ExampleClassify() {
+	k := gpuscale.NewKernel("demo", "post", "stream").
+		Geometry(4096, 256).
+		Compute(300, 50).
+		Access(gpuscale.Streaming, 256, 64, 4).
+		MustBuild()
+	m, err := gpuscale.RunSweep([]*gpuscale.Kernel{k},
+		gpuscale.StudySpace(), gpuscale.SweepOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	c := gpuscale.Classify(m)[0]
+	fmt.Printf("%v (memory axis: %v)\n", c.Category, c.MemShape)
+	// Output: bw-coupled (memory axis: linear)
+}
+
+// The study grid reconstructs the paper's 891 configurations.
+func ExampleStudySpace() {
+	s := gpuscale.StudySpace()
+	fmt.Printf("%d configurations (%d CU settings x %d core clocks x %d memory clocks)\n",
+		s.Size(), len(s.CUCounts), len(s.CoreClocksMHz), len(s.MemClocksMHz))
+	// Output: 891 configurations (11 CU settings x 9 core clocks x 9 memory clocks)
+}
+
+// The corpus matches the paper's population exactly.
+func ExampleCorpus() {
+	suites := gpuscale.Corpus()
+	programs, kernels := 0, 0
+	for _, s := range suites {
+		programs += len(s.Programs)
+		kernels += s.KernelCount()
+	}
+	fmt.Printf("%d suites, %d programs, %d kernels\n", len(suites), programs, kernels)
+	// Output: 8 suites, 97 programs, 267 kernels
+}
+
+// Energy accounting with the DVFS power model.
+func ExampleMeasureEnergy() {
+	k := gpuscale.NewKernel("demo", "app", "tiny").
+		Geometry(64, 256).
+		MustBuild()
+	_, rep, err := gpuscale.MeasureEnergy(gpuscale.DefaultPowerModel(), k, gpuscale.ReferenceConfig())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("power within TDP: %v\n", rep.PowerW > 0 && rep.PowerW < 300)
+	// Output: power within TDP: true
+}

@@ -1,0 +1,87 @@
+// DVFS study: how much performance does each scaling class give back
+// when the clocks drop? A power-capped deployment wants to slow the
+// knob each kernel does NOT depend on — this example shows the
+// taxonomy answering exactly that question for three corpus kernels.
+//
+//	go run ./examples/dvfs_study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpuscale"
+)
+
+func main() {
+	// Sweep the whole corpus once and pick an exemplar per class.
+	m, err := gpuscale.RunSweep(gpuscale.CorpusKernels(), gpuscale.StudySpace(), gpuscale.SweepOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs := gpuscale.Classify(m)
+
+	pick := func(cat gpuscale.Category) *gpuscale.Classification {
+		for i := range cs {
+			if cs[i].Category == cat {
+				return &cs[i]
+			}
+		}
+		return nil
+	}
+
+	fmt.Println("What fraction of peak performance survives a 40% clock cut?")
+	fmt.Println()
+	for _, cat := range []gpuscale.Category{
+		gpuscale.CompCoupled, gpuscale.BWCoupled, gpuscale.LatencyBound,
+	} {
+		c := pick(cat)
+		if c == nil {
+			log.Fatalf("no %v kernel in corpus", cat)
+		}
+		k := findKernel(c.Kernel)
+
+		full := gpuscale.ReferenceConfig()
+		coreCut := full
+		coreCut.CoreClockMHz = 600 // 40% core-clock cut
+		memCut := full
+		memCut.MemClockMHz = 700 // ~44% memory-clock cut
+
+		rFull := mustSim(k, full)
+		rCore := mustSim(k, coreCut)
+		rMem := mustSim(k, memCut)
+
+		fmt.Printf("%-16s (%s)\n", cat, c.Kernel)
+		fmt.Printf("  core clock 1000 -> 600 MHz keeps %4.0f%% of performance\n",
+			100*rCore.Throughput/rFull.Throughput)
+		fmt.Printf("  mem clock 1250 -> 700 MHz keeps %4.0f%% of performance\n",
+			100*rMem.Throughput/rFull.Throughput)
+		switch cat {
+		case gpuscale.CompCoupled:
+			fmt.Println("  -> safe to slow memory, never the core")
+		case gpuscale.BWCoupled:
+			fmt.Println("  -> safe to slow the core, never memory")
+		case gpuscale.LatencyBound:
+			fmt.Println("  -> both clocks are cheap to cut; latency dominates anyway")
+		}
+		fmt.Println()
+	}
+}
+
+func findKernel(name string) *gpuscale.Kernel {
+	for _, k := range gpuscale.CorpusKernels() {
+		if k.Name == name {
+			return k
+		}
+	}
+	log.Fatalf("kernel %q vanished from corpus", name)
+	return nil
+}
+
+func mustSim(k *gpuscale.Kernel, cfg gpuscale.Config) gpuscale.SimResult {
+	r, err := gpuscale.Simulate(k, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}

@@ -1,0 +1,69 @@
+// Predictor: the taxonomy's observation that kernels fall into a small
+// number of scaling families makes whole-surface prediction cheap.
+// Train canonical scaling surfaces on half the corpus, then predict a
+// brand-new kernel's performance on all 891 configurations from just
+// 5 probe measurements — and check the prediction against the truth.
+//
+//	go run ./examples/predictor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"gpuscale"
+)
+
+func main() {
+	// Full sweep of the corpus (fast: the round engine does all
+	// 237,897 simulations in well under a second).
+	m, err := gpuscale.RunSweep(gpuscale.CorpusKernels(), gpuscale.StudySpace(), gpuscale.SweepOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := gpuscale.SplitMatrix(m)
+	p, err := gpuscale.TrainPredictor(train, 12, 17)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d canonical scaling surfaces from %d kernels\n",
+		p.Clusters(), len(train.Kernels))
+	fmt.Printf("probe configurations a new kernel must measure (%d of %d):\n",
+		len(p.Probes()), gpuscale.StudySpace().Size())
+	for _, cfg := range p.Probes() {
+		fmt.Printf("  %v\n", cfg)
+	}
+
+	// Predict one unseen kernel from its probes alone.
+	victim := 0
+	truth := test.Throughput[victim]
+	probes := make([]float64, len(p.Probes()))
+	for i, cfg := range p.Probes() {
+		probes[i] = truth[test.Space.Index(cfg)]
+	}
+	pred, err := p.Predict(probes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sumErr, worst float64
+	for c := range truth {
+		ape := math.Abs(pred[c]-truth[c]) / truth[c]
+		sumErr += ape
+		if ape > worst {
+			worst = ape
+		}
+	}
+	fmt.Printf("\npredicting %s on all %d configurations from 5 probes:\n",
+		test.Kernels[victim], len(truth))
+	fmt.Printf("  mean abs error  %.1f%%\n", 100*sumErr/float64(len(truth)))
+	fmt.Printf("  worst abs error %.1f%%\n", 100*worst)
+
+	// And the aggregate over the whole unseen half.
+	acc, err := gpuscale.EvaluatePredictor(p, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nover all %d held-out kernels: MAPE %.1f%%, P90 %.1f%%\n",
+		acc.Kernels, 100*acc.MAPE, 100*acc.P90APE)
+}

@@ -1,0 +1,45 @@
+// Quickstart: describe a kernel behaviourally, simulate it across
+// hardware configurations, and ask the taxonomy how it scales.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpuscale"
+)
+
+func main() {
+	// 1. Describe a kernel: a tiled matrix-multiply-like workload.
+	gemm := gpuscale.NewKernel("myapp", "solver", "gemm_tile").
+		Geometry(4096, 256).       // 4096 workgroups of 256 work-items
+		Compute(24000, 800).       // VALU/SALU instructions per wavefront
+		Resources(64, 64, 16384).  // VGPRs, SGPRs, LDS bytes
+		Locality(32*1024, 0.2, 6). // working set, sharing, reuse
+		MustBuild()
+
+	// 2. One-off simulation on the flagship configuration.
+	ref := gpuscale.ReferenceConfig()
+	r, err := gpuscale.Simulate(gemm, ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %v:\n", gemm.Name, ref)
+	fmt.Printf("  time        %.1f us\n", r.TimeNS/1000)
+	fmt.Printf("  achieved    %.0f GFLOP/s of %.0f peak\n", r.AchievedGFLOPS, ref.PeakGFLOPS())
+	fmt.Printf("  bound by    %v\n\n", r.Bound)
+
+	// 3. Sweep the paper's full 891-configuration grid and classify.
+	m, err := gpuscale.RunSweep([]*gpuscale.Kernel{gemm}, gpuscale.StudySpace(), gpuscale.SweepOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := gpuscale.Classify(m)[0]
+	fmt.Printf("taxonomy verdict for %s:\n", c.Kernel)
+	fmt.Printf("  vs compute units : %v (%.1fx over an 11x range)\n", c.CUShape, c.CU.Gain)
+	fmt.Printf("  vs core clock    : %v (%.1fx over a 5x range)\n", c.CoreShape, c.Core.Gain)
+	fmt.Printf("  vs memory clock  : %v (%.1fx over an 8.3x range)\n", c.MemShape, c.Mem.Gain)
+	fmt.Printf("  category         : %v\n", c.Category)
+}

@@ -1,0 +1,65 @@
+// Suite audit: before publishing a benchmark suite, check whether its
+// inputs are large enough to exercise a modern GPU — the tooling form
+// of the paper's conclusion that several existing suites no longer
+// scale. This example audits a small hand-written suite and shows how
+// to fix a failing kernel by scaling its input.
+//
+//	go run ./examples/suite_audit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpuscale"
+)
+
+func main() {
+	// A three-kernel suite a researcher might ship: note the 2012-era
+	// problem size on "legacy_fft".
+	mySuite := []*gpuscale.Kernel{
+		gpuscale.NewKernel("mysuite", "nbody", "forces").
+			Geometry(8192, 256).
+			Compute(18000, 600).
+			MustBuild(),
+		gpuscale.NewKernel("mysuite", "legacy_fft", "radix4").
+			Geometry(16, 256). // sized for a 4-CU GPU ten years ago
+			Compute(40000, 800).
+			MustBuild(),
+		gpuscale.NewKernel("mysuite", "spmv", "csr").
+			Geometry(4096, 256).
+			Access(gpuscale.Gather, 192, 16, 4).
+			Coalescing(0.3).
+			MustBuild(),
+	}
+
+	audit(mySuite, "original inputs")
+
+	// Fix: scale the legacy kernel's grid to a modern size and re-audit.
+	fixed := gpuscale.NewKernel("mysuite", "legacy_fft", "radix4").
+		Geometry(4096, 256).
+		Compute(40000, 800).
+		MustBuild()
+	mySuite[1] = fixed
+	audit(mySuite, "after scaling legacy_fft's input")
+}
+
+func audit(ks []*gpuscale.Kernel, label string) {
+	m, err := gpuscale.RunSweep(ks, gpuscale.StudySpace(), gpuscale.SweepOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== audit: %s ==\n", label)
+	for _, c := range gpuscale.Classify(m) {
+		eff := c.CU.Efficiency
+		verdict := "ok"
+		if c.Category == gpuscale.ParallelismLimited || c.Category == gpuscale.LaunchBound {
+			verdict = "UNDERSIZED for a 44-CU GPU"
+		} else if eff < 0.3 && c.Category != gpuscale.BWCoupled && c.Category != gpuscale.LatencyBound {
+			verdict = "check input size"
+		}
+		fmt.Printf("  %-24s %-20s CU efficiency %.2f  %s\n",
+			c.Kernel, c.Category.String(), eff, verdict)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,112 @@
+package gpuscale
+
+// Facade surface for the three extensions built on top of the
+// reproduction: the DVFS power/energy model (internal/power), the
+// cluster-based scaling predictor (internal/predict), and the
+// taxonomy-guided power-cap governor (internal/governor).
+
+import (
+	"gpuscale/internal/governor"
+	"gpuscale/internal/power"
+	"gpuscale/internal/predict"
+)
+
+// Power & energy.
+type (
+	// PowerModel holds the DVFS power-model coefficients.
+	PowerModel = power.Model
+	// EnergyReport is the per-execution energy accounting.
+	EnergyReport = power.Report
+	// EnergyObjective selects what BestConfig optimises.
+	EnergyObjective = power.Optimum
+)
+
+// Energy objectives.
+const (
+	MinEnergy      = power.MinEnergy
+	MinEDP         = power.MinEDP
+	MaxPerfPerWatt = power.MaxPerfPerWatt
+)
+
+// DefaultPowerModel returns Hawaii-plausible power coefficients.
+func DefaultPowerModel() PowerModel { return power.DefaultModel() }
+
+// MeasureEnergy simulates a kernel and reports power, energy, EDP,
+// and perf/W.
+func MeasureEnergy(m PowerModel, k *Kernel, cfg Config) (SimResult, EnergyReport, error) {
+	return power.Measure(m, k, cfg)
+}
+
+// BestEnergyConfig sweeps a space and returns the configuration
+// optimising the objective for the kernel.
+func BestEnergyConfig(m PowerModel, k *Kernel, space Space, obj EnergyObjective) (Config, EnergyReport, error) {
+	return power.BestConfig(m, k, space, obj)
+}
+
+// Prediction.
+type (
+	// Predictor predicts full scaling surfaces from probe runs.
+	Predictor = predict.Predictor
+	// PredictionAccuracy summarises held-out prediction error.
+	PredictionAccuracy = predict.Accuracy
+)
+
+// TrainPredictor clusters a sweep's normalised surfaces into k
+// canonical scaling families.
+func TrainPredictor(m *Matrix, k int, seed int64) (*Predictor, error) {
+	return predict.Train(m, k, seed)
+}
+
+// EvaluatePredictor scores a predictor against a fully measured test
+// matrix using only the probe cells as input.
+func EvaluatePredictor(p *Predictor, test *Matrix) (PredictionAccuracy, error) {
+	return predict.Evaluate(p, test)
+}
+
+// SplitMatrix partitions a matrix into train/test halves by row
+// parity.
+func SplitMatrix(m *Matrix) (train, test *Matrix) { return predict.SplitMatrix(m) }
+
+// Governor.
+type (
+	// WorkloadItem is one kernel of a governed workload.
+	WorkloadItem = governor.Item
+	// GovernedWorkload is a sequence of kernels with launch counts.
+	GovernedWorkload = governor.Workload
+	// GovernorOutcome aggregates a governor's decisions.
+	GovernorOutcome = governor.Outcome
+)
+
+// GovernOracle picks the per-kernel optimal cap-fitting configuration
+// by exhaustive search.
+func GovernOracle(m PowerModel, w GovernedWorkload, space Space, capW float64) (GovernorOutcome, error) {
+	return governor.Oracle(m, w, space, capW)
+}
+
+// GovernStatic picks the single best cap-fitting configuration for the
+// whole workload.
+func GovernStatic(m PowerModel, w GovernedWorkload, space Space, capW float64) (GovernorOutcome, error) {
+	return governor.Static(m, w, space, capW)
+}
+
+// GovernByTaxonomy walks each kernel's category preference order,
+// simulating only until a cap-fitting configuration is found.
+func GovernByTaxonomy(m PowerModel, w GovernedWorkload, space Space, capW float64) (GovernorOutcome, error) {
+	return governor.TaxonomyGuided(m, w, space, capW)
+}
+
+// GovernWithHysteresis post-processes a per-kernel decision sequence
+// against DVFS transition costs, holding the previous configuration
+// whenever switching cannot repay its stall.
+func GovernWithHysteresis(m PowerModel, w GovernedWorkload, decisions []governor.Decision, capW, transitionNS float64) (GovernorOutcome, error) {
+	return governor.Hysteresis(m, w, decisions, capW, transitionNS)
+}
+
+// GovernorDecision is one governor choice for one workload item.
+type GovernorDecision = governor.Decision
+
+// MakespanWithTransitions returns an outcome's makespan including
+// configuration-switch stalls at the given per-switch cost.
+func MakespanWithTransitions(o GovernorOutcome, transitionNS float64) float64 {
+	return governor.WithTransitions(o, transitionNS)
+}

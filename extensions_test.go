@@ -1,0 +1,76 @@
+package gpuscale
+
+import "testing"
+
+func TestFacadeEnergy(t *testing.T) {
+	m := DefaultPowerModel()
+	k := NewKernel("e", "p", "k").MustBuild()
+	r, rep, err := MeasureEnergy(m, k, ReferenceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TimeNS <= 0 || rep.EnergyJ <= 0 {
+		t.Fatalf("degenerate energy measurement: %+v %+v", r, rep)
+	}
+	space, err := NewSpace([]int{4, 44}, []float64{200, 1000}, []float64{150, 1250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, rep2, err := BestEnergyConfig(m, k, space, MinEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("best config invalid: %v", err)
+	}
+	if rep2.EnergyJ <= 0 {
+		t.Fatalf("best report: %+v", rep2)
+	}
+}
+
+func TestFacadePredictor(t *testing.T) {
+	m, err := RunSweep(CorpusKernels()[:40], StudySpace(), SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := SplitMatrix(m)
+	p, err := TrainPredictor(train, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := EvaluatePredictor(p, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Kernels != len(test.Kernels) || acc.MAPE < 0 {
+		t.Fatalf("accuracy %+v", acc)
+	}
+}
+
+func TestFacadeGovernor(t *testing.T) {
+	space, err := NewSpace([]int{4, 24, 44}, []float64{200, 600, 1000}, []float64{150, 700, 1250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := GovernedWorkload{{
+		Kernel:   NewKernel("g", "p", "k").MustBuild(),
+		Launches: 2,
+		Category: BWCoupled,
+	}}
+	pm := DefaultPowerModel()
+	const cap = 200
+	for name, govern := range map[string]func(PowerModel, GovernedWorkload, Space, float64) (GovernorOutcome, error){
+		"oracle": GovernOracle, "static": GovernStatic, "taxonomy": GovernByTaxonomy,
+	} {
+		out, err := govern(pm, w, space, cap)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out.TotalTimeNS <= 0 || len(out.Decisions) != 1 {
+			t.Fatalf("%s outcome %+v", name, out)
+		}
+		if out.Decisions[0].PowerW > cap {
+			t.Fatalf("%s violated cap: %+v", name, out.Decisions[0])
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module gpuscale
+
+go 1.22

@@ -1,0 +1,90 @@
+package gpuscale
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	space, err := NewSpace([]int{4, 24, 44}, []float64{200, 600, 1000}, []float64{150, 700, 1250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := []*Kernel{
+		NewKernel("demo", "prog", "compute").Compute(30000, 100).MustBuild(),
+		NewKernel("demo", "prog", "stream").Compute(200, 20).MustBuild(),
+	}
+	m, err := RunSweep(ks, space, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := Classify(m)
+	if len(cs) != 2 {
+		t.Fatalf("classified %d kernels, want 2", len(cs))
+	}
+	for _, c := range cs {
+		if c.Category < CompCoupled || c.Category > Irregular {
+			t.Errorf("%s: category %v out of range", c.Kernel, c.Category)
+		}
+	}
+}
+
+func TestFacadeSimulate(t *testing.T) {
+	k := NewKernel("demo", "prog", "k").MustBuild()
+	r, err := Simulate(k, ReferenceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Throughput <= 0 {
+		t.Fatalf("Throughput = %g", r.Throughput)
+	}
+	d, err := SimulateDetailed(k, ReferenceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Throughput <= 0 {
+		t.Fatalf("detailed Throughput = %g", d.Throughput)
+	}
+}
+
+func TestFacadeCorpus(t *testing.T) {
+	if got := len(Corpus()); got != 8 {
+		t.Errorf("suites = %d, want 8", got)
+	}
+	if got := len(CorpusKernels()); got != 267 {
+		t.Errorf("kernels = %d, want 267", got)
+	}
+	if got := StudySpace().Size(); got != 891 {
+		t.Errorf("space size = %d, want 891", got)
+	}
+}
+
+func TestFacadeStudy(t *testing.T) {
+	s, err := NewStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TableR3().String(); !strings.Contains(got, "cu-intolerant") {
+		t.Errorf("study table malformed:\n%s", got)
+	}
+}
+
+func TestFacadeSurfaces(t *testing.T) {
+	space, err := NewSpace([]int{4, 44}, []float64{200, 1000}, []float64{150, 1250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := []*Kernel{NewKernel("d", "p", "k").MustBuild()}
+	m, err := RunSweep(ks, space, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := Surfaces(m)
+	if len(ss) != 1 || ss[0].Kernel != "p.k" {
+		t.Fatalf("Surfaces = %+v", ss)
+	}
+	c := ClassifySurface(ss[0])
+	if c.Kernel != "p.k" {
+		t.Fatalf("ClassifySurface kernel = %q", c.Kernel)
+	}
+}

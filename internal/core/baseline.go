@@ -1,0 +1,59 @@
+package core
+
+import (
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+)
+
+// BaselineClass is the verdict of the static roofline baseline.
+type BaselineClass int
+
+// The baseline only knows two classes — that poverty is the point: it
+// cannot express plateaus, CU-intolerance, or launch domination, which
+// is what the taxonomy adds.
+const (
+	// BaselineCompute: arithmetic intensity above machine balance.
+	BaselineCompute BaselineClass = iota
+	// BaselineMemory: arithmetic intensity below machine balance.
+	BaselineMemory
+)
+
+// String returns "compute" or "memory".
+func (b BaselineClass) String() string {
+	if b == BaselineCompute {
+		return "compute"
+	}
+	return "memory"
+}
+
+// RooflineBaseline classifies a kernel statically from arithmetic
+// intensity against the reference configuration's machine balance —
+// the conventional pre-taxonomy approach the paper's richer classes
+// improve upon.
+func RooflineBaseline(k *kernel.Kernel) BaselineClass {
+	if k.ArithmeticIntensity() >= hw.Reference().MachineBalance() {
+		return BaselineCompute
+	}
+	return BaselineMemory
+}
+
+// BaselineConfusion counts, for each taxonomy category, how the
+// roofline baseline labelled its kernels. Categories whose kernels
+// split across (or concentrate in the wrong) baseline class
+// demonstrate behaviours the static view cannot see.
+func BaselineConfusion(cs []Classification, kernels map[string]*kernel.Kernel) map[Category]map[BaselineClass]int {
+	out := map[Category]map[BaselineClass]int{}
+	for _, c := range cs {
+		k, ok := kernels[c.Kernel]
+		if !ok {
+			continue
+		}
+		row, ok := out[c.Category]
+		if !ok {
+			row = map[BaselineClass]int{}
+			out[c.Category] = row
+		}
+		row[RooflineBaseline(k)]++
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"gpuscale/internal/stats"
+)
+
+// ClusterTaxonomy is the data-driven alternative to the rule-based
+// classifier: k-means over per-point-efficiency response vectors.
+type ClusterTaxonomy struct {
+	// K is the cluster count.
+	K int
+	// Assignments maps surface index to cluster id.
+	Assignments []int
+	// Centroids are the cluster centres in response-vector space.
+	Centroids [][]float64
+	// Names are shape-derived labels for each centroid.
+	Names []string
+	// Inertia is the k-means objective value.
+	Inertia float64
+	// Silhouette is the clustering's mean silhouette score.
+	Silhouette float64
+}
+
+// Cluster builds the data-driven taxonomy with the given cluster
+// count. Deterministic for a fixed seed.
+func Cluster(surfaces []Surface, k int, seed int64) (*ClusterTaxonomy, error) {
+	if len(surfaces) == 0 {
+		return nil, fmt.Errorf("core: no surfaces to cluster")
+	}
+	vecs := make([][]float64, len(surfaces))
+	for i, s := range surfaces {
+		vecs[i] = s.ResponseVector()
+		if len(vecs[i]) != len(vecs[0]) {
+			return nil, fmt.Errorf("core: surface %d response dim %d != %d (mixed spaces?)",
+				i, len(vecs[i]), len(vecs[0]))
+		}
+	}
+	c, err := stats.KMeans(vecs, k, seed, 8)
+	if err != nil {
+		return nil, fmt.Errorf("core: clustering: %w", err)
+	}
+	ct := &ClusterTaxonomy{
+		K:           k,
+		Assignments: c.Assignments,
+		Centroids:   c.Centroids,
+		Inertia:     c.Inertia,
+		Silhouette:  stats.Silhouette(vecs, c.Assignments, k),
+	}
+	space := surfaces[0].Space
+	nCU := len(space.CUCounts)
+	nF := len(space.CoreClocksMHz)
+	for _, centroid := range ct.Centroids {
+		ct.Names = append(ct.Names, nameCentroid(centroid, nCU, nF))
+	}
+	return ct, nil
+}
+
+// nameCentroid derives a human-readable label from a centroid's mean
+// per-axis efficiency: which axes the cluster's kernels couple to.
+func nameCentroid(v []float64, nCU, nF int) string {
+	mean := func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	// Skip each curve's first point (always exactly 1).
+	cu := mean(v[1:nCU])
+	fc := mean(v[nCU+1 : nCU+nF])
+	fm := mean(v[nCU+nF+1:])
+	label := func(e float64) string {
+		switch {
+		case e >= 0.75:
+			return "strong"
+		case e >= 0.4:
+			return "partial"
+		default:
+			return "none"
+		}
+	}
+	return fmt.Sprintf("cu:%s/clk:%s/bw:%s", label(cu), label(fc), label(fm))
+}
+
+// SelectK runs the elbow and silhouette analysis over k in [2, maxK]
+// and returns the inertia curve, silhouette curve, and the k with the
+// best silhouette — the Fig R-5 data.
+func SelectK(surfaces []Surface, maxK int, seed int64) (inertia, silhouette []float64, bestK int, err error) {
+	if maxK < 2 {
+		return nil, nil, 0, fmt.Errorf("core: maxK %d < 2", maxK)
+	}
+	vecs := make([][]float64, len(surfaces))
+	for i, s := range surfaces {
+		vecs[i] = s.ResponseVector()
+	}
+	best := -2.0
+	for k := 2; k <= maxK && k <= len(vecs); k++ {
+		c, kerr := stats.KMeans(vecs, k, seed, 8)
+		if kerr != nil {
+			return nil, nil, 0, kerr
+		}
+		s := stats.Silhouette(vecs, c.Assignments, k)
+		inertia = append(inertia, c.Inertia)
+		silhouette = append(silhouette, s)
+		if s > best {
+			best, bestK = s, k
+		}
+	}
+	return inertia, silhouette, bestK, nil
+}
+
+// Agreement cross-tabulates rule-based categories against cluster ids
+// and returns the contingency table plus the purity score: the
+// fraction of kernels whose cluster's majority category matches their
+// own (1 = the clustering rediscovers the rules exactly).
+func Agreement(cs []Classification, ct *ClusterTaxonomy) (table map[Category][]int, purity float64, err error) {
+	if len(cs) != len(ct.Assignments) {
+		return nil, 0, fmt.Errorf("core: %d classifications vs %d assignments",
+			len(cs), len(ct.Assignments))
+	}
+	table = map[Category][]int{}
+	for i, c := range cs {
+		row, ok := table[c.Category]
+		if !ok {
+			row = make([]int, ct.K)
+		}
+		row[ct.Assignments[i]]++
+		table[c.Category] = row
+	}
+	// Majority category per cluster.
+	majority := make([]Category, ct.K)
+	for cl := 0; cl < ct.K; cl++ {
+		best := -1
+		for cat, row := range table {
+			if row[cl] > best {
+				best = row[cl]
+				majority[cl] = cat
+			}
+		}
+	}
+	match := 0
+	for i, c := range cs {
+		if majority[ct.Assignments[i]] == c.Category {
+			match++
+		}
+	}
+	if len(cs) > 0 {
+		purity = float64(match) / float64(len(cs))
+	}
+	return table, purity, nil
+}

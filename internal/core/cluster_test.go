@@ -1,0 +1,125 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gpuscale/internal/hw"
+)
+
+// modelSurfaces builds a small, labelled surface population with three
+// clearly distinct behaviours.
+func modelSurfaces() ([]Surface, []Category) {
+	space := hw.StudySpace()
+	var ss []Surface
+	var want []Category
+	for i := 0; i < 6; i++ {
+		ss = append(ss, surfaceFromModel("comp", space, modelCompCoupled))
+		want = append(want, CompCoupled)
+		ss = append(ss, surfaceFromModel("bw", space, modelBWCoupled))
+		want = append(want, BWCoupled)
+		ss = append(ss, surfaceFromModel("flat", space, modelLaunchBound))
+		want = append(want, LaunchBound)
+	}
+	return ss, want
+}
+
+func TestClusterSeparatesBehaviours(t *testing.T) {
+	ss, want := modelSurfaces()
+	ct, err := Cluster(ss, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All surfaces with the same intended category must share a
+	// cluster, and different categories must not collide.
+	byCat := map[Category]int{}
+	for i, w := range want {
+		cl := ct.Assignments[i]
+		if prev, ok := byCat[w]; ok && prev != cl {
+			t.Fatalf("category %v split across clusters %d and %d", w, prev, cl)
+		}
+		byCat[w] = cl
+	}
+	seen := map[int]bool{}
+	for _, cl := range byCat {
+		if seen[cl] {
+			t.Fatal("two categories merged into one cluster")
+		}
+		seen[cl] = true
+	}
+	if ct.Silhouette < 0.5 {
+		t.Errorf("silhouette = %g, want > 0.5 for synthetic separation", ct.Silhouette)
+	}
+}
+
+func TestClusterCentroidNames(t *testing.T) {
+	ss, _ := modelSurfaces()
+	ct, err := Cluster(ss, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(ct.Names, " ")
+	// The compute cluster must read as CU+clock coupled without
+	// bandwidth; the flat cluster as coupled to nothing.
+	if !strings.Contains(joined, "cu:strong/clk:strong/bw:none") {
+		t.Errorf("centroid names %v missing compute-coupled label", ct.Names)
+	}
+	if !strings.Contains(joined, "cu:none/clk:none/bw:none") {
+		t.Errorf("centroid names %v missing flat label", ct.Names)
+	}
+}
+
+func TestClusterAgreementPerfectOnSynthetic(t *testing.T) {
+	ss, _ := modelSurfaces()
+	cs := DefaultClassifier().ClassifyAll(ss)
+	ct, err := Cluster(ss, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, purity, err := Agreement(cs, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if purity != 1 {
+		t.Fatalf("purity = %g, want 1 on noiseless synthetic data (table %v)", purity, table)
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	if _, err := Cluster(nil, 2, 1); err == nil {
+		t.Error("empty surfaces accepted")
+	}
+	ss, _ := modelSurfaces()
+	if _, err := Cluster(ss, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestAgreementLengthMismatch(t *testing.T) {
+	ss, _ := modelSurfaces()
+	cs := DefaultClassifier().ClassifyAll(ss)
+	ct, err := Cluster(ss, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Agreement(cs[:2], ct); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestSelectK(t *testing.T) {
+	ss, _ := modelSurfaces()
+	inertia, sil, bestK, err := SelectK(ss, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inertia) != 4 || len(sil) != 4 {
+		t.Fatalf("curve lengths %d/%d, want 4", len(inertia), len(sil))
+	}
+	if bestK != 3 {
+		t.Errorf("bestK = %d, want 3 for three synthetic behaviours", bestK)
+	}
+	if _, _, _, err := SelectK(ss, 1, 11); err == nil {
+		t.Error("maxK=1 accepted")
+	}
+}

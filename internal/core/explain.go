@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders a human-readable rationale for a classification:
+// what each axis did and why the combined category follows. The cmd
+// tools print it next to raw curves so users don't have to re-derive
+// the decision tree by hand.
+func (c Classification) Explain() string {
+	var b strings.Builder
+	axis := func(name string, r AxisResponse, s Shape) {
+		fmt.Fprintf(&b, "  %-9s %-12s %.1fx over a %.1fx range (efficiency %.0f%%",
+			name, s.String()+":", r.Gain, r.IdealGain, 100*r.Efficiency)
+		if s == PeakDecline {
+			fmt.Fprintf(&b, ", peak %.1fx at %g", r.PeakGain, r.Settings[r.PeakIndex])
+		}
+		b.WriteString(")\n")
+	}
+	fmt.Fprintf(&b, "%s -> %s\n", c.Kernel, c.Category)
+	axis("CUs", c.CU, c.CUShape)
+	axis("coreclk", c.Core, c.CoreShape)
+	axis("memclk", c.Mem, c.MemShape)
+	fmt.Fprintf(&b, "  because: %s\n", categoryRationale(c))
+	return b.String()
+}
+
+// categoryRationale states the decision in one sentence.
+func categoryRationale(c Classification) string {
+	switch c.Category {
+	case CUIntolerant:
+		return fmt.Sprintf(
+			"performance peaks at %g CUs and then falls — adding CUs grows the shared-L2 footprint faster than it adds throughput",
+			c.CU.Settings[c.CU.PeakIndex])
+	case LaunchBound:
+		return "no knob moves performance; fixed launch overhead dominates"
+	case BWCoupled:
+		return "memory bandwidth is the binding resource; compute-side knobs saturate"
+	case ParallelismLimited:
+		return "the launch cannot fill the added compute units; CU scaling stops early"
+	case CompCoupled:
+		return "performance tracks CUs x core clock; memory bandwidth is slack"
+	case LatencyBound:
+		return "serialised memory latency dominates: neither clock buys much, but more CUs add concurrent chains"
+	case Balanced:
+		return "several knobs pay with diminishing returns; the kernel crosses the roofline inside the sweep range"
+	default:
+		return "the response matches none of the canonical shapes"
+	}
+}

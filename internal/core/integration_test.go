@@ -1,0 +1,198 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"gpuscale/internal/hw"
+	"gpuscale/internal/suites"
+	"gpuscale/internal/sweep"
+)
+
+// fullSweep runs the complete corpus over the full study space once
+// per test binary; the round engine finishes it in well under a second.
+var fullSweep = sync.OnceValues(func() (*sweep.Matrix, error) {
+	return sweep.Run(suites.AllKernels(suites.Corpus()), hw.StudySpace(), sweep.Options{})
+})
+
+func corpusClassifications(t *testing.T) ([]Surface, []Classification) {
+	t.Helper()
+	m, err := fullSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := Surfaces(m)
+	return ss, DefaultClassifier().ClassifyAll(ss)
+}
+
+func TestCorpusTaxonomyMatchesPaperNarrative(t *testing.T) {
+	_, cs := corpusClassifications(t)
+	d := Distribution(cs)
+	total := len(cs)
+	if total != 267 {
+		t.Fatalf("classified %d kernels, want 267", total)
+	}
+	intuitive := d[CompCoupled] + d[BWCoupled]
+	nonObvious := d[CUIntolerant] + d[LatencyBound] + d[ParallelismLimited] + d[LaunchBound]
+	// Abstract: "many kernels scale in intuitive ways" — a majority.
+	if intuitive*2 < total {
+		t.Errorf("intuitive classes = %d/%d, want a majority", intuitive, total)
+	}
+	// Abstract: "a number of kernels ... scale in non-obvious ways" —
+	// a material minority.
+	if nonObvious < 20 {
+		t.Errorf("non-obvious classes = %d, want a material population", nonObvious)
+	}
+	// Specifically, the abstract calls out both kernels that lose
+	// performance with more CUs and kernels that plateau with
+	// frequency and bandwidth.
+	if d[CUIntolerant] == 0 {
+		t.Error("no CU-intolerant kernels found")
+	}
+	if d[LatencyBound] == 0 {
+		t.Error("no latency-bound kernels found")
+	}
+	if d[ParallelismLimited] == 0 {
+		t.Error("no parallelism-limited kernels found")
+	}
+}
+
+func TestCorpusTaxonomyRecoversArchetypes(t *testing.T) {
+	// The taxonomy works from timings alone; check it rediscovers the
+	// generator's intent for the archetypes with a crisp expected
+	// class. (Stencil/balanced/divergent legitimately straddle
+	// classes, so they are not pinned here.)
+	_, cs := corpusClassifications(t)
+	entries := suites.AllEntries(suites.Corpus())
+	if len(entries) != len(cs) {
+		t.Fatalf("entries %d vs classifications %d", len(entries), len(cs))
+	}
+	expect := map[suites.Archetype]Category{
+		suites.StreamBW:     BWCoupled,
+		suites.TinyLaunch:   LaunchBound,
+		suites.PointerChase: LatencyBound,
+	}
+	miss := map[suites.Archetype]int{}
+	count := map[suites.Archetype]int{}
+	for i, e := range entries {
+		want, ok := expect[e.Archetype]
+		if !ok {
+			continue
+		}
+		count[e.Archetype]++
+		if cs[i].Category != want {
+			miss[e.Archetype]++
+		}
+	}
+	for a, want := range expect {
+		if count[a] == 0 {
+			t.Errorf("no %v kernels in corpus", a)
+			continue
+		}
+		if frac := float64(miss[a]) / float64(count[a]); frac > 0.2 {
+			t.Errorf("archetype %v: %d/%d misclassified (want >= 80%% as %v)",
+				a, miss[a], count[a], want)
+		}
+	}
+	// CU-intolerance must be discovered for most cache-sensitive
+	// kernels.
+	ci, tot := 0, 0
+	for i, e := range entries {
+		if e.Archetype == suites.CacheSensitive {
+			tot++
+			if cs[i].Category == CUIntolerant {
+				ci++
+			}
+		}
+	}
+	if tot == 0 || ci*2 < tot {
+		t.Errorf("cache-sensitive kernels discovered as CU-intolerant: %d/%d", ci, tot)
+	}
+}
+
+func TestCorpusSuiteScalingFinding(t *testing.T) {
+	ss, _ := corpusClassifications(t)
+	suiteOf := map[string]string{}
+	for _, s := range suites.Corpus() {
+		for _, p := range s.Programs {
+			for _, e := range p.Kernels {
+				suiteOf[e.Kernel.Name] = s.Name
+			}
+		}
+	}
+	rs, err := AnalyzeSuites(ss, func(k string) string { return suiteOf[k] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 8 {
+		t.Fatalf("suites analysed = %d, want 8", len(rs))
+	}
+	verdicts := map[string]bool{}
+	for _, r := range rs {
+		verdicts[r.Suite] = r.Scales
+	}
+	// The paper's conclusion: several current suites do not scale to
+	// modern GPU sizes. The legacy-style analogues must fail and the
+	// modern-input analogues must pass.
+	if verdicts["sdk-samples"] {
+		t.Error("sdk-samples (tiny legacy grids) marked as scaling")
+	}
+	if verdicts["microbench"] {
+		t.Error("microbench marked as scaling")
+	}
+	if !verdicts["proxyapps"] {
+		t.Error("proxyapps (modern inputs) marked as not scaling")
+	}
+	if !verdicts["throughput"] {
+		t.Error("throughput suite marked as not scaling")
+	}
+	failing := 0
+	for _, scales := range verdicts {
+		if !scales {
+			failing++
+		}
+	}
+	if failing < 3 {
+		t.Errorf("only %d suites fail to scale; the paper reports a number of them", failing)
+	}
+}
+
+func TestCorpusClusteringAgreesWithRules(t *testing.T) {
+	ss, cs := corpusClassifications(t)
+	ct, err := Cluster(ss, 8, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, purity, err := Agreement(cs, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if purity < 0.6 {
+		t.Errorf("cluster/rule purity = %.3f, want >= 0.6", purity)
+	}
+	if ct.Silhouette < 0.3 {
+		t.Errorf("corpus silhouette = %.3f, want >= 0.3", ct.Silhouette)
+	}
+}
+
+func TestCorpusSpeedupRange(t *testing.T) {
+	ss, _ := corpusClassifications(t)
+	// Total speedups must span a wide range: launch-bound kernels near
+	// 1x, compute-coupled kernels far beyond the single-axis maxima.
+	lo, hi := 1e18, 0.0
+	for _, s := range ss {
+		v := s.TotalSpeedup()
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo > 2 {
+		t.Errorf("min total speedup = %.2f, want ~1 for launch-bound kernels", lo)
+	}
+	if hi < 20 {
+		t.Errorf("max total speedup = %.2f, want > 20 for compute-coupled kernels", hi)
+	}
+}

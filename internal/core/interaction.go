@@ -1,0 +1,141 @@
+package core
+
+import "fmt"
+
+// AxisPair names a pair of hardware knobs for interaction analysis.
+type AxisPair int
+
+// The three axis pairs.
+const (
+	PairCUCore AxisPair = iota
+	PairCUMem
+	PairCoreMem
+)
+
+var pairNames = [...]string{"cu x coreclk", "cu x memclk", "coreclk x memclk"}
+
+// String returns the pair label.
+func (p AxisPair) String() string {
+	if p < 0 || int(p) >= len(pairNames) {
+		return fmt.Sprintf("pair(%d)", int(p))
+	}
+	return pairNames[p]
+}
+
+// InteractionKind classifies how two knobs compose for a kernel.
+type InteractionKind int
+
+// Interaction classes, judged against multiplicative composition.
+const (
+	// Multiplicative: raising both knobs yields (close to) the product
+	// of the individual speedups — the knobs address independent
+	// bottlenecks or the same linear one.
+	Multiplicative InteractionKind = iota
+	// SubMultiplicative: the combined speedup falls short of the
+	// product — the knobs compete for a shared bottleneck.
+	SubMultiplicative
+	// SuperMultiplicative: the combined speedup exceeds the product —
+	// one knob unlocks the other (e.g. bandwidth only helps once
+	// enough CUs generate requests).
+	SuperMultiplicative
+)
+
+var interactionNames = [...]string{"multiplicative", "sub-multiplicative", "super-multiplicative"}
+
+// String returns the class label.
+func (k InteractionKind) String() string {
+	if k < 0 || int(k) >= len(interactionNames) {
+		return fmt.Sprintf("interaction(%d)", int(k))
+	}
+	return interactionNames[k]
+}
+
+// Interaction is the measured composition of one axis pair for one
+// kernel.
+type Interaction struct {
+	// Pair identifies the knobs.
+	Pair AxisPair
+	// SpeedupA and SpeedupB are the single-knob speedups from the base
+	// corner (the third knob held at its maximum).
+	SpeedupA, SpeedupB float64
+	// SpeedupBoth is the speedup with both knobs raised together.
+	SpeedupBoth float64
+	// Synergy is SpeedupBoth / (SpeedupA * SpeedupB); 1 means
+	// perfectly multiplicative.
+	Synergy float64
+	// Kind is the classification under the tolerance used.
+	Kind InteractionKind
+}
+
+// InteractionTolerance is the default band around synergy 1 treated as
+// multiplicative.
+const InteractionTolerance = 0.15
+
+// Interactions measures all three axis-pair interactions of a surface.
+// For each pair the remaining axis is held at its maximum and the pair
+// spans from its minimum corner to its maximum corner.
+func (s Surface) Interactions(tolerance float64) ([]Interaction, error) {
+	if tolerance <= 0 || tolerance >= 1 {
+		return nil, fmt.Errorf("core: interaction tolerance %g outside (0,1)", tolerance)
+	}
+	nCU := len(s.Space.CUCounts) - 1
+	nF := len(s.Space.CoreClocksMHz) - 1
+	nM := len(s.Space.MemClocksMHz) - 1
+	type spec struct {
+		pair                     AxisPair
+		base, onlyA, onlyB, both [3]int // axis indices: cu, core, mem
+	}
+	specs := []spec{
+		{PairCUCore, [3]int{0, 0, nM}, [3]int{nCU, 0, nM}, [3]int{0, nF, nM}, [3]int{nCU, nF, nM}},
+		{PairCUMem, [3]int{0, nF, 0}, [3]int{nCU, nF, 0}, [3]int{0, nF, nM}, [3]int{nCU, nF, nM}},
+		{PairCoreMem, [3]int{nCU, 0, 0}, [3]int{nCU, nF, 0}, [3]int{nCU, 0, nM}, [3]int{nCU, nF, nM}},
+	}
+	at := func(idx [3]int) float64 { return s.at(idx[0], idx[1], idx[2]) }
+	out := make([]Interaction, 0, len(specs))
+	for _, sp := range specs {
+		base := at(sp.base)
+		if base <= 0 {
+			return nil, fmt.Errorf("core: %s: non-positive base throughput", s.Kernel)
+		}
+		it := Interaction{
+			Pair:        sp.pair,
+			SpeedupA:    at(sp.onlyA) / base,
+			SpeedupB:    at(sp.onlyB) / base,
+			SpeedupBoth: at(sp.both) / base,
+		}
+		if prod := it.SpeedupA * it.SpeedupB; prod > 0 {
+			it.Synergy = it.SpeedupBoth / prod
+		}
+		switch {
+		case it.Synergy < 1-tolerance:
+			it.Kind = SubMultiplicative
+		case it.Synergy > 1+tolerance:
+			it.Kind = SuperMultiplicative
+		default:
+			it.Kind = Multiplicative
+		}
+		out = append(out, it)
+	}
+	return out, nil
+}
+
+// InteractionDistribution tallies interaction kinds per axis pair over
+// a set of surfaces.
+func InteractionDistribution(surfaces []Surface, tolerance float64) (map[AxisPair]map[InteractionKind]int, error) {
+	out := map[AxisPair]map[InteractionKind]int{}
+	for _, s := range surfaces {
+		its, err := s.Interactions(tolerance)
+		if err != nil {
+			return nil, err
+		}
+		for _, it := range its {
+			row, ok := out[it.Pair]
+			if !ok {
+				row = map[InteractionKind]int{}
+				out[it.Pair] = row
+			}
+			row[it.Kind]++
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gpuscale/internal/hw"
+)
+
+func TestInteractionsMultiplicative(t *testing.T) {
+	// Perfect compute coupling: CU and core clock compose exactly
+	// multiplicatively.
+	s := surfaceFromModel("m", hw.StudySpace(), modelCompCoupled)
+	its, err := s.Interactions(InteractionTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(its) != 3 {
+		t.Fatalf("interactions = %d, want 3", len(its))
+	}
+	cuCore := its[0]
+	if cuCore.Pair != PairCUCore {
+		t.Fatalf("first pair = %v", cuCore.Pair)
+	}
+	if math.Abs(cuCore.Synergy-1) > 1e-9 {
+		t.Errorf("comp-coupled cu x core synergy = %g, want 1", cuCore.Synergy)
+	}
+	if cuCore.Kind != Multiplicative {
+		t.Errorf("comp-coupled cu x core kind = %v", cuCore.Kind)
+	}
+	if math.Abs(cuCore.SpeedupBoth-55) > 1e-6 {
+		t.Errorf("combined speedup = %g, want 55", cuCore.SpeedupBoth)
+	}
+}
+
+func TestInteractionsSubMultiplicative(t *testing.T) {
+	// Bandwidth-coupled kernels: CU and core clock both saturate on the
+	// same memory bottleneck, so together they deliver far less than
+	// the product of their (already small) individual gains... but the
+	// clearest shared-bottleneck case is the roofline-balanced model,
+	// where cu x coreclk stops paying once the bandwidth ceiling hits.
+	s := surfaceFromModel("m", hw.StudySpace(), modelBalanced)
+	its, err := s.Interactions(InteractionTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if its[0].Kind != SubMultiplicative {
+		t.Errorf("balanced cu x core kind = %v (synergy %.2f), want sub-multiplicative",
+			its[0].Kind, its[0].Synergy)
+	}
+}
+
+func TestInteractionsSuperMultiplicative(t *testing.T) {
+	// Bandwidth only helps once enough compute exists to request it:
+	// starting from the (minCU, minClock) corner, raising memory clock
+	// alone does little, raising CUs alone saturates, together they
+	// compound.
+	s := surfaceFromModel("m", hw.StudySpace(), modelBWCoupled)
+	its, err := s.Interactions(InteractionTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuMem := its[1]
+	if cuMem.Pair != PairCUMem {
+		t.Fatalf("second pair = %v", cuMem.Pair)
+	}
+	if cuMem.Synergy <= 1 {
+		t.Errorf("bw-coupled cu x mem synergy = %g, want > 1 (unlock)", cuMem.Synergy)
+	}
+}
+
+func TestInteractionsTolerance(t *testing.T) {
+	s := surfaceFromModel("m", hw.StudySpace(), modelCompCoupled)
+	if _, err := s.Interactions(0); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+	if _, err := s.Interactions(1); err == nil {
+		t.Error("unit tolerance accepted")
+	}
+}
+
+func TestInteractionsZeroBase(t *testing.T) {
+	space := hw.StudySpace()
+	s := Surface{Kernel: "z", Space: space, Throughput: make([]float64, space.Size())}
+	if _, err := s.Interactions(InteractionTolerance); err == nil {
+		t.Error("zero surface accepted")
+	}
+}
+
+func TestInteractionDistribution(t *testing.T) {
+	space := hw.StudySpace()
+	ss := []Surface{
+		surfaceFromModel("a", space, modelCompCoupled),
+		surfaceFromModel("b", space, modelBalanced),
+	}
+	dist, err := InteractionDistribution(ss, InteractionTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, row := range dist {
+		for _, n := range row {
+			total += n
+		}
+	}
+	if total != 6 {
+		t.Fatalf("tallied %d interactions, want 6 (2 kernels x 3 pairs)", total)
+	}
+}
+
+func TestPairAndKindStrings(t *testing.T) {
+	for p := PairCUCore; p <= PairCoreMem; p++ {
+		if p.String() == "" {
+			t.Errorf("pair %d unnamed", int(p))
+		}
+	}
+	if AxisPair(9).String() != "pair(9)" {
+		t.Errorf("invalid pair = %q", AxisPair(9).String())
+	}
+	for k := Multiplicative; k <= SuperMultiplicative; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d unnamed", int(k))
+		}
+	}
+	if InteractionKind(9).String() != "interaction(9)" {
+		t.Errorf("invalid kind = %q", InteractionKind(9).String())
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gpuscale/internal/sweep"
+)
+
+// KernelWeight describes one kernel's contribution to its program: the
+// host launches it Iterations times per program run.
+type KernelWeight struct {
+	// Program is the owning program's name.
+	Program string
+	// Iterations is launches per program run (>= 1).
+	Iterations int
+}
+
+// ProgramSurfaces aggregates per-kernel sweep times into per-program
+// scaling surfaces: a program's duration on a configuration is the
+// iteration-weighted sum of its kernels' durations there, and its
+// "throughput" is the reciprocal (any monotone unit works — the
+// taxonomy only consumes normalised curves). The result is sorted by
+// program name.
+//
+// The paper's choice to study *kernels* rather than programs is
+// motivated by exactly what this aggregation hides: kernels inside one
+// program can scale in opposite ways. ProgramDisagreement quantifies
+// that.
+func ProgramSurfaces(m *sweep.Matrix, weightOf func(kernel string) (KernelWeight, bool)) ([]Surface, error) {
+	nCfg := m.Space.Size()
+	totals := map[string][]float64{}
+	for r, name := range m.Kernels {
+		w, ok := weightOf(name)
+		if !ok {
+			return nil, fmt.Errorf("core: kernel %q has no program weight", name)
+		}
+		if w.Iterations < 1 {
+			return nil, fmt.Errorf("core: kernel %q has %d iterations", name, w.Iterations)
+		}
+		acc, ok := totals[w.Program]
+		if !ok {
+			acc = make([]float64, nCfg)
+			totals[w.Program] = acc
+		}
+		for c := 0; c < nCfg; c++ {
+			acc[c] += m.TimeNS[r][c] * float64(w.Iterations)
+		}
+	}
+	if len(totals) == 0 {
+		return nil, fmt.Errorf("core: no programs aggregated")
+	}
+	names := make([]string, 0, len(totals))
+	for n := range totals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Surface, 0, len(names))
+	for _, n := range names {
+		times := totals[n]
+		tput := make([]float64, nCfg)
+		for c, t := range times {
+			if t <= 0 {
+				return nil, fmt.Errorf("core: program %q has non-positive time at config %d", n, c)
+			}
+			tput[c] = 1 / t
+		}
+		out = append(out, Surface{Kernel: n, Space: m.Space, Throughput: tput})
+	}
+	return out, nil
+}
+
+// Disagreement summarises how much a program's kernels disagree about
+// scaling.
+type Disagreement struct {
+	// Program is the program's name.
+	Program string
+	// Kernels is its kernel count.
+	Kernels int
+	// Categories is the number of distinct kernel categories inside it.
+	Categories int
+	// ProgramCategory is the category of the aggregated surface.
+	ProgramCategory Category
+	// Hidden is true when at least one kernel's category differs from
+	// the program-level category — behaviour a program-level study
+	// would miss.
+	Hidden bool
+}
+
+// ProgramDisagreement classifies programs and their kernels and
+// reports the mismatch between the two views. kernelCS must be the
+// per-kernel classifications of the same sweep used for programSurfs.
+func ProgramDisagreement(cl *Classifier, programSurfs []Surface,
+	kernelCS []Classification, programOf func(kernel string) string) ([]Disagreement, error) {
+	byProgram := map[string][]Category{}
+	for _, c := range kernelCS {
+		p := programOf(c.Kernel)
+		if p == "" {
+			return nil, fmt.Errorf("core: kernel %q has no program", c.Kernel)
+		}
+		byProgram[p] = append(byProgram[p], c.Category)
+	}
+	var out []Disagreement
+	for _, ps := range programSurfs {
+		cats, ok := byProgram[ps.Kernel]
+		if !ok {
+			return nil, fmt.Errorf("core: program %q has no kernel classifications", ps.Kernel)
+		}
+		pc := cl.Classify(ps).Category
+		distinct := map[Category]bool{}
+		hidden := false
+		for _, c := range cats {
+			distinct[c] = true
+			if c != pc {
+				hidden = true
+			}
+		}
+		out = append(out, Disagreement{
+			Program:         ps.Kernel,
+			Kernels:         len(cats),
+			Categories:      len(distinct),
+			ProgramCategory: pc,
+			Hidden:          hidden,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+	"gpuscale/internal/sweep"
+)
+
+func programMatrix(t *testing.T) *sweep.Matrix {
+	t.Helper()
+	ks := []*kernel.Kernel{
+		// prog-a: one compute-coupled and one bandwidth-coupled kernel.
+		kernel.New("s", "prog-a", "dense").Geometry(2048, 256).
+			Compute(25000, 500).Access(kernel.Streaming, 8, 2, 4).MustBuild(),
+		kernel.New("s", "prog-a", "stream").Geometry(2048, 256).
+			Compute(300, 50).Access(kernel.Streaming, 256, 64, 4).
+			Locality(256*1024, 0, 0).MustBuild(),
+		// prog-b: two compute-coupled kernels (agreeing).
+		kernel.New("s", "prog-b", "k1").Geometry(2048, 256).
+			Compute(25000, 500).Access(kernel.Streaming, 8, 2, 4).MustBuild(),
+		kernel.New("s", "prog-b", "k2").Geometry(2048, 256).
+			Compute(30000, 500).Access(kernel.Streaming, 8, 2, 4).MustBuild(),
+	}
+	m, err := sweep.Run(ks, hw.StudySpace(), sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func programOf(k string) string {
+	return strings.SplitN(k, ".", 2)[0]
+}
+
+func weightOf(k string) (KernelWeight, bool) {
+	return KernelWeight{Program: programOf(k), Iterations: 1}, true
+}
+
+func TestProgramSurfaces(t *testing.T) {
+	m := programMatrix(t)
+	ps, err := ProgramSurfaces(m, weightOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 {
+		t.Fatalf("programs = %d, want 2", len(ps))
+	}
+	if ps[0].Kernel != "prog-a" || ps[1].Kernel != "prog-b" {
+		t.Fatalf("program order: %s, %s", ps[0].Kernel, ps[1].Kernel)
+	}
+	for _, p := range ps {
+		if len(p.Throughput) != m.Space.Size() {
+			t.Fatalf("%s surface has %d cells", p.Kernel, len(p.Throughput))
+		}
+		for _, v := range p.Throughput {
+			if v <= 0 {
+				t.Fatalf("%s has non-positive throughput", p.Kernel)
+			}
+		}
+	}
+}
+
+func TestProgramSurfacesWeighting(t *testing.T) {
+	m := programMatrix(t)
+	// Weight the stream kernel so heavily that prog-a becomes
+	// bandwidth-coupled at the program level.
+	heavyStream := func(k string) (KernelWeight, bool) {
+		w := KernelWeight{Program: programOf(k), Iterations: 1}
+		if strings.HasSuffix(k, "stream") {
+			w.Iterations = 200
+		}
+		return w, true
+	}
+	ps, err := ProgramSurfaces(m, heavyStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := DefaultClassifier()
+	if got := cl.Classify(ps[0]).Category; got != BWCoupled {
+		t.Errorf("stream-dominated prog-a = %v, want bw-coupled", got)
+	}
+}
+
+func TestProgramSurfacesErrors(t *testing.T) {
+	m := programMatrix(t)
+	if _, err := ProgramSurfaces(m, func(string) (KernelWeight, bool) {
+		return KernelWeight{}, false
+	}); err == nil {
+		t.Error("missing weight accepted")
+	}
+	if _, err := ProgramSurfaces(m, func(k string) (KernelWeight, bool) {
+		return KernelWeight{Program: "p", Iterations: 0}, true
+	}); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestProgramDisagreement(t *testing.T) {
+	m := programMatrix(t)
+	ps, err := ProgramSurfaces(m, weightOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := DefaultClassifier()
+	kernelCS := cl.ClassifyAll(Surfaces(m))
+	ds, err := ProgramDisagreement(cl, ps, kernelCS, programOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("disagreements = %d, want 2", len(ds))
+	}
+	byName := map[string]Disagreement{}
+	for _, d := range ds {
+		byName[d.Program] = d
+	}
+	// prog-a mixes compute- and bandwidth-coupled kernels: the program
+	// view must hide at least one of them.
+	if a := byName["prog-a"]; a.Categories < 2 || !a.Hidden {
+		t.Errorf("prog-a disagreement = %+v, want >= 2 categories and hidden", a)
+	}
+	// prog-b's kernels agree.
+	if b := byName["prog-b"]; b.Categories != 1 {
+		t.Errorf("prog-b categories = %d, want 1", b.Categories)
+	}
+}
+
+func TestProgramDisagreementErrors(t *testing.T) {
+	m := programMatrix(t)
+	ps, err := ProgramSurfaces(m, weightOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := DefaultClassifier()
+	kernelCS := cl.ClassifyAll(Surfaces(m))
+	if _, err := ProgramDisagreement(cl, ps, kernelCS, func(string) string { return "" }); err == nil {
+		t.Error("missing program mapping accepted")
+	}
+	if _, err := ProgramDisagreement(cl, ps, nil, programOf); err == nil {
+		t.Error("missing kernel classifications accepted")
+	}
+}

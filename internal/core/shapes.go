@@ -1,0 +1,103 @@
+package core
+
+import "fmt"
+
+// Shape labels the qualitative form of one marginal scaling curve.
+type Shape int
+
+// The five per-axis shapes the taxonomy distinguishes.
+const (
+	// Flat: the knob barely matters.
+	Flat Shape = iota
+	// Linear: speedup tracks the knob nearly 1:1.
+	Linear
+	// Sublinear: real but diminishing returns across the whole range.
+	Sublinear
+	// Saturating: early gains that stop well before the top setting.
+	Saturating
+	// PeakDecline: performance peaks at an interior setting and then
+	// falls — the paper's non-obvious "more CUs hurt" behaviour.
+	PeakDecline
+)
+
+var shapeNames = [...]string{"flat", "linear", "sublinear", "saturating", "peak-decline"}
+
+// String returns the shape's kebab-case name.
+func (s Shape) String() string {
+	if s < 0 || int(s) >= len(shapeNames) {
+		return fmt.Sprintf("shape(%d)", int(s))
+	}
+	return shapeNames[s]
+}
+
+// Thresholds parameterise the shape classifier. The zero value is not
+// useful; start from DefaultThresholds. The sensitivity ablation
+// (bench/experiments) perturbs these to measure category stability.
+type Thresholds struct {
+	// FlatGain: curves whose total gain stays below this are Flat.
+	FlatGain float64
+	// LinearEfficiency: curves at or above this gain/ideal ratio are
+	// Linear.
+	LinearEfficiency float64
+	// SaturationTailGain: if the second half of the curve gains less
+	// than this factor, the curve saturated.
+	SaturationTailGain float64
+	// DeclineFraction: if the final point falls below this fraction of
+	// the peak (and the peak is interior), the curve is PeakDecline.
+	DeclineFraction float64
+}
+
+// DefaultThresholds returns the classifier defaults used throughout
+// the experiments.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		FlatGain:           1.15,
+		LinearEfficiency:   0.80,
+		SaturationTailGain: 1.08,
+		DeclineFraction:    0.97,
+	}
+}
+
+// Validate checks the thresholds are internally consistent.
+func (t Thresholds) Validate() error {
+	if t.FlatGain < 1 {
+		return fmt.Errorf("core: FlatGain %g < 1", t.FlatGain)
+	}
+	if t.LinearEfficiency <= 0 || t.LinearEfficiency > 1 {
+		return fmt.Errorf("core: LinearEfficiency %g outside (0,1]", t.LinearEfficiency)
+	}
+	if t.SaturationTailGain < 1 {
+		return fmt.Errorf("core: SaturationTailGain %g < 1", t.SaturationTailGain)
+	}
+	if t.DeclineFraction <= 0 || t.DeclineFraction > 1 {
+		return fmt.Errorf("core: DeclineFraction %g outside (0,1]", t.DeclineFraction)
+	}
+	return nil
+}
+
+// ClassifyShape labels one marginal response. Order matters: decline
+// is checked first (it can coexist with large early gains), then
+// flatness, then the linear/saturating/sublinear split.
+func (t Thresholds) ClassifyShape(r AxisResponse) Shape {
+	n := len(r.Curve)
+	if n < 2 {
+		return Flat
+	}
+	// Interior peak with a material fall afterwards.
+	if r.PeakIndex < n-1 && r.Gain < r.PeakGain*t.DeclineFraction && r.PeakGain >= t.FlatGain {
+		return PeakDecline
+	}
+	if r.PeakGain < t.FlatGain {
+		return Flat
+	}
+	if r.Efficiency >= t.LinearEfficiency {
+		return Linear
+	}
+	// Saturating: the second half of the curve contributes almost
+	// nothing even though the first half grew.
+	mid := r.Curve[n/2]
+	if mid > 0 && r.Gain/mid < t.SaturationTailGain {
+		return Saturating
+	}
+	return Sublinear
+}

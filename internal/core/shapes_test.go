@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gpuscale/internal/hw"
+)
+
+// synthResponse builds an AxisResponse from raw values over settings.
+func synthResponse(settings, raw []float64) AxisResponse {
+	return newResponse(AxisCU, settings, raw)
+}
+
+func cuSettings() []float64 {
+	s := make([]float64, 0, 11)
+	for cu := 4; cu <= 44; cu += 4 {
+		s = append(s, float64(cu))
+	}
+	return s
+}
+
+// curveFrom generates raw values by applying f to each setting.
+func curveFrom(settings []float64, f func(x float64) float64) []float64 {
+	out := make([]float64, len(settings))
+	for i, x := range settings {
+		out[i] = f(x)
+	}
+	return out
+}
+
+func TestClassifyShapeLinear(t *testing.T) {
+	s := cuSettings()
+	r := synthResponse(s, curveFrom(s, func(x float64) float64 { return 3 * x }))
+	if got := DefaultThresholds().ClassifyShape(r); got != Linear {
+		t.Fatalf("perfect linear classified as %v", got)
+	}
+	if math.Abs(r.Efficiency-1) > 1e-9 {
+		t.Fatalf("efficiency = %g, want 1", r.Efficiency)
+	}
+}
+
+func TestClassifyShapeFlat(t *testing.T) {
+	s := cuSettings()
+	r := synthResponse(s, curveFrom(s, func(x float64) float64 { return 7 + 0.01*x }))
+	if got := DefaultThresholds().ClassifyShape(r); got != Flat {
+		t.Fatalf("near-constant curve classified as %v", got)
+	}
+}
+
+func TestClassifyShapeSaturating(t *testing.T) {
+	s := cuSettings()
+	// Grows to 3x by the midpoint, then stops.
+	r := synthResponse(s, curveFrom(s, func(x float64) float64 {
+		return math.Min(x, 20)
+	}))
+	if got := DefaultThresholds().ClassifyShape(r); got != Saturating {
+		t.Fatalf("early-saturating curve classified as %v", got)
+	}
+}
+
+func TestClassifyShapeSublinear(t *testing.T) {
+	s := cuSettings()
+	r := synthResponse(s, curveFrom(s, math.Sqrt))
+	// sqrt(11x range) gives gain sqrt(11) ~ 3.3, efficiency 0.30,
+	// still growing at the end.
+	if got := DefaultThresholds().ClassifyShape(r); got != Sublinear {
+		t.Fatalf("sqrt curve classified as %v", got)
+	}
+}
+
+func TestClassifyShapePeakDecline(t *testing.T) {
+	s := cuSettings()
+	r := synthResponse(s, curveFrom(s, func(x float64) float64 {
+		return x * math.Exp(-x/20) // peaks near x=20, falls after
+	}))
+	if got := DefaultThresholds().ClassifyShape(r); got != PeakDecline {
+		t.Fatalf("peaked curve classified as %v", got)
+	}
+}
+
+func TestClassifyShapeTinyPeakIsNotDecline(t *testing.T) {
+	s := cuSettings()
+	// A 1% dip at the end must not count as decline.
+	raw := curveFrom(s, func(x float64) float64 { return x })
+	raw[len(raw)-1] = raw[len(raw)-2] * 1.001
+	r := synthResponse(s, raw)
+	if got := DefaultThresholds().ClassifyShape(r); got == PeakDecline {
+		t.Fatal("1%% end dip classified as peak-decline")
+	}
+}
+
+func TestClassifyShapeShortCurve(t *testing.T) {
+	r := synthResponse([]float64{4}, []float64{1})
+	if got := DefaultThresholds().ClassifyShape(r); got != Flat {
+		t.Fatalf("single-point curve classified as %v", got)
+	}
+}
+
+func TestThresholdValidation(t *testing.T) {
+	if err := DefaultThresholds().Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	bad := []Thresholds{
+		{FlatGain: 0.5, LinearEfficiency: 0.8, SaturationTailGain: 1.1, DeclineFraction: 0.97},
+		{FlatGain: 1.2, LinearEfficiency: 0, SaturationTailGain: 1.1, DeclineFraction: 0.97},
+		{FlatGain: 1.2, LinearEfficiency: 0.8, SaturationTailGain: 0.9, DeclineFraction: 0.97},
+		{FlatGain: 1.2, LinearEfficiency: 0.8, SaturationTailGain: 1.1, DeclineFraction: 0},
+	}
+	for i, th := range bad {
+		if err := th.Validate(); err == nil {
+			t.Errorf("bad thresholds %d accepted", i)
+		}
+		if _, err := NewClassifier(th); err == nil {
+			t.Errorf("NewClassifier accepted bad thresholds %d", i)
+		}
+	}
+}
+
+func TestShapeAndAxisStrings(t *testing.T) {
+	for s := Flat; s <= PeakDecline; s++ {
+		if s.String() == "" {
+			t.Errorf("shape %d has empty name", int(s))
+		}
+	}
+	if Shape(42).String() != "shape(42)" {
+		t.Errorf("invalid shape name = %q", Shape(42).String())
+	}
+	for a := AxisCU; a <= AxisMemClock; a++ {
+		if a.String() == "" {
+			t.Errorf("axis %d has empty name", int(a))
+		}
+	}
+	if Axis(9).String() != "axis(9)" {
+		t.Errorf("invalid axis name = %q", Axis(9).String())
+	}
+	for c := CompCoupled; c <= Irregular; c++ {
+		if c.String() == "" {
+			t.Errorf("category %d has empty name", int(c))
+		}
+	}
+	if Category(55).String() != "category(55)" {
+		t.Errorf("invalid category name = %q", Category(55).String())
+	}
+}
+
+// surfaceFromModel builds a Surface over a space from an analytic
+// throughput model, for classifier tests that need full surfaces.
+func surfaceFromModel(name string, space hw.Space, model func(hw.Config) float64) Surface {
+	cfgs := space.Configs()
+	tput := make([]float64, len(cfgs))
+	for i, c := range cfgs {
+		tput[i] = model(c)
+	}
+	return Surface{Kernel: name, Space: space, Throughput: tput}
+}
+
+func TestLinearR2Metadata(t *testing.T) {
+	s := cuSettings()
+	straight := synthResponse(s, curveFrom(s, func(x float64) float64 { return 3 * x }))
+	if straight.LinearR2 < 0.999 {
+		t.Errorf("straight curve R2 = %g, want ~1", straight.LinearR2)
+	}
+	bent := synthResponse(s, curveFrom(s, func(x float64) float64 {
+		return math.Min(x, 12)
+	}))
+	if bent.LinearR2 > 0.95 {
+		t.Errorf("saturating curve R2 = %g, want < 0.95", bent.LinearR2)
+	}
+}

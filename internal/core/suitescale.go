@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gpuscale/internal/stats"
+)
+
+// SuiteScaling summarises how well one suite's kernels use a modern
+// GPU — the quantitative form of the paper's conclusion that several
+// benchmark suites no longer scale to modern GPU sizes.
+type SuiteScaling struct {
+	// Suite is the suite name.
+	Suite string
+	// Kernels is the suite's kernel count.
+	Kernels int
+	// MedianCUEfficiency is the median of per-kernel CU-axis
+	// efficiency (gain over the 11x CU range divided by 11).
+	MedianCUEfficiency float64
+	// SaturatedEarlyFraction is the fraction of kernels whose CU curve
+	// reaches 95% of its final value at or below half the maximum CU
+	// count — kernels for which the top half of the GPU is wasted.
+	SaturatedEarlyFraction float64
+	// MedianTotalSpeedup is the median max-over-min-config speedup.
+	MedianTotalSpeedup float64
+	// Scales reports the suite verdict: true when fewer than half its
+	// kernels saturate early.
+	Scales bool
+}
+
+// SaturationPoint returns the smallest axis setting at which the curve
+// reaches the given fraction of its final value. For curves that only
+// decline it returns the first setting.
+func SaturationPoint(r AxisResponse, fraction float64) float64 {
+	if len(r.Curve) == 0 {
+		return 0
+	}
+	target := r.Gain * fraction
+	for i, v := range r.Curve {
+		if v >= target {
+			return r.Settings[i]
+		}
+	}
+	return r.Settings[len(r.Settings)-1]
+}
+
+// AnalyzeSuite computes scaling statistics for one suite's surfaces.
+func AnalyzeSuite(name string, surfaces []Surface) (SuiteScaling, error) {
+	if len(surfaces) == 0 {
+		return SuiteScaling{}, fmt.Errorf("core: suite %q has no surfaces", name)
+	}
+	var effs, speedups []float64
+	early := 0
+	for _, s := range surfaces {
+		cu := s.Marginal(AxisCU)
+		effs = append(effs, cu.Efficiency)
+		speedups = append(speedups, s.TotalSpeedup())
+		half := cu.Settings[len(cu.Settings)-1] / 2
+		if SaturationPoint(cu, 0.95) <= half {
+			early++
+		}
+	}
+	frac := float64(early) / float64(len(surfaces))
+	return SuiteScaling{
+		Suite:                  name,
+		Kernels:                len(surfaces),
+		MedianCUEfficiency:     stats.Median(effs),
+		SaturatedEarlyFraction: frac,
+		MedianTotalSpeedup:     stats.Median(speedups),
+		Scales:                 frac < 0.5,
+	}, nil
+}
+
+// AnalyzeSuites groups surfaces by the supplied suite-of-kernel lookup
+// and analyses each group, returning results sorted by suite name.
+func AnalyzeSuites(surfaces []Surface, suiteOf func(kernel string) string) ([]SuiteScaling, error) {
+	groups := map[string][]Surface{}
+	for _, s := range surfaces {
+		suite := suiteOf(s.Kernel)
+		if suite == "" {
+			return nil, fmt.Errorf("core: kernel %q has no suite", s.Kernel)
+		}
+		groups[suite] = append(groups[suite], s)
+	}
+	names := make([]string, 0, len(groups))
+	for n := range groups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]SuiteScaling, 0, len(names))
+	for _, n := range names {
+		r, err := AnalyzeSuite(n, groups[n])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// CUEfficiencyQuartiles returns the 25/50/75% quantiles of CU-axis
+// efficiency for a set of surfaces — the Fig R-8 box data.
+func CUEfficiencyQuartiles(surfaces []Surface) (q25, q50, q75 float64) {
+	var effs []float64
+	for _, s := range surfaces {
+		effs = append(effs, s.Marginal(AxisCU).Efficiency)
+	}
+	return stats.Quantile(effs, 0.25), stats.Quantile(effs, 0.5), stats.Quantile(effs, 0.75)
+}

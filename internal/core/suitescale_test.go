@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gpuscale/internal/hw"
+)
+
+func TestSaturationPoint(t *testing.T) {
+	space := hw.StudySpace()
+	lim := surfaceFromModel("lim", space, modelParallelismLimited).Marginal(AxisCU)
+	// The model saturates at 12 CUs.
+	if got := SaturationPoint(lim, 0.95); got != 12 {
+		t.Errorf("SaturationPoint(limited) = %g, want 12", got)
+	}
+	lin := surfaceFromModel("lin", space, modelCompCoupled).Marginal(AxisCU)
+	if got := SaturationPoint(lin, 0.95); got < 40 {
+		t.Errorf("SaturationPoint(linear) = %g, want near the top", got)
+	}
+	if got := SaturationPoint(AxisResponse{}, 0.95); got != 0 {
+		t.Errorf("SaturationPoint(empty) = %g, want 0", got)
+	}
+}
+
+func TestAnalyzeSuiteVerdicts(t *testing.T) {
+	space := hw.StudySpace()
+	legacy := []Surface{
+		surfaceFromModel("a", space, modelParallelismLimited),
+		surfaceFromModel("b", space, modelParallelismLimited),
+		surfaceFromModel("c", space, modelLaunchBound),
+		surfaceFromModel("d", space, modelCompCoupled),
+	}
+	r, err := AnalyzeSuite("legacy", legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scales {
+		t.Errorf("legacy suite marked as scaling: %+v", r)
+	}
+	if r.SaturatedEarlyFraction != 0.75 {
+		t.Errorf("early fraction = %g, want 0.75", r.SaturatedEarlyFraction)
+	}
+	if r.Kernels != 4 {
+		t.Errorf("kernels = %d, want 4", r.Kernels)
+	}
+
+	modern := []Surface{
+		surfaceFromModel("a", space, modelCompCoupled),
+		surfaceFromModel("b", space, modelCompCoupled),
+		surfaceFromModel("c", space, modelParallelismLimited),
+	}
+	r2, err := AnalyzeSuite("modern", modern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Scales {
+		t.Errorf("modern suite marked as not scaling: %+v", r2)
+	}
+	if math.Abs(r2.MedianCUEfficiency-1) > 1e-9 {
+		t.Errorf("median efficiency = %g, want 1", r2.MedianCUEfficiency)
+	}
+}
+
+func TestAnalyzeSuiteEmpty(t *testing.T) {
+	if _, err := AnalyzeSuite("x", nil); err == nil {
+		t.Error("empty suite accepted")
+	}
+}
+
+func TestAnalyzeSuitesGroupingAndOrder(t *testing.T) {
+	space := hw.StudySpace()
+	ss := []Surface{
+		surfaceFromModel("zeta.k1", space, modelCompCoupled),
+		surfaceFromModel("alpha.k1", space, modelLaunchBound),
+		surfaceFromModel("zeta.k2", space, modelCompCoupled),
+	}
+	suiteOf := func(k string) string { return strings.SplitN(k, ".", 2)[0] }
+	rs, err := AnalyzeSuites(ss, suiteOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0].Suite != "alpha" || rs[1].Suite != "zeta" {
+		t.Fatalf("AnalyzeSuites order/grouping wrong: %+v", rs)
+	}
+	if rs[1].Kernels != 2 {
+		t.Errorf("zeta kernels = %d, want 2", rs[1].Kernels)
+	}
+	if _, err := AnalyzeSuites(ss, func(string) string { return "" }); err == nil {
+		t.Error("missing suite mapping accepted")
+	}
+}
+
+func TestCUEfficiencyQuartiles(t *testing.T) {
+	space := hw.StudySpace()
+	ss := []Surface{
+		surfaceFromModel("a", space, modelCompCoupled),        // eff 1
+		surfaceFromModel("b", space, modelLaunchBound),        // eff ~1/11
+		surfaceFromModel("c", space, modelParallelismLimited), // eff ~3/11
+	}
+	q25, q50, q75 := CUEfficiencyQuartiles(ss)
+	if !(q25 <= q50 && q50 <= q75) {
+		t.Fatalf("quartiles not ordered: %g %g %g", q25, q50, q75)
+	}
+	if q75 < 0.5 {
+		t.Errorf("q75 = %g, want the linear kernel to dominate", q75)
+	}
+}

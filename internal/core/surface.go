@@ -1,0 +1,220 @@
+// Package core implements the paper's contribution: the taxonomy of
+// GPGPU performance scaling. It turns a kernel's measured performance
+// over the (compute units, core clock, memory clock) grid into
+//
+//   - marginal scaling curves per hardware axis,
+//   - per-axis shape labels (linear, sublinear, saturating, flat,
+//     peak-and-decline),
+//   - a combined scaling category (compute-coupled, bandwidth-coupled,
+//     balanced, parallelism-limited, latency-bound, CU-intolerant,
+//     launch-bound, irregular),
+//   - a data-driven alternative taxonomy from k-means clustering of
+//     normalised response vectors, and
+//   - suite-level scalability statistics (the paper's "benchmarks do
+//     not scale to modern GPU sizes" analysis).
+package core
+
+import (
+	"fmt"
+
+	"gpuscale/internal/hw"
+	"gpuscale/internal/stats"
+	"gpuscale/internal/sweep"
+)
+
+// Axis names one of the three hardware knobs.
+type Axis int
+
+// The three sweep axes.
+const (
+	// AxisCU is the compute-unit count.
+	AxisCU Axis = iota
+	// AxisCoreClock is the shader-engine clock.
+	AxisCoreClock
+	// AxisMemClock is the memory clock (bandwidth).
+	AxisMemClock
+)
+
+var axisNames = [...]string{"cu", "coreclk", "memclk"}
+
+// String returns the axis short name.
+func (a Axis) String() string {
+	if a < 0 || int(a) >= len(axisNames) {
+		return fmt.Sprintf("axis(%d)", int(a))
+	}
+	return axisNames[a]
+}
+
+// Surface is one kernel's performance over a configuration grid.
+type Surface struct {
+	// Kernel is the kernel's name.
+	Kernel string
+	// Space is the grid the throughput vector indexes into (via
+	// Space.Configs order).
+	Space hw.Space
+	// Throughput holds work-items/ns per configuration.
+	Throughput []float64
+}
+
+// FromMatrix extracts the surface of one matrix row.
+func FromMatrix(m *sweep.Matrix, row int) (Surface, error) {
+	if row < 0 || row >= len(m.Kernels) {
+		return Surface{}, fmt.Errorf("core: row %d out of range [0,%d)", row, len(m.Kernels))
+	}
+	return Surface{
+		Kernel:     m.Kernels[row],
+		Space:      m.Space,
+		Throughput: m.Throughput[row],
+	}, nil
+}
+
+// Surfaces extracts every row of a matrix.
+func Surfaces(m *sweep.Matrix) []Surface {
+	out := make([]Surface, len(m.Kernels))
+	for i := range m.Kernels {
+		out[i] = Surface{Kernel: m.Kernels[i], Space: m.Space, Throughput: m.Throughput[i]}
+	}
+	return out
+}
+
+// at returns the throughput at the given axis indices.
+func (s Surface) at(cu, fc, fm int) float64 {
+	nF, nM := len(s.Space.CoreClocksMHz), len(s.Space.MemClocksMHz)
+	return s.Throughput[(cu*nF+fc)*nM+fm]
+}
+
+// AxisResponse is one marginal scaling curve: performance along one
+// axis with the other two held at their maxima, normalised to the
+// curve's first point.
+type AxisResponse struct {
+	// Axis identifies the swept knob.
+	Axis Axis
+	// Settings are the axis values (CU counts or MHz).
+	Settings []float64
+	// Curve is throughput normalised to Curve[0] == 1.
+	Curve []float64
+	// Gain is Curve[len-1]: the speedup across the whole axis range.
+	Gain float64
+	// IdealGain is Settings[last]/Settings[0]: perfect linear scaling.
+	IdealGain float64
+	// Efficiency is Gain/IdealGain.
+	Efficiency float64
+	// PeakIndex is the index of the curve maximum.
+	PeakIndex int
+	// PeakGain is the curve maximum.
+	PeakGain float64
+	// LinearR2 is the goodness of a least-squares line through the
+	// curve (1 = perfectly straight response, of any slope). It is
+	// classification metadata: straight sublinear curves and curving
+	// saturating ones can share a Gain but not an R2.
+	LinearR2 float64
+}
+
+// Marginal extracts the marginal response along one axis, holding the
+// other two axes at their maximum settings (the paper's convention:
+// scaling is judged against the flagship configuration).
+func (s Surface) Marginal(axis Axis) AxisResponse {
+	nCU := len(s.Space.CUCounts)
+	nF := len(s.Space.CoreClocksMHz)
+	nM := len(s.Space.MemClocksMHz)
+
+	var settings []float64
+	var raw []float64
+	switch axis {
+	case AxisCU:
+		for i, cu := range s.Space.CUCounts {
+			settings = append(settings, float64(cu))
+			raw = append(raw, s.at(i, nF-1, nM-1))
+		}
+	case AxisCoreClock:
+		for i, f := range s.Space.CoreClocksMHz {
+			settings = append(settings, f)
+			raw = append(raw, s.at(nCU-1, i, nM-1))
+		}
+	case AxisMemClock:
+		for i, f := range s.Space.MemClocksMHz {
+			settings = append(settings, f)
+			raw = append(raw, s.at(nCU-1, nF-1, i))
+		}
+	}
+	return newResponse(axis, settings, raw)
+}
+
+// NewAxisResponse normalises a raw throughput curve over axis settings
+// into an AxisResponse — the entry point for callers who measured a
+// curve outside a full Surface (what-if sweeps, custom probes).
+func NewAxisResponse(axis Axis, settings, raw []float64) AxisResponse {
+	return newResponse(axis, settings, raw)
+}
+
+// newResponse normalises a raw curve into an AxisResponse.
+func newResponse(axis Axis, settings, raw []float64) AxisResponse {
+	r := AxisResponse{Axis: axis, Settings: settings}
+	if len(raw) == 0 || raw[0] <= 0 {
+		return r
+	}
+	r.Curve = make([]float64, len(raw))
+	for i, v := range raw {
+		r.Curve[i] = v / raw[0]
+		if r.Curve[i] > r.PeakGain {
+			r.PeakGain = r.Curve[i]
+			r.PeakIndex = i
+		}
+	}
+	r.Gain = r.Curve[len(r.Curve)-1]
+	r.IdealGain = settings[len(settings)-1] / settings[0]
+	if r.IdealGain > 0 {
+		r.Efficiency = r.Gain / r.IdealGain
+	}
+	if fit, err := stats.Linear(settings, r.Curve); err == nil {
+		r.LinearR2 = fit.R2
+	}
+	return r
+}
+
+// SpeedupGrid returns the CU x core-clock speedup surface at the top
+// memory clock, normalised to the weakest corner — the heatmap data of
+// Fig R-6.
+func (s Surface) SpeedupGrid() [][]float64 {
+	nF := len(s.Space.CoreClocksMHz)
+	nM := len(s.Space.MemClocksMHz)
+	base := s.at(0, 0, nM-1)
+	out := make([][]float64, len(s.Space.CUCounts))
+	for cu := range out {
+		row := make([]float64, nF)
+		for f := 0; f < nF; f++ {
+			if base > 0 {
+				row[f] = s.at(cu, f, nM-1) / base
+			}
+		}
+		out[cu] = row
+	}
+	return out
+}
+
+// TotalSpeedup returns max-configuration throughput over
+// min-configuration throughput — the per-kernel datum of Fig R-7.
+func (s Surface) TotalSpeedup() float64 {
+	lo := s.Throughput[0]
+	hi := s.Throughput[len(s.Throughput)-1]
+	if lo <= 0 {
+		return 0
+	}
+	return hi / lo
+}
+
+// ResponseVector concatenates the per-point efficiency of all three
+// marginal curves into one feature vector for clustering: entry j of
+// each curve is Curve[j]/(Settings[j]/Settings[0]), i.e. 1 for perfect
+// linear scaling and Settings[0]/Settings[j] for a totally flat curve.
+func (s Surface) ResponseVector() []float64 {
+	var out []float64
+	for _, axis := range []Axis{AxisCU, AxisCoreClock, AxisMemClock} {
+		r := s.Marginal(axis)
+		for j := range r.Curve {
+			ideal := r.Settings[j] / r.Settings[0]
+			out = append(out, r.Curve[j]/ideal)
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package core
+
+import "fmt"
+
+// Category is a combined scaling class: the taxonomy's unit of report.
+type Category int
+
+// The eight taxonomy categories. The first three are the paper's
+// "intuitive" classes; ParallelismLimited, LatencyBound and
+// CUIntolerant are the non-obvious ones its abstract highlights.
+const (
+	// CompCoupled kernels scale with CU count and core clock and are
+	// insensitive to memory bandwidth.
+	CompCoupled Category = iota
+	// BWCoupled kernels scale with memory bandwidth and saturate the
+	// other two knobs.
+	BWCoupled
+	// Balanced kernels respond to several knobs with diminishing
+	// returns (roofline crossover inside the sweep range).
+	Balanced
+	// ParallelismLimited kernels stop scaling with CUs because the
+	// launch cannot fill them.
+	ParallelismLimited
+	// LatencyBound kernels plateau in both frequency and bandwidth:
+	// serialised memory latency dominates.
+	LatencyBound
+	// CUIntolerant kernels lose performance when CUs are added
+	// (shared-cache thrashing).
+	CUIntolerant
+	// LaunchBound kernels are dominated by fixed launch overhead and
+	// are flat on every axis.
+	LaunchBound
+	// Irregular kernels match none of the above rules.
+	Irregular
+)
+
+var categoryNames = [...]string{
+	"comp-coupled", "bw-coupled", "balanced", "parallelism-limited",
+	"latency-bound", "cu-intolerant", "launch-bound", "irregular",
+}
+
+// NumCategories is the count of defined categories.
+const NumCategories = int(Irregular) + 1
+
+// String returns the category's kebab-case name.
+func (c Category) String() string {
+	if c < 0 || int(c) >= len(categoryNames) {
+		return fmt.Sprintf("category(%d)", int(c))
+	}
+	return categoryNames[c]
+}
+
+// Classification is the full taxonomy verdict for one kernel.
+type Classification struct {
+	// Kernel is the kernel's name.
+	Kernel string
+	// CU, Core, Mem are the three marginal responses.
+	CU, Core, Mem AxisResponse
+	// CUShape, CoreShape, MemShape are their labels.
+	CUShape, CoreShape, MemShape Shape
+	// Category is the combined class.
+	Category Category
+	// TotalSpeedup is max-config over min-config throughput.
+	TotalSpeedup float64
+}
+
+// Classifier maps surfaces to classifications under a threshold set.
+type Classifier struct {
+	thresholds Thresholds
+}
+
+// NewClassifier builds a classifier, validating the thresholds.
+func NewClassifier(t Thresholds) (*Classifier, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &Classifier{thresholds: t}, nil
+}
+
+// DefaultClassifier returns a classifier with DefaultThresholds.
+func DefaultClassifier() *Classifier {
+	c, err := NewClassifier(DefaultThresholds())
+	if err != nil {
+		panic(err) // defaults are statically valid
+	}
+	return c
+}
+
+// Classify labels one kernel surface.
+func (cl *Classifier) Classify(s Surface) Classification {
+	cu := s.Marginal(AxisCU)
+	fc := s.Marginal(AxisCoreClock)
+	fm := s.Marginal(AxisMemClock)
+	c := Classification{
+		Kernel:       s.Kernel,
+		CU:           cu,
+		Core:         fc,
+		Mem:          fm,
+		CUShape:      cl.thresholds.ClassifyShape(cu),
+		CoreShape:    cl.thresholds.ClassifyShape(fc),
+		MemShape:     cl.thresholds.ClassifyShape(fm),
+		TotalSpeedup: s.TotalSpeedup(),
+	}
+	c.Category = combine(c)
+	return c
+}
+
+// ClassifyAll labels every surface.
+func (cl *Classifier) ClassifyAll(surfaces []Surface) []Classification {
+	out := make([]Classification, len(surfaces))
+	for i, s := range surfaces {
+		out[i] = cl.Classify(s)
+	}
+	return out
+}
+
+// combine derives the combined category from the three shapes — the
+// taxonomy's decision tree. Rules are ordered from most to least
+// specific.
+func combine(c Classification) Category {
+	cu, fc, fm := c.CUShape, c.CoreShape, c.MemShape
+	switch {
+	case cu == PeakDecline:
+		return CUIntolerant
+	case cu == Flat && fc == Flat && fm == Flat:
+		return LaunchBound
+	case fm == Linear,
+		fm == Sublinear && c.Mem.Efficiency > c.CU.Efficiency && c.Mem.Efficiency > c.Core.Efficiency:
+		return BWCoupled
+	case cu == Flat || cu == Saturating:
+		return ParallelismLimited
+	case (cu == Linear || cu == Sublinear) && fc == Linear && fm == Flat:
+		return CompCoupled
+	case (cu == Linear || cu == Sublinear) &&
+		(fc == Sublinear || fc == Saturating || fc == Flat) &&
+		(fm == Flat || fm == Saturating):
+		return LatencyBound
+	case countScaling(cu, fc, fm) >= 2:
+		return Balanced
+	default:
+		return Irregular
+	}
+}
+
+// countScaling counts axes with material response.
+func countScaling(shapes ...Shape) int {
+	n := 0
+	for _, s := range shapes {
+		if s == Linear || s == Sublinear || s == Saturating {
+			n++
+		}
+	}
+	return n
+}
+
+// Distribution counts classifications per category.
+func Distribution(cs []Classification) map[Category]int {
+	out := map[Category]int{}
+	for _, c := range cs {
+		out[c.Category]++
+	}
+	return out
+}

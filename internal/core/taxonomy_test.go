@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gpuscale/internal/hw"
+)
+
+// Analytic throughput models for each taxonomy category, used to test
+// the combined decision tree independently of the simulator.
+
+func modelCompCoupled(c hw.Config) float64 {
+	return float64(c.CUs) * c.CoreClockMHz
+}
+
+func modelBWCoupled(c hw.Config) float64 {
+	return c.MemClockMHz * (1 - math.Exp(-float64(c.CUs)*c.CoreClockMHz/2000))
+}
+
+func modelParallelismLimited(c hw.Config) float64 {
+	eff := math.Min(float64(c.CUs), 12)
+	return eff * c.CoreClockMHz
+}
+
+func modelLatencyBound(c hw.Config) float64 {
+	// Fixed 300 ns device latency plus a core-domain portion.
+	lat := 300 + 120*1000/c.CoreClockMHz
+	return float64(c.CUs) / lat * 1e3
+}
+
+func modelCUIntolerant(c hw.Config) float64 {
+	x := float64(c.CUs)
+	return x * math.Exp(-x/18) * c.CoreClockMHz
+}
+
+func modelLaunchBound(hw.Config) float64 { return 42 }
+
+func modelBalanced(c hw.Config) float64 {
+	// Harmonic blend of compute and bandwidth ceilings.
+	comp := float64(c.CUs) * c.CoreClockMHz
+	bw := 40 * c.MemClockMHz
+	return 1 / (1/comp + 1/bw)
+}
+
+func TestCombinedCategories(t *testing.T) {
+	space := hw.StudySpace()
+	cl := DefaultClassifier()
+	tests := []struct {
+		name  string
+		model func(hw.Config) float64
+		want  Category
+	}{
+		{"comp", modelCompCoupled, CompCoupled},
+		{"bw", modelBWCoupled, BWCoupled},
+		{"smallgrid", modelParallelismLimited, ParallelismLimited},
+		{"latency", modelLatencyBound, LatencyBound},
+		{"thrash", modelCUIntolerant, CUIntolerant},
+		{"tiny", modelLaunchBound, LaunchBound},
+		{"balanced", modelBalanced, Balanced},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := surfaceFromModel(tt.name, space, tt.model)
+			got := cl.Classify(s)
+			if got.Category != tt.want {
+				t.Fatalf("Classify(%s) = %v (cu=%v clk=%v mem=%v), want %v",
+					tt.name, got.Category, got.CUShape, got.CoreShape, got.MemShape, tt.want)
+			}
+		})
+	}
+}
+
+func TestClassificationFields(t *testing.T) {
+	space := hw.StudySpace()
+	c := DefaultClassifier().Classify(surfaceFromModel("m", space, modelCompCoupled))
+	if c.Kernel != "m" {
+		t.Errorf("Kernel = %q", c.Kernel)
+	}
+	if math.Abs(c.CU.IdealGain-11) > 1e-9 {
+		t.Errorf("CU ideal gain = %g, want 11", c.CU.IdealGain)
+	}
+	if math.Abs(c.Core.IdealGain-5) > 1e-9 {
+		t.Errorf("core ideal gain = %g, want 5", c.Core.IdealGain)
+	}
+	if math.Abs(c.Mem.IdealGain-8.3333) > 1e-3 {
+		t.Errorf("mem ideal gain = %g, want ~8.33", c.Mem.IdealGain)
+	}
+	// Perfect compute coupling: total speedup = 11 x 5 = 55.
+	if math.Abs(c.TotalSpeedup-55) > 1e-6 {
+		t.Errorf("TotalSpeedup = %g, want 55", c.TotalSpeedup)
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	space := hw.StudySpace()
+	cl := DefaultClassifier()
+	cs := cl.ClassifyAll([]Surface{
+		surfaceFromModel("a", space, modelCompCoupled),
+		surfaceFromModel("b", space, modelCompCoupled),
+		surfaceFromModel("c", space, modelBWCoupled),
+	})
+	d := Distribution(cs)
+	if d[CompCoupled] != 2 || d[BWCoupled] != 1 {
+		t.Fatalf("Distribution = %v", d)
+	}
+}
+
+func TestResponseVectorProperties(t *testing.T) {
+	space := hw.StudySpace()
+	s := surfaceFromModel("m", space, modelCompCoupled)
+	v := s.ResponseVector()
+	wantLen := len(space.CUCounts) + len(space.CoreClocksMHz) + len(space.MemClocksMHz)
+	if len(v) != wantLen {
+		t.Fatalf("vector length = %d, want %d", len(v), wantLen)
+	}
+	// Perfect compute coupling: CU and clock efficiencies are exactly
+	// 1 at every point; memory entries decay as 1/ideal.
+	for i := 0; i < len(space.CUCounts)+len(space.CoreClocksMHz); i++ {
+		if math.Abs(v[i]-1) > 1e-9 {
+			t.Fatalf("entry %d = %g, want 1", i, v[i])
+		}
+	}
+	last := v[len(v)-1]
+	if math.Abs(last-150.0/1250) > 1e-9 {
+		t.Fatalf("final mem efficiency = %g, want %g", last, 150.0/1250)
+	}
+}
+
+func TestSpeedupGridAndTotalSpeedup(t *testing.T) {
+	space := hw.StudySpace()
+	s := surfaceFromModel("m", space, modelCompCoupled)
+	g := s.SpeedupGrid()
+	if len(g) != 11 || len(g[0]) != 9 {
+		t.Fatalf("grid shape %dx%d, want 11x9", len(g), len(g[0]))
+	}
+	if math.Abs(g[0][0]-1) > 1e-9 {
+		t.Errorf("origin = %g, want 1", g[0][0])
+	}
+	if math.Abs(g[10][8]-55) > 1e-6 {
+		t.Errorf("far corner = %g, want 55", g[10][8])
+	}
+	if got := s.TotalSpeedup(); math.Abs(got-55) > 1e-6 {
+		t.Errorf("TotalSpeedup = %g, want 55", got)
+	}
+}
+
+func TestSurfacesAndFromMatrixErrors(t *testing.T) {
+	space := hw.StudySpace()
+	s := surfaceFromModel("m", space, modelCompCoupled)
+	if got := s.Marginal(AxisCU); len(got.Curve) != 11 {
+		t.Fatalf("CU marginal length = %d", len(got.Curve))
+	}
+	zero := Surface{Kernel: "z", Space: space, Throughput: make([]float64, space.Size())}
+	if r := zero.Marginal(AxisCU); r.Curve != nil {
+		t.Fatal("zero surface produced a curve")
+	}
+	if got := zero.TotalSpeedup(); got != 0 {
+		t.Fatalf("zero surface TotalSpeedup = %g", got)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	space := hw.StudySpace()
+	cl := DefaultClassifier()
+	for _, tt := range []struct {
+		model func(hw.Config) float64
+		want  string
+	}{
+		{modelCompCoupled, "memory bandwidth is slack"},
+		{modelCUIntolerant, "peaks at"},
+		{modelLaunchBound, "launch overhead dominates"},
+		{modelBWCoupled, "binding resource"},
+		{modelParallelismLimited, "cannot fill"},
+		{modelLatencyBound, "Serialised"},
+		{modelBalanced, "diminishing returns"},
+	} {
+		c := cl.Classify(surfaceFromModel("m", space, tt.model))
+		out := c.Explain()
+		if !strings.Contains(strings.ToLower(out), strings.ToLower(tt.want)) {
+			t.Errorf("Explain() for %v missing %q:\n%s", c.Category, tt.want, out)
+		}
+		if !strings.Contains(out, "CUs") || !strings.Contains(out, "memclk") {
+			t.Errorf("Explain() missing axis lines:\n%s", out)
+		}
+	}
+}

@@ -1,0 +1,389 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gpuscale/internal/core"
+	"gpuscale/internal/gcn"
+	"gpuscale/internal/hw"
+	"gpuscale/internal/isa"
+	"gpuscale/internal/kernel"
+	"gpuscale/internal/memory"
+	"gpuscale/internal/report"
+	"gpuscale/internal/sweep"
+	"gpuscale/internal/trace"
+)
+
+// AblationFidelity compares the three engines (round, detailed
+// quantum, wavefront event) on a subsample of the corpus at the grid
+// corners, reporting each higher-fidelity engine's time ratio to the
+// round engine. Large corpora are subsampled by `stride` to keep the
+// slow engines affordable.
+func (s *Study) AblationFidelity(stride int) (*report.Table, error) {
+	if stride < 1 {
+		stride = 1
+	}
+	t := &report.Table{
+		Title: "Ablation: engine fidelity (kernel-time ratios to the round engine)",
+		Header: []string{"kernel", "config", "round (us)",
+			"detailed ratio", "wave ratio", "pipeline ratio"},
+	}
+	cfgs := []hw.Config{hw.Minimum(), hw.Reference()}
+	var detRatios, waveRatios, pipeRatios []float64
+	for i := 0; i < len(s.Matrix.Kernels); i += stride {
+		k := s.kernels[s.Matrix.Kernels[i]]
+		if k.Workgroups > 4096 {
+			continue // keep the slow engines cheap
+		}
+		for _, cfg := range cfgs {
+			r, err := gcn.Simulate(k, cfg)
+			if err != nil {
+				return nil, err
+			}
+			d, err := gcn.SimulateDetailed(k, cfg)
+			if err != nil {
+				return nil, err
+			}
+			wv, err := gcn.SimulateWave(k, cfg)
+			if err != nil {
+				return nil, err
+			}
+			pl, err := gcn.SimulatePipeline(k, cfg)
+			if err != nil {
+				return nil, err
+			}
+			dr := d.KernelNS / r.KernelNS
+			wr := wv.KernelNS / r.KernelNS
+			pr := pl.KernelNS / r.KernelNS
+			detRatios = append(detRatios, dr)
+			waveRatios = append(waveRatios, wr)
+			pipeRatios = append(pipeRatios, pr)
+			t.AddRow(k.Name, cfg.String(), r.KernelNS/1000, dr, wr, pr)
+		}
+	}
+	if len(detRatios) == 0 {
+		return nil, fmt.Errorf("experiments: fidelity ablation sampled no kernels")
+	}
+	summarise := func(name string, ratios []float64) {
+		mean := 0.0
+		worst := 1.0
+		for _, r := range ratios {
+			mean += r
+			if math.Abs(math.Log(r)) > math.Abs(math.Log(worst)) {
+				worst = r
+			}
+		}
+		t.AddRow(name+" mean", "", "", mean/float64(len(ratios)), "", "")
+		t.AddRow(name+" worst", "", "", worst, "", "")
+	}
+	summarise("detailed", detRatios)
+	summarise("wave", waveRatios)
+	summarise("pipeline", pipeRatios)
+	return t, nil
+}
+
+// AblationNoise reruns the sweep with multiplicative measurement noise
+// and reports how many kernels keep their category — the taxonomy's
+// robustness to run-to-run variation.
+func AblationNoise(stddevs []float64, seed int64) (*report.Table, error) {
+	clean, err := New()
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:  "Ablation: category stability under measurement noise",
+		Header: []string{"noise stddev", "stable kernels", "stability"},
+	}
+	for _, sd := range stddevs {
+		noisy, err := NewWithOptions(hw.StudySpace(), sweep.Options{NoiseStdDev: sd, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		same := 0
+		for i := range clean.Classifications {
+			if clean.Classifications[i].Category == noisy.Classifications[i].Category {
+				same++
+			}
+		}
+		total := len(clean.Classifications)
+		t.AddRow(sd, fmt.Sprintf("%d/%d", same, total), float64(same)/float64(total))
+	}
+	return t, nil
+}
+
+// AblationThresholds perturbs each classifier threshold by +-frac and
+// reports the fraction of kernels whose category survives every
+// perturbation.
+func (s *Study) AblationThresholds(frac float64) (*report.Table, error) {
+	base := core.DefaultThresholds()
+	variants := []core.Thresholds{}
+	scale := []float64{1 - frac, 1 + frac}
+	for _, f := range scale {
+		v := base
+		v.FlatGain = 1 + (base.FlatGain-1)*f
+		variants = append(variants, v)
+		v = base
+		v.LinearEfficiency = math.Min(base.LinearEfficiency*f, 1)
+		variants = append(variants, v)
+		v = base
+		v.SaturationTailGain = 1 + (base.SaturationTailGain-1)*f
+		variants = append(variants, v)
+		v = base
+		v.DeclineFraction = math.Min(base.DeclineFraction*f, 1)
+		variants = append(variants, v)
+	}
+	stable := make([]bool, len(s.Classifications))
+	for i := range stable {
+		stable[i] = true
+	}
+	for _, v := range variants {
+		cl, err := core.NewClassifier(v)
+		if err != nil {
+			return nil, err
+		}
+		cs := cl.ClassifyAll(s.Surfaces)
+		for i := range cs {
+			if cs[i].Category != s.Classifications[i].Category {
+				stable[i] = false
+			}
+		}
+	}
+	n := 0
+	for _, ok := range stable {
+		if ok {
+			n++
+		}
+	}
+	t := &report.Table{
+		Title:  fmt.Sprintf("Ablation: category stability under +-%.0f%% threshold shifts", 100*frac),
+		Header: []string{"perturbations", "stable kernels", "stability"},
+	}
+	t.AddRow(len(variants), fmt.Sprintf("%d/%d", n, len(stable)),
+		float64(n)/float64(len(stable)))
+	return t, nil
+}
+
+// AblationDRAMEfficiency derives DRAM efficiency from the event-level
+// channel/bank/row simulator for canonical line traces and compares it
+// with the constants the analytic engine uses (PatternEfficiency).
+// The constants intentionally sit below the clean-trace measurements:
+// they also absorb effects the line traces do not exercise
+// (read/write turnaround, refresh, partial-burst waste).
+func AblationDRAMEfficiency(lines int, seed int64) (*report.Table, error) {
+	if lines < 1000 {
+		lines = 1000
+	}
+	cfg := hw.Reference()
+	t := &report.Table{
+		Title: "Ablation: DRAM efficiency — event-level simulator vs analytic constant",
+		Header: []string{"trace", "simulated efficiency", "row-hit rate",
+			"analytic constant (pattern)"},
+	}
+	seq := make([]uint64, lines)
+	for i := range seq {
+		seq[i] = uint64(i) * hw.L2LineBytes
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rnd := make([]uint64, lines)
+	for i := range rnd {
+		rnd[i] = uint64(rng.Int63n(1<<24)) * hw.L2LineBytes
+	}
+	camp := make([]uint64, lines)
+	for i := range camp {
+		camp[i] = uint64(i*memory.DRAMChannels) * hw.L2LineBytes
+	}
+	cases := []struct {
+		name    string
+		trace   []uint64
+		pattern kernel.AccessPattern
+	}{
+		{"sequential", seq, kernel.Streaming},
+		{"random", rnd, kernel.Gather},
+		{"channel-camping stride", camp, kernel.Strided},
+	}
+	for _, c := range cases {
+		eff, rowHit, err := memory.MeasureEfficiency(cfg, c.trace)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(c.name, eff, rowHit,
+			fmt.Sprintf("%.2f (%s)", memory.PatternEfficiency(c.pattern), c.pattern))
+	}
+	return t, nil
+}
+
+// WhatIfScaledL2 reruns the CU sweep for every CU-intolerant kernel on
+// hypothetical hardware whose shared L2 grows in proportion to the
+// enabled CU count (as it does across real product tiers, but not when
+// CUs are fused off on one part). If the taxonomy's causal story is
+// right — the decline comes from a fixed L2 shared by a growing
+// resident set — scaling the L2 must cure the decline.
+func (s *Study) WhatIfScaledL2() (*report.Table, error) {
+	t := &report.Table{
+		Title: "What-if: CU-intolerant kernels on hardware whose L2 scales with CUs",
+		Header: []string{"kernel", "fixed-L2 shape", "peak CUs",
+			"scaled-L2 shape", "gain at 44 CUs (fixed -> scaled)"},
+	}
+	cured, totalCI := 0, 0
+	for _, c := range s.Classifications {
+		if c.Category != core.CUIntolerant {
+			continue
+		}
+		totalCI++
+		k := s.kernels[c.Kernel]
+		curve := make([]float64, 0, len(s.Space.CUCounts))
+		var settings []float64
+		for _, cu := range s.Space.CUCounts {
+			cfg := hw.Config{
+				CUs:          cu,
+				CoreClockMHz: s.Space.CoreClocksMHz[len(s.Space.CoreClocksMHz)-1],
+				MemClockMHz:  s.Space.MemClocksMHz[len(s.Space.MemClocksMHz)-1],
+				L2Override:   hw.L2Bytes * cu / hw.MaxCUs,
+			}
+			r, err := gcn.Simulate(k, cfg)
+			if err != nil {
+				return nil, err
+			}
+			curve = append(curve, r.Throughput)
+			settings = append(settings, float64(cu))
+		}
+		resp := core.NewAxisResponse(core.AxisCU, settings, curve)
+		shape := core.DefaultThresholds().ClassifyShape(resp)
+		if shape != core.PeakDecline {
+			cured++
+		}
+		t.AddRow(c.Kernel, c.CUShape.String(),
+			c.CU.Settings[c.CU.PeakIndex], shape.String(),
+			fmt.Sprintf("%.2fx -> %.2fx", c.CU.Gain, resp.Gain))
+	}
+	t.AddRow("cured", fmt.Sprintf("%d/%d", cured, totalCI), "", "", "")
+	return t, nil
+}
+
+// TableO1 sweeps register pressure for a latency-exposed kernel and
+// reports occupancy vs performance — the classic GPU tuning analysis,
+// here as a model validation: more resident waves must buy performance
+// exactly while latency is the binding resource, and stop paying once
+// it is not.
+func TableO1() (*report.Table, error) {
+	t := &report.Table{
+		Title: "Table O-1: occupancy vs performance (register-pressure sweep)",
+		Header: []string{"VGPRs/work-item", "waves/CU", "throughput (items/ns)",
+			"bound"},
+	}
+	cfg := hw.Reference()
+	base := kernel.New("occ", "occ", "latency").
+		Geometry(2048, 256).
+		Compute(200, 50).
+		Access(kernel.Streaming, 50, 0, 1). // one line per access
+		Coalescing(1).
+		Locality(16<<20, 0, 0).
+		MLP(1). // no intra-wave overlap: occupancy is the only hiding
+		MustBuild()
+	prevOcc := -1
+	var prevTput float64
+	for _, vgprs := range []int{32, 48, 64, 84, 128, 168, 255} {
+		k := *base
+		k.VGPRsPerWI = vgprs
+		r, err := gcn.Simulate(&k, cfg)
+		if err != nil {
+			return nil, err
+		}
+		occ := k.OccupancyWavesPerCU()
+		t.AddRow(vgprs, occ, r.Throughput, r.Bound.String())
+		if occ == prevOcc && r.Throughput != prevTput {
+			return nil, fmt.Errorf("experiments: same occupancy, different throughput at %d VGPRs", vgprs)
+		}
+		prevOcc, prevTput = occ, r.Throughput
+	}
+	return t, nil
+}
+
+// AblationScheduler compares wavefront scheduling policies in the
+// pipeline engine across representative programs: fair round-robin vs
+// greedy-then-oldest. In this model (no cache locality between waves)
+// the policies should land close together — the table documents that
+// the taxonomy's conclusions do not hinge on the arbitration choice.
+func AblationScheduler() (*report.Table, error) {
+	t := &report.Table{
+		Title:  "Ablation: pipeline wavefront scheduling policy (cycles per resident set)",
+		Header: []string{"program", "round-robin", "gto", "gto/rr"},
+	}
+	cases := []struct {
+		name string
+		k    *kernel.Kernel
+	}{
+		{"compute-heavy", kernel.New("s", "p", "c").Geometry(256, 256).
+			Compute(8000, 400).Access(kernel.Streaming, 16, 4, 4).MustBuild()},
+		{"stream-heavy", kernel.New("s", "p", "m").Geometry(256, 256).
+			Compute(500, 100).Access(kernel.Streaming, 192, 48, 4).
+			Locality(256*1024, 0, 0).MustBuild()},
+		{"latency-mix", kernel.New("s", "p", "l").Geometry(256, 256).
+			Compute(2000, 100).Access(kernel.Gather, 64, 8, 4).
+			Locality(4<<20, 0, 0).MLP(2).MustBuild()},
+	}
+	for _, c := range cases {
+		prog, err := isa.Lower(c.k)
+		if err != nil {
+			return nil, err
+		}
+		wgs := c.k.WorkgroupsPerCU()
+		rr, err := gcn.SimulateResidentSetPolicy(prog, wgs, c.k.WavesPerWG(), 300, gcn.RoundRobin)
+		if err != nil {
+			return nil, err
+		}
+		gto, err := gcn.SimulateResidentSetPolicy(prog, wgs, c.k.WavesPerWG(), 300, gcn.GreedyThenOldest)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(c.name, rr, gto, float64(gto)/float64(rr))
+	}
+	return t, nil
+}
+
+// AblationCacheModel validates the analytic hit-rate model against
+// trace-driven set-associative simulation on representative kernels,
+// reporting both estimates side by side.
+func AblationCacheModel(seed int64) (*report.Table, error) {
+	t := &report.Table{
+		Title: "Ablation: analytic vs trace-driven cache model",
+		Header: []string{"kernel", "WGs/CU", "CUs",
+			"analytic L1", "trace L1", "analytic L2", "trace L2"},
+	}
+	cases := []struct {
+		name string
+		k    *kernel.Kernel
+		wgs  int
+		cus  int
+	}{
+		{
+			"reused-fits",
+			kernel.New("a", "a", "fits").Access(kernel.Streaming, 256, 64, 4).
+				Locality(8*1024, 0, 4).MustBuild(),
+			1, 4,
+		},
+		{
+			"thrash-gather",
+			kernel.New("a", "a", "thrash").Access(kernel.Gather, 256, 64, 4).
+				Locality(4<<20, 0, 1).MustBuild(),
+			2, 8,
+		},
+		{
+			"l2-shared",
+			kernel.New("a", "a", "shared").Access(kernel.Streaming, 512, 0, 4).
+				Locality(64*1024, 0.8, 1).MustBuild(),
+			2, 8,
+		},
+	}
+	for _, c := range cases {
+		a := memory.EstimateHitRates(c.k, c.wgs, c.cus)
+		tr, err := trace.Replay(c.k, c.wgs, c.cus, seed)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(c.name, c.wgs, c.cus, a.L1, tr.L1, a.L2, tr.L2)
+	}
+	return t, nil
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteClassificationsCSV exports the per-kernel taxonomy results as
+// CSV — the dataset a downstream analysis (or the paper's artifact
+// appendix) would archive: one row per kernel with its suite,
+// generator archetype, per-axis shapes and gains, and combined
+// category.
+func (s *Study) WriteClassificationsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"kernel", "suite", "archetype", "category",
+		"cu_shape", "cu_gain", "cu_efficiency", "cu_r2",
+		"core_shape", "core_gain", "core_efficiency", "core_r2",
+		"mem_shape", "mem_gain", "mem_efficiency", "mem_r2",
+		"total_speedup",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: writing header: %w", err)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	for _, c := range s.Classifications {
+		rec := []string{
+			c.Kernel, s.suiteOf[c.Kernel], s.arch[c.Kernel].String(), c.Category.String(),
+			c.CUShape.String(), f(c.CU.Gain), f(c.CU.Efficiency), f(c.CU.LinearR2),
+			c.CoreShape.String(), f(c.Core.Gain), f(c.Core.Efficiency), f(c.Core.LinearR2),
+			c.MemShape.String(), f(c.Mem.Gain), f(c.Mem.Efficiency), f(c.Mem.LinearR2),
+			f(c.TotalSpeedup),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiments: writing %s: %w", c.Kernel, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gpuscale/internal/core"
+	"gpuscale/internal/gcn"
+	"gpuscale/internal/governor"
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+	"gpuscale/internal/power"
+	"gpuscale/internal/predict"
+	"gpuscale/internal/report"
+)
+
+// TableE1 reports, for each taxonomy category's exemplar kernel, the
+// energy-optimal configuration and what it costs in performance —
+// the DVFS-extension headline: which knob each class can cut for free.
+func (s *Study) TableE1() (*report.Table, error) {
+	pm := power.DefaultModel()
+	t := &report.Table{
+		Title: "Table E-1: energy-optimal configuration per scaling category",
+		Header: []string{"category", "kernel", "min-energy config",
+			"energy vs flagship", "perf vs flagship"},
+	}
+	flagship := hw.Reference()
+	for _, cat := range categoriesInOrder() {
+		c, err := s.findByCategory(cat)
+		if err != nil {
+			continue // empty category: skip the row
+		}
+		k := s.kernels[c.Kernel]
+		bestCfg, bestRep, err := power.BestConfig(pm, k, s.Space, power.MinEnergy)
+		if err != nil {
+			return nil, err
+		}
+		refRes, refRep, err := power.Measure(pm, k, flagship)
+		if err != nil {
+			return nil, err
+		}
+		bestRes, err := gcn.Simulate(k, bestCfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(cat.String(), c.Kernel, bestCfg.String(),
+			fmt.Sprintf("%.0f%%", 100*bestRep.EnergyJ/refRep.EnergyJ),
+			fmt.Sprintf("%.0f%%", 100*bestRes.Throughput/refRes.Throughput))
+	}
+	return t, nil
+}
+
+// TableE2 evaluates the cluster-based scaling predictor: train on half
+// the corpus, predict the unseen half's 891-point surfaces from five
+// probe measurements, for several cluster counts.
+func (s *Study) TableE2(ks []int) (*report.Table, error) {
+	train, test := predict.SplitMatrix(s.Matrix)
+	t := &report.Table{
+		Title: fmt.Sprintf(
+			"Table E-2: scaling-surface prediction from %d probes (train %d / test %d kernels)",
+			len(predict.DefaultProbes(s.Space)), len(train.Kernels), len(test.Kernels)),
+		Header: []string{"clusters", "MAPE", "P90 abs err", "worst-kernel MAPE"},
+	}
+	for _, k := range ks {
+		p, err := predict.Train(train, k, ClusterSeed)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := predict.Evaluate(p, test)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(k,
+			fmt.Sprintf("%.1f%%", 100*acc.MAPE),
+			fmt.Sprintf("%.1f%%", 100*acc.P90APE),
+			fmt.Sprintf("%.1f%%", 100*acc.WorstKernelMAPE))
+	}
+	// Learned probe placement at the largest cluster count: greedy
+	// forward selection over the grid instead of the hand-picked
+	// corner probes.
+	if len(ks) > 0 {
+		kMax := ks[len(ks)-1]
+		probes, err := predict.SelectProbes(train, kMax, ClusterSeed, 5, 30)
+		if err != nil {
+			return nil, err
+		}
+		p, err := predict.TrainWithProbes(train, kMax, ClusterSeed, probes)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := predict.Evaluate(p, test)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d (greedy probes)", kMax),
+			fmt.Sprintf("%.1f%%", 100*acc.MAPE),
+			fmt.Sprintf("%.1f%%", 100*acc.P90APE),
+			fmt.Sprintf("%.1f%%", 100*acc.WorstKernelMAPE))
+	}
+	return t, nil
+}
+
+// TableE5 quantifies DVFS transition overhead: a workload alternating
+// compute- and bandwidth-coupled kernels makes a per-kernel governor
+// switch configurations constantly; with realistic switch costs the
+// hysteresis governor recovers the loss. (Transition overhead for
+// mobile DVFS is a finding of the same IISWC'15 proceedings.)
+func (s *Study) TableE5(transitionCostsNS []float64) (*report.Table, error) {
+	pm := power.DefaultModel()
+	// Short interactive-scale kernels (sub-millisecond invocations):
+	// the regime where transition stalls can eat per-kernel gains.
+	dense := kernel.New("e5", "app", "dense").
+		Geometry(512, 256).
+		Compute(12000, 400).
+		Access(kernel.Streaming, 8, 2, 4).
+		MustBuild()
+	stream := kernel.New("e5", "app", "stream").
+		Geometry(512, 256).
+		Compute(300, 50).
+		Access(kernel.Streaming, 256, 64, 4).
+		Locality(256*1024, 0, 0).
+		MustBuild()
+	var w governor.Workload
+	for i := 0; i < 12; i++ {
+		item := governor.Item{Launches: 1}
+		if i%2 == 0 {
+			item.Kernel, item.Category = dense, core.CompCoupled
+		} else {
+			item.Kernel, item.Category = stream, core.BWCoupled
+		}
+		w = append(w, item)
+	}
+	space, err := hw.NewSpace(
+		[]int{4, 12, 20, 28, 36, 44},
+		[]float64{200, 400, 600, 800, 1000},
+		[]float64{150, 425, 700, 975, 1250})
+	if err != nil {
+		return nil, err
+	}
+	const cap = 110.0
+	guided, err := governor.TaxonomyGuided(pm, w, space, cap)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title: "Table E-5: DVFS transition overhead on an alternating workload (110 W cap)",
+		Header: []string{"switch cost", "per-kernel governor (ms)",
+			"hysteresis governor (ms)", "hysteresis switches"},
+	}
+	for _, cost := range transitionCostsNS {
+		hyst, err := governor.Hysteresis(pm, w, guided.Decisions, cap, cost)
+		if err != nil {
+			return nil, err
+		}
+		switches := 0
+		for i := 1; i < len(hyst.Decisions); i++ {
+			if hyst.Decisions[i].Config != hyst.Decisions[i-1].Config {
+				switches++
+			}
+		}
+		t.AddRow(fmt.Sprintf("%.0f us", cost/1000),
+			governor.WithTransitions(guided, cost)/1e6,
+			governor.WithTransitions(hyst, cost)/1e6,
+			switches)
+	}
+	return t, nil
+}
+
+// TableE4 projects each category's exemplar across the product ladder
+// (embedded -> flagship), normalised to the flagship — the paper's
+// opening observation ("GPUs range from small, embedded designs to
+// large, high-powered discrete cards") turned into a table: which
+// classes actually benefit from a bigger product.
+func (s *Study) TableE4() (*report.Table, error) {
+	products := hw.Products()
+	header := []string{"category", "kernel"}
+	for _, p := range products {
+		header = append(header, p.Name)
+	}
+	t := &report.Table{
+		Title:  "Table E-4: performance across product tiers (fraction of flagship)",
+		Header: header,
+	}
+	flagship := products[len(products)-1].Config
+	for _, cat := range categoriesInOrder() {
+		c, err := s.findByCategory(cat)
+		if err != nil {
+			continue
+		}
+		k := s.kernels[c.Kernel]
+		ref, err := gcn.Simulate(k, flagship)
+		if err != nil {
+			return nil, err
+		}
+		row := []any{cat.String(), c.Kernel}
+		for _, p := range products {
+			r, err := gcn.Simulate(k, p.Config)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.0f%%", 100*r.Throughput/ref.Throughput))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// TableE3 compares three power-cap governors on a mixed workload (one
+// exemplar per major category) across several caps: per-kernel oracle,
+// taxonomy-guided, and best-static.
+func (s *Study) TableE3(caps []float64) (*report.Table, error) {
+	pm := power.DefaultModel()
+	var w governor.Workload
+	for _, cat := range []core.Category{
+		core.CompCoupled, core.BWCoupled, core.Balanced,
+		core.LatencyBound, core.CUIntolerant,
+	} {
+		c, err := s.findByCategory(cat)
+		if err != nil {
+			return nil, err
+		}
+		w = append(w, governor.Item{
+			Kernel:   s.kernels[c.Kernel],
+			Launches: 10,
+			Category: cat,
+		})
+	}
+	t := &report.Table{
+		Title: "Table E-3: power-cap governors on a mixed 5-kernel workload",
+		Header: []string{"cap (W)", "oracle time", "guided time", "static time",
+			"guided vs oracle", "guided trials", "oracle trials"},
+	}
+	// Use a thinned grid so the oracle stays readable in trial counts.
+	space, err := hw.NewSpace(
+		[]int{4, 12, 20, 28, 36, 44},
+		[]float64{200, 400, 600, 800, 1000},
+		[]float64{150, 425, 700, 975, 1250})
+	if err != nil {
+		return nil, err
+	}
+	for _, cap := range caps {
+		oracle, err := governor.Oracle(pm, w, space, cap)
+		if err != nil {
+			return nil, err
+		}
+		guided, err := governor.TaxonomyGuided(pm, w, space, cap)
+		if err != nil {
+			return nil, err
+		}
+		static, err := governor.Static(pm, w, space, cap)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(cap,
+			fmt.Sprintf("%.1f ms", oracle.TotalTimeNS/1e6),
+			fmt.Sprintf("%.1f ms", guided.TotalTimeNS/1e6),
+			fmt.Sprintf("%.1f ms", static.TotalTimeNS/1e6),
+			fmt.Sprintf("%.2fx", guided.TotalTimeNS/oracle.TotalTimeNS),
+			guided.TotalTrials, oracle.TotalTrials)
+	}
+	return t, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableE1(t *testing.T) {
+	tbl, err := study(t).TableE1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"comp-coupled", "bw-coupled", "min-energy config"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table E-1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableE2(t *testing.T) {
+	tbl, err := study(t).TableE2([]int{4, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "MAPE") || !strings.Contains(out, "12") {
+		t.Errorf("Table E-2 malformed:\n%s", out)
+	}
+}
+
+func TestTableE3(t *testing.T) {
+	tbl, err := study(t).TableE3([]float64{150, 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "guided vs oracle") || !strings.Contains(out, "150") {
+		t.Errorf("Table E-3 malformed:\n%s", out)
+	}
+}
+
+func TestTableE4(t *testing.T) {
+	tbl, err := study(t).TableE4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"embedded", "flagship", "comp-coupled"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table E-4 missing %q:\n%s", want, out)
+		}
+	}
+	// Every flagship column entry is 100% by construction.
+	if !strings.Contains(out, "100%") {
+		t.Errorf("Table E-4 missing flagship normalisation:\n%s", out)
+	}
+}
+
+func TestTableE5(t *testing.T) {
+	tbl, err := study(t).TableE5([]float64{0, 50_000, 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "hysteresis") || !strings.Contains(out, "50 us") {
+		t.Errorf("Table E-5 malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gpuscale/internal/core"
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+	"gpuscale/internal/report"
+	"gpuscale/internal/stats"
+	"gpuscale/internal/suites"
+	"gpuscale/internal/sweep"
+)
+
+// TableM1 compares the two data-driven grouping methods on the real
+// corpus: k-means and average-linkage hierarchical clustering over the
+// same response vectors. The paper's exact method is unknown; if both
+// methods land close to each other (Rand index) and to the rule-based
+// taxonomy (purity), the conclusions do not depend on that unknown.
+func (s *Study) TableM1(k int) (*report.Table, error) {
+	vecs := make([][]float64, len(s.Surfaces))
+	for i, sf := range s.Surfaces {
+		vecs[i] = sf.ResponseVector()
+	}
+	km, err := stats.KMeans(vecs, k, ClusterSeed, 8)
+	if err != nil {
+		return nil, err
+	}
+	hc, err := stats.Hierarchical(vecs, k)
+	if err != nil {
+		return nil, err
+	}
+	rand, err := stats.ClusterAgreement(km.Assignments, hc)
+	if err != nil {
+		return nil, err
+	}
+	purity := func(assign []int) float64 {
+		majority := make(map[int]map[core.Category]int)
+		for i, a := range assign {
+			if majority[a] == nil {
+				majority[a] = map[core.Category]int{}
+			}
+			majority[a][s.Classifications[i].Category]++
+		}
+		match := 0
+		for i, a := range assign {
+			bestCat, bestN := core.Irregular, -1
+			for cat, n := range majority[a] {
+				if n > bestN || (n == bestN && cat < bestCat) {
+					bestCat, bestN = cat, n
+				}
+			}
+			if bestCat == s.Classifications[i].Category {
+				match++
+			}
+		}
+		return float64(match) / float64(len(assign))
+	}
+	t := &report.Table{
+		Title: fmt.Sprintf(
+			"Table M-1: clustering-method robustness (k=%d, k-means vs hierarchical)", k),
+		Header: []string{"comparison", "score"},
+	}
+	t.AddRow("k-means vs hierarchical (Rand index)", rand)
+	t.AddRow("k-means vs rule-based taxonomy (purity)", purity(km.Assignments))
+	t.AddRow("hierarchical vs rule-based taxonomy (purity)", purity(hc))
+	return t, nil
+}
+
+// AblationTaxonomyFidelity asks the question that matters more than
+// per-run time ratios: does the taxonomy *verdict* change when the
+// sweep runs on a higher-fidelity engine? It sweeps a subsample of
+// small-launch corpus kernels over a thinned 5x5x5 grid with both the
+// round and the detailed engine, classifies both, and reports the
+// agreement.
+func AblationTaxonomyFidelity(maxKernels int) (*report.Table, error) {
+	if maxKernels < 4 {
+		maxKernels = 4
+	}
+	space, err := hw.NewSpace(
+		[]int{4, 12, 24, 36, 44},
+		[]float64{200, 400, 600, 800, 1000},
+		[]float64{150, 425, 700, 975, 1250})
+	if err != nil {
+		return nil, err
+	}
+	var ks []*kernel.Kernel
+	for _, k := range suites.AllKernels(suites.Corpus()) {
+		if k.Workgroups <= 1024 {
+			ks = append(ks, k)
+			if len(ks) == maxKernels {
+				break
+			}
+		}
+	}
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("experiments: no small-launch kernels for fidelity ablation")
+	}
+	round, err := sweep.Run(ks, space, sweep.Options{})
+	if err != nil {
+		return nil, err
+	}
+	detailed, err := sweep.Run(ks, space, sweep.Options{Engine: sweep.Detailed})
+	if err != nil {
+		return nil, err
+	}
+	cl := core.DefaultClassifier()
+	roundCS := cl.ClassifyAll(core.Surfaces(round))
+	detCS := cl.ClassifyAll(core.Surfaces(detailed))
+
+	t := &report.Table{
+		Title: fmt.Sprintf(
+			"Ablation: taxonomy verdicts, round vs detailed engine (%d kernels, 5x5x5 grid)",
+			len(ks)),
+		Header: []string{"kernel", "round category", "detailed category", "agree"},
+	}
+	agree := 0
+	for i := range roundCS {
+		same := roundCS[i].Category == detCS[i].Category
+		if same {
+			agree++
+		}
+		mark := "yes"
+		if !same {
+			mark = "NO"
+		}
+		t.AddRow(roundCS[i].Kernel, roundCS[i].Category.String(),
+			detCS[i].Category.String(), mark)
+	}
+	t.AddRow("agreement", fmt.Sprintf("%d/%d", agree, len(roundCS)), "", "")
+	return t, nil
+}

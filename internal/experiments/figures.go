@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gpuscale/internal/core"
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+	"gpuscale/internal/report"
+	"gpuscale/internal/roofline"
+	"gpuscale/internal/stats"
+)
+
+// responseSeries converts a marginal response into a chart series.
+func responseSeries(name string, r core.AxisResponse) report.Series {
+	return report.Series{Name: name, X: r.Settings, Y: r.Curve}
+}
+
+// FigR1 plots intuitive scaling: a compute-coupled and a
+// bandwidth-coupled exemplar on all three axes.
+func (s *Study) FigR1() (string, error) {
+	comp, err := s.findByCategory(core.CompCoupled)
+	if err != nil {
+		return "", err
+	}
+	bw, err := s.findByCategory(core.BWCoupled)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	cu := report.LineChart{
+		Title:  "Fig R-1a: intuitive scaling vs compute units (at max clocks)",
+		XLabel: "CUs", YLabel: "normalised speedup",
+		Series: []report.Series{
+			responseSeries("comp-coupled "+comp.Kernel, comp.CU),
+			responseSeries("bw-coupled "+bw.Kernel, bw.CU),
+		},
+	}
+	mem := report.LineChart{
+		Title:  "Fig R-1b: intuitive scaling vs memory clock (at max CU/clock)",
+		XLabel: "mem MHz", YLabel: "normalised speedup",
+		Series: []report.Series{
+			responseSeries("comp-coupled "+comp.Kernel, comp.Mem),
+			responseSeries("bw-coupled "+bw.Kernel, bw.Mem),
+		},
+	}
+	b.WriteString(cu.String())
+	b.WriteString("\n")
+	b.WriteString(mem.String())
+	return b.String(), nil
+}
+
+// FigR2 plots the non-obvious CU-intolerance curve: performance lost
+// as compute units are added.
+func (s *Study) FigR2() (string, error) {
+	ci, err := s.findByCategory(core.CUIntolerant)
+	if err != nil {
+		return "", err
+	}
+	c := report.LineChart{
+		Title: fmt.Sprintf("Fig R-2: performance loss with added CUs (%s, peak at %g CUs)",
+			ci.Kernel, ci.CU.Settings[ci.CU.PeakIndex]),
+		XLabel: "CUs", YLabel: "normalised speedup",
+		Series: []report.Series{responseSeries("cu-intolerant", ci.CU)},
+	}
+	return c.String(), nil
+}
+
+// FigR3 plots latency-bound plateaus in frequency and bandwidth.
+func (s *Study) FigR3() (string, error) {
+	lb, err := s.findByCategory(core.LatencyBound)
+	if err != nil {
+		return "", err
+	}
+	c := report.LineChart{
+		Title: fmt.Sprintf("Fig R-3: plateaus as clocks rise (%s: %.1fx over 5x clock, %.1fx over 8.3x bw)",
+			lb.Kernel, lb.Core.Gain, lb.Mem.Gain),
+		XLabel: "axis setting (normalised index)", YLabel: "normalised speedup",
+		Series: []report.Series{
+			{Name: "vs core clock", X: indexed(lb.Core.Settings), Y: lb.Core.Curve},
+			{Name: "vs mem clock", X: indexed(lb.Mem.Settings), Y: lb.Mem.Curve},
+		},
+	}
+	return c.String(), nil
+}
+
+func indexed(settings []float64) []float64 {
+	out := make([]float64, len(settings))
+	for i := range out {
+		out[i] = float64(i)
+	}
+	return out
+}
+
+// FigR4 renders the data-driven taxonomy: cluster centroids as
+// per-axis mean efficiencies.
+func (s *Study) FigR4(k int) (string, error) {
+	ct, err := core.Cluster(s.Surfaces, k, ClusterSeed)
+	if err != nil {
+		return "", err
+	}
+	sizes := make([]int, k)
+	for _, a := range ct.Assignments {
+		sizes[a]++
+	}
+	t := &report.Table{
+		Title:  fmt.Sprintf("Fig R-4: cluster centroids (k=%d) as coupling labels", k),
+		Header: []string{"cluster", "kernels", "centroid coupling"},
+	}
+	for i := 0; i < k; i++ {
+		t.AddRow(fmt.Sprintf("c%d", i), sizes[i], ct.Names[i])
+	}
+	return t.String(), nil
+}
+
+// FigR5 renders the cluster-count selection curves (elbow inertia and
+// silhouette).
+func (s *Study) FigR5(maxK int) (string, error) {
+	inertia, sil, bestK, err := core.SelectK(s.Surfaces, maxK, ClusterSeed)
+	if err != nil {
+		return "", err
+	}
+	ks := make([]float64, len(inertia))
+	norm := make([]float64, len(inertia))
+	for i := range inertia {
+		ks[i] = float64(i + 2)
+		norm[i] = inertia[i] / inertia[0]
+	}
+	c := report.LineChart{
+		Title:  fmt.Sprintf("Fig R-5: cluster-count selection (best silhouette at k=%d)", bestK),
+		XLabel: "k", YLabel: "normalised inertia / silhouette",
+		Series: []report.Series{
+			{Name: "inertia (normalised to k=2)", X: ks, Y: norm},
+			{Name: "silhouette", X: ks, Y: sil},
+		},
+	}
+	return c.String(), nil
+}
+
+// FigR6 renders CU x core-clock speedup heatmaps for a compute-coupled
+// and a CU-intolerant exemplar.
+func (s *Study) FigR6() (string, error) {
+	var b strings.Builder
+	for _, cat := range []core.Category{core.CompCoupled, core.CUIntolerant} {
+		c, err := s.findByCategory(cat)
+		if err != nil {
+			return "", err
+		}
+		sf, err := s.surfaceOf(c.Kernel)
+		if err != nil {
+			return "", err
+		}
+		rows := make([]string, len(s.Space.CUCounts))
+		for i, cu := range s.Space.CUCounts {
+			rows[i] = fmt.Sprintf("%dcu", cu)
+		}
+		cols := make([]string, len(s.Space.CoreClocksMHz))
+		for i, f := range s.Space.CoreClocksMHz {
+			cols[i] = fmt.Sprintf("%g", f)
+		}
+		h := report.Heatmap{
+			Title: fmt.Sprintf("Fig R-6 (%s): speedup over CU x core clock, %s",
+				cat, c.Kernel),
+			RowLabels: rows,
+			ColLabels: cols,
+			Values:    sf.SpeedupGrid(),
+		}
+		b.WriteString(h.String())
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// FigR7 renders the CDF of total (max-config over min-config) speedup
+// across all kernels.
+func (s *Study) FigR7() string {
+	speedups := make([]float64, len(s.Surfaces))
+	for i, sf := range s.Surfaces {
+		speedups[i] = sf.TotalSpeedup()
+	}
+	vals, fracs := stats.CDF(speedups)
+	c := report.LineChart{
+		Title: fmt.Sprintf(
+			"Fig R-7: CDF of total speedup, min config -> max config (median %.1fx, max %.1fx)",
+			stats.Median(speedups), vals[len(vals)-1]),
+		XLabel: "speedup", YLabel: "fraction of kernels",
+		Series: []report.Series{{Name: "all 267 kernels", X: vals, Y: fracs}},
+	}
+	return c.String()
+}
+
+// FigC2 places the whole corpus on the reference configuration's
+// roofline: log10 intensity vs log10 achieved GFLOP/s, with the roof
+// drawn as its own series.
+func (s *Study) FigC2() (string, error) {
+	ks := make([]*kernel.Kernel, 0, len(s.kernels))
+	for _, name := range s.Matrix.Kernels {
+		ks = append(ks, s.kernels[name])
+	}
+	cfg := hw.Reference()
+	pts, err := roofline.Place(ks, cfg)
+	if err != nil {
+		return "", err
+	}
+	var xs, ys []float64
+	for _, p := range pts {
+		if math.IsInf(p.Intensity, 1) || p.Intensity <= 0 || p.GFLOPS <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log10(p.Intensity))
+		ys = append(ys, math.Log10(p.GFLOPS))
+	}
+	var roofX, roofY []float64
+	for e := -2.0; e <= 3.0; e += 0.1 {
+		roofX = append(roofX, e)
+		roofY = append(roofY, math.Log10(roofline.Attainable(cfg, math.Pow(10, e))))
+	}
+	sum := roofline.Summarise(pts, cfg)
+	c := report.LineChart{
+		Title: fmt.Sprintf(
+			"Fig C-2: corpus on the roofline at %v (%d bandwidth-side, %d compute-side, median %.0f%% of roof)",
+			cfg, sum.BandwidthSide, sum.ComputeSide, 100*sum.MedianRoofFraction),
+		XLabel: "log10 FLOP/byte", YLabel: "log10 GFLOP/s",
+		Series: []report.Series{
+			{Name: "roof", X: roofX, Y: roofY},
+			{Name: "kernels", X: xs, Y: ys},
+		},
+	}
+	return c.String(), nil
+}
+
+// FigR8 renders per-suite CU-efficiency quartiles.
+func (s *Study) FigR8() (string, error) {
+	t := &report.Table{
+		Title:  "Fig R-8: per-suite CU-axis efficiency at 44 CUs (quartiles)",
+		Header: []string{"suite", "q25", "median", "q75"},
+	}
+	groups := map[string][]core.Surface{}
+	for _, sf := range s.Surfaces {
+		suite := s.suiteOf[sf.Kernel]
+		groups[suite] = append(groups[suite], sf)
+	}
+	for _, name := range s.sortedSuiteNames() {
+		ss, ok := groups[name]
+		if !ok {
+			return "", fmt.Errorf("experiments: suite %q missing surfaces", name)
+		}
+		q25, q50, q75 := core.CUEfficiencyQuartiles(ss)
+		t.AddRow(name, q25, q50, q75)
+	}
+	return t.String(), nil
+}

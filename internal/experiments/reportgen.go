@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gpuscale/internal/report"
+)
+
+// WriteMarkdownReport emits the full study as one self-contained
+// markdown document: every reconstructed table in markdown form, with
+// the figures embedded as preformatted blocks. `cmd/taxonomy -md`
+// writes it to disk; it is the artifact a reproduction package would
+// ship.
+func (s *Study) WriteMarkdownReport(w io.Writer, clusterK int) error {
+	write := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := write("# gpuscale study report\n\nAutomatically generated; see EXPERIMENTS.md for the paper-vs-measured discussion.\n\n"); err != nil {
+		return err
+	}
+
+	tables := []struct {
+		name string
+		get  func() (*report.Table, error)
+	}{
+		{"R-1", func() (*report.Table, error) { return s.TableR1(), nil }},
+		{"R-2", func() (*report.Table, error) { return s.TableR2(), nil }},
+		{"R-3", func() (*report.Table, error) { return s.TableR3(), nil }},
+		{"R-4", func() (*report.Table, error) { return s.TableR4(), nil }},
+		{"R-5", s.TableR5},
+		{"R-6", func() (*report.Table, error) { return s.TableR6(clusterK) }},
+		{"P-1", s.TableP1},
+		{"C-1", func() (*report.Table, error) { return s.TableC1(), nil }},
+		{"I-1", s.TableI1},
+		{"baseline", func() (*report.Table, error) { return s.TableBaseline(), nil }},
+		{"archetype-recovery", func() (*report.Table, error) { return s.TableArchetypeRecovery(), nil }},
+		{"E-1", s.TableE1},
+		{"E-2", func() (*report.Table, error) { return s.TableE2([]int{2, 4, 8, 12, 16}) }},
+		{"E-3", func() (*report.Table, error) { return s.TableE3([]float64{120, 150, 200, 275}) }},
+		{"E-4", s.TableE4},
+		{"E-5", func() (*report.Table, error) {
+			return s.TableE5([]float64{0, 50_000, 1_000_000, 5_000_000})
+		}},
+		{"M-1", func() (*report.Table, error) { return s.TableM1(clusterK) }},
+	}
+	for _, tb := range tables {
+		t, err := tb.get()
+		if err != nil {
+			return fmt.Errorf("experiments: table %s: %w", tb.name, err)
+		}
+		if err := t.WriteMarkdown(w); err != nil {
+			return fmt.Errorf("experiments: table %s: %w", tb.name, err)
+		}
+		if err := write("\n"); err != nil {
+			return err
+		}
+	}
+
+	figs := []struct {
+		name string
+		get  func() (string, error)
+	}{
+		{"R-1", s.FigR1},
+		{"R-2", s.FigR2},
+		{"R-3", s.FigR3},
+		{"R-4", func() (string, error) { return s.FigR4(clusterK) }},
+		{"R-5", func() (string, error) { return s.FigR5(10) }},
+		{"R-6", s.FigR6},
+		{"R-7", func() (string, error) { return s.FigR7(), nil }},
+		{"R-8", s.FigR8},
+		{"C-2", s.FigC2},
+	}
+	for _, fg := range figs {
+		out, err := fg.get()
+		if err != nil {
+			return fmt.Errorf("experiments: figure %s: %w", fg.name, err)
+		}
+		if err := write("## Figure %s\n\n```\n%s```\n\n", fg.name, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

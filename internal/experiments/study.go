@@ -1,0 +1,149 @@
+// Package experiments regenerates every table and figure of the
+// reproduction (see DESIGN.md's per-experiment index). A Study bundles
+// the corpus, the full 891-configuration sweep, and the taxonomy
+// results; each TableRn/FigRn method renders one artifact.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"gpuscale/internal/core"
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+	"gpuscale/internal/suites"
+	"gpuscale/internal/sweep"
+)
+
+// Study is one complete run of the paper's methodology: corpus,
+// sweep, surfaces, and classifications.
+type Study struct {
+	// Corpus is the 8-suite benchmark corpus.
+	Corpus []suites.Suite
+	// Space is the hardware grid (891 configurations by default).
+	Space hw.Space
+	// Matrix holds the sweep measurements.
+	Matrix *sweep.Matrix
+	// Surfaces are the per-kernel scaling surfaces.
+	Surfaces []core.Surface
+	// Classifications are the rule-based taxonomy results.
+	Classifications []core.Classification
+
+	kernels map[string]*kernel.Kernel
+	suiteOf map[string]string
+	arch    map[string]suites.Archetype
+}
+
+// ClusterSeed fixes the clustering RNG across every experiment so the
+// reported figures are reproducible.
+const ClusterSeed = 17
+
+// New runs the full study: the complete corpus over the complete
+// study space with the round engine, classified with default
+// thresholds. It takes well under a second.
+func New() (*Study, error) {
+	return NewWithOptions(hw.StudySpace(), sweep.Options{})
+}
+
+// NewWithOptions runs the study on a custom space or sweep options
+// (used by the noise-robustness and fidelity ablations).
+func NewWithOptions(space hw.Space, opts sweep.Options) (*Study, error) {
+	corpus := suites.Corpus()
+	ks := suites.AllKernels(corpus)
+	m, err := sweep.Run(ks, space, opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: sweep: %w", err)
+	}
+	surfaces := core.Surfaces(m)
+	s := &Study{
+		Corpus:          corpus,
+		Space:           space,
+		Matrix:          m,
+		Surfaces:        surfaces,
+		Classifications: core.DefaultClassifier().ClassifyAll(surfaces),
+		kernels:         map[string]*kernel.Kernel{},
+		suiteOf:         map[string]string{},
+		arch:            map[string]suites.Archetype{},
+	}
+	for _, suite := range corpus {
+		for _, p := range suite.Programs {
+			for _, e := range p.Kernels {
+				s.kernels[e.Kernel.Name] = e.Kernel
+				s.suiteOf[e.Kernel.Name] = suite.Name
+				s.arch[e.Kernel.Name] = e.Archetype
+			}
+		}
+	}
+	return s, nil
+}
+
+// SuiteOf returns the suite owning a kernel name ("" if unknown).
+func (s *Study) SuiteOf(name string) string { return s.suiteOf[name] }
+
+// Kernel returns the kernel description by name (nil if unknown).
+func (s *Study) Kernel(name string) *kernel.Kernel { return s.kernels[name] }
+
+// findByCategory returns the cleanest exemplar of a category: the
+// kernel maximising a category-specific purity score, so figures show
+// the archetypal curve rather than a boundary case.
+func (s *Study) findByCategory(cat core.Category) (core.Classification, error) {
+	score := func(c core.Classification) float64 {
+		switch cat {
+		case core.CompCoupled:
+			return c.CU.Efficiency + c.Core.Efficiency - c.Mem.Efficiency
+		case core.BWCoupled:
+			return c.Mem.Efficiency - c.CU.Efficiency - c.Core.Efficiency
+		case core.CUIntolerant:
+			if c.CU.Gain <= 0 {
+				return 0
+			}
+			return c.CU.PeakGain / c.CU.Gain // depth of the decline
+		case core.LatencyBound:
+			return -(c.Core.Efficiency + c.Mem.Efficiency)
+		default:
+			return c.TotalSpeedup
+		}
+	}
+	best := -1
+	for i, c := range s.Classifications {
+		if c.Category != cat {
+			continue
+		}
+		if best < 0 || score(c) > score(s.Classifications[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return core.Classification{}, fmt.Errorf("experiments: no kernel in category %v", cat)
+	}
+	return s.Classifications[best], nil
+}
+
+// surfaceOf returns the surface for a kernel name.
+func (s *Study) surfaceOf(name string) (core.Surface, error) {
+	for _, sf := range s.Surfaces {
+		if sf.Kernel == name {
+			return sf, nil
+		}
+	}
+	return core.Surface{}, fmt.Errorf("experiments: no surface for %q", name)
+}
+
+// categoriesInOrder returns all categories, fixed order.
+func categoriesInOrder() []core.Category {
+	out := make([]core.Category, 0, core.NumCategories)
+	for c := core.CompCoupled; c <= core.Irregular; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// sortedSuiteNames returns the corpus suite names sorted.
+func (s *Study) sortedSuiteNames() []string {
+	names := make([]string, 0, len(s.Corpus))
+	for _, suite := range s.Corpus {
+		names = append(names, suite.Name)
+	}
+	sort.Strings(names)
+	return names
+}

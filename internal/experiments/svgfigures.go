@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"gpuscale/internal/core"
+	"gpuscale/internal/kernel"
+	"gpuscale/internal/report"
+	"gpuscale/internal/roofline"
+	"gpuscale/internal/stats"
+)
+
+// SVGFigures returns the study's key figures as named SVG writers —
+// the vector-figure counterparts of the ASCII figures, for inclusion
+// in documents. WriteSVGFigures renders them all into a directory.
+func (s *Study) SVGFigures() (map[string]func(io.Writer) error, error) {
+	comp, err := s.findByCategory(core.CompCoupled)
+	if err != nil {
+		return nil, err
+	}
+	bw, err := s.findByCategory(core.BWCoupled)
+	if err != nil {
+		return nil, err
+	}
+	ci, err := s.findByCategory(core.CUIntolerant)
+	if err != nil {
+		return nil, err
+	}
+	lb, err := s.findByCategory(core.LatencyBound)
+	if err != nil {
+		return nil, err
+	}
+
+	out := map[string]func(io.Writer) error{}
+
+	chart := func(c report.LineChart) func(io.Writer) error {
+		return func(w io.Writer) error { return c.RenderSVG(w) }
+	}
+
+	out["fig-r1a-cu-scaling"] = chart(report.LineChart{
+		Title:  "Fig R-1a: intuitive scaling vs compute units",
+		XLabel: "compute units", YLabel: "normalised speedup",
+		Series: []report.Series{
+			{Name: "comp-coupled " + comp.Kernel, X: comp.CU.Settings, Y: comp.CU.Curve},
+			{Name: "bw-coupled " + bw.Kernel, X: bw.CU.Settings, Y: bw.CU.Curve},
+		},
+	})
+	out["fig-r1b-mem-scaling"] = chart(report.LineChart{
+		Title:  "Fig R-1b: intuitive scaling vs memory clock",
+		XLabel: "memory clock (MHz)", YLabel: "normalised speedup",
+		Series: []report.Series{
+			{Name: "comp-coupled " + comp.Kernel, X: comp.Mem.Settings, Y: comp.Mem.Curve},
+			{Name: "bw-coupled " + bw.Kernel, X: bw.Mem.Settings, Y: bw.Mem.Curve},
+		},
+	})
+	out["fig-r2-cu-intolerance"] = chart(report.LineChart{
+		Title:  fmt.Sprintf("Fig R-2: performance loss with added CUs (%s)", ci.Kernel),
+		XLabel: "compute units", YLabel: "normalised speedup",
+		Series: []report.Series{{Name: "cu-intolerant", X: ci.CU.Settings, Y: ci.CU.Curve}},
+	})
+	out["fig-r3-plateaus"] = chart(report.LineChart{
+		Title:  fmt.Sprintf("Fig R-3: frequency/bandwidth plateaus (%s)", lb.Kernel),
+		XLabel: "axis setting index", YLabel: "normalised speedup",
+		Series: []report.Series{
+			{Name: "vs core clock", X: indexed(lb.Core.Settings), Y: lb.Core.Curve},
+			{Name: "vs mem clock", X: indexed(lb.Mem.Settings), Y: lb.Mem.Curve},
+		},
+	})
+
+	// R-7: total speedup CDF.
+	speedups := make([]float64, len(s.Surfaces))
+	for i, sf := range s.Surfaces {
+		speedups[i] = sf.TotalSpeedup()
+	}
+	vals, fracs := stats.CDF(speedups)
+	out["fig-r7-speedup-cdf"] = chart(report.LineChart{
+		Title:  "Fig R-7: CDF of total speedup, min to max configuration",
+		XLabel: "speedup", YLabel: "fraction of kernels",
+		Series: []report.Series{{Name: "all 267 kernels", X: vals, Y: fracs}},
+	})
+
+	// R-6: speedup heatmaps for the two signature shapes.
+	for _, item := range []struct {
+		name string
+		c    core.Classification
+	}{
+		{"fig-r6-comp-surface", comp},
+		{"fig-r6-intolerant-surface", ci},
+	} {
+		sf, err := s.surfaceOf(item.c.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		rows := make([]string, len(s.Space.CUCounts))
+		for i, cu := range s.Space.CUCounts {
+			rows[i] = fmt.Sprintf("%dcu", cu)
+		}
+		cols := make([]string, len(s.Space.CoreClocksMHz))
+		for i, f := range s.Space.CoreClocksMHz {
+			cols[i] = fmt.Sprintf("%g", f)
+		}
+		h := report.Heatmap{
+			Title:     fmt.Sprintf("Speedup over CU x core clock: %s", item.c.Kernel),
+			RowLabels: rows, ColLabels: cols,
+			Values: sf.SpeedupGrid(),
+		}
+		hh := h // capture
+		out[item.name] = func(w io.Writer) error { return hh.RenderSVG(w) }
+	}
+
+	// C-2: roofline.
+	ks := make([]*kernel.Kernel, 0, len(s.kernels))
+	for _, name := range s.Matrix.Kernels {
+		ks = append(ks, s.kernels[name])
+	}
+	cfg := s.Space.Max()
+	pts, err := roofline.Place(ks, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var xs, ys []float64
+	for _, p := range pts {
+		if math.IsInf(p.Intensity, 1) || p.Intensity <= 0 || p.GFLOPS <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log10(p.Intensity))
+		ys = append(ys, math.Log10(p.GFLOPS))
+	}
+	var roofX, roofY []float64
+	for e := -2.0; e <= 3.0; e += 0.1 {
+		roofX = append(roofX, e)
+		roofY = append(roofY, math.Log10(roofline.Attainable(cfg, math.Pow(10, e))))
+	}
+	out["fig-c2-roofline"] = chart(report.LineChart{
+		Title:  "Fig C-2: corpus on the roofline (log-log)",
+		XLabel: "log10 FLOP/byte", YLabel: "log10 GFLOP/s",
+		Series: []report.Series{
+			{Name: "roof", X: roofX, Y: roofY},
+			{Name: "kernels", X: xs, Y: ys},
+		},
+	})
+	return out, nil
+}
+
+// WriteSVGFigures renders every SVG figure into dir (created if
+// needed), one file per figure, and returns the file count.
+func (s *Study) WriteSVGFigures(dir string) (int, error) {
+	figs, err := s.SVGFigures()
+	if err != nil {
+		return 0, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	n := 0
+	for name, render := range figs {
+		f, err := os.Create(filepath.Join(dir, name+".svg"))
+		if err != nil {
+			return n, err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return n, err
+		}
+		if err := f.Close(); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

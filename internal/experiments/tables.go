@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"gpuscale/internal/core"
+	"gpuscale/internal/report"
+	"gpuscale/internal/stats"
+	"gpuscale/internal/suites"
+	"gpuscale/internal/sweep"
+)
+
+// TableR1 renders the hardware configuration space (Table R-1).
+func (s *Study) TableR1() *report.Table {
+	t := &report.Table{
+		Title:  "Table R-1: hardware configuration space",
+		Header: []string{"knob", "settings", "count", "range"},
+	}
+	t.AddRow("compute units", fmt.Sprintf("%v", s.Space.CUCounts),
+		len(s.Space.CUCounts), fmt.Sprintf("%.1fx", s.Space.CURange()))
+	t.AddRow("core clock (MHz)", fmt.Sprintf("%v", s.Space.CoreClocksMHz),
+		len(s.Space.CoreClocksMHz), fmt.Sprintf("%.1fx", s.Space.CoreClockRange()))
+	t.AddRow("memory clock (MHz)", fmt.Sprintf("%v", s.Space.MemClocksMHz),
+		len(s.Space.MemClocksMHz), fmt.Sprintf("%.1fx", s.Space.MemClockRange()))
+	t.AddRow("total configurations", "", s.Space.Size(), "")
+	t.AddRow("total simulations", "", sweep.Runs(len(s.Matrix.Kernels), s.Space.Size()), "")
+	return t
+}
+
+// TableR2 renders corpus composition (Table R-2).
+func (s *Study) TableR2() *report.Table {
+	t := &report.Table{
+		Title:  "Table R-2: benchmark corpus composition",
+		Header: []string{"suite", "stands in for", "programs", "kernels"},
+	}
+	programs, kernels := 0, 0
+	for _, suite := range s.Corpus {
+		t.AddRow(suite.Name, suite.Description, len(suite.Programs), suite.KernelCount())
+		programs += len(suite.Programs)
+		kernels += suite.KernelCount()
+	}
+	t.AddRow("total", "", programs, kernels)
+	return t
+}
+
+// TableR3 renders the taxonomy distribution (Table R-3).
+func (s *Study) TableR3() *report.Table {
+	t := &report.Table{
+		Title:  "Table R-3: taxonomy category distribution (267 kernels)",
+		Header: []string{"category", "kernels", "share", "kind"},
+	}
+	d := core.Distribution(s.Classifications)
+	total := len(s.Classifications)
+	kind := map[core.Category]string{
+		core.CompCoupled:        "intuitive",
+		core.BWCoupled:          "intuitive",
+		core.Balanced:           "intuitive",
+		core.ParallelismLimited: "non-obvious",
+		core.LatencyBound:       "non-obvious",
+		core.CUIntolerant:       "non-obvious",
+		core.LaunchBound:        "non-obvious",
+		core.Irregular:          "residual",
+	}
+	for _, c := range categoriesInOrder() {
+		t.AddRow(c.String(), d[c], fmt.Sprintf("%.1f%%", 100*float64(d[c])/float64(total)), kind[c])
+	}
+	return t
+}
+
+// TableR4 renders the per-suite category breakdown (Table R-4).
+func (s *Study) TableR4() *report.Table {
+	header := []string{"suite"}
+	for _, c := range categoriesInOrder() {
+		header = append(header, c.String())
+	}
+	t := &report.Table{
+		Title:  "Table R-4: taxonomy categories per suite",
+		Header: header,
+	}
+	counts := map[string]map[core.Category]int{}
+	for _, c := range s.Classifications {
+		suite := s.suiteOf[c.Kernel]
+		if counts[suite] == nil {
+			counts[suite] = map[core.Category]int{}
+		}
+		counts[suite][c.Category]++
+	}
+	for _, name := range s.sortedSuiteNames() {
+		row := []any{name}
+		for _, c := range categoriesInOrder() {
+			row = append(row, counts[name][c])
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// TableR5 renders suite scalability (Table R-5) — the "benchmarks do
+// not scale to modern GPU sizes" result.
+func (s *Study) TableR5() (*report.Table, error) {
+	rs, err := core.AnalyzeSuites(s.Surfaces, func(k string) string { return s.suiteOf[k] })
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title: "Table R-5: suite scalability at modern GPU size (44 CUs)",
+		Header: []string{"suite", "kernels", "median CU efficiency",
+			"saturate at <=22 CUs", "median total speedup", "scales?"},
+	}
+	for _, r := range rs {
+		verdict := "yes"
+		if !r.Scales {
+			verdict = "NO"
+		}
+		t.AddRow(r.Suite, r.Kernels, r.MedianCUEfficiency,
+			fmt.Sprintf("%.0f%%", 100*r.SaturatedEarlyFraction),
+			r.MedianTotalSpeedup, verdict)
+	}
+	return t, nil
+}
+
+// TableR6 renders rule-vs-cluster agreement (Table R-6).
+func (s *Study) TableR6(k int) (*report.Table, error) {
+	ct, err := core.Cluster(s.Surfaces, k, ClusterSeed)
+	if err != nil {
+		return nil, err
+	}
+	table, purity, err := core.Agreement(s.Classifications, ct)
+	if err != nil {
+		return nil, err
+	}
+	header := []string{"category \\ cluster"}
+	for i := 0; i < k; i++ {
+		header = append(header, fmt.Sprintf("c%d", i))
+	}
+	t := &report.Table{
+		Title: fmt.Sprintf(
+			"Table R-6: rule-based vs clustered taxonomy (k=%d, purity %.2f, silhouette %.2f)",
+			k, purity, ct.Silhouette),
+		Header: header,
+	}
+	for _, c := range categoriesInOrder() {
+		row, ok := table[c]
+		if !ok {
+			continue
+		}
+		cells := []any{c.String()}
+		for _, n := range row {
+			cells = append(cells, n)
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+// TableBaseline cross-tabulates the taxonomy against the static
+// roofline baseline, demonstrating the classes the baseline conflates.
+func (s *Study) TableBaseline() *report.Table {
+	conf := core.BaselineConfusion(s.Classifications, s.kernels)
+	t := &report.Table{
+		Title:  "Baseline: static roofline class per taxonomy category",
+		Header: []string{"category", "roofline=compute", "roofline=memory"},
+	}
+	for _, c := range categoriesInOrder() {
+		row, ok := conf[c]
+		if !ok {
+			continue
+		}
+		t.AddRow(c.String(), row[core.BaselineCompute], row[core.BaselineMemory])
+	}
+	return t
+}
+
+// TableC1 characterises the corpus the way an IISWC paper would: per
+// suite, the medians of the static and dynamic properties that drive
+// scaling behaviour.
+func (s *Study) TableC1() *report.Table {
+	t := &report.Table{
+		Title: "Table C-1: corpus characterisation (per-suite medians)",
+		Header: []string{"suite", "workgroups", "waves/CU", "arith intensity",
+			"SIMD eff", "eff MLP", "WG working set (KiB)"},
+	}
+	type agg struct {
+		wgs, occ, ai, simd, mlp, ws []float64
+	}
+	bySuite := map[string]*agg{}
+	for _, k := range s.kernels {
+		a, ok := bySuite[k.Suite]
+		if !ok {
+			a = &agg{}
+			bySuite[k.Suite] = a
+		}
+		a.wgs = append(a.wgs, float64(k.Workgroups))
+		a.occ = append(a.occ, float64(k.OccupancyWavesPerCU()))
+		ai := k.ArithmeticIntensity()
+		if math.IsInf(ai, 1) {
+			ai = 1e6
+		}
+		a.ai = append(a.ai, ai)
+		a.simd = append(a.simd, k.SIMDEfficiency)
+		a.mlp = append(a.mlp, k.EffectiveMLP())
+		a.ws = append(a.ws, float64(k.Mem.WorkingSetPerWG)/1024)
+	}
+	for _, name := range s.sortedSuiteNames() {
+		a := bySuite[name]
+		t.AddRow(name,
+			stats.Median(a.wgs), stats.Median(a.occ), stats.Median(a.ai),
+			stats.Median(a.simd), stats.Median(a.mlp), stats.Median(a.ws))
+	}
+	return t
+}
+
+// TableI1 reports how the three hardware knobs compose: for every
+// kernel and axis pair, whether raising both knobs multiplies,
+// falls short of (shared bottleneck), or exceeds (unlock) the product
+// of the individual speedups.
+func (s *Study) TableI1() (*report.Table, error) {
+	dist, err := core.InteractionDistribution(s.Surfaces, core.InteractionTolerance)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title: fmt.Sprintf("Table I-1: axis-pair interaction classes (tolerance %.0f%%)",
+			100*core.InteractionTolerance),
+		Header: []string{"axis pair", "multiplicative", "sub-multiplicative",
+			"super-multiplicative"},
+	}
+	for p := core.PairCUCore; p <= core.PairCoreMem; p++ {
+		row := dist[p]
+		t.AddRow(p.String(), row[core.Multiplicative],
+			row[core.SubMultiplicative], row[core.SuperMultiplicative])
+	}
+	return t, nil
+}
+
+// TableP1 reports the program-level view: classify the 97 aggregated
+// program surfaces and count how often the program category hides a
+// differently-scaling kernel inside — the motivation for the paper's
+// kernel-granularity methodology.
+func (s *Study) TableP1() (*report.Table, error) {
+	weightOf := func(name string) (core.KernelWeight, bool) {
+		k, ok := s.kernels[name]
+		if !ok {
+			return core.KernelWeight{}, false
+		}
+		return core.KernelWeight{Program: k.Program, Iterations: k.Iterations}, true
+	}
+	ps, err := core.ProgramSurfaces(s.Matrix, weightOf)
+	if err != nil {
+		return nil, err
+	}
+	cl := core.DefaultClassifier()
+	ds, err := core.ProgramDisagreement(cl, ps, s.Classifications, func(name string) string {
+		if k := s.kernels[name]; k != nil {
+			return k.Program
+		}
+		return ""
+	})
+	if err != nil {
+		return nil, err
+	}
+	dist := map[core.Category]int{}
+	hidden, multi := 0, 0
+	for _, d := range ds {
+		dist[d.ProgramCategory]++
+		if d.Hidden {
+			hidden++
+		}
+		if d.Categories > 1 {
+			multi++
+		}
+	}
+	t := &report.Table{
+		Title:  fmt.Sprintf("Table P-1: program-level taxonomy (%d programs)", len(ds)),
+		Header: []string{"category", "programs"},
+	}
+	for _, c := range categoriesInOrder() {
+		if dist[c] == 0 {
+			continue
+		}
+		t.AddRow(c.String(), dist[c])
+	}
+	t.AddRow("programs mixing kernel categories", multi)
+	t.AddRow("programs whose category hides a kernel's", hidden)
+	return t, nil
+}
+
+// TableArchetypeRecovery cross-tabulates generator archetypes against
+// discovered categories — the corpus-validation view.
+func (s *Study) TableArchetypeRecovery() *report.Table {
+	header := []string{"archetype \\ category"}
+	for _, c := range categoriesInOrder() {
+		header = append(header, c.String())
+	}
+	t := &report.Table{
+		Title:  "Validation: archetype vs discovered category",
+		Header: header,
+	}
+	counts := map[suites.Archetype]map[core.Category]int{}
+	for _, c := range s.Classifications {
+		a := s.arch[c.Kernel]
+		if counts[a] == nil {
+			counts[a] = map[core.Category]int{}
+		}
+		counts[a][c.Category]++
+	}
+	for a := suites.Archetype(0); int(a) < suites.NumArchetypes; a++ {
+		row := []any{a.String()}
+		for _, c := range categoriesInOrder() {
+			row = append(row, counts[a][c])
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,144 @@
+package gcn
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+)
+
+func mustSimDetailed(t *testing.T, k *kernel.Kernel, cfg hw.Config) Result {
+	t.Helper()
+	r, err := SimulateDetailed(k, cfg)
+	if err != nil {
+		t.Fatalf("SimulateDetailed(%s, %v): %v", k.Name, cfg, err)
+	}
+	return r
+}
+
+// smaller returns a copy of k with the workgroup count reduced so the
+// detailed engine stays fast.
+func smaller(k *kernel.Kernel, wgs int) *kernel.Kernel {
+	c := *k
+	c.Workgroups = wgs
+	return &c
+}
+
+func TestDetailedMatchesRoundOnArchetypes(t *testing.T) {
+	// The two engines share a performance model but differ in
+	// dispatch granularity; kernel times must agree within 30% on
+	// every archetype, at two corner configurations.
+	kernels := []*kernel.Kernel{
+		smaller(computeBoundKernel(), 512),
+		smaller(bandwidthBoundKernel(), 512),
+		parallelismLimitedKernel(),
+		smaller(cuIntolerantKernel(), 512),
+		smaller(latencyBoundKernel(), 256),
+	}
+	cfgs := []hw.Config{hw.Reference(), hw.Minimum()}
+	for _, k := range kernels {
+		for _, cfg := range cfgs {
+			round := mustSim(t, k, cfg)
+			det := mustSimDetailed(t, k, cfg)
+			ratio := det.KernelNS / round.KernelNS
+			if ratio < 0.7 || ratio > 1.45 {
+				t.Errorf("%s@%v: detailed/round = %.2f (detailed %.0f ns, round %.0f ns)",
+					k.Name, cfg, ratio, det.KernelNS, round.KernelNS)
+			}
+		}
+	}
+}
+
+func TestDetailedAgreesOnScalingDirection(t *testing.T) {
+	// Fidelity matters less than direction: both engines must agree
+	// on which of two configurations is faster for each archetype.
+	pairs := [][2]hw.Config{
+		{cfgWith(8, 1000, 1250), cfgWith(44, 1000, 1250)},
+		{cfgWith(44, 200, 1250), cfgWith(44, 1000, 1250)},
+		{cfgWith(44, 1000, 150), cfgWith(44, 1000, 1250)},
+	}
+	kernels := []*kernel.Kernel{
+		smaller(computeBoundKernel(), 512),
+		smaller(bandwidthBoundKernel(), 512),
+		smaller(latencyBoundKernel(), 256),
+	}
+	for _, k := range kernels {
+		for _, pair := range pairs {
+			r0, r1 := mustSim(t, k, pair[0]), mustSim(t, k, pair[1])
+			d0, d1 := mustSimDetailed(t, k, pair[0]), mustSimDetailed(t, k, pair[1])
+			roundSays := r1.Throughput / r0.Throughput
+			detSays := d1.Throughput / d0.Throughput
+			// Agree on "material speedup vs roughly flat".
+			if (roundSays > 1.3) != (detSays > 1.3) && math.Abs(roundSays-detSays) > 0.35 {
+				t.Errorf("%s %v->%v: round says %.2fx, detailed says %.2fx",
+					k.Name, pair[0], pair[1], roundSays, detSays)
+			}
+		}
+	}
+}
+
+func TestDetailedTailEffect(t *testing.T) {
+	// 45 workgroups on 44 CUs: the detailed engine should show the
+	// classic tail (barely faster than 44 WGs), and adding the 45th
+	// workgroup must not double the time.
+	k := smaller(computeBoundKernel(), 44)
+	k2 := smaller(computeBoundKernel(), 45)
+	t44 := mustSimDetailed(t, k, cfgWith(44, 1000, 1250)).KernelNS
+	t45 := mustSimDetailed(t, k2, cfgWith(44, 1000, 1250)).KernelNS
+	if t45 < t44 {
+		t.Fatalf("45 WGs faster than 44: %g < %g", t45, t44)
+	}
+	if t45 > 2.2*t44 {
+		t.Fatalf("tail workgroup more than doubled time: %g vs %g", t45, t44)
+	}
+}
+
+func TestDetailedDoesNotFit(t *testing.T) {
+	k := computeBoundKernel()
+	k.SGPRsPerWave = 512
+	k.WGSize = 1024
+	if _, err := SimulateDetailed(k, hw.Reference()); !errors.Is(err, ErrDoesNotFit) {
+		t.Fatalf("SimulateDetailed = %v, want ErrDoesNotFit", err)
+	}
+}
+
+func TestDetailedRejectsInvalid(t *testing.T) {
+	bad := computeBoundKernel()
+	bad.VALUPerWave = 0
+	if _, err := SimulateDetailed(bad, hw.Reference()); err == nil {
+		t.Error("invalid kernel accepted")
+	}
+	if _, err := SimulateDetailed(computeBoundKernel(), hw.Config{CUs: -1}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestDetailedInvariants(t *testing.T) {
+	for _, k := range []*kernel.Kernel{
+		smaller(computeBoundKernel(), 128),
+		smaller(bandwidthBoundKernel(), 128),
+		launchBoundKernel(),
+	} {
+		r := mustSimDetailed(t, k, hw.Reference())
+		if r.TimeNS <= 0 || math.IsNaN(r.TimeNS) {
+			t.Fatalf("%s: TimeNS = %g", k.Name, r.TimeNS)
+		}
+		if r.Throughput <= 0 {
+			t.Fatalf("%s: Throughput = %g", k.Name, r.Throughput)
+		}
+		if r.KernelNS > r.TimeNS {
+			t.Fatalf("%s: kernel %g > total %g", k.Name, r.KernelNS, r.TimeNS)
+		}
+	}
+}
+
+func TestDetailedDeterministic(t *testing.T) {
+	k := smaller(bandwidthBoundKernel(), 200)
+	a := mustSimDetailed(t, k, cfgWith(20, 700, 700))
+	b := mustSimDetailed(t, k, cfgWith(20, 700, 700))
+	if a.KernelNS != b.KernelNS {
+		t.Fatalf("non-deterministic: %g vs %g", a.KernelNS, b.KernelNS)
+	}
+}

@@ -1,0 +1,348 @@
+package gcn
+
+import (
+	"fmt"
+	"math"
+
+	"gpuscale/internal/hw"
+	"gpuscale/internal/isa"
+	"gpuscale/internal/kernel"
+	"gpuscale/internal/memory"
+)
+
+// The pipeline engine: execution-driven, cycle-level simulation of one
+// compute unit interpreting the kernel's lowered instruction stream
+// (internal/isa). One full resident set (occupancy workgroups) runs
+// cycle by cycle with per-port issue arbitration, a load scoreboard,
+// and workgroup barriers; the measured resident-set time then replaces
+// the round engine's analytic issue bound for the whole launch.
+//
+// It is the only engine that sees instruction order, so it captures
+// what the others assume: that latency hiding works when independent
+// instructions exist and fails when the stream is dependence-bound.
+
+// pipelinePorts is the per-cycle issue capability of a CU in this
+// model: one vector-ish instruction (VALU/LDS), one memory
+// instruction, one scalar instruction — matching the aggregate rates
+// the coarse engines assume.
+type cuPipeline struct {
+	prog       *isa.Program
+	waves      []pipeWave
+	wavesPerWG int
+
+	// Load completions are FIFO because latency is constant.
+	loadDone []loadCompletion
+
+	// barrier bookkeeping per resident workgroup.
+	arrived []int
+
+	policy SchedPolicy
+
+	cycle int64
+}
+
+type pipeWave struct {
+	wg        int // resident workgroup index
+	instr     int // index into prog.Body
+	remaining int // repetitions left of the current instruction
+	loads     int // outstanding loads
+	atBarrier bool
+	done      bool
+}
+
+type loadCompletion struct {
+	cycle int64
+	wave  int
+}
+
+// SimulatePipeline runs the execution-driven engine for one kernel on
+// one configuration. Use for validation; cost is
+// O(resident waves x dynamic instructions) cycles per launch batch.
+func SimulatePipeline(k *kernel.Kernel, cfg hw.Config) (Result, error) {
+	if err := k.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	occWGs := k.WorkgroupsPerCU()
+	if occWGs == 0 {
+		return Result{}, fmt.Errorf("%w: %s", ErrDoesNotFit, k.Name)
+	}
+	prog, err := isa.Lower(k)
+	if err != nil {
+		return Result{}, err
+	}
+	d := newDemand(k, cfg)
+	hier := memory.NewHierarchy(cfg)
+	hr := memory.EstimateHitRatesL2(k, occWGs, cfg.CUs, cfg.L2CapacityBytes())
+
+	// Estimate channel utilisation from the analytic solver so load
+	// latency reflects queueing, then convert to cycles.
+	fullBatch := cfg.CUs * occWGs
+	totalWGs := fullBatch
+	if k.Workgroups < totalWGs {
+		totalWGs = k.Workgroups
+	}
+	analyticT, _, _ := batchTime(k, cfg, d, cfg.CUs, occWGs, totalWGs)
+	util := 0.0
+	if analyticT > 0 {
+		effBW := hier.EffectiveBandwidthGBs(k.Mem.Pattern)
+		dramBytes := float64(totalWGs) * d.transBytesPerWG * (1 - hr.L1) * (1 - hr.L2)
+		if effBW > 0 {
+			util = clampUnit(dramBytes / effBW / analyticT)
+		}
+	}
+	latencyCycles := int64(math.Ceil(hier.AvgAccessLatencyNS(hr, util) / cfg.CoreCycleNS()))
+	if latencyCycles < 1 {
+		latencyCycles = 1
+	}
+
+	// Cycle-simulate one CU holding one full resident set.
+	residentWGs := occWGs
+	if k.Workgroups < residentWGs {
+		residentWGs = k.Workgroups
+	}
+	cycles, err := simulateResidentSet(prog, residentWGs, d.wavesPerWG, latencyCycles)
+	if err != nil {
+		return Result{}, err
+	}
+	setTimeNS := float64(cycles) * cfg.CoreCycleNS()
+
+	// Whole launch: the measured resident-set time replaces the
+	// analytic issue bound; global bandwidth bounds still apply.
+	kernelNS := 0.0
+	boundNS := map[Bound]float64{}
+	remaining := k.Workgroups
+	for remaining > 0 {
+		batch := fullBatch
+		if remaining < batch {
+			batch = remaining
+		}
+		activeCUs := (batch + occWGs - 1) / occWGs
+		if activeCUs > cfg.CUs {
+			activeCUs = cfg.CUs
+		}
+		hrB := memory.EstimateHitRatesL2(k, occWGs, activeCUs, cfg.L2CapacityBytes())
+		l2Bytes := float64(batch) * d.transBytesPerWG * (1 - hrB.L1)
+		dramBytes := l2Bytes * (1 - hrB.L2)
+		l2T := 0.0
+		if l2Bytes > 0 {
+			l2T = l2Bytes / l2BandwidthGBs(cfg)
+		}
+		dramT := 0.0
+		if eff := hier.EffectiveBandwidthGBs(k.Mem.Pattern); eff > 0 && dramBytes > 0 {
+			dramT = dramBytes / eff
+		}
+		t := setTimeNS
+		b := BoundCompute
+		if dramT > t {
+			t, b = dramT, BoundDRAM
+		}
+		if l2T > t {
+			t, b = l2T, BoundL2
+		}
+		kernelNS += t
+		boundNS[b] += t
+		remaining -= batch
+	}
+
+	total := kernelNS + k.LaunchOverheadNS
+	dominant, share := dominantBound(boundNS, kernelNS, k.LaunchOverheadNS, total)
+	transBytes := d.transBytesPerWG * float64(k.Workgroups)
+	dramBytes := transBytes * (1 - hr.L1) * (1 - hr.L2)
+	return Result{
+		TimeNS:         total,
+		KernelNS:       kernelNS,
+		Throughput:     float64(k.TotalWorkItems()) / total,
+		AchievedGFLOPS: d.flopsPerWG * float64(k.Workgroups) / total,
+		AchievedGBs:    dramBytes / total,
+		HitRates:       hr,
+		OccupancyWaves: k.OccupancyWavesPerCU(),
+		Bound:          dominant,
+		BoundShare:     share,
+	}, nil
+}
+
+// SchedPolicy selects the wavefront scheduling policy of the pipeline
+// engine's issue ports.
+type SchedPolicy int
+
+// Scheduling policies.
+const (
+	// RoundRobin rotates fairly across ready waves (the default; GCN's
+	// baseline arbitration is close to this).
+	RoundRobin SchedPolicy = iota
+	// GreedyThenOldest always drains the oldest ready wave — the GTO
+	// policy common in GPU-simulator studies.
+	GreedyThenOldest
+)
+
+// String names the policy.
+func (p SchedPolicy) String() string {
+	if p == GreedyThenOldest {
+		return "gto"
+	}
+	return "round-robin"
+}
+
+// simulateResidentSet runs wgs workgroups (wavesPerWG waves each) of
+// prog on one CU, cycle by cycle, and returns the cycles to drain them
+// all.
+func simulateResidentSet(prog *isa.Program, wgs, wavesPerWG int, latencyCycles int64) (int64, error) {
+	return SimulateResidentSetPolicy(prog, wgs, wavesPerWG, latencyCycles, RoundRobin)
+}
+
+// SimulateResidentSetPolicy is the policy-parameterised resident-set
+// simulation, exposed for the scheduler-policy ablation: it returns
+// the cycles one CU needs to drain wgs workgroups of the program.
+func SimulateResidentSetPolicy(prog *isa.Program, wgs, wavesPerWG int, latencyCycles int64, policy SchedPolicy) (int64, error) {
+	if err := prog.Validate(); err != nil {
+		return 0, err
+	}
+	p := &cuPipeline{
+		prog:       prog,
+		wavesPerWG: wavesPerWG,
+		arrived:    make([]int, wgs),
+		policy:     policy,
+	}
+	for wg := 0; wg < wgs; wg++ {
+		for i := 0; i < wavesPerWG; i++ {
+			p.waves = append(p.waves, pipeWave{
+				wg:        wg,
+				remaining: prog.Body[0].Count,
+			})
+		}
+	}
+
+	live := len(p.waves)
+	rrVec, rrMem, rrScalar := 0, 0, 0
+	const safety = int64(1) << 40
+	for live > 0 {
+		if p.cycle > safety {
+			return 0, fmt.Errorf("gcn: pipeline engine ran away on %s", prog.Name)
+		}
+		// Retire loads completing at or before this cycle.
+		for len(p.loadDone) > 0 && p.loadDone[0].cycle <= p.cycle {
+			p.waves[p.loadDone[0].wave].loads--
+			p.loadDone = p.loadDone[1:]
+		}
+
+		issued := false
+		// One vector (VALU/LDS), one memory (load/store), one scalar
+		// issue per cycle, each from any ready wave, round-robin.
+		if w := p.pickReady(&rrVec, isVector); w >= 0 {
+			p.step(w)
+			issued = true
+		}
+		if w := p.pickReady(&rrMem, isMemory); w >= 0 {
+			wv := &p.waves[w]
+			if p.prog.Body[wv.instr].Op == isa.OpLoad {
+				wv.loads++
+				p.loadDone = append(p.loadDone, loadCompletion{cycle: p.cycle + latencyCycles, wave: w})
+			}
+			p.step(w)
+			issued = true
+		}
+		if w := p.pickReady(&rrScalar, isScalar); w >= 0 {
+			p.step(w)
+			issued = true
+		}
+		// Non-port instructions: barriers and ends resolve without an
+		// issue slot.
+		for w := range p.waves {
+			wv := &p.waves[w]
+			if wv.done || wv.atBarrier {
+				continue
+			}
+			switch op := p.prog.Body[wv.instr].Op; op {
+			case isa.OpBarrier:
+				wv.atBarrier = true
+				p.arrived[wv.wg]++
+				if p.arrived[wv.wg] == p.wavesPerWG {
+					p.releaseBarrier(wv.wg)
+				}
+				issued = true
+			case isa.OpEnd:
+				if wv.loads == 0 {
+					wv.done = true
+					live--
+					issued = true
+				}
+			}
+		}
+
+		if issued {
+			p.cycle++
+			continue
+		}
+		// Everything is stalled: skip to the next load completion.
+		if len(p.loadDone) > 0 {
+			p.cycle = p.loadDone[0].cycle
+			continue
+		}
+		return 0, fmt.Errorf("gcn: pipeline deadlock on %s at cycle %d", prog.Name, p.cycle)
+	}
+	return p.cycle, nil
+}
+
+func isVector(op isa.Op) bool { return op == isa.OpVALU || op == isa.OpLDS }
+func isMemory(op isa.Op) bool { return op == isa.OpLoad || op == isa.OpStore }
+func isScalar(op isa.Op) bool { return op == isa.OpSALU }
+
+// pickReady returns the index of the next wave whose current
+// instruction matches the port and is ready to issue, or -1. Under
+// RoundRobin the scan rotates from *rr; under GreedyThenOldest it
+// always starts from wave 0 (oldest first, sticking with a wave until
+// it stalls).
+func (p *cuPipeline) pickReady(rr *int, port func(isa.Op) bool) int {
+	n := len(p.waves)
+	start := *rr
+	if p.policy == GreedyThenOldest {
+		start = 0
+	}
+	for i := 0; i < n; i++ {
+		w := (start + i) % n
+		wv := &p.waves[w]
+		if wv.done || wv.atBarrier {
+			continue
+		}
+		in := p.prog.Body[wv.instr]
+		if !port(in.Op) {
+			continue
+		}
+		if in.DependsOnLoad && wv.loads > 0 {
+			continue
+		}
+		if p.policy == RoundRobin {
+			*rr = (w + 1) % n
+		}
+		return w
+	}
+	return -1
+}
+
+// step consumes one repetition of wave w's current instruction.
+func (p *cuPipeline) step(w int) {
+	wv := &p.waves[w]
+	wv.remaining--
+	if wv.remaining == 0 {
+		wv.instr++
+		if wv.instr < len(p.prog.Body) {
+			wv.remaining = p.prog.Body[wv.instr].Count
+		}
+	}
+}
+
+// releaseBarrier wakes every wave of a workgroup waiting at a barrier
+// and advances them past it.
+func (p *cuPipeline) releaseBarrier(wg int) {
+	p.arrived[wg] = 0
+	for w := range p.waves {
+		wv := &p.waves[w]
+		if wv.wg == wg && wv.atBarrier {
+			wv.atBarrier = false
+			p.step(w)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package gcn
+
+import (
+	"testing"
+
+	"gpuscale/internal/hw"
+	"gpuscale/internal/suites"
+)
+
+// Corpus-wide physical sanity properties of the round engine. These
+// run every one of the 267 corpus kernels against axis sweeps, so any
+// modelling regression that breaks basic physics is caught here.
+
+func TestCorpusCoreClockMonotonicity(t *testing.T) {
+	// A faster core clock (everything else fixed) must never hurt:
+	// every latency and bandwidth term it touches improves or stays.
+	for _, k := range suites.AllKernels(suites.Corpus()) {
+		prev := -1.0
+		for _, f := range hw.StudySpace().CoreClocksMHz {
+			r, err := Simulate(k, hw.Config{CUs: 44, CoreClockMHz: f, MemClockMHz: 1250})
+			if err != nil {
+				t.Fatalf("%s: %v", k.Name, err)
+			}
+			if r.Throughput < prev*0.999 {
+				t.Fatalf("%s: throughput fell from %g to %g at %g MHz core",
+					k.Name, prev, r.Throughput, f)
+			}
+			prev = r.Throughput
+		}
+	}
+}
+
+func TestCorpusMemClockMonotonicity(t *testing.T) {
+	for _, k := range suites.AllKernels(suites.Corpus()) {
+		prev := -1.0
+		for _, f := range hw.StudySpace().MemClocksMHz {
+			r, err := Simulate(k, hw.Config{CUs: 44, CoreClockMHz: 1000, MemClockMHz: f})
+			if err != nil {
+				t.Fatalf("%s: %v", k.Name, err)
+			}
+			if r.Throughput < prev*0.999 {
+				t.Fatalf("%s: throughput fell from %g to %g at %g MHz mem",
+					k.Name, prev, r.Throughput, f)
+			}
+			prev = r.Throughput
+		}
+	}
+}
+
+func TestCorpusCUDeclineOnlyFromCacheContention(t *testing.T) {
+	// Adding CUs may legitimately hurt — but only via the shared-L2
+	// mechanism. Kernels whose aggregate working set cannot overflow
+	// the L2 must be CU-monotone.
+	for _, e := range suites.AllEntries(suites.Corpus()) {
+		k := e.Kernel
+		maxResident := int64(k.WorkgroupsPerCU()) * int64(hw.MaxCUs)
+		if maxResident*k.Mem.WorkingSetPerWG > hw.L2Bytes/2 {
+			continue // contention plausible: decline allowed
+		}
+		prev := -1.0
+		for _, cu := range hw.StudySpace().CUCounts {
+			r, err := Simulate(k, hw.Config{CUs: cu, CoreClockMHz: 1000, MemClockMHz: 1250})
+			if err != nil {
+				t.Fatalf("%s: %v", k.Name, err)
+			}
+			if r.Throughput < prev*0.999 {
+				t.Fatalf("%s (%v): CU-decline without cache contention: %g -> %g at %d CUs",
+					k.Name, e.Archetype, prev, r.Throughput, cu)
+			}
+			prev = r.Throughput
+		}
+	}
+}
+
+func TestCorpusBoundsAreConsistent(t *testing.T) {
+	// The reported dominant bound must be consistent with the knobs'
+	// measured influence: a kernel reported DRAM-bound at the flagship
+	// config must respond to memory clock more than a compute-bound
+	// one responds to it.
+	for _, k := range suites.AllKernels(suites.Corpus())[:60] {
+		ref, err := Simulate(k, hw.Reference())
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		slowMem, err := Simulate(k, hw.Config{CUs: 44, CoreClockMHz: 1000, MemClockMHz: 700})
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		memSensitivity := ref.Throughput / slowMem.Throughput
+		switch ref.Bound {
+		case BoundDRAM:
+			if ref.BoundShare > 0.9 && memSensitivity < 1.2 {
+				t.Errorf("%s: reported DRAM-bound (share %.2f) but mem clock cut costs only %.2fx",
+					k.Name, ref.BoundShare, memSensitivity)
+			}
+		case BoundCompute:
+			if ref.BoundShare > 0.9 && memSensitivity > 1.3 {
+				t.Errorf("%s: reported compute-bound (share %.2f) but mem clock cut costs %.2fx",
+					k.Name, ref.BoundShare, memSensitivity)
+			}
+		}
+	}
+}
+
+func TestCorpusOccupancyWithinHardwareLimits(t *testing.T) {
+	for _, k := range suites.AllKernels(suites.Corpus()) {
+		occ := k.OccupancyWavesPerCU()
+		if occ < 1 || occ > hw.MaxWavesPerCU {
+			t.Errorf("%s: occupancy %d outside [1, %d]", k.Name, occ, hw.MaxWavesPerCU)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package gcn
+
+import (
+	"fmt"
+	"math"
+
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+	"gpuscale/internal/memory"
+)
+
+// batchTime solves the duration of one batch of workgroups: activeCUs
+// compute units, qmax workgroups on the most loaded CU, totalWGs in
+// flight. It returns the batch duration and the bound that set it.
+func batchTime(k *kernel.Kernel, cfg hw.Config, d demand, activeCUs, qmax, totalWGs int) (float64, Bound, memory.HitRates) {
+	hier := memory.NewHierarchy(cfg)
+	hr := memory.EstimateHitRatesL2(k, qmax, activeCUs, cfg.L2CapacityBytes())
+
+	// Issue bound: the most loaded CU drains its workgroups' issue
+	// streams back to back (1 wave-instruction per cycle per CU).
+	computeT := float64(qmax) * d.issueNSPerWG
+
+	// Traffic bounds: transactions that miss L1 cross the
+	// interconnect; those that also miss L2 reach DRAM.
+	l2Bytes := float64(totalWGs) * d.transBytesPerWG * (1 - hr.L1)
+	dramBytes := l2Bytes * (1 - hr.L2)
+	l2T := 0.0
+	if l2Bytes > 0 {
+		l2T = l2Bytes / l2BandwidthGBs(cfg) // GB/s == bytes/ns
+	}
+	dramT := 0.0
+	effBW := hier.EffectiveBandwidthGBs(k.Mem.Pattern)
+	if dramBytes > 0 {
+		dramT = dramBytes / effBW
+	}
+
+	// Latency bound: accesses on the most loaded CU are issued with
+	// limited concurrency (resident waves x effective MLP, degraded by
+	// barriers). The DRAM queueing delay depends on channel
+	// utilisation, which depends on the batch time itself; the batch
+	// time is therefore the fixed point of a decreasing map, found by
+	// damped iteration (a fixed pass count oscillates near saturation
+	// and can break clock monotonicity).
+	latT := 0.0
+	accesses := float64(qmax) * d.accessesPerWG
+	if accesses > 0 {
+		conc := float64(qmax*d.wavesPerWG) * k.EffectiveMLP() * barrierConcurrencyFactor(k)
+		if conc < 1 {
+			conc = 1
+		}
+		floor := math.Max(math.Max(computeT, l2T), dramT)
+		g := func(T float64) float64 {
+			util := 0.0
+			if T > 0 {
+				util = dramT / T
+			}
+			return math.Max(floor, accesses*hier.AvgAccessLatencyNS(hr, util)/conc)
+		}
+		// g is continuous and non-increasing in T, so g(T) = T has a
+		// unique solution in [floor, g(floor)]; bisect for it (plain
+		// damped iteration cycles when queueing makes g steep).
+		lo, hi := floor, g(floor)
+		total := hi
+		if hi > lo {
+			for pass := 0; pass < 64 && hi-lo > 1e-9*hi; pass++ {
+				mid := (lo + hi) / 2
+				if g(mid) > mid {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+			total = hi
+		}
+		util := 0.0
+		if total > 0 {
+			util = dramT / total
+		}
+		latT = accesses * hier.AvgAccessLatencyNS(hr, util) / conc
+	}
+
+	t := computeT
+	b := BoundCompute
+	if dramT > t {
+		t, b = dramT, BoundDRAM
+	}
+	if l2T > t {
+		t, b = l2T, BoundL2
+	}
+	if latT > t {
+		t, b = latT, BoundLatency
+	}
+	return t, b, hr
+}
+
+// Simulate runs the round engine: one kernel invocation on one
+// configuration. It returns ErrDoesNotFit if a single workgroup cannot
+// be resident on a CU.
+func Simulate(k *kernel.Kernel, cfg hw.Config) (Result, error) {
+	if err := k.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	occWGs := k.WorkgroupsPerCU()
+	if occWGs == 0 {
+		return Result{}, fmt.Errorf("%w: %s", ErrDoesNotFit, k.Name)
+	}
+	d := newDemand(k, cfg)
+
+	var kernelNS float64
+	boundNS := map[Bound]float64{}
+	var steadyHR memory.HitRates
+
+	remaining := k.Workgroups
+	// Full batches: every CU holds occWGs workgroups.
+	fullBatch := cfg.CUs * occWGs
+	if n := remaining / fullBatch; n > 0 {
+		t, b, hr := batchTime(k, cfg, d, cfg.CUs, occWGs, fullBatch)
+		kernelNS += float64(n) * t
+		boundNS[b] += float64(n) * t
+		steadyHR = hr
+		remaining -= n * fullBatch
+	}
+	// Tail batch: fewer workgroups than full residency.
+	if remaining > 0 {
+		activeCUs := remaining
+		if activeCUs > cfg.CUs {
+			activeCUs = cfg.CUs
+		}
+		qmax := (remaining + activeCUs - 1) / activeCUs
+		t, b, hr := batchTime(k, cfg, d, activeCUs, qmax, remaining)
+		kernelNS += t
+		boundNS[b] += t
+		if steadyHR == (memory.HitRates{}) {
+			steadyHR = hr
+		}
+	}
+
+	total := kernelNS + k.LaunchOverheadNS
+	dominant, share := dominantBound(boundNS, kernelNS, k.LaunchOverheadNS, total)
+
+	transBytes := d.transBytesPerWG * float64(k.Workgroups)
+	dramBytes := transBytes * (1 - steadyHR.L1) * (1 - steadyHR.L2)
+	res := Result{
+		TimeNS:         total,
+		KernelNS:       kernelNS,
+		Throughput:     float64(k.TotalWorkItems()) / total,
+		AchievedGFLOPS: d.flopsPerWG * float64(k.Workgroups) / total,
+		AchievedGBs:    dramBytes / total,
+		HitRates:       steadyHR,
+		OccupancyWaves: k.OccupancyWavesPerCU(),
+		Bound:          dominant,
+		BoundShare:     share,
+	}
+	return res, nil
+}
+
+// dominantBound picks the limiter with the largest share of total
+// time, treating launch overhead as its own bound.
+func dominantBound(boundNS map[Bound]float64, kernelNS, launchNS, totalNS float64) (Bound, float64) {
+	best, bestT := BoundCompute, 0.0
+	for b, t := range boundNS {
+		if t > bestT {
+			best, bestT = b, t
+		}
+	}
+	if launchNS > bestT {
+		best, bestT = BoundLaunch, launchNS
+	}
+	if totalNS <= 0 {
+		return best, 0
+	}
+	return best, bestT / totalNS
+}

@@ -1,0 +1,279 @@
+package gcn
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+)
+
+// Archetype kernels used across the engine tests. Each is constructed
+// to sit firmly in one scaling class so the tests can assert the
+// qualitative responses the paper reports.
+
+func computeBoundKernel() *kernel.Kernel {
+	return kernel.New("t", "t", "compute").
+		Geometry(4096, 256).
+		Compute(20000, 500).
+		Access(kernel.Streaming, 8, 2, 4).
+		Locality(16*1024, 0, 1).
+		MustBuild()
+}
+
+func bandwidthBoundKernel() *kernel.Kernel {
+	return kernel.New("t", "t", "stream").
+		Geometry(4096, 256).
+		Compute(200, 50).
+		Access(kernel.Streaming, 256, 64, 4).
+		Locality(256*1024, 0, 0).
+		MustBuild()
+}
+
+func parallelismLimitedKernel() *kernel.Kernel {
+	return kernel.New("t", "t", "smallgrid").
+		Geometry(16, 256).
+		Compute(50000, 500).
+		Access(kernel.Streaming, 16, 4, 4).
+		Locality(16*1024, 0, 1).
+		MustBuild()
+}
+
+func cuIntolerantKernel() *kernel.Kernel {
+	return kernel.New("t", "t", "thrash").
+		Geometry(4096, 256).
+		Compute(3000, 100).
+		Resources(32, 48, 32*1024). // LDS-capped at 2 WGs/CU
+		Access(kernel.Tiled, 384, 96, 4).
+		Locality(192*1024, 0, 4).
+		MustBuild()
+}
+
+func latencyBoundKernel() *kernel.Kernel {
+	return kernel.New("t", "t", "chase").
+		Geometry(2048, 64).
+		Resources(32, 48, 64*1024). // 1 WG (1 wave) per CU
+		Compute(1000, 100).
+		Access(kernel.PointerChase, 2000, 0, 1). // one line per chase step
+		Coalescing(1).
+		Locality(16<<20, 0, 0).
+		MLP(1).
+		DepChain(1).
+		MustBuild()
+}
+
+func launchBoundKernel() *kernel.Kernel {
+	return kernel.New("t", "t", "tiny").
+		Geometry(4, 64).
+		Compute(100, 10).
+		Access(kernel.Streaming, 2, 1, 4).
+		Locality(4096, 0, 0).
+		Launch(20000, 1).
+		MustBuild()
+}
+
+func mustSim(t *testing.T, k *kernel.Kernel, cfg hw.Config) Result {
+	t.Helper()
+	r, err := Simulate(k, cfg)
+	if err != nil {
+		t.Fatalf("Simulate(%s, %v): %v", k.Name, cfg, err)
+	}
+	return r
+}
+
+func cfgWith(cus int, core, mem float64) hw.Config {
+	return hw.Config{CUs: cus, CoreClockMHz: core, MemClockMHz: mem}
+}
+
+func TestComputeBoundScalesWithFrequencyAndCUs(t *testing.T) {
+	k := computeBoundKernel()
+	base := mustSim(t, k, cfgWith(22, 500, 1250))
+	fastClk := mustSim(t, k, cfgWith(22, 1000, 1250))
+	moreCUs := mustSim(t, k, cfgWith(44, 500, 1250))
+	fastMem := mustSim(t, k, cfgWith(22, 500, 150))
+
+	if r := fastClk.Throughput / base.Throughput; r < 1.8 || r > 2.1 {
+		t.Errorf("2x core clock speedup = %.2f, want ~2", r)
+	}
+	if r := moreCUs.Throughput / base.Throughput; r < 1.8 || r > 2.1 {
+		t.Errorf("2x CU speedup = %.2f, want ~2", r)
+	}
+	if r := base.Throughput / fastMem.Throughput; r < 0.95 || r > 1.3 {
+		t.Errorf("8.3x memory-clock sensitivity = %.2f, want ~1 (insensitive)", r)
+	}
+	if base.Bound != BoundCompute {
+		t.Errorf("bound = %v, want compute", base.Bound)
+	}
+}
+
+func TestBandwidthBoundScalesWithMemClock(t *testing.T) {
+	k := bandwidthBoundKernel()
+	slow := mustSim(t, k, cfgWith(44, 1000, 300))
+	fast := mustSim(t, k, cfgWith(44, 1000, 1200))
+	if r := fast.Throughput / slow.Throughput; r < 3.2 || r > 4.2 {
+		t.Errorf("4x memory clock speedup = %.2f, want ~4", r)
+	}
+	// At top memory clock, doubling CUs from 22 must barely help.
+	half := mustSim(t, k, cfgWith(22, 1000, 1250))
+	full := mustSim(t, k, cfgWith(44, 1000, 1250))
+	if r := full.Throughput / half.Throughput; r > 1.3 {
+		t.Errorf("CU speedup while bandwidth-bound = %.2f, want ~1", r)
+	}
+	if full.Bound != BoundDRAM {
+		t.Errorf("bound = %v, want dram", full.Bound)
+	}
+}
+
+func TestParallelismLimitedPlateausWithCUs(t *testing.T) {
+	k := parallelismLimitedKernel()
+	// 16 workgroups: occupancy is high, so a handful of CUs already
+	// hold the whole launch.
+	at4 := mustSim(t, k, cfgWith(4, 1000, 1250))
+	at16 := mustSim(t, k, cfgWith(16, 1000, 1250))
+	at44 := mustSim(t, k, cfgWith(44, 1000, 1250))
+	if r := at16.Throughput / at4.Throughput; r < 1.5 {
+		t.Errorf("4->16 CU speedup = %.2f, want growth while underfilled", r)
+	}
+	if r := at44.Throughput / at16.Throughput; r > 1.05 {
+		t.Errorf("16->44 CU speedup = %.2f, want plateau (only 16 workgroups)", r)
+	}
+}
+
+func TestCUIntolerantLosesPerformance(t *testing.T) {
+	k := cuIntolerantKernel()
+	best := 0.0
+	bestCUs := 0
+	var at44 float64
+	for cu := 4; cu <= 44; cu += 4 {
+		r := mustSim(t, k, cfgWith(cu, 1000, 1250))
+		if r.Throughput > best {
+			best, bestCUs = r.Throughput, cu
+		}
+		if cu == 44 {
+			at44 = r.Throughput
+		}
+	}
+	if bestCUs >= 44 {
+		t.Fatalf("peak at %d CUs, want an interior peak (CU-intolerance)", bestCUs)
+	}
+	if at44 >= best*0.97 {
+		t.Fatalf("44-CU throughput %.4f not below peak %.4f: no decline", at44, best)
+	}
+}
+
+func TestLatencyBoundPlateausInFreqAndBandwidth(t *testing.T) {
+	k := latencyBoundKernel()
+	base := mustSim(t, k, cfgWith(44, 200, 150))
+	fastClk := mustSim(t, k, cfgWith(44, 1000, 150))
+	fastMem := mustSim(t, k, cfgWith(44, 200, 1250))
+	if r := fastClk.Throughput / base.Throughput; r > 3 {
+		t.Errorf("5x core clock speedup = %.2f, want well under 3 (latency-bound)", r)
+	}
+	if r := fastMem.Throughput / base.Throughput; r > 1.5 {
+		t.Errorf("8.3x memory clock speedup = %.2f, want ~1 (latency-bound)", r)
+	}
+	if got := mustSim(t, k, cfgWith(44, 1000, 1250)); got.Bound != BoundLatency {
+		t.Errorf("bound = %v, want latency", got.Bound)
+	}
+}
+
+func TestLaunchBoundFlatEverywhere(t *testing.T) {
+	k := launchBoundKernel()
+	a := mustSim(t, k, hw.Minimum())
+	b := mustSim(t, k, hw.Reference())
+	if r := b.Throughput / a.Throughput; r > 1.2 {
+		t.Errorf("min->max config speedup = %.2f, want ~1 (launch-bound)", r)
+	}
+	if b.Bound != BoundLaunch {
+		t.Errorf("bound = %v, want launch", b.Bound)
+	}
+}
+
+func TestSimulateDoesNotFit(t *testing.T) {
+	k := kernel.New("t", "t", "huge").
+		Geometry(16, 1024).
+		Resources(256, 48, 64*1024).
+		MustBuild()
+	k.LDSPerWG = 64 * 1024
+	k.VGPRsPerWI = 256
+	k.WGSize = 1024
+	// 1024 items -> 16 waves; 256 VGPR -> 4 waves/SIMD -> 16 waves: fits.
+	// Push it over with wave slots: 1024 items and LDS full still fits,
+	// so use SGPR pressure instead.
+	k.SGPRsPerWave = 512 // 3200/512 = 6 waves < 16 needed
+	if _, err := Simulate(k, hw.Reference()); !errors.Is(err, ErrDoesNotFit) {
+		t.Fatalf("Simulate = %v, want ErrDoesNotFit", err)
+	}
+}
+
+func TestSimulateRejectsInvalidInputs(t *testing.T) {
+	bad := computeBoundKernel()
+	bad.Workgroups = 0
+	if _, err := Simulate(bad, hw.Reference()); err == nil {
+		t.Error("invalid kernel accepted")
+	}
+	if _, err := Simulate(computeBoundKernel(), hw.Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestResultInvariants(t *testing.T) {
+	kernels := []*kernel.Kernel{
+		computeBoundKernel(), bandwidthBoundKernel(), parallelismLimitedKernel(),
+		cuIntolerantKernel(), latencyBoundKernel(), launchBoundKernel(),
+	}
+	cfgs := []hw.Config{hw.Minimum(), hw.Reference(), cfgWith(20, 600, 700)}
+	for _, k := range kernels {
+		for _, cfg := range cfgs {
+			r := mustSim(t, k, cfg)
+			if r.TimeNS <= 0 || math.IsNaN(r.TimeNS) || math.IsInf(r.TimeNS, 0) {
+				t.Fatalf("%s@%v: TimeNS = %g", k.Name, cfg, r.TimeNS)
+			}
+			if r.TimeNS < r.KernelNS {
+				t.Fatalf("%s@%v: total %g < kernel %g", k.Name, cfg, r.TimeNS, r.KernelNS)
+			}
+			if r.Throughput <= 0 {
+				t.Fatalf("%s@%v: Throughput = %g", k.Name, cfg, r.Throughput)
+			}
+			if r.BoundShare < 0 || r.BoundShare > 1 {
+				t.Fatalf("%s@%v: BoundShare = %g", k.Name, cfg, r.BoundShare)
+			}
+			if r.HitRates.L1 < 0 || r.HitRates.L1 > 1 || r.HitRates.L2 < 0 || r.HitRates.L2 > 1 {
+				t.Fatalf("%s@%v: hit rates %+v", k.Name, cfg, r.HitRates)
+			}
+			if r.AchievedGBs > cfg.PeakBandwidthGBs()*1.001 {
+				t.Fatalf("%s@%v: achieved %g GB/s exceeds peak %g", k.Name, cfg,
+					r.AchievedGBs, cfg.PeakBandwidthGBs())
+			}
+		}
+	}
+}
+
+func TestMorePerformanceNeverFromWeakerEverything(t *testing.T) {
+	// Strictly dominating configurations can never be slower: the
+	// grid's max must beat the grid's min for every archetype except
+	// the launch-bound one (where they tie).
+	for _, k := range []*kernel.Kernel{
+		computeBoundKernel(), bandwidthBoundKernel(), parallelismLimitedKernel(),
+		latencyBoundKernel(),
+	} {
+		lo := mustSim(t, k, hw.Minimum())
+		hi := mustSim(t, k, hw.Reference())
+		if hi.Throughput < lo.Throughput {
+			t.Errorf("%s: max config slower than min config (%.4f < %.4f)",
+				k.Name, hi.Throughput, lo.Throughput)
+		}
+	}
+}
+
+func TestBoundStrings(t *testing.T) {
+	for b := BoundCompute; b <= BoundLaunch; b++ {
+		if s := b.String(); s == "" || s[0] == 'b' && s != "bound(99)" && len(s) > 20 {
+			t.Errorf("Bound(%d).String() = %q", int(b), s)
+		}
+	}
+	if got := Bound(99).String(); got != "bound(99)" {
+		t.Errorf("invalid bound String() = %q", got)
+	}
+}

@@ -1,0 +1,259 @@
+package gcn
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+	"gpuscale/internal/memory"
+)
+
+// The wavefront-level engine: a classic discrete-event simulation in
+// which each wavefront alternates compute segments and memory batches.
+// Compute segments queue on their CU's issue port (one wave-instruction
+// per cycle, FIFO-granted); memory batches queue on the shared L2 and
+// DRAM service resources and then pay the pipeline latency. Workgroups
+// dispatch wave-by-wave as occupancy slots free up.
+//
+// It is the highest-fidelity (and slowest) of the three engines and
+// exists to validate the other two: per-wave interleaving, issue-port
+// contention, and service-queue build-up are modelled explicitly
+// rather than as steady-state bounds.
+
+// waveEventKind tags event types in the simulation heap.
+type waveEventKind int
+
+const (
+	evComputeDone waveEventKind = iota
+	evMemDone
+)
+
+// waveState tracks one in-flight wavefront.
+type waveState struct {
+	cu       int
+	wg       int
+	segsLeft int
+	// computeNSPerSeg is the issue time of one compute segment.
+	computeNSPerSeg float64
+	// batchDRAMBytes is the DRAM traffic of one memory batch.
+	batchDRAMBytes float64
+	// batchL2Bytes is the interconnect traffic of one memory batch.
+	batchL2Bytes float64
+}
+
+// waveEvent is one scheduled completion.
+type waveEvent struct {
+	at   float64
+	kind waveEventKind
+	wave *waveState
+	seq  int // tiebreak for determinism
+}
+
+// eventHeap is a min-heap ordered by time then sequence.
+type eventHeap []waveEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(waveEvent)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// waveSimLimits bounds the event engine so sweeps cannot accidentally
+// run it on huge launches.
+const maxWaveEvents = 50_000_000
+
+// SimulateWave runs the wavefront-level event engine. Use it for
+// validation on launches up to a few thousand workgroups; for sweeps
+// use Simulate.
+func SimulateWave(k *kernel.Kernel, cfg hw.Config) (Result, error) {
+	if err := k.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	occWGs := k.WorkgroupsPerCU()
+	if occWGs == 0 {
+		return Result{}, fmt.Errorf("%w: %s", ErrDoesNotFit, k.Name)
+	}
+	d := newDemand(k, cfg)
+	hier := memory.NewHierarchy(cfg)
+	hr := memory.EstimateHitRatesL2(k, occWGs, cfg.CUs, cfg.L2CapacityBytes())
+	effBW := hier.EffectiveBandwidthGBs(k.Mem.Pattern)
+	l2BW := l2BandwidthGBs(cfg)
+
+	// Per-wave segmentation: one memory batch of effMLP accesses per
+	// segment, compute spread evenly between batches.
+	wavesPerWG := d.wavesPerWG
+	accPerWave := d.accessesPerWG / float64(wavesPerWG)
+	issuePerWave := d.issueNSPerWG / float64(wavesPerWG)
+	segs := 1
+	if accPerWave > 0 {
+		segs = int(math.Ceil(accPerWave / k.EffectiveMLP()))
+	}
+	transPerWave := d.transBytesPerWG / float64(wavesPerWG)
+	l2PerBatch := transPerWave * (1 - hr.L1) / float64(segs)
+	dramPerBatch := l2PerBatch * (1 - hr.L2)
+
+	// Unloaded pipeline latency of one batch (requests overlap, so one
+	// latency per batch, service time handled by the queues).
+	batchLatency := hier.AvgAccessLatencyNS(hr, 0)
+
+	// Resources.
+	cuIssueFree := make([]float64, cfg.CUs)
+	cuResidentWGs := make([]int, cfg.CUs)
+	var l2Free, dramFree float64
+	var dramBusyNS, l2BusyNS, issueBusyNS float64
+
+	wgWavesLeft := make(map[int]int) // workgroup -> incomplete waves
+	pendingWGs := k.Workgroups
+	nextWG := 0
+	inFlightWaves := 0
+	var now float64
+	seq := 0
+	events := &eventHeap{}
+
+	startWave := func(cu, wg int, at float64) {
+		w := &waveState{
+			cu:              cu,
+			wg:              wg,
+			segsLeft:        segs,
+			computeNSPerSeg: issuePerWave / float64(segs),
+			batchDRAMBytes:  dramPerBatch,
+			batchL2Bytes:    l2PerBatch,
+		}
+		// First phase: compute segment queued on the CU issue port.
+		grant := math.Max(at, cuIssueFree[cu])
+		done := grant + w.computeNSPerSeg
+		cuIssueFree[cu] = done
+		issueBusyNS += w.computeNSPerSeg
+		seq++
+		heap.Push(events, waveEvent{at: done, kind: evComputeDone, wave: w, seq: seq})
+		inFlightWaves++
+	}
+
+	dispatch := func(at float64) {
+		for pendingWGs > 0 {
+			// Least-loaded CU with a free workgroup slot.
+			best, bestLoad := -1, occWGs
+			for cu := 0; cu < cfg.CUs; cu++ {
+				if cuResidentWGs[cu] < bestLoad {
+					best, bestLoad = cu, cuResidentWGs[cu]
+				}
+			}
+			if best < 0 {
+				return
+			}
+			wg := nextWG
+			nextWG++
+			pendingWGs--
+			cuResidentWGs[best]++
+			wgWavesLeft[wg] = wavesPerWG
+			for i := 0; i < wavesPerWG; i++ {
+				startWave(best, wg, at)
+			}
+		}
+	}
+	dispatch(0)
+
+	processed := 0
+	for events.Len() > 0 {
+		processed++
+		if processed > maxWaveEvents {
+			return Result{}, fmt.Errorf("gcn: wave engine exceeded %d events on %s (launch too large)",
+				maxWaveEvents, k.Name)
+		}
+		ev := heap.Pop(events).(waveEvent)
+		now = ev.at
+		w := ev.wave
+		switch ev.kind {
+		case evComputeDone:
+			if accPerWave == 0 || w.segsLeft == 0 {
+				// Pure-compute wave (or final trailing segment): done.
+				finishWave(w, wgWavesLeft, cuResidentWGs, &inFlightWaves)
+				dispatch(now)
+				continue
+			}
+			// Issue the memory batch: queue on L2 then DRAM service,
+			// then pay the pipeline latency.
+			w.segsLeft--
+			start := now
+			if w.batchL2Bytes > 0 {
+				grant := math.Max(start, l2Free)
+				service := w.batchL2Bytes / l2BW
+				l2Free = grant + service
+				l2BusyNS += service
+				start = l2Free
+			}
+			if w.batchDRAMBytes > 0 && effBW > 0 {
+				grant := math.Max(start, dramFree)
+				service := w.batchDRAMBytes / effBW
+				dramFree = grant + service
+				dramBusyNS += service
+				start = dramFree
+			}
+			seq++
+			heap.Push(events, waveEvent{at: start + batchLatency, kind: evMemDone, wave: w, seq: seq})
+		case evMemDone:
+			if w.segsLeft == 0 {
+				finishWave(w, wgWavesLeft, cuResidentWGs, &inFlightWaves)
+				dispatch(now)
+				continue
+			}
+			// Next compute segment on the CU issue port.
+			grant := math.Max(now, cuIssueFree[w.cu])
+			done := grant + w.computeNSPerSeg
+			cuIssueFree[w.cu] = done
+			issueBusyNS += w.computeNSPerSeg
+			seq++
+			heap.Push(events, waveEvent{at: done, kind: evComputeDone, wave: w, seq: seq})
+		}
+	}
+
+	kernelNS := now
+	total := kernelNS + k.LaunchOverheadNS
+	boundNS := map[Bound]float64{
+		BoundCompute: issueBusyNS / float64(cfg.CUs),
+		BoundDRAM:    dramBusyNS,
+		BoundL2:      l2BusyNS,
+	}
+	// Whatever of the makespan is not explained by the busiest
+	// resource is latency exposure.
+	busiest := math.Max(boundNS[BoundCompute], math.Max(boundNS[BoundDRAM], boundNS[BoundL2]))
+	if kernelNS > busiest {
+		boundNS[BoundLatency] = kernelNS - busiest
+	}
+	dominant, share := dominantBound(boundNS, kernelNS, k.LaunchOverheadNS, total)
+
+	transBytes := d.transBytesPerWG * float64(k.Workgroups)
+	dramBytes := transBytes * (1 - hr.L1) * (1 - hr.L2)
+	return Result{
+		TimeNS:         total,
+		KernelNS:       kernelNS,
+		Throughput:     float64(k.TotalWorkItems()) / total,
+		AchievedGFLOPS: d.flopsPerWG * float64(k.Workgroups) / total,
+		AchievedGBs:    dramBytes / total,
+		HitRates:       hr,
+		OccupancyWaves: k.OccupancyWavesPerCU(),
+		Bound:          dominant,
+		BoundShare:     share,
+	}, nil
+}
+
+// finishWave retires one wave and frees its workgroup slot when the
+// whole workgroup has drained.
+func finishWave(w *waveState, wgWavesLeft map[int]int, cuResidentWGs []int, inFlight *int) {
+	*inFlight--
+	wgWavesLeft[w.wg]--
+	if wgWavesLeft[w.wg] == 0 {
+		delete(wgWavesLeft, w.wg)
+		cuResidentWGs[w.cu]--
+	}
+}

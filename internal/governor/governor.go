@@ -1,0 +1,266 @@
+// Package governor applies the taxonomy to the problem that motivated
+// the paper's research line: choosing hardware configurations under a
+// board power cap. Knowing a kernel's scaling category tells a DVFS
+// governor which knob is free to cut — a bandwidth-coupled kernel can
+// drop the core clock almost for free, a compute-coupled one can drop
+// the memory clock, a latency-bound one can drop both.
+//
+// Three governors are provided for comparison:
+//
+//   - Oracle: simulates every configuration in the space and picks the
+//     fastest one that fits the cap (the upper bound, at full sweep
+//     cost).
+//   - Static: picks the single fastest cap-fitting configuration for
+//     the whole workload (no per-kernel adaptation).
+//   - TaxonomyGuided: walks a category-specific preference order and
+//     simulates only until a cap-fitting configuration is found —
+//     a handful of trials instead of the full grid.
+package governor
+
+import (
+	"fmt"
+	"sort"
+
+	"gpuscale/internal/core"
+	"gpuscale/internal/gcn"
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+	"gpuscale/internal/power"
+)
+
+// Item is one workload entry: a kernel and how often it launches.
+type Item struct {
+	// Kernel is the kernel description.
+	Kernel *kernel.Kernel
+	// Launches is how many invocations the workload performs.
+	Launches int
+	// Category is the kernel's taxonomy class, used by the
+	// taxonomy-guided governor (obtained from a prior study or from
+	// probe measurements).
+	Category core.Category
+}
+
+// Workload is a sequence of kernels with launch counts.
+type Workload []Item
+
+// Decision is one governor's choice for one workload item.
+type Decision struct {
+	// Config is the chosen hardware configuration.
+	Config hw.Config
+	// TimeNS is one invocation's duration there.
+	TimeNS float64
+	// PowerW is the board power there.
+	PowerW float64
+	// Trials is how many configurations the governor simulated to
+	// decide.
+	Trials int
+}
+
+// Outcome aggregates a governor run over a workload.
+type Outcome struct {
+	// Decisions has one entry per workload item.
+	Decisions []Decision
+	// TotalTimeNS is the cap-respecting workload makespan.
+	TotalTimeNS float64
+	// TotalTrials is the summed simulation count.
+	TotalTrials int
+}
+
+// measure simulates one kernel at one configuration and returns time
+// and power.
+func measure(pm power.Model, k *kernel.Kernel, cfg hw.Config) (timeNS, watts float64, err error) {
+	r, err := gcn.Simulate(k, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	w := pm.PowerW(cfg, power.ActivityOf(r, cfg))
+	return r.TimeNS, w, nil
+}
+
+// Oracle picks, per kernel, the fastest configuration fitting the cap,
+// at the cost of simulating the entire space.
+func Oracle(pm power.Model, w Workload, space hw.Space, capW float64) (Outcome, error) {
+	if err := pm.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	cfgs := space.Configs()
+	var out Outcome
+	for _, item := range w {
+		best := Decision{}
+		found := false
+		for _, cfg := range cfgs {
+			t, p, err := measure(pm, item.Kernel, cfg)
+			if err != nil {
+				return Outcome{}, err
+			}
+			if p > capW {
+				continue
+			}
+			if !found || t < best.TimeNS {
+				best = Decision{Config: cfg, TimeNS: t, PowerW: p}
+				found = true
+			}
+		}
+		if !found {
+			return Outcome{}, fmt.Errorf("governor: no configuration fits %g W for %s",
+				capW, item.Kernel.Name)
+		}
+		best.Trials = len(cfgs)
+		out.Decisions = append(out.Decisions, best)
+		out.TotalTimeNS += best.TimeNS * float64(item.Launches)
+		out.TotalTrials += best.Trials
+	}
+	return out, nil
+}
+
+// Static picks one configuration for the whole workload: the
+// cap-fitting configuration minimising total workload time.
+func Static(pm power.Model, w Workload, space hw.Space, capW float64) (Outcome, error) {
+	if err := pm.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	cfgs := space.Configs()
+	bestTotal := 0.0
+	var bestDecisions []Decision
+	found := false
+	trials := 0
+	for _, cfg := range cfgs {
+		total := 0.0
+		decisions := make([]Decision, 0, len(w))
+		ok := true
+		for _, item := range w {
+			t, p, err := measure(pm, item.Kernel, cfg)
+			if err != nil {
+				return Outcome{}, err
+			}
+			trials++
+			if p > capW {
+				ok = false
+				break
+			}
+			decisions = append(decisions, Decision{Config: cfg, TimeNS: t, PowerW: p})
+			total += t * float64(item.Launches)
+		}
+		if !ok {
+			continue
+		}
+		if !found || total < bestTotal {
+			bestTotal, bestDecisions, found = total, decisions, true
+		}
+	}
+	if !found {
+		return Outcome{}, fmt.Errorf("governor: no single configuration fits %g W", capW)
+	}
+	return Outcome{Decisions: bestDecisions, TotalTimeNS: bestTotal, TotalTrials: trials}, nil
+}
+
+// preference orders a space's configurations from most to least
+// desirable for a taxonomy category: primary order is the performance
+// the class predicts, and ties break towards *higher* settings on the
+// class's secondary axes — so the first cap-fitting configuration in
+// the walk keeps the insensitive knob as high as the cap allows,
+// rather than needlessly flooring it.
+func preference(cat core.Category, space hw.Space) []hw.Config {
+	cfgs := space.Configs()
+	score := func(c hw.Config) (primary, secondary float64) {
+		cu := float64(c.CUs)
+		fc := c.CoreClockMHz
+		fm := c.MemClockMHz
+		switch cat {
+		case core.CompCoupled:
+			return cu * fc, fm
+		case core.BWCoupled:
+			return fm, cu * fc
+		case core.LatencyBound:
+			// CUs add concurrent chases; clocks matter weakly.
+			return cu, fc + fm
+		case core.ParallelismLimited:
+			// Frequency still helps; keep CUs high (cutting below the
+			// launch size would hurt and the governor cannot see the
+			// launch size from the category alone).
+			return fc, cu*100 + fm
+		case core.LaunchBound:
+			// Everything performs the same: walk cheapest-first so the
+			// pick saves the most power.
+			return -(cu*fc + fm), 0
+		case core.CUIntolerant:
+			// Moderate CU counts; clocks still help.
+			mid := 20.0
+			d := cu - mid
+			return fc + fm - d*d*10, cu
+		default: // Balanced, Irregular: both ceilings matter.
+			bw := fm * 0.256
+			comp := cu * fc * 0.128
+			if bw < comp {
+				return bw, comp
+			}
+			return comp, bw
+		}
+	}
+	type scored struct {
+		cfg                hw.Config
+		primary, secondary float64
+	}
+	ss := make([]scored, len(cfgs))
+	for i, c := range cfgs {
+		p, s := score(c)
+		ss[i] = scored{cfg: c, primary: p, secondary: s}
+	}
+	sort.SliceStable(ss, func(i, j int) bool {
+		if ss[i].primary != ss[j].primary {
+			return ss[i].primary > ss[j].primary
+		}
+		return ss[i].secondary > ss[j].secondary
+	})
+	out := make([]hw.Config, len(ss))
+	for i, s := range ss {
+		out[i] = s.cfg
+	}
+	return out
+}
+
+// DefaultTrialBudget is how many cap-fitting candidates TaxonomyGuided
+// measures per kernel before committing to the best of them.
+const DefaultTrialBudget = 4
+
+// TaxonomyGuided walks each kernel's category preference order,
+// measures the first few cap-fitting configurations, and takes the
+// fastest. The trial count stays in the single digits per kernel
+// instead of the grid size; the small budget hedges against kernels
+// that sit at a category boundary.
+func TaxonomyGuided(pm power.Model, w Workload, space hw.Space, capW float64) (Outcome, error) {
+	if err := pm.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	var out Outcome
+	for _, item := range w {
+		order := preference(item.Category, space)
+		var d Decision
+		fitting := 0
+		for _, cfg := range order {
+			t, p, err := measure(pm, item.Kernel, cfg)
+			if err != nil {
+				return Outcome{}, err
+			}
+			d.Trials++
+			if p > capW {
+				continue
+			}
+			if fitting == 0 || t < d.TimeNS {
+				d.Config, d.TimeNS, d.PowerW = cfg, t, p
+			}
+			fitting++
+			if fitting >= DefaultTrialBudget {
+				break
+			}
+		}
+		if fitting == 0 {
+			return Outcome{}, fmt.Errorf("governor: no configuration fits %g W for %s",
+				capW, item.Kernel.Name)
+		}
+		out.Decisions = append(out.Decisions, d)
+		out.TotalTimeNS += d.TimeNS * float64(item.Launches)
+		out.TotalTrials += d.Trials
+	}
+	return out, nil
+}

@@ -1,0 +1,201 @@
+package governor
+
+import (
+	"testing"
+
+	"gpuscale/internal/core"
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+	"gpuscale/internal/power"
+)
+
+func denseKernel() *kernel.Kernel {
+	return kernel.New("g", "g", "dense").
+		Geometry(4096, 256).
+		Compute(25000, 500).
+		Access(kernel.Streaming, 8, 2, 4).
+		MustBuild()
+}
+
+func streamKernel() *kernel.Kernel {
+	return kernel.New("g", "g", "stream").
+		Geometry(4096, 256).
+		Compute(300, 50).
+		Access(kernel.Streaming, 256, 64, 4).
+		Locality(256*1024, 0, 0).
+		MustBuild()
+}
+
+func testWorkload() Workload {
+	return Workload{
+		{Kernel: denseKernel(), Launches: 3, Category: core.CompCoupled},
+		{Kernel: streamKernel(), Launches: 3, Category: core.BWCoupled},
+	}
+}
+
+func testSpace(t *testing.T) hw.Space {
+	t.Helper()
+	s, err := hw.NewSpace(
+		[]int{4, 12, 20, 28, 36, 44},
+		[]float64{200, 400, 600, 800, 1000},
+		[]float64{150, 425, 700, 975, 1250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+const capW = 150 // tight: the flagship config burns ~270 W
+
+func TestOracleRespectsCap(t *testing.T) {
+	pm := power.DefaultModel()
+	out, err := Oracle(pm, testWorkload(), testSpace(t), capW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range out.Decisions {
+		if d.PowerW > capW {
+			t.Fatalf("oracle decision %v exceeds cap: %.1f W", d.Config, d.PowerW)
+		}
+	}
+	if out.TotalTimeNS <= 0 {
+		t.Fatal("non-positive makespan")
+	}
+}
+
+func TestStaticRespectsCapAndIsOneConfig(t *testing.T) {
+	pm := power.DefaultModel()
+	out, err := Static(pm, testWorkload(), testSpace(t), capW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := out.Decisions[0].Config
+	for _, d := range out.Decisions {
+		if d.Config != first {
+			t.Fatalf("static governor used two configs: %v and %v", first, d.Config)
+		}
+		if d.PowerW > capW {
+			t.Fatalf("static decision exceeds cap: %.1f W", d.PowerW)
+		}
+	}
+}
+
+func TestTaxonomyGuidedNearOracleWithFewTrials(t *testing.T) {
+	pm := power.DefaultModel()
+	space := testSpace(t)
+	w := testWorkload()
+	oracle, err := Oracle(pm, w, space, capW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guided, err := TaxonomyGuided(pm, w, space, capW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range guided.Decisions {
+		if d.PowerW > capW {
+			t.Fatalf("guided decision exceeds cap: %.1f W", d.PowerW)
+		}
+	}
+	// Within 25% of the oracle makespan...
+	if guided.TotalTimeNS > oracle.TotalTimeNS*1.25 {
+		t.Errorf("guided makespan %.0f ns vs oracle %.0f ns (>25%% worse)",
+			guided.TotalTimeNS, oracle.TotalTimeNS)
+	}
+	// ...at a fraction of the trial count.
+	if guided.TotalTrials*4 > oracle.TotalTrials {
+		t.Errorf("guided used %d trials vs oracle %d, want >= 4x fewer",
+			guided.TotalTrials, oracle.TotalTrials)
+	}
+}
+
+func TestTaxonomyGuidedBeatsStatic(t *testing.T) {
+	// The mixed workload is where per-kernel adaptation pays: the
+	// static governor must compromise between the compute-coupled and
+	// bandwidth-coupled kernels; the guided one cuts each kernel's
+	// free knob.
+	pm := power.DefaultModel()
+	space := testSpace(t)
+	w := testWorkload()
+	static, err := Static(pm, w, space, capW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guided, err := TaxonomyGuided(pm, w, space, capW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guided.TotalTimeNS > static.TotalTimeNS*1.01 {
+		t.Errorf("guided makespan %.0f ns worse than static %.0f ns",
+			guided.TotalTimeNS, static.TotalTimeNS)
+	}
+}
+
+func TestGuidedCutsTheRightKnob(t *testing.T) {
+	pm := power.DefaultModel()
+	space := testSpace(t)
+	out, err := TaxonomyGuided(pm, testWorkload(), space, capW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, stream := out.Decisions[0].Config, out.Decisions[1].Config
+	// The compute-coupled kernel keeps a faster core clock than memory
+	// position; the bandwidth-coupled kernel keeps the memory clock at
+	// or near max.
+	if stream.MemClockMHz < 1250 {
+		t.Errorf("bw-coupled kernel got mem clock %g, want the top setting", stream.MemClockMHz)
+	}
+	if dense.CoreClockMHz < stream.CoreClockMHz {
+		t.Errorf("comp-coupled core clock %g below bw-coupled's %g",
+			dense.CoreClockMHz, stream.CoreClockMHz)
+	}
+}
+
+func TestImpossibleCap(t *testing.T) {
+	pm := power.DefaultModel()
+	space := testSpace(t)
+	w := testWorkload()
+	if _, err := Oracle(pm, w, space, 1); err == nil {
+		t.Error("oracle accepted an impossible cap")
+	}
+	if _, err := Static(pm, w, space, 1); err == nil {
+		t.Error("static accepted an impossible cap")
+	}
+	if _, err := TaxonomyGuided(pm, w, space, 1); err == nil {
+		t.Error("guided accepted an impossible cap")
+	}
+}
+
+func TestInvalidModelRejected(t *testing.T) {
+	bad := power.DefaultModel()
+	bad.DynPerCUW = -1
+	space := testSpace(t)
+	w := testWorkload()
+	if _, err := Oracle(bad, w, space, capW); err == nil {
+		t.Error("oracle accepted invalid model")
+	}
+	if _, err := Static(bad, w, space, capW); err == nil {
+		t.Error("static accepted invalid model")
+	}
+	if _, err := TaxonomyGuided(bad, w, space, capW); err == nil {
+		t.Error("guided accepted invalid model")
+	}
+}
+
+func TestPreferenceCoversAllCategories(t *testing.T) {
+	space := testSpace(t)
+	n := space.Size()
+	for c := core.CompCoupled; c <= core.Irregular; c++ {
+		order := preference(c, space)
+		if len(order) != n {
+			t.Fatalf("%v preference has %d configs, want %d", c, len(order), n)
+		}
+		seen := map[hw.Config]bool{}
+		for _, cfg := range order {
+			if seen[cfg] {
+				t.Fatalf("%v preference repeats %v", c, cfg)
+			}
+			seen[cfg] = true
+		}
+	}
+}

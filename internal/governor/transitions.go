@@ -1,0 +1,84 @@
+package governor
+
+import (
+	"fmt"
+
+	"gpuscale/internal/hw"
+	"gpuscale/internal/power"
+)
+
+// DVFS transitions are not free: reprogramming clocks and voltages
+// stalls the GPU for tens of microseconds. A governor that switches
+// configurations for every kernel launch can therefore lose what the
+// per-kernel optimisation gained — the transition-overhead effect
+// reported for mobile DVFS in the same IISWC'15 proceedings. This file
+// adds transition accounting and a hysteresis governor that only
+// switches when the predicted gain repays the switch cost.
+
+// DefaultTransitionNS is the stall of one configuration change.
+const DefaultTransitionNS = 50_000 // 50 us
+
+// transitionCount counts configuration changes over a decision
+// sequence executed in order.
+func transitionCount(ds []Decision) int {
+	n := 0
+	for i := 1; i < len(ds); i++ {
+		if ds[i].Config != ds[i-1].Config {
+			n++
+		}
+	}
+	return n
+}
+
+// WithTransitions returns the outcome's makespan including transition
+// stalls at the given per-switch cost, assuming the workload executes
+// its items in order, every launch back to back (item i runs Launches
+// times before item i+1 starts, so switches happen only at item
+// boundaries).
+func WithTransitions(o Outcome, transitionNS float64) float64 {
+	return o.TotalTimeNS + float64(transitionCount(o.Decisions))*transitionNS
+}
+
+// Hysteresis re-evaluates a per-kernel decision sequence against
+// transition costs: walking the workload in order, it keeps the
+// previous kernel's configuration whenever switching would cost more
+// than the predicted per-item gain. It needs the power model to
+// re-measure kernels on the carried-over configuration.
+func Hysteresis(pm power.Model, w Workload, decisions []Decision, capW, transitionNS float64) (Outcome, error) {
+	if err := pm.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	if len(decisions) != len(w) {
+		return Outcome{}, fmt.Errorf("governor: %d decisions for %d items", len(decisions), len(w))
+	}
+	var out Outcome
+	var current hw.Config
+	haveCurrent := false
+	for i, item := range w {
+		preferred := decisions[i]
+		chosen := preferred
+		if haveCurrent && current != preferred.Config {
+			// Staying costs extra run time; switching costs the
+			// transition stall. Stay when cheaper — but never violate
+			// the cap.
+			tStay, pStay, err := measure(pm, item.Kernel, current)
+			if err != nil {
+				return Outcome{}, err
+			}
+			chosen.Trials++
+			if pStay <= capW {
+				stayCost := tStay * float64(item.Launches)
+				switchCost := preferred.TimeNS*float64(item.Launches) + transitionNS
+				if stayCost <= switchCost {
+					chosen = Decision{Config: current, TimeNS: tStay, PowerW: pStay,
+						Trials: preferred.Trials + 1}
+				}
+			}
+		}
+		current, haveCurrent = chosen.Config, true
+		out.Decisions = append(out.Decisions, chosen)
+		out.TotalTimeNS += chosen.TimeNS * float64(item.Launches)
+		out.TotalTrials += chosen.Trials
+	}
+	return out, nil
+}

@@ -1,0 +1,115 @@
+package governor
+
+import (
+	"testing"
+
+	"gpuscale/internal/core"
+	"gpuscale/internal/power"
+)
+
+// pingPongWorkload alternates two categories so a per-kernel governor
+// switches configuration on every item.
+func pingPongWorkload(items int) Workload {
+	var w Workload
+	for i := 0; i < items; i++ {
+		if i%2 == 0 {
+			w = append(w, Item{Kernel: denseKernel(), Launches: 1, Category: core.CompCoupled})
+		} else {
+			w = append(w, Item{Kernel: streamKernel(), Launches: 1, Category: core.BWCoupled})
+		}
+	}
+	return w
+}
+
+func TestTransitionCountAndMakespan(t *testing.T) {
+	pm := power.DefaultModel()
+	space := testSpace(t)
+	w := pingPongWorkload(8)
+	guided, err := TaxonomyGuided(pm, w, space, capW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := transitionCount(guided.Decisions)
+	if n != 7 {
+		t.Errorf("ping-pong workload transitions = %d, want 7", n)
+	}
+	withT := WithTransitions(guided, DefaultTransitionNS)
+	if withT <= guided.TotalTimeNS {
+		t.Errorf("transition accounting added nothing: %g vs %g", withT, guided.TotalTimeNS)
+	}
+	if want := guided.TotalTimeNS + 7*DefaultTransitionNS; withT != want {
+		t.Errorf("WithTransitions = %g, want %g", withT, want)
+	}
+}
+
+func TestHysteresisReducesTransitions(t *testing.T) {
+	pm := power.DefaultModel()
+	space := testSpace(t)
+	// Tiny launch counts make per-item gains smaller than the switch
+	// cost, so hysteresis should hold the configuration.
+	w := pingPongWorkload(8)
+	guided, err := TaxonomyGuided(pm, w, space, capW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyst, err := Hysteresis(pm, w, guided.Decisions, capW, 10_000_000) // 10 ms switches
+	if err != nil {
+		t.Fatal(err)
+	}
+	nGuided := transitionCount(guided.Decisions)
+	nHyst := transitionCount(hyst.Decisions)
+	if nHyst >= nGuided {
+		t.Errorf("hysteresis did not reduce transitions: %d vs %d", nHyst, nGuided)
+	}
+	// Under heavy switch costs, hysteresis must win end to end.
+	if WithTransitions(hyst, 10_000_000) >= WithTransitions(guided, 10_000_000) {
+		t.Errorf("hysteresis slower including transitions: %g vs %g",
+			WithTransitions(hyst, 10_000_000), WithTransitions(guided, 10_000_000))
+	}
+	// Cap still respected everywhere.
+	for _, d := range hyst.Decisions {
+		if d.PowerW > capW {
+			t.Fatalf("hysteresis decision exceeds cap: %+v", d)
+		}
+	}
+}
+
+func TestHysteresisKeepsSwitchingWhenWorthIt(t *testing.T) {
+	pm := power.DefaultModel()
+	space := testSpace(t)
+	// Huge launch counts: per-item gains dwarf a cheap transition, so
+	// hysteresis should keep the per-kernel choices.
+	var w Workload
+	for i := 0; i < 4; i++ {
+		if i%2 == 0 {
+			w = append(w, Item{Kernel: denseKernel(), Launches: 1000, Category: core.CompCoupled})
+		} else {
+			w = append(w, Item{Kernel: streamKernel(), Launches: 1000, Category: core.BWCoupled})
+		}
+	}
+	guided, err := TaxonomyGuided(pm, w, space, capW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyst, err := Hysteresis(pm, w, guided.Decisions, capW, DefaultTransitionNS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if transitionCount(hyst.Decisions) != transitionCount(guided.Decisions) {
+		t.Errorf("hysteresis dropped worthwhile switches: %d vs %d",
+			transitionCount(hyst.Decisions), transitionCount(guided.Decisions))
+	}
+}
+
+func TestHysteresisErrors(t *testing.T) {
+	pm := power.DefaultModel()
+	w := pingPongWorkload(2)
+	if _, err := Hysteresis(pm, w, nil, capW, 1); err == nil {
+		t.Error("mismatched decisions accepted")
+	}
+	bad := power.DefaultModel()
+	bad.DynPerCUW = -1
+	if _, err := Hysteresis(bad, w, make([]Decision, 2), capW, 1); err == nil {
+		t.Error("invalid model accepted")
+	}
+}

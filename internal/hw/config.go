@@ -1,0 +1,150 @@
+// Package hw models the hardware configuration space of a GCN-class GPU
+// whose compute-unit count, core clock, and memory clock can be varied
+// independently, mirroring the 891-configuration grid studied in
+// "A Taxonomy of GPGPU Performance Scaling" (IISWC 2015).
+//
+// A Config is a pure value: it carries the three knobs plus the fixed
+// microarchitectural constants (lane count, cache geometry, bus width)
+// from which all derived peaks (GFLOP/s, GB/s) are computed.
+package hw
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Microarchitectural constants of the modelled GCN-class GPU. These
+// follow the AMD "Hawaii" (FirePro W9100) part the paper's multipliers
+// are consistent with: 64 lanes per CU, 2 FLOP per lane-cycle (FMA),
+// a 512-bit GDDR5 interface at 4x data rate, and a fixed 1 MiB L2 that
+// does not shrink when CUs are disabled.
+const (
+	// LanesPerCU is the number of SIMD lanes in one compute unit.
+	LanesPerCU = 64
+	// SIMDsPerCU is the number of SIMD units inside one compute unit.
+	SIMDsPerCU = 4
+	// WavefrontSize is the number of work-items per wavefront.
+	WavefrontSize = 64
+	// MaxWavesPerSIMD is the wave-slot capacity of one SIMD unit.
+	MaxWavesPerSIMD = 10
+	// MaxWavesPerCU is the wave-slot capacity of one compute unit.
+	MaxWavesPerCU = SIMDsPerCU * MaxWavesPerSIMD
+	// FlopsPerLaneCycle counts an FMA as two floating-point operations.
+	FlopsPerLaneCycle = 2
+	// VGPRsPerSIMD is the vector-register-file capacity of one SIMD.
+	VGPRsPerSIMD = 65536
+	// SGPRsPerCU is the scalar-register-file capacity of one CU.
+	SGPRsPerCU = 3200
+	// LDSBytesPerCU is the local-data-share capacity of one CU.
+	LDSBytesPerCU = 64 * 1024
+	// L1BytesPerCU is the per-CU vector L1 data-cache capacity.
+	L1BytesPerCU = 16 * 1024
+	// L1LineBytes is the L1 cache-line size.
+	L1LineBytes = 64
+	// L1Ways is the L1 set associativity.
+	L1Ways = 4
+	// L2Bytes is the (fixed) shared L2 capacity.
+	L2Bytes = 1024 * 1024
+	// L2LineBytes is the L2 cache-line size.
+	L2LineBytes = 64
+	// L2Ways is the L2 set associativity.
+	L2Ways = 16
+	// MemBusBits is the width of the GDDR5 memory interface.
+	MemBusBits = 512
+	// MemDataRate is the GDDR5 transfers-per-clock multiplier.
+	MemDataRate = 4
+	// MaxCUs is the largest compute-unit count in the study.
+	MaxCUs = 44
+	// MinCUs is the smallest compute-unit count in the study.
+	MinCUs = 4
+)
+
+// Config is one hardware configuration: a point in the
+// (compute units, core clock, memory clock) space.
+type Config struct {
+	// CUs is the number of enabled compute units.
+	CUs int
+	// CoreClockMHz is the shader-engine clock in MHz.
+	CoreClockMHz float64
+	// MemClockMHz is the memory clock in MHz.
+	MemClockMHz float64
+	// L2Override, when non-zero, replaces the fixed L2Bytes capacity —
+	// a what-if knob (the study grid always leaves it zero; disabling
+	// CUs on the real part does not shrink the L2).
+	L2Override int
+}
+
+// Validation errors returned by Config.Validate.
+var (
+	ErrBadCUs       = errors.New("hw: compute-unit count out of range")
+	ErrBadCoreClock = errors.New("hw: core clock out of range")
+	ErrBadMemClock  = errors.New("hw: memory clock out of range")
+)
+
+// Validate reports whether the configuration lies inside the supported
+// envelope of the modelled part.
+func (c Config) Validate() error {
+	if c.CUs < 1 || c.CUs > MaxCUs {
+		return fmt.Errorf("%w: %d (want 1..%d)", ErrBadCUs, c.CUs, MaxCUs)
+	}
+	if c.CoreClockMHz < 100 || c.CoreClockMHz > 1200 {
+		return fmt.Errorf("%w: %g MHz (want 100..1200)", ErrBadCoreClock, c.CoreClockMHz)
+	}
+	if c.MemClockMHz < 100 || c.MemClockMHz > 1500 {
+		return fmt.Errorf("%w: %g MHz (want 100..1500)", ErrBadMemClock, c.MemClockMHz)
+	}
+	if c.L2Override != 0 && (c.L2Override < 64*1024 || c.L2Override > 64*1024*1024) {
+		return fmt.Errorf("hw: L2 override %d outside 64KiB..64MiB", c.L2Override)
+	}
+	return nil
+}
+
+// L2CapacityBytes returns the effective shared-L2 capacity: the fixed
+// part capacity unless a what-if override is set.
+func (c Config) L2CapacityBytes() int {
+	if c.L2Override != 0 {
+		return c.L2Override
+	}
+	return L2Bytes
+}
+
+// PeakGFLOPS returns the peak single-precision throughput of the
+// configuration in GFLOP/s.
+func (c Config) PeakGFLOPS() float64 {
+	return float64(c.CUs) * LanesPerCU * FlopsPerLaneCycle * c.CoreClockMHz / 1000
+}
+
+// PeakBandwidthGBs returns the peak DRAM bandwidth in GB/s:
+// memclk(MHz) x data rate x bus bytes / 1000.
+func (c Config) PeakBandwidthGBs() float64 {
+	return c.MemClockMHz * MemDataRate * (MemBusBits / 8) / 1000
+}
+
+// CoreCycleNS returns the duration of one core clock cycle in
+// nanoseconds.
+func (c Config) CoreCycleNS() float64 {
+	return 1000 / c.CoreClockMHz
+}
+
+// MachineBalance returns the peak FLOP-per-byte ratio of the
+// configuration; kernels whose arithmetic intensity exceeds it are
+// compute-bound on a pure roofline view.
+func (c Config) MachineBalance() float64 {
+	return c.PeakGFLOPS() / c.PeakBandwidthGBs()
+}
+
+// String renders the configuration as "NNcu@MMMmhz/memKKKmhz".
+func (c Config) String() string {
+	return fmt.Sprintf("%dcu@%gmhz/mem%gmhz", c.CUs, c.CoreClockMHz, c.MemClockMHz)
+}
+
+// Reference returns the paper's flagship configuration: all 44 CUs at
+// the top core and memory clocks of the sweep grid.
+func Reference() Config {
+	return Config{CUs: MaxCUs, CoreClockMHz: 1000, MemClockMHz: 1250}
+}
+
+// Minimum returns the weakest configuration of the sweep grid.
+func Minimum() Config {
+	return Config{CUs: MinCUs, CoreClockMHz: 200, MemClockMHz: 150}
+}

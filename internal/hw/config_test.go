@@ -1,0 +1,110 @@
+package hw
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestReferencePeaks(t *testing.T) {
+	ref := Reference()
+	// 44 CUs x 64 lanes x 2 flops x 1.0 GHz = 5632 GFLOP/s.
+	if got := ref.PeakGFLOPS(); !almostEqual(got, 5632, 1e-9) {
+		t.Errorf("PeakGFLOPS() = %g, want 5632", got)
+	}
+	// 1250 MHz x 4 x 64 B = 320 GB/s (FirePro W9100 datasheet value).
+	if got := ref.PeakBandwidthGBs(); !almostEqual(got, 320, 1e-9) {
+		t.Errorf("PeakBandwidthGBs() = %g, want 320", got)
+	}
+}
+
+func TestMinimumPeaks(t *testing.T) {
+	mn := Minimum()
+	if got := mn.PeakGFLOPS(); !almostEqual(got, 4*64*2*0.2, 1e-9) {
+		t.Errorf("PeakGFLOPS() = %g, want %g", got, 4*64*2*0.2)
+	}
+	if got := mn.PeakBandwidthGBs(); !almostEqual(got, 38.4, 1e-9) {
+		t.Errorf("PeakBandwidthGBs() = %g, want 38.4", got)
+	}
+}
+
+func TestCoreCycleNS(t *testing.T) {
+	c := Config{CUs: 4, CoreClockMHz: 500, MemClockMHz: 500}
+	if got := c.CoreCycleNS(); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("CoreCycleNS() = %g, want 2", got)
+	}
+}
+
+func TestMachineBalancePositive(t *testing.T) {
+	for _, c := range StudySpace().Configs() {
+		if mb := c.MachineBalance(); mb <= 0 || math.IsNaN(mb) {
+			t.Fatalf("MachineBalance(%v) = %g", c, mb)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		c    Config
+		want error
+	}{
+		{"reference ok", Reference(), nil},
+		{"minimum ok", Minimum(), nil},
+		{"zero CUs", Config{CUs: 0, CoreClockMHz: 500, MemClockMHz: 500}, ErrBadCUs},
+		{"too many CUs", Config{CUs: 64, CoreClockMHz: 500, MemClockMHz: 500}, ErrBadCUs},
+		{"core too slow", Config{CUs: 4, CoreClockMHz: 50, MemClockMHz: 500}, ErrBadCoreClock},
+		{"core too fast", Config{CUs: 4, CoreClockMHz: 2000, MemClockMHz: 500}, ErrBadCoreClock},
+		{"mem too slow", Config{CUs: 4, CoreClockMHz: 500, MemClockMHz: 10}, ErrBadMemClock},
+		{"mem too fast", Config{CUs: 4, CoreClockMHz: 500, MemClockMHz: 9000}, ErrBadMemClock},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.c.Validate()
+			if tt.want == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tt.want) {
+				t.Fatalf("Validate() = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	c := Config{CUs: 8, CoreClockMHz: 300, MemClockMHz: 150}
+	got := c.String()
+	if !strings.Contains(got, "8cu") || !strings.Contains(got, "300") || !strings.Contains(got, "150") {
+		t.Errorf("String() = %q, want all three knobs present", got)
+	}
+}
+
+func TestPeaksScaleLinearlyWithKnobs(t *testing.T) {
+	// Property: doubling the CU count doubles peak FLOPs and leaves
+	// bandwidth unchanged; doubling the memory clock doubles bandwidth
+	// and leaves peak FLOPs unchanged.
+	f := func(cu8 uint8, core, mem uint16) bool {
+		cu := int(cu8)%20 + 1
+		fc := float64(core%900) + 100
+		fm := float64(mem%1300) + 100
+		c := Config{CUs: cu, CoreClockMHz: fc, MemClockMHz: fm}
+		d := Config{CUs: 2 * cu, CoreClockMHz: fc, MemClockMHz: fm}
+		m := Config{CUs: cu, CoreClockMHz: fc, MemClockMHz: 2 * fm}
+		return almostEqual(d.PeakGFLOPS(), 2*c.PeakGFLOPS(), 1e-6) &&
+			almostEqual(d.PeakBandwidthGBs(), c.PeakBandwidthGBs(), 1e-9) &&
+			almostEqual(m.PeakBandwidthGBs(), 2*c.PeakBandwidthGBs(), 1e-6) &&
+			almostEqual(m.PeakGFLOPS(), c.PeakGFLOPS(), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,25 @@
+package hw
+
+// Product is a named point in the configuration space standing in for
+// a real product tier. The paper's opening observation — "GPUs range
+// from small, embedded designs to large, high-powered discrete cards"
+// — is modelled as four tiers of the same architecture, which is also
+// how the vendor actually productised GCN.
+type Product struct {
+	// Name is the tier label.
+	Name string
+	// Config is the tier's hardware configuration.
+	Config Config
+}
+
+// Products returns the modelled product ladder, smallest first:
+// an embedded APU-class part, a mobile part, a mainstream desktop
+// part, and the flagship workstation part.
+func Products() []Product {
+	return []Product{
+		{Name: "embedded", Config: Config{CUs: 4, CoreClockMHz: 400, MemClockMHz: 287.5}},
+		{Name: "mobile", Config: Config{CUs: 12, CoreClockMHz: 600, MemClockMHz: 562.5}},
+		{Name: "mainstream", Config: Config{CUs: 28, CoreClockMHz: 900, MemClockMHz: 975}},
+		{Name: "flagship", Config: Config{CUs: 44, CoreClockMHz: 1000, MemClockMHz: 1250}},
+	}
+}

@@ -1,0 +1,137 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStudySpaceMatchesAbstract(t *testing.T) {
+	s := StudySpace()
+	if got := s.Size(); got != 891 {
+		t.Fatalf("Size() = %d, want 891 (the paper's configuration count)", got)
+	}
+	if got := len(s.CUCounts); got != 11 {
+		t.Errorf("len(CUCounts) = %d, want 11", got)
+	}
+	if got := s.CURange(); got != 11 {
+		t.Errorf("CURange() = %g, want 11 (the paper's 11x CU span)", got)
+	}
+	if got := s.CoreClockRange(); got != 5 {
+		t.Errorf("CoreClockRange() = %g, want 5 (the paper's 5x frequency span)", got)
+	}
+	if got := s.MemClockRange(); math.Abs(got-8.333) > 0.01 {
+		t.Errorf("MemClockRange() = %g, want ~8.33 (the paper's 8.3x bandwidth span)", got)
+	}
+}
+
+func TestStudySpaceConfigsAllValid(t *testing.T) {
+	for _, c := range StudySpace().Configs() {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("config %v invalid: %v", c, err)
+		}
+	}
+}
+
+func TestStudySpaceAxesAscendingAndUnique(t *testing.T) {
+	s := StudySpace()
+	for i := 1; i < len(s.CUCounts); i++ {
+		if s.CUCounts[i] <= s.CUCounts[i-1] {
+			t.Fatalf("CUCounts not strictly ascending at %d: %v", i, s.CUCounts)
+		}
+	}
+	for i := 1; i < len(s.CoreClocksMHz); i++ {
+		if s.CoreClocksMHz[i] <= s.CoreClocksMHz[i-1] {
+			t.Fatalf("CoreClocksMHz not strictly ascending at %d: %v", i, s.CoreClocksMHz)
+		}
+	}
+	for i := 1; i < len(s.MemClocksMHz); i++ {
+		if s.MemClocksMHz[i] <= s.MemClocksMHz[i-1] {
+			t.Fatalf("MemClocksMHz not strictly ascending at %d: %v", i, s.MemClocksMHz)
+		}
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	s := StudySpace()
+	for i, c := range s.Configs() {
+		if got := s.Index(c); got != i {
+			t.Fatalf("Index(%v) = %d, want %d", c, got, i)
+		}
+	}
+}
+
+func TestIndexMiss(t *testing.T) {
+	s := StudySpace()
+	if got := s.Index(Config{CUs: 5, CoreClockMHz: 200, MemClockMHz: 150}); got != -1 {
+		t.Errorf("Index(off-grid CU) = %d, want -1", got)
+	}
+	if got := s.Index(Config{CUs: 4, CoreClockMHz: 201, MemClockMHz: 150}); got != -1 {
+		t.Errorf("Index(off-grid clock) = %d, want -1", got)
+	}
+}
+
+func TestAtCorners(t *testing.T) {
+	s := StudySpace()
+	if got := s.Min(); got != (Config{CUs: 4, CoreClockMHz: 200, MemClockMHz: 150}) {
+		t.Errorf("Min() = %v", got)
+	}
+	if got := s.Max(); got != (Config{CUs: 44, CoreClockMHz: 1000, MemClockMHz: 1250}) {
+		t.Errorf("Max() = %v", got)
+	}
+	if got, want := s.Max(), Reference(); got != want {
+		t.Errorf("Max() = %v, want Reference() = %v", got, want)
+	}
+}
+
+func TestNewSpaceValidation(t *testing.T) {
+	if _, err := NewSpace(nil, []float64{500}, []float64{500}); err == nil {
+		t.Error("NewSpace(empty cus) succeeded, want error")
+	}
+	if _, err := NewSpace([]int{100}, []float64{500}, []float64{500}); err == nil {
+		t.Error("NewSpace(invalid cu) succeeded, want error")
+	}
+	s, err := NewSpace([]int{4, 8}, []float64{200, 400}, []float64{300})
+	if err != nil {
+		t.Fatalf("NewSpace() error: %v", err)
+	}
+	if got := s.Size(); got != 4 {
+		t.Errorf("Size() = %d, want 4", got)
+	}
+}
+
+func TestNewSpaceCopiesInput(t *testing.T) {
+	cus := []int{4, 8}
+	s, err := NewSpace(cus, []float64{200}, []float64{300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cus[0] = 40
+	if s.CUCounts[0] != 4 {
+		t.Error("NewSpace aliased caller slice")
+	}
+}
+
+func TestProductsValidAndOrdered(t *testing.T) {
+	ps := Products()
+	if len(ps) < 3 {
+		t.Fatalf("products = %d, want a ladder", len(ps))
+	}
+	space := StudySpace()
+	prev := 0.0
+	for _, p := range ps {
+		if err := p.Config.Validate(); err != nil {
+			t.Errorf("product %s invalid: %v", p.Name, err)
+		}
+		if space.Index(p.Config) < 0 {
+			t.Errorf("product %s (%v) not on the study grid", p.Name, p.Config)
+		}
+		if f := p.Config.PeakGFLOPS(); f <= prev {
+			t.Errorf("product ladder not ascending at %s", p.Name)
+		} else {
+			prev = f
+		}
+	}
+	if ps[len(ps)-1].Config != Reference() {
+		t.Errorf("flagship %v != Reference()", ps[len(ps)-1].Config)
+	}
+}

@@ -1,0 +1,193 @@
+// Package isa defines a compact instruction-level representation of
+// GPGPU kernels — a miniature GCN-flavoured ISA — and the lowering
+// from the behavioural kernel model to instruction streams. The
+// execution-driven pipeline engine in internal/gcn interprets these
+// streams cycle by cycle; everything else in the system works from the
+// behavioural model, so the IR's job is to validate that the coarse
+// engines' scaling behaviour survives at instruction granularity.
+package isa
+
+import (
+	"errors"
+	"fmt"
+
+	"gpuscale/internal/kernel"
+)
+
+// Op is an instruction class of the mini ISA.
+type Op int
+
+// Instruction classes. Each models the issue/latency behaviour of its
+// GCN counterpart, not its semantics.
+const (
+	// OpVALU is a vector-ALU instruction (64 lanes).
+	OpVALU Op = iota
+	// OpSALU is a scalar-ALU instruction (free issue port).
+	OpSALU
+	// OpLDS is a local-data-share access.
+	OpLDS
+	// OpLoad is a vector global load.
+	OpLoad
+	// OpStore is a vector global store.
+	OpStore
+	// OpBarrier synchronises the wavefronts of a workgroup.
+	OpBarrier
+	// OpEnd terminates the wave.
+	OpEnd
+)
+
+var opNames = [...]string{"v_alu", "s_alu", "ds_op", "load", "store", "barrier", "end"}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if o < 0 || int(o) >= len(opNames) {
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// Instr is one (macro-)instruction: Count repetitions of the class.
+// Macro counts keep lowered programs compact without changing timing,
+// except where noted (DependsOnLoad applies to each repetition).
+type Instr struct {
+	// Op is the instruction class.
+	Op Op
+	// Count is how many back-to-back instances this entry stands for
+	// (>= 1).
+	Count int
+	// DependsOnLoad marks instructions that must wait for the wave's
+	// outstanding loads to return before issuing (a scoreboard
+	// dependency, GCN's s_waitcnt).
+	DependsOnLoad bool
+}
+
+// Program is the instruction stream one wavefront executes.
+type Program struct {
+	// Name identifies the source kernel.
+	Name string
+	// Body is the stream; the final instruction must be OpEnd.
+	Body []Instr
+}
+
+// Validation errors.
+var (
+	ErrEmptyProgram = errors.New("isa: empty program")
+	ErrNoEnd        = errors.New("isa: program does not finish with end")
+	ErrBadCount     = errors.New("isa: non-positive instruction count")
+)
+
+// Validate checks structural well-formedness.
+func (p *Program) Validate() error {
+	if len(p.Body) == 0 {
+		return ErrEmptyProgram
+	}
+	for i, in := range p.Body {
+		if in.Count < 1 {
+			return fmt.Errorf("%w: instr %d (%v)", ErrBadCount, i, in.Op)
+		}
+		if in.Op < OpVALU || in.Op > OpEnd {
+			return fmt.Errorf("isa: unknown op %d at instr %d", int(in.Op), i)
+		}
+	}
+	if last := p.Body[len(p.Body)-1]; last.Op != OpEnd {
+		return ErrNoEnd
+	}
+	return nil
+}
+
+// Counts tallies the dynamic instruction counts per class.
+func (p *Program) Counts() map[Op]int {
+	out := map[Op]int{}
+	for _, in := range p.Body {
+		out[in.Op] += in.Count
+	}
+	return out
+}
+
+// DynamicLength returns the total dynamic instruction count.
+func (p *Program) DynamicLength() int {
+	n := 0
+	for _, in := range p.Body {
+		n += in.Count
+	}
+	return n
+}
+
+// Lower translates a behavioural kernel into one wavefront's
+// instruction stream. The stream interleaves the kernel's compute,
+// LDS, and memory work the way its MLP structure implies: memory
+// accesses issue in batches of EffectiveMLP, each batch followed by a
+// dependent compute slice that waits for the loads (the consumer),
+// with barriers spread evenly through the stream.
+func Lower(k *kernel.Kernel) (*Program, error) {
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("isa: lowering %s: %w", k.Name, err)
+	}
+	accesses := k.MemAccessesPerWave()
+	batches := 0
+	if accesses > 0 {
+		mlp := int(k.EffectiveMLP())
+		if mlp < 1 {
+			mlp = 1
+		}
+		batches = (accesses + mlp - 1) / mlp
+	}
+
+	var body []Instr
+	emit := func(op Op, n int, dep bool) {
+		if n <= 0 {
+			return
+		}
+		body = append(body, Instr{Op: op, Count: n, DependsOnLoad: dep})
+	}
+
+	if batches == 0 {
+		// Pure compute: straight-line stream.
+		emit(OpSALU, k.SALUPerWave, false)
+		emit(OpVALU, k.VALUPerWave, false)
+		emit(OpLDS, k.LDSOpsPerWave, false)
+		emit(OpBarrier, k.BarriersPerWave, false)
+	} else {
+		loads, stores := k.Mem.LoadsPerWave, k.Mem.StoresPerWave
+		valu, salu, lds := k.VALUPerWave, k.SALUPerWave, k.LDSOpsPerWave
+		barriers := k.BarriersPerWave
+		for b := 0; b < batches; b++ {
+			rem := batches - b
+			l := loads / rem
+			s := stores / rem
+			loads -= l
+			stores -= s
+			// Serially dependent fraction: each such load waits for the
+			// wave's outstanding loads (a pointer-chase step); since
+			// DependsOnLoad applies per repetition, a Count>1 dependent
+			// load entry is itself a chain.
+			lDep := int(float64(l)*k.DepChainFraction + 0.5)
+			emit(OpLoad, lDep, true)
+			emit(OpLoad, l-lDep, false)
+			emit(OpStore, s, false)
+			// The compute slice consumes the loads: the first chunk
+			// is dependent, the rest independent (latency partially
+			// hidden, as on real kernels).
+			v := valu / rem
+			valu -= v
+			depPart := v / 4
+			emit(OpVALU, depPart, l > 0)
+			emit(OpVALU, v-depPart, false)
+			sa := salu / rem
+			salu -= sa
+			emit(OpSALU, sa, false)
+			ld := lds / rem
+			lds -= ld
+			emit(OpLDS, ld, false)
+			ba := barriers / rem
+			barriers -= ba
+			emit(OpBarrier, ba, false)
+		}
+	}
+	body = append(body, Instr{Op: OpEnd, Count: 1, DependsOnLoad: true})
+	p := &Program{Name: k.Name, Body: body}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

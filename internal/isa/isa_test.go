@@ -1,0 +1,140 @@
+package isa
+
+import (
+	"errors"
+	"testing"
+
+	"gpuscale/internal/kernel"
+)
+
+func TestLowerPreservesInstructionCounts(t *testing.T) {
+	k := kernel.New("s", "p", "k").
+		Compute(5000, 700).
+		LDSOps(900, 6).
+		Access(kernel.Streaming, 128, 32, 4).
+		MustBuild()
+	p, err := Lower(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Counts()
+	if c[OpVALU] != 5000 {
+		t.Errorf("VALU = %d, want 5000", c[OpVALU])
+	}
+	if c[OpSALU] != 700 {
+		t.Errorf("SALU = %d, want 700", c[OpSALU])
+	}
+	if c[OpLDS] != 900 {
+		t.Errorf("LDS = %d, want 900", c[OpLDS])
+	}
+	if c[OpLoad] != 128 {
+		t.Errorf("loads = %d, want 128", c[OpLoad])
+	}
+	if c[OpStore] != 32 {
+		t.Errorf("stores = %d, want 32", c[OpStore])
+	}
+	if c[OpBarrier] != 6 {
+		t.Errorf("barriers = %d, want 6", c[OpBarrier])
+	}
+	if c[OpEnd] != 1 {
+		t.Errorf("end = %d, want 1", c[OpEnd])
+	}
+}
+
+func TestLowerPureCompute(t *testing.T) {
+	k := kernel.New("s", "p", "k").
+		Compute(1000, 50).
+		Access(kernel.Streaming, 0, 0, 0).
+		MLP(0).
+		MustBuild()
+	p, err := Lower(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Counts()
+	if c[OpLoad] != 0 || c[OpStore] != 0 {
+		t.Errorf("pure compute lowered with memory ops: %v", c)
+	}
+	if c[OpVALU] != 1000 {
+		t.Errorf("VALU = %d, want 1000", c[OpVALU])
+	}
+}
+
+func TestLowerBatchesFollowMLP(t *testing.T) {
+	// 64 loads at effective MLP 8 -> 8 load batches.
+	k := kernel.New("s", "p", "k").
+		Access(kernel.Streaming, 64, 0, 4).
+		MLP(8).
+		MustBuild()
+	p, err := Lower(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := 0
+	for _, in := range p.Body {
+		if in.Op == OpLoad {
+			batches++
+		}
+	}
+	if batches != 8 {
+		t.Errorf("load batches = %d, want 8", batches)
+	}
+	// Dependent compute must appear after loads.
+	sawDep := false
+	for _, in := range p.Body {
+		if in.Op == OpVALU && in.DependsOnLoad {
+			sawDep = true
+		}
+	}
+	if !sawDep {
+		t.Error("no load-dependent compute emitted")
+	}
+}
+
+func TestLowerRejectsInvalidKernel(t *testing.T) {
+	k := kernel.New("s", "p", "k").MustBuild()
+	k.VALUPerWave = 0
+	if _, err := Lower(k); err == nil {
+		t.Error("invalid kernel lowered")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (&Program{}).Validate(); !errors.Is(err, ErrEmptyProgram) {
+		t.Errorf("empty program: %v", err)
+	}
+	p := &Program{Body: []Instr{{Op: OpVALU, Count: 1}}}
+	if err := p.Validate(); !errors.Is(err, ErrNoEnd) {
+		t.Errorf("missing end: %v", err)
+	}
+	p = &Program{Body: []Instr{{Op: OpVALU, Count: 0}, {Op: OpEnd, Count: 1}}}
+	if err := p.Validate(); !errors.Is(err, ErrBadCount) {
+		t.Errorf("zero count: %v", err)
+	}
+	p = &Program{Body: []Instr{{Op: Op(42), Count: 1}, {Op: OpEnd, Count: 1}}}
+	if err := p.Validate(); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestDynamicLength(t *testing.T) {
+	p := &Program{Body: []Instr{
+		{Op: OpVALU, Count: 10},
+		{Op: OpLoad, Count: 3},
+		{Op: OpEnd, Count: 1},
+	}}
+	if got := p.DynamicLength(); got != 14 {
+		t.Errorf("DynamicLength = %d, want 14", got)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for o := OpVALU; o <= OpEnd; o++ {
+		if o.String() == "" {
+			t.Errorf("op %d unnamed", int(o))
+		}
+	}
+	if Op(42).String() != "op(42)" {
+		t.Errorf("invalid op = %q", Op(42).String())
+	}
+}

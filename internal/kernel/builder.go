@@ -1,0 +1,139 @@
+package kernel
+
+import "fmt"
+
+// Builder assembles a Kernel with sane defaults so corpus code and
+// tests only state what is interesting. The zero Builder is not useful;
+// start with New.
+type Builder struct {
+	k Kernel
+}
+
+// New starts a builder for a kernel with the given identity and
+// defaults: 256-item workgroups, 1024 workgroups, 32 VGPRs, a modest
+// streaming memory mix, no divergence, one iteration, and 5 us launch
+// overhead.
+func New(suite, program, name string) *Builder {
+	return &Builder{k: Kernel{
+		Name:             program + "." + name,
+		Program:          program,
+		Suite:            suite,
+		Workgroups:       1024,
+		WGSize:           256,
+		VGPRsPerWI:       32,
+		SGPRsPerWave:     48,
+		VALUPerWave:      2000,
+		SALUPerWave:      200,
+		SIMDEfficiency:   1,
+		LaunchOverheadNS: 5000,
+		Iterations:       1,
+		Mem: MemBehavior{
+			Pattern:           Streaming,
+			LoadsPerWave:      64,
+			StoresPerWave:     16,
+			BytesPerLane:      4,
+			CoalescedFraction: 1,
+			WorkingSetPerWG:   64 * 1024,
+			ReuseFactor:       1,
+			MLP:               8,
+		},
+	}}
+}
+
+// Geometry sets the launch geometry.
+func (b *Builder) Geometry(workgroups, wgSize int) *Builder {
+	b.k.Workgroups, b.k.WGSize = workgroups, wgSize
+	return b
+}
+
+// Resources sets per-work-item VGPRs, per-wave SGPRs, and per-workgroup
+// LDS bytes.
+func (b *Builder) Resources(vgprs, sgprs, ldsBytes int) *Builder {
+	b.k.VGPRsPerWI, b.k.SGPRsPerWave, b.k.LDSPerWG = vgprs, sgprs, ldsBytes
+	return b
+}
+
+// Compute sets the per-wave VALU and SALU instruction counts.
+func (b *Builder) Compute(valu, salu int) *Builder {
+	b.k.VALUPerWave, b.k.SALUPerWave = valu, salu
+	return b
+}
+
+// LDSOps sets per-wave LDS operations and barriers.
+func (b *Builder) LDSOps(ops, barriers int) *Builder {
+	b.k.LDSOpsPerWave, b.k.BarriersPerWave = ops, barriers
+	return b
+}
+
+// Divergence sets SIMD efficiency (1 = none).
+func (b *Builder) Divergence(simdEfficiency float64) *Builder {
+	b.k.SIMDEfficiency = simdEfficiency
+	return b
+}
+
+// DepChain sets the serial-dependency fraction of memory accesses.
+func (b *Builder) DepChain(fraction float64) *Builder {
+	b.k.DepChainFraction = fraction
+	return b
+}
+
+// Memory replaces the whole memory-behaviour block.
+func (b *Builder) Memory(m MemBehavior) *Builder {
+	b.k.Mem = m
+	return b
+}
+
+// Access sets the access pattern, per-wave load/store counts and payload
+// width, keeping the other memory fields.
+func (b *Builder) Access(p AccessPattern, loads, stores, bytesPerLane int) *Builder {
+	b.k.Mem.Pattern = p
+	b.k.Mem.LoadsPerWave = loads
+	b.k.Mem.StoresPerWave = stores
+	b.k.Mem.BytesPerLane = bytesPerLane
+	return b
+}
+
+// Locality sets working set per workgroup, shared fraction, and reuse.
+func (b *Builder) Locality(workingSetPerWG int64, sharedFraction, reuse float64) *Builder {
+	b.k.Mem.WorkingSetPerWG = workingSetPerWG
+	b.k.Mem.SharedFraction = sharedFraction
+	b.k.Mem.ReuseFactor = reuse
+	return b
+}
+
+// Coalescing sets the coalesced fraction.
+func (b *Builder) Coalescing(fraction float64) *Builder {
+	b.k.Mem.CoalescedFraction = fraction
+	return b
+}
+
+// MLP sets memory-level parallelism per wavefront.
+func (b *Builder) MLP(mlp float64) *Builder {
+	b.k.Mem.MLP = mlp
+	return b
+}
+
+// Launch sets per-invocation overhead and host iteration count.
+func (b *Builder) Launch(overheadNS float64, iterations int) *Builder {
+	b.k.LaunchOverheadNS, b.k.Iterations = overheadNS, iterations
+	return b
+}
+
+// Build validates and returns the kernel.
+func (b *Builder) Build() (*Kernel, error) {
+	k := b.k // copy so the builder can be reused
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("building %s: %w", k.Name, err)
+	}
+	return &k, nil
+}
+
+// MustBuild is Build for statically-known-good descriptions; it panics
+// on validation failure.
+func (b *Builder) MustBuild() *Kernel {
+	k, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return k
+}

@@ -1,0 +1,152 @@
+package kernel
+
+import (
+	"math"
+
+	"gpuscale/internal/hw"
+)
+
+// WavesPerWG returns the number of wavefronts one workgroup occupies.
+func (k *Kernel) WavesPerWG() int {
+	return (k.WGSize + hw.WavefrontSize - 1) / hw.WavefrontSize
+}
+
+// TotalWaves returns the number of wavefronts in the whole launch.
+func (k *Kernel) TotalWaves() int {
+	return k.Workgroups * k.WavesPerWG()
+}
+
+// TotalWorkItems returns the number of work-items in the launch.
+func (k *Kernel) TotalWorkItems() int64 {
+	return int64(k.Workgroups) * int64(k.WGSize)
+}
+
+// MemAccessesPerWave returns loads plus stores per wavefront.
+func (k *Kernel) MemAccessesPerWave() int {
+	return k.Mem.LoadsPerWave + k.Mem.StoresPerWave
+}
+
+// BytesPerWave returns the useful global-memory payload one wavefront
+// moves, before coalescing waste.
+func (k *Kernel) BytesPerWave() int64 {
+	return int64(k.MemAccessesPerWave()) * int64(k.Mem.BytesPerLane) * hw.WavefrontSize
+}
+
+// TransactionBytesPerWave returns the bytes actually transferred per
+// wavefront once coalescing waste is accounted for. An uncoalesced
+// access fetches one full cache line per lane; a coalesced one fetches
+// only the payload (rounded up to whole lines).
+func (k *Kernel) TransactionBytesPerWave() int64 {
+	n := k.MemAccessesPerWave()
+	if n == 0 {
+		return 0
+	}
+	payloadLines := float64(k.Mem.BytesPerLane*hw.WavefrontSize) / hw.L2LineBytes
+	payloadLines = math.Ceil(payloadLines)
+	worstLines := float64(hw.WavefrontSize) // one line per lane
+	lines := k.Mem.CoalescedFraction*payloadLines + (1-k.Mem.CoalescedFraction)*worstLines
+	return int64(float64(n) * lines * hw.L2LineBytes)
+}
+
+// FlopsPerWave approximates useful floating-point work per wavefront:
+// every VALU instruction on active lanes counts as one FLOP-per-lane
+// (FMA-heavy kernels therefore undercount slightly, which is harmless
+// for relative scaling).
+func (k *Kernel) FlopsPerWave() float64 {
+	return float64(k.VALUPerWave) * hw.WavefrontSize * k.SIMDEfficiency
+}
+
+// ArithmeticIntensity returns FLOPs per byte of coalesced-adjusted
+// DRAM traffic, the roofline x-coordinate. Kernels with no memory
+// traffic return +Inf.
+func (k *Kernel) ArithmeticIntensity() float64 {
+	b := k.TransactionBytesPerWave()
+	if b == 0 {
+		return math.Inf(1)
+	}
+	// Temporal reuse means only a fraction of traffic reaches DRAM on
+	// a warm cache, but intensity is conventionally defined against
+	// total traffic; the simulator applies cache filtering separately.
+	return k.FlopsPerWave() / float64(b)
+}
+
+// EffectiveMLP returns the wavefront's usable memory-level parallelism
+// after serial dependency chains throttle it.
+func (k *Kernel) EffectiveMLP() float64 {
+	if k.MemAccessesPerWave() == 0 {
+		return 0
+	}
+	mlp := k.Mem.MLP * (1 - k.DepChainFraction)
+	if mlp < 1 {
+		return 1
+	}
+	return mlp
+}
+
+// OccupancyWavesPerCU returns how many wavefronts of this kernel one
+// compute unit can keep resident, limited by wave slots, vector and
+// scalar registers, and LDS. The result is always at least the waves
+// of one workgroup if a single workgroup fits at all, and 0 if even
+// one workgroup cannot fit.
+func (k *Kernel) OccupancyWavesPerCU() int {
+	wavesPerWG := k.WavesPerWG()
+
+	// Wave-slot limit.
+	limit := hw.MaxWavesPerCU
+
+	// VGPR limit: registers are allocated per SIMD; each wave on a
+	// SIMD needs VGPRsPerWI * 64 registers.
+	vgprsPerWave := k.VGPRsPerWI * hw.WavefrontSize
+	if vgprsPerWave > 0 {
+		perSIMD := hw.VGPRsPerSIMD / vgprsPerWave
+		if v := perSIMD * hw.SIMDsPerCU; v < limit {
+			limit = v
+		}
+	}
+
+	// SGPR limit. SGPRs are banked per SIMD on real GCN; modelling
+	// them per CU is a simplification that only matters for
+	// SGPR-extreme kernels.
+	if k.SGPRsPerWave > 0 {
+		if v := hw.SGPRsPerCU / k.SGPRsPerWave; v < limit {
+			limit = v
+		}
+	}
+
+	// LDS limit: whole workgroups must fit.
+	wgLimit := math.MaxInt
+	if k.LDSPerWG > 0 {
+		wgLimit = hw.LDSBytesPerCU / k.LDSPerWG
+	}
+
+	// Convert the wave limit into whole workgroups, then apply the LDS
+	// workgroup limit.
+	wgByWaves := limit / wavesPerWG
+	if wgLimit < wgByWaves {
+		wgByWaves = wgLimit
+	}
+	if wgByWaves < 1 {
+		return 0
+	}
+	return wgByWaves * wavesPerWG
+}
+
+// WorkgroupsPerCU returns the resident-workgroup capacity of one CU.
+func (k *Kernel) WorkgroupsPerCU() int {
+	w := k.WavesPerWG()
+	if w == 0 {
+		return 0
+	}
+	return k.OccupancyWavesPerCU() / w
+}
+
+// ParallelismLimitCUs returns the smallest CU count at which the launch
+// can no longer fill every CU with at least one resident workgroup —
+// beyond this point adding CUs cannot help. Returns MaxInt-like large
+// values only when occupancy is zero.
+func (k *Kernel) ParallelismLimitCUs() int {
+	if k.WorkgroupsPerCU() == 0 {
+		return 0
+	}
+	return k.Workgroups
+}

@@ -1,0 +1,179 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gpuscale/internal/hw"
+)
+
+func TestWavesPerWG(t *testing.T) {
+	tests := []struct {
+		wgSize, want int
+	}{
+		{1, 1}, {64, 1}, {65, 2}, {128, 2}, {256, 4}, {1024, 16},
+	}
+	for _, tt := range tests {
+		k := New("s", "p", "k").Geometry(10, tt.wgSize).MustBuild()
+		if got := k.WavesPerWG(); got != tt.want {
+			t.Errorf("WavesPerWG(wgSize=%d) = %d, want %d", tt.wgSize, got, tt.want)
+		}
+	}
+}
+
+func TestTotalWaves(t *testing.T) {
+	k := New("s", "p", "k").Geometry(100, 256).MustBuild()
+	if got := k.TotalWaves(); got != 400 {
+		t.Errorf("TotalWaves() = %d, want 400", got)
+	}
+	if got := k.TotalWorkItems(); got != 25600 {
+		t.Errorf("TotalWorkItems() = %d, want 25600", got)
+	}
+}
+
+func TestTransactionBytesCoalesced(t *testing.T) {
+	// Fully coalesced 4-byte loads: 64 lanes x 4 B = 256 B = 4 lines.
+	k := New("s", "p", "k").Access(Streaming, 10, 0, 4).Coalescing(1).MustBuild()
+	want := int64(10 * 4 * hw.L2LineBytes)
+	if got := k.TransactionBytesPerWave(); got != want {
+		t.Errorf("TransactionBytesPerWave() = %d, want %d", got, want)
+	}
+}
+
+func TestTransactionBytesUncoalesced(t *testing.T) {
+	// Fully uncoalesced: one line per lane per access.
+	k := New("s", "p", "k").Access(Gather, 10, 0, 4).Coalescing(0).MustBuild()
+	want := int64(10 * hw.WavefrontSize * hw.L2LineBytes)
+	if got := k.TransactionBytesPerWave(); got != want {
+		t.Errorf("TransactionBytesPerWave() = %d, want %d", got, want)
+	}
+}
+
+func TestTransactionBytesMonotonicInCoalescing(t *testing.T) {
+	f := func(frac float64) bool {
+		frac = math.Abs(math.Mod(frac, 1))
+		lo := New("s", "p", "k").Access(Streaming, 8, 8, 4).Coalescing(frac).MustBuild()
+		hi := New("s", "p", "k").Access(Streaming, 8, 8, 4).Coalescing(1).MustBuild()
+		return lo.TransactionBytesPerWave() >= hi.TransactionBytesPerWave()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArithmeticIntensity(t *testing.T) {
+	k := New("s", "p", "k").
+		Compute(1000, 0).
+		Access(Streaming, 10, 0, 4).
+		Coalescing(1).
+		MustBuild()
+	flops := 1000.0 * 64
+	bytes := float64(10 * 4 * hw.L2LineBytes)
+	if got := k.ArithmeticIntensity(); math.Abs(got-flops/bytes) > 1e-9 {
+		t.Errorf("ArithmeticIntensity() = %g, want %g", got, flops/bytes)
+	}
+	pure := New("s", "p", "k").Access(Streaming, 0, 0, 0).MLP(0).MustBuild()
+	if got := pure.ArithmeticIntensity(); !math.IsInf(got, 1) {
+		t.Errorf("pure-compute intensity = %g, want +Inf", got)
+	}
+}
+
+func TestEffectiveMLP(t *testing.T) {
+	k := New("s", "p", "k").MLP(8).DepChain(0.5).MustBuild()
+	if got := k.EffectiveMLP(); got != 4 {
+		t.Errorf("EffectiveMLP() = %g, want 4", got)
+	}
+	chase := New("s", "p", "k").MLP(8).DepChain(1).MustBuild()
+	if got := chase.EffectiveMLP(); got != 1 {
+		t.Errorf("full dep chain EffectiveMLP() = %g, want clamp to 1", got)
+	}
+}
+
+func TestOccupancyWaveSlotLimit(t *testing.T) {
+	// Tiny resource usage: limited only by the 40 wave slots.
+	k := New("s", "p", "k").Geometry(1000, 64).Resources(8, 16, 0).MustBuild()
+	if got := k.OccupancyWavesPerCU(); got != hw.MaxWavesPerCU {
+		t.Errorf("OccupancyWavesPerCU() = %d, want %d", got, hw.MaxWavesPerCU)
+	}
+}
+
+func TestOccupancyVGPRLimit(t *testing.T) {
+	// 128 VGPRs/WI -> 8192 VGPRs/wave -> 8 waves/SIMD capacity 65536
+	// -> 8 per SIMD? 65536/8192 = 8, x4 SIMDs = 32 waves.
+	k := New("s", "p", "k").Geometry(1000, 64).Resources(128, 16, 0).MustBuild()
+	if got := k.OccupancyWavesPerCU(); got != 32 {
+		t.Errorf("OccupancyWavesPerCU() = %d, want 32", got)
+	}
+}
+
+func TestOccupancyLDSLimit(t *testing.T) {
+	// 32 KiB LDS per workgroup -> 2 workgroups per CU; wgSize 256 ->
+	// 4 waves/WG -> 8 waves.
+	k := New("s", "p", "k").Geometry(1000, 256).Resources(16, 16, 32*1024).MustBuild()
+	if got := k.OccupancyWavesPerCU(); got != 8 {
+		t.Errorf("OccupancyWavesPerCU() = %d, want 8", got)
+	}
+	if got := k.WorkgroupsPerCU(); got != 2 {
+		t.Errorf("WorkgroupsPerCU() = %d, want 2", got)
+	}
+}
+
+func TestOccupancyWholeWorkgroups(t *testing.T) {
+	// wgSize 1024 -> 16 waves/WG; 40-slot limit -> 2 WGs = 32 waves,
+	// never a fractional workgroup.
+	k := New("s", "p", "k").Geometry(1000, 1024).Resources(8, 16, 0).MustBuild()
+	if got := k.OccupancyWavesPerCU(); got != 32 {
+		t.Errorf("OccupancyWavesPerCU() = %d, want 32", got)
+	}
+}
+
+func TestOccupancyZeroWhenWGTooBig(t *testing.T) {
+	// A workgroup needing more LDS than exists can never be resident.
+	k := validKernel()
+	k.LDSPerWG = hw.LDSBytesPerCU
+	k.VGPRsPerWI = 256
+	k.WGSize = 1024
+	// 256 VGPR x 64 = 16384 per wave; 65536/16384 = 4 waves/SIMD x4 =
+	// 16 waves; 16 waves / 16 waves-per-WG = 1 WG; LDS allows 1. Fits.
+	if got := k.OccupancyWavesPerCU(); got != 16 {
+		t.Errorf("OccupancyWavesPerCU() = %d, want 16", got)
+	}
+	k.VGPRsPerWI = 255 // 16320/wave -> 4/SIMD -> still 16
+	if got := k.OccupancyWavesPerCU(); got != 16 {
+		t.Errorf("OccupancyWavesPerCU() = %d, want 16", got)
+	}
+}
+
+func TestOccupancyPropertyPositiveWhenModest(t *testing.T) {
+	f := func(vg uint8, wg uint8) bool {
+		vgprs := int(vg)%64 + 8
+		wgSize := (int(wg)%4 + 1) * 64
+		k := New("s", "p", "k").Geometry(100, wgSize).Resources(vgprs, 32, 0).MustBuild()
+		occ := k.OccupancyWavesPerCU()
+		return occ >= k.WavesPerWG() && occ <= hw.MaxWavesPerCU && occ%k.WavesPerWG() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesPerWave(t *testing.T) {
+	k := New("s", "p", "k").Access(Streaming, 10, 5, 8).MustBuild()
+	want := int64(15) * 8 * hw.WavefrontSize
+	if got := k.BytesPerWave(); got != want {
+		t.Errorf("BytesPerWave() = %d, want %d", got, want)
+	}
+}
+
+func TestParallelismLimitCUs(t *testing.T) {
+	k := New("s", "p", "k").Geometry(16, 256).MustBuild()
+	if got := k.ParallelismLimitCUs(); got != 16 {
+		t.Errorf("ParallelismLimitCUs() = %d, want 16", got)
+	}
+	big := New("s", "p", "k").Geometry(100, 1024).MustBuild()
+	big.SGPRsPerWave = 512 // cannot fit a 16-wave workgroup
+	if got := big.ParallelismLimitCUs(); got != 0 {
+		t.Errorf("unfittable kernel ParallelismLimitCUs() = %d, want 0", got)
+	}
+}

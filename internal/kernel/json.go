@@ -1,0 +1,54 @@
+package kernel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MarshalJSON encodes the pattern as its string name.
+func (p AccessPattern) MarshalJSON() ([]byte, error) {
+	if !p.Valid() {
+		return nil, fmt.Errorf("kernel: cannot marshal invalid pattern %d", int(p))
+	}
+	return json.Marshal(p.String())
+}
+
+// UnmarshalJSON decodes a pattern from its string name.
+func (p *AccessPattern) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for i, name := range patternNames {
+		if name == s {
+			*p = AccessPattern(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("kernel: unknown access pattern %q", s)
+}
+
+// WriteAll writes a slice of kernels as indented JSON.
+func WriteAll(w io.Writer, ks []*Kernel) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ks)
+}
+
+// ReadAll reads a slice of kernels from JSON and validates each one.
+func ReadAll(r io.Reader) ([]*Kernel, error) {
+	var ks []*Kernel
+	if err := json.NewDecoder(r).Decode(&ks); err != nil {
+		return nil, fmt.Errorf("kernel: decoding corpus: %w", err)
+	}
+	for i, k := range ks {
+		if k == nil {
+			return nil, fmt.Errorf("kernel: null kernel at index %d", i)
+		}
+		if err := k.Validate(); err != nil {
+			return nil, fmt.Errorf("kernel: index %d: %w", i, err)
+		}
+	}
+	return ks, nil
+}

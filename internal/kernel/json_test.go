@@ -1,0 +1,61 @@
+package kernel
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	ks := []*Kernel{
+		New("s", "p", "a").MustBuild(),
+		New("s", "p", "b").Access(PointerChase, 200, 0, 8).Coalescing(0.1).MustBuild(),
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, ks); err != nil {
+		t.Fatalf("WriteAll: %v", err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if !reflect.DeepEqual(got, ks) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got[1], ks[1])
+	}
+}
+
+func TestJSONPatternNames(t *testing.T) {
+	k := New("s", "p", "a").Access(Gather, 1, 1, 4).MustBuild()
+	data, err := json.Marshal(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"gather"`) {
+		t.Errorf("marshalled kernel missing pattern name: %s", data)
+	}
+}
+
+func TestJSONBadPattern(t *testing.T) {
+	var p AccessPattern
+	if err := p.UnmarshalJSON([]byte(`"bogus"`)); err == nil {
+		t.Error("UnmarshalJSON accepted unknown pattern")
+	}
+	bad := AccessPattern(99)
+	if _, err := bad.MarshalJSON(); err == nil {
+		t.Error("MarshalJSON accepted invalid pattern")
+	}
+}
+
+func TestReadAllRejectsInvalid(t *testing.T) {
+	if _, err := ReadAll(strings.NewReader(`[{"Name":""}]`)); err == nil {
+		t.Error("ReadAll accepted invalid kernel")
+	}
+	if _, err := ReadAll(strings.NewReader(`[null]`)); err == nil {
+		t.Error("ReadAll accepted null kernel")
+	}
+	if _, err := ReadAll(strings.NewReader(`{`)); err == nil {
+		t.Error("ReadAll accepted truncated JSON")
+	}
+}

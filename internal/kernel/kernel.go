@@ -1,0 +1,214 @@
+// Package kernel defines the declarative behavioural model of a GPGPU
+// kernel: its launch geometry, per-wavefront instruction mix, resource
+// usage, and memory-access behaviour. The timing simulator in
+// internal/gcn consumes these descriptions; the corpus in
+// internal/suites instantiates 267 of them.
+//
+// A Kernel deliberately records behaviour, not code: the taxonomy in
+// the paper depends only on how a kernel's runtime responds to changes
+// in compute units, core clock, and memory bandwidth, and those
+// responses are fully determined by the quantities captured here.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"gpuscale/internal/hw"
+)
+
+// AccessPattern describes the spatial structure of a kernel's global
+// memory accesses, which determines coalescing, cache behaviour, and
+// DRAM efficiency.
+type AccessPattern int
+
+// Access patterns, ordered roughly from most to least DRAM-friendly.
+const (
+	// Streaming is unit-stride, fully coalesced access.
+	Streaming AccessPattern = iota
+	// Tiled is blocked access with high intra-workgroup reuse
+	// (GEMM-like kernels that stage tiles through LDS or cache).
+	Tiled
+	// Strided is regular access with a stride larger than a cache
+	// line, wasting part of each fetched line.
+	Strided
+	// Gather is data-dependent, irregular access with limited
+	// locality (graph and sparse kernels).
+	Gather
+	// PointerChase is serially dependent irregular access (linked
+	// structures); latency-bound almost by construction.
+	PointerChase
+)
+
+var patternNames = [...]string{"streaming", "tiled", "strided", "gather", "pointer-chase"}
+
+// String returns the lower-case pattern name.
+func (p AccessPattern) String() string {
+	if p < 0 || int(p) >= len(patternNames) {
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+	return patternNames[p]
+}
+
+// Valid reports whether p is a defined pattern.
+func (p AccessPattern) Valid() bool { return p >= Streaming && p <= PointerChase }
+
+// MemBehavior describes a kernel's global-memory traffic per wavefront.
+type MemBehavior struct {
+	// Pattern is the spatial access structure.
+	Pattern AccessPattern
+	// LoadsPerWave is the number of vector-load instructions one
+	// wavefront issues over its lifetime.
+	LoadsPerWave int
+	// StoresPerWave is the number of vector-store instructions.
+	StoresPerWave int
+	// BytesPerLane is the useful payload one lane moves per access
+	// (4 for float, 8 for double/float2, ...).
+	BytesPerLane int
+	// CoalescedFraction is the fraction of accesses that coalesce
+	// into the minimal number of cache-line transactions (1 = fully
+	// coalesced, 0 = one transaction per lane).
+	CoalescedFraction float64
+	// WorkingSetPerWG is the bytes of distinct global data one
+	// workgroup touches; drives L1/L2 capacity behaviour.
+	WorkingSetPerWG int64
+	// SharedFraction is the fraction of a workgroup's working set
+	// shared with other workgroups (e.g. a matrix row block reused
+	// across a tile column). Shared data amplifies L2 reuse.
+	SharedFraction float64
+	// ReuseFactor is how many times the kernel re-touches each
+	// working-set byte after first use (temporal locality).
+	ReuseFactor float64
+	// MLP is the memory-level parallelism: how many outstanding
+	// memory requests one wavefront sustains. 1 means fully serial
+	// (pointer chasing), 8+ means deeply pipelined streaming.
+	MLP float64
+}
+
+// Kernel is the complete behavioural description of one GPGPU kernel.
+type Kernel struct {
+	// Name identifies the kernel ("program.kernel").
+	Name string
+	// Program is the host program the kernel belongs to.
+	Program string
+	// Suite is the benchmark suite the program belongs to.
+	Suite string
+
+	// Workgroups is the launch's workgroup count.
+	Workgroups int
+	// WGSize is work-items per workgroup (multiple of wavefront size
+	// in well-formed kernels, but any positive value is accepted).
+	WGSize int
+
+	// VGPRsPerWI is vector registers per work-item; with WGSize it
+	// bounds occupancy.
+	VGPRsPerWI int
+	// SGPRsPerWave is scalar registers per wavefront.
+	SGPRsPerWave int
+	// LDSPerWG is local-data-share bytes per workgroup.
+	LDSPerWG int
+
+	// VALUPerWave is vector-ALU instructions one wavefront executes.
+	VALUPerWave int
+	// SALUPerWave is scalar-ALU instructions per wavefront.
+	SALUPerWave int
+	// LDSOpsPerWave is LDS load/store instructions per wavefront.
+	LDSOpsPerWave int
+	// BarriersPerWave is workgroup barrier count per wavefront.
+	BarriersPerWave int
+
+	// SIMDEfficiency is the mean fraction of active lanes per VALU
+	// instruction (1 = no divergence).
+	SIMDEfficiency float64
+	// DepChainFraction is the fraction of memory accesses that are
+	// serially dependent on a prior access (0 = independent, 1 =
+	// pointer chase). It throttles effective MLP.
+	DepChainFraction float64
+
+	// Mem is the kernel's global-memory behaviour.
+	Mem MemBehavior
+
+	// LaunchOverheadNS is fixed host-side launch latency added to
+	// every invocation.
+	LaunchOverheadNS float64
+	// Iterations is how many times the host launches the kernel in
+	// one program run (affects launch-overhead amortisation only).
+	Iterations int
+}
+
+// Validation errors returned by Kernel.Validate.
+var (
+	ErrNoName       = errors.New("kernel: empty name")
+	ErrBadGeometry  = errors.New("kernel: invalid launch geometry")
+	ErrBadResources = errors.New("kernel: invalid resource usage")
+	ErrBadMix       = errors.New("kernel: invalid instruction mix")
+	ErrBadMem       = errors.New("kernel: invalid memory behaviour")
+)
+
+// Validate checks internal consistency of the description.
+func (k *Kernel) Validate() error {
+	if k.Name == "" {
+		return ErrNoName
+	}
+	if k.Workgroups < 1 || k.WGSize < 1 || k.WGSize > 1024 {
+		return fmt.Errorf("%w: %d workgroups of %d work-items", ErrBadGeometry, k.Workgroups, k.WGSize)
+	}
+	if k.VGPRsPerWI < 1 || k.VGPRsPerWI > 256 {
+		return fmt.Errorf("%w: %d VGPRs per work-item", ErrBadResources, k.VGPRsPerWI)
+	}
+	if k.SGPRsPerWave < 0 || k.SGPRsPerWave > 512 {
+		return fmt.Errorf("%w: %d SGPRs per wave", ErrBadResources, k.SGPRsPerWave)
+	}
+	if k.LDSPerWG < 0 || k.LDSPerWG > hw.LDSBytesPerCU {
+		return fmt.Errorf("%w: %d LDS bytes per workgroup", ErrBadResources, k.LDSPerWG)
+	}
+	if k.VALUPerWave < 1 {
+		return fmt.Errorf("%w: %d VALU instructions per wave", ErrBadMix, k.VALUPerWave)
+	}
+	if k.SALUPerWave < 0 || k.LDSOpsPerWave < 0 || k.BarriersPerWave < 0 {
+		return fmt.Errorf("%w: negative instruction count", ErrBadMix)
+	}
+	if k.SIMDEfficiency <= 0 || k.SIMDEfficiency > 1 {
+		return fmt.Errorf("%w: SIMD efficiency %g", ErrBadMix, k.SIMDEfficiency)
+	}
+	if k.DepChainFraction < 0 || k.DepChainFraction > 1 {
+		return fmt.Errorf("%w: dependency-chain fraction %g", ErrBadMix, k.DepChainFraction)
+	}
+	if k.LaunchOverheadNS < 0 {
+		return fmt.Errorf("%w: negative launch overhead", ErrBadGeometry)
+	}
+	if k.Iterations < 1 {
+		return fmt.Errorf("%w: %d iterations", ErrBadGeometry, k.Iterations)
+	}
+	return k.Mem.validate()
+}
+
+func (m *MemBehavior) validate() error {
+	if !m.Pattern.Valid() {
+		return fmt.Errorf("%w: pattern %d", ErrBadMem, int(m.Pattern))
+	}
+	if m.LoadsPerWave < 0 || m.StoresPerWave < 0 {
+		return fmt.Errorf("%w: negative access count", ErrBadMem)
+	}
+	if m.LoadsPerWave+m.StoresPerWave > 0 {
+		if m.BytesPerLane < 1 || m.BytesPerLane > 16 {
+			return fmt.Errorf("%w: %d bytes per lane", ErrBadMem, m.BytesPerLane)
+		}
+		if m.MLP < 1 {
+			return fmt.Errorf("%w: MLP %g < 1", ErrBadMem, m.MLP)
+		}
+	}
+	if m.CoalescedFraction < 0 || m.CoalescedFraction > 1 {
+		return fmt.Errorf("%w: coalesced fraction %g", ErrBadMem, m.CoalescedFraction)
+	}
+	if m.SharedFraction < 0 || m.SharedFraction > 1 {
+		return fmt.Errorf("%w: shared fraction %g", ErrBadMem, m.SharedFraction)
+	}
+	if m.WorkingSetPerWG < 0 {
+		return fmt.Errorf("%w: negative working set", ErrBadMem)
+	}
+	if m.ReuseFactor < 0 {
+		return fmt.Errorf("%w: negative reuse factor", ErrBadMem)
+	}
+	return nil
+}

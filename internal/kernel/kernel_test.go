@@ -1,0 +1,142 @@
+package kernel
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func validKernel() *Kernel {
+	return New("suite", "prog", "k").MustBuild()
+}
+
+func TestBuilderDefaultsValid(t *testing.T) {
+	k, err := New("s", "p", "k").Build()
+	if err != nil {
+		t.Fatalf("default builder invalid: %v", err)
+	}
+	if k.Name != "p.k" {
+		t.Errorf("Name = %q, want p.k", k.Name)
+	}
+	if k.Suite != "s" || k.Program != "p" {
+		t.Errorf("identity = %q/%q", k.Suite, k.Program)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Kernel)
+		want   error
+	}{
+		{"empty name", func(k *Kernel) { k.Name = "" }, ErrNoName},
+		{"zero workgroups", func(k *Kernel) { k.Workgroups = 0 }, ErrBadGeometry},
+		{"huge wg size", func(k *Kernel) { k.WGSize = 4096 }, ErrBadGeometry},
+		{"zero wg size", func(k *Kernel) { k.WGSize = 0 }, ErrBadGeometry},
+		{"zero vgprs", func(k *Kernel) { k.VGPRsPerWI = 0 }, ErrBadResources},
+		{"too many vgprs", func(k *Kernel) { k.VGPRsPerWI = 500 }, ErrBadResources},
+		{"negative sgprs", func(k *Kernel) { k.SGPRsPerWave = -1 }, ErrBadResources},
+		{"lds over capacity", func(k *Kernel) { k.LDSPerWG = 1 << 20 }, ErrBadResources},
+		{"zero valu", func(k *Kernel) { k.VALUPerWave = 0 }, ErrBadMix},
+		{"negative salu", func(k *Kernel) { k.SALUPerWave = -1 }, ErrBadMix},
+		{"simd eff zero", func(k *Kernel) { k.SIMDEfficiency = 0 }, ErrBadMix},
+		{"simd eff over one", func(k *Kernel) { k.SIMDEfficiency = 1.5 }, ErrBadMix},
+		{"dep chain negative", func(k *Kernel) { k.DepChainFraction = -0.1 }, ErrBadMix},
+		{"negative overhead", func(k *Kernel) { k.LaunchOverheadNS = -1 }, ErrBadGeometry},
+		{"zero iterations", func(k *Kernel) { k.Iterations = 0 }, ErrBadGeometry},
+		{"bad pattern", func(k *Kernel) { k.Mem.Pattern = AccessPattern(99) }, ErrBadMem},
+		{"negative loads", func(k *Kernel) { k.Mem.LoadsPerWave = -1 }, ErrBadMem},
+		{"bad payload", func(k *Kernel) { k.Mem.BytesPerLane = 0 }, ErrBadMem},
+		{"mlp under one", func(k *Kernel) { k.Mem.MLP = 0.5 }, ErrBadMem},
+		{"coalesce over one", func(k *Kernel) { k.Mem.CoalescedFraction = 2 }, ErrBadMem},
+		{"shared negative", func(k *Kernel) { k.Mem.SharedFraction = -1 }, ErrBadMem},
+		{"negative ws", func(k *Kernel) { k.Mem.WorkingSetPerWG = -1 }, ErrBadMem},
+		{"negative reuse", func(k *Kernel) { k.Mem.ReuseFactor = -1 }, ErrBadMem},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			k := validKernel()
+			tt.mutate(k)
+			if err := k.Validate(); !errors.Is(err, tt.want) {
+				t.Fatalf("Validate() = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestPureComputeKernelValid(t *testing.T) {
+	// A kernel with no memory traffic must not trip the payload/MLP
+	// checks that only apply when accesses exist.
+	k := New("s", "p", "k").
+		Access(Streaming, 0, 0, 0).
+		MLP(0).
+		MustBuild()
+	if k.MemAccessesPerWave() != 0 {
+		t.Fatal("expected zero accesses")
+	}
+	if got := k.EffectiveMLP(); got != 0 {
+		t.Errorf("EffectiveMLP() = %g, want 0 for pure compute", got)
+	}
+}
+
+func TestAccessPatternString(t *testing.T) {
+	for p := Streaming; p <= PointerChase; p++ {
+		s := p.String()
+		if s == "" || strings.HasPrefix(s, "pattern(") {
+			t.Errorf("pattern %d has no name", int(p))
+		}
+	}
+	if got := AccessPattern(42).String(); !strings.HasPrefix(got, "pattern(") {
+		t.Errorf("invalid pattern String() = %q", got)
+	}
+}
+
+func TestBuilderReuseDoesNotAlias(t *testing.T) {
+	b := New("s", "p", "k")
+	k1 := b.MustBuild()
+	b.Geometry(8, 64)
+	k2 := b.MustBuild()
+	if k1.Workgroups == k2.Workgroups {
+		t.Fatal("builder mutation leaked into previously built kernel")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild on invalid kernel did not panic")
+		}
+	}()
+	New("s", "p", "k").Geometry(0, 0).MustBuild()
+}
+
+func TestBuilderSettersRoundTrip(t *testing.T) {
+	m := MemBehavior{
+		Pattern: Strided, LoadsPerWave: 11, StoresPerWave: 3, BytesPerLane: 8,
+		CoalescedFraction: 0.7, WorkingSetPerWG: 12345, SharedFraction: 0.2,
+		ReuseFactor: 1.5, MLP: 3,
+	}
+	k := New("s", "p", "k").
+		LDSOps(77, 4).
+		Divergence(0.5).
+		Memory(m).
+		Locality(999, 0.1, 2).
+		Launch(1234, 7).
+		MustBuild()
+	if k.LDSOpsPerWave != 77 || k.BarriersPerWave != 4 {
+		t.Errorf("LDSOps not applied: %d/%d", k.LDSOpsPerWave, k.BarriersPerWave)
+	}
+	if k.SIMDEfficiency != 0.5 {
+		t.Errorf("Divergence not applied: %g", k.SIMDEfficiency)
+	}
+	// Locality was applied after Memory, overriding its locality fields.
+	if k.Mem.Pattern != Strided || k.Mem.LoadsPerWave != 11 {
+		t.Errorf("Memory not applied: %+v", k.Mem)
+	}
+	if k.Mem.WorkingSetPerWG != 999 || k.Mem.SharedFraction != 0.1 || k.Mem.ReuseFactor != 2 {
+		t.Errorf("Locality not applied: %+v", k.Mem)
+	}
+	if k.LaunchOverheadNS != 1234 || k.Iterations != 7 {
+		t.Errorf("Launch not applied: %g/%d", k.LaunchOverheadNS, k.Iterations)
+	}
+}

@@ -1,0 +1,120 @@
+package memory
+
+import (
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+)
+
+// HitRates carries the analytic hit-rate estimate for both cache
+// levels. L2 is conditional on an L1 miss.
+type HitRates struct {
+	// L1 is the per-CU vector-cache hit rate.
+	L1 float64
+	// L2 is the shared-cache hit rate among L1 misses.
+	L2 float64
+}
+
+// DRAMFraction returns the fraction of issued accesses that reach DRAM.
+func (h HitRates) DRAMFraction() float64 {
+	return (1 - h.L1) * (1 - h.L2)
+}
+
+// patternSpatialQuality scales temporal-reuse capture by how well the
+// pattern packs into cache lines: irregular patterns spread the same
+// working set over more lines, so a given capacity captures less of it.
+func patternSpatialQuality(p kernel.AccessPattern) float64 {
+	switch p {
+	case kernel.Streaming:
+		return 1
+	case kernel.Tiled:
+		return 1
+	case kernel.Strided:
+		return 0.6
+	case kernel.Gather:
+		return 0.4
+	case kernel.PointerChase:
+		return 0.35
+	default:
+		return 0.5
+	}
+}
+
+// EstimateHitRates predicts L1 and L2 hit rates for a kernel given how
+// many of its workgroups are resident per CU and how many CUs are
+// enabled. The model is capacity-based:
+//
+//   - Every distinct byte is touched 1+reuse times; first touches miss
+//     (compulsory), re-touches hit if the footprint fits.
+//   - The L1 sees the working sets of the workgroups resident on its
+//     CU; the fraction that fits scales the reuse captured.
+//   - The L2 sees the aggregate footprint of every resident workgroup
+//     on every CU, reduced by the cross-workgroup shared fraction.
+//     This is the term that grows with CU count and produces the
+//     paper's "performance loss with more CUs" class: when the
+//     aggregate overflows the fixed L2, the DRAM traffic per unit of
+//     work rises with every CU added.
+//   - Shared data earns extra L2 hits because other workgroups'
+//     first touches become hits after the first workgroup faults the
+//     data in.
+func EstimateHitRates(k *kernel.Kernel, residentWGsPerCU, cus int) HitRates {
+	return EstimateHitRatesL2(k, residentWGsPerCU, cus, hw.L2Bytes)
+}
+
+// EstimateHitRatesL2 is EstimateHitRates with an explicit shared-L2
+// capacity, for what-if experiments on hypothetical cache scaling.
+func EstimateHitRatesL2(k *kernel.Kernel, residentWGsPerCU, cus, l2Bytes int) HitRates {
+	if k.MemAccessesPerWave() == 0 {
+		return HitRates{}
+	}
+	reuse := k.Mem.ReuseFactor
+	quality := patternSpatialQuality(k.Mem.Pattern)
+
+	// Re-touch fraction of all accesses: reuse/(1+reuse).
+	retouch := reuse / (1 + reuse)
+
+	// --- L1: per-CU, sees resident workgroups' private sets. ---
+	l1Footprint := float64(k.Mem.WorkingSetPerWG) * float64(maxInt(residentWGsPerCU, 1))
+	l1Fit := fitFraction(float64(hw.L1BytesPerCU), l1Footprint)
+	l1 := retouch * l1Fit * quality
+
+	// --- L2: shared, sees every CU's resident footprint. ---
+	shared := k.Mem.SharedFraction
+	perWGPrivate := float64(k.Mem.WorkingSetPerWG) * (1 - shared)
+	sharedSet := float64(k.Mem.WorkingSetPerWG) * shared
+	aggregate := perWGPrivate*float64(residentWGsPerCU*cus) + sharedSet
+	l2Fit := fitFraction(float64(l2Bytes), aggregate)
+
+	// Among L1 misses: leftover temporal reuse the L1 could not hold,
+	// plus cross-workgroup sharing hits.
+	leftoverReuse := retouch * (1 - l1Fit) * quality
+	crossWG := shared * 0.9 // first faulter misses; later workgroups hit
+	l2 := (leftoverReuse + crossWG*(1-leftoverReuse)) * l2Fit
+
+	return HitRates{L1: clamp01(l1), L2: clamp01(l2)}
+}
+
+// fitFraction returns how much of a footprint a capacity covers, in
+// (0,1]. A footprint of zero fits entirely.
+func fitFraction(capacity, footprint float64) float64 {
+	if footprint <= capacity {
+		return 1
+	}
+	return capacity / footprint
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,103 @@
+package memory
+
+import (
+	"testing"
+
+	"gpuscale/internal/kernel"
+)
+
+func streamKernel(ws int64, shared, reuse float64) *kernel.Kernel {
+	return kernel.New("s", "p", "k").
+		Locality(ws, shared, reuse).
+		MustBuild()
+}
+
+func TestHitRatesZeroForPureCompute(t *testing.T) {
+	k := kernel.New("s", "p", "k").Access(kernel.Streaming, 0, 0, 0).MLP(0).MustBuild()
+	hr := EstimateHitRates(k, 4, 44)
+	if hr.L1 != 0 || hr.L2 != 0 {
+		t.Fatalf("pure compute hit rates = %+v, want zero", hr)
+	}
+}
+
+func TestHitRatesBounded(t *testing.T) {
+	for _, wgs := range []int{1, 2, 8} {
+		for _, cus := range []int{4, 20, 44} {
+			for _, ws := range []int64{1024, 64 * 1024, 8 << 20} {
+				hr := EstimateHitRates(streamKernel(ws, 0.3, 2), wgs, cus)
+				if hr.L1 < 0 || hr.L1 > 1 || hr.L2 < 0 || hr.L2 > 1 {
+					t.Fatalf("hit rates out of bounds: %+v (ws=%d wgs=%d cus=%d)", hr, ws, wgs, cus)
+				}
+			}
+		}
+	}
+}
+
+func TestL2HitRateFallsWithMoreCUs(t *testing.T) {
+	// The CU-intolerance mechanism: a working set that overflows L2
+	// in aggregate must lose L2 hit rate as CUs are added.
+	k := streamKernel(256*1024, 0, 4)
+	lo := EstimateHitRates(k, 2, 4)
+	hi := EstimateHitRates(k, 2, 44)
+	if hi.L2 >= lo.L2 {
+		t.Fatalf("L2 hit rate did not fall with CUs: 4 CUs %.3f vs 44 CUs %.3f", lo.L2, hi.L2)
+	}
+	if lo.DRAMFraction() >= hi.DRAMFraction() {
+		t.Fatalf("DRAM fraction did not grow with CUs: %.3f vs %.3f",
+			lo.DRAMFraction(), hi.DRAMFraction())
+	}
+}
+
+func TestL2HitRateStableWhenFits(t *testing.T) {
+	// A tiny working set fits at any CU count: adding CUs must not
+	// change the estimate (no spurious CU-intolerance).
+	k := streamKernel(512, 0, 4)
+	lo := EstimateHitRates(k, 2, 4)
+	hi := EstimateHitRates(k, 2, 44)
+	if lo != hi {
+		t.Fatalf("fitting working set changed with CUs: %+v vs %+v", lo, hi)
+	}
+}
+
+func TestSharedDataRaisesL2(t *testing.T) {
+	private := EstimateHitRates(streamKernel(64*1024, 0, 1), 4, 44)
+	shared := EstimateHitRates(streamKernel(64*1024, 0.8, 1), 4, 44)
+	if shared.L2 <= private.L2 {
+		t.Fatalf("shared working set did not raise L2 hit rate: %.3f vs %.3f",
+			shared.L2, private.L2)
+	}
+}
+
+func TestMoreReuseRaisesL1(t *testing.T) {
+	lo := EstimateHitRates(streamKernel(8*1024, 0, 0), 1, 4)
+	hi := EstimateHitRates(streamKernel(8*1024, 0, 8), 1, 4)
+	if hi.L1 <= lo.L1 {
+		t.Fatalf("reuse did not raise L1 hit rate: %.3f vs %.3f", lo.L1, hi.L1)
+	}
+	if lo.L1 != 0 {
+		t.Fatalf("no-reuse private stream should have zero L1 hit rate, got %.3f", lo.L1)
+	}
+}
+
+func TestIrregularPatternsCaptureLessReuse(t *testing.T) {
+	mk := func(p kernel.AccessPattern) HitRates {
+		k := kernel.New("s", "p", "k").
+			Access(p, 64, 16, 4).
+			Locality(8*1024, 0, 4).
+			MustBuild()
+		return EstimateHitRates(k, 1, 4)
+	}
+	if g, s := mk(kernel.Gather), mk(kernel.Streaming); g.L1 >= s.L1 {
+		t.Fatalf("gather L1 %.3f >= streaming L1 %.3f", g.L1, s.L1)
+	}
+}
+
+func TestDRAMFraction(t *testing.T) {
+	hr := HitRates{L1: 0.5, L2: 0.5}
+	if got := hr.DRAMFraction(); got != 0.25 {
+		t.Fatalf("DRAMFraction() = %g, want 0.25", got)
+	}
+	if got := (HitRates{}).DRAMFraction(); got != 1 {
+		t.Fatalf("cold DRAMFraction() = %g, want 1", got)
+	}
+}

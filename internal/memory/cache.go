@@ -1,0 +1,125 @@
+// Package memory models the GPU memory hierarchy: set-associative
+// caches (simulated exactly in trace mode and approximated analytically
+// in sweep mode), a GDDR5 DRAM channel model with pattern-dependent
+// efficiency and queueing, and the hierarchy facade the timing engine
+// queries.
+package memory
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Cache is an exact set-associative cache with true-LRU replacement.
+// It is used by the trace-driven fidelity mode and by tests that
+// validate the analytic hit-rate model; the sweep engine uses the
+// analytic model for speed.
+type Cache struct {
+	lineBytes int
+	sets      int
+	ways      int
+	// tags[set*ways+way] holds the line tag; valid bit folded in by
+	// using tag 0 = invalid (addresses are offset to avoid tag 0).
+	tags []uint64
+	// lru[set*ways+way] holds a per-set use counter.
+	lru     []uint64
+	clock   uint64
+	hits    uint64
+	misses  uint64
+	evicted uint64
+}
+
+// NewCache builds a cache of the given total capacity, line size, and
+// associativity. Capacity must be a multiple of lineBytes*ways and the
+// resulting set count must be a power of two.
+func NewCache(capacityBytes, lineBytes, ways int) (*Cache, error) {
+	if capacityBytes <= 0 || lineBytes <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("memory: non-positive cache parameter (%d B, %d B lines, %d ways)",
+			capacityBytes, lineBytes, ways)
+	}
+	if capacityBytes%(lineBytes*ways) != 0 {
+		return nil, fmt.Errorf("memory: capacity %d not a multiple of line*ways %d",
+			capacityBytes, lineBytes*ways)
+	}
+	sets := capacityBytes / (lineBytes * ways)
+	if bits.OnesCount(uint(sets)) != 1 {
+		return nil, fmt.Errorf("memory: set count %d not a power of two", sets)
+	}
+	if bits.OnesCount(uint(lineBytes)) != 1 {
+		return nil, fmt.Errorf("memory: line size %d not a power of two", lineBytes)
+	}
+	return &Cache{
+		lineBytes: lineBytes,
+		sets:      sets,
+		ways:      ways,
+		tags:      make([]uint64, sets*ways),
+		lru:       make([]uint64, sets*ways),
+	}, nil
+}
+
+// Access touches one byte address and returns true on hit. A miss
+// installs the line, evicting the LRU way if the set is full.
+func (c *Cache) Access(addr uint64) bool {
+	line := addr/uint64(c.lineBytes) + 1 // +1 keeps tag 0 = invalid
+	set := int(line % uint64(c.sets))
+	base := set * c.ways
+	c.clock++
+
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == line {
+			c.lru[base+w] = c.clock
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+
+	// Install: free way if any, else evict LRU.
+	victim := -1
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == 0 {
+			victim = w
+			break
+		}
+		if c.lru[base+w] < oldest {
+			oldest = c.lru[base+w]
+			victim = w
+		}
+	}
+	if c.tags[base+victim] != 0 {
+		c.evicted++
+	}
+	c.tags[base+victim] = line
+	c.lru[base+victim] = c.clock
+	return false
+}
+
+// Stats reports cumulative hit, miss, and eviction counts.
+func (c *Cache) Stats() (hits, misses, evictions uint64) {
+	return c.hits, c.misses, c.evicted
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no accesses.
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.lru[i] = 0
+	}
+	c.clock, c.hits, c.misses, c.evicted = 0, 0, 0, 0
+}
+
+// LineBytes returns the cache-line size.
+func (c *Cache) LineBytes() int { return c.lineBytes }
+
+// CapacityBytes returns the total capacity.
+func (c *Cache) CapacityBytes() int { return c.sets * c.ways * c.lineBytes }

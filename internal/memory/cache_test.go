@@ -1,0 +1,161 @@
+package memory
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustCache(t *testing.T, capacity, line, ways int) *Cache {
+	t.Helper()
+	c, err := NewCache(capacity, line, ways)
+	if err != nil {
+		t.Fatalf("NewCache(%d,%d,%d): %v", capacity, line, ways, err)
+	}
+	return c
+}
+
+func TestNewCacheRejectsBadGeometry(t *testing.T) {
+	cases := [][3]int{
+		{0, 64, 4}, {1024, 0, 4}, {1024, 64, 0},
+		{1000, 64, 4},       // not a multiple
+		{64 * 4 * 3, 64, 4}, // 3 sets, not a power of two
+		{64 * 4 * 4, 48, 4}, // line not a power of two
+	}
+	for _, c := range cases {
+		if _, err := NewCache(c[0], c[1], c[2]); err == nil {
+			t.Errorf("NewCache(%v) succeeded, want error", c)
+		}
+	}
+}
+
+func TestCacheColdMissThenHit(t *testing.T) {
+	c := mustCache(t, 4096, 64, 4)
+	if c.Access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(63) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(64) {
+		t.Fatal("next-line cold access hit")
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 2 || misses != 2 {
+		t.Fatalf("stats = %d hits/%d misses, want 2/2", hits, misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Direct calculation: 2 ways, 1 set (capacity = 2 lines).
+	c := mustCache(t, 128, 64, 2)
+	c.Access(0 * 64) // A
+	c.Access(1 * 64) // B
+	c.Access(0 * 64) // touch A; B is now LRU
+	c.Access(2 * 64) // C evicts B
+	if !c.Access(0 * 64) {
+		t.Error("A evicted, want retained (was MRU)")
+	}
+	if c.Access(1 * 64) {
+		t.Error("B retained, want evicted (was LRU)")
+	}
+	_, _, ev := c.Stats()
+	if ev < 1 {
+		t.Errorf("evictions = %d, want >= 1", ev)
+	}
+}
+
+func TestCacheWorkingSetFits(t *testing.T) {
+	// A working set equal to capacity, accessed repeatedly in order,
+	// must reach a perfect hit rate after the cold pass.
+	c := mustCache(t, 16*1024, 64, 4)
+	lines := 16 * 1024 / 64
+	for pass := 0; pass < 4; pass++ {
+		for l := 0; l < lines; l++ {
+			c.Access(uint64(l * 64))
+		}
+	}
+	hits, misses, _ := c.Stats()
+	if misses != uint64(lines) {
+		t.Errorf("misses = %d, want %d (cold only)", misses, lines)
+	}
+	if hits != uint64(3*lines) {
+		t.Errorf("hits = %d, want %d", hits, 3*lines)
+	}
+}
+
+func TestCacheThrashingWorkingSet(t *testing.T) {
+	// Sequential sweep of 2x capacity with true LRU never hits.
+	c := mustCache(t, 4096, 64, 4)
+	lines := 2 * 4096 / 64
+	for pass := 0; pass < 3; pass++ {
+		for l := 0; l < lines; l++ {
+			c.Access(uint64(l * 64))
+		}
+	}
+	if hr := c.HitRate(); hr != 0 {
+		t.Errorf("hit rate = %g, want 0 under LRU thrash", hr)
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := mustCache(t, 4096, 64, 4)
+	c.Access(0)
+	c.Access(0)
+	c.Reset()
+	hits, misses, ev := c.Stats()
+	if hits != 0 || misses != 0 || ev != 0 {
+		t.Fatal("Reset did not clear stats")
+	}
+	if c.Access(0) {
+		t.Fatal("Reset did not clear contents")
+	}
+}
+
+func TestCacheHitRateBounds(t *testing.T) {
+	c := mustCache(t, 4096, 64, 4)
+	if hr := c.HitRate(); hr != 0 {
+		t.Fatalf("empty cache hit rate = %g", hr)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		c.Access(uint64(rng.Intn(1 << 20)))
+	}
+	if hr := c.HitRate(); hr < 0 || hr > 1 {
+		t.Fatalf("hit rate out of bounds: %g", hr)
+	}
+}
+
+func TestCacheAccountingInvariant(t *testing.T) {
+	// Property: hits+misses equals accesses, and evictions never
+	// exceed misses.
+	f := func(seed int64, n uint16) bool {
+		c, err := NewCache(8192, 64, 8)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		total := uint64(n)%2000 + 1
+		for i := uint64(0); i < total; i++ {
+			c.Access(uint64(rng.Intn(1 << 18)))
+		}
+		hits, misses, ev := c.Stats()
+		return hits+misses == total && ev <= misses
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheCapacityAccessors(t *testing.T) {
+	c := mustCache(t, 4096, 64, 4)
+	if got := c.CapacityBytes(); got != 4096 {
+		t.Errorf("CapacityBytes() = %d, want 4096", got)
+	}
+	if got := c.LineBytes(); got != 64 {
+		t.Errorf("LineBytes() = %d, want 64", got)
+	}
+}

@@ -1,0 +1,109 @@
+package memory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+)
+
+func TestPatternEfficiencyOrdering(t *testing.T) {
+	order := []kernel.AccessPattern{
+		kernel.Streaming, kernel.Tiled, kernel.Strided, kernel.Gather, kernel.PointerChase,
+	}
+	for i := 1; i < len(order); i++ {
+		if PatternEfficiency(order[i]) > PatternEfficiency(order[i-1]) {
+			t.Errorf("efficiency(%v) > efficiency(%v)", order[i], order[i-1])
+		}
+	}
+	for _, p := range order {
+		e := PatternEfficiency(p)
+		if e <= 0 || e > 1 {
+			t.Errorf("efficiency(%v) = %g out of range", p, e)
+		}
+	}
+}
+
+func TestEffectiveBandwidthScalesWithMemClock(t *testing.T) {
+	lo := NewHierarchy(hw.Config{CUs: 44, CoreClockMHz: 1000, MemClockMHz: 150})
+	hi := NewHierarchy(hw.Config{CUs: 44, CoreClockMHz: 1000, MemClockMHz: 1250})
+	rl := lo.EffectiveBandwidthGBs(kernel.Streaming)
+	rh := hi.EffectiveBandwidthGBs(kernel.Streaming)
+	if ratio := rh / rl; math.Abs(ratio-1250.0/150) > 1e-9 {
+		t.Fatalf("bandwidth ratio = %g, want %g", ratio, 1250.0/150)
+	}
+}
+
+func TestDRAMLatencyMonotonicInUtilization(t *testing.T) {
+	h := NewHierarchy(hw.Reference())
+	prev := 0.0
+	for u := 0.0; u <= 1.0; u += 0.05 {
+		l := h.DRAMLatencyNS(u)
+		if l < prev {
+			t.Fatalf("latency fell from %g to %g at u=%g", prev, l, u)
+		}
+		prev = l
+	}
+}
+
+func TestDRAMLatencyCapped(t *testing.T) {
+	h := NewHierarchy(hw.Reference())
+	unloaded := h.DRAMLatencyNS(0)
+	saturated := h.DRAMLatencyNS(1)
+	if saturated > unloaded+DRAMDeviceNS*MaxQueueFactor {
+		t.Fatalf("saturated latency %g exceeds cap", saturated)
+	}
+	if saturated <= unloaded {
+		t.Fatalf("saturation added no latency: %g vs %g", saturated, unloaded)
+	}
+}
+
+func TestCacheLatencyScalesWithCoreClock(t *testing.T) {
+	fast := NewHierarchy(hw.Config{CUs: 44, CoreClockMHz: 1000, MemClockMHz: 1250})
+	slow := NewHierarchy(hw.Config{CUs: 44, CoreClockMHz: 200, MemClockMHz: 1250})
+	if r := slow.L1LatencyNS() / fast.L1LatencyNS(); math.Abs(r-5) > 1e-9 {
+		t.Errorf("L1 latency ratio = %g, want 5 (core-domain)", r)
+	}
+	if r := slow.L2LatencyNS() / fast.L2LatencyNS(); math.Abs(r-5) > 1e-9 {
+		t.Errorf("L2 latency ratio = %g, want 5 (core-domain)", r)
+	}
+	// DRAM latency contains a fixed device portion, so it must stretch
+	// by strictly less than the clock ratio.
+	rd := slow.DRAMLatencyNS(0) / fast.DRAMLatencyNS(0)
+	if rd >= 5 || rd <= 1 {
+		t.Errorf("DRAM latency ratio = %g, want in (1,5)", rd)
+	}
+}
+
+func TestAvgAccessLatencyBlending(t *testing.T) {
+	h := NewHierarchy(hw.Reference())
+	allL1 := h.AvgAccessLatencyNS(HitRates{L1: 1}, 0)
+	if math.Abs(allL1-h.L1LatencyNS()) > 1e-9 {
+		t.Errorf("all-L1 latency = %g, want %g", allL1, h.L1LatencyNS())
+	}
+	allDRAM := h.AvgAccessLatencyNS(HitRates{}, 0)
+	if math.Abs(allDRAM-h.DRAMLatencyNS(0)) > 1e-9 {
+		t.Errorf("all-DRAM latency = %g, want %g", allDRAM, h.DRAMLatencyNS(0))
+	}
+	mid := h.AvgAccessLatencyNS(HitRates{L1: 0.5, L2: 0.5}, 0)
+	if mid <= allL1 || mid >= allDRAM {
+		t.Errorf("blended latency %g outside (%g, %g)", mid, allL1, allDRAM)
+	}
+}
+
+func TestAvgAccessLatencyMonotonicInMissRate(t *testing.T) {
+	h := NewHierarchy(hw.Reference())
+	f := func(a, b float64) bool {
+		l1a := math.Abs(math.Mod(a, 1))
+		l1b := math.Abs(math.Mod(b, 1))
+		lo, hi := math.Min(l1a, l1b), math.Max(l1a, l1b)
+		// Higher L1 hit rate (same L2) never increases latency.
+		return h.AvgAccessLatencyNS(HitRates{L1: hi, L2: 0.5}, 0.5) <=
+			h.AvgAccessLatencyNS(HitRates{L1: lo, L2: 0.5}, 0.5)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package memory
+
+import (
+	"fmt"
+
+	"gpuscale/internal/hw"
+)
+
+// DRAMSim is an event-level GDDR5 channel model: the 512-bit interface
+// is split into 8 independent 64-bit channels, each with banks and an
+// open-row policy. It exists to *derive* the pattern-efficiency
+// constants the analytic engine uses (PatternEfficiency) rather than
+// assert them: replaying a synthetic address trace through DRAMSim
+// yields an achieved-bandwidth fraction that the ablation experiment
+// compares against the constant.
+type DRAMSim struct {
+	clockNS    float64
+	burstNS    float64
+	rowMissNS  float64
+	channels   []dramChannel
+	linesTotal uint64
+	rowHits    uint64
+}
+
+// dramChannel is one 64-bit sub-channel. The data bus (busyUntil) and
+// the banks (bankReady) are separate resources: a row activation in
+// one bank overlaps bursts from another, as on real parts; a tFAW-like
+// window bounds how fast activations can be issued.
+type dramChannel struct {
+	busyUntil  float64
+	openRow    []int64   // per bank; -1 = closed
+	bankReady  []float64 // per bank: earliest next use
+	activaskew []float64 // ring of the last activation times (tFAW)
+	activIdx   int
+}
+
+// DRAM geometry and timing, GDDR5-flavoured.
+const (
+	// DRAMChannels splits the 512-bit bus into 64-bit channels.
+	DRAMChannels = 8
+	// DRAMBanksPerChannel is banks per channel.
+	DRAMBanksPerChannel = 16
+	// DRAMRowBytes is the row-buffer size.
+	DRAMRowBytes = 2048
+	// dramBurstClocks is memory clocks to burst one 64 B line over a
+	// 64-bit channel at 4x data rate (32 B per clock).
+	dramBurstClocks = 2
+	// dramRowMissClocks is the activate penalty in memory clocks
+	// (tRCD; precharge overlaps under the open-row policy).
+	dramRowMissClocks = 12
+	// dramFAWActivations bounds activations per tFAW window.
+	dramFAWActivations = 4
+	// dramFAWClocks is the tFAW window in memory clocks.
+	dramFAWClocks = 26
+)
+
+// NewDRAMSim builds the simulator for one configuration's memory
+// clock.
+func NewDRAMSim(cfg hw.Config) (*DRAMSim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	clock := 1000 / cfg.MemClockMHz // ns per memory clock
+	d := &DRAMSim{
+		clockNS:   clock,
+		burstNS:   dramBurstClocks * clock,
+		rowMissNS: dramRowMissClocks * clock,
+		channels:  make([]dramChannel, DRAMChannels),
+	}
+	for i := range d.channels {
+		rows := make([]int64, DRAMBanksPerChannel)
+		for b := range rows {
+			rows[b] = -1
+		}
+		d.channels[i].openRow = rows
+		d.channels[i].bankReady = make([]float64, DRAMBanksPerChannel)
+		d.channels[i].activaskew = make([]float64, dramFAWActivations)
+		for j := range d.channels[i].activaskew {
+			d.channels[i].activaskew[j] = -1e18
+		}
+	}
+	return d, nil
+}
+
+// locate maps a byte address to (channel, bank, row). Lines interleave
+// across channels; within a channel, consecutive lines fill a row
+// before moving to the next bank.
+func locate(addr uint64) (ch, bank int, row int64) {
+	line := addr / hw.L2LineBytes
+	ch = int(line % DRAMChannels)
+	channelLine := line / DRAMChannels
+	linesPerRow := uint64(DRAMRowBytes / hw.L2LineBytes)
+	rowIdx := channelLine / linesPerRow
+	bank = int(rowIdx % DRAMBanksPerChannel)
+	row = int64(rowIdx / DRAMBanksPerChannel)
+	return ch, bank, row
+}
+
+// ServiceLine schedules one 64-byte line transfer issued at time `now`
+// and returns its completion time. Row hits pay only the burst on the
+// shared data bus; row misses first activate the row in the target
+// bank (overlapping other banks' bursts, rate-limited by tFAW).
+func (d *DRAMSim) ServiceLine(addr uint64, now float64) float64 {
+	ch, bank, row := locate(addr)
+	c := &d.channels[ch]
+	d.linesTotal++
+
+	ready := now
+	if c.bankReady[bank] > ready {
+		ready = c.bankReady[bank]
+	}
+	if c.openRow[bank] == row {
+		d.rowHits++
+	} else {
+		// Activation: respect the tFAW window, then pay tRCD in the
+		// bank while the bus keeps streaming other banks.
+		actStart := ready
+		if faw := c.activaskew[c.activIdx] + float64(dramFAWClocks)*d.clockNS; faw > actStart {
+			actStart = faw
+		}
+		c.activaskew[c.activIdx] = actStart
+		c.activIdx = (c.activIdx + 1) % dramFAWActivations
+		ready = actStart + d.rowMissNS
+		c.openRow[bank] = row
+	}
+
+	busStart := ready
+	if c.busyUntil > busStart {
+		busStart = c.busyUntil
+	}
+	c.busyUntil = busStart + d.burstNS
+	c.bankReady[bank] = c.busyUntil
+	return c.busyUntil
+}
+
+// Drain returns the time at which every channel goes idle.
+func (d *DRAMSim) Drain() float64 {
+	t := 0.0
+	for i := range d.channels {
+		if d.channels[i].busyUntil > t {
+			t = d.channels[i].busyUntil
+		}
+	}
+	return t
+}
+
+// RowHitRate returns the fraction of serviced lines that hit an open
+// row.
+func (d *DRAMSim) RowHitRate() float64 {
+	if d.linesTotal == 0 {
+		return 0
+	}
+	return float64(d.rowHits) / float64(d.linesTotal)
+}
+
+// Lines returns the number of serviced lines.
+func (d *DRAMSim) Lines() uint64 { return d.linesTotal }
+
+// EfficiencyWindow is the number of outstanding line requests the
+// efficiency probe keeps in flight — a memory-controller queue depth.
+// A finite window is what makes activation latency cost throughput
+// for low-locality patterns.
+const EfficiencyWindow = 64
+
+// MeasureEfficiency replays a line-address trace with a bounded
+// in-flight window (EfficiencyWindow outstanding lines) and returns
+// achieved bandwidth as a fraction of the configuration's peak, plus
+// the row-hit rate.
+func MeasureEfficiency(cfg hw.Config, addrs []uint64) (efficiency, rowHitRate float64, err error) {
+	if len(addrs) == 0 {
+		return 0, 0, fmt.Errorf("memory: empty trace")
+	}
+	d, err := NewDRAMSim(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	// completions is a sliding window of in-flight completion times;
+	// a new request issues when the oldest outstanding one retires.
+	completions := make([]float64, 0, EfficiencyWindow)
+	now := 0.0
+	for i, a := range addrs {
+		if len(completions) == EfficiencyWindow {
+			now = completions[0]
+			completions = completions[1:]
+		}
+		done := d.ServiceLine(a, now)
+		// Insert keeping the window sorted (it nearly always appends).
+		pos := len(completions)
+		for pos > 0 && completions[pos-1] > done {
+			pos--
+		}
+		completions = append(completions, 0)
+		copy(completions[pos+1:], completions[pos:])
+		completions[pos] = done
+		_ = i
+	}
+	makespan := d.Drain()
+	bytes := float64(len(addrs)) * hw.L2LineBytes
+	achieved := bytes / makespan // bytes/ns == GB/s
+	return achieved / cfg.PeakBandwidthGBs(), d.RowHitRate(), nil
+}

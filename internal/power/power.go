@@ -1,0 +1,244 @@
+// Package power adds a DVFS power and energy model on top of the
+// timing simulator — the extension the paper's research line points
+// to (the same group's follow-on work uses scaling behaviour to drive
+// GPU power management). The model is a standard CMOS decomposition:
+//
+//	P = P_base
+//	  + CUs * (P_leak(V) + C_dyn * f * V^2 * activity)
+//	  + P_memIdle + k_mem * f_mem + P_memDyn * f_mem/f_memMax * memActivity
+//
+// with voltage tied to core frequency by a linear DVFS curve. Activity
+// factors come from the timing engine's achieved-vs-peak ratios, so a
+// bandwidth-bound kernel heats the memory system, not the shader
+// array. Absolute watts are Hawaii-plausible (≤ ~275 W TDP at the
+// flagship point) but, as with timing, only *relative* behaviour is
+// claimed.
+package power
+
+import (
+	"fmt"
+
+	"gpuscale/internal/gcn"
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+)
+
+// Model holds the power-model coefficients. Use DefaultModel unless an
+// ablation perturbs them.
+type Model struct {
+	// BaseW is always-on board power (fans, VRM losses, display).
+	BaseW float64
+	// LeakPerCUW is per-CU leakage at nominal (maximum) voltage;
+	// leakage scales linearly with voltage in this model.
+	LeakPerCUW float64
+	// DynPerCUW is per-CU dynamic power at maximum frequency and
+	// voltage with activity 1.
+	DynPerCUW float64
+	// MemIdleW is DRAM+PHY power at the lowest memory clock, idle.
+	MemIdleW float64
+	// MemClockW is the additional clock-tree power per memory MHz.
+	MemClockW float64
+	// MemDynW is the extra power of a fully utilised memory system at
+	// the top memory clock.
+	MemDynW float64
+	// VMin and VMax bound the DVFS voltage curve across the core
+	// frequency range.
+	VMin, VMax float64
+	// FMin and FMax are the core clocks at which VMin/VMax apply.
+	FMin, FMax float64
+}
+
+// DefaultModel returns Hawaii-plausible coefficients: ~272 W at the
+// flagship configuration under full load, ~45 W floor.
+func DefaultModel() Model {
+	return Model{
+		BaseW:      28,
+		LeakPerCUW: 0.55,
+		DynPerCUW:  3.6,
+		MemIdleW:   8,
+		MemClockW:  0.012,
+		MemDynW:    34,
+		VMin:       0.85,
+		VMax:       1.20,
+		FMin:       200,
+		FMax:       1000,
+	}
+}
+
+// Validate checks the coefficients are physical.
+func (m Model) Validate() error {
+	if m.BaseW < 0 || m.LeakPerCUW < 0 || m.DynPerCUW <= 0 ||
+		m.MemIdleW < 0 || m.MemClockW < 0 || m.MemDynW < 0 {
+		return fmt.Errorf("power: negative coefficient in %+v", m)
+	}
+	if m.VMin <= 0 || m.VMax < m.VMin {
+		return fmt.Errorf("power: bad voltage range [%g, %g]", m.VMin, m.VMax)
+	}
+	if m.FMin <= 0 || m.FMax <= m.FMin {
+		return fmt.Errorf("power: bad frequency range [%g, %g]", m.FMin, m.FMax)
+	}
+	return nil
+}
+
+// Voltage returns the DVFS voltage for a core clock, clamped to the
+// curve's endpoints.
+func (m Model) Voltage(coreMHz float64) float64 {
+	switch {
+	case coreMHz <= m.FMin:
+		return m.VMin
+	case coreMHz >= m.FMax:
+		return m.VMax
+	default:
+		t := (coreMHz - m.FMin) / (m.FMax - m.FMin)
+		return m.VMin + t*(m.VMax-m.VMin)
+	}
+}
+
+// Activity captures how hard a kernel drives each domain, in [0,1].
+type Activity struct {
+	// Compute is shader-array activity (achieved/peak FLOPs, floored
+	// so instruction issue without FLOPs still burns power).
+	Compute float64
+	// Memory is DRAM-system activity (achieved/peak bandwidth).
+	Memory float64
+}
+
+// ActivityOf derives activity factors from a simulation result.
+func ActivityOf(r gcn.Result, cfg hw.Config) Activity {
+	a := Activity{}
+	if peak := cfg.PeakGFLOPS(); peak > 0 {
+		a.Compute = clamp01(r.AchievedGFLOPS / peak)
+	}
+	if peak := cfg.PeakBandwidthGBs(); peak > 0 {
+		a.Memory = clamp01(r.AchievedGBs / peak)
+	}
+	// Divergent or integer-heavy kernels achieve few FLOPs while the
+	// pipelines stay busy; keep a floor so "low FLOPs" never reads as
+	// "idle shader array".
+	if a.Compute < 0.1 {
+		a.Compute = 0.1
+	}
+	return a
+}
+
+// PowerW returns board power for a configuration under the given
+// activity.
+func (m Model) PowerW(cfg hw.Config, a Activity) float64 {
+	v := m.Voltage(cfg.CoreClockMHz)
+	vn := v / m.VMax
+	fn := cfg.CoreClockMHz / m.FMax
+	cu := float64(cfg.CUs) * (m.LeakPerCUW*vn + m.DynPerCUW*fn*vn*vn*a.Compute)
+	mem := m.MemIdleW + m.MemClockW*cfg.MemClockMHz +
+		m.MemDynW*(cfg.MemClockMHz/1250)*a.Memory
+	return m.BaseW + cu + mem
+}
+
+// Report is the energy accounting of one simulated execution.
+type Report struct {
+	// PowerW is mean board power during the kernel.
+	PowerW float64
+	// EnergyJ is PowerW x kernel time.
+	EnergyJ float64
+	// EDP is energy x time (J*s), the energy-delay product.
+	EDP float64
+	// PerfPerWatt is throughput per watt (work-items/ns/W).
+	PerfPerWatt float64
+}
+
+// Measure simulates a kernel on a configuration and derives its
+// energy report.
+func Measure(m Model, k *kernel.Kernel, cfg hw.Config) (gcn.Result, Report, error) {
+	if err := m.Validate(); err != nil {
+		return gcn.Result{}, Report{}, err
+	}
+	r, err := gcn.Simulate(k, cfg)
+	if err != nil {
+		return gcn.Result{}, Report{}, err
+	}
+	return r, m.report(r, cfg), nil
+}
+
+func (m Model) report(r gcn.Result, cfg hw.Config) Report {
+	p := m.PowerW(cfg, ActivityOf(r, cfg))
+	seconds := r.TimeNS * 1e-9
+	e := p * seconds
+	rep := Report{PowerW: p, EnergyJ: e, EDP: e * seconds}
+	if p > 0 {
+		rep.PerfPerWatt = r.Throughput / p
+	}
+	return rep
+}
+
+// Optimum names a configuration-selection objective.
+type Optimum int
+
+// Objectives for BestConfig.
+const (
+	// MinEnergy minimises joules per kernel invocation.
+	MinEnergy Optimum = iota
+	// MinEDP minimises the energy-delay product.
+	MinEDP
+	// MaxPerfPerWatt maximises throughput per watt.
+	MaxPerfPerWatt
+)
+
+// String names the objective.
+func (o Optimum) String() string {
+	switch o {
+	case MinEnergy:
+		return "min-energy"
+	case MinEDP:
+		return "min-edp"
+	case MaxPerfPerWatt:
+		return "max-perf-per-watt"
+	default:
+		return fmt.Sprintf("optimum(%d)", int(o))
+	}
+}
+
+// BestConfig sweeps a kernel over a space and returns the
+// configuration optimising the objective, with its report.
+func BestConfig(m Model, k *kernel.Kernel, space hw.Space, obj Optimum) (hw.Config, Report, error) {
+	if err := m.Validate(); err != nil {
+		return hw.Config{}, Report{}, err
+	}
+	var bestCfg hw.Config
+	var bestRep Report
+	found := false
+	better := func(a, b Report) bool {
+		switch obj {
+		case MinEnergy:
+			return a.EnergyJ < b.EnergyJ
+		case MinEDP:
+			return a.EDP < b.EDP
+		case MaxPerfPerWatt:
+			return a.PerfPerWatt > b.PerfPerWatt
+		default:
+			return false
+		}
+	}
+	for _, cfg := range space.Configs() {
+		r, err := gcn.Simulate(k, cfg)
+		if err != nil {
+			return hw.Config{}, Report{}, err
+		}
+		rep := m.report(r, cfg)
+		if !found || better(rep, bestRep) {
+			bestCfg, bestRep, found = cfg, rep, true
+		}
+	}
+	if !found {
+		return hw.Config{}, Report{}, fmt.Errorf("power: empty configuration space")
+	}
+	return bestCfg, bestRep, nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,227 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"gpuscale/internal/gcn"
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+)
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := DefaultModel().Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []func(*Model){
+		func(m *Model) { m.DynPerCUW = 0 },
+		func(m *Model) { m.BaseW = -1 },
+		func(m *Model) { m.VMax = m.VMin - 0.1 },
+		func(m *Model) { m.FMax = m.FMin },
+		func(m *Model) { m.VMin = 0 },
+	}
+	for i, mutate := range cases {
+		m := DefaultModel()
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestVoltageCurve(t *testing.T) {
+	m := DefaultModel()
+	if got := m.Voltage(200); got != m.VMin {
+		t.Errorf("Voltage(200) = %g, want VMin %g", got, m.VMin)
+	}
+	if got := m.Voltage(1000); got != m.VMax {
+		t.Errorf("Voltage(1000) = %g, want VMax %g", got, m.VMax)
+	}
+	if got := m.Voltage(600); got <= m.VMin || got >= m.VMax {
+		t.Errorf("Voltage(600) = %g, want interior", got)
+	}
+	if got := m.Voltage(100); got != m.VMin {
+		t.Errorf("Voltage below FMin = %g, want clamp", got)
+	}
+	if got := m.Voltage(1200); got != m.VMax {
+		t.Errorf("Voltage above FMax = %g, want clamp", got)
+	}
+}
+
+func TestPowerEnvelope(t *testing.T) {
+	m := DefaultModel()
+	full := m.PowerW(hw.Reference(), Activity{Compute: 1, Memory: 1})
+	if full < 200 || full > 300 {
+		t.Errorf("flagship full-load power = %.0f W, want Hawaii-class 200..300", full)
+	}
+	idle := m.PowerW(hw.Minimum(), Activity{})
+	if idle < 20 || idle > 80 {
+		t.Errorf("floor power = %.0f W, want 20..80", idle)
+	}
+	if full <= idle {
+		t.Errorf("full %.0f W <= idle %.0f W", full, idle)
+	}
+}
+
+func TestPowerMonotonicInKnobs(t *testing.T) {
+	m := DefaultModel()
+	a := Activity{Compute: 0.7, Memory: 0.5}
+	base := m.PowerW(hw.Config{CUs: 20, CoreClockMHz: 600, MemClockMHz: 700}, a)
+	moreCU := m.PowerW(hw.Config{CUs: 40, CoreClockMHz: 600, MemClockMHz: 700}, a)
+	moreClk := m.PowerW(hw.Config{CUs: 20, CoreClockMHz: 1000, MemClockMHz: 700}, a)
+	moreMem := m.PowerW(hw.Config{CUs: 20, CoreClockMHz: 600, MemClockMHz: 1250}, a)
+	if moreCU <= base || moreClk <= base || moreMem <= base {
+		t.Errorf("power not monotone: base %.1f cu %.1f clk %.1f mem %.1f",
+			base, moreCU, moreClk, moreMem)
+	}
+}
+
+func TestPowerSuperlinearInFrequency(t *testing.T) {
+	// f*V^2 scaling: doubling frequency must more than double the
+	// dynamic component.
+	m := DefaultModel()
+	m.BaseW, m.MemIdleW, m.MemClockW, m.MemDynW, m.LeakPerCUW = 0, 0, 0, 0, 0
+	p500 := m.PowerW(hw.Config{CUs: 44, CoreClockMHz: 500, MemClockMHz: 700}, Activity{Compute: 1})
+	p1000 := m.PowerW(hw.Config{CUs: 44, CoreClockMHz: 1000, MemClockMHz: 700}, Activity{Compute: 1})
+	if p1000 <= 2*p500 {
+		t.Errorf("dynamic power not superlinear: %.1f vs 2x%.1f", p1000, p500)
+	}
+}
+
+func TestActivityOf(t *testing.T) {
+	cfg := hw.Reference()
+	r := gcn.Result{AchievedGFLOPS: cfg.PeakGFLOPS() / 2, AchievedGBs: cfg.PeakBandwidthGBs()}
+	a := ActivityOf(r, cfg)
+	if math.Abs(a.Compute-0.5) > 1e-9 {
+		t.Errorf("Compute = %g, want 0.5", a.Compute)
+	}
+	if math.Abs(a.Memory-1) > 1e-9 {
+		t.Errorf("Memory = %g, want 1", a.Memory)
+	}
+	floor := ActivityOf(gcn.Result{}, cfg)
+	if floor.Compute != 0.1 {
+		t.Errorf("idle compute activity = %g, want floor 0.1", floor.Compute)
+	}
+}
+
+func streamK() *kernel.Kernel {
+	return kernel.New("p", "p", "stream").
+		Geometry(4096, 256).
+		Compute(300, 50).
+		Access(kernel.Streaming, 256, 64, 4).
+		Locality(256*1024, 0, 0).
+		MustBuild()
+}
+
+func computeK() *kernel.Kernel {
+	return kernel.New("p", "p", "dense").
+		Geometry(4096, 256).
+		Compute(25000, 500).
+		Access(kernel.Streaming, 8, 2, 4).
+		MustBuild()
+}
+
+func TestMeasure(t *testing.T) {
+	m := DefaultModel()
+	r, rep, err := Measure(m, computeK(), hw.Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PowerW <= 0 || rep.EnergyJ <= 0 || rep.EDP <= 0 || rep.PerfPerWatt <= 0 {
+		t.Fatalf("degenerate report %+v", rep)
+	}
+	wantE := rep.PowerW * r.TimeNS * 1e-9
+	if math.Abs(rep.EnergyJ-wantE) > 1e-12 {
+		t.Errorf("EnergyJ = %g, want %g", rep.EnergyJ, wantE)
+	}
+	bad := DefaultModel()
+	bad.DynPerCUW = -1
+	if _, _, err := Measure(bad, computeK(), hw.Reference()); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestBoundDirectsPowerToTheRightDomain(t *testing.T) {
+	m := DefaultModel()
+	cfg := hw.Reference()
+	_, _, err := Measure(m, streamK(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, _ := gcn.Simulate(streamK(), cfg)
+	rc, _ := gcn.Simulate(computeK(), cfg)
+	as, ac := ActivityOf(rs, cfg), ActivityOf(rc, cfg)
+	if as.Memory <= ac.Memory {
+		t.Errorf("stream memory activity %.2f <= compute kernel's %.2f", as.Memory, ac.Memory)
+	}
+	if ac.Compute <= as.Compute {
+		t.Errorf("dense compute activity %.2f <= stream kernel's %.2f", ac.Compute, as.Compute)
+	}
+}
+
+func TestBestConfigObjectives(t *testing.T) {
+	m := DefaultModel()
+	space, err := hw.NewSpace([]int{4, 24, 44}, []float64{200, 600, 1000}, []float64{150, 700, 1250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A bandwidth-bound kernel wastes energy at high core clocks: its
+	// energy-optimal configuration must not use the top core clock.
+	cfg, rep, err := BestConfig(m, streamK(), space, MinEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CoreClockMHz == 1000 {
+		t.Errorf("bw-bound min-energy config uses top core clock: %v", cfg)
+	}
+	if rep.EnergyJ <= 0 {
+		t.Errorf("report %+v", rep)
+	}
+	// Objectives must actually optimise their metric across the grid.
+	for _, obj := range []Optimum{MinEnergy, MinEDP, MaxPerfPerWatt} {
+		best, bestRep, err := BestConfig(m, computeK(), space, obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range space.Configs() {
+			_, rep, err := Measure(m, computeK(), c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch obj {
+			case MinEnergy:
+				if rep.EnergyJ < bestRep.EnergyJ-1e-12 {
+					t.Fatalf("%v: %v beats reported best %v", obj, c, best)
+				}
+			case MinEDP:
+				if rep.EDP < bestRep.EDP-1e-15 {
+					t.Fatalf("%v: %v beats reported best %v", obj, c, best)
+				}
+			case MaxPerfPerWatt:
+				if rep.PerfPerWatt > bestRep.PerfPerWatt+1e-12 {
+					t.Fatalf("%v: %v beats reported best %v", obj, c, best)
+				}
+			}
+		}
+	}
+}
+
+func TestBestConfigEmptySpace(t *testing.T) {
+	if _, _, err := BestConfig(DefaultModel(), computeK(), hw.Space{}, MinEnergy); err == nil {
+		t.Error("empty space accepted")
+	}
+}
+
+func TestOptimumString(t *testing.T) {
+	for _, o := range []Optimum{MinEnergy, MinEDP, MaxPerfPerWatt} {
+		if o.String() == "" {
+			t.Errorf("optimum %d unnamed", int(o))
+		}
+	}
+	if Optimum(9).String() != "optimum(9)" {
+		t.Errorf("invalid optimum name = %q", Optimum(9).String())
+	}
+}

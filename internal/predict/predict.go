@@ -1,0 +1,210 @@
+// Package predict implements the extension the paper's research line
+// leads to (same group, same dataset): predicting a kernel's full
+// performance-scaling surface from a handful of probe measurements.
+//
+// Training clusters the normalised scaling surfaces of known kernels;
+// each cluster centroid *is* a canonical scaling surface. To predict a
+// new kernel, measure it on the few probe configurations, match those
+// readings against the centroids, and scale the winning centroid by
+// the kernel's base-configuration performance. The taxonomy's core
+// observation — kernels fall into a small number of scaling families —
+// is exactly what makes this work.
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"gpuscale/internal/hw"
+	"gpuscale/internal/stats"
+	"gpuscale/internal/sweep"
+)
+
+// Predictor maps probe measurements to full scaling surfaces.
+type Predictor struct {
+	// space is the configuration grid predictions cover.
+	space hw.Space
+	// probeIdx are the configuration indices a new kernel must measure.
+	probeIdx []int
+	// centroids are canonical normalised surfaces (relative to the
+	// base configuration, index 0).
+	centroids [][]float64
+}
+
+// DefaultProbes returns the standard probe set for a space: the base
+// corner, the three single-axis extremes, and the flagship corner —
+// five measurements instead of the grid's full size.
+func DefaultProbes(space hw.Space) []hw.Config {
+	nCU := len(space.CUCounts) - 1
+	nF := len(space.CoreClocksMHz) - 1
+	nM := len(space.MemClocksMHz) - 1
+	return []hw.Config{
+		space.At(0, 0, 0),
+		space.At(nCU, 0, 0),
+		space.At(0, nF, 0),
+		space.At(0, 0, nM),
+		space.At(nCU, nF, nM),
+	}
+}
+
+// Train builds a predictor from a full sweep matrix by k-means
+// clustering the normalised surfaces. Deterministic for a fixed seed.
+func Train(m *sweep.Matrix, k int, seed int64) (*Predictor, error) {
+	if len(m.Kernels) == 0 {
+		return nil, fmt.Errorf("predict: empty training matrix")
+	}
+	surfaces := make([][]float64, len(m.Kernels))
+	for i, row := range m.Throughput {
+		s, err := normalise(row)
+		if err != nil {
+			return nil, fmt.Errorf("predict: kernel %s: %w", m.Kernels[i], err)
+		}
+		surfaces[i] = s
+	}
+	c, err := stats.KMeans(surfaces, k, seed, 6)
+	if err != nil {
+		return nil, fmt.Errorf("predict: clustering: %w", err)
+	}
+	probes := DefaultProbes(m.Space)
+	idx := make([]int, len(probes))
+	for i, p := range probes {
+		idx[i] = m.Space.Index(p)
+		if idx[i] < 0 {
+			return nil, fmt.Errorf("predict: probe %v not in space", p)
+		}
+	}
+	return &Predictor{space: m.Space, probeIdx: idx, centroids: c.Centroids}, nil
+}
+
+// normalise divides a throughput row by its base (index 0) value.
+func normalise(row []float64) ([]float64, error) {
+	if len(row) == 0 || row[0] <= 0 {
+		return nil, fmt.Errorf("non-positive base throughput")
+	}
+	out := make([]float64, len(row))
+	for i, v := range row {
+		out[i] = v / row[0]
+	}
+	return out, nil
+}
+
+// Probes returns the configurations a caller must measure before
+// calling Predict, in order.
+func (p *Predictor) Probes() []hw.Config {
+	out := make([]hw.Config, len(p.probeIdx))
+	cfgs := p.space.Configs()
+	for i, idx := range p.probeIdx {
+		out[i] = cfgs[idx]
+	}
+	return out
+}
+
+// Clusters returns the number of canonical surfaces the predictor
+// holds.
+func (p *Predictor) Clusters() int { return len(p.centroids) }
+
+// Predict returns the predicted throughput on every configuration of
+// the space, given the measured throughput at each probe (in Probes()
+// order). The first probe is the base configuration and anchors the
+// absolute scale.
+func (p *Predictor) Predict(probeThroughput []float64) ([]float64, error) {
+	if len(probeThroughput) != len(p.probeIdx) {
+		return nil, fmt.Errorf("predict: %d probe values, want %d",
+			len(probeThroughput), len(p.probeIdx))
+	}
+	base := probeThroughput[0]
+	if base <= 0 {
+		return nil, fmt.Errorf("predict: non-positive base measurement %g", base)
+	}
+	// Match the normalised probe signature against each centroid.
+	best, bestD := -1, math.Inf(1)
+	for ci, cent := range p.centroids {
+		d := 0.0
+		for i, idx := range p.probeIdx {
+			// Compare in log space so a 2x error counts the same high
+			// or low.
+			diff := math.Log(probeThroughput[i]/base) - math.Log(math.Max(cent[idx], 1e-12))
+			d += diff * diff
+		}
+		if d < bestD {
+			best, bestD = ci, d
+		}
+	}
+	cent := p.centroids[best]
+	out := make([]float64, len(cent))
+	for i, v := range cent {
+		out[i] = v * base
+	}
+	return out, nil
+}
+
+// Accuracy summarises prediction error over a test set.
+type Accuracy struct {
+	// Kernels is the number of evaluated test kernels.
+	Kernels int
+	// MAPE is the mean absolute percentage error over every
+	// (kernel, configuration) cell.
+	MAPE float64
+	// P90APE is the 90th percentile of absolute percentage error.
+	P90APE float64
+	// WorstKernelMAPE is the worst per-kernel mean error.
+	WorstKernelMAPE float64
+}
+
+// Evaluate predicts every kernel of a test matrix from its probe cells
+// only and scores the prediction against the matrix's full truth.
+func Evaluate(p *Predictor, test *sweep.Matrix) (Accuracy, error) {
+	if test.Space.Size() != p.space.Size() {
+		return Accuracy{}, fmt.Errorf("predict: test space size %d != predictor space %d",
+			test.Space.Size(), p.space.Size())
+	}
+	var all []float64
+	worst := 0.0
+	for r := range test.Kernels {
+		truth := test.Throughput[r]
+		probes := make([]float64, len(p.probeIdx))
+		for i, idx := range p.probeIdx {
+			probes[i] = truth[idx]
+		}
+		pred, err := p.Predict(probes)
+		if err != nil {
+			return Accuracy{}, fmt.Errorf("predict: kernel %s: %w", test.Kernels[r], err)
+		}
+		sum := 0.0
+		for c := range truth {
+			ape := math.Abs(pred[c]-truth[c]) / truth[c]
+			all = append(all, ape)
+			sum += ape
+		}
+		if m := sum / float64(len(truth)); m > worst {
+			worst = m
+		}
+	}
+	if len(all) == 0 {
+		return Accuracy{}, fmt.Errorf("predict: empty test matrix")
+	}
+	return Accuracy{
+		Kernels:         len(test.Kernels),
+		MAPE:            stats.Mean(all),
+		P90APE:          stats.Quantile(all, 0.9),
+		WorstKernelMAPE: worst,
+	}, nil
+}
+
+// SplitMatrix partitions a matrix's rows into train (even indices) and
+// test (odd indices) halves sharing the same space.
+func SplitMatrix(m *sweep.Matrix) (train, test *sweep.Matrix) {
+	train = &sweep.Matrix{Space: m.Space}
+	test = &sweep.Matrix{Space: m.Space}
+	for i := range m.Kernels {
+		dst := train
+		if i%2 == 1 {
+			dst = test
+		}
+		dst.Kernels = append(dst.Kernels, m.Kernels[i])
+		dst.Throughput = append(dst.Throughput, m.Throughput[i])
+		dst.TimeNS = append(dst.TimeNS, m.TimeNS[i])
+		dst.Bound = append(dst.Bound, m.Bound[i])
+	}
+	return train, test
+}

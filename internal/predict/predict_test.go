@@ -1,0 +1,165 @@
+package predict
+
+import (
+	"sync"
+	"testing"
+
+	"gpuscale/internal/hw"
+	"gpuscale/internal/suites"
+	"gpuscale/internal/sweep"
+)
+
+var corpusSweep = sync.OnceValues(func() (*sweep.Matrix, error) {
+	return sweep.Run(suites.AllKernels(suites.Corpus()), hw.StudySpace(), sweep.Options{})
+})
+
+func corpusMatrix(t *testing.T) *sweep.Matrix {
+	t.Helper()
+	m, err := corpusSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDefaultProbes(t *testing.T) {
+	space := hw.StudySpace()
+	probes := DefaultProbes(space)
+	if len(probes) != 5 {
+		t.Fatalf("probes = %d, want 5", len(probes))
+	}
+	if probes[0] != space.Min() {
+		t.Errorf("first probe %v, want base %v", probes[0], space.Min())
+	}
+	if probes[4] != space.Max() {
+		t.Errorf("last probe %v, want flagship %v", probes[4], space.Max())
+	}
+	for _, p := range probes {
+		if space.Index(p) < 0 {
+			t.Errorf("probe %v not on grid", p)
+		}
+	}
+}
+
+func TestTrainPredictSelf(t *testing.T) {
+	// Predicting a training kernel from its own probes must recover a
+	// surface close to its truth (the centroid it belongs to).
+	m := corpusMatrix(t)
+	p, err := Train(m, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Clusters() != 10 {
+		t.Fatalf("Clusters() = %d, want 10", p.Clusters())
+	}
+	truth := m.Throughput[0]
+	probes := make([]float64, len(p.probeIdx))
+	for i, idx := range p.probeIdx {
+		probes[i] = truth[idx]
+	}
+	pred, err := p.Predict(probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred) != len(truth) {
+		t.Fatalf("prediction length %d, want %d", len(pred), len(truth))
+	}
+	for c := range pred {
+		if pred[c] <= 0 {
+			t.Fatalf("non-positive prediction at %d", c)
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(&sweep.Matrix{Space: hw.StudySpace()}, 4, 1); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	m := corpusMatrix(t)
+	if _, err := Train(m, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	m := corpusMatrix(t)
+	p, err := Train(m, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Predict([]float64{1, 2}); err == nil {
+		t.Error("wrong probe count accepted")
+	}
+	if _, err := p.Predict([]float64{0, 1, 1, 1, 1}); err == nil {
+		t.Error("zero base accepted")
+	}
+}
+
+func TestHeldOutAccuracy(t *testing.T) {
+	// The headline claim of the companion prediction work: a handful
+	// of probe runs plus clustered scaling surfaces predict the other
+	// 886 configurations with usable accuracy. Train on half the
+	// corpus, test on the unseen half.
+	m := corpusMatrix(t)
+	train, test := SplitMatrix(m)
+	if len(train.Kernels)+len(test.Kernels) != len(m.Kernels) {
+		t.Fatalf("split lost kernels: %d + %d != %d",
+			len(train.Kernels), len(test.Kernels), len(m.Kernels))
+	}
+	p, err := Train(train, 12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Evaluate(p, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Kernels != len(test.Kernels) {
+		t.Errorf("evaluated %d kernels, want %d", acc.Kernels, len(test.Kernels))
+	}
+	if acc.MAPE > 0.25 {
+		t.Errorf("held-out MAPE = %.1f%%, want <= 25%%", 100*acc.MAPE)
+	}
+	if acc.P90APE > 0.6 {
+		t.Errorf("held-out P90 APE = %.1f%%, want <= 60%%", 100*acc.P90APE)
+	}
+}
+
+func TestMoreClustersHelp(t *testing.T) {
+	m := corpusMatrix(t)
+	train, test := SplitMatrix(m)
+	p2, err := Train(train, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p12, err := Train(train, 12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Evaluate(p2, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a12, err := Evaluate(p12, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a12.MAPE >= a2.MAPE {
+		t.Errorf("12 clusters (MAPE %.3f) no better than 2 (MAPE %.3f)", a12.MAPE, a2.MAPE)
+	}
+}
+
+func TestEvaluateSpaceMismatch(t *testing.T) {
+	m := corpusMatrix(t)
+	p, err := Train(m, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := hw.NewSpace([]int{4}, []float64{200}, []float64{150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(p, &sweep.Matrix{Space: small}); err == nil {
+		t.Error("space mismatch accepted")
+	}
+}

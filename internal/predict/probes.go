@@ -1,0 +1,105 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"gpuscale/internal/stats"
+	"gpuscale/internal/sweep"
+)
+
+// TrainWithProbes is Train with an explicit probe set (configuration
+// indices into Space.Configs()). Index 0 (the base corner) is required
+// as the first probe because predictions anchor on it.
+func TrainWithProbes(m *sweep.Matrix, k int, seed int64, probeIdx []int) (*Predictor, error) {
+	if len(probeIdx) == 0 || probeIdx[0] != 0 {
+		return nil, fmt.Errorf("predict: probe set must start with the base configuration (index 0)")
+	}
+	nCfg := m.Space.Size()
+	for _, idx := range probeIdx {
+		if idx < 0 || idx >= nCfg {
+			return nil, fmt.Errorf("predict: probe index %d outside [0,%d)", idx, nCfg)
+		}
+	}
+	p, err := Train(m, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	p.probeIdx = append([]int(nil), probeIdx...)
+	return p, nil
+}
+
+// SelectProbes greedily chooses numProbes configuration indices that
+// minimise the training-set prediction error: starting from the
+// mandatory base corner, each step adds the configuration whose
+// inclusion most reduces mean absolute percentage error when training
+// kernels are predicted from the probe set alone. Candidate positions
+// are subsampled by `stride` to keep the search affordable (stride 1
+// searches every configuration).
+func SelectProbes(m *sweep.Matrix, k int, seed int64, numProbes, stride int) ([]int, error) {
+	if numProbes < 2 {
+		return nil, fmt.Errorf("predict: need >= 2 probes, got %d", numProbes)
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	base, err := Train(m, k, seed) // centroids only; probes replaced below
+	if err != nil {
+		return nil, err
+	}
+	probes := []int{0}
+	for len(probes) < numProbes {
+		bestIdx, bestErr := -1, math.Inf(1)
+		for cand := 1; cand < m.Space.Size(); cand += stride {
+			if containsInt(probes, cand) {
+				continue
+			}
+			trial := append(append([]int(nil), probes...), cand)
+			e, err := trainingError(base, m, trial)
+			if err != nil {
+				return nil, err
+			}
+			if e < bestErr {
+				bestErr, bestIdx = e, cand
+			}
+		}
+		if bestIdx < 0 {
+			return nil, fmt.Errorf("predict: no candidate probes left")
+		}
+		probes = append(probes, bestIdx)
+	}
+	return probes, nil
+}
+
+// trainingError predicts every training kernel from the probe subset
+// and returns the mean APE against the training truth.
+func trainingError(p *Predictor, m *sweep.Matrix, probeIdx []int) (float64, error) {
+	trial := &Predictor{space: p.space, probeIdx: probeIdx, centroids: p.centroids}
+	var apes []float64
+	for r := range m.Kernels {
+		truth := m.Throughput[r]
+		probes := make([]float64, len(probeIdx))
+		for i, idx := range probeIdx {
+			probes[i] = truth[idx]
+		}
+		pred, err := trial.Predict(probes)
+		if err != nil {
+			return 0, err
+		}
+		sum := 0.0
+		for c := range truth {
+			sum += math.Abs(pred[c]-truth[c]) / truth[c]
+		}
+		apes = append(apes, sum/float64(len(truth)))
+	}
+	return stats.Mean(apes), nil
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,88 @@
+package predict
+
+import (
+	"testing"
+)
+
+func TestTrainWithProbesValidation(t *testing.T) {
+	m := corpusMatrix(t)
+	if _, err := TrainWithProbes(m, 8, 7, nil); err == nil {
+		t.Error("empty probe set accepted")
+	}
+	if _, err := TrainWithProbes(m, 8, 7, []int{1, 2}); err == nil {
+		t.Error("probe set without base accepted")
+	}
+	if _, err := TrainWithProbes(m, 8, 7, []int{0, 99999}); err == nil {
+		t.Error("out-of-range probe accepted")
+	}
+	p, err := TrainWithProbes(m, 8, 7, []int{0, 10, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Probes()); got != 3 {
+		t.Fatalf("probes = %d, want 3", got)
+	}
+}
+
+func TestSelectProbesImprovesOnRandomish(t *testing.T) {
+	m := corpusMatrix(t)
+	train, test := SplitMatrix(m)
+
+	selected, err := SelectProbes(train, 12, 7, 5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(selected) != 5 || selected[0] != 0 {
+		t.Fatalf("selected probes = %v", selected)
+	}
+	seen := map[int]bool{}
+	for _, idx := range selected {
+		if seen[idx] {
+			t.Fatalf("duplicate probe %d in %v", idx, selected)
+		}
+		seen[idx] = true
+	}
+
+	greedy, err := TrainWithProbes(train, 12, 7, selected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accGreedy, err := Evaluate(greedy, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deliberately poor probe set: five nearly-identical corner
+	// neighbours carry almost no scaling signal.
+	bad, err := TrainWithProbes(train, 12, 7, []int{0, 1, 2, 9, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accBad, err := Evaluate(bad, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accGreedy.MAPE >= accBad.MAPE {
+		t.Errorf("greedy probes (MAPE %.3f) no better than clustered corner probes (%.3f)",
+			accGreedy.MAPE, accBad.MAPE)
+	}
+	// And they should be competitive with the hand-picked defaults.
+	def, err := Train(train, 12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accDef, err := Evaluate(def, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accGreedy.MAPE > accDef.MAPE*1.2 {
+		t.Errorf("greedy probes (MAPE %.3f) much worse than defaults (%.3f)",
+			accGreedy.MAPE, accDef.MAPE)
+	}
+}
+
+func TestSelectProbesErrors(t *testing.T) {
+	m := corpusMatrix(t)
+	if _, err := SelectProbes(m, 8, 7, 1, 10); err == nil {
+		t.Error("single-probe selection accepted")
+	}
+}

@@ -1,0 +1,175 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	// Name labels the series in the legend.
+	Name string
+	// X and Y are the data points; lengths must match.
+	X, Y []float64
+}
+
+// LineChart renders one or more series as an ASCII scatter-line plot.
+type LineChart struct {
+	// Title is printed above the chart.
+	Title string
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// Width and Height are the plot area in characters; zero values
+	// default to 64x16.
+	Width, Height int
+	// Series are the plotted lines.
+	Series []Series
+}
+
+// seriesMarks are the glyphs assigned to successive series.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart.
+func (c *LineChart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return fmt.Errorf("report: chart %q has no data", c.Title)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i := range s.X {
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-ymin)/(ymax-ymin)*float64(height-1))
+			grid[row][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "  %c %s\n", seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	fmt.Fprintf(&b, "%10.3g +%s\n", ymax, strings.Repeat("-", width))
+	for _, row := range grid {
+		fmt.Fprintf(&b, "%10s |%s\n", "", string(row))
+	}
+	fmt.Fprintf(&b, "%10.3g +%s\n", ymin, strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-10.3g%*s\n", "", xmin, width-10, fmt.Sprintf("%.3g", xmax))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%10s  x: %s   y: %s\n", "", c.XLabel, c.YLabel)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the chart to a string, or an error note.
+func (c *LineChart) String() string {
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		return fmt.Sprintf("(chart error: %v)", err)
+	}
+	return b.String()
+}
+
+// Heatmap renders a matrix as ASCII shades.
+type Heatmap struct {
+	// Title is printed above the map.
+	Title string
+	// RowLabels and ColLabels annotate the axes (rows render top-down).
+	RowLabels, ColLabels []string
+	// Values is the matrix; rows may not be ragged.
+	Values [][]float64
+}
+
+// shades orders glyphs from cold to hot.
+const shades = " .:-=+*#%@"
+
+// Render draws the heatmap with a scale legend.
+func (h *Heatmap) Render(w io.Writer) error {
+	if len(h.Values) == 0 {
+		return fmt.Errorf("report: heatmap %q has no data", h.Title)
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	cols := len(h.Values[0])
+	for _, row := range h.Values {
+		if len(row) != cols {
+			return fmt.Errorf("report: heatmap %q is ragged", h.Title)
+		}
+		for _, v := range row {
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+	}
+	if max == min {
+		max = min + 1
+	}
+	var b strings.Builder
+	if h.Title != "" {
+		fmt.Fprintf(&b, "%s\n", h.Title)
+	}
+	labelW := 0
+	for _, l := range h.RowLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for r, row := range h.Values {
+		label := ""
+		if r < len(h.RowLabels) {
+			label = h.RowLabels[r]
+		}
+		fmt.Fprintf(&b, "%*s |", labelW, label)
+		for _, v := range row {
+			idx := int((v - min) / (max - min) * float64(len(shades)-1))
+			ch := shades[idx]
+			fmt.Fprintf(&b, "%c%c", ch, ch)
+		}
+		b.WriteString("|\n")
+	}
+	if len(h.ColLabels) > 0 {
+		fmt.Fprintf(&b, "%*s  cols: %s\n", labelW, "", strings.Join(h.ColLabels, " "))
+	}
+	fmt.Fprintf(&b, "%*s  scale: %.3g %q %.3g\n", labelW, "", min, shades, max)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the heatmap to a string, or an error note.
+func (h *Heatmap) String() string {
+	var b strings.Builder
+	if err := h.Render(&b); err != nil {
+		return fmt.Sprintf("(heatmap error: %v)", err)
+	}
+	return b.String()
+}

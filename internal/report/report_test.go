@@ -1,0 +1,155 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAligned(t *testing.T) {
+	tbl := Table{Title: "T", Header: []string{"name", "value"}}
+	tbl.AddRow("short", 1.0)
+	tbl.AddRow("a-much-longer-name", 123.456)
+	out := tbl.String()
+	if !strings.Contains(out, "T\n") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d, want 5:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[4], "123.456") {
+		t.Errorf("float not formatted: %q", lines[4])
+	}
+	// Columns align: "value" header starts at the same offset as 1.
+	hdrIdx := strings.Index(lines[1], "value")
+	cellIdx := strings.Index(lines[3], "1")
+	if hdrIdx != cellIdx {
+		t.Errorf("columns misaligned: header at %d, cell at %d\n%s", hdrIdx, cellIdx, out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{1, "1"}, {44, "44"}, {1.5, "1.500"}, {0.333333, "0.333"}, {-2, "-2"},
+	}
+	for _, tt := range tests {
+		if got := FormatFloat(tt.in); got != tt.want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := Table{Header: []string{"a", "b"}}
+	tbl.AddRow("plain", "with,comma")
+	tbl.AddRow(`quote"inside`, "x")
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, `"with,comma"`) {
+		t.Errorf("comma cell not quoted: %s", got)
+	}
+	if !strings.Contains(got, `"quote""inside"`) {
+		t.Errorf("quote cell not escaped: %s", got)
+	}
+}
+
+func TestLineChartRender(t *testing.T) {
+	c := LineChart{
+		Title:  "scaling",
+		XLabel: "CUs", YLabel: "speedup",
+		Series: []Series{
+			{Name: "linear", X: []float64{4, 24, 44}, Y: []float64{1, 6, 11}},
+			{Name: "flat", X: []float64{4, 24, 44}, Y: []float64{1, 1, 1}},
+		},
+	}
+	out := c.String()
+	if !strings.Contains(out, "scaling") || !strings.Contains(out, "linear") {
+		t.Fatalf("chart missing labels:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("chart missing series marks:\n%s", out)
+	}
+	if !strings.Contains(out, "x: CUs") {
+		t.Errorf("chart missing axis labels:\n%s", out)
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	c := LineChart{Title: "empty"}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err == nil {
+		t.Error("empty chart rendered without error")
+	}
+	if !strings.Contains(c.String(), "chart error") {
+		t.Error("String() hides the error")
+	}
+}
+
+func TestLineChartConstantSeries(t *testing.T) {
+	c := LineChart{Series: []Series{{Name: "const", X: []float64{1, 2}, Y: []float64{5, 5}}}}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatalf("constant series: %v", err)
+	}
+}
+
+func TestHeatmapRender(t *testing.T) {
+	h := Heatmap{
+		Title:     "surface",
+		RowLabels: []string{"4", "44"},
+		ColLabels: []string{"200", "1000"},
+		Values:    [][]float64{{1, 2}, {3, 55}},
+	}
+	out := h.String()
+	if !strings.Contains(out, "surface") || !strings.Contains(out, "scale:") {
+		t.Fatalf("heatmap incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "@@") {
+		t.Fatalf("hottest cell not at top shade:\n%s", out)
+	}
+}
+
+func TestHeatmapErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Heatmap{}).Render(&buf); err == nil {
+		t.Error("empty heatmap accepted")
+	}
+	h := Heatmap{Values: [][]float64{{1, 2}, {3}}}
+	if err := h.Render(&buf); err == nil {
+		t.Error("ragged heatmap accepted")
+	}
+}
+
+func TestHeatmapConstant(t *testing.T) {
+	h := Heatmap{Values: [][]float64{{2, 2}, {2, 2}}}
+	var buf bytes.Buffer
+	if err := h.Render(&buf); err != nil {
+		t.Fatalf("constant heatmap: %v", err)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := Table{Title: "Caption", Header: []string{"a", "b"}}
+	tbl.AddRow("x|y", 2.0)
+	var buf bytes.Buffer
+	if err := tbl.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "**Caption**") {
+		t.Errorf("markdown missing caption:\n%s", out)
+	}
+	if !strings.Contains(out, "| a | b |") || !strings.Contains(out, "|---|---|") {
+		t.Errorf("markdown missing header/rule:\n%s", out)
+	}
+	if !strings.Contains(out, `x\|y`) {
+		t.Errorf("pipe not escaped:\n%s", out)
+	}
+}

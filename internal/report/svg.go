@@ -1,0 +1,164 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// SVG rendering for charts and heatmaps: publication-shaped vector
+// figures from the same data the ASCII renderers draw, using only the
+// standard library. cmd/taxonomy -svgdir writes one file per figure.
+
+// svgPalette cycles series colours (colour-blind-safe-ish).
+var svgPalette = []string{
+	"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb",
+}
+
+const (
+	svgW, svgH             = 640, 400
+	svgMarginL, svgMarginR = 70, 20
+	svgMarginT, svgMarginB = 50, 55
+	svgPlotW               = svgW - svgMarginL - svgMarginR
+	svgPlotH               = svgH - svgMarginT - svgMarginB
+)
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// RenderSVG draws the chart as a standalone SVG document.
+func (c *LineChart) RenderSVG(w io.Writer) error {
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return fmt.Errorf("report: chart %q has no data", c.Title)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	px := func(x float64) float64 {
+		return svgMarginL + (x-xmin)/(xmax-xmin)*svgPlotW
+	}
+	py := func(y float64) float64 {
+		return svgMarginT + svgPlotH - (y-ymin)/(ymax-ymin)*svgPlotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		svgW, svgH, svgW, svgH)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n",
+		svgMarginL, svgEscape(c.Title))
+
+	// Axes box and ticks.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#333"/>`+"\n",
+		svgMarginL, svgMarginT, svgPlotW, svgPlotH)
+	for i := 0; i <= 4; i++ {
+		fx := xmin + float64(i)/4*(xmax-xmin)
+		fy := ymin + float64(i)/4*(ymax-ymin)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%.3g</text>`+"\n",
+			px(fx), svgMarginT+svgPlotH+16, fx)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end">%.3g</text>`+"\n",
+			svgMarginL-6, py(fy)+3, fy)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n",
+			px(fx), svgMarginT, px(fx), svgMarginT+svgPlotH)
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			svgMarginL+svgPlotW/2, svgH-12, svgEscape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+			svgMarginT+svgPlotH/2, svgMarginT+svgPlotH/2, svgEscape(c.YLabel))
+	}
+
+	// Series polylines + legend.
+	for si, s := range c.Series {
+		color := svgPalette[si%len(svgPalette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n",
+				px(s.X[i]), py(s.Y[i]), color)
+		}
+		ly := svgMarginT + 14 + 14*si
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			svgMarginL+8, ly-9, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+			svgMarginL+22, ly, svgEscape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderSVG draws the heatmap as a standalone SVG document with a
+// white-to-dark-red ramp.
+func (h *Heatmap) RenderSVG(w io.Writer) error {
+	if len(h.Values) == 0 {
+		return fmt.Errorf("report: heatmap %q has no data", h.Title)
+	}
+	rows := len(h.Values)
+	cols := len(h.Values[0])
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, row := range h.Values {
+		if len(row) != cols {
+			return fmt.Errorf("report: heatmap %q is ragged", h.Title)
+		}
+		for _, v := range row {
+			min, max = math.Min(min, v), math.Max(max, v)
+		}
+	}
+	if max == min {
+		max = min + 1
+	}
+	cellW := float64(svgPlotW) / float64(cols)
+	cellH := float64(svgPlotH) / float64(rows)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		svgW, svgH, svgW, svgH)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n",
+		svgMarginL, svgEscape(h.Title))
+	for r, row := range h.Values {
+		for cIdx, v := range row {
+			t := (v - min) / (max - min)
+			// White -> dark red ramp.
+			rr := 255 - int(85*t)
+			gg := 255 - int(225*t)
+			bb := 255 - int(225*t)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.2f" height="%.2f" fill="rgb(%d,%d,%d)"/>`+"\n",
+				svgMarginL+float64(cIdx)*cellW, svgMarginT+float64(r)*cellH, cellW, cellH, rr, gg, bb)
+		}
+		if r < len(h.RowLabels) {
+			fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="9" text-anchor="end">%s</text>`+"\n",
+				svgMarginL-4, svgMarginT+(float64(r)+0.65)*cellH, svgEscape(h.RowLabels[r]))
+		}
+	}
+	for cIdx := 0; cIdx < cols && cIdx < len(h.ColLabels); cIdx++ {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="9" text-anchor="middle">%s</text>`+"\n",
+			svgMarginL+(float64(cIdx)+0.5)*cellW, svgMarginT+svgPlotH+14, svgEscape(h.ColLabels[cIdx]))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10">scale: %.3g (white) to %.3g (dark)</text>`+"\n",
+		svgMarginL, svgH-12, min, max)
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,100 @@
+package report
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func wellFormed(t *testing.T, data []byte) {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestLineChartSVG(t *testing.T) {
+	c := LineChart{
+		Title:  "scaling <test> & more",
+		XLabel: "CUs", YLabel: "speedup",
+		Series: []Series{
+			{Name: "linear", X: []float64{4, 24, 44}, Y: []float64{1, 6, 11}},
+			{Name: "flat", X: []float64{4, 24, 44}, Y: []float64{1, 1, 1}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.RenderSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wellFormed(t, buf.Bytes())
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+	if got := strings.Count(out, "<circle"); got != 6 {
+		t.Errorf("markers = %d, want 6", got)
+	}
+	if !strings.Contains(out, "&lt;test&gt; &amp; more") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(out, "CUs") || !strings.Contains(out, "speedup") {
+		t.Error("axis labels missing")
+	}
+}
+
+func TestLineChartSVGEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&LineChart{Title: "e"}).RenderSVG(&buf); err == nil {
+		t.Error("empty chart rendered")
+	}
+}
+
+func TestLineChartSVGConstant(t *testing.T) {
+	c := LineChart{Series: []Series{{Name: "c", X: []float64{1, 2}, Y: []float64{5, 5}}}}
+	var buf bytes.Buffer
+	if err := c.RenderSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+}
+
+func TestHeatmapSVG(t *testing.T) {
+	h := Heatmap{
+		Title:     "surface",
+		RowLabels: []string{"4cu", "44cu"},
+		ColLabels: []string{"200", "1000"},
+		Values:    [][]float64{{1, 2}, {3, 55}},
+	}
+	var buf bytes.Buffer
+	if err := h.RenderSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wellFormed(t, buf.Bytes())
+	// 4 cells plus the background rect.
+	if got := strings.Count(out, "<rect"); got != 5 {
+		t.Errorf("rects = %d, want 5", got)
+	}
+	if !strings.Contains(out, "44cu") || !strings.Contains(out, "1000") {
+		t.Error("labels missing")
+	}
+}
+
+func TestHeatmapSVGErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Heatmap{}).RenderSVG(&buf); err == nil {
+		t.Error("empty heatmap rendered")
+	}
+	bad := Heatmap{Values: [][]float64{{1, 2}, {3}}}
+	if err := bad.RenderSVG(&buf); err == nil {
+		t.Error("ragged heatmap rendered")
+	}
+}

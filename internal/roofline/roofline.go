@@ -1,0 +1,106 @@
+// Package roofline implements the roofline model for the simulated
+// GPU: attainable performance as a function of arithmetic intensity,
+// and the placement of measured kernels under the roof. The taxonomy
+// generalises the roofline's static two-way split; this package
+// provides the reference frame the comparison is made in.
+package roofline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gpuscale/internal/gcn"
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+)
+
+// Point is one kernel placed on the roofline plot.
+type Point struct {
+	// Kernel is the kernel's name.
+	Kernel string
+	// Intensity is FLOPs per byte of DRAM-bound traffic.
+	Intensity float64
+	// GFLOPS is achieved floating-point throughput.
+	GFLOPS float64
+	// RoofFraction is GFLOPS divided by the attainable roof at this
+	// intensity.
+	RoofFraction float64
+}
+
+// Attainable returns the roofline ceiling (GFLOP/s) at the given
+// arithmetic intensity for a configuration.
+func Attainable(cfg hw.Config, intensity float64) float64 {
+	if intensity <= 0 {
+		return 0
+	}
+	bw := cfg.PeakBandwidthGBs() * intensity
+	peak := cfg.PeakGFLOPS()
+	return math.Min(bw, peak)
+}
+
+// Ridge returns the intensity at which the roofline transitions from
+// bandwidth-bound to compute-bound (the machine balance).
+func Ridge(cfg hw.Config) float64 { return cfg.MachineBalance() }
+
+// Place simulates each kernel on the configuration and returns its
+// roofline point, sorted by intensity. Kernels with no memory traffic
+// get intensity +Inf and sort last.
+func Place(ks []*kernel.Kernel, cfg hw.Config) ([]Point, error) {
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("roofline: no kernels")
+	}
+	out := make([]Point, 0, len(ks))
+	for _, k := range ks {
+		r, err := gcn.Simulate(k, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("roofline: %s: %w", k.Name, err)
+		}
+		p := Point{
+			Kernel:    k.Name,
+			Intensity: k.ArithmeticIntensity(),
+			GFLOPS:    r.AchievedGFLOPS,
+		}
+		if roof := Attainable(cfg, p.Intensity); roof > 0 {
+			p.RoofFraction = p.GFLOPS / roof
+		} else if math.IsInf(p.Intensity, 1) {
+			p.RoofFraction = p.GFLOPS / cfg.PeakGFLOPS()
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Intensity < out[j].Intensity })
+	return out, nil
+}
+
+// Summary aggregates a placement: how much of the corpus sits under
+// which part of the roof.
+type Summary struct {
+	// Kernels is the number of points.
+	Kernels int
+	// BandwidthSide counts kernels left of the ridge.
+	BandwidthSide int
+	// ComputeSide counts kernels at or right of the ridge.
+	ComputeSide int
+	// MedianRoofFraction is the median achieved fraction of the roof.
+	MedianRoofFraction float64
+}
+
+// Summarise reduces a placement against a configuration's ridge.
+func Summarise(points []Point, cfg hw.Config) Summary {
+	s := Summary{Kernels: len(points)}
+	ridge := Ridge(cfg)
+	fracs := make([]float64, 0, len(points))
+	for _, p := range points {
+		if p.Intensity < ridge {
+			s.BandwidthSide++
+		} else {
+			s.ComputeSide++
+		}
+		fracs = append(fracs, p.RoofFraction)
+	}
+	if len(fracs) > 0 {
+		sort.Float64s(fracs)
+		s.MedianRoofFraction = fracs[len(fracs)/2]
+	}
+	return s
+}

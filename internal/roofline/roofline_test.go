@@ -1,0 +1,86 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+)
+
+func TestAttainable(t *testing.T) {
+	cfg := hw.Reference() // 5632 GFLOP/s, 320 GB/s, ridge 17.6
+	if got := Attainable(cfg, 1); math.Abs(got-320) > 1e-9 {
+		t.Errorf("Attainable(1) = %g, want 320 (bandwidth side)", got)
+	}
+	if got := Attainable(cfg, 100); math.Abs(got-5632) > 1e-9 {
+		t.Errorf("Attainable(100) = %g, want 5632 (compute side)", got)
+	}
+	if got := Attainable(cfg, 0); got != 0 {
+		t.Errorf("Attainable(0) = %g", got)
+	}
+	ridge := Ridge(cfg)
+	if got := Attainable(cfg, ridge); math.Abs(got-5632) > 1 {
+		t.Errorf("Attainable(ridge) = %g, want peak", got)
+	}
+}
+
+func TestPlaceOrdersAndBounds(t *testing.T) {
+	ks := []*kernel.Kernel{
+		kernel.New("s", "p", "hot").Geometry(2048, 256).
+			Compute(30000, 100).Access(kernel.Streaming, 8, 2, 4).MustBuild(),
+		kernel.New("s", "p", "cold").Geometry(2048, 256).
+			Compute(300, 50).Access(kernel.Streaming, 256, 64, 4).
+			Locality(256*1024, 0, 0).MustBuild(),
+	}
+	pts, err := Place(ks, hw.Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Intensity > pts[1].Intensity {
+		t.Error("points not sorted by intensity")
+	}
+	for _, p := range pts {
+		if p.RoofFraction <= 0 || p.RoofFraction > 1.05 {
+			t.Errorf("%s roof fraction = %g, want (0, ~1]", p.Kernel, p.RoofFraction)
+		}
+	}
+	// The streaming kernel must achieve a high fraction of its
+	// (bandwidth) roof; the compute kernel of its (compute) roof.
+	if pts[0].RoofFraction < 0.4 {
+		t.Errorf("bandwidth kernel achieves %.2f of roof, want > 0.4", pts[0].RoofFraction)
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	if _, err := Place(nil, hw.Reference()); err == nil {
+		t.Error("empty kernel list accepted")
+	}
+	bad := kernel.New("s", "p", "bad").Geometry(8, 1024).MustBuild()
+	bad.SGPRsPerWave = 512
+	if _, err := Place([]*kernel.Kernel{bad}, hw.Reference()); err == nil {
+		t.Error("unfittable kernel accepted")
+	}
+}
+
+func TestSummarise(t *testing.T) {
+	cfg := hw.Reference()
+	pts := []Point{
+		{Intensity: 1, RoofFraction: 0.8},
+		{Intensity: 100, RoofFraction: 0.5},
+		{Intensity: 200, RoofFraction: 0.9},
+	}
+	s := Summarise(pts, cfg)
+	if s.Kernels != 3 || s.BandwidthSide != 1 || s.ComputeSide != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.MedianRoofFraction != 0.8 {
+		t.Errorf("median roof fraction = %g, want 0.8", s.MedianRoofFraction)
+	}
+	if got := Summarise(nil, cfg); got.Kernels != 0 || got.MedianRoofFraction != 0 {
+		t.Errorf("empty summary = %+v", got)
+	}
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %g, want 2.5", got)
+	}
+	if got := Mean(nil); !math.IsNaN(got) {
+		t.Errorf("Mean(nil) = %g, want NaN", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %g, want 2", got)
+	}
+	if got := GeoMean([]float64{2, 0}); !math.IsNaN(got) {
+		t.Errorf("GeoMean with zero = %g, want NaN", got)
+	}
+	if got := GeoMean(nil); !math.IsNaN(got) {
+		t.Errorf("GeoMean(nil) = %g, want NaN", got)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Variance = %g, want 4", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %g, want 2", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	tests := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {-1, 1}, {2, 5},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %g, want %g", tt.q, got, tt.want)
+		}
+	}
+	if got := Median([]float64{1, 2}); got != 1.5 {
+		t.Errorf("Median = %g, want 1.5", got)
+	}
+	if got := Quantile(nil, 0.5); !math.IsNaN(got) {
+		t.Errorf("Quantile(nil) = %g, want NaN", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile sorted the caller's slice")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || min != -1 || max != 7 {
+		t.Errorf("MinMax = (%g, %g, %v)", min, max, err)
+	}
+	if _, _, err := MinMax(nil); err == nil {
+		t.Error("MinMax(nil) succeeded")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	vs, fs := CDF([]float64{3, 1, 2})
+	if !sort.Float64sAreSorted(vs) {
+		t.Fatalf("CDF values not sorted: %v", vs)
+	}
+	if fs[len(fs)-1] != 1 {
+		t.Fatalf("CDF does not end at 1: %v", fs)
+	}
+	if vs2, fs2 := CDF(nil); vs2 != nil || fs2 != nil {
+		t.Error("CDF(nil) returned non-nil")
+	}
+}
+
+func TestMeanBetweenMinMaxProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		min, max, err := MinMax(clean)
+		if err != nil {
+			return false
+		}
+		m := Mean(clean)
+		return m >= min-1e-6 && m <= max+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

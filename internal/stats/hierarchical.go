@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Agglomerative hierarchical clustering with average linkage — the
+// second data-driven grouping method. The paper's exact methodology is
+// unknown; running both k-means and hierarchical clustering brackets
+// the plausible design space, and their agreement is itself reported.
+
+// Hierarchical clusters points into k groups by agglomerative merging
+// with average linkage (UPGMA): start with every point alone and merge
+// the closest pair of clusters until k remain. Deterministic by
+// construction. It returns assignments compatible with Silhouette.
+func Hierarchical(points [][]float64, k int) ([]int, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("stats: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("stats: k=%d out of range [1,%d]", k, n)
+	}
+
+	// Pairwise distances; clusters tracked as member index lists.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			dist[i][j] = math.Sqrt(sqDist(points[i], points[j]))
+		}
+	}
+	clusters := make([][]int, n)
+	active := make([]bool, n)
+	for i := range clusters {
+		clusters[i] = []int{i}
+		active[i] = true
+	}
+	// Average-linkage distance between live clusters, updated lazily
+	// with the Lance-Williams formula.
+	link := make([][]float64, n)
+	for i := range link {
+		link[i] = make([]float64, n)
+		copy(link[i], dist[i])
+	}
+
+	remaining := n
+	for remaining > k {
+		// Find the closest active pair (a < b).
+		ba, bb, best := -1, -1, math.Inf(1)
+		for a := 0; a < n; a++ {
+			if !active[a] {
+				continue
+			}
+			for b := a + 1; b < n; b++ {
+				if !active[b] {
+					continue
+				}
+				if link[a][b] < best {
+					ba, bb, best = a, b, link[a][b]
+				}
+			}
+		}
+		// Merge bb into ba; update average-linkage distances.
+		na := float64(len(clusters[ba]))
+		nb := float64(len(clusters[bb]))
+		for c := 0; c < n; c++ {
+			if !active[c] || c == ba || c == bb {
+				continue
+			}
+			merged := (na*link[ba][c] + nb*link[bb][c]) / (na + nb)
+			link[ba][c], link[c][ba] = merged, merged
+		}
+		clusters[ba] = append(clusters[ba], clusters[bb]...)
+		clusters[bb] = nil
+		active[bb] = false
+		remaining--
+	}
+
+	assign := make([]int, n)
+	label := 0
+	for i := 0; i < n; i++ {
+		if !active[i] {
+			continue
+		}
+		for _, m := range clusters[i] {
+			assign[m] = label
+		}
+		label++
+	}
+	return assign, nil
+}
+
+// ClusterAgreement returns the pairwise agreement (Rand index) between
+// two assignments of the same points: the fraction of point pairs that
+// both clusterings either join or separate.
+func ClusterAgreement(a, b []int) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("stats: assignment lengths %d vs %d", len(a), len(b))
+	}
+	n := len(a)
+	if n < 2 {
+		return 0, fmt.Errorf("stats: need >= 2 points, have %d", n)
+	}
+	agree, total := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			total++
+			if (a[i] == a[j]) == (b[i] == b[j]) {
+				agree++
+			}
+		}
+	}
+	return float64(agree) / float64(total), nil
+}

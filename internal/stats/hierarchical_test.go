@@ -1,0 +1,100 @@
+package stats
+
+import "testing"
+
+func TestHierarchicalSeparatesBlobs(t *testing.T) {
+	pts := twoBlobs()
+	assign, err := Hierarchical(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := assign[0]
+	for i := 0; i < len(pts); i += 2 {
+		if assign[i] != a {
+			t.Fatalf("blob A split at %d", i)
+		}
+	}
+	b := assign[1]
+	if b == a {
+		t.Fatal("blobs merged")
+	}
+	for i := 1; i < len(pts); i += 2 {
+		if assign[i] != b {
+			t.Fatalf("blob B split at %d", i)
+		}
+	}
+}
+
+func TestHierarchicalK1AndKN(t *testing.T) {
+	pts := twoBlobs()
+	one, err := Hierarchical(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range one {
+		if a != 0 {
+			t.Fatal("k=1 produced multiple labels")
+		}
+	}
+	all, err := Hierarchical(pts, len(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, a := range all {
+		if seen[a] {
+			t.Fatal("k=n merged points")
+		}
+		seen[a] = true
+	}
+}
+
+func TestHierarchicalErrors(t *testing.T) {
+	if _, err := Hierarchical(nil, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Hierarchical([][]float64{{1}, {2}}, 3); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := Hierarchical([][]float64{{1}, {2, 3}}, 1); err == nil {
+		t.Error("ragged input accepted")
+	}
+}
+
+func TestHierarchicalAgreesWithKMeansOnBlobs(t *testing.T) {
+	pts := twoBlobs()
+	h, err := Hierarchical(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	km, err := KMeans(pts, 2, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree, err := ClusterAgreement(h, km.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agree != 1 {
+		t.Fatalf("methods disagree on separable blobs: Rand index %g", agree)
+	}
+}
+
+func TestClusterAgreement(t *testing.T) {
+	if got, err := ClusterAgreement([]int{0, 0, 1, 1}, []int{1, 1, 0, 0}); err != nil || got != 1 {
+		t.Errorf("relabelled identical clustering agreement = %g (%v), want 1", got, err)
+	}
+	got, err := ClusterAgreement([]int{0, 0, 1, 1}, []int{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got >= 1 || got <= 0 {
+		t.Errorf("crossed clustering agreement = %g, want interior", got)
+	}
+	if _, err := ClusterAgreement([]int{0}, []int{0, 1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := ClusterAgreement([]int{0}, []int{0}); err == nil {
+		t.Error("single point accepted")
+	}
+}

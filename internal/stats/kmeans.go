@@ -1,0 +1,222 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Clustering is the result of a k-means run.
+type Clustering struct {
+	// Centroids holds k centroid vectors.
+	Centroids [][]float64
+	// Assignments maps each input point to a centroid index.
+	Assignments []int
+	// Inertia is the total squared distance of points to their
+	// centroids (the k-means objective).
+	Inertia float64
+	// Iterations is how many Lloyd iterations ran before convergence.
+	Iterations int
+}
+
+// KMeans clusters points into k groups using k-means++ seeding and
+// Lloyd iteration, restarted `restarts` times with the best objective
+// kept. It is deterministic for a given seed. Points must be non-empty
+// and share a dimension; k must be in [1, len(points)].
+func KMeans(points [][]float64, k int, seed int64, restarts int) (Clustering, error) {
+	if len(points) == 0 {
+		return Clustering{}, ErrEmpty
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return Clustering{}, fmt.Errorf("stats: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	if k < 1 || k > len(points) {
+		return Clustering{}, fmt.Errorf("stats: k=%d out of range [1,%d]", k, len(points))
+	}
+	if restarts < 1 {
+		restarts = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	best := Clustering{Inertia: math.Inf(1)}
+	for r := 0; r < restarts; r++ {
+		c := lloyd(points, k, rng)
+		if c.Inertia < best.Inertia {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+func lloyd(points [][]float64, k int, rng *rand.Rand) Clustering {
+	centroids := seedPlusPlus(points, k, rng)
+	assign := make([]int, len(points))
+	const maxIter = 200
+	var iter int
+	for iter = 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			bi, bd := 0, math.Inf(1)
+			for ci, c := range centroids {
+				if d := sqDist(p, c); d < bd {
+					bi, bd = ci, d
+				}
+			}
+			if assign[i] != bi {
+				assign[i] = bi
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids; an emptied cluster keeps its position.
+		dim := len(points[0])
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for ci := range sums {
+			sums[ci] = make([]float64, dim)
+		}
+		for i, p := range points {
+			ci := assign[i]
+			counts[ci]++
+			for d, v := range p {
+				sums[ci][d] += v
+			}
+		}
+		for ci := range centroids {
+			if counts[ci] == 0 {
+				continue
+			}
+			for d := range centroids[ci] {
+				centroids[ci][d] = sums[ci][d] / float64(counts[ci])
+			}
+		}
+	}
+	inertia := 0.0
+	for i, p := range points {
+		inertia += sqDist(p, centroids[assign[i]])
+	}
+	return Clustering{Centroids: centroids, Assignments: assign, Inertia: inertia, Iterations: iter}
+}
+
+// seedPlusPlus picks k initial centroids with k-means++ weighting.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := points[rng.Intn(len(points))]
+	centroids = append(centroids, append([]float64(nil), first...))
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		total := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var next []float64
+		if total == 0 {
+			next = points[rng.Intn(len(points))]
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			next = points[len(points)-1]
+			for i, p := range points {
+				acc += d2[i]
+				if acc >= target {
+					next = p
+					break
+				}
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), next...))
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Silhouette returns the mean silhouette score of a clustering in
+// [-1, 1]; higher is better separated. Clusters with a single point
+// contribute 0. It returns NaN when every point is in one cluster.
+func Silhouette(points [][]float64, assign []int, k int) float64 {
+	if len(points) == 0 || len(points) != len(assign) {
+		return math.NaN()
+	}
+	sizes := make([]int, k)
+	for _, a := range assign {
+		sizes[a]++
+	}
+	nonEmpty := 0
+	for _, s := range sizes {
+		if s > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		return math.NaN()
+	}
+	total := 0.0
+	for i, p := range points {
+		meanTo := make([]float64, k)
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			meanTo[assign[j]] += math.Sqrt(sqDist(p, q))
+		}
+		own := assign[i]
+		a := 0.0
+		if sizes[own] > 1 {
+			a = meanTo[own] / float64(sizes[own]-1)
+		} else {
+			continue // singleton contributes 0
+		}
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || sizes[c] == 0 {
+				continue
+			}
+			if m := meanTo[c] / float64(sizes[c]); m < b {
+				b = m
+			}
+		}
+		if m := math.Max(a, b); m > 0 {
+			total += (b - a) / m
+		}
+	}
+	return total / float64(len(points))
+}
+
+// ElbowCurve runs KMeans for every k in [1, maxK] and returns the
+// inertia sequence, for cluster-count selection plots.
+func ElbowCurve(points [][]float64, maxK int, seed int64, restarts int) ([]float64, error) {
+	if maxK < 1 {
+		return nil, fmt.Errorf("stats: maxK=%d", maxK)
+	}
+	if maxK > len(points) {
+		maxK = len(points)
+	}
+	out := make([]float64, 0, maxK)
+	for k := 1; k <= maxK; k++ {
+		c, err := KMeans(points, k, seed, restarts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c.Inertia)
+	}
+	return out, nil
+}

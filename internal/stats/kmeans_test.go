@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// twoBlobs builds two well-separated 2-D clusters.
+func twoBlobs() [][]float64 {
+	var pts [][]float64
+	for i := 0; i < 20; i++ {
+		pts = append(pts, []float64{float64(i%5) * 0.1, float64(i/5) * 0.1})
+		pts = append(pts, []float64{10 + float64(i%5)*0.1, 10 + float64(i/5)*0.1})
+	}
+	return pts
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	pts := twoBlobs()
+	c, err := KMeans(pts, 2, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every even index (blob A) must share one label, odd the other.
+	a := c.Assignments[0]
+	for i := 0; i < len(pts); i += 2 {
+		if c.Assignments[i] != a {
+			t.Fatalf("blob A split: point %d labelled %d, want %d", i, c.Assignments[i], a)
+		}
+	}
+	b := c.Assignments[1]
+	if b == a {
+		t.Fatal("both blobs in one cluster")
+	}
+	for i := 1; i < len(pts); i += 2 {
+		if c.Assignments[i] != b {
+			t.Fatalf("blob B split: point %d labelled %d, want %d", i, c.Assignments[i], b)
+		}
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	pts := twoBlobs()
+	a, err := KMeans(pts, 3, 42, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(pts, 3, 42, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Inertia != b.Inertia {
+		t.Fatalf("non-deterministic inertia: %g vs %g", a.Inertia, b.Inertia)
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatalf("non-deterministic assignment at %d", i)
+		}
+	}
+}
+
+func TestKMeansK1(t *testing.T) {
+	pts := twoBlobs()
+	c, err := KMeans(pts, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range c.Assignments {
+		if a != 0 {
+			t.Fatal("k=1 produced a second label")
+		}
+	}
+	// Centroid must be the global mean.
+	var mx, my float64
+	for _, p := range pts {
+		mx += p[0]
+		my += p[1]
+	}
+	mx /= float64(len(pts))
+	my /= float64(len(pts))
+	if math.Abs(c.Centroids[0][0]-mx) > 1e-9 || math.Abs(c.Centroids[0][1]-my) > 1e-9 {
+		t.Fatalf("k=1 centroid %v, want (%g,%g)", c.Centroids[0], mx, my)
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, 1, 1, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := KMeans([][]float64{{1}, {2}}, 3, 1, 1); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := KMeans([][]float64{{1}, {2}}, 0, 1, 1); err == nil {
+		t.Error("k = 0 accepted")
+	}
+	if _, err := KMeans([][]float64{{1}, {2, 3}}, 1, 1, 1); err == nil {
+		t.Error("ragged input accepted")
+	}
+}
+
+func TestKMeansInertiaNonIncreasingInK(t *testing.T) {
+	pts := twoBlobs()
+	curve, err := ElbowCurve(pts, 6, 7, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 6 {
+		t.Fatalf("elbow curve length %d, want 6", len(curve))
+	}
+	for k := 1; k < len(curve); k++ {
+		// With enough restarts inertia should be (near) monotone.
+		if curve[k] > curve[k-1]*1.05 {
+			t.Errorf("inertia rose at k=%d: %g -> %g", k+1, curve[k-1], curve[k])
+		}
+	}
+	if curve[1] > curve[0]*0.1 {
+		t.Errorf("two-blob data: k=2 inertia %g not << k=1 inertia %g", curve[1], curve[0])
+	}
+}
+
+func TestSilhouettePrefersTrueK(t *testing.T) {
+	pts := twoBlobs()
+	c2, err := KMeans(pts, 2, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c5, err := KMeans(pts, 5, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := Silhouette(pts, c2.Assignments, 2)
+	s5 := Silhouette(pts, c5.Assignments, 5)
+	if s2 <= s5 {
+		t.Fatalf("silhouette(k=2)=%g <= silhouette(k=5)=%g on two blobs", s2, s5)
+	}
+	if s2 < 0.8 {
+		t.Fatalf("silhouette(k=2)=%g, want > 0.8 for well-separated blobs", s2)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	pts := [][]float64{{1}, {2}, {3}}
+	if got := Silhouette(pts, []int{0, 0, 0}, 1); !math.IsNaN(got) {
+		t.Errorf("single-cluster silhouette = %g, want NaN", got)
+	}
+	if got := Silhouette(nil, nil, 2); !math.IsNaN(got) {
+		t.Errorf("empty silhouette = %g, want NaN", got)
+	}
+}
+
+func TestSilhouetteBounds(t *testing.T) {
+	pts := twoBlobs()
+	for k := 2; k <= 5; k++ {
+		c, err := KMeans(pts, k, 3, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := Silhouette(pts, c.Assignments, k)
+		if s < -1 || s > 1 {
+			t.Fatalf("silhouette(k=%d) = %g out of [-1,1]", k, s)
+		}
+	}
+}

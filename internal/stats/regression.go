@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearFit is the result of an ordinary least-squares line fit.
+type LinearFit struct {
+	// Slope and Intercept define the fitted line y = Slope*x + Intercept.
+	Slope, Intercept float64
+	// R2 is the coefficient of determination (1 = perfect fit). For a
+	// constant y it is defined as 1 if the fit is exact, else 0.
+	R2 float64
+}
+
+// Linear fits y = a*x + b by least squares. It needs at least two
+// points with distinct x values.
+func Linear(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, fmt.Errorf("stats: need >= 2 points, have %d", len(xs))
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return LinearFit{}, fmt.Errorf("stats: degenerate fit, all x equal")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := slope*xs[i] + intercept
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - my) * (ys[i] - my)
+	}
+	r2 := 0.0
+	switch {
+	case ssTot > 0:
+		r2 = 1 - ssRes/ssTot
+	case ssRes == 0:
+		r2 = 1
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2}, nil
+}
+
+// Pearson returns the Pearson correlation coefficient, or NaN when
+// either sample is constant or the lengths mismatch.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,191 @@
+// Package suites provides the synthetic benchmark corpus that stands
+// in for the paper's 97 OpenCL programs and 267 kernels. Real suites
+// (and their inputs) are not redistributable or even runnable here, so
+// the corpus is built from twelve behavioural archetypes whose
+// parameters are drawn deterministically per suite; the per-suite
+// archetype mixes mirror the character of the suite families the paper
+// measured (vendor samples with tiny grids, scientific suites with
+// stencils and reductions, graph-analytics suites with irregular
+// access, proxy apps with large balanced grids).
+package suites
+
+import (
+	"math/rand"
+
+	"gpuscale/internal/kernel"
+)
+
+// Archetype names one of the twelve behavioural families a corpus
+// kernel can belong to.
+type Archetype int
+
+// The twelve archetypes. Their intended dominant scaling class is
+// noted; the taxonomy pipeline must *discover* these classes from
+// simulated timings, never from these labels.
+const (
+	// DenseCompute is a tiled, high-intensity kernel (GEMM-like):
+	// compute-coupled scaling.
+	DenseCompute Archetype = iota
+	// StreamBW is a copy/saxpy-like streaming kernel:
+	// bandwidth-coupled scaling.
+	StreamBW
+	// Stencil is a structured-grid kernel with neighbour sharing.
+	Stencil
+	// Reduction is a wide streaming read with few writes.
+	Reduction
+	// GraphGather is an irregular, divergent gather kernel.
+	GraphGather
+	// PointerChase is a serially dependent lookup kernel:
+	// latency-bound plateaus.
+	PointerChase
+	// LDSHeavy is a sort/FFT-like kernel dominated by LDS traffic and
+	// barriers.
+	LDSHeavy
+	// CacheSensitive reuses a working set that overflows the shared L2
+	// as CUs are added: CU-intolerant scaling.
+	CacheSensitive
+	// SmallGrid launches too few workgroups for a large GPU:
+	// parallelism-limited scaling.
+	SmallGrid
+	// TinyLaunch is dominated by fixed launch overhead.
+	TinyLaunch
+	// Divergent is compute-heavy with poor SIMD efficiency.
+	Divergent
+	// Balanced sits near the machine balance point.
+	Balanced
+)
+
+var archetypeNames = [...]string{
+	"dense-compute", "stream-bw", "stencil", "reduction", "graph-gather",
+	"pointer-chase", "lds-heavy", "cache-sensitive", "small-grid",
+	"tiny-launch", "divergent", "balanced",
+}
+
+// String returns the archetype's kebab-case name.
+func (a Archetype) String() string {
+	if a < 0 || int(a) >= len(archetypeNames) {
+		return "unknown"
+	}
+	return archetypeNames[a]
+}
+
+// NumArchetypes is the count of defined archetypes.
+const NumArchetypes = int(Balanced) + 1
+
+// sizeClass bounds the workgroup counts a suite launches.
+type sizeClass struct {
+	minWGs, maxWGs int
+}
+
+func (s sizeClass) pick(rng *rand.Rand) int {
+	if s.maxWGs <= s.minWGs {
+		return s.minWGs
+	}
+	return s.minWGs + rng.Intn(s.maxWGs-s.minWGs+1)
+}
+
+// jitter returns a uniform value in [lo, hi].
+func jitter(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + rng.Float64()*(hi-lo)
+}
+
+func jitterInt(rng *rand.Rand, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Intn(hi-lo+1)
+}
+
+// buildArchetype instantiates one kernel of the archetype with
+// deterministic parameter jitter from rng. The size class bounds the
+// grid except for archetypes whose identity *is* their grid size.
+func buildArchetype(a Archetype, suite, program, name string, size sizeClass, rng *rand.Rand) *kernel.Kernel {
+	b := kernel.New(suite, program, name)
+	switch a {
+	case DenseCompute:
+		b.Geometry(size.pick(rng), 256).
+			Compute(jitterInt(rng, 8000, 30000), 500).
+			Resources(jitterInt(rng, 48, 84), 64, 16*1024).
+			LDSOps(jitterInt(rng, 1000, 3000), jitterInt(rng, 4, 10)).
+			Access(kernel.Tiled, jitterInt(rng, 48, 96), jitterInt(rng, 8, 24), 4).
+			Locality(32*1024, 0.2, jitter(rng, 4, 8)).
+			MLP(6)
+	case StreamBW:
+		b.Geometry(size.pick(rng), 256).
+			Compute(jitterInt(rng, 300, 800), 50).
+			Access(kernel.Streaming, jitterInt(rng, 192, 384), jitterInt(rng, 48, 96), 4+4*rng.Intn(2)).
+			Locality(int64(jitterInt(rng, 128, 512))*1024, 0, 0).
+			MLP(jitter(rng, 10, 12))
+	case Stencil:
+		b.Geometry(size.pick(rng), 256).
+			Compute(jitterInt(rng, 1500, 4000), 200).
+			Access(kernel.Streaming, jitterInt(rng, 96, 160), jitterInt(rng, 24, 48), 4).
+			Locality(96*1024, jitter(rng, 0.2, 0.4), jitter(rng, 1, 2)).
+			MLP(8)
+	case Reduction:
+		b.Geometry(size.pick(rng), 256).
+			Compute(jitterInt(rng, 400, 900), 100).
+			LDSOps(jitterInt(rng, 100, 300), jitterInt(rng, 4, 8)).
+			Access(kernel.Streaming, jitterInt(rng, 128, 256), 2, 4+4*rng.Intn(2)).
+			Locality(int64(jitterInt(rng, 128, 384))*1024, 0, 0).
+			MLP(10)
+	case GraphGather:
+		b.Geometry(size.pick(rng), 256).
+			Compute(jitterInt(rng, 1200, 3000), 400).
+			Access(kernel.Gather, jitterInt(rng, 64, 160), jitterInt(rng, 16, 32), 4).
+			Coalescing(jitter(rng, 0.15, 0.4)).
+			Divergence(jitter(rng, 0.4, 0.7)).
+			Locality(int64(jitterInt(rng, 1, 8))<<20, 0.3, jitter(rng, 0.8, 1.5)).
+			MLP(4)
+	case PointerChase:
+		b.Geometry(size.pick(rng), 64).
+			Resources(32, 48, 64*1024). // one wave per CU: minimal hiding
+			Compute(jitterInt(rng, 800, 1500), 100).
+			Access(kernel.PointerChase, jitterInt(rng, 800, 2500), 0, 1).
+			Coalescing(1).
+			Locality(int64(jitterInt(rng, 8, 32))<<20, 0, 0).
+			MLP(1).
+			DepChain(jitter(rng, 0.9, 1))
+	case LDSHeavy:
+		b.Geometry(size.pick(rng), 256).
+			Compute(jitterInt(rng, 2500, 5000), 800).
+			Resources(48, 64, 32*1024).
+			LDSOps(jitterInt(rng, 4000, 8000), jitterInt(rng, 12, 24)).
+			Access(kernel.Strided, jitterInt(rng, 32, 64), jitterInt(rng, 16, 32), 4).
+			Locality(48*1024, 0, 1).
+			MLP(6)
+	case CacheSensitive:
+		b.Geometry(size.pick(rng), 256).
+			Compute(jitterInt(rng, 2000, 4000), 100).
+			Resources(32, 48, 32*1024). // LDS caps residency at 2 WGs/CU
+			Access(kernel.Tiled, jitterInt(rng, 256, 512), jitterInt(rng, 64, 128), 4).
+			Locality(int64(jitterInt(rng, 128, 256))*1024, 0, jitter(rng, 3, 6)).
+			MLP(8)
+	case SmallGrid:
+		b.Geometry(jitterInt(rng, 6, 22), 256).
+			Compute(jitterInt(rng, 30000, 80000), 1000).
+			Access(kernel.Streaming, jitterInt(rng, 16, 48), jitterInt(rng, 4, 12), 4).
+			Locality(32*1024, 0, 1).
+			MLP(8)
+	case TinyLaunch:
+		b.Geometry(jitterInt(rng, 1, 8), 64).
+			Compute(jitterInt(rng, 100, 400), 20).
+			Access(kernel.Streaming, jitterInt(rng, 2, 8), 1, 4).
+			Locality(8*1024, 0, 0).
+			Launch(jitter(rng, 10000, 30000), jitterInt(rng, 50, 200))
+	case Divergent:
+		b.Geometry(size.pick(rng), 256).
+			Compute(jitterInt(rng, 10000, 20000), 2000).
+			Divergence(jitter(rng, 0.15, 0.4)).
+			Access(kernel.Strided, jitterInt(rng, 32, 96), jitterInt(rng, 8, 24), 4).
+			Locality(64*1024, 0, 1).
+			MLP(5)
+	case Balanced:
+		b.Geometry(size.pick(rng), 256).
+			Compute(jitterInt(rng, 4000, 8000), 400).
+			Access(kernel.Streaming, jitterInt(rng, 96, 192), jitterInt(rng, 24, 48), 4).
+			Locality(64*1024, 0.1, 1).
+			MLP(8)
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,244 @@
+package suites
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpuscale/internal/kernel"
+)
+
+// Program is one corpus program: a host application launching one or
+// more kernels.
+type Program struct {
+	// Name identifies the program within its suite.
+	Name string
+	// Suite is the owning suite's name.
+	Suite string
+	// Kernels are the program's kernels, with archetype provenance.
+	Kernels []Entry
+}
+
+// Entry pairs a kernel with the archetype that generated it. The
+// archetype is provenance for validation experiments only — the
+// taxonomy must never read it as an input.
+type Entry struct {
+	Kernel    *kernel.Kernel
+	Archetype Archetype
+}
+
+// Suite is a named family of programs.
+type Suite struct {
+	// Name is the suite's short identifier.
+	Name string
+	// Description says which real-world suite family it stands in for.
+	Description string
+	// Programs are the suite's programs.
+	Programs []Program
+}
+
+// KernelCount returns the total kernels in the suite.
+func (s *Suite) KernelCount() int {
+	n := 0
+	for _, p := range s.Programs {
+		n += len(p.Kernels)
+	}
+	return n
+}
+
+// suiteSpec drives deterministic corpus construction.
+type suiteSpec struct {
+	name        string
+	description string
+	// kernelCounts has one entry per program: its kernel count.
+	kernelCounts []int
+	size         sizeClass
+	// mix maps archetypes to selection weights.
+	mix []weighted
+}
+
+type weighted struct {
+	a Archetype
+	w float64
+}
+
+// repeatPattern tiles pattern until n entries are produced.
+func repeatPattern(pattern []int, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = pattern[i%len(pattern)]
+	}
+	return out
+}
+
+// specs reconstructs the paper's corpus shape: 8 suite families,
+// 97 programs, 267 kernels. The per-suite kernel-count patterns are
+// chosen so the totals match the abstract exactly; a test pins them.
+func specs() []suiteSpec {
+	return []suiteSpec{
+		{
+			name:         "sdk-samples",
+			description:  "vendor SDK sample codes: tiny grids and launch-dominated demos",
+			kernelCounts: repeatPattern([]int{1, 2}, 18), // 27 kernels
+			size:         sizeClass{8, 96},
+			mix: []weighted{
+				{SmallGrid, 0.30}, {TinyLaunch, 0.20}, {StreamBW, 0.20},
+				{DenseCompute, 0.10}, {Reduction, 0.20},
+			},
+		},
+		{
+			name:         "scicomp",
+			description:  "scientific-computing suite: stencils, reductions, solvers",
+			kernelCounts: repeatPattern([]int{2, 3, 4}, 18), // 54 kernels
+			size:         sizeClass{64, 768},
+			mix: []weighted{
+				{Stencil, 0.25}, {GraphGather, 0.15}, {Reduction, 0.15},
+				{DenseCompute, 0.15}, {LDSHeavy, 0.10}, {Balanced, 0.10},
+				{SmallGrid, 0.10},
+			},
+		},
+		{
+			name:         "throughput",
+			description:  "throughput-computing suite: dense linear algebra and media",
+			kernelCounts: repeatPattern([]int{2, 3}, 11), // 27 kernels
+			size:         sizeClass{128, 2048},
+			mix: []weighted{
+				{DenseCompute, 0.30}, {StreamBW, 0.20}, {Stencil, 0.20},
+				{Balanced, 0.20}, {LDSHeavy, 0.10},
+			},
+		},
+		{
+			name:         "microbench",
+			description:  "microbenchmark suite: bandwidth, reduction, GEMM, FFT probes",
+			kernelCounts: repeatPattern([]int{2, 4, 3, 3}, 12), // 36 kernels
+			size:         sizeClass{64, 1024},
+			mix: []weighted{
+				{StreamBW, 0.30}, {Reduction, 0.20}, {DenseCompute, 0.20},
+				{LDSHeavy, 0.15}, {TinyLaunch, 0.15},
+			},
+		},
+		{
+			name:         "graphana",
+			description:  "graph-analytics suite: traversal and label propagation",
+			kernelCounts: []int{3, 5, 4, 4, 4, 4}, // 24 kernels
+			size:         sizeClass{512, 4096},
+			mix: []weighted{
+				{GraphGather, 0.50}, {PointerChase, 0.20}, {Divergent, 0.30},
+			},
+		},
+		{
+			name:         "dwarfs",
+			description:  "computational-dwarf kernels: one per Berkeley dwarf family",
+			kernelCounts: []int{3, 2, 2, 3, 2, 2, 3, 2, 2, 2, 2}, // 25 kernels
+			size:         sizeClass{32, 512},
+			mix: []weighted{
+				{Balanced, 0.20}, {Stencil, 0.20}, {GraphGather, 0.15},
+				{CacheSensitive, 0.15}, {SmallGrid, 0.15}, {Reduction, 0.15},
+			},
+		},
+		{
+			name:         "irregular",
+			description:  "irregular-workload suite: worklists and pointer structures",
+			kernelCounts: repeatPattern([]int{3}, 9), // 27 kernels
+			size:         sizeClass{256, 2048},
+			mix: []weighted{
+				{PointerChase, 0.35}, {GraphGather, 0.35}, {Divergent, 0.20},
+				{CacheSensitive, 0.10},
+			},
+		},
+		{
+			name:         "proxyapps",
+			description:  "exascale proxy applications: large, modern problem sizes",
+			kernelCounts: append(repeatPattern([]int{4}, 11), 3), // 47 kernels
+			size:         sizeClass{2048, 16384},
+			mix: []weighted{
+				{DenseCompute, 0.30}, {Stencil, 0.25}, {Balanced, 0.20},
+				{StreamBW, 0.15}, {CacheSensitive, 0.10},
+			},
+		},
+	}
+}
+
+// pickArchetype draws an archetype from the suite mix.
+func pickArchetype(mix []weighted, rng *rand.Rand) Archetype {
+	total := 0.0
+	for _, m := range mix {
+		total += m.w
+	}
+	x := rng.Float64() * total
+	for _, m := range mix {
+		x -= m.w
+		if x < 0 {
+			return m.a
+		}
+	}
+	return mix[len(mix)-1].a
+}
+
+// Corpus deterministically constructs the full 8-suite, 97-program,
+// 267-kernel corpus. Construction is cheap; callers needing the
+// corpus repeatedly may cache the result.
+func Corpus() []Suite {
+	out := make([]Suite, 0, 8)
+	for si, spec := range specs() {
+		s := Suite{Name: spec.name, Description: spec.description}
+		for pi, kc := range spec.kernelCounts {
+			progName := fmt.Sprintf("%s-p%02d", spec.name, pi+1)
+			// One deterministic stream per program keeps programs
+			// stable if other suites change.
+			rng := rand.New(rand.NewSource(int64(si)*1000 + int64(pi) + 1))
+			prog := Program{Name: progName, Suite: spec.name}
+			for ki := 0; ki < kc; ki++ {
+				a := pickArchetype(spec.mix, rng)
+				name := fmt.Sprintf("k%d_%s", ki+1, a)
+				prog.Kernels = append(prog.Kernels, Entry{
+					Kernel:    buildArchetype(a, spec.name, progName, name, spec.size, rng),
+					Archetype: a,
+				})
+			}
+			s.Programs = append(s.Programs, prog)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// AllEntries flattens the corpus into one kernel list in deterministic
+// order.
+func AllEntries(corpus []Suite) []Entry {
+	var out []Entry
+	for _, s := range corpus {
+		for _, p := range s.Programs {
+			out = append(out, p.Kernels...)
+		}
+	}
+	return out
+}
+
+// AllKernels returns just the kernels of AllEntries.
+func AllKernels(corpus []Suite) []*kernel.Kernel {
+	entries := AllEntries(corpus)
+	out := make([]*kernel.Kernel, len(entries))
+	for i, e := range entries {
+		out[i] = e.Kernel
+	}
+	return out
+}
+
+// Totals returns the program and kernel counts of a corpus.
+func Totals(corpus []Suite) (programs, kernels int) {
+	for _, s := range corpus {
+		programs += len(s.Programs)
+		kernels += s.KernelCount()
+	}
+	return programs, kernels
+}
+
+// FindSuite returns the named suite, or nil.
+func FindSuite(corpus []Suite, name string) *Suite {
+	for i := range corpus {
+		if corpus[i].Name == name {
+			return &corpus[i]
+		}
+	}
+	return nil
+}

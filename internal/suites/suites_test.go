@@ -1,0 +1,145 @@
+package suites
+
+import (
+	"testing"
+
+	"gpuscale/internal/gcn"
+	"gpuscale/internal/hw"
+)
+
+func TestCorpusMatchesAbstractCounts(t *testing.T) {
+	c := Corpus()
+	if len(c) != 8 {
+		t.Errorf("suites = %d, want 8", len(c))
+	}
+	programs, kernels := Totals(c)
+	if programs != 97 {
+		t.Errorf("programs = %d, want 97 (the paper's count)", programs)
+	}
+	if kernels != 267 {
+		t.Errorf("kernels = %d, want 267 (the paper's count)", kernels)
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := AllKernels(Corpus())
+	b := AllKernels(Corpus())
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("kernel %d differs between constructions: %s", i, a[i].Name)
+		}
+	}
+}
+
+func TestCorpusKernelsAllValid(t *testing.T) {
+	for _, k := range AllKernels(Corpus()) {
+		if err := k.Validate(); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+	}
+}
+
+func TestCorpusKernelsAllRunnable(t *testing.T) {
+	// Every kernel must simulate successfully on both grid corners.
+	for _, cfg := range []hw.Config{hw.Minimum(), hw.Reference()} {
+		for _, k := range AllKernels(Corpus()) {
+			if _, err := gcn.Simulate(k, cfg); err != nil {
+				t.Errorf("%s @ %v: %v", k.Name, cfg, err)
+			}
+		}
+	}
+}
+
+func TestCorpusNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range AllKernels(Corpus()) {
+		if seen[k.Name] {
+			t.Errorf("duplicate kernel name %q", k.Name)
+		}
+		seen[k.Name] = true
+	}
+}
+
+func TestCorpusCoversAllArchetypes(t *testing.T) {
+	counts := map[Archetype]int{}
+	for _, e := range AllEntries(Corpus()) {
+		counts[e.Archetype]++
+	}
+	for a := Archetype(0); int(a) < NumArchetypes; a++ {
+		if counts[a] == 0 {
+			t.Errorf("archetype %v has no corpus kernels", a)
+		}
+	}
+}
+
+func TestCorpusSuiteCharacter(t *testing.T) {
+	c := Corpus()
+	// SDK samples must skew small, proxy apps large: compare median
+	// workgroup counts.
+	med := func(name string) int {
+		s := FindSuite(c, name)
+		if s == nil {
+			t.Fatalf("suite %q missing", name)
+		}
+		var wgs []int
+		for _, p := range s.Programs {
+			for _, e := range p.Kernels {
+				wgs = append(wgs, e.Kernel.Workgroups)
+			}
+		}
+		for i := 1; i < len(wgs); i++ { // insertion sort, small n
+			for j := i; j > 0 && wgs[j] < wgs[j-1]; j-- {
+				wgs[j], wgs[j-1] = wgs[j-1], wgs[j]
+			}
+		}
+		return wgs[len(wgs)/2]
+	}
+	sdk, proxy := med("sdk-samples"), med("proxyapps")
+	if sdk >= 128 {
+		t.Errorf("sdk-samples median workgroups = %d, want < 128 (legacy inputs)", sdk)
+	}
+	if proxy < 2048 {
+		t.Errorf("proxyapps median workgroups = %d, want >= 2048 (modern inputs)", proxy)
+	}
+}
+
+func TestFindSuite(t *testing.T) {
+	c := Corpus()
+	if FindSuite(c, "graphana") == nil {
+		t.Error("graphana not found")
+	}
+	if FindSuite(c, "nope") != nil {
+		t.Error("phantom suite found")
+	}
+}
+
+func TestArchetypeString(t *testing.T) {
+	if DenseCompute.String() != "dense-compute" {
+		t.Errorf("DenseCompute = %q", DenseCompute.String())
+	}
+	if Archetype(99).String() != "unknown" {
+		t.Errorf("invalid archetype = %q", Archetype(99).String())
+	}
+}
+
+func TestEntryArchetypeInName(t *testing.T) {
+	// Kernel names embed their archetype for report readability.
+	for _, e := range AllEntries(Corpus())[:20] {
+		want := e.Archetype.String()
+		if got := e.Kernel.Name; !contains(got, want) {
+			t.Errorf("kernel %q does not mention archetype %q", got, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,123 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"gpuscale/internal/gcn"
+	"gpuscale/internal/hw"
+)
+
+// WriteCSV persists a matrix as long-form CSV:
+// kernel,cus,core_mhz,mem_mhz,throughput,time_ns,bound — one row per
+// (kernel, configuration) measurement, mirroring the shape of the raw
+// data file a hardware study would archive.
+func (m *Matrix) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kernel", "cus", "core_mhz", "mem_mhz", "throughput", "time_ns", "bound"}); err != nil {
+		return fmt.Errorf("sweep: writing header: %w", err)
+	}
+	configs := m.Space.Configs()
+	for r, name := range m.Kernels {
+		for c, cfg := range configs {
+			rec := []string{
+				name,
+				strconv.Itoa(cfg.CUs),
+				strconv.FormatFloat(cfg.CoreClockMHz, 'g', -1, 64),
+				strconv.FormatFloat(cfg.MemClockMHz, 'g', -1, 64),
+				strconv.FormatFloat(m.Throughput[r][c], 'g', -1, 64),
+				strconv.FormatFloat(m.TimeNS[r][c], 'g', -1, 64),
+				m.Bound[r][c].String(),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("sweep: writing row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads a matrix written by WriteCSV. The configuration space
+// must be supplied (the CSV stores points, not the grid definition)
+// and every (kernel, configuration) cell must be present.
+func ReadCSV(r io.Reader, space hw.Space) (*Matrix, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("sweep: reading header: %w", err)
+	}
+	if len(header) != 7 || header[0] != "kernel" {
+		return nil, fmt.Errorf("sweep: unexpected header %v", header)
+	}
+	m := &Matrix{Space: space}
+	rows := map[string]int{}
+	nCfg := space.Size()
+	boundByName := map[string]gcn.Bound{}
+	for b := gcn.BoundCompute; b <= gcn.BoundLaunch; b++ {
+		boundByName[b.String()] = b
+	}
+	filled := []int{}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sweep: reading row: %w", err)
+		}
+		cus, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad cu count %q: %w", rec[1], err)
+		}
+		core, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad core clock %q: %w", rec[2], err)
+		}
+		mem, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad mem clock %q: %w", rec[3], err)
+		}
+		ci := space.Index(hw.Config{CUs: cus, CoreClockMHz: core, MemClockMHz: mem})
+		if ci < 0 {
+			return nil, fmt.Errorf("sweep: row config %s/%s/%s not in space", rec[1], rec[2], rec[3])
+		}
+		tput, err := strconv.ParseFloat(rec[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad throughput %q: %w", rec[4], err)
+		}
+		tns, err := strconv.ParseFloat(rec[5], 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad time %q: %w", rec[5], err)
+		}
+		bound, ok := boundByName[rec[6]]
+		if !ok {
+			return nil, fmt.Errorf("sweep: unknown bound %q", rec[6])
+		}
+		ri, ok := rows[rec[0]]
+		if !ok {
+			ri = len(m.Kernels)
+			rows[rec[0]] = ri
+			m.Kernels = append(m.Kernels, rec[0])
+			m.Throughput = append(m.Throughput, make([]float64, nCfg))
+			m.TimeNS = append(m.TimeNS, make([]float64, nCfg))
+			m.Bound = append(m.Bound, make([]gcn.Bound, nCfg))
+			filled = append(filled, 0)
+		}
+		m.Throughput[ri][ci] = tput
+		m.TimeNS[ri][ci] = tns
+		m.Bound[ri][ci] = bound
+		filled[ri]++
+	}
+	for i, n := range filled {
+		if n != nCfg {
+			return nil, fmt.Errorf("sweep: kernel %s has %d/%d cells", m.Kernels[i], n, nCfg)
+		}
+	}
+	if len(m.Kernels) == 0 {
+		return nil, fmt.Errorf("sweep: empty CSV")
+	}
+	return m, nil
+}

@@ -1,0 +1,176 @@
+// Package sweep executes kernel x configuration grids in parallel and
+// stores the resulting performance matrices — the data-collection
+// harness that stands in for the paper's weeks of hardware runs.
+package sweep
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gpuscale/internal/gcn"
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+)
+
+// Engine selects the simulator fidelity used for a sweep.
+type Engine int
+
+const (
+	// Round uses the fast batch-steady-state engine (default).
+	Round Engine = iota
+	// Detailed uses the continuous-dispatch quantum engine.
+	Detailed
+	// Wave uses the wavefront-level event engine (slowest; only for
+	// small spaces or validation runs).
+	Wave
+)
+
+// Options configures a sweep run.
+type Options struct {
+	// Workers is the parallel worker count; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Engine selects the simulator fidelity.
+	Engine Engine
+	// NoiseStdDev, when positive, multiplies every measured throughput
+	// by a lognormal-ish factor (1 + N(0, stddev)) to emulate run-to-
+	// run measurement noise for robustness experiments.
+	NoiseStdDev float64
+	// Seed drives the noise generator; ignored when NoiseStdDev is 0.
+	Seed int64
+}
+
+// Matrix holds the sweep results: one throughput row per kernel, one
+// column per configuration in Space.Configs() order.
+type Matrix struct {
+	// Space is the configuration grid the columns index into.
+	Space hw.Space
+	// Kernels are the row names, in input order.
+	Kernels []string
+	// Throughput[r][c] is work-items/ns of kernel r on configuration c.
+	Throughput [][]float64
+	// TimeNS[r][c] is the corresponding invocation time.
+	TimeNS [][]float64
+	// Bound[r][c] is the dominant bound reported by the engine.
+	Bound [][]gcn.Bound
+}
+
+// Row returns the row index of a kernel name, or -1.
+func (m *Matrix) Row(name string) int {
+	for i, k := range m.Kernels {
+		if k == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Run sweeps every kernel over every configuration of the space.
+// Kernels are distributed over a worker pool; each worker owns whole
+// rows so the output needs no locking. Any simulation error aborts the
+// sweep.
+func Run(kernels []*kernel.Kernel, space hw.Space, opts Options) (*Matrix, error) {
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("sweep: no kernels")
+	}
+	configs := space.Configs()
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("sweep: empty configuration space")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	m := &Matrix{
+		Space:      space,
+		Kernels:    make([]string, len(kernels)),
+		Throughput: make([][]float64, len(kernels)),
+		TimeNS:     make([][]float64, len(kernels)),
+		Bound:      make([][]gcn.Bound, len(kernels)),
+	}
+	for i, k := range kernels {
+		m.Kernels[i] = k.Name
+	}
+
+	sim := gcn.Simulate
+	switch opts.Engine {
+	case Detailed:
+		sim = gcn.SimulateDetailed
+	case Wave:
+		sim = gcn.SimulateWave
+	}
+
+	type job struct{ row int }
+	jobs := make(chan job)
+	errs := make(chan error, workers)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for j := range jobs {
+				if failed.Load() {
+					continue // drain remaining jobs after a failure
+				}
+				k := kernels[j.row]
+				tput := make([]float64, len(configs))
+				times := make([]float64, len(configs))
+				bounds := make([]gcn.Bound, len(configs))
+				// Per-row noise stream keeps results independent of
+				// worker scheduling.
+				var rng *rand.Rand
+				if opts.NoiseStdDev > 0 {
+					rng = rand.New(rand.NewSource(opts.Seed + int64(j.row)))
+				}
+				aborted := false
+				for c, cfg := range configs {
+					r, err := sim(k, cfg)
+					if err != nil {
+						failed.Store(true)
+						select {
+						case errs <- fmt.Errorf("sweep: %s @ %v: %w", k.Name, cfg, err):
+						default:
+						}
+						aborted = true
+						break
+					}
+					t := r.Throughput
+					if rng != nil {
+						f := 1 + rng.NormFloat64()*opts.NoiseStdDev
+						if f < 0.05 {
+							f = 0.05
+						}
+						t *= f
+					}
+					tput[c] = t
+					times[c] = r.TimeNS
+					bounds[c] = r.Bound
+				}
+				if aborted {
+					continue
+				}
+				m.Throughput[j.row] = tput
+				m.TimeNS[j.row] = times
+				m.Bound[j.row] = bounds
+			}
+		}(w)
+	}
+	for row := range kernels {
+		jobs <- job{row: row}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return m, nil
+}
+
+// Runs returns the total simulations a sweep of this shape performs.
+func Runs(kernels, configs int) int { return kernels * configs }

@@ -1,0 +1,177 @@
+package sweep
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+)
+
+func testSpace(t *testing.T) hw.Space {
+	t.Helper()
+	s, err := hw.NewSpace([]int{4, 24, 44}, []float64{200, 600, 1000}, []float64{150, 700, 1250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testKernels() []*kernel.Kernel {
+	return []*kernel.Kernel{
+		kernel.New("s", "p", "a").Geometry(512, 256).MustBuild(),
+		kernel.New("s", "p", "b").Geometry(512, 256).Compute(30000, 100).MustBuild(),
+		kernel.New("s", "p", "c").Geometry(64, 256).MustBuild(),
+	}
+}
+
+func TestRunShape(t *testing.T) {
+	space := testSpace(t)
+	m, err := Run(testKernels(), space, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Kernels) != 3 {
+		t.Fatalf("rows = %d, want 3", len(m.Kernels))
+	}
+	for r := range m.Kernels {
+		if len(m.Throughput[r]) != space.Size() {
+			t.Fatalf("row %d has %d cells, want %d", r, len(m.Throughput[r]), space.Size())
+		}
+		for c, v := range m.Throughput[r] {
+			if v <= 0 {
+				t.Fatalf("cell (%d,%d) = %g", r, c, v)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	space := testSpace(t)
+	m1, err := Run(testKernels(), space, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m8, err := Run(testKernels(), space, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m1.Throughput, m8.Throughput) {
+		t.Fatal("results depend on worker count")
+	}
+}
+
+func TestRunNoiseDeterministicAndBounded(t *testing.T) {
+	space := testSpace(t)
+	a, err := Run(testKernels(), space, Options{NoiseStdDev: 0.05, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(testKernels(), space, Options{NoiseStdDev: 0.05, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Throughput, b.Throughput) {
+		t.Fatal("noisy sweep not reproducible for fixed seed")
+	}
+	clean, err := Run(testKernels(), space, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	for r := range clean.Throughput {
+		for c := range clean.Throughput[r] {
+			n, cl := a.Throughput[r][c], clean.Throughput[r][c]
+			if n != cl {
+				diff = true
+			}
+			if n <= 0 {
+				t.Fatalf("noise produced non-positive throughput %g", n)
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("noise had no effect")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	space := testSpace(t)
+	if _, err := Run(nil, space, Options{}); err == nil {
+		t.Error("empty kernel list accepted")
+	}
+	if _, err := Run(testKernels(), hw.Space{}, Options{}); err == nil {
+		t.Error("empty space accepted")
+	}
+	// A kernel that cannot fit on a CU must abort the sweep.
+	bad := kernel.New("s", "p", "bad").Geometry(16, 1024).MustBuild()
+	bad.SGPRsPerWave = 512
+	if _, err := Run([]*kernel.Kernel{bad}, space, Options{Workers: 4}); err == nil {
+		t.Error("unfittable kernel accepted")
+	}
+}
+
+func TestRowLookup(t *testing.T) {
+	space := testSpace(t)
+	m, err := Run(testKernels(), space, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Row("p.b"); got != 1 {
+		t.Errorf("Row(p.b) = %d, want 1", got)
+	}
+	if got := m.Row("nope"); got != -1 {
+		t.Errorf("Row(nope) = %d, want -1", got)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	space := testSpace(t)
+	m, err := Run(testKernels(), space, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Kernels, m.Kernels) {
+		t.Fatalf("kernels differ: %v vs %v", got.Kernels, m.Kernels)
+	}
+	if !reflect.DeepEqual(got.Throughput, m.Throughput) {
+		t.Fatal("throughput rows differ after round trip")
+	}
+	if !reflect.DeepEqual(got.Bound, m.Bound) {
+		t.Fatal("bound rows differ after round trip")
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	space := testSpace(t)
+	cases := []string{
+		"",
+		"x,y\n1,2\n",
+		"kernel,cus,core_mhz,mem_mhz,throughput,time_ns,bound\nk,notanint,200,150,1,1,compute\n",
+		"kernel,cus,core_mhz,mem_mhz,throughput,time_ns,bound\nk,5,200,150,1,1,compute\n", // off-grid
+		"kernel,cus,core_mhz,mem_mhz,throughput,time_ns,bound\nk,4,200,150,1,1,teapot\n",  // bad bound
+		"kernel,cus,core_mhz,mem_mhz,throughput,time_ns,bound\nk,4,200,150,1,1,compute\n", // incomplete grid
+		"kernel,cus,core_mhz,mem_mhz,throughput,time_ns,bound\n",                          // no rows
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c), space); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestRuns(t *testing.T) {
+	if got := Runs(267, 891); got != 237897 {
+		t.Errorf("Runs(267,891) = %d, want 237897 (the paper's measurement count)", got)
+	}
+}

@@ -1,0 +1,16 @@
+package trace
+
+import (
+	"gpuscale/internal/hw"
+	"gpuscale/internal/memory"
+)
+
+// memoryL1 builds a cache with the modelled per-CU L1 geometry.
+func memoryL1() (*memory.Cache, error) {
+	return memory.NewCache(hw.L1BytesPerCU, hw.L1LineBytes, hw.L1Ways)
+}
+
+// memoryL2 builds a cache with the modelled shared L2 geometry.
+func memoryL2() (*memory.Cache, error) {
+	return memory.NewCache(hw.L2Bytes, hw.L2LineBytes, hw.L2Ways)
+}

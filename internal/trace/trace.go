@@ -1,0 +1,194 @@
+// Package trace generates synthetic global-memory address streams from
+// a kernel's behavioural description and replays them through the exact
+// cache simulator in internal/memory. It backs the high-fidelity mode
+// of the simulator and the ablation experiments that validate the
+// analytic hit-rate model against trace-driven simulation.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+	"gpuscale/internal/memory"
+)
+
+// sharedBase is the address where the cross-workgroup shared region
+// lives; private regions are laid out above it per workgroup.
+const sharedBase uint64 = 0
+
+// privateBase returns the start of workgroup wg's private region given
+// the kernel's footprint split.
+func privateBase(k *kernel.Kernel, wg int) uint64 {
+	shared := uint64(float64(k.Mem.WorkingSetPerWG) * k.Mem.SharedFraction)
+	private := uint64(k.Mem.WorkingSetPerWG) - shared
+	// Leave the shared region at the bottom, round regions to lines.
+	return roundUp(shared, hw.L2LineBytes) + uint64(wg)*roundUp(private, hw.L2LineBytes)
+}
+
+func roundUp(v uint64, to int) uint64 {
+	t := uint64(to)
+	return (v + t - 1) / t * t
+}
+
+// Generator produces the line-granularity address stream of one
+// workgroup. Streams are deterministic for a given kernel and seed.
+type Generator struct {
+	k   *kernel.Kernel
+	rng *rand.Rand
+}
+
+// NewGenerator builds a generator for the kernel with a deterministic
+// seed.
+func NewGenerator(k *kernel.Kernel, seed int64) *Generator {
+	return &Generator{k: k, rng: rand.New(rand.NewSource(seed))}
+}
+
+// WorkgroupStream returns the sequence of byte addresses (one per
+// wavefront-level transaction) workgroup wg issues over its lifetime.
+// The stream interleaves the kernel's temporal-reuse passes so that
+// reused data is re-touched after a realistic reuse distance rather
+// than immediately.
+func (g *Generator) WorkgroupStream(wg int) []uint64 {
+	k := g.k
+	accesses := k.MemAccessesPerWave() * k.WavesPerWG()
+	if accesses == 0 || k.Mem.WorkingSetPerWG == 0 {
+		return nil
+	}
+
+	shared := uint64(float64(k.Mem.WorkingSetPerWG) * k.Mem.SharedFraction)
+	private := uint64(k.Mem.WorkingSetPerWG) - shared
+	pBase := privateBase(k, wg)
+
+	passes := 1 + int(k.Mem.ReuseFactor+0.5)
+	perPass := accesses / passes
+	if perPass == 0 {
+		perPass = 1
+	}
+
+	out := make([]uint64, 0, accesses)
+	for pass := 0; pass < passes && len(out) < accesses; pass++ {
+		for i := 0; i < perPass && len(out) < accesses; i++ {
+			// Pick the region: shared accesses proportional to the
+			// footprint split.
+			var base, size uint64
+			if shared > 0 && g.rng.Float64() < k.Mem.SharedFraction {
+				base, size = sharedBase, shared
+			} else {
+				base, size = pBase, private
+				if size == 0 {
+					base, size = sharedBase, shared
+				}
+			}
+			out = append(out, base+g.offset(i, size))
+		}
+	}
+	return out
+}
+
+// offset places the i-th access of a pass inside a region of the given
+// size according to the kernel's access pattern.
+func (g *Generator) offset(i int, size uint64) uint64 {
+	if size == 0 {
+		return 0
+	}
+	line := uint64(hw.L2LineBytes)
+	lines := size / line
+	if lines == 0 {
+		lines = 1
+	}
+	switch g.k.Mem.Pattern {
+	case kernel.Streaming:
+		return (uint64(i) % lines) * line
+	case kernel.Tiled:
+		// Repeated sweeps over a small tile before moving on.
+		const tileLines = 16
+		tile := uint64(i / (tileLines * 4)) // 4 sweeps per tile
+		return ((tile*tileLines + uint64(i)%tileLines) % lines) * line
+	case kernel.Strided:
+		const strideLines = 8
+		return ((uint64(i) * strideLines) % lines) * line
+	case kernel.Gather, kernel.PointerChase:
+		return uint64(g.rng.Int63n(int64(lines))) * line
+	default:
+		return (uint64(i) % lines) * line
+	}
+}
+
+// Result carries measured hit rates from a trace-driven replay.
+type Result struct {
+	// L1 is the mean per-CU L1 hit rate.
+	L1 float64
+	// L2 is the hit rate of L1 misses in the shared L2.
+	L2 float64
+	// Accesses is the total transactions replayed.
+	Accesses uint64
+}
+
+// Replay simulates residentWGsPerCU workgroups on each of cus CUs: one
+// private L1 per CU and one shared L2. All resident workgroup streams —
+// across workgroups on a CU and across CUs — are round-robin
+// interleaved, the way concurrent execution interleaves their memory
+// phases at the shared L2; this concurrency is what lets an aggregate
+// working set thrash the L2 as CUs are added.
+func Replay(k *kernel.Kernel, residentWGsPerCU, cus int, seed int64) (Result, error) {
+	if residentWGsPerCU < 1 || cus < 1 {
+		return Result{}, fmt.Errorf("trace: invalid replay shape (%d WGs/CU, %d CUs)",
+			residentWGsPerCU, cus)
+	}
+	l2, err := memoryL2()
+	if err != nil {
+		return Result{}, err
+	}
+	gen := NewGenerator(k, seed)
+
+	type resident struct {
+		l1     *memory.Cache
+		stream []uint64
+	}
+	residents := make([]resident, 0, cus*residentWGsPerCU)
+	wg := 0
+	for cu := 0; cu < cus; cu++ {
+		l1, err := memoryL1()
+		if err != nil {
+			return Result{}, err
+		}
+		for i := 0; i < residentWGsPerCU; i++ {
+			residents = append(residents, resident{l1: l1, stream: gen.WorkgroupStream(wg)})
+			wg++
+		}
+	}
+
+	var l1Hits, l1Total, l2Hits, l2Total uint64
+	for remaining := true; remaining; {
+		remaining = false
+		for i := range residents {
+			r := &residents[i]
+			if len(r.stream) == 0 {
+				continue
+			}
+			remaining = true
+			addr := r.stream[0]
+			r.stream = r.stream[1:]
+			l1Total++
+			if r.l1.Access(addr) {
+				l1Hits++
+				continue
+			}
+			l2Total++
+			if l2.Access(addr) {
+				l2Hits++
+			}
+		}
+	}
+
+	r := Result{Accesses: l1Total}
+	if l1Total > 0 {
+		r.L1 = float64(l1Hits) / float64(l1Total)
+	}
+	if l2Total > 0 {
+		r.L2 = float64(l2Hits) / float64(l2Total)
+	}
+	return r, nil
+}
