@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Fast robustness gate: vet everything, race-test the sweep runtime
+# and the fault injector (the concurrency-heavy packages).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/sweep/... ./internal/fault/...
+
+bench:
+	$(GO) test -bench=. -benchmem

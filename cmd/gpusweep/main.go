@@ -2,36 +2,73 @@
 // optionally archives the raw measurements as CSV — the data-collection
 // step of the study.
 //
+// The runtime is built for flaky measurement campaigns: per-cell
+// retries with backoff, per-simulation timeouts, Ctrl-C cancellation
+// that keeps completed work, a deterministic fault injector for
+// robustness drills, and a journaled resume mode that recomputes only
+// the rows a previous (crashed or canceled) run did not finish.
+//
 // Usage:
 //
-//	gpusweep                         # run, print Table R-1 summary
-//	gpusweep -o results.csv          # also archive raw measurements
-//	gpusweep -suite proxyapps        # restrict to one suite
-//	gpusweep -engine detailed        # high-fidelity engine (slow)
-//	gpusweep -noise 0.05 -seed 7     # inject measurement noise
+//	gpusweep                          # run, print Table R-1 summary
+//	gpusweep -o results.csv           # also archive raw measurements
+//	gpusweep -suite proxyapps         # restrict to one suite
+//	gpusweep -engine detailed         # high-fidelity engine (slow)
+//	gpusweep -noise 0.05 -seed 7      # inject measurement noise
+//	gpusweep -retries 3 -backoff 2ms  # retry faulty cells
+//	gpusweep -sim-timeout 5s          # bound each simulation
+//	gpusweep -fault-rate 0.05 -fault-seed 1  # fault-injection drill
+//	gpusweep -o run.csv -resume       # journal rows; rerun to finish
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"gpuscale/internal/experiments"
+	"gpuscale/internal/fault"
 	"gpuscale/internal/hw"
 	"gpuscale/internal/kernel"
 	"gpuscale/internal/suites"
 	"gpuscale/internal/sweep"
 )
 
+// cliOptions collects every flag so tests can drive run directly.
+type cliOptions struct {
+	out        string
+	suite      string
+	engine     string
+	noise      float64
+	seed       int64
+	workers    int
+	corpusFile string
+	retries    int
+	backoff    time.Duration
+	simTimeout time.Duration
+	faultRate  float64
+	faultSeed  int64
+	resume     bool
+}
+
 func main() {
-	out := flag.String("o", "", "write raw measurements to this CSV file")
-	suite := flag.String("suite", "", "restrict the sweep to one suite")
-	engine := flag.String("engine", "round", "simulator engine: round or detailed")
-	noise := flag.Float64("noise", 0, "measurement-noise stddev (0 = none)")
-	seed := flag.Int64("seed", 1, "noise seed")
-	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-	corpusFile := flag.String("corpus", "", "sweep kernels from this JSON file instead of the built-in corpus")
+	var o cliOptions
+	flag.StringVar(&o.out, "o", "", "write raw measurements to this CSV file")
+	flag.StringVar(&o.suite, "suite", "", "restrict the sweep to one suite")
+	flag.StringVar(&o.engine, "engine", "round", "simulator engine: round or detailed")
+	flag.Float64Var(&o.noise, "noise", 0, "measurement-noise stddev (0 = none)")
+	flag.Int64Var(&o.seed, "seed", 1, "noise seed")
+	flag.IntVar(&o.workers, "workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	flag.StringVar(&o.corpusFile, "corpus", "", "sweep kernels from this JSON file instead of the built-in corpus")
+	flag.IntVar(&o.retries, "retries", 0, "extra attempts per cell after a failed or corrupt simulation")
+	flag.DurationVar(&o.backoff, "backoff", 0, "initial retry backoff (doubles per retry, capped)")
+	flag.DurationVar(&o.simTimeout, "sim-timeout", 0, "per-simulation timeout (0 = none)")
+	flag.Float64Var(&o.faultRate, "fault-rate", 0, "inject transient faults at this rate (robustness drills)")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault-injection seed")
+	flag.BoolVar(&o.resume, "resume", false, "journal completed rows to -o and, on rerun, recompute only missing rows")
 	dumpCorpus := flag.String("dump-corpus", "", "write the built-in corpus as JSON to this file and exit")
 	flag.Parse()
 
@@ -42,7 +79,11 @@ func main() {
 		}
 		return
 	}
-	if err := run(*out, *suite, *engine, *noise, *seed, *workers, *corpusFile); err != nil {
+	// Ctrl-C cancels the sweep but still reports (and, in resume
+	// mode, keeps) every completed row.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, o); err != nil {
 		fmt.Fprintln(os.Stderr, "gpusweep:", err)
 		os.Exit(1)
 	}
@@ -76,34 +117,51 @@ func loadCorpus(path string) ([]*kernel.Kernel, error) {
 	return kernel.ReadAll(f)
 }
 
-func run(out, suiteName, engine string, noise float64, seed int64, workers int, corpusFile string) error {
-	opts := sweep.Options{Workers: workers, NoiseStdDev: noise, Seed: seed}
-	switch engine {
+func run(ctx context.Context, o cliOptions) error {
+	opts := sweep.Options{
+		Workers:     o.workers,
+		NoiseStdDev: o.noise,
+		Seed:        o.seed,
+		Retries:     o.retries,
+		Backoff:     o.backoff,
+		SimTimeout:  o.simTimeout,
+	}
+	switch o.engine {
 	case "round":
 		opts.Engine = sweep.Round
 	case "detailed":
 		opts.Engine = sweep.Detailed
 	default:
-		return fmt.Errorf("unknown engine %q (want round or detailed)", engine)
+		return fmt.Errorf("unknown engine %q (want round or detailed)", o.engine)
+	}
+	if o.faultRate > 0 {
+		in := fault.Injector{ErrorRate: o.faultRate, Seed: o.faultSeed}
+		if err := in.Validate(); err != nil {
+			return err
+		}
+		opts.Sim = in.Wrap(opts.Engine.Func())
+	}
+	if o.resume && o.out == "" {
+		return fmt.Errorf("-resume needs -o (the journal file)")
 	}
 
 	var ks []*kernel.Kernel
 	switch {
-	case corpusFile != "":
-		if suiteName != "" {
+	case o.corpusFile != "":
+		if o.suite != "" {
 			return fmt.Errorf("-corpus and -suite are mutually exclusive")
 		}
 		var err error
-		ks, err = loadCorpus(corpusFile)
+		ks, err = loadCorpus(o.corpusFile)
 		if err != nil {
 			return err
 		}
-	case suiteName == "":
+	case o.suite == "":
 		ks = suites.AllKernels(suites.Corpus())
 	default:
-		s := suites.FindSuite(suites.Corpus(), suiteName)
+		s := suites.FindSuite(suites.Corpus(), o.suite)
 		if s == nil {
-			return fmt.Errorf("unknown suite %q", suiteName)
+			return fmt.Errorf("unknown suite %q", o.suite)
 		}
 		for _, p := range s.Programs {
 			for _, e := range p.Kernels {
@@ -113,15 +171,38 @@ func run(out, suiteName, engine string, noise float64, seed int64, workers int, 
 	}
 	space := hw.StudySpace()
 
-	start := time.Now()
-	m, err := sweep.Run(ks, space, opts)
+	var journal *sweep.Journal
+	var prior *sweep.Matrix
+	if o.resume {
+		var err error
+		journal, err = sweep.OpenJournal(o.out, space)
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		prior = journal.Prior()
+		opts.OnRow = func(m *sweep.Matrix, r int) {
+			if err := journal.AppendRow(m, r); err != nil {
+				fmt.Fprintln(os.Stderr, "gpusweep: journal:", err)
+			}
+		}
+	}
+
+	m, rep, err := sweep.Resume(ctx, ks, space, opts, prior)
 	if err != nil {
+		if rep != nil {
+			// A canceled sweep still accounts for everything it touched.
+			fmt.Printf("sweep interrupted: %s\n", rep.Summary())
+		}
 		return err
 	}
-	fmt.Printf("swept %d kernels x %d configurations (%d simulations) in %v\n",
-		len(ks), space.Size(), sweep.Runs(len(ks), space.Size()), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("swept %d kernels x %d configurations: %s\n", len(ks), space.Size(), rep.Summary())
+	if !rep.Complete() {
+		printFailures(rep)
+	}
 
-	if suiteName == "" && corpusFile == "" && noise == 0 && engine == "round" {
+	if o.suite == "" && o.corpusFile == "" && o.noise == 0 && o.engine == "round" &&
+		o.faultRate == 0 && rep.Complete() {
 		// The summary table needs the canonical full study.
 		s, err := experiments.New()
 		if err != nil {
@@ -130,8 +211,15 @@ func run(out, suiteName, engine string, noise float64, seed int64, workers int, 
 		fmt.Println(s.TableR1())
 	}
 
-	if out != "" {
-		f, err := os.Create(out)
+	switch {
+	case journal != nil:
+		// Rows were checkpointed as they completed; just verify.
+		if err := journal.VerifyComplete(m.Kernels); err != nil {
+			return fmt.Errorf("%w (rerun with -resume to finish)", err)
+		}
+		fmt.Printf("journal %s complete\n", o.out)
+	case o.out != "":
+		f, err := os.Create(o.out)
 		if err != nil {
 			return err
 		}
@@ -142,7 +230,20 @@ func run(out, suiteName, engine string, noise float64, seed int64, workers int, 
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", out)
+		fmt.Printf("wrote %s\n", o.out)
 	}
 	return nil
+}
+
+// printFailures summarises a partial run's failed cells, capped so a
+// pathological run does not flood the terminal.
+func printFailures(rep *sweep.RunReport) {
+	const maxShown = 10
+	for i, f := range rep.Failures {
+		if i == maxShown {
+			fmt.Printf("  ... and %d more failed cells\n", len(rep.Failures)-maxShown)
+			break
+		}
+		fmt.Printf("  failed: %s\n", f)
+	}
 }

@@ -1,17 +1,20 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"gpuscale/internal/hw"
 	"gpuscale/internal/kernel"
+	"gpuscale/internal/sweep"
 )
 
 func TestRunSuiteSubsetWithCSV(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "results.csv")
-	if err := run(out, "graphana", "round", 0, 1, 0, ""); err != nil {
+	if err := run(context.Background(), cliOptions{out: out, suite: "graphana", engine: "round", seed: 1}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -33,20 +36,99 @@ func TestRunSuiteSubsetWithCSV(t *testing.T) {
 }
 
 func TestRunNoise(t *testing.T) {
-	if err := run("", "dwarfs", "round", 0.05, 7, 2, ""); err != nil {
+	if err := run(context.Background(), cliOptions{suite: "dwarfs", engine: "round", noise: 0.05, seed: 7, workers: 2}); err != nil {
 		t.Fatalf("noisy run: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "nope", "round", 0, 1, 0, ""); err == nil {
+	bg := context.Background()
+	if err := run(bg, cliOptions{suite: "nope", engine: "round"}); err == nil {
 		t.Error("unknown suite accepted")
 	}
-	if err := run("", "", "quantum", 0, 1, 0, ""); err == nil {
+	if err := run(bg, cliOptions{engine: "quantum"}); err == nil {
 		t.Error("unknown engine accepted")
 	}
-	if err := run("/no/such/dir/x.csv", "graphana", "round", 0, 1, 0, ""); err == nil {
+	if err := run(bg, cliOptions{out: "/no/such/dir/x.csv", suite: "graphana", engine: "round"}); err == nil {
 		t.Error("unwritable output accepted")
+	}
+	if err := run(bg, cliOptions{engine: "round", resume: true}); err == nil {
+		t.Error("-resume without -o accepted")
+	}
+	if err := run(bg, cliOptions{engine: "round", faultRate: 1.5}); err == nil {
+		t.Error("fault rate above 1 accepted")
+	}
+}
+
+func TestRunFaultInjectionWithRetriesCompletes(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "faulty.csv")
+	o := cliOptions{
+		out: out, suite: "graphana", engine: "round",
+		faultRate: 0.05, faultSeed: 3, retries: 5,
+	}
+	if err := run(context.Background(), o); err != nil {
+		t.Fatalf("faulty run with retries: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := sweep.ReadCSV(f, hw.StudySpace())
+	if err != nil {
+		t.Fatalf("archived CSV unreadable: %v", err)
+	}
+	for r := range m.Kernels {
+		if !m.RowComplete(r) {
+			t.Fatalf("kernel %s has failed cells despite retries", m.Kernels[r])
+		}
+	}
+}
+
+func TestRunResumeJournalCompletesAcrossRuns(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "journal.csv")
+	space := hw.StudySpace()
+	// First pass: faults on, no retries — with 891 cells per row a
+	// 0.1% rate fails roughly half the rows, which then stay out of
+	// the journal. The run reports the incompleteness.
+	first := cliOptions{
+		out: out, suite: "graphana", engine: "round",
+		faultRate: 0.001, faultSeed: 11, resume: true,
+	}
+	err := run(context.Background(), first)
+	if err == nil {
+		t.Fatal("faulty pass with no retries completed; expected an incomplete journal error")
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("journal not created: %v", err)
+	}
+	partial, err := sweep.ReadCSVPartial(f, space)
+	f.Close()
+	if err != nil {
+		t.Fatalf("journal unreadable between runs: %v", err)
+	}
+	if len(partial.Kernels) == 0 || len(partial.Kernels) >= 24 {
+		t.Fatalf("journal holds %d/24 rows; expected a strict subset to survive the fault storm", len(partial.Kernels))
+	}
+
+	// Second pass: faults off, resume — only the holes are recomputed
+	// and the journal must end complete.
+	second := cliOptions{out: out, suite: "graphana", engine: "round", resume: true}
+	if err := run(context.Background(), second); err != nil {
+		t.Fatalf("resume pass: %v", err)
+	}
+	f, err = os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := sweep.ReadCSV(f, space)
+	if err != nil {
+		t.Fatalf("resumed journal is not a complete archive: %v", err)
+	}
+	if len(m.Kernels) != 24 {
+		t.Fatalf("resumed journal has %d kernels, want 24", len(m.Kernels))
 	}
 }
 
@@ -74,7 +156,7 @@ func TestCorpusDumpAndReload(t *testing.T) {
 	}
 	f.Close()
 	out := filepath.Join(dir, "out.csv")
-	if err := run(out, "", "round", 0, 1, 0, small); err != nil {
+	if err := run(context.Background(), cliOptions{out: out, engine: "round", corpusFile: small}); err != nil {
 		t.Fatalf("custom-corpus sweep: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -87,10 +169,11 @@ func TestCorpusDumpAndReload(t *testing.T) {
 }
 
 func TestCorpusFlagConflicts(t *testing.T) {
-	if err := run("", "graphana", "round", 0, 1, 0, "also.json"); err == nil {
+	bg := context.Background()
+	if err := run(bg, cliOptions{suite: "graphana", engine: "round", corpusFile: "also.json"}); err == nil {
 		t.Error("-corpus with -suite accepted")
 	}
-	if err := run("", "", "round", 0, 1, 0, "/no/such/corpus.json"); err == nil {
+	if err := run(bg, cliOptions{engine: "round", corpusFile: "/no/such/corpus.json"}); err == nil {
 		t.Error("missing corpus file accepted")
 	}
 }

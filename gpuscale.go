@@ -21,8 +21,11 @@
 package gpuscale
 
 import (
+	"context"
+
 	"gpuscale/internal/core"
 	"gpuscale/internal/experiments"
+	"gpuscale/internal/fault"
 	"gpuscale/internal/gcn"
 	"gpuscale/internal/hw"
 	"gpuscale/internal/kernel"
@@ -44,10 +47,26 @@ type (
 	KernelBuilder = kernel.Builder
 	// SimResult is one simulated execution.
 	SimResult = gcn.Result
+	// EngineFunc is the simulator signature shared by every engine
+	// (and by fault-injecting wrappers around them).
+	EngineFunc = gcn.EngineFunc
 	// SweepOptions configures RunSweep.
 	SweepOptions = sweep.Options
 	// Matrix holds sweep measurements (kernels x configurations).
 	Matrix = sweep.Matrix
+	// CellStatus is the terminal state of one sweep cell.
+	CellStatus = sweep.CellStatus
+	// RunReport accounts for every cell of a sweep run.
+	RunReport = sweep.RunReport
+	// CellFailure identifies one failed sweep cell.
+	CellFailure = sweep.CellFailure
+	// SweepJournal checkpoints completed sweep rows to a CSV file so
+	// interrupted runs resume where they stopped.
+	SweepJournal = sweep.Journal
+	// FaultInjector wraps an engine with deterministic, seed-driven
+	// transient errors, corrupt results, and stalls — the test rig
+	// for flaky-hardware robustness drills.
+	FaultInjector = fault.Injector
 	// Surface is one kernel's performance over the grid.
 	Surface = core.Surface
 	// Classification is the taxonomy verdict for one kernel.
@@ -82,6 +101,16 @@ const (
 	CUIntolerant       = core.CUIntolerant
 	LaunchBound        = core.LaunchBound
 	Irregular          = core.Irregular
+	// LowCoverage marks kernels whose sweep lost too many cells to
+	// classify trustworthily.
+	LowCoverage = core.LowCoverage
+)
+
+// Re-exported sweep cell statuses.
+const (
+	CellOK       = sweep.StatusOK
+	CellFailed   = sweep.StatusFailed
+	CellCanceled = sweep.StatusCanceled
 )
 
 // StudySpace returns the paper's 891-point configuration grid
@@ -139,9 +168,34 @@ type Product = hw.Product
 // Products returns the modelled product ladder, embedded to flagship.
 func Products() []Product { return hw.Products() }
 
-// RunSweep measures every kernel on every configuration in parallel.
+// RunSweep measures every kernel on every configuration in parallel
+// with strict semantics: any cell still failed after retries turns the
+// sweep into an error. Use RunSweepContext for cancellation and
+// graceful degradation to partial matrices.
 func RunSweep(ks []*Kernel, space Space, opts SweepOptions) (*Matrix, error) {
 	return sweep.Run(ks, space, opts)
+}
+
+// RunSweepContext measures every kernel on every configuration,
+// tolerating per-cell failures: failed cells are marked in the
+// matrix's Status plane and accounted for in the report instead of
+// aborting the sweep. Cancelling the context stops the sweep promptly
+// and still returns the partial matrix and a complete report.
+func RunSweepContext(ctx context.Context, ks []*Kernel, space Space, opts SweepOptions) (*Matrix, *RunReport, error) {
+	return sweep.RunContext(ctx, ks, space, opts)
+}
+
+// ResumeSweep completes a partial sweep: fully measured rows of prior
+// are reused verbatim and only missing or failed rows are recomputed.
+func ResumeSweep(ctx context.Context, ks []*Kernel, space Space, opts SweepOptions, prior *Matrix) (*Matrix, *RunReport, error) {
+	return sweep.Resume(ctx, ks, space, opts, prior)
+}
+
+// OpenSweepJournal opens or creates a row-level sweep checkpoint file;
+// wire its AppendRow into SweepOptions.OnRow and pass Prior to
+// ResumeSweep to make long sweeps crash-safe.
+func OpenSweepJournal(path string, space Space) (*SweepJournal, error) {
+	return sweep.OpenJournal(path, space)
 }
 
 // Classify runs the rule-based taxonomy over a sweep matrix with

@@ -1,6 +1,8 @@
 package gpuscale
 
 import (
+	"context"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -86,5 +88,82 @@ func TestFacadeSurfaces(t *testing.T) {
 	c := ClassifySurface(ss[0])
 	if c.Kernel != "p.k" {
 		t.Fatalf("ClassifySurface kernel = %q", c.Kernel)
+	}
+}
+
+// TestFaultToleranceAcceptance is the resilience acceptance criterion:
+// a full-corpus sweep under a 5% transient fault rate with 3 retries
+// completes with zero failed cells at a fixed seed and reproduces the
+// fault-free measurements exactly, while the same fault storm with
+// retries disabled yields a partial matrix whose holes are marked in
+// Status and whose fully covered kernels classify byte-identically to
+// a fault-free run.
+func TestFaultToleranceAcceptance(t *testing.T) {
+	ks := CorpusKernels()
+	space := StudySpace()
+	clean, err := RunSweep(ks, space, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// With retries: every cell recovers.
+	in := FaultInjector{ErrorRate: 0.05, Seed: 4}
+	recovered, rep, err := RunSweepContext(context.Background(), ks, space,
+		SweepOptions{Sim: in.Wrap(Simulate), Retries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("retried sweep left %d/%d cells failed; first: %s",
+			rep.Failed, rep.Cells, rep.Failures[0])
+	}
+	if rep.Retries == 0 {
+		t.Fatal("5% fault rate consumed no retries; injector inactive?")
+	}
+	if !reflect.DeepEqual(recovered.Throughput, clean.Throughput) {
+		t.Fatal("recovered matrix differs from fault-free sweep")
+	}
+
+	// Without retries: graceful degradation to a partial matrix. A
+	// lower rate here keeps a mix of fully covered and holed rows —
+	// at 5% per cell no 891-cell row would ever survive intact.
+	in2 := FaultInjector{ErrorRate: 0.001, Seed: 4}
+	partial, rep2, err := RunSweepContext(context.Background(), ks, space,
+		SweepOptions{Sim: in2.Wrap(Simulate)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Failed == 0 {
+		t.Fatal("no-retry fault sweep failed nothing; acceptance vacuous")
+	}
+	marked := 0
+	for r := range partial.Kernels {
+		for c := range partial.Status[r] {
+			if partial.Status[r][c] == CellFailed {
+				marked++
+			}
+		}
+	}
+	if marked != rep2.Failed {
+		t.Fatalf("report says %d failed cells, Status plane marks %d", rep2.Failed, marked)
+	}
+	cleanCS := Classify(clean)
+	partialCS := Classify(partial)
+	covered := 0
+	for i := range ks {
+		if !partial.RowComplete(i) {
+			if partialCS[i].Coverage >= 1 {
+				t.Fatalf("incomplete kernel %s reports full coverage", ks[i].Name)
+			}
+			continue
+		}
+		covered++
+		if !reflect.DeepEqual(cleanCS[i], partialCS[i]) {
+			t.Fatalf("fully covered kernel %s classified differently under faults:\nclean   %+v\npartial %+v",
+				ks[i].Name, cleanCS[i], partialCS[i])
+		}
+	}
+	if covered == 0 || covered == len(ks) {
+		t.Fatalf("covered kernels = %d/%d; need a real mix for the property to bite", covered, len(ks))
 	}
 }

@@ -45,6 +45,12 @@ type Thresholds struct {
 	// DeclineFraction: if the final point falls below this fraction of
 	// the peak (and the peak is interior), the curve is PeakDecline.
 	DeclineFraction float64
+	// MinCoverage: masked surfaces (partial sweeps) whose trusted-cell
+	// fraction falls below this are classified LowCoverage instead of
+	// risking a wrong shape verdict. 0 disables the check (the shape
+	// rules then run on whatever points survive); it never affects
+	// unmasked surfaces.
+	MinCoverage float64
 }
 
 // DefaultThresholds returns the classifier defaults used throughout
@@ -55,6 +61,7 @@ func DefaultThresholds() Thresholds {
 		LinearEfficiency:   0.80,
 		SaturationTailGain: 1.08,
 		DeclineFraction:    0.97,
+		MinCoverage:        0.90,
 	}
 }
 
@@ -71,6 +78,9 @@ func (t Thresholds) Validate() error {
 	}
 	if t.DeclineFraction <= 0 || t.DeclineFraction > 1 {
 		return fmt.Errorf("core: DeclineFraction %g outside (0,1]", t.DeclineFraction)
+	}
+	if t.MinCoverage < 0 || t.MinCoverage > 1 {
+		return fmt.Errorf("core: MinCoverage %g outside [0,1]", t.MinCoverage)
 	}
 	return nil
 }

@@ -54,6 +54,29 @@ type Surface struct {
 	Space hw.Space
 	// Throughput holds work-items/ns per configuration.
 	Throughput []float64
+	// Valid, when non-nil, marks which Throughput entries are trusted
+	// measurements. Partial sweeps (failed or canceled cells) produce
+	// masked surfaces; a nil Valid means every cell is good, and the
+	// analysis paths below are then byte-identical to the pre-masking
+	// implementation.
+	Valid []bool
+}
+
+// Coverage returns the fraction of trusted cells (1 when unmasked).
+func (s Surface) Coverage() float64 {
+	if s.Valid == nil {
+		return 1
+	}
+	if len(s.Valid) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range s.Valid {
+		if v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.Valid))
 }
 
 // FromMatrix extracts the surface of one matrix row.
@@ -65,22 +88,50 @@ func FromMatrix(m *sweep.Matrix, row int) (Surface, error) {
 		Kernel:     m.Kernels[row],
 		Space:      m.Space,
 		Throughput: m.Throughput[row],
+		Valid:      validMask(m, row),
 	}, nil
 }
 
-// Surfaces extracts every row of a matrix.
+// Surfaces extracts every row of a matrix, masking failed cells.
 func Surfaces(m *sweep.Matrix) []Surface {
 	out := make([]Surface, len(m.Kernels))
 	for i := range m.Kernels {
-		out[i] = Surface{Kernel: m.Kernels[i], Space: m.Space, Throughput: m.Throughput[i]}
+		out[i] = Surface{
+			Kernel:     m.Kernels[i],
+			Space:      m.Space,
+			Throughput: m.Throughput[i],
+			Valid:      validMask(m, i),
+		}
 	}
 	return out
+}
+
+// validMask derives a surface mask from a matrix row's status plane;
+// fully measured rows get a nil mask so the fast unmasked paths run.
+func validMask(m *sweep.Matrix, row int) []bool {
+	if m.RowComplete(row) {
+		return nil
+	}
+	mask := make([]bool, len(m.Throughput[row]))
+	for c := range mask {
+		mask[c] = m.CellOK(row, c)
+	}
+	return mask
 }
 
 // at returns the throughput at the given axis indices.
 func (s Surface) at(cu, fc, fm int) float64 {
 	nF, nM := len(s.Space.CoreClocksMHz), len(s.Space.MemClocksMHz)
 	return s.Throughput[(cu*nF+fc)*nM+fm]
+}
+
+// ok reports whether the cell at the given axis indices is trusted.
+func (s Surface) ok(cu, fc, fm int) bool {
+	if s.Valid == nil {
+		return true
+	}
+	nF, nM := len(s.Space.CoreClocksMHz), len(s.Space.MemClocksMHz)
+	return s.Valid[(cu*nF+fc)*nM+fm]
 }
 
 // AxisResponse is one marginal scaling curve: performance along one
@@ -118,23 +169,33 @@ func (s Surface) Marginal(axis Axis) AxisResponse {
 	nF := len(s.Space.CoreClocksMHz)
 	nM := len(s.Space.MemClocksMHz)
 
+	// Masked cells are dropped from the curve: the remaining points
+	// still line up with their settings, so shapes stay meaningful as
+	// long as enough of the axis survives (the classifier's
+	// low-coverage check guards the rest).
 	var settings []float64
 	var raw []float64
 	switch axis {
 	case AxisCU:
 		for i, cu := range s.Space.CUCounts {
-			settings = append(settings, float64(cu))
-			raw = append(raw, s.at(i, nF-1, nM-1))
+			if s.ok(i, nF-1, nM-1) {
+				settings = append(settings, float64(cu))
+				raw = append(raw, s.at(i, nF-1, nM-1))
+			}
 		}
 	case AxisCoreClock:
 		for i, f := range s.Space.CoreClocksMHz {
-			settings = append(settings, f)
-			raw = append(raw, s.at(nCU-1, i, nM-1))
+			if s.ok(nCU-1, i, nM-1) {
+				settings = append(settings, f)
+				raw = append(raw, s.at(nCU-1, i, nM-1))
+			}
 		}
 	case AxisMemClock:
 		for i, f := range s.Space.MemClocksMHz {
-			settings = append(settings, f)
-			raw = append(raw, s.at(nCU-1, nF-1, i))
+			if s.ok(nCU-1, nF-1, i) {
+				settings = append(settings, f)
+				raw = append(raw, s.at(nCU-1, nF-1, i))
+			}
 		}
 	}
 	return newResponse(axis, settings, raw)
@@ -194,7 +255,11 @@ func (s Surface) SpeedupGrid() [][]float64 {
 
 // TotalSpeedup returns max-configuration throughput over
 // min-configuration throughput — the per-kernel datum of Fig R-7.
+// It is 0 when either corner cell is masked.
 func (s Surface) TotalSpeedup() float64 {
+	if s.Valid != nil && (!s.Valid[0] || !s.Valid[len(s.Valid)-1]) {
+		return 0
+	}
 	lo := s.Throughput[0]
 	hi := s.Throughput[len(s.Throughput)-1]
 	if lo <= 0 {

@@ -32,15 +32,21 @@ const (
 	LaunchBound
 	// Irregular kernels match none of the above rules.
 	Irregular
+	// LowCoverage is the verdict for kernels whose sweep lost too many
+	// cells (failed or canceled runs) for the shape rules to be
+	// trustworthy. It is deliberately distinct from Irregular: "we
+	// cannot tell" is a measurement outcome, not a scaling class.
+	LowCoverage
 )
 
 var categoryNames = [...]string{
 	"comp-coupled", "bw-coupled", "balanced", "parallelism-limited",
 	"latency-bound", "cu-intolerant", "launch-bound", "irregular",
+	"low-coverage",
 }
 
 // NumCategories is the count of defined categories.
-const NumCategories = int(Irregular) + 1
+const NumCategories = int(LowCoverage) + 1
 
 // String returns the category's kebab-case name.
 func (c Category) String() string {
@@ -62,6 +68,9 @@ type Classification struct {
 	Category Category
 	// TotalSpeedup is max-config over min-config throughput.
 	TotalSpeedup float64
+	// Coverage is the fraction of the kernel's sweep cells that held
+	// validated measurements (1 for a fault-free sweep).
+	Coverage float64
 }
 
 // Classifier maps surfaces to classifications under a threshold set.
@@ -86,7 +95,11 @@ func DefaultClassifier() *Classifier {
 	return c
 }
 
-// Classify labels one kernel surface.
+// Classify labels one kernel surface. Surfaces with masked cells
+// (partial sweeps) classify from the surviving points when coverage
+// allows; below the MinCoverage threshold — or when a marginal curve
+// loses so many points that no shape can be judged — the verdict is
+// LowCoverage rather than a guess.
 func (cl *Classifier) Classify(s Surface) Classification {
 	cu := s.Marginal(AxisCU)
 	fc := s.Marginal(AxisCoreClock)
@@ -100,8 +113,13 @@ func (cl *Classifier) Classify(s Surface) Classification {
 		CoreShape:    cl.thresholds.ClassifyShape(fc),
 		MemShape:     cl.thresholds.ClassifyShape(fm),
 		TotalSpeedup: s.TotalSpeedup(),
+		Coverage:     s.Coverage(),
 	}
 	c.Category = combine(c)
+	if s.Valid != nil && (c.Coverage < cl.thresholds.MinCoverage ||
+		len(cu.Curve) < 2 || len(fc.Curve) < 2 || len(fm.Curve) < 2) {
+		c.Category = LowCoverage
+	}
 	return c
 }
 

@@ -1,0 +1,165 @@
+// Package fault provides a deterministic, seed-driven fault injector
+// for simulator engines — the test rig that stands in for the flaky
+// hardware runs a weeks-long measurement campaign has to survive.
+//
+// An Injector wraps any gcn.EngineFunc and, per invocation, may inject
+// a transient error, corrupt the result (NaN, negative or infinite
+// throughput — the "garbage readings" failure mode), or stall the call
+// for a configurable duration (the "hung run" failure mode). Every
+// decision is a pure function of (kernel, configuration, attempt
+// number, seed), so a faulty sweep is reproducible regardless of
+// worker count or scheduling, and a retry of the same cell sees an
+// independent roll — exactly how re-running a flaky benchmark behaves.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"time"
+
+	"gpuscale/internal/gcn"
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+)
+
+// ErrInjected is the transient error an Injector returns; retryable by
+// construction. Wrapped errors carry the cell and attempt for
+// diagnostics, so match with errors.Is.
+var ErrInjected = errors.New("fault: injected transient error")
+
+// Injector describes a fault model. The zero value injects nothing and
+// wraps an engine into itself (modulo attempt accounting). Rates are
+// probabilities in [0,1] evaluated in order: error, then corruption,
+// then stall — at most one fault fires per invocation.
+type Injector struct {
+	// ErrorRate is the probability an invocation fails with a
+	// transient error wrapping ErrInjected.
+	ErrorRate float64
+	// CorruptRate is the probability an invocation succeeds but
+	// returns a corrupted Result (NaN, negative or +Inf throughput,
+	// rotating deterministically per cell).
+	CorruptRate float64
+	// StallRate is the probability an invocation is delayed by Stall
+	// before running — emulates a hung run that a per-simulation
+	// timeout must reap.
+	StallRate float64
+	// Stall is the artificial delay applied when a stall fires;
+	// defaults to 10ms when a StallRate is set but Stall is zero.
+	Stall time.Duration
+	// Seed decorrelates the fault stream; different seeds give
+	// different fault patterns, equal seeds identical ones.
+	Seed int64
+}
+
+// Validate checks the rates are sane probabilities.
+func (in Injector) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"ErrorRate", in.ErrorRate}, {"CorruptRate", in.CorruptRate}, {"StallRate", in.StallRate}} {
+		if r.v < 0 || r.v > 1 || math.IsNaN(r.v) {
+			return fmt.Errorf("fault: %s %g outside [0,1]", r.name, r.v)
+		}
+	}
+	if in.ErrorRate+in.CorruptRate+in.StallRate > 1 {
+		return fmt.Errorf("fault: rates sum to %g > 1",
+			in.ErrorRate+in.CorruptRate+in.StallRate)
+	}
+	return nil
+}
+
+// Active reports whether the injector can fire at all.
+func (in Injector) Active() bool {
+	return in.ErrorRate > 0 || in.CorruptRate > 0 || in.StallRate > 0
+}
+
+// Wrap returns an engine that runs sim under this fault model. The
+// returned engine tracks attempt counts per (kernel, configuration)
+// cell and is safe for concurrent use; wrap once per sweep so retries
+// of a cell advance its attempt counter.
+func (in Injector) Wrap(sim gcn.EngineFunc) gcn.EngineFunc {
+	if !in.Active() {
+		return sim
+	}
+	stall := in.Stall
+	if stall <= 0 {
+		stall = 10 * time.Millisecond
+	}
+	var attempts sync.Map // cell key -> *uint64
+	return func(k *kernel.Kernel, cfg hw.Config) (gcn.Result, error) {
+		key := cellKey(k.Name, cfg)
+		v, _ := attempts.LoadOrStore(key, new(attemptCounter))
+		attempt := v.(*attemptCounter).next()
+		roll, sub := in.roll(k.Name, cfg, attempt)
+		switch {
+		case roll < in.ErrorRate:
+			// The caller (CellFailure) already names the cell; only the
+			// attempt number is new information here.
+			return gcn.Result{}, fmt.Errorf("attempt %d: %w", attempt, ErrInjected)
+		case roll < in.ErrorRate+in.CorruptRate:
+			r, err := sim(k, cfg)
+			if err != nil {
+				return r, err
+			}
+			return corrupt(r, sub), nil
+		case roll < in.ErrorRate+in.CorruptRate+in.StallRate:
+			time.Sleep(stall)
+		}
+		return sim(k, cfg)
+	}
+}
+
+// attemptCounter is a per-cell attempt sequence. Retries of one cell
+// are sequential within a sweep worker, but the wrapper stays safe for
+// arbitrary concurrent callers.
+type attemptCounter struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func (c *attemptCounter) next() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.n
+	c.n++
+	return n
+}
+
+// cellKey identifies one (kernel, configuration) cell.
+func cellKey(name string, cfg hw.Config) string {
+	return fmt.Sprintf("%s|%d|%g|%g", name, cfg.CUs, cfg.CoreClockMHz, cfg.MemClockMHz)
+}
+
+// roll derives the uniform fault roll for one invocation plus a small
+// sub-roll used to pick the corruption mode. FNV-1a over the cell
+// identity, seed, and attempt keeps the stream deterministic and
+// independent of scheduling.
+func (in Injector) roll(name string, cfg hw.Config, attempt uint64) (float64, uint64) {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%g|%g|%d|%d", name, cfg.CUs, cfg.CoreClockMHz, cfg.MemClockMHz, in.Seed, attempt)
+	s := h.Sum64()
+	// splitmix64 finisher: FNV output over similar inputs is not
+	// uniform enough on its own for rate thresholds.
+	s ^= s >> 30
+	s *= 0xbf58476d1ce4e5b9
+	s ^= s >> 27
+	s *= 0x94d049bb133111eb
+	s ^= s >> 31
+	return float64(s>>11) / (1 << 53), s & 0xff
+}
+
+// corrupt damages a good result in one of three deterministic ways.
+func corrupt(r gcn.Result, sub uint64) gcn.Result {
+	switch sub % 3 {
+	case 0:
+		r.Throughput = math.NaN()
+	case 1:
+		r.Throughput = -r.Throughput
+	default:
+		r.Throughput = math.Inf(1)
+	}
+	return r
+}

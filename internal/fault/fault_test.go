@@ -1,0 +1,182 @@
+package fault
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"gpuscale/internal/gcn"
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+)
+
+func testCells(t *testing.T) ([]*kernel.Kernel, []hw.Config) {
+	t.Helper()
+	space, err := hw.NewSpace([]int{4, 24, 44}, []float64{200, 600, 1000}, []float64{150, 700, 1250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := []*kernel.Kernel{
+		kernel.New("s", "p", "a").Geometry(512, 256).MustBuild(),
+		kernel.New("s", "p", "b").Geometry(512, 256).Compute(30000, 100).MustBuild(),
+	}
+	return ks, space.Configs()
+}
+
+// faultPattern sweeps every cell once through a fresh wrap and records
+// which cells errored.
+func faultPattern(t *testing.T, in Injector, ks []*kernel.Kernel, cfgs []hw.Config) map[string]bool {
+	t.Helper()
+	eng := in.Wrap(gcn.Simulate)
+	out := map[string]bool{}
+	for _, k := range ks {
+		for _, cfg := range cfgs {
+			_, err := eng(k, cfg)
+			if err != nil && !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected non-injected error: %v", err)
+			}
+			out[cellKey(k.Name, cfg)] = err != nil
+		}
+	}
+	return out
+}
+
+func TestInjectorDeterministicPerSeed(t *testing.T) {
+	ks, cfgs := testCells(t)
+	in := Injector{ErrorRate: 0.3, Seed: 7}
+	a := faultPattern(t, in, ks, cfgs)
+	b := faultPattern(t, in, ks, cfgs)
+	same := true
+	for k, v := range a {
+		if b[k] != v {
+			same = false
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different fault patterns")
+	}
+	c := faultPattern(t, Injector{ErrorRate: 0.3, Seed: 8}, ks, cfgs)
+	diff := false
+	for k, v := range a {
+		if c[k] != v {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical fault patterns")
+	}
+}
+
+func TestInjectorRateRoughlyHonoured(t *testing.T) {
+	ks, cfgs := testCells(t)
+	in := Injector{ErrorRate: 0.25, Seed: 3}
+	pat := faultPattern(t, in, ks, cfgs)
+	n, failed := 0, 0
+	for _, v := range pat {
+		n++
+		if v {
+			failed++
+		}
+	}
+	frac := float64(failed) / float64(n)
+	if frac < 0.10 || frac > 0.45 {
+		t.Fatalf("fault fraction %.3f far from configured 0.25 (%d/%d)", frac, failed, n)
+	}
+}
+
+func TestInjectorRetrySeesIndependentRoll(t *testing.T) {
+	ks, cfgs := testCells(t)
+	// With a 50% error rate, some cell must fail on attempt 0 and
+	// succeed on attempt 1 within a handful of cells.
+	eng := Injector{ErrorRate: 0.5, Seed: 1}.Wrap(gcn.Simulate)
+	recovered := false
+	for _, k := range ks {
+		for _, cfg := range cfgs {
+			_, err0 := eng(k, cfg)
+			_, err1 := eng(k, cfg)
+			if err0 != nil && err1 == nil {
+				recovered = true
+			}
+		}
+	}
+	if !recovered {
+		t.Fatal("no cell recovered on retry: attempt number not advancing the fault stream")
+	}
+}
+
+func TestInjectorCorruptsResults(t *testing.T) {
+	ks, cfgs := testCells(t)
+	eng := Injector{CorruptRate: 1, Seed: 2}.Wrap(gcn.Simulate)
+	sawNaN, sawNeg, sawInf := false, false, false
+	for _, k := range ks {
+		for _, cfg := range cfgs {
+			r, err := eng(k, cfg)
+			if err != nil {
+				t.Fatalf("corruption must not error: %v", err)
+			}
+			switch {
+			case math.IsNaN(r.Throughput):
+				sawNaN = true
+			case math.IsInf(r.Throughput, 1):
+				sawInf = true
+			case r.Throughput < 0:
+				sawNeg = true
+			default:
+				t.Fatalf("CorruptRate 1 returned a clean throughput %g", r.Throughput)
+			}
+		}
+	}
+	if !sawNaN || !sawNeg || !sawInf {
+		t.Fatalf("corruption modes not all exercised: nan=%v neg=%v inf=%v", sawNaN, sawNeg, sawInf)
+	}
+}
+
+func TestInjectorStalls(t *testing.T) {
+	ks, cfgs := testCells(t)
+	eng := Injector{StallRate: 1, Stall: 20 * time.Millisecond, Seed: 4}.Wrap(gcn.Simulate)
+	start := time.Now()
+	if _, err := eng(ks[0], cfgs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("stalled call returned in %v, want >= 20ms", d)
+	}
+}
+
+func TestInjectorZeroValueIsPassthrough(t *testing.T) {
+	ks, cfgs := testCells(t)
+	eng := Injector{}.Wrap(gcn.Simulate)
+	for _, k := range ks {
+		for _, cfg := range cfgs {
+			got, err := eng(k, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := gcn.Simulate(k, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("zero injector altered a result: %+v vs %+v", got, want)
+			}
+		}
+	}
+}
+
+func TestInjectorValidate(t *testing.T) {
+	cases := []Injector{
+		{ErrorRate: -0.1},
+		{CorruptRate: 1.5},
+		{StallRate: math.NaN()},
+		{ErrorRate: 0.6, CorruptRate: 0.6},
+	}
+	for i, in := range cases {
+		if err := in.Validate(); err == nil {
+			t.Errorf("case %d: invalid injector %+v accepted", i, in)
+		}
+	}
+	if err := (Injector{ErrorRate: 0.05, CorruptRate: 0.05, StallRate: 0.05}).Validate(); err != nil {
+		t.Errorf("valid injector rejected: %v", err)
+	}
+}

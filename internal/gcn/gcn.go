@@ -87,6 +87,13 @@ type Result struct {
 	BoundShare float64
 }
 
+// EngineFunc is the signature every simulator engine shares: one
+// kernel on one configuration to one Result. Simulate,
+// SimulateDetailed, SimulateWave and SimulatePipeline all satisfy it,
+// as do wrappers such as the fault injector; the sweep harness is
+// written against this type rather than a concrete engine.
+type EngineFunc func(*kernel.Kernel, hw.Config) (Result, error)
+
 // L2BytesPerCoreCycle is the aggregate L2/interconnect bandwidth in
 // bytes per core cycle (16 slices x 64 B). At 1 GHz this yields
 // ~1 TB/s, in line with GCN-generation parts.

@@ -2,36 +2,35 @@ package sweep
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
+	"sync"
 
 	"gpuscale/internal/gcn"
 	"gpuscale/internal/hw"
 )
 
-// WriteCSV persists a matrix as long-form CSV:
-// kernel,cus,core_mhz,mem_mhz,throughput,time_ns,bound — one row per
-// (kernel, configuration) measurement, mirroring the shape of the raw
-// data file a hardware study would archive.
+// csvHeader is the long-form measurement schema: one row per
+// (kernel, configuration) cell, mirroring the raw data file a hardware
+// study would archive. The trailing status column records per-cell
+// fate; files written before it existed (7 columns) read back with
+// every cell StatusOK.
+var csvHeader = []string{"kernel", "cus", "core_mhz", "mem_mhz", "throughput", "time_ns", "bound", "status"}
+
+// WriteCSV persists a matrix as long-form CSV, one row per
+// (kernel, configuration) measurement including its status.
 func (m *Matrix) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"kernel", "cus", "core_mhz", "mem_mhz", "throughput", "time_ns", "bound"}); err != nil {
+	if err := cw.Write(csvHeader); err != nil {
 		return fmt.Errorf("sweep: writing header: %w", err)
 	}
 	configs := m.Space.Configs()
-	for r, name := range m.Kernels {
-		for c, cfg := range configs {
-			rec := []string{
-				name,
-				strconv.Itoa(cfg.CUs),
-				strconv.FormatFloat(cfg.CoreClockMHz, 'g', -1, 64),
-				strconv.FormatFloat(cfg.MemClockMHz, 'g', -1, 64),
-				strconv.FormatFloat(m.Throughput[r][c], 'g', -1, 64),
-				strconv.FormatFloat(m.TimeNS[r][c], 'g', -1, 64),
-				m.Bound[r][c].String(),
-			}
-			if err := cw.Write(rec); err != nil {
+	for r := range m.Kernels {
+		for c := range configs {
+			if err := cw.Write(m.record(r, c, configs)); err != nil {
 				return fmt.Errorf("sweep: writing row: %w", err)
 			}
 		}
@@ -40,16 +39,49 @@ func (m *Matrix) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// record renders one cell as a CSV record.
+func (m *Matrix) record(r, c int, configs []hw.Config) []string {
+	cfg := configs[c]
+	status := StatusOK
+	if m.Status != nil && m.Status[r] != nil {
+		status = m.Status[r][c]
+	}
+	return []string{
+		m.Kernels[r],
+		strconv.Itoa(cfg.CUs),
+		strconv.FormatFloat(cfg.CoreClockMHz, 'g', -1, 64),
+		strconv.FormatFloat(cfg.MemClockMHz, 'g', -1, 64),
+		strconv.FormatFloat(m.Throughput[r][c], 'g', -1, 64),
+		strconv.FormatFloat(m.TimeNS[r][c], 'g', -1, 64),
+		m.Bound[r][c].String(),
+		status.String(),
+	}
+}
+
 // ReadCSV loads a matrix written by WriteCSV. The configuration space
 // must be supplied (the CSV stores points, not the grid definition)
-// and every (kernel, configuration) cell must be present.
+// and every (kernel, configuration) cell must be present; use
+// ReadCSVPartial for journals and interrupted runs.
 func ReadCSV(r io.Reader, space hw.Space) (*Matrix, error) {
+	return readCSV(r, space, true)
+}
+
+// ReadCSVPartial loads a possibly incomplete matrix: kernels may be
+// missing cells (e.g. a journal cut short by a crash). Absent cells
+// are marked StatusFailed so downstream consumers mask them and a
+// Resume recomputes them.
+func ReadCSVPartial(r io.Reader, space hw.Space) (*Matrix, error) {
+	return readCSV(r, space, false)
+}
+
+func readCSV(r io.Reader, space hw.Space, strict bool) (*Matrix, error) {
 	cr := csv.NewReader(r)
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("sweep: reading header: %w", err)
 	}
-	if len(header) != 7 || header[0] != "kernel" {
+	legacy := len(header) == 7
+	if (len(header) != 8 && !legacy) || header[0] != "kernel" {
 		return nil, fmt.Errorf("sweep: unexpected header %v", header)
 	}
 	m := &Matrix{Space: space}
@@ -59,7 +91,7 @@ func ReadCSV(r io.Reader, space hw.Space) (*Matrix, error) {
 	for b := gcn.BoundCompute; b <= gcn.BoundLaunch; b++ {
 		boundByName[b.String()] = b
 	}
-	filled := []int{}
+	var filled [][]bool
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -96,6 +128,12 @@ func ReadCSV(r io.Reader, space hw.Space) (*Matrix, error) {
 		if !ok {
 			return nil, fmt.Errorf("sweep: unknown bound %q", rec[6])
 		}
+		status := StatusOK
+		if !legacy {
+			if status, err = ParseStatus(rec[7]); err != nil {
+				return nil, err
+			}
+		}
 		ri, ok := rows[rec[0]]
 		if !ok {
 			ri = len(m.Kernels)
@@ -104,20 +142,165 @@ func ReadCSV(r io.Reader, space hw.Space) (*Matrix, error) {
 			m.Throughput = append(m.Throughput, make([]float64, nCfg))
 			m.TimeNS = append(m.TimeNS, make([]float64, nCfg))
 			m.Bound = append(m.Bound, make([]gcn.Bound, nCfg))
-			filled = append(filled, 0)
+			m.Status = append(m.Status, failedRow(nCfg))
+			filled = append(filled, make([]bool, nCfg))
 		}
 		m.Throughput[ri][ci] = tput
 		m.TimeNS[ri][ci] = tns
 		m.Bound[ri][ci] = bound
-		filled[ri]++
+		m.Status[ri][ci] = status
+		filled[ri][ci] = true
 	}
-	for i, n := range filled {
-		if n != nCfg {
-			return nil, fmt.Errorf("sweep: kernel %s has %d/%d cells", m.Kernels[i], n, nCfg)
+	if strict {
+		for i, cells := range filled {
+			n := 0
+			for _, f := range cells {
+				if f {
+					n++
+				}
+			}
+			if n != nCfg {
+				return nil, fmt.Errorf("sweep: kernel %s has %d/%d cells", m.Kernels[i], n, nCfg)
+			}
 		}
 	}
-	if len(m.Kernels) == 0 {
+	if strict && len(m.Kernels) == 0 {
 		return nil, fmt.Errorf("sweep: empty CSV")
 	}
 	return m, nil
+}
+
+// failedRow returns a row of StatusFailed cells — the starting state
+// of a partially read kernel, flipped to the recorded status as cells
+// arrive.
+func failedRow(n int) []CellStatus {
+	row := make([]CellStatus, n)
+	for i := range row {
+		row[i] = StatusFailed
+	}
+	return row
+}
+
+// Journal is an append-only CSV checkpoint for a sweep: completed
+// kernel rows are flushed to disk as they finish, and reopening the
+// file recovers them so a Resume only recomputes what is missing. The
+// journal file is itself a valid WriteCSV-format archive once the
+// sweep completes.
+type Journal struct {
+	space hw.Space
+	prior *Matrix
+
+	mu sync.Mutex
+	f  *os.File
+	cw *csv.Writer
+}
+
+// OpenJournal opens or creates a sweep journal at path. An existing
+// file is parsed tolerantly (missing cells are fine — a crash may have
+// cut the sweep short) and becomes the journal's prior matrix; a new
+// file gets the CSV header written immediately. A file that is not a
+// sweep CSV at all is rejected rather than overwritten.
+func OpenJournal(path string, space hw.Space) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: opening journal: %w", err)
+	}
+	j := &Journal{space: space, f: f, cw: csv.NewWriter(f)}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: stat journal: %w", err)
+	}
+	if info.Size() == 0 {
+		if err := j.cw.Write(csvHeader); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("sweep: writing journal header: %w", err)
+		}
+		j.cw.Flush()
+		if err := j.cw.Error(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("sweep: writing journal header: %w", err)
+		}
+		return j, nil
+	}
+	prior, err := ReadCSVPartial(f, space)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: journal %s is not a readable sweep CSV (delete it to start over): %w", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: seeking journal: %w", err)
+	}
+	if len(prior.Kernels) > 0 {
+		j.prior = prior
+	}
+	return j, nil
+}
+
+// Prior returns the matrix recovered from an existing journal file, or
+// nil for a fresh journal. Pass it to Resume.
+func (j *Journal) Prior() *Matrix { return j.prior }
+
+// AppendRow checkpoints row r of m if — and only if — every cell is
+// StatusOK: rows with failed or canceled cells are left out so the
+// next Resume recomputes them. Safe for concurrent use; matches the
+// Options.OnRow signature via a closure.
+func (j *Journal) AppendRow(m *Matrix, r int) error {
+	if !m.RowComplete(r) {
+		return nil
+	}
+	configs := m.Space.Configs()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for c := range configs {
+		if err := j.cw.Write(m.record(r, c, configs)); err != nil {
+			return fmt.Errorf("sweep: journaling %s: %w", m.Kernels[r], err)
+		}
+	}
+	j.cw.Flush()
+	if err := j.cw.Error(); err != nil {
+		return fmt.Errorf("sweep: journaling %s: %w", m.Kernels[r], err)
+	}
+	// A journal's whole point is surviving a crash mid-sweep.
+	return j.f.Sync()
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cw.Flush()
+	werr := j.cw.Error()
+	cerr := j.f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// ErrJournalIncomplete is returned by VerifyComplete when the journal
+// is missing kernels or cells.
+var ErrJournalIncomplete = errors.New("sweep: journal incomplete")
+
+// VerifyComplete checks that the journal now covers every named kernel
+// with a fully OK row — the post-Resume sanity check.
+func (j *Journal) VerifyComplete(kernels []string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	defer j.f.Seek(0, io.SeekEnd)
+	m, err := ReadCSVPartial(j.f, j.space)
+	if err != nil {
+		return err
+	}
+	for _, k := range kernels {
+		r := m.Row(k)
+		if r < 0 || !m.RowComplete(r) {
+			return fmt.Errorf("%w: kernel %s", ErrJournalIncomplete, k)
+		}
+	}
+	return nil
 }

@@ -1,14 +1,25 @@
 // Package sweep executes kernel x configuration grids in parallel and
 // stores the resulting performance matrices — the data-collection
 // harness that stands in for the paper's weeks of hardware runs.
+//
+// Real measurement campaigns are flaky: individual runs hang, die, or
+// return garbage. The runtime therefore treats every cell as fallible:
+// it validates results, retries transient failures with capped
+// exponential backoff, bounds each simulation with a timeout, honours
+// context cancellation, and — instead of aborting the whole sweep —
+// records a per-cell Status so partial matrices are first-class and a
+// later Resume can fill in only the missing rows.
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"gpuscale/internal/gcn"
 	"gpuscale/internal/hw"
@@ -28,18 +39,98 @@ const (
 	Wave
 )
 
+// Func returns the engine's simulator function.
+func (e Engine) Func() gcn.EngineFunc {
+	switch e {
+	case Detailed:
+		return gcn.SimulateDetailed
+	case Wave:
+		return gcn.SimulateWave
+	default:
+		return gcn.Simulate
+	}
+}
+
+// ErrCorruptResult marks a simulation that returned an unusable value
+// (NaN, infinite or non-positive throughput or time). It is treated as
+// a transient measurement fault and retried like an error.
+var ErrCorruptResult = errors.New("sweep: corrupt result")
+
+// ErrSimTimeout marks a simulation that exceeded Options.SimTimeout.
+var ErrSimTimeout = errors.New("sweep: simulation timed out")
+
 // Options configures a sweep run.
 type Options struct {
 	// Workers is the parallel worker count; <= 0 uses GOMAXPROCS.
 	Workers int
 	// Engine selects the simulator fidelity.
 	Engine Engine
+	// Sim, when non-nil, overrides Engine with an arbitrary simulator
+	// function — the seam where fault injection and custom engines
+	// plug in.
+	Sim gcn.EngineFunc
 	// NoiseStdDev, when positive, multiplies every measured throughput
-	// by a lognormal-ish factor (1 + N(0, stddev)) to emulate run-to-
-	// run measurement noise for robustness experiments.
+	// by a lognormal factor exp(N(0, stddev)) to emulate run-to-run
+	// measurement noise for robustness experiments. The factor's
+	// median is exactly 1, so the noise does not bias the mean the way
+	// a clamped 1+N(0,sigma) factor does.
 	NoiseStdDev float64
 	// Seed drives the noise generator; ignored when NoiseStdDev is 0.
 	Seed int64
+	// Retries is the number of extra attempts per cell after a failed
+	// or corrupt simulation. 0 means every fault is final.
+	Retries int
+	// Backoff is the sleep before the first retry; it doubles per
+	// retry up to MaxBackoff. Zero retries immediately.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential backoff; defaults to 100 ms
+	// when Backoff is set.
+	MaxBackoff time.Duration
+	// SimTimeout bounds each simulator invocation; expiry counts as a
+	// retryable fault. Zero means no bound. The expired invocation's
+	// goroutine is abandoned and finishes in the background (Go
+	// cannot kill it), so pair timeouts with engines that eventually
+	// return.
+	SimTimeout time.Duration
+	// OnRow, when non-nil, is called as each kernel row reaches a
+	// terminal state, from worker goroutines — it must be safe for
+	// concurrent use and should only read row r of m. Journals hook
+	// in here to checkpoint completed rows.
+	OnRow func(m *Matrix, r int)
+}
+
+// CellStatus records the terminal state of one matrix cell.
+type CellStatus uint8
+
+const (
+	// StatusOK marks a validated measurement.
+	StatusOK CellStatus = iota
+	// StatusFailed marks a cell whose attempts were exhausted by
+	// errors or corrupt results.
+	StatusFailed
+	// StatusCanceled marks a cell abandoned because the sweep's
+	// context ended before it could run.
+	StatusCanceled
+)
+
+var statusNames = [...]string{"ok", "failed", "canceled"}
+
+// String returns the status's lower-case name.
+func (s CellStatus) String() string {
+	if int(s) >= len(statusNames) {
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+	return statusNames[s]
+}
+
+// ParseStatus inverts String.
+func ParseStatus(s string) (CellStatus, error) {
+	for i, n := range statusNames {
+		if n == s {
+			return CellStatus(i), nil
+		}
+	}
+	return 0, fmt.Errorf("sweep: unknown cell status %q", s)
 }
 
 // Matrix holds the sweep results: one throughput row per kernel, one
@@ -50,34 +141,170 @@ type Matrix struct {
 	// Kernels are the row names, in input order.
 	Kernels []string
 	// Throughput[r][c] is work-items/ns of kernel r on configuration c.
+	// Cells whose Status is not StatusOK hold 0.
 	Throughput [][]float64
 	// TimeNS[r][c] is the corresponding invocation time.
 	TimeNS [][]float64
 	// Bound[r][c] is the dominant bound reported by the engine.
 	Bound [][]gcn.Bound
+	// Status[r][c] is the cell's terminal state. A nil Status (legacy
+	// producers) means every cell is StatusOK.
+	Status [][]CellStatus
+
+	rowOnce sync.Once
+	rowIdx  map[string]int
 }
 
-// Row returns the row index of a kernel name, or -1.
+// Row returns the row index of a kernel name, or -1. The lookup map is
+// built lazily on first use (and is safe for concurrent callers), so
+// per-cell lookups over the 267-kernel corpus cost O(1) instead of a
+// linear scan per call. Rows appended after the first lookup are not
+// visible; treat a Matrix as immutable once handed to readers.
 func (m *Matrix) Row(name string) int {
-	for i, k := range m.Kernels {
-		if k == name {
-			return i
+	m.rowOnce.Do(func() {
+		m.rowIdx = make(map[string]int, len(m.Kernels))
+		for i, k := range m.Kernels {
+			if _, dup := m.rowIdx[k]; !dup {
+				m.rowIdx[k] = i
+			}
 		}
+	})
+	if i, ok := m.rowIdx[name]; ok {
+		return i
 	}
 	return -1
 }
 
-// Run sweeps every kernel over every configuration of the space.
-// Kernels are distributed over a worker pool; each worker owns whole
-// rows so the output needs no locking. Any simulation error aborts the
-// sweep.
+// CellOK reports whether cell (r, c) holds a validated measurement.
+func (m *Matrix) CellOK(r, c int) bool {
+	return m.Status == nil || m.Status[r] == nil || m.Status[r][c] == StatusOK
+}
+
+// RowComplete reports whether every cell of row r is StatusOK.
+func (m *Matrix) RowComplete(r int) bool {
+	if m.Status == nil || m.Status[r] == nil {
+		return true
+	}
+	for _, s := range m.Status[r] {
+		if s != StatusOK {
+			return false
+		}
+	}
+	return true
+}
+
+// Coverage returns the fraction of cells holding validated
+// measurements (1 for a fault-free matrix).
+func (m *Matrix) Coverage() float64 {
+	if len(m.Kernels) == 0 {
+		return 0
+	}
+	total, ok := 0, 0
+	for r := range m.Kernels {
+		for c := range m.Throughput[r] {
+			total++
+			if m.CellOK(r, c) {
+				ok++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(ok) / float64(total)
+}
+
+// CellFailure identifies one cell that exhausted its attempts.
+type CellFailure struct {
+	// Kernel is the row's kernel name.
+	Kernel string
+	// Config is the failing configuration.
+	Config hw.Config
+	// Attempts is how many simulator invocations the cell consumed.
+	Attempts int
+	// Err is the last attempt's error.
+	Err error
+}
+
+func (f CellFailure) String() string {
+	return fmt.Sprintf("%s @ cu=%d core=%g mem=%g after %d attempt(s): %v",
+		f.Kernel, f.Config.CUs, f.Config.CoreClockMHz, f.Config.MemClockMHz, f.Attempts, f.Err)
+}
+
+// RunReport accounts for every cell of a sweep: how many succeeded,
+// failed or were abandoned, and how much work (attempts, retries) the
+// run spent. Partial matrices always travel with a report.
+type RunReport struct {
+	// Kernels and Configs give the sweep shape.
+	Kernels, Configs int
+	// Cells is Kernels * Configs.
+	Cells int
+	// OK, Failed and Canceled partition the cells this run attempted;
+	// Skipped counts cells reused from a prior matrix by Resume.
+	// OK + Failed + Canceled + Skipped == Cells.
+	OK, Failed, Canceled, Skipped int
+	// Attempts is the total simulator invocations; Retries is the
+	// portion beyond each cell's first attempt.
+	Attempts, Retries int
+	// Failures lists each failed cell with its final error.
+	Failures []CellFailure
+	// WallTime is the end-to-end sweep duration.
+	WallTime time.Duration
+}
+
+// Complete reports whether every cell holds a validated measurement.
+func (r *RunReport) Complete() bool { return r.Failed == 0 && r.Canceled == 0 }
+
+// Summary renders a one-line accounting suitable for CLI output.
+func (r *RunReport) Summary() string {
+	return fmt.Sprintf("%d cells: %d ok, %d failed, %d canceled, %d reused (%d attempts, %d retries) in %v",
+		r.Cells, r.OK, r.Failed, r.Canceled, r.Skipped, r.Attempts, r.Retries,
+		r.WallTime.Round(time.Millisecond))
+}
+
+// Run sweeps every kernel over every configuration of the space with
+// background context and strict semantics: any cell that fails after
+// retries turns the whole sweep into an error, matching the historical
+// abort-on-error contract. Use RunContext for graceful degradation.
 func Run(kernels []*kernel.Kernel, space hw.Space, opts Options) (*Matrix, error) {
+	m, rep, err := RunContext(context.Background(), kernels, space, opts)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Failed > 0 {
+		return nil, fmt.Errorf("sweep: %d/%d cells failed; first: %s",
+			rep.Failed, rep.Cells, rep.Failures[0])
+	}
+	return m, nil
+}
+
+// RunContext sweeps every kernel over every configuration, tolerating
+// per-cell failures. Kernels are distributed over a worker pool; each
+// worker owns whole rows so the output needs no locking. Failed cells
+// are marked in the matrix's Status plane rather than aborting the
+// sweep, and the report accounts for every cell. The error is non-nil
+// only for unusable input or a canceled context; in the latter case
+// the partial matrix and report are still returned.
+func RunContext(ctx context.Context, kernels []*kernel.Kernel, space hw.Space, opts Options) (*Matrix, *RunReport, error) {
+	return resume(ctx, kernels, space, opts, nil)
+}
+
+// Resume completes a partial sweep: rows of prior whose every cell is
+// StatusOK are copied into the result verbatim (and counted as Skipped
+// in the report); all other rows are recomputed. prior may be nil or
+// cover any subset of kernels — rows are matched by kernel name, so
+// the corpus may have grown or shrunk between runs.
+func Resume(ctx context.Context, kernels []*kernel.Kernel, space hw.Space, opts Options, prior *Matrix) (*Matrix, *RunReport, error) {
+	return resume(ctx, kernels, space, opts, prior)
+}
+
+func resume(ctx context.Context, kernels []*kernel.Kernel, space hw.Space, opts Options, prior *Matrix) (*Matrix, *RunReport, error) {
 	if len(kernels) == 0 {
-		return nil, fmt.Errorf("sweep: no kernels")
+		return nil, nil, fmt.Errorf("sweep: no kernels")
 	}
 	configs := space.Configs()
 	if len(configs) == 0 {
-		return nil, fmt.Errorf("sweep: empty configuration space")
+		return nil, nil, fmt.Errorf("sweep: empty configuration space")
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -90,86 +317,210 @@ func Run(kernels []*kernel.Kernel, space hw.Space, opts Options) (*Matrix, error
 		Throughput: make([][]float64, len(kernels)),
 		TimeNS:     make([][]float64, len(kernels)),
 		Bound:      make([][]gcn.Bound, len(kernels)),
+		Status:     make([][]CellStatus, len(kernels)),
 	}
 	for i, k := range kernels {
 		m.Kernels[i] = k.Name
 	}
+	rep := &RunReport{Kernels: len(kernels), Configs: len(configs), Cells: len(kernels) * len(configs)}
 
-	sim := gcn.Simulate
-	switch opts.Engine {
-	case Detailed:
-		sim = gcn.SimulateDetailed
-	case Wave:
-		sim = gcn.SimulateWave
+	// Reuse complete rows from the prior matrix before spinning up
+	// workers, so resumed sweeps only pay for the holes.
+	done := make([]bool, len(kernels))
+	if prior != nil {
+		for i, k := range kernels {
+			pr := prior.Row(k.Name)
+			if pr < 0 || len(prior.Throughput[pr]) != len(configs) || !prior.RowComplete(pr) {
+				continue
+			}
+			m.Throughput[i] = prior.Throughput[pr]
+			m.TimeNS[i] = prior.TimeNS[pr]
+			m.Bound[i] = prior.Bound[pr]
+			m.Status[i] = okRow(len(configs))
+			done[i] = true
+			rep.Skipped += len(configs)
+		}
 	}
 
-	type job struct{ row int }
-	jobs := make(chan job)
-	errs := make(chan error, workers)
-	var failed atomic.Bool
+	sim := opts.Sim
+	if sim == nil {
+		sim = opts.Engine.Func()
+	}
+
+	start := time.Now()
+	var mu sync.Mutex // guards rep tallies beyond Skipped
+	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(worker int) {
+		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				if failed.Load() {
-					continue // drain remaining jobs after a failure
+			for row := range jobs {
+				sweepRow(ctx, sim, kernels[row], configs, opts, m, row, rep, &mu)
+				if opts.OnRow != nil {
+					opts.OnRow(m, row)
 				}
-				k := kernels[j.row]
-				tput := make([]float64, len(configs))
-				times := make([]float64, len(configs))
-				bounds := make([]gcn.Bound, len(configs))
-				// Per-row noise stream keeps results independent of
-				// worker scheduling.
-				var rng *rand.Rand
-				if opts.NoiseStdDev > 0 {
-					rng = rand.New(rand.NewSource(opts.Seed + int64(j.row)))
-				}
-				aborted := false
-				for c, cfg := range configs {
-					r, err := sim(k, cfg)
-					if err != nil {
-						failed.Store(true)
-						select {
-						case errs <- fmt.Errorf("sweep: %s @ %v: %w", k.Name, cfg, err):
-						default:
-						}
-						aborted = true
-						break
-					}
-					t := r.Throughput
-					if rng != nil {
-						f := 1 + rng.NormFloat64()*opts.NoiseStdDev
-						if f < 0.05 {
-							f = 0.05
-						}
-						t *= f
-					}
-					tput[c] = t
-					times[c] = r.TimeNS
-					bounds[c] = r.Bound
-				}
-				if aborted {
-					continue
-				}
-				m.Throughput[j.row] = tput
-				m.TimeNS[j.row] = times
-				m.Bound[j.row] = bounds
 			}
-		}(w)
+		}()
 	}
 	for row := range kernels {
-		jobs <- job{row: row}
+		if !done[row] {
+			jobs <- row
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	select {
-	case err := <-errs:
-		return nil, err
-	default:
+	rep.WallTime = time.Since(start)
+	return m, rep, ctx.Err()
+}
+
+// okRow returns a row of StatusOK cells.
+func okRow(n int) []CellStatus { return make([]CellStatus, n) }
+
+// sweepRow measures one kernel over every configuration, retrying
+// faulty cells, and merges the row's accounting into the report.
+func sweepRow(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, configs []hw.Config,
+	opts Options, m *Matrix, row int, rep *RunReport, mu *sync.Mutex) {
+	tput := make([]float64, len(configs))
+	times := make([]float64, len(configs))
+	bounds := make([]gcn.Bound, len(configs))
+	status := make([]CellStatus, len(configs))
+
+	// Per-row noise stream keeps results independent of worker
+	// scheduling; one draw per cell (even failed ones) keeps later
+	// cells aligned with a fault-free run of the same seed.
+	var rng *rand.Rand
+	if opts.NoiseStdDev > 0 {
+		rng = rand.New(rand.NewSource(opts.Seed + int64(row)))
 	}
-	return m, nil
+
+	var ok, failed, canceled, attempts, retries int
+	var failures []CellFailure
+	for c, cfg := range configs {
+		noise := 1.0
+		if rng != nil {
+			noise = math.Exp(rng.NormFloat64() * opts.NoiseStdDev)
+		}
+		if ctx.Err() != nil {
+			status[c] = StatusCanceled
+			canceled++
+			continue
+		}
+		r, n, err := runCell(ctx, sim, k, cfg, opts)
+		attempts += n
+		if n > 1 {
+			retries += n - 1
+		}
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				status[c] = StatusCanceled
+				canceled++
+				continue
+			}
+			status[c] = StatusFailed
+			failed++
+			failures = append(failures, CellFailure{Kernel: k.Name, Config: cfg, Attempts: n, Err: err})
+			continue
+		}
+		tput[c] = r.Throughput * noise
+		times[c] = r.TimeNS
+		bounds[c] = r.Bound
+		ok++
+	}
+	m.Throughput[row] = tput
+	m.TimeNS[row] = times
+	m.Bound[row] = bounds
+	m.Status[row] = status
+
+	mu.Lock()
+	rep.OK += ok
+	rep.Failed += failed
+	rep.Canceled += canceled
+	rep.Attempts += attempts
+	rep.Retries += retries
+	rep.Failures = append(rep.Failures, failures...)
+	mu.Unlock()
+}
+
+// runCell runs one simulation with validation, retry and backoff.
+// It returns the validated result, the number of attempts consumed,
+// and the final error if every attempt failed.
+func runCell(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, cfg hw.Config, opts Options) (gcn.Result, int, error) {
+	backoff := opts.Backoff
+	maxBackoff := opts.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 100 * time.Millisecond
+	}
+	var lastErr error
+	attempts := 0
+	for try := 0; try <= opts.Retries; try++ {
+		if try > 0 && backoff > 0 {
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return gcn.Result{}, attempts, ctx.Err()
+			}
+			backoff *= 2
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+		attempts++
+		r, err := simulate(ctx, sim, k, cfg, opts.SimTimeout)
+		if err == nil {
+			err = validate(r)
+		}
+		if err == nil {
+			return r, attempts, nil
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return gcn.Result{}, attempts, err
+		}
+		lastErr = err
+	}
+	return gcn.Result{}, attempts, lastErr
+}
+
+// simulate invokes the engine, bounded by timeout when one is set. A
+// timed-out invocation's goroutine finishes in the background; its
+// buffered channel lets it exit without a receiver.
+func simulate(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, cfg hw.Config, timeout time.Duration) (gcn.Result, error) {
+	if timeout <= 0 {
+		return sim(k, cfg)
+	}
+	type outcome struct {
+		r   gcn.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		r, err := sim(k, cfg)
+		ch <- outcome{r, err}
+	}()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case o := <-ch:
+		return o.r, o.err
+	case <-t.C:
+		return gcn.Result{}, fmt.Errorf("%w after %v", ErrSimTimeout, timeout)
+	case <-ctx.Done():
+		return gcn.Result{}, ctx.Err()
+	}
+}
+
+// validate rejects measurements no hardware run could produce —
+// exactly the garbage a flaky rig emits. Corruption is retryable.
+func validate(r gcn.Result) error {
+	if !(r.Throughput > 0) || math.IsInf(r.Throughput, 0) {
+		return fmt.Errorf("%w: throughput %g", ErrCorruptResult, r.Throughput)
+	}
+	if !(r.TimeNS > 0) || math.IsInf(r.TimeNS, 0) {
+		return fmt.Errorf("%w: time %g ns", ErrCorruptResult, r.TimeNS)
+	}
+	return nil
 }
 
 // Runs returns the total simulations a sweep of this shape performs.
