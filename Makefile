@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test check bench bench-obs
 
 build:
 	$(GO) build ./...
@@ -8,11 +8,19 @@ build:
 test:
 	$(GO) test ./...
 
-# Fast robustness gate: vet everything, race-test the sweep runtime
-# and the fault injector (the concurrency-heavy packages).
+# Fast robustness gate: vet everything, race-test the sweep runtime,
+# the fault injector, and the observability layer (the
+# concurrency-heavy packages) plus the trace-consuming CLI.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sweep/... ./internal/fault/...
+	$(GO) test -race ./internal/sweep/... ./internal/fault/... ./internal/obs/... ./cmd/sweeptrace/...
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Observer-overhead gate: the disabled (no-op) observer must add less
+# than 5% to the sweep hot path. The assertion is env-gated so plain
+# `go test ./...` stays timing-independent.
+bench-obs:
+	GPUSCALE_BENCH_OBS=1 $(GO) test -run TestNopObserverOverhead -v ./internal/sweep/
+	$(GO) test -bench 'BenchmarkSweep(SingleKernelFullGrid|NopObserver)$$' -benchmem ./

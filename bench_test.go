@@ -11,6 +11,7 @@ package gpuscale
 // artifact.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -339,6 +340,22 @@ func BenchmarkSweepSingleKernelFullGrid(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m, err := sweep.Run(ks, space, sweep.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = m
+	}
+}
+
+// BenchmarkSweepNopObserver is BenchmarkSweepSingleKernelFullGrid with
+// a no-op Observer attached — compare the two to price the observer
+// dispatch overhead (make bench-obs asserts it stays under 5%).
+func BenchmarkSweepNopObserver(b *testing.B) {
+	ks := []*kernel.Kernel{benchKernel()}
+	space := hw.StudySpace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, _, err := sweep.RunContext(context.Background(), ks, space, sweep.Options{Observer: sweep.NopObserver{}})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -7,13 +7,16 @@
 //	gpusim -list                          # list corpus kernels
 //	gpusim -kernel scicomp-p01.k1_stencil # one run at the reference config
 //	gpusim -kernel ... -cus 20 -core 600 -mem 700
+//	gpusim -kernel ... -json              # machine-readable single run
 //	gpusim -kernel ... -axis cu           # marginal sweep along one axis
 //	gpusim -kernel ... -engine detailed   # high-fidelity engine
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"gpuscale/internal/core"
@@ -33,9 +36,10 @@ func main() {
 	memMHz := flag.Float64("mem", 1250, "memory clock (MHz)")
 	axis := flag.String("axis", "", "sweep one axis instead: cu, coreclk, or memclk")
 	engine := flag.String("engine", "round", "simulator engine: round or detailed")
+	jsonOut := flag.Bool("json", false, "emit the single-run result as one JSON object")
 	flag.Parse()
 
-	if err := run(*list, *name, *cus, *coreMHz, *memMHz, *axis, *engine); err != nil {
+	if err := run(os.Stdout, *list, *name, *cus, *coreMHz, *memMHz, *axis, *engine, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "gpusim:", err)
 		os.Exit(1)
 	}
@@ -50,7 +54,29 @@ func findKernel(name string) (*kernel.Kernel, error) {
 	return nil, fmt.Errorf("kernel %q not in corpus (use -list)", name)
 }
 
-func run(list bool, name string, cus int, coreMHz, memMHz float64, axis, engine string) error {
+// runResult is the -json shape: one flat object per run so shell
+// pipelines can jq it without digging.
+type runResult struct {
+	Kernel         string  `json:"kernel"`
+	Engine         string  `json:"engine"`
+	CUs            int     `json:"cus"`
+	CoreMHz        float64 `json:"core_mhz"`
+	MemMHz         float64 `json:"mem_mhz"`
+	TimeNS         float64 `json:"time_ns"`
+	KernelNS       float64 `json:"kernel_ns"`
+	Throughput     float64 `json:"throughput"`
+	AchievedGFLOPS float64 `json:"achieved_gflops"`
+	AchievedGBs    float64 `json:"achieved_gbs"`
+	PeakGFLOPS     float64 `json:"peak_gflops"`
+	PeakGBs        float64 `json:"peak_gbs"`
+	L1HitRate      float64 `json:"l1_hit_rate"`
+	L2HitRate      float64 `json:"l2_hit_rate"`
+	OccupancyWaves int     `json:"occupancy_waves"`
+	Bound          string  `json:"bound"`
+	BoundShare     float64 `json:"bound_share"`
+}
+
+func run(w io.Writer, list bool, name string, cus int, coreMHz, memMHz float64, axis, engine string, jsonOut bool) error {
 	if list {
 		t := &report.Table{
 			Title:  "Corpus kernels",
@@ -63,7 +89,7 @@ func run(list bool, name string, cus int, coreMHz, memMHz float64, axis, engine 
 				}
 			}
 		}
-		fmt.Print(t)
+		fmt.Fprint(w, t)
 		return nil
 	}
 	if name == "" {
@@ -81,13 +107,38 @@ func run(list bool, name string, cus int, coreMHz, memMHz float64, axis, engine 
 	}
 
 	if axis != "" {
-		return sweepAxis(k, axis)
+		if jsonOut {
+			return fmt.Errorf("-json applies to single runs, not -axis sweeps")
+		}
+		return sweepAxis(w, k, axis)
 	}
 
 	cfg := hw.Config{CUs: cus, CoreClockMHz: coreMHz, MemClockMHz: memMHz}
 	r, err := sim(k, cfg)
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		return enc.Encode(runResult{
+			Kernel:         k.Name,
+			Engine:         engine,
+			CUs:            cfg.CUs,
+			CoreMHz:        cfg.CoreClockMHz,
+			MemMHz:         cfg.MemClockMHz,
+			TimeNS:         r.TimeNS,
+			KernelNS:       r.KernelNS,
+			Throughput:     r.Throughput,
+			AchievedGFLOPS: r.AchievedGFLOPS,
+			AchievedGBs:    r.AchievedGBs,
+			PeakGFLOPS:     cfg.PeakGFLOPS(),
+			PeakGBs:        cfg.PeakBandwidthGBs(),
+			L1HitRate:      r.HitRates.L1,
+			L2HitRate:      r.HitRates.L2,
+			OccupancyWaves: r.OccupancyWaves,
+			Bound:          fmt.Sprintf("%v", r.Bound),
+			BoundShare:     r.BoundShare,
+		})
 	}
 	t := &report.Table{
 		Title:  fmt.Sprintf("%s @ %s (%s engine)", k.Name, cfg, engine),
@@ -104,11 +155,11 @@ func run(list bool, name string, cus int, coreMHz, memMHz float64, axis, engine 
 	t.AddRow("L2 hit rate", r.HitRates.L2)
 	t.AddRow("occupancy (waves/CU)", r.OccupancyWaves)
 	t.AddRow("dominant bound", fmt.Sprintf("%v (%.0f%% of time)", r.Bound, 100*r.BoundShare))
-	fmt.Print(t)
+	fmt.Fprint(w, t)
 	return nil
 }
 
-func sweepAxis(k *kernel.Kernel, axisName string) error {
+func sweepAxis(w io.Writer, k *kernel.Kernel, axisName string) error {
 	var axis core.Axis
 	switch axisName {
 	case "cu":
@@ -134,8 +185,8 @@ func sweepAxis(k *kernel.Kernel, axisName string) error {
 		XLabel: axis.String(), YLabel: "normalised speedup",
 		Series: []report.Series{{Name: k.Name, X: r.Settings, Y: r.Curve}},
 	}
-	fmt.Print(chart.String())
-	fmt.Println()
-	fmt.Print(cl.Explain())
+	fmt.Fprint(w, chart.String())
+	fmt.Fprintln(w)
+	fmt.Fprint(w, cl.Explain())
 	return nil
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"strings"
 	"testing"
 
 	"gpuscale/internal/suites"
@@ -10,39 +13,75 @@ import (
 var corpusKernel = suites.AllKernels(suites.Corpus())[0].Name
 
 func TestRunList(t *testing.T) {
-	if err := run(true, "", 44, 1000, 1250, "", "round"); err != nil {
+	if err := run(io.Discard, true, "", 44, 1000, 1250, "", "round", false); err != nil {
 		t.Fatalf("-list: %v", err)
 	}
 }
 
 func TestRunSingle(t *testing.T) {
-	if err := run(false, corpusKernel, 20, 600, 700, "", "round"); err != nil {
+	if err := run(io.Discard, false, corpusKernel, 20, 600, 700, "", "round", false); err != nil {
 		t.Fatalf("single run: %v", err)
 	}
-	if err := run(false, corpusKernel, 20, 600, 700, "", "detailed"); err != nil {
+	if err := run(io.Discard, false, corpusKernel, 20, 600, 700, "", "detailed", false); err != nil {
 		t.Fatalf("detailed run: %v", err)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, false, corpusKernel, 20, 600, 700, "", "round", true); err != nil {
+		t.Fatalf("-json run: %v", err)
+	}
+	out := sb.String()
+	if strings.Count(strings.TrimSpace(out), "\n") != 0 {
+		t.Fatalf("-json should emit exactly one line, got:\n%s", out)
+	}
+	var got map[string]any
+	if err := json.Unmarshal([]byte(out), &got); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out)
+	}
+	if got["kernel"] != corpusKernel || got["engine"] != "round" {
+		t.Fatalf("identity fields wrong: %v", got)
+	}
+	for _, key := range []string{
+		"cus", "core_mhz", "mem_mhz", "time_ns", "kernel_ns", "throughput",
+		"achieved_gflops", "achieved_gbs", "peak_gflops", "peak_gbs",
+		"l1_hit_rate", "l2_hit_rate", "occupancy_waves", "bound", "bound_share",
+	} {
+		if _, ok := got[key]; !ok {
+			t.Errorf("-json missing key %q: %s", key, out)
+		}
+	}
+	if tn, _ := got["time_ns"].(float64); !(tn > 0) {
+		t.Errorf("time_ns = %v, want > 0", got["time_ns"])
+	}
+	if b, _ := got["bound"].(string); b == "" {
+		t.Errorf("bound should be a non-empty string: %v", got["bound"])
 	}
 }
 
 func TestRunAxisSweep(t *testing.T) {
 	for _, axis := range []string{"cu", "coreclk", "memclk"} {
-		if err := run(false, corpusKernel, 44, 1000, 1250, axis, "round"); err != nil {
+		if err := run(io.Discard, false, corpusKernel, 44, 1000, 1250, axis, "round", false); err != nil {
 			t.Fatalf("-axis %s: %v", axis, err)
 		}
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(false, "", 44, 1000, 1250, "", "round"); err == nil {
+	if err := run(io.Discard, false, "", 44, 1000, 1250, "", "round", false); err == nil {
 		t.Error("missing kernel accepted")
 	}
-	if err := run(false, "nope", 44, 1000, 1250, "", "round"); err == nil {
+	if err := run(io.Discard, false, "nope", 44, 1000, 1250, "", "round", false); err == nil {
 		t.Error("unknown kernel accepted")
 	}
-	if err := run(false, corpusKernel, 44, 1000, 1250, "", "warp"); err == nil {
+	if err := run(io.Discard, false, corpusKernel, 44, 1000, 1250, "", "warp", false); err == nil {
 		t.Error("unknown engine accepted")
 	}
-	if err := run(false, corpusKernel, 44, 1000, 1250, "diagonal", "round"); err == nil {
+	if err := run(io.Discard, false, corpusKernel, 44, 1000, 1250, "diagonal", "round", false); err == nil {
 		t.Error("unknown axis accepted")
+	}
+	if err := run(io.Discard, false, corpusKernel, 44, 1000, 1250, "cu", "round", true); err == nil {
+		t.Error("-json with -axis accepted")
 	}
 }

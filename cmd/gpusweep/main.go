@@ -8,10 +8,19 @@
 // robustness drills, and a journaled resume mode that recomputes only
 // the rows a previous (crashed or canceled) run did not finish.
 //
+// Long campaigns are observable while they run: -trace-out streams a
+// span per cell, attempt, journal append and injected fault as JSONL
+// (Chrome trace-event schema; summarize with sweeptrace), -metrics-addr
+// serves Prometheus-style /metrics and a JSON /progress ETA over HTTP,
+// and -progress prints a throttled progress line. All diagnostics go to
+// stderr; stdout carries only data (the summary table, or the CSV when
+// -o is "-").
+//
 // Usage:
 //
 //	gpusweep                          # run, print Table R-1 summary
 //	gpusweep -o results.csv           # also archive raw measurements
+//	gpusweep -o - | head              # stream the CSV to stdout
 //	gpusweep -suite proxyapps         # restrict to one suite
 //	gpusweep -engine detailed         # high-fidelity engine (slow)
 //	gpusweep -noise 0.05 -seed 7      # inject measurement noise
@@ -19,12 +28,17 @@
 //	gpusweep -sim-timeout 5s          # bound each simulation
 //	gpusweep -fault-rate 0.05 -fault-seed 1  # fault-injection drill
 //	gpusweep -o run.csv -resume       # journal rows; rerun to finish
+//	gpusweep -trace-out run.trace -progress  # live telemetry
+//	gpusweep -metrics-addr :9090      # curl /metrics and /progress
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
@@ -33,30 +47,39 @@ import (
 	"gpuscale/internal/fault"
 	"gpuscale/internal/hw"
 	"gpuscale/internal/kernel"
+	"gpuscale/internal/obs"
 	"gpuscale/internal/suites"
 	"gpuscale/internal/sweep"
 )
 
 // cliOptions collects every flag so tests can drive run directly.
 type cliOptions struct {
-	out        string
-	suite      string
-	engine     string
-	noise      float64
-	seed       int64
-	workers    int
-	corpusFile string
-	retries    int
-	backoff    time.Duration
-	simTimeout time.Duration
-	faultRate  float64
-	faultSeed  int64
-	resume     bool
+	out         string
+	suite       string
+	engine      string
+	noise       float64
+	seed        int64
+	workers     int
+	corpusFile  string
+	retries     int
+	backoff     time.Duration
+	simTimeout  time.Duration
+	faultRate   float64
+	faultSeed   int64
+	resume      bool
+	traceOut    string
+	metricsAddr string
+	progress    bool
+
+	// probe is a test seam: when the metrics server is up, it is
+	// invoked with the server's base URL after the sweep settles but
+	// before shutdown, so tests can scrape live endpoints.
+	probe func(baseURL string) error
 }
 
 func main() {
 	var o cliOptions
-	flag.StringVar(&o.out, "o", "", "write raw measurements to this CSV file")
+	flag.StringVar(&o.out, "o", "", "write raw measurements to this CSV file (\"-\" for stdout)")
 	flag.StringVar(&o.suite, "suite", "", "restrict the sweep to one suite")
 	flag.StringVar(&o.engine, "engine", "round", "simulator engine: round or detailed")
 	flag.Float64Var(&o.noise, "noise", 0, "measurement-noise stddev (0 = none)")
@@ -69,6 +92,9 @@ func main() {
 	flag.Float64Var(&o.faultRate, "fault-rate", 0, "inject transient faults at this rate (robustness drills)")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault-injection seed")
 	flag.BoolVar(&o.resume, "resume", false, "journal completed rows to -o and, on rerun, recompute only missing rows")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write per-cell/attempt/fault spans to this JSONL trace file (see sweeptrace)")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics and /progress over HTTP on this address")
+	flag.BoolVar(&o.progress, "progress", false, "print a throttled progress/ETA line to stderr")
 	dumpCorpus := flag.String("dump-corpus", "", "write the built-in corpus as JSON to this file and exit")
 	flag.Parse()
 
@@ -103,7 +129,7 @@ func writeCorpus(path string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s\n", path)
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	return nil
 }
 
@@ -118,6 +144,10 @@ func loadCorpus(path string) ([]*kernel.Kernel, error) {
 }
 
 func run(ctx context.Context, o cliOptions) error {
+	// stdout is a data pipe (summary table, or CSV with -o -); every
+	// diagnostic, progress line and accounting summary goes here.
+	info := os.Stderr
+
 	opts := sweep.Options{
 		Workers:     o.workers,
 		NoiseStdDev: o.noise,
@@ -134,15 +164,63 @@ func run(ctx context.Context, o cliOptions) error {
 	default:
 		return fmt.Errorf("unknown engine %q (want round or detailed)", o.engine)
 	}
+	if o.resume && o.out == "" {
+		return fmt.Errorf("-resume needs -o (the journal file)")
+	}
+	if o.resume && o.out == "-" {
+		return fmt.Errorf("-resume needs a journal file, not stdout")
+	}
+
+	// Observability: one Telemetry observer feeds the trace file, the
+	// metrics endpoints and the progress line; absent all three flags
+	// the sweep runs the uninstrumented (nil observer) hot path.
+	var (
+		tel       *sweep.Telemetry
+		tw        *obs.TraceWriter
+		traceFile *os.File
+	)
+	if o.traceOut != "" || o.metricsAddr != "" || o.progress {
+		if o.traceOut != "" {
+			var err error
+			traceFile, err = os.Create(o.traceOut)
+			if err != nil {
+				return err
+			}
+			defer traceFile.Close()
+			tw = obs.NewTraceWriter(traceFile)
+		}
+		tel = sweep.NewTelemetry(obs.NewRegistry(), tw)
+		if o.progress {
+			tel.EmitProgress(info, time.Second)
+		}
+		opts.Observer = tel
+	}
 	if o.faultRate > 0 {
 		in := fault.Injector{ErrorRate: o.faultRate, Seed: o.faultSeed}
 		if err := in.Validate(); err != nil {
 			return err
 		}
+		if tel != nil {
+			in.OnDecision = fault.Observe(tel.Registry(), tw)
+		}
 		opts.Sim = in.Wrap(opts.Engine.Func())
 	}
-	if o.resume && o.out == "" {
-		return fmt.Errorf("-resume needs -o (the journal file)")
+
+	var metricsURL string
+	if o.metricsAddr != "" {
+		if tel == nil {
+			tel = sweep.NewTelemetry(obs.NewRegistry(), nil)
+			opts.Observer = tel
+		}
+		ln, err := net.Listen("tcp", o.metricsAddr)
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: obs.Handler(tel.Registry(), tel.Progress())}
+		go srv.Serve(ln) //nolint:errcheck // Close below reports Serve's exit
+		defer srv.Close()
+		metricsURL = "http://" + ln.Addr().String()
+		fmt.Fprintf(info, "gpusweep: serving %s/metrics and %s/progress\n", metricsURL, metricsURL)
 	}
 
 	var ks []*kernel.Kernel
@@ -182,27 +260,43 @@ func run(ctx context.Context, o cliOptions) error {
 		defer journal.Close()
 		prior = journal.Prior()
 		opts.OnRow = func(m *sweep.Matrix, r int) {
-			if err := journal.AppendRow(m, r); err != nil {
+			start := time.Now()
+			err := journal.AppendRow(m, r)
+			if tel != nil {
+				tel.JournalAppend(m.Kernels[r], time.Since(start), err)
+			}
+			if err != nil {
 				fmt.Fprintln(os.Stderr, "gpusweep: journal:", err)
 			}
 		}
 	}
 
 	m, rep, err := sweep.Resume(ctx, ks, space, opts, prior)
-	if err != nil {
-		if rep != nil {
-			// A canceled sweep still accounts for everything it touched.
-			fmt.Printf("sweep interrupted: %s\n", rep.Summary())
+	if rep != nil {
+		// Accounting is printed on every path — success, cancel, or
+		// error — so no run ends as a black box.
+		if err != nil {
+			fmt.Fprintf(info, "sweep interrupted: %s\n", rep.Summary())
+		} else {
+			fmt.Fprintf(info, "swept %d kernels x %d configurations: %s\n", len(ks), space.Size(), rep.Summary())
 		}
-		return err
+		if !rep.Complete() {
+			printFailures(info, rep)
+		}
 	}
-	fmt.Printf("swept %d kernels x %d configurations: %s\n", len(ks), space.Size(), rep.Summary())
-	if !rep.Complete() {
-		printFailures(rep)
+	if tw != nil {
+		if terr := tw.Flush(); terr != nil {
+			fmt.Fprintln(os.Stderr, "gpusweep: trace:", terr)
+		} else {
+			fmt.Fprintf(info, "wrote trace %s\n", o.traceOut)
+		}
+	}
+	if err != nil {
+		return err
 	}
 
 	if o.suite == "" && o.corpusFile == "" && o.noise == 0 && o.engine == "round" &&
-		o.faultRate == 0 && rep.Complete() {
+		o.faultRate == 0 && o.out != "-" && rep.Complete() {
 		// The summary table needs the canonical full study.
 		s, err := experiments.New()
 		if err != nil {
@@ -217,7 +311,11 @@ func run(ctx context.Context, o cliOptions) error {
 		if err := journal.VerifyComplete(m.Kernels); err != nil {
 			return fmt.Errorf("%w (rerun with -resume to finish)", err)
 		}
-		fmt.Printf("journal %s complete\n", o.out)
+		fmt.Fprintf(info, "journal %s complete\n", o.out)
+	case o.out == "-":
+		if err := m.WriteCSV(os.Stdout); err != nil {
+			return err
+		}
 	case o.out != "":
 		f, err := os.Create(o.out)
 		if err != nil {
@@ -230,20 +328,25 @@ func run(ctx context.Context, o cliOptions) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", o.out)
+		fmt.Fprintf(info, "wrote %s\n", o.out)
+	}
+	if o.probe != nil && metricsURL != "" {
+		if err := o.probe(metricsURL); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 // printFailures summarises a partial run's failed cells, capped so a
 // pathological run does not flood the terminal.
-func printFailures(rep *sweep.RunReport) {
+func printFailures(w io.Writer, rep *sweep.RunReport) {
 	const maxShown = 10
 	for i, f := range rep.Failures {
 		if i == maxShown {
-			fmt.Printf("  ... and %d more failed cells\n", len(rep.Failures)-maxShown)
+			fmt.Fprintf(w, "  ... and %d more failed cells\n", len(rep.Failures)-maxShown)
 			break
 		}
-		fmt.Printf("  failed: %s\n", f)
+		fmt.Fprintf(w, "  failed: %s\n", f)
 	}
 }

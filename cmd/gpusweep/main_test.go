@@ -2,13 +2,20 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 
 	"gpuscale/internal/hw"
 	"gpuscale/internal/kernel"
+	"gpuscale/internal/obs"
 	"gpuscale/internal/sweep"
 )
 
@@ -129,6 +136,188 @@ func TestRunResumeJournalCompletesAcrossRuns(t *testing.T) {
 	}
 	if len(m.Kernels) != 24 {
 		t.Fatalf("resumed journal has %d kernels, want 24", len(m.Kernels))
+	}
+}
+
+// metricValue extracts one series value from a Prometheus exposition.
+func metricValue(t *testing.T, text, series string) uint64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(series) + ` (\d+)$`)
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("series %s not found in exposition:\n%s", series, text)
+	}
+	v, err := strconv.ParseUint(m[1], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestObservedFaultySweepEndToEnd is the acceptance drill for the
+// telemetry layer: a faulty sweep run with -trace-out, -metrics-addr
+// and -progress must produce (1) a parseable JSONL trace, (2) a live
+// /metrics exposition whose retry and fault counters agree with the
+// trace, (3) a /progress ETA — and (4) a CSV byte-identical to the
+// same sweep run with no observability at all.
+func TestObservedFaultySweepEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	plainCSV := filepath.Join(dir, "plain.csv")
+	obsCSV := filepath.Join(dir, "observed.csv")
+	tracePath := filepath.Join(dir, "run.trace")
+
+	base := cliOptions{
+		suite: "graphana", engine: "round",
+		faultRate: 0.05, faultSeed: 3, retries: 6,
+	}
+	plain := base
+	plain.out = plainCSV
+	if err := run(context.Background(), plain); err != nil {
+		t.Fatalf("unobserved run: %v", err)
+	}
+
+	observed := base
+	observed.out = obsCSV
+	observed.traceOut = tracePath
+	observed.metricsAddr = "127.0.0.1:0"
+	observed.progress = true
+	var metricsText string
+	var progress map[string]any
+	observed.probe = func(baseURL string) error {
+		res, err := http.Get(baseURL + "/metrics")
+		if err != nil {
+			return err
+		}
+		b, err := io.ReadAll(res.Body)
+		res.Body.Close()
+		if err != nil {
+			return err
+		}
+		if res.StatusCode != http.StatusOK {
+			return fmt.Errorf("/metrics status %d", res.StatusCode)
+		}
+		metricsText = string(b)
+		res, err = http.Get(baseURL + "/progress")
+		if err != nil {
+			return err
+		}
+		defer res.Body.Close()
+		return json.NewDecoder(res.Body).Decode(&progress)
+	}
+	if err := run(context.Background(), observed); err != nil {
+		t.Fatalf("observed run: %v", err)
+	}
+
+	// (4) Zero change to the resulting matrix.
+	a, err := os.ReadFile(plainCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(obsCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("observability changed the measured matrix")
+	}
+
+	// (1) The trace parses and carries the expected span families.
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := obs.ReadEvents(tf)
+	tf.Close()
+	if err != nil {
+		t.Fatalf("trace not parseable JSONL: %v", err)
+	}
+	spans := map[string]int{}
+	traceRetries := 0
+	traceFaults := 0
+	for _, e := range evs {
+		spans[e.Name]++
+		if e.Name == "attempt" {
+			if n, ok := e.Args["attempt"].(float64); ok && n > 1 {
+				traceRetries++
+			}
+		}
+		if e.Name == "fault" {
+			traceFaults++
+		}
+	}
+	if spans["cell"] != 24*891 {
+		t.Fatalf("trace has %d cell spans, want %d", spans["cell"], 24*891)
+	}
+	if spans["sweep"] != 1 || traceFaults == 0 || traceRetries == 0 {
+		t.Fatalf("trace span census %v (retries %d, faults %d)", spans, traceRetries, traceFaults)
+	}
+
+	// (2) /metrics agrees with the trace (and therefore the report:
+	// internal/sweep asserts counters == RunReport directly).
+	gotRetries := metricValue(t, metricsText, `sweep_retries_total`)
+	if gotRetries != uint64(traceRetries) {
+		t.Fatalf("/metrics retries %d != trace retries %d", gotRetries, traceRetries)
+	}
+	gotFaults := metricValue(t, metricsText, `fault_injected_total{kind="error"}`)
+	if gotFaults != uint64(traceFaults) {
+		t.Fatalf("/metrics faults %d != trace faults %d", gotFaults, traceFaults)
+	}
+	// Every injected error forced an extra attempt: with full recovery
+	// the two books must balance.
+	if gotFaults != gotRetries {
+		t.Fatalf("fault counter %d != retry counter %d on a fully recovered sweep", gotFaults, gotRetries)
+	}
+	if ok := metricValue(t, metricsText, `sweep_cells_done_total{status="ok"}`); ok != 24*891 {
+		t.Fatalf("/metrics ok cells = %d, want %d", ok, 24*891)
+	}
+
+	// (3) /progress reports a finished campaign.
+	if progress["done"] != float64(24*891) || progress["total"] != float64(24*891) {
+		t.Fatalf("/progress = %v", progress)
+	}
+	if _, ok := progress["eta_seconds"]; !ok {
+		t.Fatal("/progress missing eta_seconds")
+	}
+	line, _ := progress["line"].(string)
+	if !strings.Contains(line, "cells/s") {
+		t.Fatalf("/progress line = %q", line)
+	}
+}
+
+func TestRunCSVToStdout(t *testing.T) {
+	// -o - must put only CSV on stdout; diagnostics go to stderr.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	runErr := run(context.Background(), cliOptions{out: "-", suite: "graphana", engine: "round"})
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if runErr != nil {
+		t.Fatalf("run -o -: %v", runErr)
+	}
+	if !strings.HasPrefix(out, "kernel,cus,core_mhz,mem_mhz") {
+		t.Fatalf("stdout is not a clean CSV pipe: %.80s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 24*891+1 {
+		t.Fatalf("stdout CSV lines = %d, want %d", lines, 24*891+1)
+	}
+	if strings.Contains(out, "swept ") || strings.Contains(out, "progress:") {
+		t.Fatal("diagnostics leaked onto stdout")
+	}
+}
+
+func TestRunStdoutResumeRejected(t *testing.T) {
+	if err := run(context.Background(), cliOptions{out: "-", engine: "round", resume: true}); err == nil {
+		t.Fatal("-resume with -o - accepted")
 	}
 }
 

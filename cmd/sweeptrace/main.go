@@ -1,0 +1,269 @@
+// Command sweeptrace summarizes a sweep trace written by
+// `gpusweep -trace-out`: per-kernel cell-latency percentiles, retry
+// hotspots (the cells that burned the most attempts), and a breakdown
+// of injected fault kinds. It can also re-wrap the JSONL stream into a
+// JSON array loadable by Chrome-compatible trace viewers
+// (chrome://tracing, Perfetto).
+//
+// Usage:
+//
+//	sweeptrace run.trace                  # summary tables
+//	sweeptrace -top 5 run.trace           # cap the hotspot listing
+//	sweeptrace -kernel graphana run.trace # restrict to matching kernels
+//	sweeptrace -chrome run.json run.trace # convert for trace viewers
+//	gpusweep ... -trace-out - | sweeptrace -   # not supported: trace
+//	                                      # files only, "-" reads stdin
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"gpuscale/internal/obs"
+	"gpuscale/internal/report"
+	"gpuscale/internal/stats"
+)
+
+func main() {
+	top := flag.Int("top", 10, "rows to show in the retry-hotspot table")
+	kernelFilter := flag.String("kernel", "", "only summarize kernels whose name contains this substring")
+	chromeOut := flag.String("chrome", "", "also write the events as a Chrome-viewer JSON array to this file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sweeptrace [-top n] [-kernel substr] [-chrome out.json] <trace.jsonl | ->")
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, flag.Arg(0), *kernelFilter, *top, *chromeOut); err != nil {
+		fmt.Fprintln(os.Stderr, "sweeptrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, path, kernelFilter string, top int, chromeOut string) error {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	evs, err := obs.ReadEvents(r)
+	if err != nil {
+		return err
+	}
+	if chromeOut != "" {
+		if err := writeChrome(chromeOut, evs); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", chromeOut)
+	}
+	s := summarize(evs, kernelFilter)
+	if kernelFilter != "" && len(s.perKernel) == 0 {
+		return fmt.Errorf("no cell spans match kernel filter %q", kernelFilter)
+	}
+	return s.render(w, top)
+}
+
+// cellID names one (kernel, configuration) cell the way CellFailure
+// does, so hotspot rows read like failure dumps.
+type cellID struct {
+	kernel string
+	cus    int
+	core   float64
+	mem    float64
+}
+
+func (c cellID) String() string {
+	return fmt.Sprintf("%s @ cu=%d core=%g mem=%g", c.kernel, c.cus, c.core, c.mem)
+}
+
+// summary aggregates one trace.
+type summary struct {
+	// perKernel holds cell-span durations (in microseconds) by kernel.
+	perKernel map[string][]float64
+	// attempts holds per-cell attempt totals from cell spans.
+	attempts map[cellID]int
+	// statuses counts cell terminal statuses.
+	statuses map[string]int
+	// faults counts injected faults by kind.
+	faults map[string]int
+	// sweep is the whole-sweep span, if present.
+	sweep *obs.Event
+	// events is the total event count (post-filter).
+	events int
+}
+
+// num pulls a float out of span args (JSON numbers decode as float64).
+func num(args map[string]any, key string) float64 {
+	v, _ := args[key].(float64)
+	return v
+}
+
+func str(args map[string]any, key string) string {
+	v, _ := args[key].(string)
+	return v
+}
+
+func summarize(evs []obs.Event, kernelFilter string) *summary {
+	s := &summary{
+		perKernel: map[string][]float64{},
+		attempts:  map[cellID]int{},
+		statuses:  map[string]int{},
+		faults:    map[string]int{},
+	}
+	for i := range evs {
+		e := evs[i]
+		kernel := str(e.Args, "kernel")
+		if kernelFilter != "" && e.Name != "sweep" && !strings.Contains(kernel, kernelFilter) {
+			continue
+		}
+		s.events++
+		switch e.Name {
+		case "cell":
+			s.perKernel[kernel] = append(s.perKernel[kernel], e.Dur)
+			id := cellID{kernel: kernel, cus: int(num(e.Args, "cus")),
+				core: num(e.Args, "core_mhz"), mem: num(e.Args, "mem_mhz")}
+			s.attempts[id] = int(num(e.Args, "attempts"))
+			s.statuses[str(e.Args, "status")]++
+		case "fault":
+			s.faults[str(e.Args, "kind")]++
+		case "sweep":
+			s.sweep = &evs[i]
+		}
+	}
+	return s
+}
+
+func (s *summary) render(w io.Writer, top int) error {
+	if s.events == 0 {
+		return fmt.Errorf("no matching events in trace")
+	}
+	if s.sweep != nil {
+		a := s.sweep.Args
+		fmt.Fprintf(w, "sweep: %.0f cells (%.0f ok, %.0f failed, %.0f canceled, %.0f reused), %.0f attempts, %.0f retries, wall %.1fms\n\n",
+			num(a, "cells"), num(a, "ok"), num(a, "failed"), num(a, "canceled"),
+			num(a, "skipped"), num(a, "attempts"), num(a, "retries"), s.sweep.Dur/1000)
+	}
+
+	// Per-kernel latency percentiles, slowest p99 first.
+	lat := &report.Table{
+		Title:  "Per-kernel cell latency (us)",
+		Header: []string{"kernel", "cells", "p50", "p90", "p99", "max"},
+	}
+	kernels := make([]string, 0, len(s.perKernel))
+	for k := range s.perKernel {
+		kernels = append(kernels, k)
+	}
+	p99 := map[string]float64{}
+	for k, ds := range s.perKernel {
+		p99[k] = stats.Quantile(ds, 0.99)
+	}
+	sort.Slice(kernels, func(i, j int) bool {
+		if p99[kernels[i]] != p99[kernels[j]] {
+			return p99[kernels[i]] > p99[kernels[j]]
+		}
+		return kernels[i] < kernels[j]
+	})
+	for _, k := range kernels {
+		ds := s.perKernel[k]
+		mx := 0.0
+		for _, d := range ds {
+			if d > mx {
+				mx = d
+			}
+		}
+		lat.AddRow(k, len(ds),
+			report.FormatFloat(stats.Quantile(ds, 0.5)),
+			report.FormatFloat(stats.Quantile(ds, 0.9)),
+			report.FormatFloat(p99[k]),
+			report.FormatFloat(mx))
+	}
+	if err := lat.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	// Retry hotspots: cells that consumed more than one attempt.
+	type hot struct {
+		id cellID
+		n  int
+	}
+	var hots []hot
+	for id, n := range s.attempts {
+		if n > 1 {
+			hots = append(hots, hot{id, n})
+		}
+	}
+	sort.Slice(hots, func(i, j int) bool {
+		if hots[i].n != hots[j].n {
+			return hots[i].n > hots[j].n
+		}
+		return hots[i].id.String() < hots[j].id.String()
+	})
+	ht := &report.Table{
+		Title:  fmt.Sprintf("Retry hotspots (top %d of %d retried cells)", top, len(hots)),
+		Header: []string{"cell", "attempts"},
+	}
+	for i, h := range hots {
+		if i == top {
+			break
+		}
+		ht.AddRow(h.id.String(), h.n)
+	}
+	if len(hots) == 0 {
+		ht.AddRow("(no cell needed a retry)", "")
+	}
+	if err := ht.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	// Cell statuses and injected-fault kinds.
+	ft := &report.Table{
+		Title:  "Cell statuses and injected faults",
+		Header: []string{"bucket", "count"},
+	}
+	for _, k := range sortedKeys(s.statuses) {
+		ft.AddRow("status "+k, s.statuses[k])
+	}
+	for _, k := range sortedKeys(s.faults) {
+		ft.AddRow("fault "+k, s.faults[k])
+	}
+	if len(s.faults) == 0 {
+		ft.AddRow("fault (none)", 0)
+	}
+	return ft.Render(w)
+}
+
+func sortedKeys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// writeChrome wraps the JSONL events into the JSON array form Chrome
+// trace viewers load directly.
+func writeChrome(path string, evs []obs.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(evs); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -17,7 +17,13 @@ func (s *Study) WriteMarkdownReport(w io.Writer, clusterK int) error {
 		_, err := fmt.Fprintf(w, format, args...)
 		return err
 	}
-	if err := write("# gpuscale study report\n\nAutomatically generated; see EXPERIMENTS.md for the paper-vs-measured discussion.\n\n"); err != nil {
+	if err := write("# gpuscale study report\n\nAutomatically generated; see EXPERIMENTS.md for the paper-vs-measured discussion.\n\n" +
+		"Provenance: raw sweep archives behind these tables come from\n" +
+		"`gpusweep`. Its diagnostics (summaries, failures, progress) go to\n" +
+		"stderr and the matrix alone to stdout/`-o`, and the observability\n" +
+		"flags (`-trace-out`, `-metrics-addr`, `-progress`) are read-only taps\n" +
+		"— enabling them does not change a single matrix byte, so archives\n" +
+		"regenerated with or without them are interchangeable.\n\n"); err != nil {
 		return err
 	}
 

@@ -52,6 +52,48 @@ type Injector struct {
 	// Seed decorrelates the fault stream; different seeds give
 	// different fault patterns, equal seeds identical ones.
 	Seed int64
+	// OnDecision, when non-nil, is invoked for every fault the
+	// injector fires (never for clean invocations), from whichever
+	// goroutine runs the simulation — it must be safe for concurrent
+	// use and must not block. Observability layers hang counters and
+	// trace annotations here; see Observe.
+	OnDecision func(Decision)
+}
+
+// Kind names the fault a decision injected.
+type Kind uint8
+
+const (
+	// KindError is a transient error wrapping ErrInjected.
+	KindError Kind = iota
+	// KindCorrupt is a corrupted (NaN/negative/Inf) result.
+	KindCorrupt
+	// KindStall is an artificial pre-run delay.
+	KindStall
+)
+
+var kindNames = [...]string{"error", "corrupt", "stall"}
+
+// String returns the kind's lower-case name.
+func (k Kind) String() string {
+	if int(k) >= len(kindNames) {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Decision records one fired fault: which cell, which attempt, what
+// was injected. Corrupt decisions fire at roll time even if the
+// wrapped engine then fails on its own — the decision is the
+// injector's, the outcome the engine's.
+type Decision struct {
+	// Kernel and Config identify the cell.
+	Kernel string
+	Config hw.Config
+	// Attempt is the cell's 0-based invocation counter.
+	Attempt uint64
+	// Kind is the injected fault.
+	Kind Kind
 }
 
 // Validate checks the rates are sane probabilities.
@@ -96,19 +138,29 @@ func (in Injector) Wrap(sim gcn.EngineFunc) gcn.EngineFunc {
 		roll, sub := in.roll(k.Name, cfg, attempt)
 		switch {
 		case roll < in.ErrorRate:
+			in.decided(k.Name, cfg, attempt, KindError)
 			// The caller (CellFailure) already names the cell; only the
 			// attempt number is new information here.
 			return gcn.Result{}, fmt.Errorf("attempt %d: %w", attempt, ErrInjected)
 		case roll < in.ErrorRate+in.CorruptRate:
+			in.decided(k.Name, cfg, attempt, KindCorrupt)
 			r, err := sim(k, cfg)
 			if err != nil {
 				return r, err
 			}
 			return corrupt(r, sub), nil
 		case roll < in.ErrorRate+in.CorruptRate+in.StallRate:
+			in.decided(k.Name, cfg, attempt, KindStall)
 			time.Sleep(stall)
 		}
 		return sim(k, cfg)
+	}
+}
+
+// decided reports one fired fault to the OnDecision hook, if any.
+func (in Injector) decided(name string, cfg hw.Config, attempt uint64, kind Kind) {
+	if in.OnDecision != nil {
+		in.OnDecision(Decision{Kernel: name, Config: cfg, Attempt: attempt, Kind: kind})
 	}
 }
 

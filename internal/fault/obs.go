@@ -1,0 +1,41 @@
+package fault
+
+import (
+	"gpuscale/internal/obs"
+)
+
+// MetricInjected is the counter family Observe registers: fired
+// faults, labelled kind="error|corrupt|stall".
+const MetricInjected = "fault_injected_total"
+
+// Observe returns an OnDecision hook that turns injector decisions
+// into telemetry: one MetricInjected counter increment per fired
+// fault, and (when tw is non-nil) one instant "fault" span in the
+// fault category carrying the cell, attempt and kind. Either sink may
+// be nil. Counters are pre-registered so even a clean run exposes the
+// series at zero — dashboards should not have to guess whether a
+// missing counter means "no faults" or "no instrumentation".
+func Observe(reg *obs.Registry, tw *obs.TraceWriter) func(Decision) {
+	var counters [len(kindNames)]*obs.Counter
+	if reg != nil {
+		for k := range counters {
+			counters[k] = reg.Counter(MetricInjected, "faults fired by the injector",
+				obs.L("kind", Kind(k).String()))
+		}
+	}
+	return func(d Decision) {
+		if reg != nil && int(d.Kind) < len(counters) {
+			counters[d.Kind].Inc()
+		}
+		if tw != nil {
+			tw.Instant("fault", "fault", 0, map[string]any{
+				"kind":     d.Kind.String(),
+				"kernel":   d.Kernel,
+				"cus":      d.Config.CUs,
+				"core_mhz": d.Config.CoreClockMHz,
+				"mem_mhz":  d.Config.MemClockMHz,
+				"attempt":  d.Attempt,
+			})
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the registry and progress reporter over HTTP:
+//
+//	GET /metrics   Prometheus text exposition of reg
+//	GET /progress  JSON snapshot {done,total,percent,cells_per_sec,
+//	               elapsed_seconds,eta_seconds,line}
+//
+// Either argument may be nil; the corresponding endpoint then answers
+// 404. The handler is stdlib-only and safe to mount on any mux.
+func Handler(reg *Registry, p *Progress) http.Handler {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = reg.WriteText(w)
+		})
+	}
+	if p != nil {
+		mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+			s := p.Snapshot()
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"done":            s.Done,
+				"total":           s.Total,
+				"percent":         s.Percent,
+				"cells_per_sec":   s.Rate,
+				"elapsed_seconds": s.Elapsed.Seconds(),
+				"eta_seconds":     s.ETA.Seconds(),
+				"line":            s.Line(),
+			})
+		})
+	}
+	return mux
+}

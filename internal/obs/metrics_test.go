@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "total requests")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	// Same (name, labels) returns the same series.
+	if r.Counter("requests_total", "") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(3)
+	g.Add(-1.5)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", g.Value())
+	}
+}
+
+func TestLabelledSeriesAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	ok := r.Counter("cells_total", "cells", L("status", "ok"))
+	bad := r.Counter("cells_total", "cells", L("status", "failed"))
+	if ok == bad {
+		t.Fatal("different labels returned the same series")
+	}
+	ok.Add(3)
+	bad.Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE cells_total counter",
+		`cells_total{status="ok"} 3`,
+		`cells_total{status="failed"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// The family header must appear exactly once.
+	if n := strings.Count(text, "# TYPE cells_total"); n != 1 {
+		t.Errorf("TYPE line appears %d times, want 1", n)
+	}
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "cell latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-5.555) > 1e-9 {
+		t.Fatalf("sum = %g, want 5.555", got)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.01"} 1`,
+		`latency_seconds_bucket{le="0.1"} 2`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="+Inf"} 4`,
+		"latency_seconds_count 4",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "", []float64{1, 2, 4, 8})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all in the (1,2] bucket
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 1 || p50 > 2 {
+		t.Fatalf("p50 = %g, want within (1,2]", p50)
+	}
+	if h.Quantile(0) > 1 {
+		t.Fatalf("p0 = %g, want <= 1", h.Quantile(0))
+	}
+	var empty Histogram
+	if empty.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+}
+
+func TestSnapshotOrderAndValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(2)
+	r.Gauge("b", "").Set(7)
+	r.Histogram("c_seconds", "", []float64{1}).Observe(0.5)
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d samples, want 3", len(snap))
+	}
+	if snap[0].Name != "a_total" || snap[0].Value != 2 || snap[0].Kind != "counter" {
+		t.Errorf("sample 0 = %+v", snap[0])
+	}
+	if snap[1].Name != "b" || snap[1].Value != 7 || snap[1].Kind != "gauge" {
+		t.Errorf("sample 1 = %+v", snap[1])
+	}
+	if snap[2].Name != "c_seconds" || snap[2].Value != 1 || snap[2].Sum != 0.5 {
+		t.Errorf("sample 2 = %+v", snap[2])
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x", "")
+	r.Gauge("x", "")
+}
+
+func TestConcurrentUseIsRaceFree(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("hits_total", "", L("w", "a")).Inc()
+				r.Gauge("level", "").Add(1)
+				r.Histogram("lat", "", nil).Observe(0.001)
+			}
+		}()
+	}
+	var b strings.Builder
+	for i := 0; i < 20; i++ {
+		b.Reset()
+		if err := r.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		r.Snapshot()
+	}
+	wg.Wait()
+	if got := r.Counter("hits_total", "", L("w", "a")).Value(); got != 8*500 {
+		t.Fatalf("counter = %d, want %d", got, 8*500)
+	}
+}

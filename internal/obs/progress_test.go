@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestProgressSnapshotAndLine(t *testing.T) {
+	var done atomic.Uint64
+	p := NewProgress(done.Load)
+	p.SetTotal(100)
+	done.Store(25)
+	s := p.Snapshot()
+	if s.Done != 25 || s.Total != 100 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Percent != 25 {
+		t.Fatalf("percent = %g, want 25", s.Percent)
+	}
+	if s.Rate <= 0 {
+		t.Fatalf("rate = %g, want > 0", s.Rate)
+	}
+	if s.ETA <= 0 {
+		t.Fatalf("ETA = %v, want > 0 while incomplete", s.ETA)
+	}
+	line := s.Line()
+	if !strings.Contains(line, "25/100") || !strings.Contains(line, "cells/s") {
+		t.Fatalf("line = %q", line)
+	}
+	// Finished campaigns stop showing an ETA.
+	done.Store(100)
+	if eta := p.Snapshot().ETA; eta != 0 {
+		t.Fatalf("ETA after completion = %v, want 0", eta)
+	}
+}
+
+func TestProgressThrottle(t *testing.T) {
+	var done atomic.Uint64
+	p := NewProgress(done.Load)
+	p.SetTotal(10)
+	p.Interval = time.Hour
+	var b strings.Builder
+	if !p.MaybeEmit(&b) {
+		t.Fatal("first emit throttled")
+	}
+	if p.MaybeEmit(&b) {
+		t.Fatal("second emit not throttled")
+	}
+	p.Emit(&b) // unconditional
+	if lines := strings.Count(b.String(), "\n"); lines != 2 {
+		t.Fatalf("emitted %d lines, want 2", lines)
+	}
+	// Interval 0 never throttles.
+	p.Interval = 0
+	if !p.MaybeEmit(&b) {
+		t.Fatal("zero interval throttled")
+	}
+}
+
+func TestHandlerServesMetricsAndProgress(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sweep_retries_total", "retries").Add(7)
+	var done atomic.Uint64
+	done.Store(3)
+	p := NewProgress(done.Load)
+	p.SetTotal(9)
+
+	srv := httptest.NewServer(Handler(reg, p))
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "sweep_retries_total 7") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+
+	res, err = srv.Client().Get(srv.URL + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var got map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got["done"] != float64(3) || got["total"] != float64(9) {
+		t.Fatalf("/progress = %v", got)
+	}
+	if _, ok := got["eta_seconds"]; !ok {
+		t.Fatal("/progress missing eta_seconds")
+	}
+}

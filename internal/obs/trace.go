@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one trace record in the Chrome trace-event schema
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// a complete span (ph "X", with ts and dur in microseconds) or an
+// instant marker (ph "i"). The writer emits one JSON object per line
+// (JSONL), so a trace survives a crash mid-write and streams through
+// line-oriented tools; wrap the lines in [] (sweeptrace -chrome does)
+// to load the file in a Chrome-compatible trace viewer.
+type Event struct {
+	// Name identifies the span type, e.g. "cell", "attempt", "fault".
+	Name string `json:"name"`
+	// Cat is the span category, used by viewers for filtering.
+	Cat string `json:"cat,omitempty"`
+	// Phase is "X" (complete span) or "i" (instant).
+	Phase string `json:"ph"`
+	// TS is the start timestamp in microseconds since trace start.
+	TS float64 `json:"ts"`
+	// Dur is the span duration in microseconds (complete spans only).
+	Dur float64 `json:"dur,omitempty"`
+	// PID and TID give viewers a lane; the sweep uses TID for the
+	// matrix row so each kernel renders as its own track.
+	PID int   `json:"pid"`
+	TID int64 `json:"tid"`
+	// Args carries span-specific payload (kernel, config, attempt,
+	// status, error, fault kind, ...).
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceWriter emits Events as JSONL. It is safe for concurrent use;
+// each event is one buffered, atomically written line. The zero
+// timestamp is the writer's creation time.
+type TraceWriter struct {
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	enc   *json.Encoder
+	start time.Time
+	err   error
+}
+
+// NewTraceWriter wraps w; events are buffered, call Flush (or Close on
+// the underlying file after Flush) when done.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	bw := bufio.NewWriter(w)
+	return &TraceWriter{bw: bw, enc: json.NewEncoder(bw), start: time.Now()}
+}
+
+// Since returns the trace-relative timestamp of t in microseconds.
+func (tw *TraceWriter) Since(t time.Time) float64 {
+	return float64(t.Sub(tw.start)) / float64(time.Microsecond)
+}
+
+// Emit writes one event. Write errors are sticky: the first is kept
+// and every later Emit is a no-op, so hot paths need no error
+// handling; check Err or Flush at the end.
+func (tw *TraceWriter) Emit(e Event) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.err != nil {
+		return
+	}
+	tw.err = tw.enc.Encode(e)
+}
+
+// Complete emits a completed span that started at start and lasted d.
+func (tw *TraceWriter) Complete(name, cat string, tid int64, start time.Time, d time.Duration, args map[string]any) {
+	tw.Emit(Event{
+		Name: name, Cat: cat, Phase: "X",
+		TS: tw.Since(start), Dur: float64(d) / float64(time.Microsecond),
+		TID: tid, Args: args,
+	})
+}
+
+// Instant emits a zero-duration marker stamped now.
+func (tw *TraceWriter) Instant(name, cat string, tid int64, args map[string]any) {
+	tw.Emit(Event{
+		Name: name, Cat: cat, Phase: "i",
+		TS: tw.Since(time.Now()), TID: tid, Args: args,
+	})
+}
+
+// Flush drains the buffer and returns the first error seen, if any.
+func (tw *TraceWriter) Flush() error {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if err := tw.bw.Flush(); err != nil && tw.err == nil {
+		tw.err = err
+	}
+	return tw.err
+}
+
+// Err returns the sticky write error, if any.
+func (tw *TraceWriter) Err() error {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	return tw.err
+}
+
+// ReadEvents parses a JSONL trace stream back into events — the
+// inverse of Emit, used by sweeptrace and tests. Blank lines are
+// skipped; a malformed line aborts with its line number.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, &TraceParseError{Line: line, Err: err}
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TraceParseError reports a malformed trace line.
+type TraceParseError struct {
+	Line int
+	Err  error
+}
+
+func (e *TraceParseError) Error() string {
+	return fmt.Sprintf("obs: trace line %d: %v", e.Line, e.Err)
+}
+
+func (e *TraceParseError) Unwrap() error { return e.Err }

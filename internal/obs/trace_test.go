@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	start := time.Now()
+	tw.Complete("cell", "sweep", 3, start, 42*time.Microsecond,
+		map[string]any{"kernel": "k1", "attempts": 2.0})
+	tw.Instant("fault", "fault", 3, map[string]any{"kind": "error"})
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every line is standalone JSON (the JSONL contract).
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2", len(lines))
+	}
+	for i, l := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(l), &m); err != nil {
+			t.Fatalf("line %d is not JSON: %v", i, err)
+		}
+	}
+
+	evs, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("read %d events, want 2", len(evs))
+	}
+	cell := evs[0]
+	if cell.Name != "cell" || cell.Phase != "X" || cell.TID != 3 {
+		t.Errorf("cell event = %+v", cell)
+	}
+	if cell.Dur != 42 {
+		t.Errorf("cell dur = %g us, want 42", cell.Dur)
+	}
+	if cell.Args["kernel"] != "k1" {
+		t.Errorf("cell args = %v", cell.Args)
+	}
+	if evs[1].Phase != "i" || evs[1].Args["kind"] != "error" {
+		t.Errorf("instant event = %+v", evs[1])
+	}
+}
+
+func TestReadEventsRejectsGarbageWithLineNumber(t *testing.T) {
+	_, err := ReadEvents(strings.NewReader("{\"name\":\"ok\",\"ph\":\"i\",\"ts\":0,\"pid\":0,\"tid\":0}\nnot json\n"))
+	var pe *TraceParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want TraceParseError", err)
+	}
+	if pe.Line != 2 {
+		t.Fatalf("bad line reported as %d, want 2", pe.Line)
+	}
+}
+
+func TestTraceWriterStickyError(t *testing.T) {
+	tw := NewTraceWriter(failWriter{})
+	for i := 0; i < 100; i++ {
+		tw.Instant("x", "", 0, nil)
+	}
+	if tw.Flush() == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestTraceWriterConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tw.Complete("cell", "sweep", int64(w), time.Now(), time.Microsecond, nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatalf("interleaved writes corrupted the stream: %v", err)
+	}
+	if len(evs) != 8*200 {
+		t.Fatalf("read %d events, want %d", len(evs), 8*200)
+	}
+}

@@ -1,0 +1,268 @@
+package sweep
+
+import (
+	"io"
+	"time"
+
+	"gpuscale/internal/hw"
+	"gpuscale/internal/obs"
+)
+
+// Observer receives sweep runtime events. Methods are invoked from
+// worker goroutines, concurrently, so implementations must be safe for
+// concurrent use; they must also be fast — every call sits on the
+// measurement hot path. A nil Options.Observer costs one predictable
+// branch per event site (benchmarked via `make bench-obs`).
+//
+// Observers are strictly read-only taps: the runtime never lets an
+// observer influence scheduling, retries, noise draws, or results, so
+// an observed sweep is byte-identical to an unobserved one.
+type Observer interface {
+	// CellTiming reports whether the observer consumes per-cell and
+	// per-attempt durations. When false, the runtime skips the
+	// monotonic clock read each one costs — on a ~1µs simulated cell a
+	// single read is ~5% overhead, the entire bench-obs budget — and
+	// delivers CellAttempt/CellDone with zero durations. Row- and
+	// sweep-level timing is always measured; it is amortized over
+	// hundreds of cells.
+	CellTiming() bool
+	// SweepStart fires once, before any cell runs: the sweep shape and
+	// how many cells a Resume reused from the prior matrix.
+	SweepStart(kernels, configs, skipped int)
+	// CellAttempt fires after every simulator invocation with its
+	// 1-based attempt number, duration, and error (nil on success;
+	// validation failures arrive as ErrCorruptResult).
+	CellAttempt(row int, kernel string, cfg hw.Config, attempt int, d time.Duration, err error)
+	// CellDone fires when a cell reaches a terminal status. attempts
+	// is the simulator invocations the cell consumed (0 when it was
+	// canceled before running); d spans first attempt to settlement.
+	CellDone(row int, kernel string, cfg hw.Config, status CellStatus, attempts int, d time.Duration)
+	// RowDone fires when a kernel row settles. queueWait is how long
+	// the row waited between sweep start and worker pickup; d is the
+	// row's compute duration.
+	RowDone(row int, kernel string, queueWait, d time.Duration)
+	// SweepEnd fires once with the final report, after every worker
+	// has drained.
+	SweepEnd(rep *RunReport)
+}
+
+// NopObserver is an Observer that ignores every event — the default
+// stand-in when callers want the instrumented code path without any
+// sink attached.
+type NopObserver struct{}
+
+func (NopObserver) CellTiming() bool                                                { return false }
+func (NopObserver) SweepStart(int, int, int)                                        {}
+func (NopObserver) CellAttempt(int, string, hw.Config, int, time.Duration, error)   {}
+func (NopObserver) CellDone(int, string, hw.Config, CellStatus, int, time.Duration) {}
+func (NopObserver) RowDone(int, string, time.Duration, time.Duration)               {}
+func (NopObserver) SweepEnd(*RunReport)                                             {}
+
+// Metric names the Telemetry observer registers. Exported so CLIs,
+// dashboards and tests agree on the contract (see DESIGN.md,
+// "Observing a sweep").
+const (
+	// MetricCells is a gauge holding the sweep's total cell count.
+	MetricCells = "sweep_cells_total"
+	// MetricCellsDone counts settled cells, labelled
+	// status="ok|failed|canceled|skipped".
+	MetricCellsDone = "sweep_cells_done_total"
+	// MetricRowsDone counts settled kernel rows.
+	MetricRowsDone = "sweep_rows_done_total"
+	// MetricAttempts counts simulator invocations.
+	MetricAttempts = "sweep_attempts_total"
+	// MetricRetries counts invocations beyond each cell's first.
+	MetricRetries = "sweep_retries_total"
+	// MetricCellLatency is a histogram of per-cell settle latency in
+	// seconds (first attempt through terminal status).
+	MetricCellLatency = "sweep_cell_latency_seconds"
+	// MetricQueueWait is a histogram of row queue wait in seconds
+	// (sweep start to worker pickup).
+	MetricQueueWait = "sweep_queue_wait_seconds"
+	// MetricJournalAppends counts journal row checkpoints.
+	MetricJournalAppends = "sweep_journal_appends_total"
+	// MetricJournalErrors counts failed journal checkpoints.
+	MetricJournalErrors = "sweep_journal_errors_total"
+)
+
+// Telemetry is the production Observer: it feeds an obs.Registry
+// (counters, gauges, latency histograms), optionally emits spans to an
+// obs.TraceWriter, and optionally drives a throttled progress line.
+// All sinks are safe for the runtime's concurrent delivery.
+type Telemetry struct {
+	reg *obs.Registry
+	tw  *obs.TraceWriter
+
+	cells          *obs.Gauge
+	doneOK         *obs.Counter
+	doneFailed     *obs.Counter
+	doneCanceled   *obs.Counter
+	doneSkipped    *obs.Counter
+	rowsDone       *obs.Counter
+	attempts       *obs.Counter
+	retries        *obs.Counter
+	cellLatency    *obs.Histogram
+	queueWait      *obs.Histogram
+	journalAppends *obs.Counter
+	journalErrors  *obs.Counter
+
+	progress  *obs.Progress
+	progressW io.Writer
+
+	sweepStart time.Time
+}
+
+var _ Observer = (*Telemetry)(nil)
+
+// NewTelemetry builds a Telemetry observer over reg (a fresh registry
+// is created when nil) and tw (nil disables tracing).
+func NewTelemetry(reg *obs.Registry, tw *obs.TraceWriter) *Telemetry {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	t := &Telemetry{
+		reg:            reg,
+		tw:             tw,
+		cells:          reg.Gauge(MetricCells, "total cells in the sweep"),
+		doneOK:         reg.Counter(MetricCellsDone, "settled cells by status", obs.L("status", "ok")),
+		doneFailed:     reg.Counter(MetricCellsDone, "", obs.L("status", "failed")),
+		doneCanceled:   reg.Counter(MetricCellsDone, "", obs.L("status", "canceled")),
+		doneSkipped:    reg.Counter(MetricCellsDone, "", obs.L("status", "skipped")),
+		rowsDone:       reg.Counter(MetricRowsDone, "settled kernel rows"),
+		attempts:       reg.Counter(MetricAttempts, "simulator invocations"),
+		retries:        reg.Counter(MetricRetries, "invocations beyond each cell's first"),
+		cellLatency:    reg.Histogram(MetricCellLatency, "per-cell settle latency (s)", nil),
+		queueWait:      reg.Histogram(MetricQueueWait, "row queue wait (s)", nil),
+		journalAppends: reg.Counter(MetricJournalAppends, "journal row checkpoints"),
+		journalErrors:  reg.Counter(MetricJournalErrors, "failed journal checkpoints"),
+	}
+	t.progress = obs.NewProgress(func() uint64 {
+		return t.doneOK.Value() + t.doneFailed.Value() + t.doneCanceled.Value() + t.doneSkipped.Value()
+	})
+	return t
+}
+
+// CellTiming implements Observer: Telemetry feeds latency histograms
+// and spans, so it pays for per-cell clock reads.
+func (t *Telemetry) CellTiming() bool { return true }
+
+// Registry returns the backing metrics registry (for /metrics).
+func (t *Telemetry) Registry() *obs.Registry { return t.reg }
+
+// Progress returns the progress reporter (for /progress).
+func (t *Telemetry) Progress() *obs.Progress { return t.progress }
+
+// EmitProgress turns on the throttled progress line: at most one line
+// per interval is written to w as cells settle, plus a final
+// unthrottled line at SweepEnd.
+func (t *Telemetry) EmitProgress(w io.Writer, interval time.Duration) {
+	t.progress.Interval = interval
+	t.progressW = w
+}
+
+// cfgArgs renders a configuration into span args, shared by every
+// span so traces key cleanly on kernel/config/attempt.
+func cfgArgs(kernel string, cfg hw.Config) map[string]any {
+	return map[string]any{
+		"kernel":   kernel,
+		"cus":      cfg.CUs,
+		"core_mhz": cfg.CoreClockMHz,
+		"mem_mhz":  cfg.MemClockMHz,
+	}
+}
+
+// SweepStart implements Observer.
+func (t *Telemetry) SweepStart(kernels, configs, skipped int) {
+	t.sweepStart = time.Now()
+	t.cells.Set(float64(kernels * configs))
+	if skipped > 0 {
+		t.doneSkipped.Add(uint64(skipped))
+	}
+	t.progress.SetTotal(uint64(kernels * configs))
+	if t.tw != nil {
+		t.tw.Instant("sweep.start", "sweep", 0, map[string]any{
+			"kernels": kernels, "configs": configs, "skipped": skipped,
+		})
+	}
+}
+
+// CellAttempt implements Observer.
+func (t *Telemetry) CellAttempt(row int, kernel string, cfg hw.Config, attempt int, d time.Duration, err error) {
+	t.attempts.Inc()
+	if attempt > 1 {
+		t.retries.Inc()
+	}
+	if t.tw != nil {
+		args := cfgArgs(kernel, cfg)
+		args["attempt"] = attempt
+		if err != nil {
+			args["err"] = err.Error()
+		}
+		t.tw.Complete("attempt", "sweep", int64(row), time.Now().Add(-d), d, args)
+	}
+}
+
+// CellDone implements Observer.
+func (t *Telemetry) CellDone(row int, kernel string, cfg hw.Config, status CellStatus, attempts int, d time.Duration) {
+	switch status {
+	case StatusFailed:
+		t.doneFailed.Inc()
+	case StatusCanceled:
+		t.doneCanceled.Inc()
+	default:
+		t.doneOK.Inc()
+	}
+	t.cellLatency.Observe(d.Seconds())
+	if t.tw != nil {
+		args := cfgArgs(kernel, cfg)
+		args["status"] = status.String()
+		args["attempts"] = attempts
+		t.tw.Complete("cell", "sweep", int64(row), time.Now().Add(-d), d, args)
+	}
+	if t.progressW != nil {
+		t.progress.MaybeEmit(t.progressW)
+	}
+}
+
+// RowDone implements Observer.
+func (t *Telemetry) RowDone(row int, kernel string, queueWait, d time.Duration) {
+	t.rowsDone.Inc()
+	t.queueWait.Observe(queueWait.Seconds())
+	if t.tw != nil {
+		t.tw.Complete("row", "sweep", int64(row), time.Now().Add(-d), d, map[string]any{
+			"kernel": kernel, "queue_wait_us": float64(queueWait) / float64(time.Microsecond),
+		})
+	}
+}
+
+// SweepEnd implements Observer.
+func (t *Telemetry) SweepEnd(rep *RunReport) {
+	if t.tw != nil {
+		t.tw.Complete("sweep", "sweep", 0, t.sweepStart, rep.WallTime, map[string]any{
+			"cells": rep.Cells, "ok": rep.OK, "failed": rep.Failed,
+			"canceled": rep.Canceled, "skipped": rep.Skipped,
+			"attempts": rep.Attempts, "retries": rep.Retries,
+		})
+		t.tw.Flush()
+	}
+	if t.progressW != nil {
+		t.progress.Emit(t.progressW)
+	}
+}
+
+// JournalAppend records one journal checkpoint (not part of the
+// Observer interface — journals are wired through Options.OnRow, so
+// the CLI calls this from the same closure that appends the row).
+func (t *Telemetry) JournalAppend(kernel string, d time.Duration, err error) {
+	t.journalAppends.Inc()
+	if err != nil {
+		t.journalErrors.Inc()
+	}
+	if t.tw != nil {
+		args := map[string]any{"kernel": kernel}
+		if err != nil {
+			args["err"] = err.Error()
+		}
+		t.tw.Complete("journal.append", "journal", 0, time.Now().Add(-d), d, args)
+	}
+}

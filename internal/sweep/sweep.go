@@ -97,6 +97,12 @@ type Options struct {
 	// concurrent use and should only read row r of m. Journals hook
 	// in here to checkpoint completed rows.
 	OnRow func(m *Matrix, r int)
+	// Observer, when non-nil, receives runtime telemetry events
+	// (sweep/cell/attempt lifecycle) from worker goroutines; see the
+	// Observer interface. It is a read-only tap: results are
+	// byte-identical with or without one. nil disables all
+	// instrumentation at the cost of one branch per event site.
+	Observer Observer
 }
 
 // CellStatus records the terminal state of one matrix cell.
@@ -346,6 +352,10 @@ func resume(ctx context.Context, kernels []*kernel.Kernel, space hw.Space, opts 
 	if sim == nil {
 		sim = opts.Engine.Func()
 	}
+	o := opts.Observer
+	if o != nil {
+		o.SweepStart(len(kernels), len(configs), rep.Skipped)
+	}
 
 	start := time.Now()
 	var mu sync.Mutex // guards rep tallies beyond Skipped
@@ -356,7 +366,16 @@ func resume(ctx context.Context, kernels []*kernel.Kernel, space hw.Space, opts 
 		go func() {
 			defer wg.Done()
 			for row := range jobs {
-				sweepRow(ctx, sim, kernels[row], configs, opts, m, row, rep, &mu)
+				// Rows are all queued up front, so queue wait is
+				// measured from sweep start to worker pickup.
+				var pickup time.Time
+				if o != nil {
+					pickup = time.Now()
+				}
+				sweepRow(ctx, sim, kernels[row], configs, opts, m, row, rep, &mu, start)
+				if o != nil {
+					o.RowDone(row, kernels[row].Name, pickup.Sub(start), time.Since(pickup))
+				}
 				if opts.OnRow != nil {
 					opts.OnRow(m, row)
 				}
@@ -371,6 +390,9 @@ func resume(ctx context.Context, kernels []*kernel.Kernel, space hw.Space, opts 
 	close(jobs)
 	wg.Wait()
 	rep.WallTime = time.Since(start)
+	if o != nil {
+		o.SweepEnd(rep)
+	}
 	return m, rep, ctx.Err()
 }
 
@@ -379,8 +401,12 @@ func okRow(n int) []CellStatus { return make([]CellStatus, n) }
 
 // sweepRow measures one kernel over every configuration, retrying
 // faulty cells, and merges the row's accounting into the report.
+// base anchors observer timing: cell and attempt durations are
+// differences of monotonic offsets from it, chained so the common
+// single-attempt cell costs exactly one clock read — per-cell
+// instrumentation has to stay within a few percent of a ~1µs cell.
 func sweepRow(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, configs []hw.Config,
-	opts Options, m *Matrix, row int, rep *RunReport, mu *sync.Mutex) {
+	opts Options, m *Matrix, row int, rep *RunReport, mu *sync.Mutex, base time.Time) {
 	tput := make([]float64, len(configs))
 	times := make([]float64, len(configs))
 	bounds := make([]gcn.Bound, len(configs))
@@ -394,6 +420,12 @@ func sweepRow(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, configs
 		rng = rand.New(rand.NewSource(opts.Seed + int64(row)))
 	}
 
+	o := opts.Observer
+	timed := o != nil && o.CellTiming()
+	var prev time.Duration // monotonic offset at the current cell's start
+	if timed {
+		prev = time.Since(base)
+	}
 	var ok, failed, canceled, attempts, retries int
 	var failures []CellFailure
 	for c, cfg := range configs {
@@ -404,9 +436,17 @@ func sweepRow(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, configs
 		if ctx.Err() != nil {
 			status[c] = StatusCanceled
 			canceled++
+			if o != nil {
+				o.CellDone(row, k.Name, cfg, StatusCanceled, 0, 0)
+			}
 			continue
 		}
-		r, n, err := runCell(ctx, sim, k, cfg, opts)
+		r, n, end, err := runCell(ctx, sim, k, cfg, opts, row, timed, base, prev)
+		var cellDur time.Duration
+		if timed {
+			cellDur = end - prev
+			prev = end
+		}
 		attempts += n
 		if n > 1 {
 			retries += n - 1
@@ -415,17 +455,26 @@ func sweepRow(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, configs
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				status[c] = StatusCanceled
 				canceled++
+				if o != nil {
+					o.CellDone(row, k.Name, cfg, StatusCanceled, n, cellDur)
+				}
 				continue
 			}
 			status[c] = StatusFailed
 			failed++
 			failures = append(failures, CellFailure{Kernel: k.Name, Config: cfg, Attempts: n, Err: err})
+			if o != nil {
+				o.CellDone(row, k.Name, cfg, StatusFailed, n, cellDur)
+			}
 			continue
 		}
 		tput[c] = r.Throughput * noise
 		times[c] = r.TimeNS
 		bounds[c] = r.Bound
 		ok++
+		if o != nil {
+			o.CellDone(row, k.Name, cfg, StatusOK, n, cellDur)
+		}
 	}
 	m.Throughput[row] = tput
 	m.TimeNS[row] = times
@@ -444,27 +493,44 @@ func sweepRow(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, configs
 
 // runCell runs one simulation with validation, retry and backoff.
 // It returns the validated result, the number of attempts consumed,
-// and the final error if every attempt failed.
-func runCell(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, cfg hw.Config, opts Options) (gcn.Result, int, error) {
+// the monotonic offset (from base) at which the last attempt ended
+// when an observer is attached, and the final error if every attempt
+// failed. Each simulator invocation is reported to the observer with
+// its duration and error. Timing chains off the caller-supplied start
+// offset so a single-attempt cell costs one clock read; retry
+// attempts (rare) re-read the clock after the backoff sleep so the
+// sleep never pollutes an attempt's duration. timed caches
+// Observer.CellTiming: when false every clock read is skipped and
+// the observer receives zero durations.
+func runCell(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, cfg hw.Config,
+	opts Options, row int, timed bool, base time.Time, startOff time.Duration) (gcn.Result, int, time.Duration, error) {
 	backoff := opts.Backoff
 	maxBackoff := opts.MaxBackoff
 	if maxBackoff <= 0 {
 		maxBackoff = 100 * time.Millisecond
 	}
+	o := opts.Observer
 	var lastErr error
 	attempts := 0
+	attemptStart := startOff
+	end := startOff
 	for try := 0; try <= opts.Retries; try++ {
-		if try > 0 && backoff > 0 {
-			t := time.NewTimer(backoff)
-			select {
-			case <-t.C:
-			case <-ctx.Done():
-				t.Stop()
-				return gcn.Result{}, attempts, ctx.Err()
+		if try > 0 {
+			if backoff > 0 {
+				t := time.NewTimer(backoff)
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return gcn.Result{}, attempts, end, ctx.Err()
+				}
+				backoff *= 2
+				if backoff > maxBackoff {
+					backoff = maxBackoff
+				}
 			}
-			backoff *= 2
-			if backoff > maxBackoff {
-				backoff = maxBackoff
+			if timed {
+				attemptStart = time.Since(base)
 			}
 		}
 		attempts++
@@ -472,15 +538,21 @@ func runCell(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, cfg hw.C
 		if err == nil {
 			err = validate(r)
 		}
+		if o != nil {
+			if timed {
+				end = time.Since(base)
+			}
+			o.CellAttempt(row, k.Name, cfg, attempts, end-attemptStart, err)
+		}
 		if err == nil {
-			return r, attempts, nil
+			return r, attempts, end, nil
 		}
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return gcn.Result{}, attempts, err
+			return gcn.Result{}, attempts, end, err
 		}
 		lastErr = err
 	}
-	return gcn.Result{}, attempts, lastErr
+	return gcn.Result{}, attempts, end, lastErr
 }
 
 // simulate invokes the engine, bounded by timeout when one is set. A
