@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-obs
+.PHONY: build test check fuzz-smoke bench bench-obs
 
 build:
 	$(GO) build ./...
@@ -8,12 +8,21 @@ build:
 test:
 	$(GO) test ./...
 
-# Fast robustness gate: vet everything, race-test the sweep runtime,
-# the fault injector, and the observability layer (the
-# concurrency-heavy packages) plus the trace-consuming CLI.
+# Fast robustness gate: vet everything, race-test the sweep runtime
+# (including the supervised executor, journal recovery and
+# kill-resume tests), the fault injector, and the observability layer
+# (the concurrency-heavy packages) plus the CLIs, then smoke the fuzz
+# targets.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sweep/... ./internal/fault/... ./internal/obs/... ./cmd/sweeptrace/...
+	$(GO) test -race ./internal/sweep/... ./internal/fault/... ./internal/obs/... ./cmd/gpusweep/... ./cmd/sweeptrace/...
+	$(MAKE) fuzz-smoke
+
+# Short coverage-guided fuzz of the journal decoder and the CSV
+# loaders (go test takes one -fuzz target per invocation).
+fuzz-smoke:
+	$(GO) test ./internal/sweep -run '^$$' -fuzz 'FuzzJournalScan$$' -fuzztime 5s
+	$(GO) test ./internal/sweep -run '^$$' -fuzz 'FuzzReadCSV$$' -fuzztime 5s
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -3,10 +3,15 @@
 // step of the study.
 //
 // The runtime is built for flaky measurement campaigns: per-cell
-// retries with backoff, per-simulation timeouts, Ctrl-C cancellation
-// that keeps completed work, a deterministic fault injector for
-// robustness drills, and a journaled resume mode that recomputes only
-// the rows a previous (crashed or canceled) run did not finish.
+// retries with backoff, per-simulation timeouts, panic isolation and
+// a stall watchdog, a per-kernel circuit breaker that quarantines
+// pathological rows, Ctrl-C cancellation that keeps completed work, a
+// deterministic fault injector for robustness drills, and a journaled
+// resume mode (checksummed journal v2) that recomputes only the rows
+// a previous (crashed or canceled) run did not finish. A corrupt or
+// torn journal is salvaged, not fatal: the readable prefix is kept,
+// the rest recomputed, and the process exits with code 3 so scripts
+// can detect that truncation happened.
 //
 // Long campaigns are observable while they run: -trace-out streams a
 // span per cell, attempt, journal append and injected fault as JSONL
@@ -26,7 +31,11 @@
 //	gpusweep -noise 0.05 -seed 7      # inject measurement noise
 //	gpusweep -retries 3 -backoff 2ms  # retry faulty cells
 //	gpusweep -sim-timeout 5s          # bound each simulation
+//	gpusweep -sim-timeout 5s -stall-grace 1s  # abandon stuck engine calls
 //	gpusweep -fault-rate 0.05 -fault-seed 1  # fault-injection drill
+//	gpusweep -fault-panic-rate 0.01   # drill engine panics too
+//	gpusweep -breaker 5               # quarantine a kernel row after
+//	                                  # 5 consecutive hard failures
 //	gpusweep -o run.csv -resume       # journal rows; rerun to finish
 //	gpusweep -trace-out run.trace -progress  # live telemetry
 //	gpusweep -metrics-addr :9090      # curl /metrics and /progress
@@ -64,7 +73,12 @@ type cliOptions struct {
 	retries     int
 	backoff     time.Duration
 	simTimeout  time.Duration
+	stallGrace  time.Duration
+	breaker     int
+	quarantine  int
 	faultRate   float64
+	panicRate   float64
+	tornRate    float64
 	faultSeed   int64
 	resume      bool
 	traceOut    string
@@ -89,7 +103,12 @@ func main() {
 	flag.IntVar(&o.retries, "retries", 0, "extra attempts per cell after a failed or corrupt simulation")
 	flag.DurationVar(&o.backoff, "backoff", 0, "initial retry backoff (doubles per retry, capped)")
 	flag.DurationVar(&o.simTimeout, "sim-timeout", 0, "per-simulation timeout (0 = none)")
+	flag.DurationVar(&o.stallGrace, "stall-grace", 0, "abandon engine calls this long after cancellation and mark the cell stalled (0 = wait forever)")
+	flag.IntVar(&o.breaker, "breaker", 0, "quarantine the rest of a kernel row after this many consecutive hard failures (0 disables)")
+	flag.IntVar(&o.quarantine, "quarantine", 0, "quarantine all unstarted kernels after this many breaker trips (0 disables)")
 	flag.Float64Var(&o.faultRate, "fault-rate", 0, "inject transient faults at this rate (robustness drills)")
+	flag.Float64Var(&o.panicRate, "fault-panic-rate", 0, "inject engine panics at this rate (robustness drills)")
+	flag.Float64Var(&o.tornRate, "fault-torn-rate", 0, "inject torn journal writes at this rate (needs -resume)")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault-injection seed")
 	flag.BoolVar(&o.resume, "resume", false, "journal completed rows to -o and, on rerun, recompute only missing rows")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write per-cell/attempt/fault spans to this JSONL trace file (see sweeptrace)")
@@ -109,9 +128,16 @@ func main() {
 	// mode, keeps) every completed row.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, o); err != nil {
+	salvaged, err := run(ctx, o)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpusweep:", err)
 		os.Exit(1)
+	}
+	if salvaged {
+		// Distinct exit code: the run succeeded, but resume had to
+		// drop corrupt journal records and recompute them — scripts
+		// that archive journals should notice.
+		os.Exit(3)
 	}
 }
 
@@ -143,18 +169,23 @@ func loadCorpus(path string) ([]*kernel.Kernel, error) {
 	return kernel.ReadAll(f)
 }
 
-func run(ctx context.Context, o cliOptions) error {
+// run executes the sweep. salvaged reports that resume recovered a
+// corrupt journal by dropping records (main maps it to exit code 3).
+func run(ctx context.Context, o cliOptions) (salvaged bool, err error) {
 	// stdout is a data pipe (summary table, or CSV with -o -); every
 	// diagnostic, progress line and accounting summary goes here.
 	info := os.Stderr
 
 	opts := sweep.Options{
-		Workers:     o.workers,
-		NoiseStdDev: o.noise,
-		Seed:        o.seed,
-		Retries:     o.retries,
-		Backoff:     o.backoff,
-		SimTimeout:  o.simTimeout,
+		Workers:         o.workers,
+		NoiseStdDev:     o.noise,
+		Seed:            o.seed,
+		Retries:         o.retries,
+		Backoff:         o.backoff,
+		SimTimeout:      o.simTimeout,
+		StallGrace:      o.stallGrace,
+		Breaker:         o.breaker,
+		QuarantineAfter: o.quarantine,
 	}
 	switch o.engine {
 	case "round":
@@ -162,13 +193,16 @@ func run(ctx context.Context, o cliOptions) error {
 	case "detailed":
 		opts.Engine = sweep.Detailed
 	default:
-		return fmt.Errorf("unknown engine %q (want round or detailed)", o.engine)
+		return false, fmt.Errorf("unknown engine %q (want round or detailed)", o.engine)
 	}
 	if o.resume && o.out == "" {
-		return fmt.Errorf("-resume needs -o (the journal file)")
+		return false, fmt.Errorf("-resume needs -o (the journal file)")
 	}
 	if o.resume && o.out == "-" {
-		return fmt.Errorf("-resume needs a journal file, not stdout")
+		return false, fmt.Errorf("-resume needs a journal file, not stdout")
+	}
+	if o.tornRate > 0 && !o.resume {
+		return false, fmt.Errorf("-fault-torn-rate needs -resume (it tears journal writes)")
 	}
 
 	// Observability: one Telemetry observer feeds the trace file, the
@@ -184,7 +218,7 @@ func run(ctx context.Context, o cliOptions) error {
 			var err error
 			traceFile, err = os.Create(o.traceOut)
 			if err != nil {
-				return err
+				return false, err
 			}
 			defer traceFile.Close()
 			tw = obs.NewTraceWriter(traceFile)
@@ -195,14 +229,16 @@ func run(ctx context.Context, o cliOptions) error {
 		}
 		opts.Observer = tel
 	}
-	if o.faultRate > 0 {
-		in := fault.Injector{ErrorRate: o.faultRate, Seed: o.faultSeed}
-		if err := in.Validate(); err != nil {
-			return err
-		}
+	in := fault.Injector{ErrorRate: o.faultRate, PanicRate: o.panicRate, TornWriteRate: o.tornRate, Seed: o.faultSeed}
+	if err := in.Validate(); err != nil {
+		return false, err
+	}
+	if in.Active() || in.TornWriteRate > 0 {
 		if tel != nil {
 			in.OnDecision = fault.Observe(tel.Registry(), tw)
 		}
+	}
+	if in.Active() {
 		opts.Sim = in.Wrap(opts.Engine.Func())
 	}
 
@@ -214,7 +250,7 @@ func run(ctx context.Context, o cliOptions) error {
 		}
 		ln, err := net.Listen("tcp", o.metricsAddr)
 		if err != nil {
-			return err
+			return false, err
 		}
 		srv := &http.Server{Handler: obs.Handler(tel.Registry(), tel.Progress())}
 		go srv.Serve(ln) //nolint:errcheck // Close below reports Serve's exit
@@ -227,19 +263,19 @@ func run(ctx context.Context, o cliOptions) error {
 	switch {
 	case o.corpusFile != "":
 		if o.suite != "" {
-			return fmt.Errorf("-corpus and -suite are mutually exclusive")
+			return false, fmt.Errorf("-corpus and -suite are mutually exclusive")
 		}
 		var err error
 		ks, err = loadCorpus(o.corpusFile)
 		if err != nil {
-			return err
+			return false, err
 		}
 	case o.suite == "":
 		ks = suites.AllKernels(suites.Corpus())
 	default:
 		s := suites.FindSuite(suites.Corpus(), o.suite)
 		if s == nil {
-			return fmt.Errorf("unknown suite %q", o.suite)
+			return false, fmt.Errorf("unknown suite %q", o.suite)
 		}
 		for _, p := range s.Programs {
 			for _, e := range p.Kernels {
@@ -252,12 +288,26 @@ func run(ctx context.Context, o cliOptions) error {
 	var journal *sweep.Journal
 	var prior *sweep.Matrix
 	if o.resume {
+		var jopts sweep.JournalOptions
+		if in.TornWriteRate > 0 {
+			jopts.WrapWriter = in.WrapWriter
+		}
 		var err error
-		journal, err = sweep.OpenJournal(o.out, space)
+		journal, err = sweep.OpenJournalWith(o.out, space, jopts)
 		if err != nil {
-			return err
+			return false, err
 		}
 		defer journal.Close()
+		if s := journal.Salvage(); s != nil {
+			if s.MigratedV1 {
+				fmt.Fprintf(info, "gpusweep: journal %s migrated from v1 CSV format\n", o.out)
+			}
+			if s.DroppedBytes > 0 {
+				salvaged = true
+				fmt.Fprintf(info, "gpusweep: journal %s salvaged: dropped %d bytes (~%d records): %s\n",
+					o.out, s.DroppedBytes, s.DroppedRecords, s.Reason)
+			}
+		}
 		prior = journal.Prior()
 		opts.OnRow = func(m *sweep.Matrix, r int) {
 			start := time.Now()
@@ -292,7 +342,7 @@ func run(ctx context.Context, o cliOptions) error {
 		}
 	}
 	if err != nil {
-		return err
+		return salvaged, err
 	}
 
 	if o.suite == "" && o.corpusFile == "" && o.noise == 0 && o.engine == "round" &&
@@ -300,42 +350,39 @@ func run(ctx context.Context, o cliOptions) error {
 		// The summary table needs the canonical full study.
 		s, err := experiments.New()
 		if err != nil {
-			return err
+			return salvaged, err
 		}
 		fmt.Println(s.TableR1())
 	}
 
 	switch {
 	case journal != nil:
-		// Rows were checkpointed as they completed; just verify.
+		// Rows were checkpointed as they completed; verify, then
+		// atomically archive the finished matrix as plain CSV over the
+		// journal (a later -resume run migrates it back if needed).
 		if err := journal.VerifyComplete(m.Kernels); err != nil {
-			return fmt.Errorf("%w (rerun with -resume to finish)", err)
+			return salvaged, fmt.Errorf("%w (rerun with -resume to finish)", err)
 		}
-		fmt.Fprintf(info, "journal %s complete\n", o.out)
+		if err := m.WriteCSVFile(o.out); err != nil {
+			return salvaged, err
+		}
+		fmt.Fprintf(info, "journal %s complete; archived as CSV\n", o.out)
 	case o.out == "-":
 		if err := m.WriteCSV(os.Stdout); err != nil {
-			return err
+			return salvaged, err
 		}
 	case o.out != "":
-		f, err := os.Create(o.out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := m.WriteCSV(f); err != nil {
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
+		if err := m.WriteCSVFile(o.out); err != nil {
+			return salvaged, err
 		}
 		fmt.Fprintf(info, "wrote %s\n", o.out)
 	}
 	if o.probe != nil && metricsURL != "" {
 		if err := o.probe(metricsURL); err != nil {
-			return err
+			return salvaged, err
 		}
 	}
-	return nil
+	return salvaged, nil
 }
 
 // printFailures summarises a partial run's failed cells, capped so a

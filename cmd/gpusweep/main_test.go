@@ -21,7 +21,7 @@ import (
 
 func TestRunSuiteSubsetWithCSV(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "results.csv")
-	if err := run(context.Background(), cliOptions{out: out, suite: "graphana", engine: "round", seed: 1}); err != nil {
+	if _, err := run(context.Background(), cliOptions{out: out, suite: "graphana", engine: "round", seed: 1}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -43,26 +43,26 @@ func TestRunSuiteSubsetWithCSV(t *testing.T) {
 }
 
 func TestRunNoise(t *testing.T) {
-	if err := run(context.Background(), cliOptions{suite: "dwarfs", engine: "round", noise: 0.05, seed: 7, workers: 2}); err != nil {
+	if _, err := run(context.Background(), cliOptions{suite: "dwarfs", engine: "round", noise: 0.05, seed: 7, workers: 2}); err != nil {
 		t.Fatalf("noisy run: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	bg := context.Background()
-	if err := run(bg, cliOptions{suite: "nope", engine: "round"}); err == nil {
+	if _, err := run(bg, cliOptions{suite: "nope", engine: "round"}); err == nil {
 		t.Error("unknown suite accepted")
 	}
-	if err := run(bg, cliOptions{engine: "quantum"}); err == nil {
+	if _, err := run(bg, cliOptions{engine: "quantum"}); err == nil {
 		t.Error("unknown engine accepted")
 	}
-	if err := run(bg, cliOptions{out: "/no/such/dir/x.csv", suite: "graphana", engine: "round"}); err == nil {
+	if _, err := run(bg, cliOptions{out: "/no/such/dir/x.csv", suite: "graphana", engine: "round"}); err == nil {
 		t.Error("unwritable output accepted")
 	}
-	if err := run(bg, cliOptions{engine: "round", resume: true}); err == nil {
+	if _, err := run(bg, cliOptions{engine: "round", resume: true}); err == nil {
 		t.Error("-resume without -o accepted")
 	}
-	if err := run(bg, cliOptions{engine: "round", faultRate: 1.5}); err == nil {
+	if _, err := run(bg, cliOptions{engine: "round", faultRate: 1.5}); err == nil {
 		t.Error("fault rate above 1 accepted")
 	}
 }
@@ -73,7 +73,7 @@ func TestRunFaultInjectionWithRetriesCompletes(t *testing.T) {
 		out: out, suite: "graphana", engine: "round",
 		faultRate: 0.05, faultSeed: 3, retries: 5,
 	}
-	if err := run(context.Background(), o); err != nil {
+	if _, err := run(context.Background(), o); err != nil {
 		t.Fatalf("faulty run with retries: %v", err)
 	}
 	f, err := os.Open(out)
@@ -102,30 +102,31 @@ func TestRunResumeJournalCompletesAcrossRuns(t *testing.T) {
 		out: out, suite: "graphana", engine: "round",
 		faultRate: 0.001, faultSeed: 11, resume: true,
 	}
-	err := run(context.Background(), first)
+	_, err := run(context.Background(), first)
 	if err == nil {
 		t.Fatal("faulty pass with no retries completed; expected an incomplete journal error")
 	}
-	f, err := os.Open(out)
-	if err != nil {
-		t.Fatalf("journal not created: %v", err)
-	}
-	partial, err := sweep.ReadCSVPartial(f, space)
-	f.Close()
+	j, err := sweep.OpenJournal(out, space)
 	if err != nil {
 		t.Fatalf("journal unreadable between runs: %v", err)
 	}
-	if len(partial.Kernels) == 0 || len(partial.Kernels) >= 24 {
-		t.Fatalf("journal holds %d/24 rows; expected a strict subset to survive the fault storm", len(partial.Kernels))
+	partial := j.Prior()
+	j.Close()
+	if partial == nil || len(partial.Kernels) == 0 || len(partial.Kernels) >= 24 {
+		n := 0
+		if partial != nil {
+			n = len(partial.Kernels)
+		}
+		t.Fatalf("journal holds %d/24 rows; expected a strict subset to survive the fault storm", n)
 	}
 
 	// Second pass: faults off, resume — only the holes are recomputed
 	// and the journal must end complete.
 	second := cliOptions{out: out, suite: "graphana", engine: "round", resume: true}
-	if err := run(context.Background(), second); err != nil {
+	if _, err := run(context.Background(), second); err != nil {
 		t.Fatalf("resume pass: %v", err)
 	}
-	f, err = os.Open(out)
+	f, err := os.Open(out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestObservedFaultySweepEndToEnd(t *testing.T) {
 	}
 	plain := base
 	plain.out = plainCSV
-	if err := run(context.Background(), plain); err != nil {
+	if _, err := run(context.Background(), plain); err != nil {
 		t.Fatalf("unobserved run: %v", err)
 	}
 
@@ -204,7 +205,7 @@ func TestObservedFaultySweepEndToEnd(t *testing.T) {
 		defer res.Body.Close()
 		return json.NewDecoder(res.Body).Decode(&progress)
 	}
-	if err := run(context.Background(), observed); err != nil {
+	if _, err := run(context.Background(), observed); err != nil {
 		t.Fatalf("observed run: %v", err)
 	}
 
@@ -297,7 +298,7 @@ func TestRunCSVToStdout(t *testing.T) {
 		b, _ := io.ReadAll(r)
 		done <- string(b)
 	}()
-	runErr := run(context.Background(), cliOptions{out: "-", suite: "graphana", engine: "round"})
+	_, runErr := run(context.Background(), cliOptions{out: "-", suite: "graphana", engine: "round"})
 	w.Close()
 	os.Stdout = old
 	out := <-done
@@ -316,7 +317,7 @@ func TestRunCSVToStdout(t *testing.T) {
 }
 
 func TestRunStdoutResumeRejected(t *testing.T) {
-	if err := run(context.Background(), cliOptions{out: "-", engine: "round", resume: true}); err == nil {
+	if _, err := run(context.Background(), cliOptions{out: "-", engine: "round", resume: true}); err == nil {
 		t.Fatal("-resume with -o - accepted")
 	}
 }
@@ -345,7 +346,7 @@ func TestCorpusDumpAndReload(t *testing.T) {
 	}
 	f.Close()
 	out := filepath.Join(dir, "out.csv")
-	if err := run(context.Background(), cliOptions{out: out, engine: "round", corpusFile: small}); err != nil {
+	if _, err := run(context.Background(), cliOptions{out: out, engine: "round", corpusFile: small}); err != nil {
 		t.Fatalf("custom-corpus sweep: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -359,10 +360,10 @@ func TestCorpusDumpAndReload(t *testing.T) {
 
 func TestCorpusFlagConflicts(t *testing.T) {
 	bg := context.Background()
-	if err := run(bg, cliOptions{suite: "graphana", engine: "round", corpusFile: "also.json"}); err == nil {
+	if _, err := run(bg, cliOptions{suite: "graphana", engine: "round", corpusFile: "also.json"}); err == nil {
 		t.Error("-corpus with -suite accepted")
 	}
-	if err := run(bg, cliOptions{engine: "round", corpusFile: "/no/such/corpus.json"}); err == nil {
+	if _, err := run(bg, cliOptions{engine: "round", corpusFile: "/no/such/corpus.json"}); err == nil {
 		t.Error("missing corpus file accepted")
 	}
 }

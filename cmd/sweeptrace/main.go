@@ -96,6 +96,8 @@ type summary struct {
 	statuses map[string]int
 	// faults counts injected faults by kind.
 	faults map[string]int
+	// breakerTrips counts circuit-breaker quarantine events.
+	breakerTrips int
 	// sweep is the whole-sweep span, if present.
 	sweep *obs.Event
 	// events is the total event count (post-filter).
@@ -136,6 +138,8 @@ func summarize(evs []obs.Event, kernelFilter string) *summary {
 			s.statuses[str(e.Args, "status")]++
 		case "fault":
 			s.faults[str(e.Args, "kind")]++
+		case "breaker":
+			s.breakerTrips++
 		case "sweep":
 			s.sweep = &evs[i]
 		}
@@ -149,9 +153,11 @@ func (s *summary) render(w io.Writer, top int) error {
 	}
 	if s.sweep != nil {
 		a := s.sweep.Args
-		fmt.Fprintf(w, "sweep: %.0f cells (%.0f ok, %.0f failed, %.0f canceled, %.0f reused), %.0f attempts, %.0f retries, wall %.1fms\n\n",
+		fmt.Fprintf(w, "sweep: %.0f cells (%.0f ok, %.0f failed, %.0f canceled, %.0f stalled, %.0f quarantined, %.0f reused), %.0f attempts, %.0f retries, %.0f breaker trips, wall %.1fms\n\n",
 			num(a, "cells"), num(a, "ok"), num(a, "failed"), num(a, "canceled"),
-			num(a, "skipped"), num(a, "attempts"), num(a, "retries"), s.sweep.Dur/1000)
+			num(a, "stalled"), num(a, "quarantined"),
+			num(a, "skipped"), num(a, "attempts"), num(a, "retries"),
+			num(a, "breaker_trips"), s.sweep.Dur/1000)
 	}
 
 	// Per-kernel latency percentiles, slowest p99 first.
@@ -240,6 +246,9 @@ func (s *summary) render(w io.Writer, top int) error {
 	}
 	if len(s.faults) == 0 {
 		ft.AddRow("fault (none)", 0)
+	}
+	if s.breakerTrips > 0 {
+		ft.AddRow("breaker trips", s.breakerTrips)
 	}
 	return ft.Render(w)
 }

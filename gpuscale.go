@@ -60,8 +60,9 @@ type (
 	RunReport = sweep.RunReport
 	// CellFailure identifies one failed sweep cell.
 	CellFailure = sweep.CellFailure
-	// SweepJournal checkpoints completed sweep rows to a CSV file so
-	// interrupted runs resume where they stopped.
+	// SweepJournal checkpoints completed sweep rows to a checksummed
+	// journal file so interrupted runs resume where they stopped;
+	// torn or corrupt tails are salvaged, not fatal.
 	SweepJournal = sweep.Journal
 	// FaultInjector wraps an engine with deterministic, seed-driven
 	// transient errors, corrupt results, and stalls — the test rig
@@ -111,6 +112,12 @@ const (
 	CellOK       = sweep.StatusOK
 	CellFailed   = sweep.StatusFailed
 	CellCanceled = sweep.StatusCanceled
+	// CellStalled marks a cell whose engine call ignored cancellation
+	// and was abandoned by the stall watchdog.
+	CellStalled = sweep.StatusStalled
+	// CellQuarantined marks a cell skipped by the circuit breaker
+	// after too many consecutive hard failures in its kernel's row.
+	CellQuarantined = sweep.StatusQuarantined
 )
 
 // StudySpace returns the paper's 891-point configuration grid

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -62,6 +63,52 @@ func TestSurfacesMaskFailedCells(t *testing.T) {
 				t.Fatalf("mask disagrees with status at (%d,%d)", i, c)
 			}
 		}
+	}
+}
+
+// TestSurfacesMaskQuarantinedCells: cells the circuit breaker
+// quarantined are untrusted exactly like failed ones, and a mostly
+// quarantined row classifies LowCoverage instead of guessing.
+func TestSurfacesMaskQuarantinedCells(t *testing.T) {
+	space := partialSpace(t)
+	ks := partialKernels()
+	bad := ks[1].Name
+	opts := sweep.Options{
+		Breaker: 3,
+		Sim: func(k *kernel.Kernel, cfg hw.Config) (gcn.Result, error) {
+			if k.Name == bad {
+				return gcn.Result{}, errors.New("device lost")
+			}
+			return gcn.Simulate(k, cfg)
+		},
+	}
+	m, rep, err := sweep.RunContext(context.Background(), ks, space, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quarantined == 0 || rep.BreakerTrips != 1 {
+		t.Fatalf("breaker drill produced no quarantine: %s", rep.Summary())
+	}
+	row := m.Row(bad)
+	s := Surfaces(m)[row]
+	if s.Valid == nil {
+		t.Fatal("quarantined row has no mask")
+	}
+	masked := 0
+	for c, ok := range s.Valid {
+		if m.Status[row][c] == sweep.StatusQuarantined && ok {
+			t.Fatalf("quarantined cell %d trusted by the surface mask", c)
+		}
+		if !ok {
+			masked++
+		}
+	}
+	if masked != space.Size() {
+		t.Fatalf("masked %d cells, want the whole broken row (%d)", masked, space.Size())
+	}
+	got := DefaultClassifier().Classify(s)
+	if got.Category != LowCoverage {
+		t.Fatalf("quarantined row classified %s, want low-coverage", got.Category)
 	}
 }
 

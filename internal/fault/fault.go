@@ -4,18 +4,25 @@
 //
 // An Injector wraps any gcn.EngineFunc and, per invocation, may inject
 // a transient error, corrupt the result (NaN, negative or infinite
-// throughput — the "garbage readings" failure mode), or stall the call
-// for a configurable duration (the "hung run" failure mode). Every
-// decision is a pure function of (kernel, configuration, attempt
-// number, seed), so a faulty sweep is reproducible regardless of
-// worker count or scheduling, and a retry of the same cell sees an
-// independent roll — exactly how re-running a flaky benchmark behaves.
+// throughput — the "garbage readings" failure mode), stall the call
+// for a configurable duration (the "hung run" failure mode), or panic
+// outright (the "driver crash" failure mode the executor's recover
+// isolation must absorb). Every decision is a pure function of
+// (kernel, configuration, attempt number, seed), so a faulty sweep is
+// reproducible regardless of worker count or scheduling, and a retry
+// of the same cell sees an independent roll — exactly how re-running
+// a flaky benchmark behaves.
+//
+// Beyond the engine, WrapWriter injects torn writes into any
+// io.Writer — the journal's power-loss failure mode — cutting a write
+// short after a deterministic prefix and returning ErrTornWrite.
 package fault
 
 import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"math"
 	"sync"
 	"time"
@@ -29,6 +36,11 @@ import (
 // construction. Wrapped errors carry the cell and attempt for
 // diagnostics, so match with errors.Is.
 var ErrInjected = errors.New("fault: injected transient error")
+
+// ErrTornWrite is returned by a WrapWriter writer when an injected
+// torn write fires: part of the buffer reached the underlying writer,
+// the rest was dropped, emulating power loss mid-append.
+var ErrTornWrite = errors.New("fault: injected torn write")
 
 // Injector describes a fault model. The zero value injects nothing and
 // wraps an engine into itself (modulo attempt accounting). Rates are
@@ -46,6 +58,15 @@ type Injector struct {
 	// before running — emulates a hung run that a per-simulation
 	// timeout must reap.
 	StallRate float64
+	// PanicRate is the probability an invocation panics instead of
+	// returning — emulates an engine/driver crash that the executor's
+	// recover isolation must convert into a CellFailure.
+	PanicRate float64
+	// TornWriteRate is the probability a WrapWriter write is cut
+	// short: a deterministic prefix reaches the underlying writer and
+	// the call returns ErrTornWrite. Independent of the engine-side
+	// rates; it never fires through Wrap.
+	TornWriteRate float64
 	// Stall is the artificial delay applied when a stall fires;
 	// defaults to 10ms when a StallRate is set but Stall is zero.
 	Stall time.Duration
@@ -70,9 +91,13 @@ const (
 	KindCorrupt
 	// KindStall is an artificial pre-run delay.
 	KindStall
+	// KindPanic is an injected engine panic.
+	KindPanic
+	// KindTornWrite is an injected short write through WrapWriter.
+	KindTornWrite
 )
 
-var kindNames = [...]string{"error", "corrupt", "stall"}
+var kindNames = [...]string{"error", "corrupt", "stall", "panic", "torn-write"}
 
 // String returns the kind's lower-case name.
 func (k Kind) String() string {
@@ -87,10 +112,12 @@ func (k Kind) String() string {
 // wrapped engine then fails on its own — the decision is the
 // injector's, the outcome the engine's.
 type Decision struct {
-	// Kernel and Config identify the cell.
+	// Kernel and Config identify the cell. Torn-write decisions have
+	// no cell: Kernel is empty and Config zero.
 	Kernel string
 	Config hw.Config
-	// Attempt is the cell's 0-based invocation counter.
+	// Attempt is the cell's 0-based invocation counter — or, for
+	// torn-write decisions, the writer's 0-based write sequence.
 	Attempt uint64
 	// Kind is the injected fault.
 	Kind Kind
@@ -101,21 +128,26 @@ func (in Injector) Validate() error {
 	for _, r := range []struct {
 		name string
 		v    float64
-	}{{"ErrorRate", in.ErrorRate}, {"CorruptRate", in.CorruptRate}, {"StallRate", in.StallRate}} {
+	}{{"ErrorRate", in.ErrorRate}, {"CorruptRate", in.CorruptRate}, {"StallRate", in.StallRate},
+		{"PanicRate", in.PanicRate}, {"TornWriteRate", in.TornWriteRate}} {
 		if r.v < 0 || r.v > 1 || math.IsNaN(r.v) {
 			return fmt.Errorf("fault: %s %g outside [0,1]", r.name, r.v)
 		}
 	}
-	if in.ErrorRate+in.CorruptRate+in.StallRate > 1 {
-		return fmt.Errorf("fault: rates sum to %g > 1",
-			in.ErrorRate+in.CorruptRate+in.StallRate)
+	// Engine-side kinds share one roll; the torn-write stream is
+	// independent and only bounded by [0,1] above.
+	if in.ErrorRate+in.CorruptRate+in.StallRate+in.PanicRate > 1 {
+		return fmt.Errorf("fault: engine rates sum to %g > 1",
+			in.ErrorRate+in.CorruptRate+in.StallRate+in.PanicRate)
 	}
 	return nil
 }
 
-// Active reports whether the injector can fire at all.
+// Active reports whether the injector can fire through Wrap at all.
+// TornWriteRate does not count: it fires through WrapWriter, not the
+// engine path.
 func (in Injector) Active() bool {
-	return in.ErrorRate > 0 || in.CorruptRate > 0 || in.StallRate > 0
+	return in.ErrorRate > 0 || in.CorruptRate > 0 || in.StallRate > 0 || in.PanicRate > 0
 }
 
 // Wrap returns an engine that runs sim under this fault model. The
@@ -152,9 +184,55 @@ func (in Injector) Wrap(sim gcn.EngineFunc) gcn.EngineFunc {
 		case roll < in.ErrorRate+in.CorruptRate+in.StallRate:
 			in.decided(k.Name, cfg, attempt, KindStall)
 			time.Sleep(stall)
+		case roll < in.ErrorRate+in.CorruptRate+in.StallRate+in.PanicRate:
+			in.decided(k.Name, cfg, attempt, KindPanic)
+			panic(fmt.Sprintf("fault: injected engine panic (%s attempt %d)", key, attempt))
 		}
 		return sim(k, cfg)
 	}
+}
+
+// WrapWriter returns a writer that injects torn writes into w at
+// TornWriteRate. When a tear fires, a deterministic prefix of the
+// buffer (possibly empty) is written through and the call returns
+// ErrTornWrite — the caller sees the same partial-append state a
+// power loss would leave on disk. Decisions are a pure function of
+// (seed, write sequence), so a given writer tears at the same writes
+// every run. The returned writer is safe for concurrent use; with a
+// zero TornWriteRate, w is returned unchanged.
+func (in Injector) WrapWriter(w io.Writer) io.Writer {
+	if in.TornWriteRate <= 0 {
+		return w
+	}
+	return &tornWriter{in: in, w: w}
+}
+
+// tornWriter is the WrapWriter implementation: a write-sequence
+// counter drives the same splitmix-finished roll the engine path
+// uses, under a distinct stream label so engine and writer faults
+// stay decorrelated.
+type tornWriter struct {
+	in  Injector
+	mu  sync.Mutex
+	w   io.Writer
+	seq uint64
+}
+
+func (t *tornWriter) Write(b []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seq := t.seq
+	t.seq++
+	roll, sub := t.in.roll("torn-write-stream", hw.Config{}, seq)
+	if roll >= t.in.TornWriteRate || len(b) == 0 {
+		return t.w.Write(b)
+	}
+	t.in.decided("", hw.Config{}, seq, KindTornWrite)
+	n, err := t.w.Write(b[:int(sub)%len(b)])
+	if err != nil {
+		return n, err
+	}
+	return n, ErrTornWrite
 }
 
 // decided reports one fired fault to the OnDecision hook, if any.

@@ -1,8 +1,12 @@
 package fault
 
 import (
+	"bytes"
 	"errors"
+	"io"
 	"math"
+	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -170,13 +174,108 @@ func TestInjectorValidate(t *testing.T) {
 		{CorruptRate: 1.5},
 		{StallRate: math.NaN()},
 		{ErrorRate: 0.6, CorruptRate: 0.6},
+		{PanicRate: 1.5},
+		{TornWriteRate: -0.2},
+		{ErrorRate: 0.5, PanicRate: 0.6},
 	}
 	for i, in := range cases {
 		if err := in.Validate(); err == nil {
 			t.Errorf("case %d: invalid injector %+v accepted", i, in)
 		}
 	}
-	if err := (Injector{ErrorRate: 0.05, CorruptRate: 0.05, StallRate: 0.05}).Validate(); err != nil {
+	if err := (Injector{ErrorRate: 0.05, CorruptRate: 0.05, StallRate: 0.05, PanicRate: 0.05}).Validate(); err != nil {
 		t.Errorf("valid injector rejected: %v", err)
+	}
+	// The torn-write stream is independent of the engine roll: a full
+	// engine budget plus TornWriteRate 1 is still valid.
+	if err := (Injector{ErrorRate: 1, TornWriteRate: 1}).Validate(); err != nil {
+		t.Errorf("torn-write rate counted against the engine budget: %v", err)
+	}
+}
+
+func TestInjectorPanics(t *testing.T) {
+	ks, cfgs := testCells(t)
+	var decisions []Kind
+	in := Injector{PanicRate: 1, Seed: 6, OnDecision: func(d Decision) { decisions = append(decisions, d.Kind) }}
+	eng := in.Wrap(gcn.Simulate)
+	panicked := func() (p any) {
+		defer func() { p = recover() }()
+		eng(ks[0], cfgs[0])
+		return nil
+	}()
+	if panicked == nil {
+		t.Fatal("PanicRate 1 did not panic")
+	}
+	msg, ok := panicked.(string)
+	if !ok || !strings.Contains(msg, "injected engine panic") {
+		t.Fatalf("panic value %v does not identify the injector", panicked)
+	}
+	if len(decisions) != 1 || decisions[0] != KindPanic {
+		t.Fatalf("decisions %v, want [panic]", decisions)
+	}
+	if KindPanic.String() != "panic" || KindTornWrite.String() != "torn-write" {
+		t.Fatalf("kind names %q/%q", KindPanic, KindTornWrite)
+	}
+	if !in.Active() {
+		t.Fatal("panic-only injector reports inactive")
+	}
+	if (Injector{TornWriteRate: 1}).Active() {
+		t.Fatal("torn-write-only injector must not activate the engine path")
+	}
+}
+
+// tornPattern drives n writes of b through a fresh wrapped writer and
+// records, per write, how many bytes landed (-1 for an intact write).
+func tornPattern(t *testing.T, in Injector, n int, b []byte) []int {
+	t.Helper()
+	var sink bytes.Buffer
+	w := in.WrapWriter(&sink)
+	out := make([]int, n)
+	for i := range out {
+		before := sink.Len()
+		wn, err := w.Write(b)
+		switch {
+		case err == nil:
+			if wn != len(b) {
+				t.Fatalf("write %d: intact write landed %d of %d bytes", i, wn, len(b))
+			}
+			out[i] = -1
+		case errors.Is(err, ErrTornWrite):
+			if wn != sink.Len()-before || wn >= len(b) {
+				t.Fatalf("write %d: torn write reported %d bytes, landed %d", i, wn, sink.Len()-before)
+			}
+			out[i] = wn
+		default:
+			t.Fatalf("write %d: unexpected error %v", i, err)
+		}
+	}
+	return out
+}
+
+func TestWrapWriterTearsDeterministically(t *testing.T) {
+	in := Injector{TornWriteRate: 0.5, Seed: 11}
+	b := []byte("0123456789abcdef")
+	a := tornPattern(t, in, 64, b)
+	if reflect.DeepEqual(a, tornPattern(t, Injector{TornWriteRate: 0.5, Seed: 12}, 64, b)) {
+		t.Fatal("different seeds tore identically")
+	}
+	if !reflect.DeepEqual(a, tornPattern(t, in, 64, b)) {
+		t.Fatal("same seed tore differently across fresh writers")
+	}
+	torn := 0
+	for _, v := range a {
+		if v >= 0 {
+			torn++
+		}
+	}
+	if torn == 0 || torn == len(a) {
+		t.Fatalf("rate 0.5 tore %d of %d writes", torn, len(a))
+	}
+}
+
+func TestWrapWriterZeroRateIsIdentity(t *testing.T) {
+	var sink bytes.Buffer
+	if w := (Injector{}).WrapWriter(&sink); w != io.Writer(&sink) {
+		t.Fatal("zero TornWriteRate wrapped the writer")
 	}
 }

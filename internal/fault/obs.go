@@ -5,7 +5,7 @@ import (
 )
 
 // MetricInjected is the counter family Observe registers: fired
-// faults, labelled kind="error|corrupt|stall".
+// faults, labelled kind="error|corrupt|stall|panic|torn-write".
 const MetricInjected = "fault_injected_total"
 
 // Observe returns an OnDecision hook that turns injector decisions

@@ -2,12 +2,12 @@ package sweep
 
 import (
 	"encoding/csv"
-	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"path/filepath"
 	"strconv"
-	"sync"
 
 	"gpuscale/internal/gcn"
 	"gpuscale/internal/hw"
@@ -37,6 +37,43 @@ func (m *Matrix) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// WriteCSVFile archives the matrix at path atomically: the CSV is
+// written to a temp file in the same directory, fsynced, and renamed
+// into place, so a crash mid-write can never leave a torn archive —
+// readers see either the old file or the complete new one.
+func (m *Matrix) WriteCSVFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("sweep: archiving %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := m.WriteCSV(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sweep: archiving %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("sweep: archiving %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("sweep: archiving %s: %w", path, err)
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename within it survives a crash.
+// Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
 }
 
 // record renders one cell as a CSV record.
@@ -74,8 +111,97 @@ func ReadCSVPartial(r io.Reader, space hw.Space) (*Matrix, error) {
 	return readCSV(r, space, false)
 }
 
+// csvCell is one decoded CSV record: a cell's position and payload.
+type csvCell struct {
+	kernel string
+	ci     int
+	tput   float64
+	tns    float64
+	bound  gcn.Bound
+	status CellStatus
+}
+
+// boundNames inverts gcn.Bound.String for the CSV decoder.
+func boundNames() map[string]gcn.Bound {
+	byName := map[string]gcn.Bound{}
+	for b := gcn.BoundCompute; b <= gcn.BoundLaunch; b++ {
+		byName[b.String()] = b
+	}
+	return byName
+}
+
+// decodeCSVRecord parses and validates one data record. line is the
+// 1-based file line for positional errors; legacy marks 7-column
+// pre-status archives. Malformed numbers, off-grid configurations,
+// NaN/negative/infinite measurements and unknown bound or status
+// names are all rejected here so garbage never propagates into core.
+func decodeCSVRecord(rec []string, line int, space hw.Space, bounds map[string]gcn.Bound, legacy bool) (csvCell, error) {
+	var cell csvCell
+	want := len(csvHeader)
+	if legacy {
+		want--
+	}
+	if len(rec) != want {
+		return cell, fmt.Errorf("sweep: line %d: %d fields, want %d", line, len(rec), want)
+	}
+	if rec[0] == "" {
+		return cell, fmt.Errorf("sweep: line %d: empty kernel name", line)
+	}
+	cell.kernel = rec[0]
+	cus, err := strconv.Atoi(rec[1])
+	if err != nil {
+		return cell, fmt.Errorf("sweep: line %d: bad cu count %q: %w", line, rec[1], err)
+	}
+	core, err := strconv.ParseFloat(rec[2], 64)
+	if err != nil {
+		return cell, fmt.Errorf("sweep: line %d: bad core clock %q: %w", line, rec[2], err)
+	}
+	mem, err := strconv.ParseFloat(rec[3], 64)
+	if err != nil {
+		return cell, fmt.Errorf("sweep: line %d: bad mem clock %q: %w", line, rec[3], err)
+	}
+	cell.ci = space.Index(hw.Config{CUs: cus, CoreClockMHz: core, MemClockMHz: mem})
+	if cell.ci < 0 {
+		return cell, fmt.Errorf("sweep: line %d: config %s/%s/%s not in space", line, rec[1], rec[2], rec[3])
+	}
+	cell.tput, err = strconv.ParseFloat(rec[4], 64)
+	if err != nil {
+		return cell, fmt.Errorf("sweep: line %d: bad throughput %q: %w", line, rec[4], err)
+	}
+	cell.tns, err = strconv.ParseFloat(rec[5], 64)
+	if err != nil {
+		return cell, fmt.Errorf("sweep: line %d: bad time %q: %w", line, rec[5], err)
+	}
+	// No hardware run produces NaN, infinite or negative measurements;
+	// a file that claims one is corrupt, not data (failed cells hold
+	// exactly 0).
+	if math.IsNaN(cell.tput) || math.IsInf(cell.tput, 0) || cell.tput < 0 {
+		return cell, fmt.Errorf("sweep: line %d: throughput %g out of range", line, cell.tput)
+	}
+	if math.IsNaN(cell.tns) || math.IsInf(cell.tns, 0) || cell.tns < 0 {
+		return cell, fmt.Errorf("sweep: line %d: time %g ns out of range", line, cell.tns)
+	}
+	b, ok := bounds[rec[6]]
+	if !ok {
+		return cell, fmt.Errorf("sweep: line %d: unknown bound %q", line, rec[6])
+	}
+	cell.bound = b
+	cell.status = StatusOK
+	if !legacy {
+		if cell.status, err = ParseStatus(rec[7]); err != nil {
+			return cell, fmt.Errorf("sweep: line %d: %w", line, err)
+		}
+	}
+	// A cell that claims a validated measurement must carry one.
+	if cell.status == StatusOK && (cell.tput <= 0 || cell.tns <= 0) {
+		return cell, fmt.Errorf("sweep: line %d: ok cell with non-positive measurement %g/%g", line, cell.tput, cell.tns)
+	}
+	return cell, nil
+}
+
 func readCSV(r io.Reader, space hw.Space, strict bool) (*Matrix, error) {
 	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // field-count errors carry line numbers via decodeCSVRecord
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("sweep: reading header: %w", err)
@@ -87,69 +213,38 @@ func readCSV(r io.Reader, space hw.Space, strict bool) (*Matrix, error) {
 	m := &Matrix{Space: space}
 	rows := map[string]int{}
 	nCfg := space.Size()
-	boundByName := map[string]gcn.Bound{}
-	for b := gcn.BoundCompute; b <= gcn.BoundLaunch; b++ {
-		boundByName[b.String()] = b
-	}
+	bounds := boundNames()
 	var filled [][]bool
+	line := 1
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
+		line++
 		if err != nil {
-			return nil, fmt.Errorf("sweep: reading row: %w", err)
+			return nil, fmt.Errorf("sweep: line %d: %w", line, err)
 		}
-		cus, err := strconv.Atoi(rec[1])
+		cell, err := decodeCSVRecord(rec, line, space, bounds, legacy)
 		if err != nil {
-			return nil, fmt.Errorf("sweep: bad cu count %q: %w", rec[1], err)
+			return nil, err
 		}
-		core, err := strconv.ParseFloat(rec[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("sweep: bad core clock %q: %w", rec[2], err)
-		}
-		mem, err := strconv.ParseFloat(rec[3], 64)
-		if err != nil {
-			return nil, fmt.Errorf("sweep: bad mem clock %q: %w", rec[3], err)
-		}
-		ci := space.Index(hw.Config{CUs: cus, CoreClockMHz: core, MemClockMHz: mem})
-		if ci < 0 {
-			return nil, fmt.Errorf("sweep: row config %s/%s/%s not in space", rec[1], rec[2], rec[3])
-		}
-		tput, err := strconv.ParseFloat(rec[4], 64)
-		if err != nil {
-			return nil, fmt.Errorf("sweep: bad throughput %q: %w", rec[4], err)
-		}
-		tns, err := strconv.ParseFloat(rec[5], 64)
-		if err != nil {
-			return nil, fmt.Errorf("sweep: bad time %q: %w", rec[5], err)
-		}
-		bound, ok := boundByName[rec[6]]
-		if !ok {
-			return nil, fmt.Errorf("sweep: unknown bound %q", rec[6])
-		}
-		status := StatusOK
-		if !legacy {
-			if status, err = ParseStatus(rec[7]); err != nil {
-				return nil, err
-			}
-		}
-		ri, ok := rows[rec[0]]
+		ri, ok := rows[cell.kernel]
 		if !ok {
 			ri = len(m.Kernels)
-			rows[rec[0]] = ri
-			m.Kernels = append(m.Kernels, rec[0])
+			rows[cell.kernel] = ri
+			m.Kernels = append(m.Kernels, cell.kernel)
 			m.Throughput = append(m.Throughput, make([]float64, nCfg))
 			m.TimeNS = append(m.TimeNS, make([]float64, nCfg))
 			m.Bound = append(m.Bound, make([]gcn.Bound, nCfg))
 			m.Status = append(m.Status, failedRow(nCfg))
 			filled = append(filled, make([]bool, nCfg))
 		}
-		m.Throughput[ri][ci] = tput
-		m.TimeNS[ri][ci] = tns
-		m.Bound[ri][ci] = bound
-		m.Status[ri][ci] = status
-		filled[ri][ci] = true
+		m.Throughput[ri][cell.ci] = cell.tput
+		m.TimeNS[ri][cell.ci] = cell.tns
+		m.Bound[ri][cell.ci] = cell.bound
+		m.Status[ri][cell.ci] = cell.status
+		filled[ri][cell.ci] = true
 	}
 	if strict {
 		for i, cells := range filled {
@@ -179,128 +274,4 @@ func failedRow(n int) []CellStatus {
 		row[i] = StatusFailed
 	}
 	return row
-}
-
-// Journal is an append-only CSV checkpoint for a sweep: completed
-// kernel rows are flushed to disk as they finish, and reopening the
-// file recovers them so a Resume only recomputes what is missing. The
-// journal file is itself a valid WriteCSV-format archive once the
-// sweep completes.
-type Journal struct {
-	space hw.Space
-	prior *Matrix
-
-	mu sync.Mutex
-	f  *os.File
-	cw *csv.Writer
-}
-
-// OpenJournal opens or creates a sweep journal at path. An existing
-// file is parsed tolerantly (missing cells are fine — a crash may have
-// cut the sweep short) and becomes the journal's prior matrix; a new
-// file gets the CSV header written immediately. A file that is not a
-// sweep CSV at all is rejected rather than overwritten.
-func OpenJournal(path string, space hw.Space) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("sweep: opening journal: %w", err)
-	}
-	j := &Journal{space: space, f: f, cw: csv.NewWriter(f)}
-	info, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("sweep: stat journal: %w", err)
-	}
-	if info.Size() == 0 {
-		if err := j.cw.Write(csvHeader); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("sweep: writing journal header: %w", err)
-		}
-		j.cw.Flush()
-		if err := j.cw.Error(); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("sweep: writing journal header: %w", err)
-		}
-		return j, nil
-	}
-	prior, err := ReadCSVPartial(f, space)
-	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("sweep: journal %s is not a readable sweep CSV (delete it to start over): %w", path, err)
-	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("sweep: seeking journal: %w", err)
-	}
-	if len(prior.Kernels) > 0 {
-		j.prior = prior
-	}
-	return j, nil
-}
-
-// Prior returns the matrix recovered from an existing journal file, or
-// nil for a fresh journal. Pass it to Resume.
-func (j *Journal) Prior() *Matrix { return j.prior }
-
-// AppendRow checkpoints row r of m if — and only if — every cell is
-// StatusOK: rows with failed or canceled cells are left out so the
-// next Resume recomputes them. Safe for concurrent use; matches the
-// Options.OnRow signature via a closure.
-func (j *Journal) AppendRow(m *Matrix, r int) error {
-	if !m.RowComplete(r) {
-		return nil
-	}
-	configs := m.Space.Configs()
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	for c := range configs {
-		if err := j.cw.Write(m.record(r, c, configs)); err != nil {
-			return fmt.Errorf("sweep: journaling %s: %w", m.Kernels[r], err)
-		}
-	}
-	j.cw.Flush()
-	if err := j.cw.Error(); err != nil {
-		return fmt.Errorf("sweep: journaling %s: %w", m.Kernels[r], err)
-	}
-	// A journal's whole point is surviving a crash mid-sweep.
-	return j.f.Sync()
-}
-
-// Close flushes and closes the journal file.
-func (j *Journal) Close() error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.cw.Flush()
-	werr := j.cw.Error()
-	cerr := j.f.Close()
-	if werr != nil {
-		return werr
-	}
-	return cerr
-}
-
-// ErrJournalIncomplete is returned by VerifyComplete when the journal
-// is missing kernels or cells.
-var ErrJournalIncomplete = errors.New("sweep: journal incomplete")
-
-// VerifyComplete checks that the journal now covers every named kernel
-// with a fully OK row — the post-Resume sanity check.
-func (j *Journal) VerifyComplete(kernels []string) error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
-		return err
-	}
-	defer j.f.Seek(0, io.SeekEnd)
-	m, err := ReadCSVPartial(j.f, j.space)
-	if err != nil {
-		return err
-	}
-	for _, k := range kernels {
-		r := m.Row(k)
-		if r < 0 || !m.RowComplete(r) {
-			return fmt.Errorf("%w: kernel %s", ErrJournalIncomplete, k)
-		}
-	}
-	return nil
 }

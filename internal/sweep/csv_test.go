@@ -230,16 +230,22 @@ func TestJournalCheckpointAndRecovery(t *testing.T) {
 		t.Fatalf("journal incomplete after resume: %v", err)
 	}
 
-	// The finished journal is a valid strict archive equal to a clean
-	// sweep.
-	f, err := os.Open(path)
+	// The finished journal recovers cleanly (no salvage) and equals a
+	// clean sweep.
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := OpenJournal(path, space)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer f.Close()
-	archived, err := ReadCSV(f, space)
-	if err != nil {
-		t.Fatalf("finished journal not strict-readable: %v", err)
+	defer j3.Close()
+	if s := j3.Salvage(); s != nil {
+		t.Fatalf("clean journal reported salvage: %+v", s)
+	}
+	archived := j3.Prior()
+	if archived == nil {
+		t.Fatal("finished journal recovered no rows")
 	}
 	clean, err := Run(testKernels(), space, Options{})
 	if err != nil {

@@ -1,0 +1,152 @@
+package sweep
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gpuscale/internal/hw"
+)
+
+// fuzzSpace is the fixed grid both fuzz targets decode against; seed
+// corpus entries in testdata/fuzz/ are written for it.
+func fuzzSpace(f *testing.F) hw.Space {
+	f.Helper()
+	s, err := hw.NewSpace([]int{4, 44}, []float64{200, 1000}, []float64{150, 1250})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return s
+}
+
+// FuzzJournalScan hammers the v2 journal recovery scanner with
+// arbitrary bytes: it must never panic, never claim a clean prefix
+// longer than the input, and anything it does recover must satisfy the
+// journal's row invariants (full planes, positive finite measurements,
+// all-OK statuses).
+func FuzzJournalScan(f *testing.F) {
+	space := fuzzSpace(f)
+	full := func() []byte {
+		m, err := Run(testKernels(), space, Options{})
+		if err != nil {
+			f.Fatal(err)
+		}
+		var b []byte
+		b = append(b, journalMagic...)
+		sp, err := frameRecord(journalRecord{Space: &journalSpace{
+			CUs: space.CUCounts, Core: space.CoreClocksMHz, Mem: space.MemClocksMHz,
+		}})
+		if err != nil {
+			f.Fatal(err)
+		}
+		b = append(b, sp...)
+		for r := range m.Kernels {
+			row, err := rowRecord(m, r)
+			if err != nil {
+				f.Fatal(err)
+			}
+			b = append(b, row...)
+		}
+		return b
+	}()
+	f.Add(full)
+	f.Add(full[:len(full)-7])        // torn tail
+	f.Add([]byte(journalMagic))      // header only
+	f.Add([]byte(journalMagic[:9]))  // torn magic
+	f.Add([]byte("deadbeef 3 {}\n")) // frame without magic
+	f.Add([]byte(nil))               // empty
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, good, _, err := scanJournal(data, space)
+		if err != nil {
+			// Only the wrong-space refusal may error; it must salvage
+			// nothing.
+			if m != nil {
+				t.Fatal("scan errored but returned a matrix")
+			}
+			return
+		}
+		if good < 0 || good > int64(len(data)) {
+			t.Fatalf("clean prefix %d outside [0,%d]", good, len(data))
+		}
+		if m == nil {
+			return
+		}
+		nCfg := space.Size()
+		seen := map[string]bool{}
+		for r, k := range m.Kernels {
+			if k == "" {
+				t.Fatal("recovered row with empty kernel name")
+			}
+			if seen[k] {
+				t.Fatalf("kernel %q recovered twice", k)
+			}
+			seen[k] = true
+			if len(m.Throughput[r]) != nCfg || len(m.TimeNS[r]) != nCfg ||
+				len(m.Bound[r]) != nCfg || len(m.Status[r]) != nCfg {
+				t.Fatalf("row %d has ragged planes", r)
+			}
+			if !m.RowComplete(r) {
+				t.Fatalf("recovered row %d not all StatusOK", r)
+			}
+			for c := 0; c < nCfg; c++ {
+				if !(m.Throughput[r][c] > 0) || math.IsInf(m.Throughput[r][c], 0) {
+					t.Fatalf("row %d cell %d throughput %g", r, c, m.Throughput[r][c])
+				}
+				if !(m.TimeNS[r][c] > 0) || math.IsInf(m.TimeNS[r][c], 0) {
+					t.Fatalf("row %d cell %d time %g", r, c, m.TimeNS[r][c])
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadCSV hammers both CSV loaders: no panics, and any matrix the
+// lenient loader accepts must have sane statuses and measurements.
+func FuzzReadCSV(f *testing.F) {
+	space := fuzzSpace(f)
+	const hdr = "kernel,cus,core_mhz,mem_mhz,throughput,time_ns,bound,status\n"
+	f.Add(hdr)
+	f.Add(hdr + "k,4,200,150,1.5,100,compute,ok\n")
+	f.Add(hdr + "k,4,200,150,NaN,100,compute,ok\n")
+	f.Add(hdr + "k,4,200,150,1.5,100,teapot,ok\n")
+	f.Add("kernel,cus,core_mhz,mem_mhz,throughput,time_ns,bound\nk,4,200,150,1,1,compute\n")
+	f.Add("not,a,sweep\n1,2,3\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		m, err := ReadCSVPartial(strings.NewReader(data), space)
+		if err == nil {
+			nCfg := space.Size()
+			for r, k := range m.Kernels {
+				if k == "" {
+					t.Fatal("accepted row with empty kernel name")
+				}
+				for c := 0; c < nCfg; c++ {
+					s := m.Status[r][c]
+					if s < StatusOK || s > StatusQuarantined {
+						t.Fatalf("row %d cell %d has out-of-range status %d", r, c, s)
+					}
+					if s != StatusOK {
+						continue
+					}
+					if !(m.Throughput[r][c] > 0) || math.IsInf(m.Throughput[r][c], 0) ||
+						math.IsNaN(m.Throughput[r][c]) {
+						t.Fatalf("OK cell (%d,%d) has throughput %g", r, c, m.Throughput[r][c])
+					}
+				}
+			}
+		}
+		// The strict loader must agree with the lenient one about what
+		// parses at all, and only ever accepts complete grids.
+		if sm, serr := ReadCSV(strings.NewReader(data), space); serr == nil {
+			if err != nil {
+				t.Fatal("strict loader accepted what the lenient loader rejected")
+			}
+			for r := range sm.Kernels {
+				for c := 0; c < space.Size(); c++ {
+					if sm.Status[r][c] == StatusFailed && sm.Throughput[r][c] != 0 {
+						t.Fatalf("failed cell (%d,%d) carries a measurement", r, c)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,713 @@
+package sweep
+
+// Journal v2: a crash-only, per-record checksummed checkpoint log.
+//
+// The v1 journal was a plain CSV file — readable, but a single torn
+// write (power loss mid-append) made the whole file unparsable and
+// forced the operator to delete hours of finished work. v2 frames
+// every record so the loader can tell exactly where a crash landed
+// and salvage everything before it:
+//
+//	gpuscale-journal v2\n
+//	<crc32:8-hex> <len:decimal> <json-payload>\n
+//	<crc32:8-hex> <len:decimal> <json-payload>\n
+//	...
+//
+// The CRC32 (IEEE) covers the JSON payload bytes only. The first
+// record describes the configuration grid (so a journal can never be
+// resumed against the wrong space); every later record is one
+// completed kernel row. Recovery scans records in order and truncates
+// the file at the first framing, checksum, parse, or validation
+// failure instead of erroring — a torn tail costs at most the row
+// that was being written. Appends are fsynced and self-healing: a
+// failed write truncates back to the last known-good offset so the
+// in-process journal never accumulates garbage.
+//
+// v1 CSV journals (and completed WriteCSV archives) are still
+// accepted: complete all-OK rows are salvaged and the file is
+// migrated to v2 atomically (temp file + fsync + rename).
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"gpuscale/internal/gcn"
+	"gpuscale/internal/hw"
+)
+
+// journalMagic is the version header; bumping the version means old
+// binaries refuse the file instead of misreading it.
+const journalMagic = "gpuscale-journal v2\n"
+
+// journalRecord is the JSON payload of one framed record: either a
+// space record (Space set, row fields empty) or a row record (Kernel
+// and the three planes set). Cells in a row record are all StatusOK
+// by construction — AppendRow refuses incomplete rows — so status is
+// not stored.
+type journalRecord struct {
+	Space  *journalSpace `json:"space,omitempty"`
+	Kernel string        `json:"kernel,omitempty"`
+	Tput   []float64     `json:"tput,omitempty"`
+	TimeNS []float64     `json:"time_ns,omitempty"`
+	Bound  []int         `json:"bound,omitempty"`
+}
+
+// journalSpace pins the configuration grid a journal was written for.
+type journalSpace struct {
+	CUs  []int     `json:"cus"`
+	Core []float64 `json:"core_mhz"`
+	Mem  []float64 `json:"mem_mhz"`
+}
+
+func (js *journalSpace) matches(s hw.Space) bool {
+	if len(js.CUs) != len(s.CUCounts) || len(js.Core) != len(s.CoreClocksMHz) || len(js.Mem) != len(s.MemClocksMHz) {
+		return false
+	}
+	for i, v := range js.CUs {
+		if v != s.CUCounts[i] {
+			return false
+		}
+	}
+	for i, v := range js.Core {
+		if v != s.CoreClocksMHz[i] {
+			return false
+		}
+	}
+	for i, v := range js.Mem {
+		if v != s.MemClocksMHz[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SalvageReport describes what recovery had to discard to make a
+// journal readable again. gpusweep surfaces a non-nil report as a
+// distinct exit code so scripts notice silent truncation.
+type SalvageReport struct {
+	// DroppedBytes is how much of the file tail was cut off.
+	DroppedBytes int64
+	// DroppedRecords approximates how many records the dropped tail
+	// held (newline count — a torn record has no reliable framing).
+	DroppedRecords int
+	// MigratedV1 reports that the file was a v1 CSV journal and has
+	// been rewritten in v2 format.
+	MigratedV1 bool
+	// Reason says what stopped the scan, for logs.
+	Reason string
+}
+
+// JournalOptions tunes journal construction; the zero value is
+// production behavior.
+type JournalOptions struct {
+	// WrapWriter, if non-nil, wraps the file handle the journal
+	// appends through. It exists so fault injection (torn writes) can
+	// interpose deterministically; see fault.Injector.WrapWriter.
+	WrapWriter func(io.Writer) io.Writer
+}
+
+// Journal is an append-only, checksummed checkpoint log for a sweep:
+// completed kernel rows are framed, CRC'd and fsynced as they finish,
+// and reopening the file recovers them — salvaging past any torn or
+// corrupt tail — so a Resume only recomputes what is missing.
+type Journal struct {
+	space   hw.Space
+	path    string
+	prior   *Matrix
+	salvage *SalvageReport
+
+	mu   sync.Mutex
+	f    *os.File
+	w    io.Writer // f, possibly wrapped for fault injection
+	good int64     // clean prefix length; appends truncate back here on error
+}
+
+// OpenJournal opens or creates a sweep journal at path. An existing
+// v2 file is scanned record by record and truncated at the first
+// corrupt record; a v1 CSV journal (or completed archive) is salvaged
+// and migrated to v2; a file that is neither is rejected rather than
+// overwritten. Check Salvage() after opening to learn whether
+// recovery had to drop anything.
+func OpenJournal(path string, space hw.Space) (*Journal, error) {
+	return OpenJournalWith(path, space, JournalOptions{})
+}
+
+// OpenJournalWith is OpenJournal with explicit options.
+func OpenJournalWith(path string, space hw.Space, opts JournalOptions) (*Journal, error) {
+	if space.Size() == 0 {
+		return nil, fmt.Errorf("sweep: journal %s: empty configuration space", path)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: opening journal: %w", err)
+	}
+	j := &Journal{space: space, path: path, f: f, w: io.Writer(f)}
+	if opts.WrapWriter != nil {
+		j.w = opts.WrapWriter(f)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: reading journal: %w", err)
+	}
+	switch {
+	case len(data) == 0:
+		if err := j.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	case isTornMagic(data):
+		// Crash during the very first header write: nothing of value
+		// was ever in the file.
+		if err := j.reset(int64(len(data)), "torn journal header"); err != nil {
+			f.Close()
+			return nil, err
+		}
+	case bytes.HasPrefix(data, []byte(journalMagic)):
+		if err := j.recoverV2(data); err != nil {
+			f.Close()
+			return nil, err
+		}
+	case looksLikeSweepCSV(data):
+		if err := j.migrateV1(data); err != nil {
+			f.Close()
+			return nil, err
+		}
+	default:
+		f.Close()
+		return nil, fmt.Errorf("sweep: journal %s is neither a v2 journal nor a sweep CSV (delete it to start over)", path)
+	}
+	return j, nil
+}
+
+// isTornMagic reports whether data is a proper prefix of the magic
+// header — the signature of a crash during journal creation.
+func isTornMagic(data []byte) bool {
+	return len(data) < len(journalMagic) && bytes.HasPrefix([]byte(journalMagic), data)
+}
+
+// looksLikeSweepCSV sniffs a v1 journal / WriteCSV archive by its
+// header line.
+func looksLikeSweepCSV(data []byte) bool {
+	return bytes.HasPrefix(data, []byte("kernel,"))
+}
+
+// writeHeader initializes a fresh journal: magic line plus the space
+// record, in one write, fsynced.
+func (j *Journal) writeHeader() error {
+	rec := journalRecord{Space: &journalSpace{
+		CUs:  j.space.CUCounts,
+		Core: j.space.CoreClocksMHz,
+		Mem:  j.space.MemClocksMHz,
+	}}
+	framed, err := frameRecord(rec)
+	if err != nil {
+		return err
+	}
+	header := append([]byte(journalMagic), framed...)
+	if err := j.writeAt(j.good, header); err != nil {
+		return fmt.Errorf("sweep: writing journal header: %w", err)
+	}
+	return nil
+}
+
+// reset truncates the file to empty and writes a fresh header,
+// recording what was dropped.
+func (j *Journal) reset(droppedBytes int64, reason string) error {
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("sweep: resetting journal: %w", err)
+	}
+	j.good = 0
+	if err := j.writeHeader(); err != nil {
+		return err
+	}
+	if droppedBytes > 0 {
+		j.salvage = &SalvageReport{DroppedBytes: droppedBytes, DroppedRecords: 1, Reason: reason}
+	}
+	return nil
+}
+
+// recoverV2 scans an existing v2 file, truncating at the first bad
+// record. A clean file costs one pass and no writes.
+func (j *Journal) recoverV2(data []byte) error {
+	prior, good, reason, err := scanJournal(data, j.space)
+	if err != nil {
+		return err
+	}
+	if good == 0 {
+		// Header or space record was torn/corrupt — start over.
+		return j.reset(int64(len(data)), reason)
+	}
+	if good < int64(len(data)) {
+		dropped := data[good:]
+		if err := j.f.Truncate(good); err != nil {
+			return fmt.Errorf("sweep: truncating corrupt journal tail: %w", err)
+		}
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("sweep: truncating corrupt journal tail: %w", err)
+		}
+		j.salvage = &SalvageReport{
+			DroppedBytes:   int64(len(dropped)),
+			DroppedRecords: countRecords(dropped),
+			Reason:         reason,
+		}
+	}
+	j.good = good
+	if _, err := j.f.Seek(good, io.SeekStart); err != nil {
+		return fmt.Errorf("sweep: seeking journal: %w", err)
+	}
+	j.prior = prior
+	return nil
+}
+
+// countRecords approximates how many records a byte region held.
+func countRecords(b []byte) int {
+	n := bytes.Count(b, []byte{'\n'})
+	if len(b) > 0 && b[len(b)-1] != '\n' {
+		n++
+	}
+	return n
+}
+
+// scanJournal walks a v2 journal image and returns the recovered
+// matrix (nil if no rows), the clean prefix length in bytes, and a
+// human-readable reason when the scan stopped before the end. The
+// error return is reserved for files that must not be silently
+// repaired: a journal written for a different configuration space.
+// good == 0 with nil error means nothing before the space record was
+// usable and the caller should start fresh.
+func scanJournal(data []byte, space hw.Space) (m *Matrix, good int64, reason string, err error) {
+	if !bytes.HasPrefix(data, []byte(journalMagic)) {
+		return nil, 0, "missing journal magic", nil
+	}
+	off := int64(len(journalMagic))
+	nCfg := space.Size()
+	rows := map[string]int{}
+	sawSpace := false
+	for off < int64(len(data)) {
+		rec, next, why := parseRecord(data, off)
+		if why != "" {
+			return m, journalGood(sawSpace, off), fmt.Sprintf("%s at byte %d", why, off), nil
+		}
+		if rec.Space != nil {
+			if sawSpace {
+				return m, off, fmt.Sprintf("duplicate space record at byte %d", off), nil
+			}
+			if !rec.Space.matches(space) {
+				return nil, 0, "", fmt.Errorf("sweep: journal was written for a different configuration space")
+			}
+			sawSpace = true
+			off = next
+			continue
+		}
+		if !sawSpace {
+			return nil, 0, fmt.Sprintf("row record before space record at byte %d", off), nil
+		}
+		if why := validateRowRecord(rec, nCfg); why != "" {
+			return m, off, fmt.Sprintf("%s at byte %d", why, off), nil
+		}
+		if m == nil {
+			m = &Matrix{Space: space}
+		}
+		ri, ok := rows[rec.Kernel]
+		if !ok {
+			ri = len(m.Kernels)
+			rows[rec.Kernel] = ri
+			m.Kernels = append(m.Kernels, rec.Kernel)
+			m.Throughput = append(m.Throughput, nil)
+			m.TimeNS = append(m.TimeNS, nil)
+			m.Bound = append(m.Bound, nil)
+			m.Status = append(m.Status, nil)
+		}
+		bounds := make([]gcn.Bound, nCfg)
+		status := make([]CellStatus, nCfg) // all StatusOK
+		for i, b := range rec.Bound {
+			bounds[i] = gcn.Bound(b)
+		}
+		m.Throughput[ri] = rec.Tput
+		m.TimeNS[ri] = rec.TimeNS
+		m.Bound[ri] = bounds
+		m.Status[ri] = status
+		off = next
+	}
+	if !sawSpace {
+		// Magic with no space record: a write tore exactly at the
+		// header boundary. Nothing is salvageable past the magic.
+		return nil, 0, "journal has no space record", nil
+	}
+	return m, off, "", nil
+}
+
+// journalGood maps "scan stopped at off" to a truncation point: if
+// the space record itself never parsed, nothing is salvageable.
+func journalGood(sawSpace bool, off int64) int64 {
+	if !sawSpace {
+		return 0
+	}
+	return off
+}
+
+// parseRecord decodes one framed record starting at off. It returns
+// the record, the offset just past its trailing newline, and a
+// non-empty reason on any framing/checksum/parse failure.
+func parseRecord(data []byte, off int64) (rec journalRecord, next int64, reason string) {
+	rest := data[off:]
+	// Framing: 8 hex digits, space, decimal length, space.
+	sp1 := bytes.IndexByte(rest, ' ')
+	if sp1 != 8 {
+		return rec, 0, "bad record framing"
+	}
+	crcWant, err := strconv.ParseUint(string(rest[:8]), 16, 32)
+	if err != nil {
+		return rec, 0, "bad record checksum field"
+	}
+	rest2 := rest[9:]
+	sp2 := bytes.IndexByte(rest2, ' ')
+	if sp2 <= 0 || sp2 > 10 {
+		return rec, 0, "bad record framing"
+	}
+	plen, err := strconv.ParseInt(string(rest2[:sp2]), 10, 32)
+	if err != nil || plen <= 0 {
+		return rec, 0, "bad record length field"
+	}
+	payloadStart := int64(9 + sp2 + 1)
+	if payloadStart+plen+1 > int64(len(rest)) {
+		return rec, 0, "torn record"
+	}
+	payload := rest[payloadStart : payloadStart+plen]
+	if rest[payloadStart+plen] != '\n' {
+		return rec, 0, "bad record framing"
+	}
+	if crc32.ChecksumIEEE(payload) != uint32(crcWant) {
+		return rec, 0, "record checksum mismatch"
+	}
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		return rec, 0, "unparsable record payload"
+	}
+	if dec.More() {
+		return rec, 0, "trailing data in record payload"
+	}
+	return rec, off + payloadStart + plen + 1, ""
+}
+
+// validateRowRecord applies the same hygiene as the CSV loader:
+// journaled cells are all StatusOK, so every measurement must be a
+// positive finite number and every bound in range. Returns a reason
+// or "".
+func validateRowRecord(rec journalRecord, nCfg int) string {
+	if rec.Kernel == "" {
+		return "record with no kernel"
+	}
+	if len(rec.Tput) != nCfg || len(rec.TimeNS) != nCfg || len(rec.Bound) != nCfg {
+		return fmt.Sprintf("row record for %q has wrong plane length", rec.Kernel)
+	}
+	for i := range rec.Tput {
+		if !(rec.Tput[i] > 0) || math.IsInf(rec.Tput[i], 0) {
+			return fmt.Sprintf("row record for %q has out-of-range throughput", rec.Kernel)
+		}
+		if !(rec.TimeNS[i] > 0) || math.IsInf(rec.TimeNS[i], 0) {
+			return fmt.Sprintf("row record for %q has out-of-range time", rec.Kernel)
+		}
+		if rec.Bound[i] < int(gcn.BoundCompute) || rec.Bound[i] > int(gcn.BoundLaunch) {
+			return fmt.Sprintf("row record for %q has unknown bound", rec.Kernel)
+		}
+	}
+	return ""
+}
+
+// frameRecord renders a record in wire format:
+// "<crc32:8hex> <len> <payload>\n".
+func frameRecord(rec journalRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: encoding journal record: %w", err)
+	}
+	return []byte(fmt.Sprintf("%08x %d %s\n", crc32.ChecksumIEEE(payload), len(payload), payload)), nil
+}
+
+// writeAt appends b at offset off through the (possibly wrapped)
+// writer, fsyncs, and advances the clean-prefix marker. On any
+// failure — including a short (torn) write — the file is truncated
+// back to the clean prefix so the journal self-heals in process.
+func (j *Journal) writeAt(off int64, b []byte) error {
+	if _, err := j.f.Seek(off, io.SeekStart); err != nil {
+		return err
+	}
+	n, err := j.w.Write(b)
+	if err == nil && n != len(b) {
+		err = io.ErrShortWrite
+	}
+	if err == nil {
+		err = j.f.Sync()
+	}
+	if err != nil {
+		// Cut whatever partial bytes landed; keep the journal clean.
+		j.f.Truncate(off)
+		j.f.Sync()
+		j.f.Seek(off, io.SeekStart)
+		return err
+	}
+	j.good = off + int64(len(b))
+	return nil
+}
+
+// migrateV1 salvages a v1 CSV journal (or a completed WriteCSV
+// archive) and atomically rewrites the file in v2 format. Only
+// complete all-OK kernel rows survive — exactly what v1's AppendRow
+// ever wrote — and a torn CSV tail is dropped rather than fatal.
+func (j *Journal) migrateV1(data []byte) error {
+	prior, droppedBytes, droppedRecords := salvageV1CSV(data, j.space)
+	var buf bytes.Buffer
+	buf.WriteString(journalMagic)
+	framed, err := frameRecord(journalRecord{Space: &journalSpace{
+		CUs:  j.space.CUCounts,
+		Core: j.space.CoreClocksMHz,
+		Mem:  j.space.MemClocksMHz,
+	}})
+	if err != nil {
+		return err
+	}
+	buf.Write(framed)
+	if prior != nil {
+		for r := range prior.Kernels {
+			framed, err := rowRecord(prior, r)
+			if err != nil {
+				return err
+			}
+			buf.Write(framed)
+		}
+	}
+	// Atomic replace: a crash mid-migration leaves the old v1 file,
+	// which simply migrates again next open.
+	tmp, err := os.CreateTemp(filepath.Dir(j.path), filepath.Base(j.path)+".v2*")
+	if err != nil {
+		return fmt.Errorf("sweep: migrating v1 journal: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sweep: migrating v1 journal: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sweep: migrating v1 journal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sweep: migrating v1 journal: %w", err)
+	}
+	syncDir(filepath.Dir(j.path))
+	// The old handle points at the unlinked v1 file; reopen the v2 one.
+	old := j.f
+	f, err := os.OpenFile(j.path, os.O_RDWR, 0o644)
+	tmp.Close()
+	if err != nil {
+		return fmt.Errorf("sweep: reopening migrated journal: %w", err)
+	}
+	old.Close()
+	j.f = f
+	j.w = io.Writer(f)
+	j.good = int64(buf.Len())
+	if _, err := f.Seek(j.good, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("sweep: seeking migrated journal: %w", err)
+	}
+	j.prior = prior
+	j.salvage = &SalvageReport{
+		DroppedBytes:   droppedBytes,
+		DroppedRecords: droppedRecords,
+		MigratedV1:     true,
+		Reason:         "v1 CSV journal migrated to v2",
+	}
+	return nil
+}
+
+// salvageV1CSV reads a v1 CSV journal tolerantly: it stops at the
+// first malformed line instead of erroring, then keeps only kernels
+// whose rows are complete and all-OK. Returns the salvaged matrix
+// (nil if none), bytes of unreadable tail, and the count of dropped
+// data lines (torn tail plus lines of incomplete kernels).
+func salvageV1CSV(data []byte, space hw.Space) (*Matrix, int64, int) {
+	br := bytes.NewReader(data)
+	cr := csv.NewReader(br)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil || len(header) < 7 || header[0] != "kernel" {
+		return nil, int64(len(data)), countRecords(data)
+	}
+	legacy := len(header) == 7
+	nCfg := space.Size()
+	bounds := boundNames()
+	m := &Matrix{Space: space}
+	rows := map[string]int{}
+	var filled [][]bool
+	var rowLines []int
+	goodOffset := cr.InputOffset()
+	tornLines := 0
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			tornLines = countRecords(data[goodOffset:])
+			break
+		}
+		cell, derr := decodeCSVRecord(rec, line, space, bounds, legacy)
+		if derr != nil {
+			tornLines = countRecords(data[goodOffset:])
+			break
+		}
+		ri, ok := rows[cell.kernel]
+		if !ok {
+			ri = len(m.Kernels)
+			rows[cell.kernel] = ri
+			m.Kernels = append(m.Kernels, cell.kernel)
+			m.Throughput = append(m.Throughput, make([]float64, nCfg))
+			m.TimeNS = append(m.TimeNS, make([]float64, nCfg))
+			m.Bound = append(m.Bound, make([]gcn.Bound, nCfg))
+			m.Status = append(m.Status, failedRow(nCfg))
+			filled = append(filled, make([]bool, nCfg))
+			rowLines = append(rowLines, 0)
+		}
+		m.Throughput[ri][cell.ci] = cell.tput
+		m.TimeNS[ri][cell.ci] = cell.tns
+		m.Bound[ri][cell.ci] = cell.bound
+		m.Status[ri][cell.ci] = cell.status
+		filled[ri][cell.ci] = true
+		rowLines[ri]++
+		goodOffset = cr.InputOffset()
+	}
+	droppedBytes := int64(len(data)) - goodOffset
+	// Keep only kernels with every cell present and StatusOK; a
+	// partial or failed row is recomputed by the resume anyway.
+	kept := &Matrix{Space: space}
+	droppedLines := tornLines
+	for ri := range m.Kernels {
+		complete := true
+		for c := 0; c < nCfg; c++ {
+			if !filled[ri][c] || m.Status[ri][c] != StatusOK {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			droppedLines += rowLines[ri]
+			continue
+		}
+		kept.Kernels = append(kept.Kernels, m.Kernels[ri])
+		kept.Throughput = append(kept.Throughput, m.Throughput[ri])
+		kept.TimeNS = append(kept.TimeNS, m.TimeNS[ri])
+		kept.Bound = append(kept.Bound, m.Bound[ri])
+		kept.Status = append(kept.Status, m.Status[ri])
+	}
+	if len(kept.Kernels) == 0 {
+		kept = nil
+	}
+	return kept, droppedBytes, droppedLines
+}
+
+// rowRecord frames row r of m as a v2 row record.
+func rowRecord(m *Matrix, r int) ([]byte, error) {
+	nCfg := m.Space.Size()
+	bounds := make([]int, nCfg)
+	for c := 0; c < nCfg; c++ {
+		bounds[c] = int(m.Bound[r][c])
+	}
+	return frameRecord(journalRecord{
+		Kernel: m.Kernels[r],
+		Tput:   m.Throughput[r],
+		TimeNS: m.TimeNS[r],
+		Bound:  bounds,
+	})
+}
+
+// Prior returns the matrix recovered from an existing journal file,
+// or nil for a fresh journal. Pass it to Resume. Recovered cells are
+// exact: JSON float64 encoding round-trips, so a resumed sweep's
+// final matrix is byte-identical to an uninterrupted run's.
+func (j *Journal) Prior() *Matrix { return j.prior }
+
+// Salvage reports what recovery discarded when the journal was
+// opened, or nil if the file was clean (or new).
+func (j *Journal) Salvage() *SalvageReport { return j.salvage }
+
+// AppendRow checkpoints row r of m if — and only if — every cell is
+// StatusOK: rows with failed, stalled or quarantined cells are left
+// out so the next Resume recomputes them. Safe for concurrent use;
+// matches the Options.OnRow signature via a closure. The record is
+// fsynced before AppendRow returns, and a failed or torn write is
+// rolled back so the file stays clean.
+func (j *Journal) AppendRow(m *Matrix, r int) error {
+	if !m.RowComplete(r) {
+		return nil
+	}
+	framed, err := rowRecord(m, r)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.writeAt(j.good, framed); err != nil {
+		return fmt.Errorf("sweep: journaling %s: %w", m.Kernels[r], err)
+	}
+	return nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// ErrJournalIncomplete is returned by VerifyComplete when the journal
+// is missing kernels or cells.
+var ErrJournalIncomplete = errors.New("sweep: journal incomplete")
+
+// VerifyComplete re-reads the journal from disk and checks that it
+// now covers every named kernel with a fully OK row — the post-Resume
+// sanity check before the journal is archived.
+func (j *Journal) VerifyComplete(kernels []string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	defer j.f.Seek(j.good, io.SeekStart)
+	data, err := io.ReadAll(j.f)
+	if err != nil {
+		return err
+	}
+	m, good, reason, err := scanJournal(data, j.space)
+	if err != nil {
+		return err
+	}
+	if good < int64(len(data)) {
+		return fmt.Errorf("%w: %s", ErrJournalIncomplete, reason)
+	}
+	for _, k := range kernels {
+		if m == nil {
+			return fmt.Errorf("%w: kernel %s", ErrJournalIncomplete, k)
+		}
+		r := m.Row(k)
+		if r < 0 || !m.RowComplete(r) {
+			return fmt.Errorf("%w: kernel %s", ErrJournalIncomplete, k)
+		}
+	}
+	return nil
+}

@@ -35,8 +35,13 @@ type Observer interface {
 	CellAttempt(row int, kernel string, cfg hw.Config, attempt int, d time.Duration, err error)
 	// CellDone fires when a cell reaches a terminal status. attempts
 	// is the simulator invocations the cell consumed (0 when it was
-	// canceled before running); d spans first attempt to settlement.
+	// canceled or quarantined before running); d spans first attempt
+	// to settlement.
 	CellDone(row int, kernel string, cfg hw.Config, status CellStatus, attempts int, d time.Duration)
+	// BreakerTripped fires when a kernel row's circuit breaker opens
+	// after `consecutive` hard failures; the row's remaining cells are
+	// about to be quarantined.
+	BreakerTripped(row int, kernel string, consecutive int)
 	// RowDone fires when a kernel row settles. queueWait is how long
 	// the row waited between sweep start and worker pickup; d is the
 	// row's compute duration.
@@ -55,6 +60,7 @@ func (NopObserver) CellTiming() bool                                            
 func (NopObserver) SweepStart(int, int, int)                                        {}
 func (NopObserver) CellAttempt(int, string, hw.Config, int, time.Duration, error)   {}
 func (NopObserver) CellDone(int, string, hw.Config, CellStatus, int, time.Duration) {}
+func (NopObserver) BreakerTripped(int, string, int)                                 {}
 func (NopObserver) RowDone(int, string, time.Duration, time.Duration)               {}
 func (NopObserver) SweepEnd(*RunReport)                                             {}
 
@@ -83,6 +89,9 @@ const (
 	MetricJournalAppends = "sweep_journal_appends_total"
 	// MetricJournalErrors counts failed journal checkpoints.
 	MetricJournalErrors = "sweep_journal_errors_total"
+	// MetricBreakerTrips counts kernel rows whose circuit breaker
+	// opened (Options.Breaker consecutive hard failures).
+	MetricBreakerTrips = "sweep_breaker_trips_total"
 )
 
 // Telemetry is the production Observer: it feeds an obs.Registry
@@ -93,18 +102,21 @@ type Telemetry struct {
 	reg *obs.Registry
 	tw  *obs.TraceWriter
 
-	cells          *obs.Gauge
-	doneOK         *obs.Counter
-	doneFailed     *obs.Counter
-	doneCanceled   *obs.Counter
-	doneSkipped    *obs.Counter
-	rowsDone       *obs.Counter
-	attempts       *obs.Counter
-	retries        *obs.Counter
-	cellLatency    *obs.Histogram
-	queueWait      *obs.Histogram
-	journalAppends *obs.Counter
-	journalErrors  *obs.Counter
+	cells           *obs.Gauge
+	doneOK          *obs.Counter
+	doneFailed      *obs.Counter
+	doneCanceled    *obs.Counter
+	doneStalled     *obs.Counter
+	doneQuarantined *obs.Counter
+	doneSkipped     *obs.Counter
+	rowsDone        *obs.Counter
+	attempts        *obs.Counter
+	retries         *obs.Counter
+	breakerTrips    *obs.Counter
+	cellLatency     *obs.Histogram
+	queueWait       *obs.Histogram
+	journalAppends  *obs.Counter
+	journalErrors   *obs.Counter
 
 	progress  *obs.Progress
 	progressW io.Writer
@@ -121,23 +133,27 @@ func NewTelemetry(reg *obs.Registry, tw *obs.TraceWriter) *Telemetry {
 		reg = obs.NewRegistry()
 	}
 	t := &Telemetry{
-		reg:            reg,
-		tw:             tw,
-		cells:          reg.Gauge(MetricCells, "total cells in the sweep"),
-		doneOK:         reg.Counter(MetricCellsDone, "settled cells by status", obs.L("status", "ok")),
-		doneFailed:     reg.Counter(MetricCellsDone, "", obs.L("status", "failed")),
-		doneCanceled:   reg.Counter(MetricCellsDone, "", obs.L("status", "canceled")),
-		doneSkipped:    reg.Counter(MetricCellsDone, "", obs.L("status", "skipped")),
-		rowsDone:       reg.Counter(MetricRowsDone, "settled kernel rows"),
-		attempts:       reg.Counter(MetricAttempts, "simulator invocations"),
-		retries:        reg.Counter(MetricRetries, "invocations beyond each cell's first"),
-		cellLatency:    reg.Histogram(MetricCellLatency, "per-cell settle latency (s)", nil),
-		queueWait:      reg.Histogram(MetricQueueWait, "row queue wait (s)", nil),
-		journalAppends: reg.Counter(MetricJournalAppends, "journal row checkpoints"),
-		journalErrors:  reg.Counter(MetricJournalErrors, "failed journal checkpoints"),
+		reg:             reg,
+		tw:              tw,
+		cells:           reg.Gauge(MetricCells, "total cells in the sweep"),
+		doneOK:          reg.Counter(MetricCellsDone, "settled cells by status", obs.L("status", "ok")),
+		doneFailed:      reg.Counter(MetricCellsDone, "", obs.L("status", "failed")),
+		doneCanceled:    reg.Counter(MetricCellsDone, "", obs.L("status", "canceled")),
+		doneStalled:     reg.Counter(MetricCellsDone, "", obs.L("status", "stalled")),
+		doneQuarantined: reg.Counter(MetricCellsDone, "", obs.L("status", "quarantined")),
+		doneSkipped:     reg.Counter(MetricCellsDone, "", obs.L("status", "skipped")),
+		rowsDone:        reg.Counter(MetricRowsDone, "settled kernel rows"),
+		attempts:        reg.Counter(MetricAttempts, "simulator invocations"),
+		retries:         reg.Counter(MetricRetries, "invocations beyond each cell's first"),
+		breakerTrips:    reg.Counter(MetricBreakerTrips, "kernel rows whose circuit breaker opened"),
+		cellLatency:     reg.Histogram(MetricCellLatency, "per-cell settle latency (s)", nil),
+		queueWait:       reg.Histogram(MetricQueueWait, "row queue wait (s)", nil),
+		journalAppends:  reg.Counter(MetricJournalAppends, "journal row checkpoints"),
+		journalErrors:   reg.Counter(MetricJournalErrors, "failed journal checkpoints"),
 	}
 	t.progress = obs.NewProgress(func() uint64 {
-		return t.doneOK.Value() + t.doneFailed.Value() + t.doneCanceled.Value() + t.doneSkipped.Value()
+		return t.doneOK.Value() + t.doneFailed.Value() + t.doneCanceled.Value() +
+			t.doneStalled.Value() + t.doneQuarantined.Value() + t.doneSkipped.Value()
 	})
 	return t
 }
@@ -209,6 +225,10 @@ func (t *Telemetry) CellDone(row int, kernel string, cfg hw.Config, status CellS
 		t.doneFailed.Inc()
 	case StatusCanceled:
 		t.doneCanceled.Inc()
+	case StatusStalled:
+		t.doneStalled.Inc()
+	case StatusQuarantined:
+		t.doneQuarantined.Inc()
 	default:
 		t.doneOK.Inc()
 	}
@@ -221,6 +241,16 @@ func (t *Telemetry) CellDone(row int, kernel string, cfg hw.Config, status CellS
 	}
 	if t.progressW != nil {
 		t.progress.MaybeEmit(t.progressW)
+	}
+}
+
+// BreakerTripped implements Observer.
+func (t *Telemetry) BreakerTripped(row int, kernel string, consecutive int) {
+	t.breakerTrips.Inc()
+	if t.tw != nil {
+		t.tw.Instant("breaker", "sweep", int64(row), map[string]any{
+			"kernel": kernel, "consecutive_failures": consecutive,
+		})
 	}
 }
 
@@ -240,8 +270,10 @@ func (t *Telemetry) SweepEnd(rep *RunReport) {
 	if t.tw != nil {
 		t.tw.Complete("sweep", "sweep", 0, t.sweepStart, rep.WallTime, map[string]any{
 			"cells": rep.Cells, "ok": rep.OK, "failed": rep.Failed,
-			"canceled": rep.Canceled, "skipped": rep.Skipped,
+			"canceled": rep.Canceled, "stalled": rep.Stalled,
+			"quarantined": rep.Quarantined, "skipped": rep.Skipped,
 			"attempts": rep.Attempts, "retries": rep.Retries,
+			"breaker_trips": rep.BreakerTrips,
 		})
 		t.tw.Flush()
 	}

@@ -9,6 +9,14 @@
 // context cancellation, and — instead of aborting the whole sweep —
 // records a per-cell Status so partial matrices are first-class and a
 // later Resume can fill in only the missing rows.
+//
+// The executor is additionally crash-only: a panicking engine is
+// isolated per cell (the panic becomes a CellFailure with a captured
+// stack), a stall watchdog abandons engine calls that ignore context
+// cancellation past Options.StallGrace, and a per-kernel circuit
+// breaker quarantines the rest of a row after Options.Breaker
+// consecutive hard failures instead of burning retry budgets on a
+// kernel that is clearly down.
 package sweep
 
 import (
@@ -18,7 +26,9 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gpuscale/internal/gcn"
@@ -59,6 +69,19 @@ var ErrCorruptResult = errors.New("sweep: corrupt result")
 // ErrSimTimeout marks a simulation that exceeded Options.SimTimeout.
 var ErrSimTimeout = errors.New("sweep: simulation timed out")
 
+// ErrEnginePanic marks a simulator invocation that panicked. The panic
+// is confined to its cell: the wrapped error carries the panic value
+// and the captured stack, the cell is marked StatusFailed without
+// retry (a panicking engine is deterministic breakage, not flakiness),
+// and the sweep continues.
+var ErrEnginePanic = errors.New("sweep: engine panicked")
+
+// ErrStalled marks an engine call that kept running past context
+// cancellation plus Options.StallGrace. The call's goroutine is
+// abandoned (Go cannot kill it) and the cell is marked StatusStalled
+// so the row settles instead of hanging the sweep.
+var ErrStalled = errors.New("sweep: engine ignored cancellation")
+
 // Options configures a sweep run.
 type Options struct {
 	// Workers is the parallel worker count; <= 0 uses GOMAXPROCS.
@@ -92,6 +115,29 @@ type Options struct {
 	// cannot kill it), so pair timeouts with engines that eventually
 	// return.
 	SimTimeout time.Duration
+	// StallGrace arms the stall watchdog: once the sweep's context is
+	// canceled, an in-flight engine call gets this long to return
+	// before it is abandoned and its cell marked StatusStalled. Zero
+	// disables the watchdog (a canceled in-flight call is abandoned
+	// immediately and its cell marked StatusCanceled, the historical
+	// behaviour). Like SimTimeout, arming it moves each invocation
+	// onto a supervising goroutine.
+	StallGrace time.Duration
+	// Breaker is the per-kernel circuit breaker: after this many
+	// consecutive hard failures (failed or stalled cells) within one
+	// kernel row, the row's remaining cells are marked
+	// StatusQuarantined without invoking the engine, so one
+	// pathologically broken kernel cannot burn the whole retry budget.
+	// 0 disables the breaker. Quarantined rows are incomplete, so a
+	// later Resume recomputes them.
+	Breaker int
+	// QuarantineAfter is the sweep-level emergency brake: once this
+	// many kernel rows have tripped their circuit breaker, every row
+	// not yet started is quarantined wholesale — the failure is
+	// systemic (broken engine, dead rig), not per-kernel. 0 disables.
+	// Which rows are spared depends on worker scheduling; rerun with
+	// Resume after fixing the rig to fill them in.
+	QuarantineAfter int
 	// OnRow, when non-nil, is called as each kernel row reaches a
 	// terminal state, from worker goroutines — it must be safe for
 	// concurrent use and should only read row r of m. Journals hook
@@ -117,9 +163,17 @@ const (
 	// StatusCanceled marks a cell abandoned because the sweep's
 	// context ended before it could run.
 	StatusCanceled
+	// StatusStalled marks a cell whose engine call ignored context
+	// cancellation past Options.StallGrace and was abandoned by the
+	// watchdog.
+	StatusStalled
+	// StatusQuarantined marks a cell skipped by the circuit breaker
+	// after too many consecutive hard failures in its kernel row; the
+	// engine was never invoked for it.
+	StatusQuarantined
 )
 
-var statusNames = [...]string{"ok", "failed", "canceled"}
+var statusNames = [...]string{"ok", "failed", "canceled", "stalled", "quarantined"}
 
 // String returns the status's lower-case name.
 func (s CellStatus) String() string {
@@ -245,27 +299,37 @@ type RunReport struct {
 	Kernels, Configs int
 	// Cells is Kernels * Configs.
 	Cells int
-	// OK, Failed and Canceled partition the cells this run attempted;
-	// Skipped counts cells reused from a prior matrix by Resume.
-	// OK + Failed + Canceled + Skipped == Cells.
-	OK, Failed, Canceled, Skipped int
+	// OK, Failed, Canceled, Stalled and Quarantined partition the
+	// cells this run attempted; Skipped counts cells reused from a
+	// prior matrix by Resume. OK + Failed + Canceled + Stalled +
+	// Quarantined + Skipped == Cells.
+	OK, Failed, Canceled, Stalled, Quarantined, Skipped int
 	// Attempts is the total simulator invocations; Retries is the
 	// portion beyond each cell's first attempt.
 	Attempts, Retries int
-	// Failures lists each failed cell with its final error.
+	// BreakerTrips counts kernel rows whose circuit breaker opened
+	// (Options.Breaker consecutive hard failures).
+	BreakerTrips int
+	// Failures lists each failed or stalled cell with its final error.
 	Failures []CellFailure
 	// WallTime is the end-to-end sweep duration.
 	WallTime time.Duration
 }
 
 // Complete reports whether every cell holds a validated measurement.
-func (r *RunReport) Complete() bool { return r.Failed == 0 && r.Canceled == 0 }
+func (r *RunReport) Complete() bool {
+	return r.Failed == 0 && r.Canceled == 0 && r.Stalled == 0 && r.Quarantined == 0
+}
 
 // Summary renders a one-line accounting suitable for CLI output.
 func (r *RunReport) Summary() string {
-	return fmt.Sprintf("%d cells: %d ok, %d failed, %d canceled, %d reused (%d attempts, %d retries) in %v",
-		r.Cells, r.OK, r.Failed, r.Canceled, r.Skipped, r.Attempts, r.Retries,
-		r.WallTime.Round(time.Millisecond))
+	s := fmt.Sprintf("%d cells: %d ok, %d failed, %d canceled, %d stalled, %d quarantined, %d reused (%d attempts, %d retries) in %v",
+		r.Cells, r.OK, r.Failed, r.Canceled, r.Stalled, r.Quarantined, r.Skipped,
+		r.Attempts, r.Retries, r.WallTime.Round(time.Millisecond))
+	if r.BreakerTrips > 0 {
+		s += fmt.Sprintf("; %d breaker trip(s)", r.BreakerTrips)
+	}
+	return s
 }
 
 // Run sweeps every kernel over every configuration of the space with
@@ -358,7 +422,8 @@ func resume(ctx context.Context, kernels []*kernel.Kernel, space hw.Space, opts 
 	}
 
 	start := time.Now()
-	var mu sync.Mutex // guards rep tallies beyond Skipped
+	var mu sync.Mutex      // guards rep tallies beyond Skipped
+	var trips atomic.Int64 // kernel rows whose breaker opened, sweep-wide
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -372,7 +437,14 @@ func resume(ctx context.Context, kernels []*kernel.Kernel, space hw.Space, opts 
 				if o != nil {
 					pickup = time.Now()
 				}
-				sweepRow(ctx, sim, kernels[row], configs, opts, m, row, rep, &mu, start)
+				if opts.QuarantineAfter > 0 && trips.Load() >= int64(opts.QuarantineAfter) {
+					// Enough kernels have tripped their breakers that
+					// the failure is systemic: quarantine rows that
+					// have not started rather than grind through them.
+					quarantineRow(kernels[row], configs, opts, m, row, rep, &mu)
+				} else {
+					sweepRow(ctx, sim, kernels[row], configs, opts, m, row, rep, &mu, start, &trips)
+				}
 				if o != nil {
 					o.RowDone(row, kernels[row].Name, pickup.Sub(start), time.Since(pickup))
 				}
@@ -399,14 +471,37 @@ func resume(ctx context.Context, kernels []*kernel.Kernel, space hw.Space, opts 
 // okRow returns a row of StatusOK cells.
 func okRow(n int) []CellStatus { return make([]CellStatus, n) }
 
+// quarantineRow settles a whole kernel row as StatusQuarantined
+// without invoking the engine — the sweep-level brake once
+// Options.QuarantineAfter kernels have tripped their breakers.
+func quarantineRow(k *kernel.Kernel, configs []hw.Config, opts Options,
+	m *Matrix, row int, rep *RunReport, mu *sync.Mutex) {
+	status := make([]CellStatus, len(configs))
+	o := opts.Observer
+	for c, cfg := range configs {
+		status[c] = StatusQuarantined
+		if o != nil {
+			o.CellDone(row, k.Name, cfg, StatusQuarantined, 0, 0)
+		}
+	}
+	m.Throughput[row] = make([]float64, len(configs))
+	m.TimeNS[row] = make([]float64, len(configs))
+	m.Bound[row] = make([]gcn.Bound, len(configs))
+	m.Status[row] = status
+	mu.Lock()
+	rep.Quarantined += len(configs)
+	mu.Unlock()
+}
+
 // sweepRow measures one kernel over every configuration, retrying
 // faulty cells, and merges the row's accounting into the report.
 // base anchors observer timing: cell and attempt durations are
 // differences of monotonic offsets from it, chained so the common
 // single-attempt cell costs exactly one clock read — per-cell
 // instrumentation has to stay within a few percent of a ~1µs cell.
+// trips is the sweep-wide count of opened circuit breakers.
 func sweepRow(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, configs []hw.Config,
-	opts Options, m *Matrix, row int, rep *RunReport, mu *sync.Mutex, base time.Time) {
+	opts Options, m *Matrix, row int, rep *RunReport, mu *sync.Mutex, base time.Time, trips *atomic.Int64) {
 	tput := make([]float64, len(configs))
 	times := make([]float64, len(configs))
 	bounds := make([]gcn.Bound, len(configs))
@@ -426,12 +521,24 @@ func sweepRow(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, configs
 	if timed {
 		prev = time.Since(base)
 	}
-	var ok, failed, canceled, attempts, retries int
+	var ok, failed, canceled, stalled, quarantined, attempts, retries int
 	var failures []CellFailure
+	// streak counts consecutive hard failures (failed or stalled
+	// cells); Options.Breaker of them in a row opens the breaker and
+	// quarantines the rest of the row.
+	streak, tripped := 0, false
 	for c, cfg := range configs {
 		noise := 1.0
 		if rng != nil {
 			noise = math.Exp(rng.NormFloat64() * opts.NoiseStdDev)
+		}
+		if tripped {
+			status[c] = StatusQuarantined
+			quarantined++
+			if o != nil {
+				o.CellDone(row, k.Name, cfg, StatusQuarantined, 0, 0)
+			}
+			continue
 		}
 		if ctx.Err() != nil {
 			status[c] = StatusCanceled
@@ -452,22 +559,35 @@ func sweepRow(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, configs
 			retries += n - 1
 		}
 		if err != nil {
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if errors.Is(err, ErrStalled) {
+				status[c] = StatusStalled
+				stalled++
+			} else if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				status[c] = StatusCanceled
 				canceled++
 				if o != nil {
 					o.CellDone(row, k.Name, cfg, StatusCanceled, n, cellDur)
 				}
 				continue
+			} else {
+				status[c] = StatusFailed
+				failed++
 			}
-			status[c] = StatusFailed
-			failed++
 			failures = append(failures, CellFailure{Kernel: k.Name, Config: cfg, Attempts: n, Err: err})
 			if o != nil {
-				o.CellDone(row, k.Name, cfg, StatusFailed, n, cellDur)
+				o.CellDone(row, k.Name, cfg, status[c], n, cellDur)
+			}
+			streak++
+			if opts.Breaker > 0 && streak >= opts.Breaker {
+				tripped = true
+				trips.Add(1)
+				if o != nil {
+					o.BreakerTripped(row, k.Name, streak)
+				}
 			}
 			continue
 		}
+		streak = 0
 		tput[c] = r.Throughput * noise
 		times[c] = r.TimeNS
 		bounds[c] = r.Bound
@@ -485,8 +605,13 @@ func sweepRow(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, configs
 	rep.OK += ok
 	rep.Failed += failed
 	rep.Canceled += canceled
+	rep.Stalled += stalled
+	rep.Quarantined += quarantined
 	rep.Attempts += attempts
 	rep.Retries += retries
+	if tripped {
+		rep.BreakerTrips++
+	}
 	rep.Failures = append(rep.Failures, failures...)
 	mu.Unlock()
 }
@@ -534,7 +659,7 @@ func runCell(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, cfg hw.C
 			}
 		}
 		attempts++
-		r, err := simulate(ctx, sim, k, cfg, opts.SimTimeout)
+		r, err := simulate(ctx, sim, k, cfg, opts.SimTimeout, opts.StallGrace)
 		if err == nil {
 			err = validate(r)
 		}
@@ -547,7 +672,11 @@ func runCell(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, cfg hw.C
 		if err == nil {
 			return r, attempts, end, nil
 		}
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		// Panics and stalls are final: a panicking engine is broken,
+		// not flaky, and a stalled call only surfaces once the sweep is
+		// already being torn down — retrying either wastes the budget.
+		if errors.Is(err, ErrEnginePanic) || errors.Is(err, ErrStalled) ||
+			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return gcn.Result{}, attempts, end, err
 		}
 		lastErr = err
@@ -555,12 +684,26 @@ func runCell(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, cfg hw.C
 	return gcn.Result{}, attempts, end, lastErr
 }
 
-// simulate invokes the engine, bounded by timeout when one is set. A
-// timed-out invocation's goroutine finishes in the background; its
+// safeCall invokes the engine with panic isolation: a panic is
+// converted into an ErrEnginePanic carrying the panic value and the
+// goroutine stack, so one broken kernel model cannot take down a
+// multi-hour campaign.
+func safeCall(sim gcn.EngineFunc, k *kernel.Kernel, cfg hw.Config) (r gcn.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%w: %v\n%s", ErrEnginePanic, p, debug.Stack())
+		}
+	}()
+	return sim(k, cfg)
+}
+
+// simulate invokes the engine, bounded by timeout when one is set and
+// supervised by the stall watchdog when grace is set. A timed-out or
+// abandoned invocation's goroutine finishes in the background; its
 // buffered channel lets it exit without a receiver.
-func simulate(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, cfg hw.Config, timeout time.Duration) (gcn.Result, error) {
-	if timeout <= 0 {
-		return sim(k, cfg)
+func simulate(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, cfg hw.Config, timeout, grace time.Duration) (gcn.Result, error) {
+	if timeout <= 0 && grace <= 0 {
+		return safeCall(sim, k, cfg)
 	}
 	type outcome struct {
 		r   gcn.Result
@@ -568,18 +711,39 @@ func simulate(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, cfg hw.
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		r, err := sim(k, cfg)
+		r, err := safeCall(sim, k, cfg)
 		ch <- outcome{r, err}
 	}()
-	t := time.NewTimer(timeout)
-	defer t.Stop()
+	var expire <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		expire = t.C
+	}
 	select {
 	case o := <-ch:
 		return o.r, o.err
-	case <-t.C:
+	case <-expire:
 		return gcn.Result{}, fmt.Errorf("%w after %v", ErrSimTimeout, timeout)
 	case <-ctx.Done():
-		return gcn.Result{}, ctx.Err()
+		if grace <= 0 {
+			return gcn.Result{}, ctx.Err()
+		}
+		// Watchdog: the engine is expected to return promptly once the
+		// context ends (cooperative engines poll it; ours just finish
+		// the cell). One that keeps running past the grace is wedged —
+		// abandon it and report the stall rather than hanging the row.
+		g := time.NewTimer(grace)
+		defer g.Stop()
+		select {
+		case o := <-ch:
+			if o.err != nil {
+				return gcn.Result{}, o.err
+			}
+			return gcn.Result{}, ctx.Err()
+		case <-g.C:
+			return gcn.Result{}, fmt.Errorf("%w (no return within %v of cancellation)", ErrStalled, grace)
+		}
 	}
 }
 

@@ -40,12 +40,14 @@ func testKernels() []*kernel.Kernel {
 // checkAccounting asserts the report partitions every cell exactly.
 func checkAccounting(t *testing.T, rep *RunReport) {
 	t.Helper()
-	if got := rep.OK + rep.Failed + rep.Canceled + rep.Skipped; got != rep.Cells {
-		t.Fatalf("report does not partition the matrix: ok %d + failed %d + canceled %d + skipped %d = %d, want %d",
-			rep.OK, rep.Failed, rep.Canceled, rep.Skipped, got, rep.Cells)
+	got := rep.OK + rep.Failed + rep.Canceled + rep.Stalled + rep.Quarantined + rep.Skipped
+	if got != rep.Cells {
+		t.Fatalf("report does not partition the matrix: ok %d + failed %d + canceled %d + stalled %d + quarantined %d + skipped %d = %d, want %d",
+			rep.OK, rep.Failed, rep.Canceled, rep.Stalled, rep.Quarantined, rep.Skipped, got, rep.Cells)
 	}
-	if len(rep.Failures) != rep.Failed {
-		t.Fatalf("%d failure records for %d failed cells", len(rep.Failures), rep.Failed)
+	if len(rep.Failures) != rep.Failed+rep.Stalled {
+		t.Fatalf("%d failure records for %d failed + %d stalled cells",
+			len(rep.Failures), rep.Failed, rep.Stalled)
 	}
 }
 
@@ -517,9 +519,11 @@ func TestRowLookupConcurrent(t *testing.T) {
 }
 
 func TestReportSummary(t *testing.T) {
-	rep := &RunReport{Cells: 10, OK: 7, Failed: 2, Canceled: 1, Attempts: 12, Retries: 2}
+	rep := &RunReport{Cells: 12, OK: 7, Failed: 2, Canceled: 1, Stalled: 1, Quarantined: 1,
+		Attempts: 12, Retries: 2, BreakerTrips: 1}
 	s := rep.Summary()
-	for _, want := range []string{"10 cells", "7 ok", "2 failed", "1 canceled", "12 attempts", "2 retries"} {
+	for _, want := range []string{"12 cells", "7 ok", "2 failed", "1 canceled",
+		"1 stalled", "1 quarantined", "12 attempts", "2 retries", "1 breaker trip"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("summary %q missing %q", s, want)
 		}
@@ -527,13 +531,21 @@ func TestReportSummary(t *testing.T) {
 	if rep.Complete() {
 		t.Error("report with failures claims completeness")
 	}
+	for _, bad := range []*RunReport{
+		{Cells: 4, OK: 3, Stalled: 1},
+		{Cells: 4, OK: 3, Quarantined: 1},
+	} {
+		if bad.Complete() {
+			t.Errorf("report %+v claims completeness", bad)
+		}
+	}
 	if !(&RunReport{Cells: 4, OK: 4}).Complete() {
 		t.Error("clean report not complete")
 	}
 }
 
 func TestStatusStrings(t *testing.T) {
-	for _, s := range []CellStatus{StatusOK, StatusFailed, StatusCanceled} {
+	for _, s := range []CellStatus{StatusOK, StatusFailed, StatusCanceled, StatusStalled, StatusQuarantined} {
 		got, err := ParseStatus(s.String())
 		if err != nil || got != s {
 			t.Errorf("ParseStatus(%q) = %v, %v", s.String(), got, err)
