@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke bench bench-obs
+.PHONY: build test check fuzz-smoke bench bench-obs bench-sweep bench-smoke
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,7 @@ test:
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/sweep/... ./internal/fault/... ./internal/obs/... ./cmd/gpusweep/... ./cmd/sweeptrace/...
+	$(GO) test -race -run 'TestPreparedRowMatchesPerCell|TestResidentSetMatchesReference' ./internal/gcn/
 	$(MAKE) fuzz-smoke
 
 # Short coverage-guided fuzz of the journal decoder and the CSV
@@ -26,6 +27,17 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Row-evaluation benchmark: measures every engine over the study grid
+# in both the legacy per-cell and the prepared-row mode and archives
+# the numbers in BENCH_sweep.json (schema documented in README.md).
+# bench-smoke is the quick variant: a 27-config grid, one iteration,
+# stdout only — a sanity check that the harness still runs.
+bench-sweep:
+	$(GO) run ./cmd/benchsweep -o BENCH_sweep.json
+
+bench-smoke:
+	$(GO) run ./cmd/benchsweep -quick -o -
 
 # Observer-overhead gate: the disabled (no-op) observer must add less
 # than 5% to the sweep hot path. The assertion is env-gated so plain

@@ -1,0 +1,189 @@
+// Command benchsweep measures sweep throughput for every engine on
+// both evaluation paths — the legacy per-cell path (one full
+// validate/lower/derive per cell) and the prepared row path (one
+// Prepare per kernel, memoized per-config evaluations) — and archives
+// the numbers as machine-readable JSON.
+//
+// The output file (BENCH_sweep.json, schema "gpuscale/bench-sweep/v1")
+// is the repository's performance ledger for the data-collection hot
+// path: cells per second, nanoseconds per cell, and allocation rates
+// per engine and mode, measured on a single worker so the numbers
+// price the evaluation pipeline rather than the scheduler. Re-run it
+// after touching the engines or the sweep runtime and compare against
+// the checked-in copy; see README.md ("Benchmarking the sweep").
+//
+// Usage:
+//
+//	benchsweep                  # full 891-config study grid
+//	benchsweep -quick           # 27-config grid, one iteration (smoke)
+//	benchsweep -o bench.json    # write somewhere else
+//	benchsweep -engines round,pipeline
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+	"gpuscale/internal/sweep"
+)
+
+// Schema identifies the report format for downstream tooling.
+const Schema = "gpuscale/bench-sweep/v1"
+
+// Entry is one (engine, mode) measurement.
+type Entry struct {
+	// Engine is the simulator engine name (round, detailed, wave,
+	// pipeline); Mode is "percell" (legacy path) or "prepared" (row
+	// path).
+	Engine string `json:"engine"`
+	Mode   string `json:"mode"`
+	// Kernel geometry and grid size describe the workload.
+	Kernel     string `json:"kernel"`
+	Workgroups int    `json:"workgroups"`
+	WGSize     int    `json:"wg_size"`
+	Configs    int    `json:"configs"`
+	// Iterations is how many full sweeps the timing loop ran.
+	Iterations int `json:"iterations"`
+	// NsPerCell and CellsPerSec are wall-clock rates over all
+	// iterations; BytesPerCell and AllocsPerCell are heap allocation
+	// rates from runtime.MemStats deltas.
+	NsPerCell     float64 `json:"ns_per_cell"`
+	CellsPerSec   float64 `json:"cells_per_sec"`
+	BytesPerCell  float64 `json:"bytes_per_cell"`
+	AllocsPerCell float64 `json:"allocs_per_cell"`
+}
+
+// Report is the whole ledger.
+type Report struct {
+	Schema  string  `json:"schema"`
+	GOOS    string  `json:"goos"`
+	GOARCH  string  `json:"goarch"`
+	Quick   bool    `json:"quick"`
+	Entries []Entry `json:"entries"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_sweep.json", "write the JSON report here (\"-\" for stdout)")
+	quick := flag.Bool("quick", false, "27-config grid and a single iteration per entry (CI smoke, not a ledger run)")
+	engines := flag.String("engines", "round,detailed,wave,pipeline", "comma-separated engines to measure")
+	budget := flag.Duration("budget", 2*time.Second, "per-entry time budget (at least one iteration always runs)")
+	flag.Parse()
+
+	rep, err := run(*quick, strings.Split(*engines, ","), *budget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep:", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+func run(quick bool, engineNames []string, budget time.Duration) (*Report, error) {
+	space := hw.StudySpace()
+	if quick {
+		var err error
+		space, err = hw.NewSpace([]int{8, 24, 44}, []float64{300, 600, 1000}, []float64{300, 700, 1250})
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Round gets the full-size bench kernel; the event-driven engines
+	// get a 256-workgroup one so a per-cell iteration over the grid
+	// finishes in tens of seconds, not hours.
+	bigK := kernel.New("bench", "bench", "k4096").Geometry(4096, 256).MustBuild()
+	smallK := kernel.New("bench", "bench", "k256").Geometry(256, 256).MustBuild()
+
+	rep := &Report{Schema: Schema, GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, Quick: quick}
+	for _, name := range engineNames {
+		e, err := sweep.ParseEngine(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		k := smallK
+		if e == sweep.Round {
+			k = bigK
+		}
+		for _, mode := range []string{"percell", "prepared"} {
+			opts := sweep.Options{Engine: e, Workers: 1}
+			if mode == "percell" {
+				opts.Sim = e.Func()
+			}
+			ent, err := measure(e.String(), mode, k, space, opts, quick, budget)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "%-8s %-8s %9.0f cells/s  %10.0f ns/cell  %8.0f B/cell  %6.1f allocs/cell  (%d iter)\n",
+				ent.Engine, ent.Mode, ent.CellsPerSec, ent.NsPerCell, ent.BytesPerCell, ent.AllocsPerCell, ent.Iterations)
+			rep.Entries = append(rep.Entries, ent)
+		}
+	}
+	return rep, nil
+}
+
+// measure runs whole sweeps of one kernel over the grid until the
+// time budget is spent (always at least once) and reports wall-clock
+// and allocation rates per cell. A single untimed warm-up run
+// excludes one-time costs (scheduler spin-up, first-touch pages) from
+// the rates.
+func measure(engine, mode string, k *kernel.Kernel, space hw.Space, opts sweep.Options, quick bool, budget time.Duration) (Entry, error) {
+	ks := []*kernel.Kernel{k}
+	cells := space.Size()
+	if _, err := sweep.Run(ks, space, opts); err != nil {
+		return Entry{}, fmt.Errorf("%s/%s warm-up: %w", engine, mode, err)
+	}
+	if quick {
+		budget = 0 // one iteration
+	}
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	iters := 0
+	start := time.Now()
+	for {
+		if _, err := sweep.Run(ks, space, opts); err != nil {
+			return Entry{}, fmt.Errorf("%s/%s: %w", engine, mode, err)
+		}
+		iters++
+		if time.Since(start) >= budget || iters >= 1000 {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	total := float64(iters) * float64(cells)
+	return Entry{
+		Engine:        engine,
+		Mode:          mode,
+		Kernel:        k.Name,
+		Workgroups:    k.Workgroups,
+		WGSize:        k.WGSize,
+		Configs:       cells,
+		Iterations:    iters,
+		NsPerCell:     float64(elapsed.Nanoseconds()) / total,
+		CellsPerSec:   total / elapsed.Seconds(),
+		BytesPerCell:  float64(m1.TotalAlloc-m0.TotalAlloc) / total,
+		AllocsPerCell: float64(m1.Mallocs-m0.Mallocs) / total,
+	}, nil
+}

@@ -95,7 +95,7 @@ func main() {
 	var o cliOptions
 	flag.StringVar(&o.out, "o", "", "write raw measurements to this CSV file (\"-\" for stdout)")
 	flag.StringVar(&o.suite, "suite", "", "restrict the sweep to one suite")
-	flag.StringVar(&o.engine, "engine", "round", "simulator engine: round or detailed")
+	flag.StringVar(&o.engine, "engine", "round", "simulator engine: round, detailed, wave or pipeline")
 	flag.Float64Var(&o.noise, "noise", 0, "measurement-noise stddev (0 = none)")
 	flag.Int64Var(&o.seed, "seed", 1, "noise seed")
 	flag.IntVar(&o.workers, "workers", 0, "parallel workers (0 = GOMAXPROCS)")
@@ -187,14 +187,11 @@ func run(ctx context.Context, o cliOptions) (salvaged bool, err error) {
 		Breaker:         o.breaker,
 		QuarantineAfter: o.quarantine,
 	}
-	switch o.engine {
-	case "round":
-		opts.Engine = sweep.Round
-	case "detailed":
-		opts.Engine = sweep.Detailed
-	default:
-		return false, fmt.Errorf("unknown engine %q (want round or detailed)", o.engine)
+	engine, err := sweep.ParseEngine(o.engine)
+	if err != nil {
+		return false, err
 	}
+	opts.Engine = engine
 	if o.resume && o.out == "" {
 		return false, fmt.Errorf("-resume needs -o (the journal file)")
 	}
@@ -239,7 +236,11 @@ func run(ctx context.Context, o cliOptions) (salvaged bool, err error) {
 		}
 	}
 	if in.Active() {
-		opts.Sim = in.Wrap(opts.Engine.Func())
+		// Wrap the row engine, not the EngineFunc: the sweep derives its
+		// per-cell fallback from the same wrapped engine, so both paths
+		// draw from one attempt-counter stream and the injected faults
+		// are identical whichever path evaluates a cell.
+		opts.Row = in.WrapRow(opts.Engine.Row())
 	}
 
 	var metricsURL string

@@ -158,39 +158,102 @@ func (in Injector) Wrap(sim gcn.EngineFunc) gcn.EngineFunc {
 	if !in.Active() {
 		return sim
 	}
+	st := in.newState()
+	return func(k *kernel.Kernel, cfg hw.Config) (gcn.Result, error) {
+		return st.invoke(k.Name, cfg, func() (gcn.Result, error) { return sim(k, cfg) })
+	}
+}
+
+// WrapRow returns a row engine that runs re under this fault model.
+// Decisions are the same pure function of (kernel, configuration,
+// attempt, seed) that Wrap uses, so a sweep sees identical faults on
+// the row path and the per-cell path given the same invocation
+// sequence. One attempt counter per cell is shared across every row
+// the returned engine prepares — and across any per-cell fallback
+// built over it with gcn.PerCell — so retries keep advancing the same
+// stream no matter which path evaluates them. PrepareRow itself never
+// faults: the model covers engine invocations, not kernel analysis.
+func (in Injector) WrapRow(re gcn.RowEngine) gcn.RowEngine {
+	if !in.Active() {
+		return re
+	}
+	return &faultRowEngine{st: in.newState(), re: re}
+}
+
+// faultState is the per-Wrap/WrapRow shared decision state: the model,
+// the resolved stall duration, and the cross-cell attempt counters.
+type faultState struct {
+	in       Injector
+	stall    time.Duration
+	attempts sync.Map // cell key -> *attemptCounter
+}
+
+func (in Injector) newState() *faultState {
 	stall := in.Stall
 	if stall <= 0 {
 		stall = 10 * time.Millisecond
 	}
-	var attempts sync.Map // cell key -> *uint64
-	return func(k *kernel.Kernel, cfg hw.Config) (gcn.Result, error) {
-		key := cellKey(k.Name, cfg)
-		v, _ := attempts.LoadOrStore(key, new(attemptCounter))
-		attempt := v.(*attemptCounter).next()
-		roll, sub := in.roll(k.Name, cfg, attempt)
-		switch {
-		case roll < in.ErrorRate:
-			in.decided(k.Name, cfg, attempt, KindError)
-			// The caller (CellFailure) already names the cell; only the
-			// attempt number is new information here.
-			return gcn.Result{}, fmt.Errorf("attempt %d: %w", attempt, ErrInjected)
-		case roll < in.ErrorRate+in.CorruptRate:
-			in.decided(k.Name, cfg, attempt, KindCorrupt)
-			r, err := sim(k, cfg)
-			if err != nil {
-				return r, err
-			}
-			return corrupt(r, sub), nil
-		case roll < in.ErrorRate+in.CorruptRate+in.StallRate:
-			in.decided(k.Name, cfg, attempt, KindStall)
-			time.Sleep(stall)
-		case roll < in.ErrorRate+in.CorruptRate+in.StallRate+in.PanicRate:
-			in.decided(k.Name, cfg, attempt, KindPanic)
-			panic(fmt.Sprintf("fault: injected engine panic (%s attempt %d)", key, attempt))
-		}
-		return sim(k, cfg)
-	}
+	return &faultState{in: in, stall: stall}
 }
+
+// invoke rolls one fault decision for the cell's next attempt and runs
+// call under it — the single implementation behind Wrap and WrapRow.
+func (s *faultState) invoke(name string, cfg hw.Config, call func() (gcn.Result, error)) (gcn.Result, error) {
+	key := cellKey(name, cfg)
+	v, _ := s.attempts.LoadOrStore(key, new(attemptCounter))
+	attempt := v.(*attemptCounter).next()
+	in := s.in
+	roll, sub := in.roll(name, cfg, attempt)
+	switch {
+	case roll < in.ErrorRate:
+		in.decided(name, cfg, attempt, KindError)
+		// The caller (CellFailure) already names the cell; only the
+		// attempt number is new information here.
+		return gcn.Result{}, fmt.Errorf("attempt %d: %w", attempt, ErrInjected)
+	case roll < in.ErrorRate+in.CorruptRate:
+		in.decided(name, cfg, attempt, KindCorrupt)
+		r, err := call()
+		if err != nil {
+			return r, err
+		}
+		return corrupt(r, sub), nil
+	case roll < in.ErrorRate+in.CorruptRate+in.StallRate:
+		in.decided(name, cfg, attempt, KindStall)
+		time.Sleep(s.stall)
+	case roll < in.ErrorRate+in.CorruptRate+in.StallRate+in.PanicRate:
+		in.decided(name, cfg, attempt, KindPanic)
+		panic(fmt.Sprintf("fault: injected engine panic (%s attempt %d)", key, attempt))
+	}
+	return call()
+}
+
+// faultRowEngine wraps a RowEngine with a shared fault state.
+type faultRowEngine struct {
+	st *faultState
+	re gcn.RowEngine
+}
+
+func (f *faultRowEngine) PrepareRow(k *kernel.Kernel) (gcn.PreparedRow, error) {
+	pr, err := f.re.PrepareRow(k)
+	if err != nil {
+		return nil, err
+	}
+	return &faultRow{st: f.st, name: k.Name, pr: pr}, nil
+}
+
+// faultRow interposes the fault roll on every Eval; Stats passes
+// through to the prepared row underneath.
+type faultRow struct {
+	st   *faultState
+	name string
+	pr   gcn.PreparedRow
+}
+
+func (f *faultRow) Eval(cfg hw.Config) (gcn.Result, error) {
+	return f.st.invoke(f.name, cfg, func() (gcn.Result, error) { return f.pr.Eval(cfg) })
+}
+
+func (f *faultRow) Stats() gcn.PreparedStats { return f.pr.Stats() }
 
 // WrapWriter returns a writer that injects torn writes into w at
 // TornWriteRate. When a tear fires, a deterministic prefix of the

@@ -24,37 +24,87 @@ type cuState struct {
 	resident []*wgState
 }
 
+// cuRates is one CU's drain rates for a quantum.
+type cuRates struct {
+	computePerWG float64 // issue-ns drained per ns per WG
+	accessPerWG  float64 // accesses drained per ns per WG
+}
+
+// detailedScratch holds the detailed engine's reusable buffers: the
+// CU array (whose resident slices keep their capacity), a fixed arena
+// of workgroup states (resident lists hold pointers into it), and the
+// per-quantum rate buffer.
+type detailedScratch struct {
+	cus   []cuState
+	wgs   []wgState
+	rates []cuRates
+}
+
 // SimulateDetailed runs the continuous-dispatch, time-quantum engine.
 // It models each workgroup as a fluid entity draining compute (issue
 // slots) and memory (latency- and bandwidth-capped accesses)
 // concurrently, dispatching a queued workgroup the moment a slot
 // frees. Compared with Simulate it captures dispatch pipelining,
 // inter-CU imbalance, and tail drain exactly, at O(workgroups x
-// residency) cost — use it for validation, not for the 237k-run sweep.
+// residency) cost — use it for validation, not for the 237k-run
+// sweep. For whole-row evaluation, Prepare once and call EvalDetailed
+// per config.
 func SimulateDetailed(k *kernel.Kernel, cfg hw.Config) (Result, error) {
-	if err := k.Validate(); err != nil {
+	p, err := Prepare(k)
+	if err != nil {
 		return Result{}, err
 	}
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	occWGs := k.WorkgroupsPerCU()
-	if occWGs == 0 {
-		return Result{}, fmt.Errorf("%w: %s", ErrDoesNotFit, k.Name)
-	}
-	d := newDemand(k, cfg)
+	return p.EvalDetailed(cfg)
+}
+
+// EvalDetailed runs the detailed engine on one already-validated
+// configuration, reusing the prepared scratch buffers.
+func (p *Prepared) EvalDetailed(cfg hw.Config) (Result, error) {
+	k := p.k
+	occWGs := p.occWGs
+	d := p.demandFor(cfg)
 	hier := memory.NewHierarchy(cfg)
 	effBW := hier.EffectiveBandwidthGBs(k.Mem.Pattern)
 	l2BW := l2BandwidthGBs(cfg)
+	l2Bytes := cfg.L2CapacityBytes()
 	bytesPerAccess := 0.0
 	if d.accessesPerWG > 0 {
 		bytesPerAccess = d.transBytesPerWG / d.accessesPerWG
 	}
-	concPerWave := k.EffectiveMLP() * barrierConcurrencyFactor(k)
+	concPerWave := p.der.EffectiveMLP * p.barrierConc
 
-	cus := make([]cuState, cfg.CUs)
+	s := p.det
+	if s == nil {
+		s = &detailedScratch{}
+		p.det = s
+	}
+	if cap(s.cus) < cfg.CUs {
+		s.cus = make([]cuState, cfg.CUs)
+	} else {
+		s.cus = s.cus[:cfg.CUs]
+	}
+	cus := s.cus
+	for i := range cus {
+		cus[i].resident = cus[i].resident[:0]
+	}
+	if cap(s.wgs) < k.Workgroups {
+		s.wgs = make([]wgState, k.Workgroups)
+	} else {
+		s.wgs = s.wgs[:k.Workgroups]
+	}
+	if cap(s.rates) < len(cus) {
+		s.rates = make([]cuRates, len(cus))
+	} else {
+		s.rates = s.rates[:len(cus)]
+	}
+	rates := s.rates
+
 	pending := k.Workgroups
 	inFlight := 0
+	nextWG := 0
 
 	dispatch := func() {
 		for pending > 0 {
@@ -68,10 +118,13 @@ func SimulateDetailed(k *kernel.Kernel, cfg hw.Config) (Result, error) {
 			if best < 0 {
 				return
 			}
-			cus[best].resident = append(cus[best].resident, &wgState{
+			wg := &s.wgs[nextWG]
+			nextWG++
+			*wg = wgState{
 				issueRem:  d.issueNSPerWG,
 				accessRem: d.accessesPerWG,
-			})
+			}
+			cus[best].resident = append(cus[best].resident, wg)
 			pending--
 			inFlight++
 		}
@@ -80,25 +133,23 @@ func SimulateDetailed(k *kernel.Kernel, cfg hw.Config) (Result, error) {
 
 	var now float64
 	util := 0.0
-	boundNS := map[Bound]float64{}
+	var boundNS boundTimes
 	var lastHR memory.HitRates
 
 	for inFlight > 0 {
-		// Per-CU rates for this quantum.
-		type cuRates struct {
-			computePerWG float64 // issue-ns drained per ns per WG
-			accessPerWG  float64 // accesses drained per ns per WG
+		// Per-CU rates for this quantum; the buffer is reused across
+		// quanta, so clear it first (idle CUs must stay at zero).
+		for i := range rates {
+			rates[i] = cuRates{}
 		}
-		rates := make([]cuRates, len(cus))
-		activeCUs := 0
+		active := countActive(cus)
 		demandBytes := 0.0
 		for i := range cus {
 			q := len(cus[i].resident)
 			if q == 0 {
 				continue
 			}
-			activeCUs++
-			hr := memory.EstimateHitRatesL2(k, q, countActive(cus), cfg.L2CapacityBytes())
+			hr := p.hitRates(q, active, l2Bytes)
 			lastHR = hr
 			avgLat := hier.AvgAccessLatencyNS(hr, util)
 			r := cuRates{computePerWG: 1 / float64(q)}
@@ -190,17 +241,17 @@ func SimulateDetailed(k *kernel.Kernel, cfg hw.Config) (Result, error) {
 	}
 
 	total := now + k.LaunchOverheadNS
-	dominant, share := dominantBound(boundNS, now, k.LaunchOverheadNS, total)
+	dominant, share := dominantBound(&boundNS, k.LaunchOverheadNS, total)
 	transBytes := d.transBytesPerWG * float64(k.Workgroups)
 	dramBytes := transBytes * (1 - lastHR.L1) * (1 - lastHR.L2)
 	return Result{
 		TimeNS:         total,
 		KernelNS:       now,
-		Throughput:     float64(k.TotalWorkItems()) / total,
+		Throughput:     float64(p.der.TotalWorkItems) / total,
 		AchievedGFLOPS: d.flopsPerWG * float64(k.Workgroups) / total,
 		AchievedGBs:    dramBytes / total,
 		HitRates:       lastHR,
-		OccupancyWaves: k.OccupancyWavesPerCU(),
+		OccupancyWaves: p.der.OccupancyWavesPerCU,
 		Bound:          dominant,
 		BoundShare:     share,
 	}, nil

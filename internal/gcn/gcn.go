@@ -20,6 +20,13 @@
 // Neither engine tries to predict absolute hardware runtimes; they
 // model the mechanisms that shape how runtime *responds* to the three
 // hardware knobs, which is all the taxonomy consumes.
+//
+// Evaluation is two-phase: Prepare hoists everything a kernel needs
+// that does not depend on the configuration (validation, lowering,
+// derived geometry, demand factors) to once per kernel, and the
+// per-engine (*Prepared).Eval* methods evaluate single configurations
+// against that state; see prepared.go. The Simulate* functions remain
+// the one-shot per-cell entry points and run the same cores.
 package gcn
 
 import (
@@ -118,23 +125,13 @@ func barrierConcurrencyFactor(k *kernel.Kernel) float64 {
 }
 
 // demand aggregates the per-workgroup resource demands of a kernel on
-// one configuration. It is shared by both engines.
+// one configuration. Prepared.demandFor recombines the prepared
+// config-independent factors with one configuration's clock to build
+// it; all engines consume it.
 type demand struct {
 	wavesPerWG      int
 	issueNSPerWG    float64 // CU-exclusive issue time for one WG
 	accessesPerWG   float64
 	transBytesPerWG float64
 	flopsPerWG      float64
-}
-
-func newDemand(k *kernel.Kernel, cfg hw.Config) demand {
-	w := k.WavesPerWG()
-	issueInstr := float64(k.VALUPerWave+k.LDSOpsPerWave) * float64(w)
-	return demand{
-		wavesPerWG:      w,
-		issueNSPerWG:    issueInstr * cfg.CoreCycleNS() * barrierIssueFactor(k),
-		accessesPerWG:   float64(k.MemAccessesPerWave() * w),
-		transBytesPerWG: float64(k.TransactionBytesPerWave() * int64(w)),
-		flopsPerWG:      k.FlopsPerWave() * float64(w),
-	}
 }

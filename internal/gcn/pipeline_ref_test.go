@@ -1,0 +1,188 @@
+package gcn
+
+import (
+	"testing"
+
+	"gpuscale/internal/isa"
+	"gpuscale/internal/kernel"
+)
+
+// The optimized resident-set scheduler caches instruction classes and
+// skips scans via per-class counts, which must not change issue order.
+// referenceResidentSet is the original straightforward implementation
+// — Body lookups and predicate calls every cycle — kept verbatim as a
+// differential oracle: both must agree on the exact cycle count for
+// every program, latency, and policy.
+
+func refIsVector(op isa.Op) bool { return op == isa.OpVALU || op == isa.OpLDS }
+func refIsMemory(op isa.Op) bool { return op == isa.OpLoad || op == isa.OpStore }
+func refIsScalar(op isa.Op) bool { return op == isa.OpSALU }
+
+type refWave struct {
+	wg        int
+	instr     int
+	remaining int
+	loads     int
+	atBarrier bool
+	done      bool
+}
+
+type refPipeline struct {
+	prog       *isa.Program
+	waves      []refWave
+	wavesPerWG int
+	loadDone   []loadCompletion
+	loadHead   int
+	arrived    []int
+	policy     SchedPolicy
+	cycle      int64
+}
+
+func (p *refPipeline) pickReady(rr *int, port func(isa.Op) bool) int {
+	n := len(p.waves)
+	start := *rr
+	if p.policy == GreedyThenOldest {
+		start = 0
+	}
+	for i := 0; i < n; i++ {
+		w := (start + i) % n
+		wv := &p.waves[w]
+		if wv.done || wv.atBarrier {
+			continue
+		}
+		in := p.prog.Body[wv.instr]
+		if !port(in.Op) {
+			continue
+		}
+		if in.DependsOnLoad && wv.loads > 0 {
+			continue
+		}
+		if p.policy == RoundRobin {
+			*rr = (w + 1) % n
+		}
+		return w
+	}
+	return -1
+}
+
+func (p *refPipeline) step(w int) {
+	wv := &p.waves[w]
+	wv.remaining--
+	if wv.remaining == 0 {
+		wv.instr++
+		if wv.instr < len(p.prog.Body) {
+			wv.remaining = p.prog.Body[wv.instr].Count
+		}
+	}
+}
+
+func (p *refPipeline) releaseBarrier(wg int) {
+	p.arrived[wg] = 0
+	for w := range p.waves {
+		wv := &p.waves[w]
+		if wv.wg == wg && wv.atBarrier {
+			wv.atBarrier = false
+			p.step(w)
+		}
+	}
+}
+
+func referenceResidentSet(prog *isa.Program, wgs, wavesPerWG int, latencyCycles int64, policy SchedPolicy) (int64, error) {
+	p := &refPipeline{prog: prog, wavesPerWG: wavesPerWG, policy: policy, arrived: make([]int, wgs)}
+	for wg := 0; wg < wgs; wg++ {
+		for i := 0; i < wavesPerWG; i++ {
+			p.waves = append(p.waves, refWave{wg: wg, remaining: prog.Body[0].Count})
+		}
+	}
+	live := len(p.waves)
+	rrVec, rrMem, rrScalar := 0, 0, 0
+	for live > 0 {
+		for p.loadHead < len(p.loadDone) && p.loadDone[p.loadHead].cycle <= p.cycle {
+			p.waves[p.loadDone[p.loadHead].wave].loads--
+			p.loadHead++
+		}
+		issued := false
+		if w := p.pickReady(&rrVec, refIsVector); w >= 0 {
+			p.step(w)
+			issued = true
+		}
+		if w := p.pickReady(&rrMem, refIsMemory); w >= 0 {
+			wv := &p.waves[w]
+			if p.prog.Body[wv.instr].Op == isa.OpLoad {
+				wv.loads++
+				p.loadDone = append(p.loadDone, loadCompletion{cycle: p.cycle + latencyCycles, wave: w})
+			}
+			p.step(w)
+			issued = true
+		}
+		if w := p.pickReady(&rrScalar, refIsScalar); w >= 0 {
+			p.step(w)
+			issued = true
+		}
+		for w := range p.waves {
+			wv := &p.waves[w]
+			if wv.done || wv.atBarrier {
+				continue
+			}
+			switch p.prog.Body[wv.instr].Op {
+			case isa.OpBarrier:
+				wv.atBarrier = true
+				p.arrived[wv.wg]++
+				if p.arrived[wv.wg] == p.wavesPerWG {
+					p.releaseBarrier(wv.wg)
+				}
+				issued = true
+			case isa.OpEnd:
+				if wv.loads == 0 {
+					wv.done = true
+					live--
+					issued = true
+				}
+			}
+		}
+		if issued {
+			p.cycle++
+			continue
+		}
+		if p.loadHead < len(p.loadDone) {
+			p.cycle = p.loadDone[p.loadHead].cycle
+			continue
+		}
+		break
+	}
+	return p.cycle, nil
+}
+
+func TestResidentSetMatchesReference(t *testing.T) {
+	kernels := []*kernel.Kernel{
+		capVALU(capWGs(computeBoundKernel(), 8), 300),
+		capWGs(bandwidthBoundKernel(), 8),
+		capWGs(latencyBoundKernel(), 8),
+		capVALU(capWGs(cuIntolerantKernel(), 8), 300),
+		kernel.New("s", "p", "lds").Geometry(8, 256).LDSOps(64, 4).MustBuild(),
+	}
+	for _, k := range kernels {
+		prog, err := isa.Lower(k)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		for _, policy := range []SchedPolicy{RoundRobin, GreedyThenOldest} {
+			for _, latency := range []int64{1, 7, 63, 400} {
+				for _, wgs := range []int{1, 3, 8} {
+					want, err := referenceResidentSet(prog, wgs, 4, latency, policy)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := SimulateResidentSetPolicy(prog, wgs, 4, latency, policy)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want {
+						t.Errorf("%s policy=%v latency=%d wgs=%d: optimized %d cycles, reference %d",
+							k.Name, policy, latency, wgs, got, want)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package gcn
 
 import (
-	"fmt"
 	"math"
 
 	"gpuscale/internal/hw"
@@ -9,12 +8,19 @@ import (
 	"gpuscale/internal/memory"
 )
 
+// boundTimes accumulates kernel time attributed to each non-launch
+// bound. An array rather than a map keeps the per-cell hot path
+// allocation-free and makes the dominant-bound tie-break
+// deterministic (lowest Bound wins instead of map iteration order).
+type boundTimes [BoundLaunch]float64
+
 // batchTime solves the duration of one batch of workgroups: activeCUs
 // compute units, qmax workgroups on the most loaded CU, totalWGs in
 // flight. It returns the batch duration and the bound that set it.
-func batchTime(k *kernel.Kernel, cfg hw.Config, d demand, activeCUs, qmax, totalWGs int) (float64, Bound, memory.HitRates) {
+func (p *Prepared) batchTime(cfg hw.Config, d demand, activeCUs, qmax, totalWGs int) (float64, Bound, memory.HitRates) {
+	k := p.k
 	hier := memory.NewHierarchy(cfg)
-	hr := memory.EstimateHitRatesL2(k, qmax, activeCUs, cfg.L2CapacityBytes())
+	hr := p.hitRates(qmax, activeCUs, cfg.L2CapacityBytes())
 
 	// Issue bound: the most loaded CU drains its workgroups' issue
 	// streams back to back (1 wave-instruction per cycle per CU).
@@ -38,45 +44,45 @@ func batchTime(k *kernel.Kernel, cfg hw.Config, d demand, activeCUs, qmax, total
 	// limited concurrency (resident waves x effective MLP, degraded by
 	// barriers). The DRAM queueing delay depends on channel
 	// utilisation, which depends on the batch time itself; the batch
-	// time is therefore the fixed point of a decreasing map, found by
-	// damped iteration (a fixed pass count oscillates near saturation
-	// and can break clock monotonicity).
+	// time is therefore the fixed point of a decreasing map, which the
+	// queueing model's shape lets us solve in closed form.
 	latT := 0.0
 	accesses := float64(qmax) * d.accessesPerWG
 	if accesses > 0 {
-		conc := float64(qmax*d.wavesPerWG) * k.EffectiveMLP() * barrierConcurrencyFactor(k)
+		conc := float64(qmax*d.wavesPerWG) * p.der.EffectiveMLP * p.barrierConc
 		if conc < 1 {
 			conc = 1
 		}
-		floor := math.Max(math.Max(computeT, l2T), dramT)
-		g := func(T float64) float64 {
-			util := 0.0
-			if T > 0 {
-				util = dramT / T
+		floor := max(computeT, l2T, dramT)
+		am := hier.AccessModel(hr)
+		// The latency term is f(T) = a + c*q(u) with u = dramT/T and
+		// the M/D/1 stretch q(u) = u / max(1-u, 1/F) (times D/2, folded
+		// into c). f is continuous and non-increasing, so T = max(floor,
+		// f(T)) has a unique fixed point: floor itself when f(floor)
+		// never exceeds it, and otherwise the root of a quadratic —
+		// q is hyperbolic in T on either side of its kink at u = 1-1/F:
+		//   smooth (u <= 1-1/F):  (T-a)(T-dramT) = c*dramT
+		//   saturated (u > 1-1/F): T*T - a*T = c*F*dramT
+		// (the cap at D*F never binds for u <= 1, and T > floor >= dramT
+		// keeps u below 1). Exactly one root is consistent with its
+		// region; try the smooth one first.
+		total := floor
+		if f := accesses * am.LatencyNS(dramUtil(dramT, floor)) / conc; f > floor {
+			const qf = memory.MaxQueueFactor
+			kl := accesses / conc
+			a := kl * am.UnloadedNS()
+			c := kl * (1 - hr.L1) * (1 - hr.L2) * memory.DRAMDeviceNS / 2
+			root := (a + dramT + math.Sqrt((a-dramT)*(a-dramT)+4*c*dramT)) / 2
+			if root < dramT*qf/(qf-1) {
+				root = (a + math.Sqrt(a*a+4*c*qf*dramT)) / 2
 			}
-			return math.Max(floor, accesses*hier.AvgAccessLatencyNS(hr, util)/conc)
-		}
-		// g is continuous and non-increasing in T, so g(T) = T has a
-		// unique solution in [floor, g(floor)]; bisect for it (plain
-		// damped iteration cycles when queueing makes g steep).
-		lo, hi := floor, g(floor)
-		total := hi
-		if hi > lo {
-			for pass := 0; pass < 64 && hi-lo > 1e-9*hi; pass++ {
-				mid := (lo + hi) / 2
-				if g(mid) > mid {
-					lo = mid
-				} else {
-					hi = mid
-				}
-			}
-			total = hi
+			total = max(root, floor)
 		}
 		util := 0.0
 		if total > 0 {
 			util = dramT / total
 		}
-		latT = accesses * hier.AvgAccessLatencyNS(hr, util) / conc
+		latT = accesses * am.LatencyNS(util) / conc
 	}
 
 	t := computeT
@@ -93,31 +99,46 @@ func batchTime(k *kernel.Kernel, cfg hw.Config, d demand, activeCUs, qmax, total
 	return t, b, hr
 }
 
+// dramUtil is the DRAM channel utilisation implied by finishing dramT
+// worth of traffic in T.
+func dramUtil(dramT, T float64) float64 {
+	if T > 0 {
+		return dramT / T
+	}
+	return 0
+}
+
 // Simulate runs the round engine: one kernel invocation on one
 // configuration. It returns ErrDoesNotFit if a single workgroup cannot
-// be resident on a CU.
+// be resident on a CU. For whole-row evaluation over many
+// configurations, Prepare once and call EvalRound per config instead.
 func Simulate(k *kernel.Kernel, cfg hw.Config) (Result, error) {
-	if err := k.Validate(); err != nil {
+	p, err := Prepare(k)
+	if err != nil {
 		return Result{}, err
 	}
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	occWGs := k.WorkgroupsPerCU()
-	if occWGs == 0 {
-		return Result{}, fmt.Errorf("%w: %s", ErrDoesNotFit, k.Name)
-	}
-	d := newDemand(k, cfg)
+	return p.EvalRound(cfg)
+}
+
+// EvalRound runs the round engine on one already-validated
+// configuration using the prepared state.
+func (p *Prepared) EvalRound(cfg hw.Config) (Result, error) {
+	k := p.k
+	occWGs := p.occWGs
+	d := p.demandFor(cfg)
 
 	var kernelNS float64
-	boundNS := map[Bound]float64{}
+	var boundNS boundTimes
 	var steadyHR memory.HitRates
 
 	remaining := k.Workgroups
 	// Full batches: every CU holds occWGs workgroups.
 	fullBatch := cfg.CUs * occWGs
 	if n := remaining / fullBatch; n > 0 {
-		t, b, hr := batchTime(k, cfg, d, cfg.CUs, occWGs, fullBatch)
+		t, b, hr := p.batchTime(cfg, d, cfg.CUs, occWGs, fullBatch)
 		kernelNS += float64(n) * t
 		boundNS[b] += float64(n) * t
 		steadyHR = hr
@@ -130,7 +151,7 @@ func Simulate(k *kernel.Kernel, cfg hw.Config) (Result, error) {
 			activeCUs = cfg.CUs
 		}
 		qmax := (remaining + activeCUs - 1) / activeCUs
-		t, b, hr := batchTime(k, cfg, d, activeCUs, qmax, remaining)
+		t, b, hr := p.batchTime(cfg, d, activeCUs, qmax, remaining)
 		kernelNS += t
 		boundNS[b] += t
 		if steadyHR == (memory.HitRates{}) {
@@ -139,18 +160,18 @@ func Simulate(k *kernel.Kernel, cfg hw.Config) (Result, error) {
 	}
 
 	total := kernelNS + k.LaunchOverheadNS
-	dominant, share := dominantBound(boundNS, kernelNS, k.LaunchOverheadNS, total)
+	dominant, share := dominantBound(&boundNS, k.LaunchOverheadNS, total)
 
 	transBytes := d.transBytesPerWG * float64(k.Workgroups)
 	dramBytes := transBytes * (1 - steadyHR.L1) * (1 - steadyHR.L2)
 	res := Result{
 		TimeNS:         total,
 		KernelNS:       kernelNS,
-		Throughput:     float64(k.TotalWorkItems()) / total,
+		Throughput:     float64(p.der.TotalWorkItems) / total,
 		AchievedGFLOPS: d.flopsPerWG * float64(k.Workgroups) / total,
 		AchievedGBs:    dramBytes / total,
 		HitRates:       steadyHR,
-		OccupancyWaves: k.OccupancyWavesPerCU(),
+		OccupancyWaves: p.der.OccupancyWavesPerCU,
 		Bound:          dominant,
 		BoundShare:     share,
 	}
@@ -159,11 +180,11 @@ func Simulate(k *kernel.Kernel, cfg hw.Config) (Result, error) {
 
 // dominantBound picks the limiter with the largest share of total
 // time, treating launch overhead as its own bound.
-func dominantBound(boundNS map[Bound]float64, kernelNS, launchNS, totalNS float64) (Bound, float64) {
+func dominantBound(boundNS *boundTimes, launchNS, totalNS float64) (Bound, float64) {
 	best, bestT := BoundCompute, 0.0
 	for b, t := range boundNS {
 		if t > bestT {
-			best, bestT = b, t
+			best, bestT = Bound(b), t
 		}
 	}
 	if launchNS > bestT {

@@ -1,7 +1,6 @@
 package gcn
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -51,19 +50,69 @@ type waveEvent struct {
 	seq  int // tiebreak for determinism
 }
 
-// eventHeap is a min-heap ordered by time then sequence.
+// eventHeap is a min-heap ordered by time then sequence. The push and
+// pop operations are concrete-typed rather than going through
+// container/heap: the interface boxing there costs one allocation per
+// event in the engine's hottest loop, and because (at, seq) is a
+// strict total order any correct heap pops events in exactly the same
+// sequence.
 type eventHeap []waveEvent
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(waveEvent)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (h *eventHeap) push(e waveEvent) {
+	*h = append(*h, e)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() waveEvent {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && s.less(r, c) {
+			c = r
+		}
+		if !s.less(c, i) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	return top
+}
+
+// waveScratch holds the wave engine's reusable per-row buffers: the
+// event heap, the per-CU resource clocks, and a fixed arena of wave
+// states (events hold pointers into it, so it is sized up front and
+// never grown mid-run).
+type waveScratch struct {
+	cuIssueFree   []float64
+	cuResidentWGs []int
+	wgWavesLeft   map[int]int
+	events        eventHeap
+	waves         []waveState
+}
 
 // waveSimLimits bounds the event engine so sweeps cannot accidentally
 // run it on huge launches.
@@ -71,21 +120,27 @@ const maxWaveEvents = 50_000_000
 
 // SimulateWave runs the wavefront-level event engine. Use it for
 // validation on launches up to a few thousand workgroups; for sweeps
-// use Simulate.
+// use Simulate. For whole-row evaluation, Prepare once and call
+// EvalWave per config.
 func SimulateWave(k *kernel.Kernel, cfg hw.Config) (Result, error) {
-	if err := k.Validate(); err != nil {
+	p, err := Prepare(k)
+	if err != nil {
 		return Result{}, err
 	}
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	occWGs := k.WorkgroupsPerCU()
-	if occWGs == 0 {
-		return Result{}, fmt.Errorf("%w: %s", ErrDoesNotFit, k.Name)
-	}
-	d := newDemand(k, cfg)
+	return p.EvalWave(cfg)
+}
+
+// EvalWave runs the wave engine on one already-validated
+// configuration, reusing the prepared scratch buffers.
+func (p *Prepared) EvalWave(cfg hw.Config) (Result, error) {
+	k := p.k
+	occWGs := p.occWGs
+	d := p.demandFor(cfg)
 	hier := memory.NewHierarchy(cfg)
-	hr := memory.EstimateHitRatesL2(k, occWGs, cfg.CUs, cfg.L2CapacityBytes())
+	hr := p.hitRates(occWGs, cfg.CUs, cfg.L2CapacityBytes())
 	effBW := hier.EffectiveBandwidthGBs(k.Mem.Pattern)
 	l2BW := l2BandwidthGBs(cfg)
 
@@ -96,7 +151,7 @@ func SimulateWave(k *kernel.Kernel, cfg hw.Config) (Result, error) {
 	issuePerWave := d.issueNSPerWG / float64(wavesPerWG)
 	segs := 1
 	if accPerWave > 0 {
-		segs = int(math.Ceil(accPerWave / k.EffectiveMLP()))
+		segs = int(math.Ceil(accPerWave / p.der.EffectiveMLP))
 	}
 	transPerWave := d.transBytesPerWG / float64(wavesPerWG)
 	l2PerBatch := transPerWave * (1 - hr.L1) / float64(segs)
@@ -106,22 +161,41 @@ func SimulateWave(k *kernel.Kernel, cfg hw.Config) (Result, error) {
 	// latency per batch, service time handled by the queues).
 	batchLatency := hier.AvgAccessLatencyNS(hr, 0)
 
-	// Resources.
-	cuIssueFree := make([]float64, cfg.CUs)
-	cuResidentWGs := make([]int, cfg.CUs)
+	// Resources, from the reusable scratch (reset covers dirty state
+	// left by a previous eval, including one that returned an error).
+	s := p.wave
+	if s == nil {
+		s = &waveScratch{wgWavesLeft: make(map[int]int)}
+		p.wave = s
+	}
+	s.cuIssueFree = growF(s.cuIssueFree, cfg.CUs)
+	s.cuResidentWGs = growI(s.cuResidentWGs, cfg.CUs)
+	clear(s.wgWavesLeft)
+	s.events = s.events[:0]
+	totalWaves := p.der.TotalWaves
+	if cap(s.waves) < totalWaves {
+		s.waves = make([]waveState, totalWaves)
+	} else {
+		s.waves = s.waves[:totalWaves]
+	}
+	cuIssueFree := s.cuIssueFree
+	cuResidentWGs := s.cuResidentWGs
+	wgWavesLeft := s.wgWavesLeft
+	events := &s.events
+	nextWave := 0
+
 	var l2Free, dramFree float64
 	var dramBusyNS, l2BusyNS, issueBusyNS float64
-
-	wgWavesLeft := make(map[int]int) // workgroup -> incomplete waves
 	pendingWGs := k.Workgroups
 	nextWG := 0
 	inFlightWaves := 0
 	var now float64
 	seq := 0
-	events := &eventHeap{}
 
 	startWave := func(cu, wg int, at float64) {
-		w := &waveState{
+		w := &s.waves[nextWave]
+		nextWave++
+		*w = waveState{
 			cu:              cu,
 			wg:              wg,
 			segsLeft:        segs,
@@ -130,12 +204,12 @@ func SimulateWave(k *kernel.Kernel, cfg hw.Config) (Result, error) {
 			batchL2Bytes:    l2PerBatch,
 		}
 		// First phase: compute segment queued on the CU issue port.
-		grant := math.Max(at, cuIssueFree[cu])
+		grant := max(at, cuIssueFree[cu])
 		done := grant + w.computeNSPerSeg
 		cuIssueFree[cu] = done
 		issueBusyNS += w.computeNSPerSeg
 		seq++
-		heap.Push(events, waveEvent{at: done, kind: evComputeDone, wave: w, seq: seq})
+		events.push(waveEvent{at: done, kind: evComputeDone, wave: w, seq: seq})
 		inFlightWaves++
 	}
 
@@ -164,13 +238,13 @@ func SimulateWave(k *kernel.Kernel, cfg hw.Config) (Result, error) {
 	dispatch(0)
 
 	processed := 0
-	for events.Len() > 0 {
+	for len(*events) > 0 {
 		processed++
 		if processed > maxWaveEvents {
 			return Result{}, fmt.Errorf("gcn: wave engine exceeded %d events on %s (launch too large)",
 				maxWaveEvents, k.Name)
 		}
-		ev := heap.Pop(events).(waveEvent)
+		ev := events.pop()
 		now = ev.at
 		w := ev.wave
 		switch ev.kind {
@@ -186,21 +260,21 @@ func SimulateWave(k *kernel.Kernel, cfg hw.Config) (Result, error) {
 			w.segsLeft--
 			start := now
 			if w.batchL2Bytes > 0 {
-				grant := math.Max(start, l2Free)
+				grant := max(start, l2Free)
 				service := w.batchL2Bytes / l2BW
 				l2Free = grant + service
 				l2BusyNS += service
 				start = l2Free
 			}
 			if w.batchDRAMBytes > 0 && effBW > 0 {
-				grant := math.Max(start, dramFree)
+				grant := max(start, dramFree)
 				service := w.batchDRAMBytes / effBW
 				dramFree = grant + service
 				dramBusyNS += service
 				start = dramFree
 			}
 			seq++
-			heap.Push(events, waveEvent{at: start + batchLatency, kind: evMemDone, wave: w, seq: seq})
+			events.push(waveEvent{at: start + batchLatency, kind: evMemDone, wave: w, seq: seq})
 		case evMemDone:
 			if w.segsLeft == 0 {
 				finishWave(w, wgWavesLeft, cuResidentWGs, &inFlightWaves)
@@ -208,40 +282,39 @@ func SimulateWave(k *kernel.Kernel, cfg hw.Config) (Result, error) {
 				continue
 			}
 			// Next compute segment on the CU issue port.
-			grant := math.Max(now, cuIssueFree[w.cu])
+			grant := max(now, cuIssueFree[w.cu])
 			done := grant + w.computeNSPerSeg
 			cuIssueFree[w.cu] = done
 			issueBusyNS += w.computeNSPerSeg
 			seq++
-			heap.Push(events, waveEvent{at: done, kind: evComputeDone, wave: w, seq: seq})
+			events.push(waveEvent{at: done, kind: evComputeDone, wave: w, seq: seq})
 		}
 	}
 
 	kernelNS := now
 	total := kernelNS + k.LaunchOverheadNS
-	boundNS := map[Bound]float64{
-		BoundCompute: issueBusyNS / float64(cfg.CUs),
-		BoundDRAM:    dramBusyNS,
-		BoundL2:      l2BusyNS,
-	}
+	var boundNS boundTimes
+	boundNS[BoundCompute] = issueBusyNS / float64(cfg.CUs)
+	boundNS[BoundDRAM] = dramBusyNS
+	boundNS[BoundL2] = l2BusyNS
 	// Whatever of the makespan is not explained by the busiest
 	// resource is latency exposure.
-	busiest := math.Max(boundNS[BoundCompute], math.Max(boundNS[BoundDRAM], boundNS[BoundL2]))
+	busiest := max(boundNS[BoundCompute], boundNS[BoundDRAM], boundNS[BoundL2])
 	if kernelNS > busiest {
 		boundNS[BoundLatency] = kernelNS - busiest
 	}
-	dominant, share := dominantBound(boundNS, kernelNS, k.LaunchOverheadNS, total)
+	dominant, share := dominantBound(&boundNS, k.LaunchOverheadNS, total)
 
 	transBytes := d.transBytesPerWG * float64(k.Workgroups)
 	dramBytes := transBytes * (1 - hr.L1) * (1 - hr.L2)
 	return Result{
 		TimeNS:         total,
 		KernelNS:       kernelNS,
-		Throughput:     float64(k.TotalWorkItems()) / total,
+		Throughput:     float64(p.der.TotalWorkItems) / total,
 		AchievedGFLOPS: d.flopsPerWG * float64(k.Workgroups) / total,
 		AchievedGBs:    dramBytes / total,
 		HitRates:       hr,
-		OccupancyWaves: k.OccupancyWavesPerCU(),
+		OccupancyWaves: p.der.OccupancyWavesPerCU,
 		Bound:          dominant,
 		BoundShare:     share,
 	}, nil

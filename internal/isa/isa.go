@@ -67,6 +67,11 @@ type Program struct {
 	Name string
 	// Body is the stream; the final instruction must be OpEnd.
 	Body []Instr
+
+	// dynLen caches the total dynamic instruction count. Lower fills
+	// it in before the program is published; hand-built programs leave
+	// it 0 and DynamicLength falls back to summing Body.
+	dynLen int
 }
 
 // Validation errors.
@@ -106,6 +111,9 @@ func (p *Program) Counts() map[Op]int {
 
 // DynamicLength returns the total dynamic instruction count.
 func (p *Program) DynamicLength() int {
+	if p.dynLen > 0 {
+		return p.dynLen
+	}
 	n := 0
 	for _, in := range p.Body {
 		n += in.Count
@@ -188,6 +196,9 @@ func Lower(k *kernel.Kernel) (*Program, error) {
 	p := &Program{Name: k.Name, Body: body}
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	for _, in := range p.Body {
+		p.dynLen += in.Count
 	}
 	return p, nil
 }

@@ -6,6 +6,40 @@ import (
 	"gpuscale/internal/hw"
 )
 
+// Derived bundles every launch-invariant derived quantity of a
+// kernel. The per-kernel derivations are individually cheap but sit
+// on the sweep's per-cell hot path when recomputed for each of a
+// row's 891 configurations; gcn.Prepare calls Derive once per kernel
+// and the engines read the bundle instead.
+type Derived struct {
+	WavesPerWG              int
+	TotalWaves              int
+	TotalWorkItems          int64
+	MemAccessesPerWave      int
+	TransactionBytesPerWave int64
+	FlopsPerWave            float64
+	EffectiveMLP            float64
+	OccupancyWavesPerCU     int
+	WorkgroupsPerCU         int
+}
+
+// Derive computes the launch-invariant bundle. Each field equals the
+// value of the same-named method, so cached and direct callers agree
+// exactly.
+func (k *Kernel) Derive() Derived {
+	return Derived{
+		WavesPerWG:              k.WavesPerWG(),
+		TotalWaves:              k.TotalWaves(),
+		TotalWorkItems:          k.TotalWorkItems(),
+		MemAccessesPerWave:      k.MemAccessesPerWave(),
+		TransactionBytesPerWave: k.TransactionBytesPerWave(),
+		FlopsPerWave:            k.FlopsPerWave(),
+		EffectiveMLP:            k.EffectiveMLP(),
+		OccupancyWavesPerCU:     k.OccupancyWavesPerCU(),
+		WorkgroupsPerCU:         k.WorkgroupsPerCU(),
+	}
+}
+
 // WavesPerWG returns the number of wavefronts one workgroup occupies.
 func (k *Kernel) WavesPerWG() int {
 	return (k.WGSize + hw.WavefrontSize - 1) / hw.WavefrontSize

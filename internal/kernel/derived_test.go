@@ -177,3 +177,25 @@ func TestParallelismLimitCUs(t *testing.T) {
 		t.Errorf("unfittable kernel ParallelismLimitCUs() = %d, want 0", got)
 	}
 }
+
+func TestDeriveMatchesMethods(t *testing.T) {
+	kernels := []*Kernel{
+		New("s", "p", "plain").MustBuild(),
+		New("s", "p", "odd").Geometry(100, 65).Compute(3000, 50).
+			Access(Gather, 40, 10, 8).Coalescing(0.3).MLP(4).DepChain(0.5).MustBuild(),
+		New("s", "p", "lds").Resources(64, 96, 32*1024).MustBuild(),
+		New("s", "p", "pure").Access(Streaming, 0, 0, 4).MustBuild(),
+	}
+	for _, k := range kernels {
+		d := k.Derive()
+		if d.WavesPerWG != k.WavesPerWG() || d.TotalWaves != k.TotalWaves() ||
+			d.TotalWorkItems != k.TotalWorkItems() ||
+			d.MemAccessesPerWave != k.MemAccessesPerWave() ||
+			d.TransactionBytesPerWave != k.TransactionBytesPerWave() ||
+			d.FlopsPerWave != k.FlopsPerWave() || d.EffectiveMLP != k.EffectiveMLP() ||
+			d.OccupancyWavesPerCU != k.OccupancyWavesPerCU() ||
+			d.WorkgroupsPerCU != k.WorkgroupsPerCU() {
+			t.Errorf("%s: Derive() = %+v diverges from the per-method values", k.Name, d)
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package memory
 
 import (
-	"math"
 
 	"gpuscale/internal/hw"
 	"gpuscale/internal/kernel"
@@ -75,7 +74,7 @@ func (h Hierarchy) DRAMLatencyNS(utilization float64) float64 {
 	unloaded := DRAMCoreCycles*cyc + DRAMDeviceNS
 	u := clamp01(utilization)
 	// M/D/1-flavoured stretch: delay ~ u/(2(1-u)) service times.
-	queue := DRAMDeviceNS * u / (2 * math.Max(1-u, 1.0/MaxQueueFactor))
+	queue := DRAMDeviceNS * u / (2 * max(1-u, 1.0/MaxQueueFactor))
 	if queue > DRAMDeviceNS*MaxQueueFactor {
 		queue = DRAMDeviceNS * MaxQueueFactor
 	}
@@ -95,9 +94,51 @@ func (h Hierarchy) L2LatencyNS() float64 {
 // AvgAccessLatencyNS returns the mean latency of one vector memory
 // access given the hit-rate split and DRAM utilisation.
 func (h Hierarchy) AvgAccessLatencyNS(hr HitRates, utilization float64) float64 {
-	l1 := h.L1LatencyNS()
-	l2 := h.L2LatencyNS()
-	dram := h.DRAMLatencyNS(utilization)
-	missL1 := 1 - hr.L1
-	return hr.L1*l1 + missL1*(hr.L2*l2+(1-hr.L2)*dram)
+	return h.AccessModel(hr).LatencyNS(utilization)
+}
+
+// AccessModel is the average-access-latency curve of one (config,
+// hit-rate) pair with every utilisation-independent term folded in.
+// The round engine's fixed-point solver evaluates the curve dozens of
+// times per batch; precomputing the hit/miss blend keeps those
+// evaluations down to the queueing term. LatencyNS preserves
+// AvgAccessLatencyNS's expression tree exactly, so the two agree bit
+// for bit.
+type AccessModel struct {
+	hitNS        float64 // hr.L1 * L1 latency
+	missL1       float64 // 1 - hr.L1
+	l2NS         float64 // hr.L2 * L2 latency
+	missL2       float64 // 1 - hr.L2
+	dramUnloaded float64 // unloaded DRAM latency (core + device)
+}
+
+// AccessModel folds the hierarchy's latencies and the hit-rate split
+// into a reusable latency curve.
+func (h Hierarchy) AccessModel(hr HitRates) AccessModel {
+	return AccessModel{
+		hitNS:        hr.L1 * h.L1LatencyNS(),
+		missL1:       1 - hr.L1,
+		l2NS:         hr.L2 * h.L2LatencyNS(),
+		missL2:       1 - hr.L2,
+		dramUnloaded: DRAMCoreCycles*h.cfg.CoreCycleNS() + DRAMDeviceNS,
+	}
+}
+
+// UnloadedNS returns LatencyNS(0) without the queueing arithmetic:
+// at zero utilisation the queue term is exactly zero, so the two
+// agree bit for bit.
+func (m AccessModel) UnloadedNS() float64 {
+	return m.hitNS + m.missL1*(m.l2NS+m.missL2*m.dramUnloaded)
+}
+
+// LatencyNS returns the mean access latency at the given DRAM
+// bandwidth utilisation (0..1).
+func (m AccessModel) LatencyNS(utilization float64) float64 {
+	u := clamp01(utilization)
+	queue := DRAMDeviceNS * u / (2 * max(1-u, 1.0/MaxQueueFactor))
+	if queue > DRAMDeviceNS*MaxQueueFactor {
+		queue = DRAMDeviceNS * MaxQueueFactor
+	}
+	dram := m.dramUnloaded + queue
+	return m.hitNS + m.missL1*(m.l2NS+m.missL2*dram)
 }

@@ -107,3 +107,27 @@ func TestAvgAccessLatencyMonotonicInMissRate(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAccessModelMatchesAvgAccessLatency(t *testing.T) {
+	cfgs := []hw.Config{
+		{CUs: 4, CoreClockMHz: 200, MemClockMHz: 150},
+		{CUs: 44, CoreClockMHz: 1000, MemClockMHz: 1250},
+		hw.Reference(),
+	}
+	f := func(l1, l2, u float64) bool {
+		hr := HitRates{L1: math.Mod(math.Abs(l1), 1), L2: math.Mod(math.Abs(l2), 1)}
+		util := math.Mod(math.Abs(u), 1.2) // exercise the clamp too
+		for _, cfg := range cfgs {
+			h := NewHierarchy(cfg)
+			want := h.AvgAccessLatencyNS(hr, util)
+			got := h.AccessModel(hr).LatencyNS(util)
+			if math.Float64bits(want) != math.Float64bits(got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

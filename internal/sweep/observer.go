@@ -42,6 +42,12 @@ type Observer interface {
 	// after `consecutive` hard failures; the row's remaining cells are
 	// about to be quarantined.
 	BreakerTripped(row int, kernel string, consecutive int)
+	// RowQuarantined fires when a whole row — or the remainder of one —
+	// settles wholesale without the engine running: the sweep-level
+	// quarantine brake or an in-row breaker trip (StatusQuarantined),
+	// or a failed row preparation (StatusFailed). It replaces the
+	// per-cell CellDone stream for those cells, which never ran.
+	RowQuarantined(row int, kernel string, status CellStatus, cells int)
 	// RowDone fires when a kernel row settles. queueWait is how long
 	// the row waited between sweep start and worker pickup; d is the
 	// row's compute duration.
@@ -61,6 +67,7 @@ func (NopObserver) SweepStart(int, int, int)                                    
 func (NopObserver) CellAttempt(int, string, hw.Config, int, time.Duration, error)   {}
 func (NopObserver) CellDone(int, string, hw.Config, CellStatus, int, time.Duration) {}
 func (NopObserver) BreakerTripped(int, string, int)                                 {}
+func (NopObserver) RowQuarantined(int, string, CellStatus, int)                     {}
 func (NopObserver) RowDone(int, string, time.Duration, time.Duration)               {}
 func (NopObserver) SweepEnd(*RunReport)                                             {}
 
@@ -92,6 +99,21 @@ const (
 	// MetricBreakerTrips counts kernel rows whose circuit breaker
 	// opened (Options.Breaker consecutive hard failures).
 	MetricBreakerTrips = "sweep_breaker_trips_total"
+	// MetricPreparedRows counts kernel rows evaluated through the
+	// prepared row path (Options.Row, or the engine default). Published
+	// at SweepEnd, and only when the sweep used that path.
+	MetricPreparedRows = "sweep_prepared_rows_total"
+	// MetricResidentSetMemoHits / MetricResidentSetMemoMisses count
+	// resident-set pipeline simulations served from (or inserted into)
+	// each row's memo; hits are configurations that shared a
+	// (resident WGs, waves/WG, latency, policy) tuple with an earlier
+	// cell in the same row.
+	MetricResidentSetMemoHits   = "sweep_residentset_memo_hits_total"
+	MetricResidentSetMemoMisses = "sweep_residentset_memo_misses_total"
+	// MetricHitRateMemoHits / MetricHitRateMemoMisses are the same for
+	// the cache-hit-rate model memo.
+	MetricHitRateMemoHits   = "sweep_hitrate_memo_hits_total"
+	MetricHitRateMemoMisses = "sweep_hitrate_memo_misses_total"
 )
 
 // Telemetry is the production Observer: it feeds an obs.Registry
@@ -254,6 +276,27 @@ func (t *Telemetry) BreakerTripped(row int, kernel string, consecutive int) {
 	}
 }
 
+// RowQuarantined implements Observer: the whole batch lands on one
+// status counter in a single add, with one trace instant instead of a
+// per-cell span fan-out (no cell ran, so there is no latency to
+// observe).
+func (t *Telemetry) RowQuarantined(row int, kernel string, status CellStatus, cells int) {
+	switch status {
+	case StatusFailed:
+		t.doneFailed.Add(uint64(cells))
+	default:
+		t.doneQuarantined.Add(uint64(cells))
+	}
+	if t.tw != nil {
+		t.tw.Instant("row.quarantine", "sweep", int64(row), map[string]any{
+			"kernel": kernel, "status": status.String(), "cells": cells,
+		})
+	}
+	if t.progressW != nil {
+		t.progress.MaybeEmit(t.progressW)
+	}
+}
+
 // RowDone implements Observer.
 func (t *Telemetry) RowDone(row int, kernel string, queueWait, d time.Duration) {
 	t.rowsDone.Inc()
@@ -265,8 +308,17 @@ func (t *Telemetry) RowDone(row int, kernel string, queueWait, d time.Duration) 
 	}
 }
 
-// SweepEnd implements Observer.
+// SweepEnd implements Observer. Prepared-row counters are registered
+// here rather than in NewTelemetry so sweeps on the legacy per-cell
+// path don't export always-zero series.
 func (t *Telemetry) SweepEnd(rep *RunReport) {
+	if p := rep.Prepared; p.Rows > 0 {
+		t.reg.Counter(MetricPreparedRows, "kernel rows evaluated via the prepared row path").Add(uint64(p.Rows))
+		t.reg.Counter(MetricResidentSetMemoHits, "resident-set simulations served from a row memo").Add(uint64(p.ResidentSetHits))
+		t.reg.Counter(MetricResidentSetMemoMisses, "resident-set simulations computed and memoized").Add(uint64(p.ResidentSetMisses))
+		t.reg.Counter(MetricHitRateMemoHits, "hit-rate model evaluations served from a row memo").Add(uint64(p.HitRateHits))
+		t.reg.Counter(MetricHitRateMemoMisses, "hit-rate model evaluations computed and memoized").Add(uint64(p.HitRateMisses))
+	}
 	if t.tw != nil {
 		t.tw.Complete("sweep", "sweep", 0, t.sweepStart, rep.WallTime, map[string]any{
 			"cells": rep.Cells, "ok": rep.OK, "failed": rep.Failed,

@@ -47,17 +47,59 @@ const (
 	// Wave uses the wavefront-level event engine (slowest; only for
 	// small spaces or validation runs).
 	Wave
+	// Pipeline uses the execution-driven cycle-level engine. Only
+	// practical for sweeps through the prepared row path, where the
+	// resident-set memo collapses most of a row onto a few cycle
+	// simulations.
+	Pipeline
 )
 
-// Func returns the engine's simulator function.
+var engineNames = [...]string{"round", "detailed", "wave", "pipeline"}
+
+// String returns the engine's lower-case CLI name.
+func (e Engine) String() string {
+	if e < 0 || int(e) >= len(engineNames) {
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+	return engineNames[e]
+}
+
+// ParseEngine inverts String.
+func ParseEngine(s string) (Engine, error) {
+	for i, n := range engineNames {
+		if n == s {
+			return Engine(i), nil
+		}
+	}
+	return 0, fmt.Errorf("sweep: unknown engine %q (want round, detailed, wave or pipeline)", s)
+}
+
+// Func returns the engine's per-cell simulator function.
 func (e Engine) Func() gcn.EngineFunc {
 	switch e {
 	case Detailed:
 		return gcn.SimulateDetailed
 	case Wave:
 		return gcn.SimulateWave
+	case Pipeline:
+		return gcn.SimulatePipeline
 	default:
 		return gcn.Simulate
+	}
+}
+
+// Row returns the engine's row-granular form: one Prepare per kernel,
+// then per-configuration evaluations sharing memoized state.
+func (e Engine) Row() gcn.RowEngine {
+	switch e {
+	case Detailed:
+		return gcn.DetailedRow
+	case Wave:
+		return gcn.WaveRow
+	case Pipeline:
+		return gcn.PipelineRow
+	default:
+		return gcn.RoundRow
 	}
 }
 
@@ -88,10 +130,22 @@ type Options struct {
 	Workers int
 	// Engine selects the simulator fidelity.
 	Engine Engine
-	// Sim, when non-nil, overrides Engine with an arbitrary simulator
-	// function — the seam where fault injection and custom engines
-	// plug in.
+	// Sim, when non-nil, overrides Engine with an arbitrary per-cell
+	// simulator function — the seam where fault injection and custom
+	// engines plug in. Setting Sim alone forces the legacy per-cell
+	// path for every cell.
 	Sim gcn.EngineFunc
+	// Row, when non-nil, overrides Engine with a row-granular engine:
+	// each kernel row is prepared once (validation, lowering, derived
+	// state) and then evaluated per configuration with shared memoized
+	// state. When neither Sim nor Row is set the sweep defaults to
+	// Engine.Row() — the prepared path — with gcn.PerCell(Row) as the
+	// per-cell fallback used after an abandoned engine call (timeout
+	// or stall) poisons a row's shared scratch. When both are set, Row
+	// drives the cells and Sim is the fallback. Retry, fault,
+	// breaker, observer and journal semantics are identical on both
+	// paths.
+	Row gcn.RowEngine
 	// NoiseStdDev, when positive, multiplies every measured throughput
 	// by a lognormal factor exp(N(0, stddev)) to emulate run-to-run
 	// measurement noise for robustness experiments. The factor's
@@ -310,10 +364,35 @@ type RunReport struct {
 	// BreakerTrips counts kernel rows whose circuit breaker opened
 	// (Options.Breaker consecutive hard failures).
 	BreakerTrips int
+	// Prepared aggregates row-engine memoization across the sweep; its
+	// Rows field is zero when the sweep ran purely per-cell.
+	Prepared PreparedTotals
 	// Failures lists each failed or stalled cell with its final error.
+	// A row whose preparation failed contributes a single record
+	// covering every cell in the row (the engine never ran per cell, so
+	// there is only one error to report), so len(Failures) can be
+	// smaller than Failed+Stalled but is never zero when they are not.
 	Failures []CellFailure
 	// WallTime is the end-to-end sweep duration.
 	WallTime time.Duration
+}
+
+// PreparedTotals sums gcn.PreparedStats over every prepared row of a
+// sweep.
+type PreparedTotals struct {
+	// Rows is how many kernel rows ran through the prepared path.
+	Rows int
+	// Abandoned is how many of those rows fell back to the per-cell
+	// engine after an abandoned (timed-out or stalled) call poisoned
+	// the row's shared scratch. Their memo counters are not collected
+	// (the abandoned call may still be mutating them).
+	Abandoned int
+	// ResidentSetHits/Misses count resident-set cycle simulations
+	// served from / added to the per-kernel memo.
+	ResidentSetHits, ResidentSetMisses int
+	// HitRateHits/Misses count cache hit-rate estimates served from /
+	// added to the per-kernel memo.
+	HitRateHits, HitRateMisses int
 }
 
 // Complete reports whether every cell holds a validated measurement.
@@ -376,6 +455,15 @@ func resume(ctx context.Context, kernels []*kernel.Kernel, space hw.Space, opts 
 	if len(configs) == 0 {
 		return nil, nil, fmt.Errorf("sweep: empty configuration space")
 	}
+	// Validate the configuration axis once, up front, with a
+	// positional error — the engines' Eval methods skip the per-cell
+	// re-check, so a bad config must never reach the workers.
+	for i, cfg := range configs {
+		if err := cfg.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("sweep: config %d of %d (cu=%d core=%g mem=%g): %w",
+				i+1, len(configs), cfg.CUs, cfg.CoreClockMHz, cfg.MemClockMHz, err)
+		}
+	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -412,9 +500,18 @@ func resume(ctx context.Context, kernels []*kernel.Kernel, space hw.Space, opts 
 		}
 	}
 
+	// Engine selection: the prepared row path is the default; an
+	// explicit Sim without a Row keeps the legacy per-cell path. With
+	// a row engine, the per-cell fallback is its own PerCell adapter
+	// so wrappers (fault injection) see one decision stream on both
+	// paths.
+	re := opts.Row
 	sim := opts.Sim
+	if sim == nil && re == nil {
+		re = opts.Engine.Row()
+	}
 	if sim == nil {
-		sim = opts.Engine.Func()
+		sim = gcn.PerCell(re)
 	}
 	o := opts.Observer
 	if o != nil {
@@ -443,7 +540,7 @@ func resume(ctx context.Context, kernels []*kernel.Kernel, space hw.Space, opts 
 					// have not started rather than grind through them.
 					quarantineRow(kernels[row], configs, opts, m, row, rep, &mu)
 				} else {
-					sweepRow(ctx, sim, kernels[row], configs, opts, m, row, rep, &mu, start, &trips)
+					sweepRow(ctx, sim, re, kernels[row], configs, opts, m, row, rep, &mu, start, &trips)
 				}
 				if o != nil {
 					o.RowDone(row, kernels[row].Name, pickup.Sub(start), time.Since(pickup))
@@ -471,25 +568,56 @@ func resume(ctx context.Context, kernels []*kernel.Kernel, space hw.Space, opts 
 // okRow returns a row of StatusOK cells.
 func okRow(n int) []CellStatus { return make([]CellStatus, n) }
 
+// settleRow stamps every plane of row with NaN-free zeros and a
+// uniform status — the wholesale settlement used when a row never
+// reaches the engine (sweep-level quarantine, failed preparation).
+func settleRow(m *Matrix, row, cells int, status CellStatus) {
+	st := make([]CellStatus, cells)
+	for c := range st {
+		st[c] = status
+	}
+	m.Throughput[row] = make([]float64, cells)
+	m.TimeNS[row] = make([]float64, cells)
+	m.Bound[row] = make([]gcn.Bound, cells)
+	m.Status[row] = st
+}
+
 // quarantineRow settles a whole kernel row as StatusQuarantined
 // without invoking the engine — the sweep-level brake once
-// Options.QuarantineAfter kernels have tripped their breakers.
+// Options.QuarantineAfter kernels have tripped their breakers. The
+// observer sees one RowQuarantined event instead of a per-cell
+// CellDone stream, so tracing a quarantined 891-cell row does not
+// emit 891 redundant spans.
 func quarantineRow(k *kernel.Kernel, configs []hw.Config, opts Options,
 	m *Matrix, row int, rep *RunReport, mu *sync.Mutex) {
-	status := make([]CellStatus, len(configs))
-	o := opts.Observer
-	for c, cfg := range configs {
-		status[c] = StatusQuarantined
-		if o != nil {
-			o.CellDone(row, k.Name, cfg, StatusQuarantined, 0, 0)
-		}
+	settleRow(m, row, len(configs), StatusQuarantined)
+	if o := opts.Observer; o != nil {
+		o.RowQuarantined(row, k.Name, StatusQuarantined, len(configs))
 	}
-	m.Throughput[row] = make([]float64, len(configs))
-	m.TimeNS[row] = make([]float64, len(configs))
-	m.Bound[row] = make([]gcn.Bound, len(configs))
-	m.Status[row] = status
 	mu.Lock()
 	rep.Quarantined += len(configs)
+	mu.Unlock()
+}
+
+// failRowPrepare settles a whole row as failed when its kernel cannot
+// be prepared (an invalid kernel, or one that does not fit on a CU).
+// No configuration can change either condition, so the row fails once
+// with a clear positional error and one observer event instead of
+// len(configs) identical per-cell failures.
+func failRowPrepare(k *kernel.Kernel, configs []hw.Config, opts Options,
+	m *Matrix, row int, rep *RunReport, mu *sync.Mutex, err error) {
+	settleRow(m, row, len(configs), StatusFailed)
+	if o := opts.Observer; o != nil {
+		o.RowQuarantined(row, k.Name, StatusFailed, len(configs))
+	}
+	mu.Lock()
+	rep.Failed += len(configs)
+	rep.Failures = append(rep.Failures, CellFailure{
+		Kernel:   k.Name,
+		Config:   configs[0],
+		Attempts: 0,
+		Err:      fmt.Errorf("prepare failed for whole row (%d cells): %w", len(configs), err),
+	})
 	mu.Unlock()
 }
 
@@ -500,8 +628,34 @@ func quarantineRow(k *kernel.Kernel, configs []hw.Config, opts Options,
 // single-attempt cell costs exactly one clock read — per-cell
 // instrumentation has to stay within a few percent of a ~1µs cell.
 // trips is the sweep-wide count of opened circuit breakers.
-func sweepRow(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, configs []hw.Config,
+//
+// When re is non-nil the row runs through the prepared path: one
+// PrepareRow hoists the kernel-invariant work, and each cell
+// evaluates against the shared prepared state. A prepared row is
+// owned by this goroutine only — if the supervisor abandons an engine
+// call (timeout, stall), the abandoned goroutine may still be using
+// the row's scratch, so the row is poisoned and every later call
+// degrades to the per-cell sim, which shares no state.
+func sweepRow(ctx context.Context, sim gcn.EngineFunc, re gcn.RowEngine, k *kernel.Kernel, configs []hw.Config,
 	opts Options, m *Matrix, row int, rep *RunReport, mu *sync.Mutex, base time.Time, trips *atomic.Int64) {
+	cellSim := sim
+	var prow gcn.PreparedRow
+	var poisoned atomic.Bool
+	if re != nil {
+		pr, err := re.PrepareRow(k)
+		if err != nil {
+			failRowPrepare(k, configs, opts, m, row, rep, mu, err)
+			return
+		}
+		prow = pr
+		cellSim = func(_ *kernel.Kernel, cfg hw.Config) (gcn.Result, error) {
+			if poisoned.Load() {
+				return sim(k, cfg)
+			}
+			return prow.Eval(cfg)
+		}
+	}
+
 	tput := make([]float64, len(configs))
 	times := make([]float64, len(configs))
 	bounds := make([]gcn.Bound, len(configs))
@@ -517,6 +671,10 @@ func sweepRow(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, configs
 
 	o := opts.Observer
 	timed := o != nil && o.CellTiming()
+	// With no retries, supervision, or observer, runCell reduces to one
+	// guarded engine call per cell; take that path directly rather than
+	// paying its bookkeeping frame 891 times per row.
+	fastCell := opts.Retries == 0 && opts.SimTimeout <= 0 && opts.StallGrace <= 0 && o == nil
 	var prev time.Duration // monotonic offset at the current cell's start
 	if timed {
 		prev = time.Since(base)
@@ -533,11 +691,11 @@ func sweepRow(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, configs
 			noise = math.Exp(rng.NormFloat64() * opts.NoiseStdDev)
 		}
 		if tripped {
+			// The remainder is settled wholesale; one RowQuarantined
+			// event after the loop replaces the per-cell CellDone
+			// stream.
 			status[c] = StatusQuarantined
 			quarantined++
-			if o != nil {
-				o.CellDone(row, k.Name, cfg, StatusQuarantined, 0, 0)
-			}
 			continue
 		}
 		if ctx.Err() != nil {
@@ -548,7 +706,26 @@ func sweepRow(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, configs
 			}
 			continue
 		}
-		r, n, end, err := runCell(ctx, sim, k, cfg, opts, row, timed, base, prev)
+		var r gcn.Result
+		var n int
+		var end time.Duration
+		var err error
+		if fastCell {
+			// A fast cell can never be abandoned, so the row can never
+			// be poisoned: evaluate the prepared row directly instead of
+			// going through cellSim's poison check.
+			n = 1
+			if prow != nil {
+				r, err = safeEval(prow, cfg)
+			} else {
+				r, err = safeCall(cellSim, k, cfg)
+			}
+			if err == nil {
+				err = validate(r)
+			}
+		} else {
+			r, n, end, err = runCell(ctx, cellSim, k, cfg, opts, row, timed, base, prev, &poisoned)
+		}
 		var cellDur time.Duration
 		if timed {
 			cellDur = end - prev
@@ -596,6 +773,9 @@ func sweepRow(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, configs
 			o.CellDone(row, k.Name, cfg, StatusOK, n, cellDur)
 		}
 	}
+	if tripped && quarantined > 0 && o != nil {
+		o.RowQuarantined(row, k.Name, StatusQuarantined, quarantined)
+	}
 	m.Throughput[row] = tput
 	m.TimeNS[row] = times
 	m.Bound[row] = bounds
@@ -613,6 +793,21 @@ func sweepRow(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, configs
 		rep.BreakerTrips++
 	}
 	rep.Failures = append(rep.Failures, failures...)
+	if prow != nil {
+		rep.Prepared.Rows++
+		if poisoned.Load() {
+			// The abandoned call may still be mutating the row's
+			// scratch and stats; counting the row as abandoned is the
+			// only safe read.
+			rep.Prepared.Abandoned++
+		} else {
+			s := prow.Stats()
+			rep.Prepared.ResidentSetHits += s.ResidentSetHits
+			rep.Prepared.ResidentSetMisses += s.ResidentSetMisses
+			rep.Prepared.HitRateHits += s.HitRateHits
+			rep.Prepared.HitRateMisses += s.HitRateMisses
+		}
+	}
 	mu.Unlock()
 }
 
@@ -628,7 +823,7 @@ func sweepRow(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, configs
 // Observer.CellTiming: when false every clock read is skipped and
 // the observer receives zero durations.
 func runCell(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, cfg hw.Config,
-	opts Options, row int, timed bool, base time.Time, startOff time.Duration) (gcn.Result, int, time.Duration, error) {
+	opts Options, row int, timed bool, base time.Time, startOff time.Duration, abandoned *atomic.Bool) (gcn.Result, int, time.Duration, error) {
 	backoff := opts.Backoff
 	maxBackoff := opts.MaxBackoff
 	if maxBackoff <= 0 {
@@ -659,7 +854,16 @@ func runCell(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, cfg hw.C
 			}
 		}
 		attempts++
-		r, err := simulate(ctx, sim, k, cfg, opts.SimTimeout, opts.StallGrace)
+		var r gcn.Result
+		var err error
+		if opts.SimTimeout <= 0 && opts.StallGrace <= 0 {
+			// No supervision requested: skip the wrapper frame in the
+			// hot path (simulate would take the same branch, but each
+			// frame copies the full Result back up).
+			r, err = safeCall(sim, k, cfg)
+		} else {
+			r, err = simulate(ctx, sim, k, cfg, opts.SimTimeout, opts.StallGrace, abandoned)
+		}
 		if err == nil {
 			err = validate(r)
 		}
@@ -697,13 +901,32 @@ func safeCall(sim gcn.EngineFunc, k *kernel.Kernel, cfg hw.Config) (r gcn.Result
 	return sim(k, cfg)
 }
 
+// safeEval is safeCall for a prepared row: same panic isolation, no
+// per-cell closure in between.
+func safeEval(row gcn.PreparedRow, cfg hw.Config) (r gcn.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%w: %v\n%s", ErrEnginePanic, p, debug.Stack())
+		}
+	}()
+	return row.Eval(cfg)
+}
+
 // simulate invokes the engine, bounded by timeout when one is set and
 // supervised by the stall watchdog when grace is set. A timed-out or
 // abandoned invocation's goroutine finishes in the background; its
-// buffered channel lets it exit without a receiver.
-func simulate(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, cfg hw.Config, timeout, grace time.Duration) (gcn.Result, error) {
+// buffered channel lets it exit without a receiver. Every abandonment
+// path sets abandoned (when non-nil) before returning, so a caller
+// sharing row-level state with the engine knows the state may still
+// be in use by the orphaned goroutine.
+func simulate(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, cfg hw.Config, timeout, grace time.Duration, abandoned *atomic.Bool) (gcn.Result, error) {
 	if timeout <= 0 && grace <= 0 {
 		return safeCall(sim, k, cfg)
+	}
+	abandon := func() {
+		if abandoned != nil {
+			abandoned.Store(true)
+		}
 	}
 	type outcome struct {
 		r   gcn.Result
@@ -724,9 +947,11 @@ func simulate(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, cfg hw.
 	case o := <-ch:
 		return o.r, o.err
 	case <-expire:
+		abandon()
 		return gcn.Result{}, fmt.Errorf("%w after %v", ErrSimTimeout, timeout)
 	case <-ctx.Done():
 		if grace <= 0 {
+			abandon()
 			return gcn.Result{}, ctx.Err()
 		}
 		// Watchdog: the engine is expected to return promptly once the
@@ -742,6 +967,7 @@ func simulate(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, cfg hw.
 			}
 			return gcn.Result{}, ctx.Err()
 		case <-g.C:
+			abandon()
 			return gcn.Result{}, fmt.Errorf("%w (no return within %v of cancellation)", ErrStalled, grace)
 		}
 	}
