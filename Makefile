@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke bench bench-obs bench-sweep bench-smoke
+.PHONY: build test check fuzz-smoke soak-smoke bench bench-obs bench-sweep bench-smoke
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,16 @@ test:
 # targets.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sweep/... ./internal/fault/... ./internal/obs/... ./cmd/gpusweep/... ./cmd/sweeptrace/...
+	$(GO) test -race ./internal/sweep/... ./internal/fault/... ./internal/obs/... ./internal/serve/... ./cmd/gpusweep/... ./cmd/gpuscaled/... ./cmd/sweeptrace/...
 	$(GO) test -race -run 'TestPreparedRowMatchesPerCell|TestResidentSetMatchesReference' ./internal/gcn/
 	$(MAKE) fuzz-smoke
+
+# Extended chaos soak of the sweep service: concurrent clients, fault
+# injection and a mid-soak restart, under the race detector. The
+# default in-tree soak is a few hundred milliseconds; this runs it for
+# ~10s wall-clock — still well under 30s — as the pre-merge drill.
+soak-smoke:
+	GPUSCALE_SOAK_MS=10000 $(GO) test -race -run TestChaosSoak -v -count=1 ./internal/serve/
 
 # Short coverage-guided fuzz of the journal decoder and the CSV
 # loaders (go test takes one -fuzz target per invocation).

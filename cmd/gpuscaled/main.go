@@ -1,0 +1,181 @@
+// Command gpuscaled serves sweep jobs over HTTP — the long-lived form
+// of gpusweep. Clients POST a job (a suite or inline kernel list plus
+// an optional configuration grid), poll its status, fetch the partial
+// or complete matrix as CSV, and cancel it.
+//
+// The daemon is built to survive overload and crashes rather than
+// merely work when everything is calm:
+//
+//   - Admission is bounded: at most -max-jobs open jobs, an optional
+//     token-bucket rate limit (-rate/-burst) and per-client cap
+//     (-client-cap). Anything past a bound is shed with 429/503 and a
+//     Retry-After hint — never buffered without bound.
+//   - Every job runs under a deadline context (-max-deadline caps what
+//     clients may ask for), handlers are panic-isolated, and the HTTP
+//     server has bounded read/write timeouts.
+//   - State is crash-only: admissions, per-row journal checkpoints and
+//     terminal states are fsynced in -state; kill -9 the daemon at any
+//     instant, restart it, and every unfinished job resumes with its
+//     completed rows intact.
+//   - SIGTERM/SIGINT drains: admission flips to shedding (watch
+//     /readyz), in-flight jobs get -drain-grace to finish, and whatever
+//     is still running is interrupted and left journaled for the next
+//     start.
+//
+// Usage:
+//
+//	gpuscaled -state /var/lib/gpuscaled          # serve on :8080
+//	gpuscaled -addr :9000 -max-jobs 8 -rate 5    # tighter bounds
+//	gpuscaled -fault-rate 0.05 -fault-seed 1     # chaos drill
+//
+//	curl -XPOST localhost:8080/v1/jobs -d '{"suite":"rodinia"}'
+//	curl localhost:8080/v1/jobs/job-000000
+//	curl localhost:8080/v1/jobs/job-000000/matrix > m.csv
+//	curl -XDELETE localhost:8080/v1/jobs/job-000000
+//
+// Exit codes: 0 clean drain, 1 startup or serve error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gpuscale/internal/fault"
+	"gpuscale/internal/obs"
+	"gpuscale/internal/serve"
+)
+
+// cliOptions collects every flag so tests can drive run directly.
+type cliOptions struct {
+	addr        string
+	stateDir    string
+	runners     int
+	workers     int
+	maxJobs     int
+	rate        float64
+	burst       int
+	clientCap   int
+	maxDeadline time.Duration
+	drainGrace  time.Duration
+	retries     int
+	backoff     time.Duration
+	simTimeout  time.Duration
+	stallGrace  time.Duration
+	breaker     int
+	faultRate   float64
+	panicRate   float64
+	tornRate    float64
+	latency     time.Duration
+	latencyRate float64
+	faultSeed   int64
+
+	// ready is a test seam: invoked with the server's base URL once it
+	// is listening, alongside the serving loop.
+	ready func(baseURL string)
+}
+
+func main() {
+	var o cliOptions
+	flag.StringVar(&o.addr, "addr", ":8080", "HTTP listen address")
+	flag.StringVar(&o.stateDir, "state", "gpuscaled-state", "state directory (job specs, journals, matrices)")
+	flag.IntVar(&o.runners, "runners", 1, "jobs run concurrently")
+	flag.IntVar(&o.workers, "workers", 0, "sweep workers per job (0 = GOMAXPROCS)")
+	flag.IntVar(&o.maxJobs, "max-jobs", 16, "open (queued+running) job bound; beyond it submissions shed with 503")
+	flag.Float64Var(&o.rate, "rate", 0, "admission rate limit in submissions/second (0 = unlimited)")
+	flag.IntVar(&o.burst, "burst", 4, "admission token-bucket burst")
+	flag.IntVar(&o.clientCap, "client-cap", 0, "open jobs allowed per client (0 = unlimited)")
+	flag.DurationVar(&o.maxDeadline, "max-deadline", 0, "cap on (and default for) per-job deadlines (0 = none)")
+	flag.DurationVar(&o.drainGrace, "drain-grace", 10*time.Second, "how long SIGTERM lets in-flight jobs finish before interrupting them")
+	flag.IntVar(&o.retries, "retries", 0, "extra attempts per cell after a failed or corrupt simulation")
+	flag.DurationVar(&o.backoff, "backoff", 0, "initial retry backoff (doubles per retry, capped)")
+	flag.DurationVar(&o.simTimeout, "sim-timeout", 0, "per-simulation timeout (0 = none)")
+	flag.DurationVar(&o.stallGrace, "stall-grace", 0, "abandon engine calls this long after cancellation (0 = wait forever)")
+	flag.IntVar(&o.breaker, "breaker", 0, "quarantine a kernel row after this many consecutive hard failures (0 disables)")
+	flag.Float64Var(&o.faultRate, "fault-rate", 0, "inject transient faults at this rate (chaos drills)")
+	flag.Float64Var(&o.panicRate, "fault-panic-rate", 0, "inject engine panics at this rate (chaos drills)")
+	flag.Float64Var(&o.tornRate, "fault-torn-rate", 0, "inject torn journal writes at this rate (chaos drills)")
+	flag.DurationVar(&o.latency, "fault-latency", 0, "maximum injected per-call latency (needs -fault-latency-rate)")
+	flag.Float64Var(&o.latencyRate, "fault-latency-rate", 0, "inject seeded per-call latency at this rate (chaos drills)")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault-injection seed")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o); err != nil {
+		fmt.Fprintln(os.Stderr, "gpuscaled:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the service, serves it until ctx ends (SIGTERM/SIGINT),
+// then drains: readiness flips, in-flight jobs get their grace, the
+// HTTP server shuts down cleanly, and unfinished work stays journaled
+// for the next start.
+func run(ctx context.Context, o cliOptions) error {
+	svc, err := serve.New(serve.Config{
+		Dir:          o.stateDir,
+		Runners:      o.runners,
+		SweepWorkers: o.workers,
+		MaxJobs:      o.maxJobs,
+		Rate:         o.rate,
+		Burst:        o.burst,
+		ClientCap:    o.clientCap,
+		MaxDeadline:  o.maxDeadline,
+		DrainGrace:   o.drainGrace,
+		Retries:      o.retries,
+		Backoff:      o.backoff,
+		SimTimeout:   o.simTimeout,
+		StallGrace:   o.stallGrace,
+		Breaker:      o.breaker,
+		Injector: fault.Injector{
+			ErrorRate: o.faultRate, PanicRate: o.panicRate, TornWriteRate: o.tornRate,
+			LatencyRate: o.latencyRate, Latency: o.latency, Seed: o.faultSeed,
+		},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	srv := obs.Server(svc.Handler())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "gpuscaled: serving on http://%s (state in %s)\n", ln.Addr(), o.stateDir)
+	if o.ready != nil {
+		o.ready("http://" + ln.Addr().String())
+	}
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "gpuscaled: draining")
+
+	// Drain order: stop admitting and finish jobs first (clients polling
+	// over HTTP still get answers), then shut the listener down.
+	dctx, cancel := context.WithTimeout(context.Background(), o.drainGrace+30*time.Second)
+	defer cancel()
+	if err := svc.Drain(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "gpuscaled: drain:", err)
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "gpuscaled: drained")
+	return nil
+}

@@ -1,0 +1,113 @@
+package main
+
+// End-to-end daemon test: run() on a loopback port, a job submitted
+// and completed over real HTTP, then SIGTERM (simulated by canceling
+// the signal context) drains cleanly with exit status nil.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDaemonServesAndDrains(t *testing.T) {
+	o := cliOptions{
+		addr:       "127.0.0.1:0",
+		stateDir:   t.TempDir(),
+		runners:    1,
+		workers:    2,
+		maxJobs:    4,
+		burst:      4,
+		drainGrace: 2 * time.Second,
+	}
+	ready := make(chan string, 1)
+	o.ready = func(baseURL string) { ready <- baseURL }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- run(ctx, o) }()
+
+	var base string
+	select {
+	case base = <-ready:
+	case err := <-runErr:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	// Liveness and readiness respond.
+	for _, path := range []string{"/healthz", "/readyz"} {
+		res, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %d, want 200", path, res.StatusCode)
+		}
+	}
+
+	// Submit a small job and ride it to completion.
+	body := `{"suite":"microbench","space":{"cus":[4,24],"core_mhz":[200,1000],"mem_mhz":[150,1250]}}`
+	res, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("submit = %d %+v", res.StatusCode, st)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		res, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(res.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if st.State == "complete" {
+			break
+		}
+		if st.State == "failed" || st.State == "canceled" {
+			t.Fatalf("job settled %q", st.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never completed; last state %q", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	res, err = http.Get(base + "/v1/jobs/" + st.ID + "/matrix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK || !strings.HasPrefix(string(csv), "kernel,") {
+		t.Fatalf("matrix = %d %.40q", res.StatusCode, csv)
+	}
+
+	// SIGTERM: the signal context ends, the daemon drains and exits 0.
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("drain exit = %v, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never drained")
+	}
+}

@@ -47,7 +47,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"time"
@@ -79,6 +78,8 @@ type cliOptions struct {
 	faultRate   float64
 	panicRate   float64
 	tornRate    float64
+	latency     time.Duration
+	latencyRate float64
 	faultSeed   int64
 	resume      bool
 	traceOut    string
@@ -109,6 +110,8 @@ func main() {
 	flag.Float64Var(&o.faultRate, "fault-rate", 0, "inject transient faults at this rate (robustness drills)")
 	flag.Float64Var(&o.panicRate, "fault-panic-rate", 0, "inject engine panics at this rate (robustness drills)")
 	flag.Float64Var(&o.tornRate, "fault-torn-rate", 0, "inject torn journal writes at this rate (needs -resume)")
+	flag.DurationVar(&o.latency, "fault-latency", 0, "maximum injected per-call latency (deterministic, needs -fault-latency-rate)")
+	flag.Float64Var(&o.latencyRate, "fault-latency-rate", 0, "inject seeded per-call latency at this rate (robustness drills)")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault-injection seed")
 	flag.BoolVar(&o.resume, "resume", false, "journal completed rows to -o and, on rerun, recompute only missing rows")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write per-cell/attempt/fault spans to this JSONL trace file (see sweeptrace)")
@@ -226,7 +229,8 @@ func run(ctx context.Context, o cliOptions) (salvaged bool, err error) {
 		}
 		opts.Observer = tel
 	}
-	in := fault.Injector{ErrorRate: o.faultRate, PanicRate: o.panicRate, TornWriteRate: o.tornRate, Seed: o.faultSeed}
+	in := fault.Injector{ErrorRate: o.faultRate, PanicRate: o.panicRate, TornWriteRate: o.tornRate,
+		LatencyRate: o.latencyRate, Latency: o.latency, Seed: o.faultSeed}
 	if err := in.Validate(); err != nil {
 		return false, err
 	}
@@ -253,9 +257,19 @@ func run(ctx context.Context, o cliOptions) (salvaged bool, err error) {
 		if err != nil {
 			return false, err
 		}
-		srv := &http.Server{Handler: obs.Handler(tel.Registry(), tel.Progress())}
-		go srv.Serve(ln) //nolint:errcheck // Close below reports Serve's exit
-		defer srv.Close()
+		// obs.Server bounds read/write timeouts so a stuck scraper
+		// cannot pin a connection; Shutdown (not Close) lets in-flight
+		// scrapes finish once the sweep settles instead of leaking the
+		// listener or cutting responses mid-body.
+		srv := obs.Server(obs.Handler(tel.Registry(), tel.Progress()))
+		go srv.Serve(ln) //nolint:errcheck // Shutdown below reports Serve's exit
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				fmt.Fprintln(os.Stderr, "gpusweep: metrics shutdown:", err)
+			}
+		}()
 		metricsURL = "http://" + ln.Addr().String()
 		fmt.Fprintf(info, "gpusweep: serving %s/metrics and %s/progress\n", metricsURL, metricsURL)
 	}

@@ -185,7 +185,15 @@ func TestObservedFaultySweepEndToEnd(t *testing.T) {
 	var metricsText string
 	var progress map[string]any
 	observed.probe = func(baseURL string) error {
-		res, err := http.Get(baseURL + "/metrics")
+		res, err := http.Get(baseURL + "/healthz")
+		if err != nil {
+			return err
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			return fmt.Errorf("/healthz status %d", res.StatusCode)
+		}
+		res, err = http.Get(baseURL + "/metrics")
 		if err != nil {
 			return err
 		}

@@ -5,9 +5,11 @@
 // An Injector wraps any gcn.EngineFunc and, per invocation, may inject
 // a transient error, corrupt the result (NaN, negative or infinite
 // throughput — the "garbage readings" failure mode), stall the call
-// for a configurable duration (the "hung run" failure mode), or panic
-// outright (the "driver crash" failure mode the executor's recover
-// isolation must absorb). Every decision is a pure function of
+// for a configurable duration (the "hung run" failure mode), delay it
+// by a seeded variable latency (the "slow rig" failure mode overload
+// tests lean on), or panic outright (the "driver crash" failure mode
+// the executor's recover isolation must absorb). Every decision is a
+// pure function of
 // (kernel, configuration, attempt number, seed), so a faulty sweep is
 // reproducible regardless of worker count or scheduling, and a retry
 // of the same cell sees an independent roll — exactly how re-running
@@ -62,6 +64,14 @@ type Injector struct {
 	// returning — emulates an engine/driver crash that the executor's
 	// recover isolation must convert into a CellFailure.
 	PanicRate float64
+	// LatencyRate is the probability an invocation is delayed by a
+	// deterministic, seeded amount of added latency before running —
+	// emulates slow runs (thermal throttling, contended rigs) without
+	// real slow engines, so overload tests stay fast and reproducible.
+	// Unlike a stall, the delay varies per call: each fired decision
+	// picks a duration in (0, Latency] as a pure function of the cell,
+	// attempt and seed.
+	LatencyRate float64
 	// TornWriteRate is the probability a WrapWriter write is cut
 	// short: a deterministic prefix reaches the underlying writer and
 	// the call returns ErrTornWrite. Independent of the engine-side
@@ -70,6 +80,9 @@ type Injector struct {
 	// Stall is the artificial delay applied when a stall fires;
 	// defaults to 10ms when a StallRate is set but Stall is zero.
 	Stall time.Duration
+	// Latency is the maximum added delay when a latency fault fires;
+	// defaults to 5ms when a LatencyRate is set but Latency is zero.
+	Latency time.Duration
 	// Seed decorrelates the fault stream; different seeds give
 	// different fault patterns, equal seeds identical ones.
 	Seed int64
@@ -95,9 +108,11 @@ const (
 	KindPanic
 	// KindTornWrite is an injected short write through WrapWriter.
 	KindTornWrite
+	// KindLatency is an injected seeded pre-run delay.
+	KindLatency
 )
 
-var kindNames = [...]string{"error", "corrupt", "stall", "panic", "torn-write"}
+var kindNames = [...]string{"error", "corrupt", "stall", "panic", "torn-write", "latency"}
 
 // String returns the kind's lower-case name.
 func (k Kind) String() string {
@@ -129,16 +144,15 @@ func (in Injector) Validate() error {
 		name string
 		v    float64
 	}{{"ErrorRate", in.ErrorRate}, {"CorruptRate", in.CorruptRate}, {"StallRate", in.StallRate},
-		{"PanicRate", in.PanicRate}, {"TornWriteRate", in.TornWriteRate}} {
+		{"PanicRate", in.PanicRate}, {"LatencyRate", in.LatencyRate}, {"TornWriteRate", in.TornWriteRate}} {
 		if r.v < 0 || r.v > 1 || math.IsNaN(r.v) {
 			return fmt.Errorf("fault: %s %g outside [0,1]", r.name, r.v)
 		}
 	}
 	// Engine-side kinds share one roll; the torn-write stream is
 	// independent and only bounded by [0,1] above.
-	if in.ErrorRate+in.CorruptRate+in.StallRate+in.PanicRate > 1 {
-		return fmt.Errorf("fault: engine rates sum to %g > 1",
-			in.ErrorRate+in.CorruptRate+in.StallRate+in.PanicRate)
+	if sum := in.ErrorRate + in.CorruptRate + in.StallRate + in.PanicRate + in.LatencyRate; sum > 1 {
+		return fmt.Errorf("fault: engine rates sum to %g > 1", sum)
 	}
 	return nil
 }
@@ -147,7 +161,7 @@ func (in Injector) Validate() error {
 // TornWriteRate does not count: it fires through WrapWriter, not the
 // engine path.
 func (in Injector) Active() bool {
-	return in.ErrorRate > 0 || in.CorruptRate > 0 || in.StallRate > 0 || in.PanicRate > 0
+	return in.ErrorRate > 0 || in.CorruptRate > 0 || in.StallRate > 0 || in.PanicRate > 0 || in.LatencyRate > 0
 }
 
 // Wrap returns an engine that runs sim under this fault model. The
@@ -181,10 +195,12 @@ func (in Injector) WrapRow(re gcn.RowEngine) gcn.RowEngine {
 }
 
 // faultState is the per-Wrap/WrapRow shared decision state: the model,
-// the resolved stall duration, and the cross-cell attempt counters.
+// the resolved stall and latency durations, and the cross-cell attempt
+// counters.
 type faultState struct {
 	in       Injector
 	stall    time.Duration
+	latency  time.Duration
 	attempts sync.Map // cell key -> *attemptCounter
 }
 
@@ -193,7 +209,11 @@ func (in Injector) newState() *faultState {
 	if stall <= 0 {
 		stall = 10 * time.Millisecond
 	}
-	return &faultState{in: in, stall: stall}
+	latency := in.Latency
+	if latency <= 0 {
+		latency = 5 * time.Millisecond
+	}
+	return &faultState{in: in, stall: stall, latency: latency}
 }
 
 // invoke rolls one fault decision for the cell's next attempt and runs
@@ -223,6 +243,11 @@ func (s *faultState) invoke(name string, cfg hw.Config, call func() (gcn.Result,
 	case roll < in.ErrorRate+in.CorruptRate+in.StallRate+in.PanicRate:
 		in.decided(name, cfg, attempt, KindPanic)
 		panic(fmt.Sprintf("fault: injected engine panic (%s attempt %d)", key, attempt))
+	case roll < in.ErrorRate+in.CorruptRate+in.StallRate+in.PanicRate+in.LatencyRate:
+		in.decided(name, cfg, attempt, KindLatency)
+		// The delay is a pure function of the same roll that fired the
+		// fault: (0, Latency] in 1% steps, reproducible per cell/attempt.
+		time.Sleep(s.latency * time.Duration(1+sub%100) / 100)
 	}
 	return call()
 }

@@ -148,6 +148,61 @@ func TestInjectorStalls(t *testing.T) {
 	}
 }
 
+func TestInjectorLatencyIsDeterministicAndBounded(t *testing.T) {
+	ks, cfgs := testCells(t)
+	const max = 40 * time.Millisecond
+	var decisions []Decision
+	in := Injector{LatencyRate: 1, Latency: max, Seed: 5,
+		OnDecision: func(d Decision) { decisions = append(decisions, d) }}
+	eng := in.Wrap(gcn.Simulate)
+	// Same cell, fresh wraps: attempt 0's delay must reproduce exactly,
+	// and every call must be delayed but never past the configured max
+	// (plus the simulation itself, which is microseconds here).
+	var first [2]time.Duration
+	for i := range first {
+		eng2 := in.Wrap(gcn.Simulate)
+		start := time.Now()
+		if _, err := eng2(ks[0], cfgs[0]); err != nil {
+			t.Fatal(err)
+		}
+		first[i] = time.Since(start)
+	}
+	if first[0] <= 0 || first[1] <= 0 {
+		t.Fatalf("LatencyRate 1 added no delay: %v %v", first[0], first[1])
+	}
+	diff := first[0] - first[1]
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > max/2 {
+		t.Fatalf("same cell/attempt/seed delayed by %v then %v", first[0], first[1])
+	}
+	start := time.Now()
+	if _, err := eng(ks[1], cfgs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > max+50*time.Millisecond {
+		t.Fatalf("latency %v exceeded configured max %v", d, max)
+	}
+	for _, d := range decisions {
+		if d.Kind != KindLatency {
+			t.Fatalf("decision kind %v, want latency", d.Kind)
+		}
+	}
+	if len(decisions) == 0 {
+		t.Fatal("no latency decisions reported")
+	}
+	if KindLatency.String() != "latency" {
+		t.Fatalf("kind name %q", KindLatency)
+	}
+	if !in.Active() {
+		t.Fatal("latency-only injector reports inactive")
+	}
+	if err := (Injector{ErrorRate: 0.6, LatencyRate: 0.6}).Validate(); err == nil {
+		t.Fatal("latency rate not counted against the engine budget")
+	}
+}
+
 func TestInjectorZeroValueIsPassthrough(t *testing.T) {
 	ks, cfgs := testCells(t)
 	eng := Injector{}.Wrap(gcn.Simulate)

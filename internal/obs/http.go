@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"net/http"
+	"time"
 )
 
 // Handler serves the registry and progress reporter over HTTP:
@@ -10,9 +11,12 @@ import (
 //	GET /metrics   Prometheus text exposition of reg
 //	GET /progress  JSON snapshot {done,total,percent,cells_per_sec,
 //	               elapsed_seconds,eta_seconds,line}
+//	GET /healthz   liveness probe: 200 "ok" while the process serves
 //
-// Either argument may be nil; the corresponding endpoint then answers
-// 404. The handler is stdlib-only and safe to mount on any mux.
+// Either of reg and p may be nil; the corresponding endpoint then
+// answers 404. /healthz is always mounted — a scraper that can reach
+// the port deserves a cheap liveness answer even on a metrics-less
+// server. The handler is stdlib-only and safe to mount on any mux.
 func Handler(reg *Registry, p *Progress) http.Handler {
 	mux := http.NewServeMux()
 	if reg != nil {
@@ -36,5 +40,25 @@ func Handler(reg *Registry, p *Progress) http.Handler {
 			})
 		})
 	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
 	return mux
+}
+
+// Server wraps h in an http.Server with bounded read/write timeouts —
+// the hardening every internet-adjacent listener needs so a stuck or
+// malicious client cannot pin a connection (and its goroutine) forever.
+// The sweep CLIs and the gpuscaled daemon all build their listeners
+// through here; callers own Serve and Shutdown.
+func Server(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
 }

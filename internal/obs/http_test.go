@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHandlerHealthz(t *testing.T) {
+	// /healthz answers even with no registry or progress attached.
+	srv := httptest.NewServer(Handler(nil, nil))
+	defer srv.Close()
+	res, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusOK || string(b) != "ok\n" {
+		t.Fatalf("/healthz = %d %q, want 200 \"ok\"", res.StatusCode, b)
+	}
+	for _, path := range []string{"/metrics", "/progress"} {
+		res, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s on a nil-backed handler = %d, want 404", path, res.StatusCode)
+		}
+	}
+}
+
+func TestServerHasBoundedTimeouts(t *testing.T) {
+	srv := Server(Handler(NewRegistry(), nil))
+	if srv.ReadHeaderTimeout <= 0 || srv.ReadTimeout <= 0 || srv.WriteTimeout <= 0 {
+		t.Fatalf("server timeouts unbounded: header=%v read=%v write=%v",
+			srv.ReadHeaderTimeout, srv.ReadTimeout, srv.WriteTimeout)
+	}
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// ShedReason names why a submission was refused. Every refusal is
+// explicit and accounted — the service never buffers beyond its
+// bounds, it says no.
+type ShedReason string
+
+const (
+	// ShedQueueFull: the bounded job table (queued + running) is at
+	// capacity. HTTP 503.
+	ShedQueueFull ShedReason = "queue_full"
+	// ShedRateLimited: the token bucket is empty. HTTP 429.
+	ShedRateLimited ShedReason = "rate_limited"
+	// ShedClientCap: this client already has its maximum number of
+	// open jobs. HTTP 429.
+	ShedClientCap ShedReason = "client_cap"
+	// ShedDraining: the service is shutting down and admits nothing
+	// new. HTTP 503.
+	ShedDraining ShedReason = "draining"
+)
+
+// ShedError is the typed refusal Submit returns when admission sheds a
+// job. RetryAfter is the client's backoff hint (the Retry-After
+// header, rounded up to whole seconds on the wire).
+type ShedError struct {
+	Reason     ShedReason
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("serve: admission shed (%s, retry after %v)", e.Reason, e.RetryAfter)
+}
+
+// tokenBucket is a deterministic token-bucket rate limiter: capacity
+// burst, refill rate tokens/second, clock injectable for tests. A
+// zero/negative rate disables limiting.
+type tokenBucket struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	if now == nil {
+		now = time.Now
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &tokenBucket{rate: rate, burst: b, tokens: b, now: now}
+}
+
+// take consumes one token. On refusal it returns the wait until a
+// token will be available.
+func (b *tokenBucket) take() (bool, time.Duration) {
+	if b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := 1 - b.tokens
+	wait := time.Duration(math.Ceil(need / b.rate * float64(time.Second)))
+	return false, wait
+}
+
+// clientCaps tracks open (queued + running) jobs per client identity.
+type clientCaps struct {
+	cap int
+
+	mu   sync.Mutex
+	open map[string]int
+}
+
+func newClientCaps(cap int) *clientCaps {
+	return &clientCaps{cap: cap, open: map[string]int{}}
+}
+
+// tryAcquire counts one open job against client; false when the
+// client is at its cap. A zero/negative cap disables the check (but
+// still counts, so release stays balanced).
+func (c *clientCaps) tryAcquire(client string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap > 0 && c.open[client] >= c.cap {
+		return false
+	}
+	c.open[client]++
+	return true
+}
+
+// release returns one open slot to client.
+func (c *clientCaps) release(client string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.open[client] > 0 {
+		c.open[client]--
+		if c.open[client] == 0 {
+			delete(c.open, client)
+		}
+	}
+}

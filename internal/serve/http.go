@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// apiError is the JSON error body every non-2xx response carries.
+type apiError struct {
+	Error  string `json:"error"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// clientID identifies the submitter: the X-Client header when set,
+// else the connection's host. Per-client caps key on it.
+func clientID(r *http.Request) string {
+	if c := r.Header.Get("X-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// shedStatus maps a shed reason to its HTTP status: 429 when the
+// client itself is the pressure (slow down), 503 when the service is
+// the bottleneck (come back later).
+func shedStatus(r ShedReason) int {
+	switch r {
+	case ShedRateLimited, ShedClientCap:
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusServiceUnavailable
+	}
+}
+
+// retryAfterSeconds renders a Retry-After value, rounded up so the
+// client never retries before the hint.
+func retryAfterSeconds(d time.Duration) string {
+	s := int64((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return fmt.Sprintf("%d", s)
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs             submit a JobSpec; 202 + status, or 429/503 shed
+//	GET    /v1/jobs             list all jobs
+//	GET    /v1/jobs/{id}        one job's status
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/jobs/{id}/matrix the job's matrix as CSV (partial while running)
+//	GET    /healthz             liveness: 200 while the process serves
+//	GET    /readyz              readiness: 503 while draining
+//	GET    /metrics             Prometheus text exposition
+//
+// Every handler is panic-isolated: a panic becomes a 500 and a
+// serve_handler_panics_total increment, never a dead daemon.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.List())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Get(r.PathValue("id"))
+		if err != nil {
+			writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Cancel(r.PathValue("id"))
+		if err != nil {
+			code := http.StatusInternalServerError
+			if errors.Is(err, ErrNoSuchJob) {
+				code = http.StatusNotFound
+			}
+			writeJSON(w, code, apiError{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/matrix", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		w.Header().Set("Content-Type", "text/csv")
+		if err := s.MatrixCSV(id, w); err != nil {
+			if errors.Is(err, ErrNoSuchJob) {
+				// The header is not committed until the first write, so a
+				// matrix-less job still gets a proper 404.
+				w.Header().Set("Content-Type", "application/json")
+				writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+				return
+			}
+			s.cfg.Logf("serve: streaming matrix %s: %v", id, err)
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("draining\n"))
+			return
+		}
+		w.Write([]byte("ready\n"))
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.reg.WriteText(w)
+	})
+	return s.recoverPanics(mux)
+}
+
+// handleSubmit decodes a JobSpec and admits or sheds it.
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("decoding spec: %v", err)})
+		return
+	}
+	st, err := s.Submit(clientID(r), spec)
+	if err != nil {
+		var shed *ShedError
+		if errors.As(err, &shed) {
+			w.Header().Set("Retry-After", retryAfterSeconds(shed.RetryAfter))
+			writeJSON(w, shedStatus(shed.Reason), apiError{Error: err.Error(), Reason: string(shed.Reason)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// recoverPanics isolates handler panics: one bad request must not
+// take down a daemon carrying other clients' jobs.
+func (s *Service) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.met.panics.Inc()
+				s.cfg.Logf("serve: handler panic on %s %s: %v", r.Method, r.URL.Path, p)
+				writeJSON(w, http.StatusInternalServerError, apiError{Error: fmt.Sprintf("internal error: %v", p)})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}

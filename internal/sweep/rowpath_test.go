@@ -242,10 +242,17 @@ func TestSweepValidatesConfigAxisUpfront(t *testing.T) {
 }
 
 // slowFirstEvalEngine wraps the round row engine but blocks the first
-// Eval long enough for the supervisor to abandon it.
+// Eval long enough for the supervisor to abandon it. done is closed
+// when that abandoned call finally returns, so tests can wait for the
+// orphaned goroutine deterministically instead of sleeping.
 type slowFirstEvalEngine struct {
 	stall time.Duration
 	fired atomic.Bool
+	done  chan struct{}
+}
+
+func newSlowFirstEvalEngine(stall time.Duration) *slowFirstEvalEngine {
+	return &slowFirstEvalEngine{stall: stall, done: make(chan struct{})}
 }
 
 func (e *slowFirstEvalEngine) PrepareRow(k *kernel.Kernel) (gcn.PreparedRow, error) {
@@ -263,6 +270,7 @@ type slowFirstEvalRow struct {
 
 func (r *slowFirstEvalRow) Eval(cfg hw.Config) (gcn.Result, error) {
 	if r.e.fired.CompareAndSwap(false, true) {
+		defer close(r.e.done)
 		time.Sleep(r.e.stall)
 	}
 	return r.pr.Eval(cfg)
@@ -273,7 +281,7 @@ func (r *slowFirstEvalRow) Stats() gcn.PreparedStats { return r.pr.Stats() }
 func TestAbandonedEvalPoisonsRowAndFallsBack(t *testing.T) {
 	space := testSpace(t)
 	ks := testKernels()[:1]
-	re := &slowFirstEvalEngine{stall: 300 * time.Millisecond}
+	re := newSlowFirstEvalEngine(300 * time.Millisecond)
 	m, rep, err := RunContext(context.Background(), ks, space, Options{
 		Row:        re,
 		SimTimeout: 20 * time.Millisecond,
@@ -299,9 +307,15 @@ func TestAbandonedEvalPoisonsRowAndFallsBack(t *testing.T) {
 	if !bytes.Equal(csvBytes(t, clean), csvBytes(t, m)) {
 		t.Fatal("poisoned-row fallback produced a different matrix")
 	}
-	// Give the abandoned goroutine time to drain before the test ends
-	// so the race detector sees the full interleaving.
-	time.Sleep(re.stall)
+	// Wait for the abandoned goroutine's actual completion — not a
+	// "give it time" sleep, which flakes under -race on slow runners —
+	// so the race detector sees the full interleaving before the test
+	// (and its shared prepared-row scratch) goes away.
+	select {
+	case <-re.done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("abandoned engine call never completed")
+	}
 }
 
 func TestTelemetryPublishesPreparedCounters(t *testing.T) {
