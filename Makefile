@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke soak-smoke bench bench-obs bench-sweep bench-smoke
+.PHONY: build test check fuzz-smoke soak-smoke soak-dist bench bench-obs bench-sweep bench-smoke
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ test:
 # targets.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sweep/... ./internal/fault/... ./internal/obs/... ./internal/serve/... ./cmd/gpusweep/... ./cmd/gpuscaled/... ./cmd/sweeptrace/...
+	$(GO) test -race ./internal/sweep/... ./internal/fault/... ./internal/obs/... ./internal/serve/... ./internal/dist/... ./cmd/gpusweep/... ./cmd/gpuscaled/... ./cmd/sweeptrace/...
 	$(GO) test -race -run 'TestPreparedRowMatchesPerCell|TestResidentSetMatchesReference' ./internal/gcn/
 	$(MAKE) fuzz-smoke
 
@@ -25,6 +25,16 @@ check:
 # ~10s wall-clock — still well under 30s — as the pre-merge drill.
 soak-smoke:
 	GPUSCALE_SOAK_MS=10000 $(GO) test -race -run TestChaosSoak -v -count=1 ./internal/serve/
+
+# Multi-process distributed chaos soak: a coordinator plus three
+# child-process workers, with SIGKILLs, coordinator crash-restarts and
+# injected network faults (dropped acks, duplicated deliveries,
+# delays), race-enabled. Asserts exactly-once completion, a merged
+# matrix byte-identical to a single-node run, and the no-two-live-
+# epochs ledger invariant. On failure the log prints the chaos seed;
+# replay it with GPUSCALE_FAULT_SEED=<seed> make soak-dist.
+soak-dist:
+	GPUSCALE_SOAK_MS=10000 $(GO) test -race -run TestChaosSoakDistributed -v -count=1 ./internal/dist/
 
 # Short coverage-guided fuzz of the journal decoder and the CSV
 # loaders (go test takes one -fuzz target per invocation).

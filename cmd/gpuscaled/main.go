@@ -22,11 +22,22 @@
 //     is still running is interrupted and left journaled for the next
 //     start.
 //
+// The daemon also scales out. `-coordinator` keeps the whole client
+// API unchanged but executes each admitted job by leasing kernel rows
+// to a fleet over `/v1/dist/` (internal/dist): monotonic lease epochs,
+// expiry + work-stealing, fsync-before-ack completion. `-worker -join
+// URL` runs the complementary process: an API-less worker that
+// acquires leases, sweeps rows with the same journaled executor, and
+// reports back; kill -9 it at any instant and its lease just expires.
+//
 // Usage:
 //
 //	gpuscaled -state /var/lib/gpuscaled          # serve on :8080
 //	gpuscaled -addr :9000 -max-jobs 8 -rate 5    # tighter bounds
 //	gpuscaled -fault-rate 0.05 -fault-seed 1     # chaos drill
+//
+//	gpuscaled -coordinator -lease-ttl 15s        # fleet head
+//	gpuscaled -worker -join http://head:8080     # fleet member (xN)
 //
 //	curl -XPOST localhost:8080/v1/jobs -d '{"suite":"rodinia"}'
 //	curl localhost:8080/v1/jobs/job-000000
@@ -41,14 +52,18 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"gpuscale/internal/dist"
 	"gpuscale/internal/fault"
 	"gpuscale/internal/obs"
 	"gpuscale/internal/serve"
+	"gpuscale/internal/sweep"
 )
 
 // cliOptions collects every flag so tests can drive run directly.
@@ -74,6 +89,13 @@ type cliOptions struct {
 	latency     time.Duration
 	latencyRate float64
 	faultSeed   int64
+
+	coordinator bool
+	worker      bool
+	join        string
+	leaseTTL    time.Duration
+	workerName  string
+	traceOut    string
 
 	// ready is a test seam: invoked with the server's base URL once it
 	// is listening, alongside the serving loop.
@@ -103,6 +125,12 @@ func main() {
 	flag.DurationVar(&o.latency, "fault-latency", 0, "maximum injected per-call latency (needs -fault-latency-rate)")
 	flag.Float64Var(&o.latencyRate, "fault-latency-rate", 0, "inject seeded per-call latency at this rate (chaos drills)")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault-injection seed")
+	flag.BoolVar(&o.coordinator, "coordinator", false, "execute jobs by leasing kernel rows to a worker fleet over /v1/dist/")
+	flag.BoolVar(&o.worker, "worker", false, "run as a fleet worker instead of serving the job API (requires -join)")
+	flag.StringVar(&o.join, "join", "", "coordinator base URL a -worker acquires leases from")
+	flag.DurationVar(&o.leaseTTL, "lease-ttl", 10*time.Second, "how long a row lease lives without renewal before it is stolen (-coordinator)")
+	flag.StringVar(&o.workerName, "worker-name", "", "worker identity in leases and traces (default host-pid)")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write lease/steal/complete/renew spans to this JSONL trace file (see sweeptrace)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -113,12 +141,71 @@ func main() {
 	}
 }
 
+// openTrace opens the -trace-out writer, or returns nils when no
+// trace was requested.
+func openTrace(path string) (*obs.TraceWriter, func(), error) {
+	if path == "" {
+		return nil, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	tw := obs.NewTraceWriter(f)
+	return tw, func() {
+		if err := tw.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "gpuscaled: trace:", err)
+		}
+		f.Close()
+	}, nil
+}
+
 // run builds the service, serves it until ctx ends (SIGTERM/SIGINT),
 // then drains: readiness flips, in-flight jobs get their grace, the
 // HTTP server shuts down cleanly, and unfinished work stays journaled
-// for the next start.
+// for the next start. With -worker it instead joins a coordinator's
+// fleet and never serves the job API.
 func run(ctx context.Context, o cliOptions) error {
+	if o.worker {
+		return runWorker(ctx, o)
+	}
+	if o.join != "" {
+		return fmt.Errorf("-join only makes sense with -worker")
+	}
+	trace, closeTrace, err := openTrace(o.traceOut)
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
+
+	// One registry feeds /metrics for both the service and, in
+	// coordinator mode, the lease protocol.
+	reg := obs.NewRegistry()
+	var coord *dist.Coordinator
+	var runSweep func(ctx context.Context, req serve.SweepRequest) (*sweep.Matrix, *sweep.RunReport, error)
+	if o.coordinator {
+		coord, err = dist.NewCoordinator(filepath.Join(o.stateDir, "dist"), dist.CoordinatorOptions{
+			DefaultTTL: o.leaseTTL, Metrics: reg, Trace: trace,
+		})
+		if err != nil {
+			return err
+		}
+		defer coord.Close()
+		// The fan-out seam: every admitted job becomes a dist job whose
+		// rows the fleet leases; serve's OnRow hook keeps the service's
+		// own journal and live snapshot current as completes land.
+		runSweep = func(ctx context.Context, req serve.SweepRequest) (*sweep.Matrix, *sweep.RunReport, error) {
+			return coord.Run(ctx, dist.Job{
+				Name: req.JobID, Kernels: req.Kernels, Space: req.Space,
+				Engine: req.Engine, Seed: req.Seed, NoiseStdDev: req.Noise,
+				OnRow: req.OnRow,
+			})
+		}
+	}
+
 	svc, err := serve.New(serve.Config{
+		Registry: reg,
+		RunSweep: runSweep,
 		Dir:          o.stateDir,
 		Runners:      o.runners,
 		SweepWorkers: o.workers,
@@ -149,10 +236,22 @@ func run(ctx context.Context, o cliOptions) error {
 	if err != nil {
 		return err
 	}
-	srv := obs.Server(svc.Handler())
+	h := svc.Handler()
+	if coord != nil {
+		// The lease API rides the same listener as the job API.
+		mux := http.NewServeMux()
+		mux.Handle("/v1/dist/", coord.Handler())
+		mux.Handle("/", h)
+		h = mux
+	}
+	srv := obs.Server(h)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "gpuscaled: serving on http://%s (state in %s)\n", ln.Addr(), o.stateDir)
+	mode := ""
+	if coord != nil {
+		mode = ", coordinating a fleet on /v1/dist/"
+	}
+	fmt.Fprintf(os.Stderr, "gpuscaled: serving on http://%s (state in %s%s)\n", ln.Addr(), o.stateDir, mode)
 	if o.ready != nil {
 		o.ready("http://" + ln.Addr().String())
 	}
@@ -178,4 +277,44 @@ func run(ctx context.Context, o cliOptions) error {
 	}
 	fmt.Fprintln(os.Stderr, "gpuscaled: drained")
 	return nil
+}
+
+// runWorker joins a coordinator's fleet: acquire a row lease, sweep
+// it with the journaled executor, report it, repeat until SIGTERM.
+// There is no job API and no drain protocol — a worker is crash-only
+// by design, so a clean exit and a kill -9 differ only in how fast
+// the lease it held gets re-granted.
+func runWorker(ctx context.Context, o cliOptions) error {
+	if o.join == "" {
+		return fmt.Errorf("-worker requires -join <coordinator URL>")
+	}
+	name := o.workerName
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	trace, closeTrace, err := openTrace(o.traceOut)
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
+	w, err := dist.NewWorker(dist.WorkerOptions{
+		Name:        name,
+		Coordinator: o.join,
+		Dir:         o.stateDir,
+		Client:      &http.Client{Timeout: 30 * time.Second},
+		SweepWorkers: o.workers,
+		Retries:      o.retries,
+		Backoff:      o.backoff,
+		SimTimeout:   o.simTimeout,
+		Trace:        trace,
+	})
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	fmt.Fprintf(os.Stderr, "gpuscaled: worker %s joining %s (journals in %s)\n", name, o.join, o.stateDir)
+	err = w.Run(ctx)
+	fmt.Fprintf(os.Stderr, "gpuscaled: worker %s stopped\n", name)
+	return err
 }

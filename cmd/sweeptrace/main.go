@@ -1,9 +1,14 @@
 // Command sweeptrace summarizes a sweep trace written by
-// `gpusweep -trace-out`: per-kernel cell-latency percentiles, retry
-// hotspots (the cells that burned the most attempts), and a breakdown
-// of injected fault kinds. It can also re-wrap the JSONL stream into a
-// JSON array loadable by Chrome-compatible trace viewers
-// (chrome://tracing, Perfetto).
+// `gpusweep -trace-out` or `gpuscaled -trace-out`: per-kernel
+// cell-latency percentiles, retry hotspots (the cells that burned the
+// most attempts), a breakdown of injected fault kinds, and — when the
+// trace carries distributed-sweep events — a per-worker fleet table
+// (rows completed, leases stolen, stale completes fenced, renewal
+// latency percentiles) so stragglers are diagnosable from the trace
+// alone. Several trace files can be summarized together, e.g. a
+// coordinator's plus each worker's. It can also re-wrap the JSONL
+// stream into a JSON array loadable by Chrome-compatible trace
+// viewers (chrome://tracing, Perfetto).
 //
 // Usage:
 //
@@ -11,6 +16,7 @@
 //	sweeptrace -top 5 run.trace           # cap the hotspot listing
 //	sweeptrace -kernel graphana run.trace # restrict to matching kernels
 //	sweeptrace -chrome run.json run.trace # convert for trace viewers
+//	sweeptrace coord.trace w0.trace w1.trace  # merge a fleet's traces
 //	gpusweep ... -trace-out - | sweeptrace -   # not supported: trace
 //	                                      # files only, "-" reads stdin
 package main
@@ -34,31 +40,40 @@ func main() {
 	kernelFilter := flag.String("kernel", "", "only summarize kernels whose name contains this substring")
 	chromeOut := flag.String("chrome", "", "also write the events as a Chrome-viewer JSON array to this file")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: sweeptrace [-top n] [-kernel substr] [-chrome out.json] <trace.jsonl | ->")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: sweeptrace [-top n] [-kernel substr] [-chrome out.json] <trace.jsonl ... | ->")
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, flag.Arg(0), *kernelFilter, *top, *chromeOut); err != nil {
+	if err := run(os.Stdout, flag.Args(), *kernelFilter, *top, *chromeOut); err != nil {
 		fmt.Fprintln(os.Stderr, "sweeptrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, path, kernelFilter string, top int, chromeOut string) error {
-	var r io.Reader
+func readTrace(path string) ([]obs.Event, error) {
 	if path == "-" {
-		r = os.Stdin
-	} else {
-		f, err := os.Open(path)
+		return obs.ReadEvents(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	evs, err := obs.ReadEvents(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return evs, nil
+}
+
+func run(w io.Writer, paths []string, kernelFilter string, top int, chromeOut string) error {
+	var evs []obs.Event
+	for _, path := range paths {
+		e, err := readTrace(path)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		r = f
-	}
-	evs, err := obs.ReadEvents(r)
-	if err != nil {
-		return err
+		evs = append(evs, e...)
 	}
 	if chromeOut != "" {
 		if err := writeChrome(chromeOut, evs); err != nil {
@@ -86,6 +101,30 @@ func (c cellID) String() string {
 	return fmt.Sprintf("%s @ cu=%d core=%g mem=%g", c.kernel, c.cus, c.core, c.mem)
 }
 
+// workerStats aggregates one fleet worker's distributed-sweep events
+// (category "dist" — emitted by the coordinator and the workers).
+type workerStats struct {
+	// leases and steals count grants to this worker; a steal is a grant
+	// of another worker's expired lease.
+	leases, steals int
+	// fenced counts this worker's completes rejected as stale-epoch —
+	// each one is a row it computed for nothing.
+	fenced int
+	// completes counts coordinator-side accepted completes; rows counts
+	// worker-side accepted row spans. A merged coordinator+worker trace
+	// sees both for the same row, so rowsDone() takes the max.
+	completes, rows int
+	// renews holds renewal round-trip durations in microseconds.
+	renews []float64
+}
+
+func (w *workerStats) rowsDone() int {
+	if w.completes > w.rows {
+		return w.completes
+	}
+	return w.rows
+}
+
 // summary aggregates one trace.
 type summary struct {
 	// perKernel holds cell-span durations (in microseconds) by kernel.
@@ -98,6 +137,8 @@ type summary struct {
 	faults map[string]int
 	// breakerTrips counts circuit-breaker quarantine events.
 	breakerTrips int
+	// fleet holds per-worker distributed-sweep stats, when present.
+	fleet map[string]*workerStats
 	// sweep is the whole-sweep span, if present.
 	sweep *obs.Event
 	// events is the total event count (post-filter).
@@ -121,11 +162,26 @@ func summarize(evs []obs.Event, kernelFilter string) *summary {
 		attempts:  map[cellID]int{},
 		statuses:  map[string]int{},
 		faults:    map[string]int{},
+		fleet:     map[string]*workerStats{},
+	}
+	worker := func(e obs.Event) *workerStats {
+		name := str(e.Args, "worker")
+		if name == "" {
+			name = "(unnamed)"
+		}
+		ws := s.fleet[name]
+		if ws == nil {
+			ws = &workerStats{}
+			s.fleet[name] = ws
+		}
+		return ws
 	}
 	for i := range evs {
 		e := evs[i]
 		kernel := str(e.Args, "kernel")
-		if kernelFilter != "" && e.Name != "sweep" && !strings.Contains(kernel, kernelFilter) {
+		// Fleet events carry no kernel; they are row-grained, so the
+		// kernel filter does not apply to them.
+		if kernelFilter != "" && e.Name != "sweep" && e.Cat != "dist" && !strings.Contains(kernel, kernelFilter) {
 			continue
 		}
 		s.events++
@@ -142,6 +198,22 @@ func summarize(evs []obs.Event, kernelFilter string) *summary {
 			s.breakerTrips++
 		case "sweep":
 			s.sweep = &evs[i]
+		case "lease":
+			worker(e).leases++
+		case "steal":
+			ws := worker(e)
+			ws.leases++
+			ws.steals++
+		case "fence":
+			worker(e).fenced++
+		case "complete":
+			worker(e).completes++
+		case "renew":
+			worker(e).renews = append(worker(e).renews, e.Dur)
+		case "row":
+			if ok, _ := e.Args["accepted"].(bool); ok {
+				worker(e).rows++
+			}
 		}
 	}
 	return s
@@ -232,6 +304,46 @@ func (s *summary) render(w io.Writer, top int) error {
 		return err
 	}
 	fmt.Fprintln(w)
+
+	// Fleet breakdown: only distributed traces have one. Slowest
+	// renewal p99 first — that is the straggler diagnostic.
+	if len(s.fleet) > 0 {
+		wt := &report.Table{
+			Title:  "Fleet workers (renewal latency in us)",
+			Header: []string{"worker", "rows", "leases", "steals", "fenced", "renews", "p50", "p90", "p99"},
+		}
+		names := make([]string, 0, len(s.fleet))
+		for n := range s.fleet {
+			names = append(names, n)
+		}
+		renewP99 := map[string]float64{}
+		for n, ws := range s.fleet {
+			renewP99[n] = -1 // sorts renew-less workers last, NaN-free
+			if len(ws.renews) > 0 {
+				renewP99[n] = stats.Quantile(ws.renews, 0.99)
+			}
+		}
+		sort.Slice(names, func(i, j int) bool {
+			if renewP99[names[i]] != renewP99[names[j]] {
+				return renewP99[names[i]] > renewP99[names[j]]
+			}
+			return names[i] < names[j]
+		})
+		for _, n := range names {
+			ws := s.fleet[n]
+			p50, p90, p99 := "-", "-", "-"
+			if len(ws.renews) > 0 {
+				p50 = report.FormatFloat(stats.Quantile(ws.renews, 0.5))
+				p90 = report.FormatFloat(stats.Quantile(ws.renews, 0.9))
+				p99 = report.FormatFloat(renewP99[n])
+			}
+			wt.AddRow(n, ws.rowsDone(), ws.leases, ws.steals, ws.fenced, len(ws.renews), p50, p90, p99)
+		}
+		if err := wt.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
 
 	// Cell statuses and injected-fault kinds.
 	ft := &report.Table{

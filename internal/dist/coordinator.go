@@ -1,0 +1,589 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gpuscale/internal/gcn"
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+	"gpuscale/internal/obs"
+	"gpuscale/internal/sweep"
+)
+
+// Job describes one sweep to distribute: the kernel rows, the space,
+// and the noise/engine parameters every worker must reproduce
+// exactly.
+type Job struct {
+	Name        string
+	Kernels     []*kernel.Kernel
+	Space       hw.Space
+	Seed        int64
+	NoiseStdDev float64
+	Engine      sweep.Engine
+	// TTL is how long a lease lives without renewal; expired leases
+	// are stolen. Zero uses the coordinator default.
+	TTL time.Duration
+	// OnRow, when non-nil, is invoked as each row's complete is
+	// accepted (after the row is durably journaled), with the job's
+	// matrix and the row index — the hook internal/serve uses to keep
+	// its own journal and live snapshot current. Not invoked for rows
+	// recovered already-done from the journal at AddJob. Called with
+	// the coordinator's lock held: it must not call back into the
+	// Coordinator.
+	OnRow func(m *sweep.Matrix, r int)
+}
+
+// CoordinatorOptions tunes a Coordinator; the zero value is usable.
+type CoordinatorOptions struct {
+	// DefaultTTL is the lease TTL for jobs that do not set one;
+	// defaults to 10s.
+	DefaultTTL time.Duration
+	// Metrics, when non-nil, receives lease/steal/complete counters.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives lease lifecycle instants.
+	Trace *obs.TraceWriter
+	// now is the clock seam for lease-expiry tests.
+	now func() time.Time
+}
+
+// rowState is the coordinator's in-memory view of one kernel row.
+type rowState struct {
+	epoch  uint64
+	worker string
+	expiry time.Time
+	done   bool
+}
+
+// jobState is one registered job plus its durable matrix journal.
+type jobState struct {
+	job     Job
+	ttl     time.Duration
+	rows    []rowState
+	matrix  *sweep.Matrix
+	journal *sweep.Journal
+	order   []string // kernel names, row order
+}
+
+// Coordinator owns lease state for registered jobs and serves the
+// /v1/dist lease protocol. All durable state lives under one
+// directory: lease.ledger plus one <job>.journal per job, so pointing
+// a new Coordinator at the directory of a crashed one resumes it.
+type Coordinator struct {
+	dir string
+	opt CoordinatorOptions
+	now func() time.Time
+
+	mu        sync.Mutex
+	ledger    *ledger
+	jobs      map[string]*jobState
+	recovered *ledgerRecovery
+
+	mGranted, mStolen, mCompleted, mDuplicate, mFenced, mRequeued *obs.Counter
+}
+
+// NewCoordinator opens (or resumes) a coordinator rooted at dir. Lease
+// epochs and completions are recovered from dir's ledger; per-job
+// done-ness is recovered from each job's matrix journal when the job
+// is registered with AddJob.
+func NewCoordinator(dir string, opt CoordinatorOptions) (*Coordinator, error) {
+	if opt.DefaultTTL <= 0 {
+		opt.DefaultTTL = 10 * time.Second
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dist: creating coordinator dir: %w", err)
+	}
+	led, rec, err := openLedger(filepath.Join(dir, "lease.ledger"))
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{dir: dir, opt: opt, ledger: led, jobs: map[string]*jobState{}, recovered: rec}
+	c.now = opt.now
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if r := opt.Metrics; r != nil {
+		c.mGranted = r.Counter("dist_leases_granted_total", "Row leases granted, including steals.")
+		c.mStolen = r.Counter("dist_leases_stolen_total", "Leases re-granted after expiry displaced an unfinished epoch.")
+		c.mCompleted = r.Counter("dist_rows_completed_total", "Rows completed exactly once.")
+		c.mDuplicate = r.Counter("dist_completes_duplicate_total", "Idempotent duplicate completes acknowledged.")
+		c.mFenced = r.Counter("dist_completes_fenced_total", "Stale-epoch completes rejected by fencing.")
+		c.mRequeued = r.Counter("dist_rows_requeued_total", "Not-OK completes that released a row for re-lease.")
+	}
+	return c, nil
+}
+
+// LedgerPath returns the coordinator's lease ledger file.
+func (c *Coordinator) LedgerPath() string { return filepath.Join(c.dir, "lease.ledger") }
+
+// JournalPath returns the matrix journal file for a job.
+func (c *Coordinator) JournalPath(job string) string {
+	return filepath.Join(c.dir, sanitize(job)+".journal")
+}
+
+// sanitize maps a job name to a filename.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// AddJob registers a job, resuming from its matrix journal and the
+// lease ledger: rows already journaled are done and will never be
+// granted again; rows with a recovered grant keep their epoch (so a
+// worker that outlived the coordinator crash can still renew and
+// complete) with a conservative fresh TTL from now.
+func (c *Coordinator) AddJob(job Job) error {
+	if job.Name == "" {
+		return fmt.Errorf("dist: job needs a name")
+	}
+	if len(job.Kernels) == 0 {
+		return fmt.Errorf("dist: job %s has no kernels", job.Name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.jobs[job.Name]; ok {
+		return fmt.Errorf("dist: job %s already registered", job.Name)
+	}
+	ttl := job.TTL
+	if ttl <= 0 {
+		ttl = c.opt.DefaultTTL
+	}
+	j, err := sweep.OpenJournal(c.JournalPath(job.Name), job.Space)
+	if err != nil {
+		return err
+	}
+	js := &jobState{job: job, ttl: ttl, journal: j, rows: make([]rowState, len(job.Kernels))}
+	js.matrix = newMatrix(job.Space, job.Kernels)
+	for _, k := range job.Kernels {
+		js.order = append(js.order, k.Name)
+	}
+	now := c.now()
+	for r, k := range job.Kernels {
+		key := rowKey{job.Name, r}
+		if g, ok := c.recovered.grants[key]; ok {
+			js.rows[r] = rowState{epoch: g.Epoch, worker: g.Worker,
+				expiry: laterOf(now.Add(ttl), time.Unix(0, g.ExpiryNS))}
+		}
+		if prior := j.Prior(); prior != nil {
+			if pr := prior.Row(k.Name); pr >= 0 && prior.RowComplete(pr) {
+				copyRow(js.matrix, r, prior, pr)
+				js.rows[r].done = true
+			}
+		}
+	}
+	c.jobs[job.Name] = js
+	return nil
+}
+
+func laterOf(a, b time.Time) time.Time {
+	if a.After(b) {
+		return a
+	}
+	return b
+}
+
+// newMatrix allocates a job's result matrix with every cell canceled
+// until a worker completes its row.
+func newMatrix(space hw.Space, ks []*kernel.Kernel) *sweep.Matrix {
+	n := space.Size()
+	m := &sweep.Matrix{Space: space}
+	for _, k := range ks {
+		m.Kernels = append(m.Kernels, k.Name)
+		m.Throughput = append(m.Throughput, make([]float64, n))
+		m.TimeNS = append(m.TimeNS, make([]float64, n))
+		m.Bound = append(m.Bound, make([]gcn.Bound, n))
+		st := make([]sweep.CellStatus, n)
+		for i := range st {
+			st[i] = sweep.StatusCanceled
+		}
+		m.Status = append(m.Status, st)
+	}
+	return m
+}
+
+// copyRow copies row src of from into row dst of to, statuses
+// included.
+func copyRow(to *sweep.Matrix, dst int, from *sweep.Matrix, src int) {
+	copy(to.Throughput[dst], from.Throughput[src])
+	copy(to.TimeNS[dst], from.TimeNS[src])
+	copy(to.Bound[dst], from.Bound[src])
+	copy(to.Status[dst], from.Status[src])
+}
+
+// Close closes the ledger and every job journal.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := c.ledger.close()
+	for _, js := range c.jobs {
+		if cerr := js.journal.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Status reports a job's progress.
+func (c *Coordinator) Status(job string) (JobStatus, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	js, ok := c.jobs[job]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return c.statusLocked(js), true
+}
+
+func (c *Coordinator) statusLocked(js *jobState) JobStatus {
+	st := JobStatus{Job: js.job.Name, Rows: len(js.rows)}
+	now := c.now()
+	for _, r := range js.rows {
+		if r.done {
+			st.Done++
+		} else if r.epoch > 0 && now.Before(r.expiry) {
+			st.Leased++
+		}
+	}
+	st.Complete = st.Done == st.Rows
+	return st
+}
+
+// Matrix returns a copy-free snapshot of a job's matrix once the job
+// is complete, or false while rows are outstanding.
+func (c *Coordinator) Matrix(job string) (*sweep.Matrix, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	js, ok := c.jobs[job]
+	if !ok || !c.statusLocked(js).Complete {
+		return nil, false
+	}
+	return js.matrix, true
+}
+
+// Run registers job — tolerating a prior registration of the same
+// name, the requeue-after-crash path — and blocks until every row is
+// done or ctx ends. On cancellation the partial matrix and its report
+// are returned alongside the context error, mirroring
+// sweep.RunContext.
+func (c *Coordinator) Run(ctx context.Context, job Job) (*sweep.Matrix, *sweep.RunReport, error) {
+	c.mu.Lock()
+	_, exists := c.jobs[job.Name]
+	c.mu.Unlock()
+	if !exists {
+		if err := c.AddJob(job); err != nil {
+			return nil, nil, err
+		}
+	}
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if m, ok := c.Matrix(job.Name); ok {
+			return m, reportFor(m), nil
+		}
+		select {
+		case <-ctx.Done():
+			c.mu.Lock()
+			m := c.jobs[job.Name].matrix
+			c.mu.Unlock()
+			return m, reportFor(m), ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// acquire grants the next available row to worker, persisting the
+// grant before returning it. Returns nil when nothing is available.
+func (c *Coordinator) acquire(worker string) (*Lease, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	var names []string
+	for name := range c.jobs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		js := c.jobs[name]
+		for r := range js.rows {
+			rs := &js.rows[r]
+			if rs.done || (rs.epoch > 0 && now.Before(rs.expiry)) {
+				continue
+			}
+			steal := rs.epoch > 0
+			epoch := rs.epoch + 1
+			expiry := now.Add(js.ttl)
+			rec := LedgerRecord{Kind: "grant", Job: name, Row: r, Epoch: epoch,
+				Worker: worker, GrantedNS: now.UnixNano(), ExpiryNS: expiry.UnixNano(), Steal: steal}
+			// Fsync the grant BEFORE the worker can see it: a crash
+			// after this point recovers an epoch some worker may hold.
+			if err := c.ledger.append(rec); err != nil {
+				return nil, err
+			}
+			rs.epoch, rs.worker, rs.expiry = epoch, worker, expiry
+			kraw, err := encodeKernel(js.job.Kernels[r])
+			if err != nil {
+				return nil, err
+			}
+			if c.mGranted != nil {
+				c.mGranted.Inc()
+				if steal {
+					c.mStolen.Inc()
+				}
+			}
+			if tw := c.opt.Trace; tw != nil {
+				ev := "lease"
+				if steal {
+					ev = "steal"
+				}
+				tw.Instant(ev, "dist", 0, map[string]any{
+					"job": name, "row": r, "epoch": epoch, "worker": worker})
+			}
+			return &Lease{
+				Job: name, Row: r, Epoch: epoch, Kernel: kraw,
+				Space: SpecFor(js.job.Space),
+				Seed:  js.job.Seed + int64(r), NoiseStdDev: js.job.NoiseStdDev,
+				Engine: js.job.Engine.String(), TTLMillis: js.ttl.Milliseconds(),
+			}, nil
+		}
+	}
+	return nil, nil
+}
+
+// errStale marks a fenced (stale-epoch) renew or complete.
+var errStale = fmt.Errorf("dist: stale lease epoch")
+
+// errUnknown marks a renew/complete for a row the coordinator does
+// not know.
+var errUnknown = fmt.Errorf("dist: unknown job or row")
+
+// renew extends a held lease. Fenced when the epoch is stale; reports
+// done when the row already completed (stop renewing).
+func (c *Coordinator) renew(req renewRequest) (renewResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	js, ok := c.jobs[req.Job]
+	if !ok || req.Row < 0 || req.Row >= len(js.rows) {
+		return renewResponse{}, errUnknown
+	}
+	rs := &js.rows[req.Row]
+	if rs.done {
+		return renewResponse{Done: true}, nil
+	}
+	if req.Epoch != rs.epoch {
+		return renewResponse{}, errStale
+	}
+	rs.expiry = c.now().Add(js.ttl)
+	rs.worker = req.Worker
+	return renewResponse{TTLMillis: js.ttl.Milliseconds()}, nil
+}
+
+// complete records a row's terminal state. Exactly-once discipline:
+// an already-done row acks as a duplicate (so retried completes are
+// idempotent); a stale epoch is fenced; an OK row is journaled and
+// ledgered — both fsynced — before the ack; a not-OK row is released
+// for immediate re-lease.
+func (c *Coordinator) complete(req completeRequest) (completeResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	js, ok := c.jobs[req.Job]
+	if !ok || req.Row < 0 || req.Row >= len(js.rows) {
+		return completeResponse{}, errUnknown
+	}
+	rs := &js.rows[req.Row]
+	if rs.done {
+		if c.mDuplicate != nil {
+			c.mDuplicate.Inc()
+		}
+		return completeResponse{Duplicate: true}, nil
+	}
+	if req.Epoch != rs.epoch {
+		// The fence: a worker whose lease was stolen finished anyway.
+		// Its numbers are bit-identical to the thief's (seeded noise),
+		// but accepting them would hide real protocol bugs — reject
+		// and let the live epoch's complete land.
+		if c.mFenced != nil {
+			c.mFenced.Inc()
+		}
+		if tw := c.opt.Trace; tw != nil {
+			tw.Instant("fence", "dist", 0, map[string]any{
+				"job": req.Job, "row": req.Row, "epoch": req.Epoch, "current": rs.epoch, "worker": req.Worker})
+		}
+		return completeResponse{}, errStale
+	}
+	if !req.OK {
+		// Release for re-lease: epoch stays (the failed worker's token
+		// dies with this call), expiry is now so the next acquire can
+		// take the row.
+		rs.expiry = c.now()
+		if c.mRequeued != nil {
+			c.mRequeued.Inc()
+		}
+		return completeResponse{Requeued: true}, nil
+	}
+	if err := validatePlanes(js.job.Space.Size(), req); err != nil {
+		return completeResponse{}, err
+	}
+	r := req.Row
+	copy(js.matrix.Throughput[r], req.Tput)
+	copy(js.matrix.TimeNS[r], req.TimeNS)
+	for i, b := range req.Bound {
+		js.matrix.Bound[r][i] = gcn.Bound(b)
+	}
+	for i := range js.matrix.Status[r] {
+		js.matrix.Status[r][i] = sweep.StatusOK
+	}
+	// Fsync-before-ack, twice: the row into the matrix journal (the
+	// source of truth for done-ness), then the complete into the
+	// ledger (the audit trail). A crash between the two recovers as
+	// done from the journal, so the ledger's complete record is
+	// best-effort audit, not load-bearing state.
+	if err := js.journal.AppendRow(js.matrix, r); err != nil {
+		// Roll the in-memory row back so a retry can try again.
+		for i := range js.matrix.Status[r] {
+			js.matrix.Status[r][i] = sweep.StatusCanceled
+		}
+		return completeResponse{}, err
+	}
+	if err := c.ledger.append(LedgerRecord{Kind: "complete", Job: req.Job, Row: r,
+		Epoch: req.Epoch, Worker: req.Worker}); err != nil {
+		return completeResponse{}, err
+	}
+	rs.done = true
+	if js.job.OnRow != nil {
+		js.job.OnRow(js.matrix, r)
+	}
+	if c.mCompleted != nil {
+		c.mCompleted.Inc()
+	}
+	if tw := c.opt.Trace; tw != nil {
+		tw.Instant("complete", "dist", 0, map[string]any{
+			"job": req.Job, "row": r, "epoch": req.Epoch, "worker": req.Worker})
+	}
+	return completeResponse{}, nil
+}
+
+// validatePlanes applies journal-grade hygiene to a complete's
+// payload before it can reach the matrix.
+func validatePlanes(nCfg int, req completeRequest) error {
+	if len(req.Tput) != nCfg || len(req.TimeNS) != nCfg || len(req.Bound) != nCfg {
+		return fmt.Errorf("dist: complete for %s row %d has wrong plane length", req.Job, req.Row)
+	}
+	for i := range req.Tput {
+		if !(req.Tput[i] > 0) || math.IsInf(req.Tput[i], 0) {
+			return fmt.Errorf("dist: complete for %s row %d has out-of-range throughput", req.Job, req.Row)
+		}
+		if !(req.TimeNS[i] > 0) || math.IsInf(req.TimeNS[i], 0) {
+			return fmt.Errorf("dist: complete for %s row %d has out-of-range time", req.Job, req.Row)
+		}
+		if req.Bound[i] < int(gcn.BoundCompute) || req.Bound[i] > int(gcn.BoundLaunch) {
+			return fmt.Errorf("dist: complete for %s row %d has unknown bound", req.Job, req.Row)
+		}
+	}
+	return nil
+}
+
+// Handler serves the lease protocol under /v1/dist/.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/dist/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req acquireRequest
+		if !decodeInto(w, r, &req) {
+			return
+		}
+		lease, err := c.acquire(req.Worker)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
+			return
+		}
+		if lease == nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, http.StatusOK, lease)
+	})
+	mux.HandleFunc("/v1/dist/renew", func(w http.ResponseWriter, r *http.Request) {
+		var req renewRequest
+		if !decodeInto(w, r, &req) {
+			return
+		}
+		resp, err := c.renew(req)
+		if err != nil {
+			writeLeaseError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/v1/dist/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req completeRequest
+		if !decodeInto(w, r, &req) {
+			return
+		}
+		resp, err := c.complete(req)
+		if err != nil {
+			writeLeaseError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/v1/dist/job", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{"GET only"})
+			return
+		}
+		st, ok := c.Status(r.URL.Query().Get("name"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorBody{"unknown job"})
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	return mux
+}
+
+// decodeInto parses a POST body, answering 4xx itself on failure.
+func decodeInto(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"POST only"})
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+// writeLeaseError maps protocol errors to status codes: stale epochs
+// are 409 (the fence), unknown rows 404, anything else 500.
+func writeLeaseError(w http.ResponseWriter, err error) {
+	switch err {
+	case errStale:
+		writeJSON(w, http.StatusConflict, errorBody{err.Error()})
+	case errUnknown:
+		writeJSON(w, http.StatusNotFound, errorBody{err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,351 @@
+package dist
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+	"gpuscale/internal/sweep"
+)
+
+// testClock is the manual clock the lease-expiry tests advance.
+type testClock struct {
+	t time.Time
+}
+
+func newTestClock() *testClock { return &testClock{t: time.Unix(1000, 0)} }
+
+func (c *testClock) now() time.Time            { return c.t }
+func (c *testClock) advance(d time.Duration)   { c.t = c.t.Add(d) }
+
+func testSpace(t *testing.T) hw.Space {
+	t.Helper()
+	s, err := hw.NewSpace([]int{4, 44}, []float64{200, 1000}, []float64{150, 1250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testJob(t *testing.T, name string, n int) Job {
+	t.Helper()
+	var ks []*kernel.Kernel
+	for i := 0; i < n; i++ {
+		ks = append(ks, kernel.New("s", "p", string(rune('a'+i))).Geometry(64+64*i, 256).MustBuild())
+	}
+	return Job{Name: name, Kernels: ks, Space: testSpace(t), Seed: 42, NoiseStdDev: 0.05,
+		TTL: time.Second}
+}
+
+func newTestCoordinator(t *testing.T, dir string, clk *testClock) *Coordinator {
+	t.Helper()
+	c, err := NewCoordinator(dir, CoordinatorOptions{now: clk.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// okComplete builds a valid OK complete for the granted lease by
+// actually sweeping the leased row — the same computation a worker
+// performs, so the planes pass validation and are deterministic.
+func okComplete(t *testing.T, l *Lease, worker string) completeRequest {
+	t.Helper()
+	k, err := l.DecodeKernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := l.Space.Space()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sweep.Run([]*kernel.Kernel{k}, space,
+		sweep.Options{Workers: 1, NoiseStdDev: l.NoiseStdDev, Seed: l.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := space.Size()
+	bounds := make([]int, n)
+	for c := 0; c < n; c++ {
+		bounds[c] = int(m.Bound[0][c])
+	}
+	return completeRequest{Job: l.Job, Row: l.Row, Epoch: l.Epoch, Worker: worker, OK: true,
+		Tput: m.Throughput[0], TimeNS: m.TimeNS[0], Bound: bounds}
+}
+
+func TestLeaseGrantCompleteDuplicate(t *testing.T) {
+	clk := newTestClock()
+	c := newTestCoordinator(t, t.TempDir(), clk)
+	defer c.Close()
+	if err := c.AddJob(testJob(t, "j", 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := c.acquire("w1")
+	if err != nil || l == nil {
+		t.Fatalf("acquire: %v %v", l, err)
+	}
+	if l.Epoch != 1 {
+		t.Fatalf("first grant should be epoch 1, got %d", l.Epoch)
+	}
+	if l.Seed != 42+int64(l.Row) {
+		t.Fatalf("lease seed %d not offset by row %d", l.Seed, l.Row)
+	}
+
+	req := okComplete(t, l, "w1")
+	if resp, err := c.complete(req); err != nil || resp.Duplicate {
+		t.Fatalf("first complete: %+v %v", resp, err)
+	}
+	// The retried complete (dropped-ack path) must be an idempotent
+	// duplicate, not a double-merge.
+	if resp, err := c.complete(req); err != nil || !resp.Duplicate {
+		t.Fatalf("retried complete should ack as duplicate: %+v %v", resp, err)
+	}
+
+	st, ok := c.Status("j")
+	if !ok || st.Done != 1 || st.Complete {
+		t.Fatalf("status after one row: %+v", st)
+	}
+}
+
+// TestExpiryRacesLateComplete is the fencing edge case: the original
+// holder finishes after its lease expired and was stolen — the stale
+// epoch must be rejected, and the thief's complete must land.
+func TestExpiryRacesLateComplete(t *testing.T) {
+	clk := newTestClock()
+	c := newTestCoordinator(t, t.TempDir(), clk)
+	defer c.Close()
+	if err := c.AddJob(testJob(t, "j", 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	orig, err := c.acquire("slow")
+	if err != nil || orig == nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	// Not expired yet: nothing to steal.
+	if l, _ := c.acquire("eager"); l != nil {
+		t.Fatal("unexpired lease must not be re-granted")
+	}
+	clk.advance(2 * time.Second)
+	thief, err := c.acquire("thief")
+	if err != nil || thief == nil {
+		t.Fatalf("steal after expiry: %v", err)
+	}
+	if thief.Epoch != orig.Epoch+1 {
+		t.Fatalf("steal should bump epoch: %d -> %d", orig.Epoch, thief.Epoch)
+	}
+
+	// The original limps in late: fenced.
+	if _, err := c.complete(okComplete(t, orig, "slow")); err != errStale {
+		t.Fatalf("stale-epoch complete should be fenced, got %v", err)
+	}
+	// The thief's complete lands.
+	if resp, err := c.complete(okComplete(t, thief, "thief")); err != nil || resp.Duplicate {
+		t.Fatalf("thief complete: %+v %v", resp, err)
+	}
+	// Steal-then-original-finishes, other order: original retries
+	// after the thief completed — idempotent duplicate, not a fence,
+	// because done-ness wins.
+	if resp, err := c.complete(okComplete(t, orig, "slow")); err != nil || !resp.Duplicate {
+		t.Fatalf("post-done stale complete should be a duplicate ack: %+v %v", resp, err)
+	}
+
+	recs, err := ReadLedger(c.LedgerPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := AuditLedger(recs)
+	if err != nil {
+		t.Fatalf("ledger audit: %v", err)
+	}
+	if counts["j/0"] != 2 {
+		t.Fatalf("row should have exactly 2 grants, got %d", counts["j/0"])
+	}
+}
+
+// TestExpiredButUnstolenCompleteAccepted: expiry alone does not fence
+// — only a superseding epoch does. A slow worker whose lease ran out
+// but was never re-granted still owns the newest epoch.
+func TestExpiredButUnstolenCompleteAccepted(t *testing.T) {
+	clk := newTestClock()
+	c := newTestCoordinator(t, t.TempDir(), clk)
+	defer c.Close()
+	if err := c.AddJob(testJob(t, "j", 1)); err != nil {
+		t.Fatal(err)
+	}
+	l, _ := c.acquire("slow")
+	clk.advance(time.Minute)
+	if resp, err := c.complete(okComplete(t, l, "slow")); err != nil || resp.Duplicate {
+		t.Fatalf("expired-but-unstolen complete should be accepted: %+v %v", resp, err)
+	}
+}
+
+// TestRenewalAfterCoordinatorRestart: a coordinator crash must not
+// strand live workers — recovered leases keep their epoch, so the
+// holder's renewals and complete still validate.
+func TestRenewalAfterCoordinatorRestart(t *testing.T) {
+	dir := t.TempDir()
+	clk := newTestClock()
+	c := newTestCoordinator(t, dir, clk)
+	job := testJob(t, "j", 2)
+	if err := c.AddJob(job); err != nil {
+		t.Fatal(err)
+	}
+	l, err := c.acquire("w1")
+	if err != nil || l == nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart from the same dir; the worker never noticed.
+	clk.advance(100 * time.Millisecond)
+	c2 := newTestCoordinator(t, dir, clk)
+	defer c2.Close()
+	if err := c2.AddJob(job); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c2.renew(renewRequest{Job: l.Job, Row: l.Row, Epoch: l.Epoch, Worker: "w1"})
+	if err != nil {
+		t.Fatalf("renewal with pre-crash epoch should succeed after restart: %v", err)
+	}
+	if resp.TTLMillis <= 0 {
+		t.Fatalf("renewal should return a fresh TTL: %+v", resp)
+	}
+	// A wrong epoch is still fenced after restart.
+	if _, err := c2.renew(renewRequest{Job: l.Job, Row: l.Row, Epoch: l.Epoch + 7, Worker: "x"}); err != errStale {
+		t.Fatalf("bogus epoch should be fenced, got %v", err)
+	}
+	if _, err := c2.complete(okComplete(t, l, "w1")); err != nil {
+		t.Fatalf("complete with pre-crash epoch should land: %v", err)
+	}
+}
+
+// TestRestartAfterCompleteNeverRegrants: the double-grant drill — a
+// completed row must stay done across a coordinator crash.
+func TestRestartAfterCompleteNeverRegrants(t *testing.T) {
+	dir := t.TempDir()
+	clk := newTestClock()
+	c := newTestCoordinator(t, dir, clk)
+	job := testJob(t, "j", 2)
+	if err := c.AddJob(job); err != nil {
+		t.Fatal(err)
+	}
+	l1, _ := c.acquire("w1")
+	if _, err := c.complete(okComplete(t, l1, "w1")); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	clk.advance(time.Hour) // every lease long expired
+	c2 := newTestCoordinator(t, dir, clk)
+	defer c2.Close()
+	if err := c2.AddJob(job); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for {
+		l, err := c2.acquire("w2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l == nil {
+			break
+		}
+		if l.Row == l1.Row {
+			t.Fatalf("completed row %d was re-granted after restart", l1.Row)
+		}
+		if seen[l.Row] {
+			break
+		}
+		seen[l.Row] = true
+	}
+	st, _ := c2.Status("j")
+	if st.Done != 1 {
+		t.Fatalf("done-ness lost across restart: %+v", st)
+	}
+}
+
+// TestNotOKCompleteRequeues: a failed row releases immediately for
+// re-lease with a bumped epoch.
+func TestNotOKCompleteRequeues(t *testing.T) {
+	clk := newTestClock()
+	c := newTestCoordinator(t, t.TempDir(), clk)
+	defer c.Close()
+	if err := c.AddJob(testJob(t, "j", 1)); err != nil {
+		t.Fatal(err)
+	}
+	l, _ := c.acquire("w1")
+	resp, err := c.complete(completeRequest{Job: l.Job, Row: l.Row, Epoch: l.Epoch, Worker: "w1"})
+	if err != nil || !resp.Requeued {
+		t.Fatalf("not-OK complete should requeue: %+v %v", resp, err)
+	}
+	l2, err := c.acquire("w2")
+	if err != nil || l2 == nil {
+		t.Fatal("requeued row should be immediately re-leasable")
+	}
+	if l2.Epoch != l.Epoch+1 {
+		t.Fatalf("requeued grant should bump epoch: %d -> %d", l.Epoch, l2.Epoch)
+	}
+}
+
+// TestCompleteValidation: garbage planes never reach the matrix.
+func TestCompleteValidation(t *testing.T) {
+	clk := newTestClock()
+	c := newTestCoordinator(t, t.TempDir(), clk)
+	defer c.Close()
+	if err := c.AddJob(testJob(t, "j", 1)); err != nil {
+		t.Fatal(err)
+	}
+	l, _ := c.acquire("w1")
+	req := okComplete(t, l, "w1")
+	req.Tput = req.Tput[:len(req.Tput)-1]
+	if _, err := c.complete(req); err == nil || !strings.Contains(err.Error(), "plane length") {
+		t.Fatalf("short planes should be rejected, got %v", err)
+	}
+	req = okComplete(t, l, "w1")
+	req.Tput[0] = -1
+	if _, err := c.complete(req); err == nil || !strings.Contains(err.Error(), "throughput") {
+		t.Fatalf("negative throughput should be rejected, got %v", err)
+	}
+	// And the row is still leasable/completable afterwards.
+	if _, err := c.complete(okComplete(t, l, "w1")); err != nil {
+		t.Fatalf("valid complete after rejected ones: %v", err)
+	}
+}
+
+// TestLedgerTornTailSalvage: a crash mid-append costs at most the
+// unacked record.
+func TestLedgerTornTailSalvage(t *testing.T) {
+	dir := t.TempDir()
+	clk := newTestClock()
+	c := newTestCoordinator(t, dir, clk)
+	if err := c.AddJob(testJob(t, "j", 1)); err != nil {
+		t.Fatal(err)
+	}
+	l, _ := c.acquire("w1")
+	c.Close()
+
+	// Tear the tail.
+	f, err := os.OpenFile(c.LedgerPath(), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("deadbeef 99 tor")
+	f.Close()
+
+	c2 := newTestCoordinator(t, dir, clk)
+	defer c2.Close()
+	if err := c2.AddJob(testJob(t, "j", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// The acked grant survived the torn tail.
+	if _, err := c2.renew(renewRequest{Job: l.Job, Row: l.Row, Epoch: l.Epoch, Worker: "w1"}); err != nil {
+		t.Fatalf("grant lost to torn tail: %v", err)
+	}
+}

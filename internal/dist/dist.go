@@ -1,0 +1,201 @@
+// Package dist shards a sweep's kernel axis across a fleet: a
+// coordinator leases kernel rows to workers over HTTP, workers run
+// each row through the ordinary sweep executor + journal, and a merge
+// step folds the per-worker row journals back into one canonical
+// matrix journal that is byte-identical to a single-node run.
+//
+// The protocol is built from the row up on the repo's crash-only
+// primitives. A kernel row is already the unit of idempotent,
+// journaled recovery (journal v2 appends whole rows, fsynced, and a
+// resume recomputes exactly the missing ones), so it is also the unit
+// of distribution. Three properties carry the fleet:
+//
+//   - Monotonic lease epochs. Every grant of a row — first lease or
+//     steal after expiry — bumps the row's epoch. A complete call is
+//     accepted only when its epoch matches the row's current epoch, so
+//     a worker whose lease was stolen cannot race its replacement: the
+//     stale epoch is fenced with 409, never merged.
+//
+//   - Fsync-before-ack. A grant is recorded in the coordinator's
+//     lease ledger (CRC-framed, fsynced, torn-tail-salvaging — the
+//     same discipline as journal v2) before the lease response is
+//     sent, and a completed row is appended to the coordinator's
+//     matrix journal before the complete is acknowledged. A
+//     coordinator crash therefore resumes without double-granting a
+//     completed row: done-ness is recovered from the journal, epochs
+//     from the ledger, and recovered leases get a conservative fresh
+//     TTL so a live worker's renewals still land.
+//
+//   - Seeded determinism. The coordinator hands each worker
+//     Seed = job.Seed + row, which is exactly the per-row noise seed
+//     a single-node sweep derives, so any two honest executions of a
+//     row — original and thief, before and after a crash — produce
+//     bit-identical planes. Exactly-once completion is then checkable
+//     after the fact: the merged journal must equal the single-node
+//     journal byte for byte.
+//
+// Workers are crash-only too: each keeps a local row journal, so a
+// re-leased row a worker already finished is served from its journal
+// instead of recomputed, and a worker kill mid-row just lets the
+// lease expire and the row get re-leased.
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+	"gpuscale/internal/sweep"
+)
+
+// SpaceSpec is the wire form of a configuration space.
+type SpaceSpec struct {
+	CUs  []int     `json:"cus"`
+	Core []float64 `json:"core_mhz"`
+	Mem  []float64 `json:"mem_mhz"`
+}
+
+// SpecFor captures a space for the wire.
+func SpecFor(s hw.Space) SpaceSpec {
+	return SpaceSpec{CUs: s.CUCounts, Core: s.CoreClocksMHz, Mem: s.MemClocksMHz}
+}
+
+// Space validates and rebuilds the configuration space.
+func (s SpaceSpec) Space() (hw.Space, error) {
+	return hw.NewSpace(s.CUs, s.Core, s.Mem)
+}
+
+// Lease is a coordinator's grant of one kernel row to one worker.
+type Lease struct {
+	// Job and Row name the work; Epoch is the fencing token every
+	// renew and complete must echo.
+	Job   string `json:"job"`
+	Row   int    `json:"row"`
+	Epoch uint64 `json:"epoch"`
+	// Kernel is the row's kernel as a one-element kernel JSON array
+	// (the kernel.WriteAll wire form).
+	Kernel json.RawMessage `json:"kernel"`
+	Space  SpaceSpec       `json:"space"`
+	// Seed is the row's noise seed — already offset by the row index,
+	// so the worker uses it verbatim and its local row 0 reproduces
+	// the global row's noise stream.
+	Seed        int64   `json:"seed"`
+	NoiseStdDev float64 `json:"noise_stddev,omitempty"`
+	Engine      string  `json:"engine"`
+	// TTLMillis is how long the lease lives without a renewal.
+	TTLMillis int64 `json:"ttl_ms"`
+}
+
+// DecodeKernel rebuilds the leased kernel.
+func (l *Lease) DecodeKernel() (*kernel.Kernel, error) {
+	ks, err := kernel.ReadAll(bytes.NewReader(l.Kernel))
+	if err != nil {
+		return nil, fmt.Errorf("dist: decoding leased kernel: %w", err)
+	}
+	if len(ks) != 1 {
+		return nil, fmt.Errorf("dist: lease carries %d kernels, want 1", len(ks))
+	}
+	return ks[0], nil
+}
+
+// encodeKernel renders one kernel in the lease wire form.
+func encodeKernel(k *kernel.Kernel) (json.RawMessage, error) {
+	var buf bytes.Buffer
+	if err := kernel.WriteAll(&buf, []*kernel.Kernel{k}); err != nil {
+		return nil, fmt.Errorf("dist: encoding kernel: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// acquireRequest asks for the next available row.
+type acquireRequest struct {
+	Worker string `json:"worker"`
+}
+
+// renewRequest extends a held lease.
+type renewRequest struct {
+	Job    string `json:"job"`
+	Row    int    `json:"row"`
+	Epoch  uint64 `json:"epoch"`
+	Worker string `json:"worker"`
+}
+
+// renewResponse acknowledges a renewal.
+type renewResponse struct {
+	// TTLMillis is the fresh time-to-live from the coordinator's
+	// clock at renewal.
+	TTLMillis int64 `json:"ttl_ms"`
+	// Done reports the row completed under this epoch already — the
+	// worker's own complete, acked or not, landed. Stop renewing.
+	Done bool `json:"done,omitempty"`
+}
+
+// completeRequest reports a row's terminal state. OK rows carry the
+// three measurement planes; a failed row carries none and just
+// releases the lease for re-issue.
+type completeRequest struct {
+	Job    string `json:"job"`
+	Row    int    `json:"row"`
+	Epoch  uint64 `json:"epoch"`
+	Worker string `json:"worker"`
+	OK     bool   `json:"ok"`
+	Tput   []float64 `json:"tput,omitempty"`
+	TimeNS []float64 `json:"time_ns,omitempty"`
+	Bound  []int     `json:"bound,omitempty"`
+}
+
+// completeResponse acknowledges a complete.
+type completeResponse struct {
+	// Duplicate reports the row was already done when this complete
+	// arrived — the idempotent outcome of a retried complete whose
+	// first delivery's response was lost.
+	Duplicate bool `json:"duplicate,omitempty"`
+	// Requeued reports a not-OK complete released the row for
+	// re-lease.
+	Requeued bool `json:"requeued,omitempty"`
+}
+
+// JobStatus is the coordinator's view of one job's progress.
+type JobStatus struct {
+	Job      string `json:"job"`
+	Rows     int    `json:"rows"`
+	Done     int    `json:"done"`
+	Leased   int    `json:"leased"`
+	Complete bool   `json:"complete"`
+}
+
+// errorBody is the JSON error envelope, matching internal/serve.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// reportFor synthesizes a sweep report from a finished distributed
+// matrix: every cell was measured exactly once from the caller's view
+// (worker-side retries are the workers' business).
+func reportFor(m *sweep.Matrix) *sweep.RunReport {
+	rep := &sweep.RunReport{
+		Kernels: len(m.Kernels),
+		Configs: m.Space.Size(),
+		Cells:   len(m.Kernels) * m.Space.Size(),
+	}
+	for r := range m.Kernels {
+		for c := 0; c < m.Space.Size(); c++ {
+			switch m.Status[r][c] {
+			case sweep.StatusOK:
+				rep.OK++
+			case sweep.StatusFailed:
+				rep.Failed++
+			case sweep.StatusStalled:
+				rep.Stalled++
+			case sweep.StatusQuarantined:
+				rep.Quarantined++
+			default:
+				rep.Canceled++
+			}
+		}
+	}
+	rep.Attempts = rep.OK
+	return rep
+}

@@ -1,0 +1,325 @@
+package dist
+
+// The lease ledger: the coordinator's crash-only record of every
+// grant and complete, in the same CRC-framed, fsync-before-ack,
+// torn-tail-salvaging format as sweep's journal v2:
+//
+//	gpuscale-lease v1\n
+//	<crc32:8-hex> <len:decimal> <json-payload>\n
+//	...
+//
+// A grant record is written and fsynced BEFORE the lease response
+// leaves the coordinator, and a complete record before the complete
+// ack, so recovery can always reconstruct an epoch assignment the
+// fleet may have seen. Renewals are deliberately NOT persisted:
+// recovery instead extends every open lease by a full fresh TTL from
+// the recovery clock, which is always at or after the last renewal it
+// could have acked — conservative, never premature.
+//
+// The ledger doubles as the audit trail for the protocol's "no two
+// live epochs" invariant: grants for one row carry monotonically
+// increasing epochs, and each grant's timestamp is at or after the
+// previous epoch's recorded expiry (AuditLedger checks both).
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+
+	"encoding/json"
+)
+
+// ledgerMagic is the version header.
+const ledgerMagic = "gpuscale-lease v1\n"
+
+// LedgerRecord is one persisted lease event.
+type LedgerRecord struct {
+	// Kind is "grant" or "complete".
+	Kind   string `json:"kind"`
+	Job    string `json:"job"`
+	Row    int    `json:"row"`
+	Epoch  uint64 `json:"epoch"`
+	Worker string `json:"worker,omitempty"`
+	// GrantedNS and ExpiryNS bound a grant's validity on the
+	// coordinator's clock (UnixNano). ExpiryNS is the grant-time
+	// expiry; renewals may extend the live lease beyond it in memory,
+	// so it is a lower bound on when the next epoch may start.
+	GrantedNS int64 `json:"granted_ns,omitempty"`
+	ExpiryNS  int64 `json:"expiry_ns,omitempty"`
+	// Steal marks a grant that displaced an expired, unfinished
+	// earlier epoch.
+	Steal bool `json:"steal,omitempty"`
+}
+
+// ledger is the append side. Not safe for concurrent use; the
+// coordinator serializes access under its own mutex.
+type ledger struct {
+	f    *os.File
+	good int64
+}
+
+// ledgerRecovery is what replay yields: the last grant per row and
+// which rows have a complete record.
+type ledgerRecovery struct {
+	grants    map[rowKey]LedgerRecord
+	completed map[rowKey]bool
+	// Dropped is the salvage report: bytes of torn tail cut off.
+	dropped int64
+}
+
+type rowKey struct {
+	job string
+	row int
+}
+
+// openLedger opens or creates the ledger at path, replaying existing
+// records and truncating any torn tail (a crash mid-append costs at
+// most the record being written — which was never acked).
+func openLedger(path string) (*ledger, *ledgerRecovery, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dist: opening lease ledger: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("dist: reading lease ledger: %w", err)
+	}
+	l := &ledger{f: f}
+	rec := &ledgerRecovery{grants: map[rowKey]LedgerRecord{}, completed: map[rowKey]bool{}}
+	if len(data) == 0 {
+		if err := l.writeAt(0, []byte(ledgerMagic)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("dist: initializing lease ledger: %w", err)
+		}
+		return l, rec, nil
+	}
+	if !bytes.HasPrefix(data, []byte(ledgerMagic)) {
+		if len(data) < len(ledgerMagic) && bytes.HasPrefix([]byte(ledgerMagic), data) {
+			// Torn during creation: nothing was ever acked.
+			if err := f.Truncate(0); err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("dist: resetting torn ledger header: %w", err)
+			}
+			if err := l.writeAt(0, []byte(ledgerMagic)); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			return l, rec, nil
+		}
+		f.Close()
+		return nil, nil, fmt.Errorf("dist: %s is not a lease ledger (delete it to start over)", path)
+	}
+	records, good := scanLedger(data)
+	for _, r := range records {
+		k := rowKey{r.Job, r.Row}
+		switch r.Kind {
+		case "grant":
+			rec.grants[k] = r
+		case "complete":
+			rec.completed[k] = true
+		}
+	}
+	if good < int64(len(data)) {
+		rec.dropped = int64(len(data)) - good
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("dist: truncating torn ledger tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("dist: truncating torn ledger tail: %w", err)
+		}
+	}
+	l.good = good
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("dist: seeking ledger: %w", err)
+	}
+	return l, rec, nil
+}
+
+// scanLedger walks a ledger image and returns the clean records plus
+// the clean prefix length.
+func scanLedger(data []byte) ([]LedgerRecord, int64) {
+	var out []LedgerRecord
+	off := int64(len(ledgerMagic))
+	for off < int64(len(data)) {
+		rec, next, ok := parseLedgerRecord(data, off)
+		if !ok {
+			return out, off
+		}
+		out = append(out, rec)
+		off = next
+	}
+	return out, off
+}
+
+// parseLedgerRecord decodes one framed record at off; ok is false on
+// any framing, checksum or parse failure.
+func parseLedgerRecord(data []byte, off int64) (rec LedgerRecord, next int64, ok bool) {
+	rest := data[off:]
+	sp1 := bytes.IndexByte(rest, ' ')
+	if sp1 != 8 {
+		return rec, 0, false
+	}
+	crcWant, err := strconv.ParseUint(string(rest[:8]), 16, 32)
+	if err != nil {
+		return rec, 0, false
+	}
+	rest2 := rest[9:]
+	sp2 := bytes.IndexByte(rest2, ' ')
+	if sp2 <= 0 || sp2 > 10 {
+		return rec, 0, false
+	}
+	plen, err := strconv.ParseInt(string(rest2[:sp2]), 10, 32)
+	if err != nil || plen <= 0 {
+		return rec, 0, false
+	}
+	start := int64(9 + sp2 + 1)
+	if start+plen+1 > int64(len(rest)) {
+		return rec, 0, false
+	}
+	payload := rest[start : start+plen]
+	if rest[start+plen] != '\n' {
+		return rec, 0, false
+	}
+	if crc32.ChecksumIEEE(payload) != uint32(crcWant) {
+		return rec, 0, false
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, 0, false
+	}
+	return rec, off + start + plen + 1, true
+}
+
+// append frames, writes and fsyncs one record; on any failure the
+// file is truncated back to the clean prefix so the ledger never
+// accumulates garbage in-process.
+func (l *ledger) append(rec LedgerRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("dist: encoding ledger record: %w", err)
+	}
+	framed := []byte(fmt.Sprintf("%08x %d %s\n", crc32.ChecksumIEEE(payload), len(payload), payload))
+	if err := l.writeAt(l.good, framed); err != nil {
+		return fmt.Errorf("dist: appending ledger record: %w", err)
+	}
+	return nil
+}
+
+func (l *ledger) writeAt(off int64, b []byte) error {
+	if _, err := l.f.Seek(off, io.SeekStart); err != nil {
+		return err
+	}
+	n, err := l.f.Write(b)
+	if err == nil && n != len(b) {
+		err = io.ErrShortWrite
+	}
+	if err == nil {
+		err = l.f.Sync()
+	}
+	if err != nil {
+		l.f.Truncate(off)
+		l.f.Sync()
+		l.f.Seek(off, io.SeekStart)
+		return err
+	}
+	l.good = off + int64(len(b))
+	return nil
+}
+
+func (l *ledger) close() error { return l.f.Close() }
+
+// ReadLedger reads every clean record from a ledger file — the audit
+// surface chaos tests and operators use.
+func ReadLedger(path string) ([]LedgerRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dist: reading ledger: %w", err)
+	}
+	if !bytes.HasPrefix(data, []byte(ledgerMagic)) {
+		return nil, fmt.Errorf("dist: %s is not a lease ledger", path)
+	}
+	recs, _ := scanLedger(data)
+	return recs, nil
+}
+
+// AuditLedger checks the exactly-once and no-two-live-epochs
+// invariants a ledger must satisfy:
+//
+//   - per row, grant epochs increase strictly monotonically;
+//   - a later epoch's grant time is at or after the previous epoch's
+//     recorded expiry (leases never overlap);
+//   - at most one complete record per row, and its epoch matches a
+//     granted epoch.
+//
+// Returns the per-row grant counts (for steal accounting) or an error
+// describing the first violation.
+func AuditLedger(recs []LedgerRecord) (map[string]int, error) {
+	type rowAudit struct {
+		grants    []LedgerRecord
+		completes int
+	}
+	rows := map[rowKey]*rowAudit{}
+	var keys []rowKey
+	for _, r := range recs {
+		k := rowKey{r.Job, r.Row}
+		a := rows[k]
+		if a == nil {
+			a = &rowAudit{}
+			rows[k] = a
+			keys = append(keys, k)
+		}
+		switch r.Kind {
+		case "grant":
+			a.grants = append(a.grants, r)
+		case "complete":
+			a.completes++
+			found := false
+			for _, g := range a.grants {
+				if g.Epoch == r.Epoch {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("dist: audit: %s row %d completed under never-granted epoch %d", r.Job, r.Row, r.Epoch)
+			}
+		default:
+			return nil, fmt.Errorf("dist: audit: unknown record kind %q", r.Kind)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].job != keys[j].job {
+			return keys[i].job < keys[j].job
+		}
+		return keys[i].row < keys[j].row
+	})
+	counts := map[string]int{}
+	for _, k := range keys {
+		a := rows[k]
+		if a.completes > 1 {
+			return nil, fmt.Errorf("dist: audit: %s row %d completed %d times", k.job, k.row, a.completes)
+		}
+		for i, g := range a.grants {
+			if i == 0 {
+				continue
+			}
+			prev := a.grants[i-1]
+			if g.Epoch <= prev.Epoch {
+				return nil, fmt.Errorf("dist: audit: %s row %d epoch regressed %d -> %d", k.job, k.row, prev.Epoch, g.Epoch)
+			}
+			if g.GrantedNS < prev.ExpiryNS {
+				return nil, fmt.Errorf("dist: audit: %s row %d epoch %d granted %dns before epoch %d expired",
+					k.job, k.row, g.Epoch, prev.ExpiryNS-g.GrantedNS, prev.Epoch)
+			}
+		}
+		counts[fmt.Sprintf("%s/%d", k.job, k.row)] = len(a.grants)
+	}
+	return counts, nil
+}

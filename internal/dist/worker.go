@@ -1,0 +1,361 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gpuscale/internal/fault"
+	"gpuscale/internal/kernel"
+	"gpuscale/internal/obs"
+	"gpuscale/internal/sweep"
+)
+
+// WorkerOptions configures one fleet worker.
+type WorkerOptions struct {
+	// Name identifies the worker in leases, ledger records and traces.
+	Name string
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// Dir is where the worker keeps its per-job row journals; pointing
+	// a restarted worker at the same directory lets it serve re-leased
+	// rows it already finished from disk instead of recomputing.
+	Dir string
+	// Client is the HTTP client; nil uses a default with a sane
+	// timeout. Chaos tests hand in a fault.Injector-wrapped transport.
+	Client *http.Client
+	// SweepWorkers is the per-row parallelism; <= 0 lets sweep decide.
+	SweepWorkers int
+	// Retries/Backoff/SimTimeout pass through to the row sweep.
+	Retries    int
+	Backoff    time.Duration
+	SimTimeout time.Duration
+	// IdleSleep is the pause after "no work available"; defaults to
+	// 50ms.
+	IdleSleep time.Duration
+	// Metrics, when non-nil, receives worker-side counters and the
+	// renewal latency histogram.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives per-row and per-renewal spans.
+	Trace *obs.TraceWriter
+}
+
+// Worker runs the lease-acquire / sweep / complete loop against one
+// coordinator.
+type Worker struct {
+	o        WorkerOptions
+	client   *http.Client
+	journals map[string]*sweep.Journal
+
+	mRows, mLost *obs.Counter
+	hRenew       *obs.Histogram
+}
+
+// NewWorker validates options and prepares a worker.
+func NewWorker(o WorkerOptions) (*Worker, error) {
+	if o.Name == "" {
+		return nil, fmt.Errorf("dist: worker needs a name")
+	}
+	if o.Coordinator == "" {
+		return nil, fmt.Errorf("dist: worker needs a coordinator URL")
+	}
+	if o.Dir == "" {
+		return nil, fmt.Errorf("dist: worker needs a journal dir")
+	}
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dist: creating worker dir: %w", err)
+	}
+	if o.IdleSleep <= 0 {
+		o.IdleSleep = 50 * time.Millisecond
+	}
+	w := &Worker{o: o, client: o.Client, journals: map[string]*sweep.Journal{}}
+	if w.client == nil {
+		w.client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if r := o.Metrics; r != nil {
+		w.mRows = r.Counter("dist_worker_rows_completed_total", "Rows this worker completed and had accepted.")
+		w.mLost = r.Counter("dist_worker_leases_lost_total", "Leases this worker lost to fencing (stolen mid-row).")
+		w.hRenew = r.Histogram("dist_worker_renew_seconds", "Lease renewal round-trip latency.",
+			[]float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1})
+	}
+	return w, nil
+}
+
+// Close closes the worker's journals.
+func (w *Worker) Close() error {
+	var err error
+	for _, j := range w.journals {
+		if cerr := j.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// JournalPath returns the worker's row journal for a job.
+func (w *Worker) JournalPath(job string) string {
+	return filepath.Join(w.o.Dir, sanitize(job)+".journal")
+}
+
+// Run loops until ctx ends: acquire a lease, execute the row, report
+// it. Transport errors — including injected network faults — are
+// absorbed with a short pause; the protocol's idempotency does the
+// rest.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		lease, err := w.acquire(ctx)
+		if err != nil || lease == nil {
+			if !sleepCtx(ctx, w.o.IdleSleep) {
+				return nil
+			}
+			continue
+		}
+		w.runLease(ctx, lease)
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// acquire asks the coordinator for work. nil lease means none
+// available.
+func (w *Worker) acquire(ctx context.Context) (*Lease, error) {
+	var lease Lease
+	status, err := w.post(ctx, "/v1/dist/lease", acquireRequest{Worker: w.o.Name}, &lease)
+	if err != nil {
+		return nil, err
+	}
+	if status == http.StatusNoContent {
+		return nil, nil
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("dist: lease acquire: status %d", status)
+	}
+	return &lease, nil
+}
+
+// runLease executes one leased row end to end: compute (or recover
+// from the worker journal), renew in the background, complete with
+// fencing-aware retries.
+func (w *Worker) runLease(ctx context.Context, lease *Lease) {
+	start := time.Now()
+	rowCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Background renewal at a third of the TTL. A fenced renewal means
+	// the lease was stolen: abandon the row — the thief owns it now.
+	ttl := time.Duration(lease.TTLMillis) * time.Millisecond
+	renewDone := make(chan struct{})
+	go func() {
+		defer close(renewDone)
+		w.renewLoop(rowCtx, lease, ttl/3, cancel)
+	}()
+	defer func() { cancel(); <-renewDone }()
+
+	m, r, err := w.executeRow(rowCtx, lease)
+	if err != nil {
+		// Row incomplete (canceled, fenced, or engine trouble past the
+		// retry budget): tell the coordinator so the row re-leases
+		// immediately instead of waiting out the TTL. Best-effort — if
+		// this is lost, expiry re-leases it anyway.
+		req := completeRequest{Job: lease.Job, Row: lease.Row, Epoch: lease.Epoch,
+			Worker: w.o.Name, OK: false}
+		var resp completeResponse
+		w.post(ctx, "/v1/dist/complete", req, &resp)
+		return
+	}
+
+	nCfg := m.Space.Size()
+	bounds := make([]int, nCfg)
+	for c := 0; c < nCfg; c++ {
+		bounds[c] = int(m.Bound[r][c])
+	}
+	req := completeRequest{Job: lease.Job, Row: lease.Row, Epoch: lease.Epoch,
+		Worker: w.o.Name, OK: true,
+		Tput: m.Throughput[r], TimeNS: m.TimeNS[r], Bound: bounds}
+	accepted := w.completeWithRetry(ctx, req)
+	if accepted && w.mRows != nil {
+		w.mRows.Inc()
+	}
+	if tw := w.o.Trace; tw != nil {
+		tw.Complete("row", "dist", 0, start, time.Since(start), map[string]any{
+			"job": lease.Job, "row": lease.Row, "epoch": lease.Epoch,
+			"worker": w.o.Name, "accepted": accepted})
+	}
+}
+
+// executeRow produces the leased row's matrix, serving it from the
+// worker journal when this worker already completed the same kernel
+// (a re-lease after a lost ack or a steal of our own expired lease).
+func (w *Worker) executeRow(ctx context.Context, lease *Lease) (*sweep.Matrix, int, error) {
+	k, err := lease.DecodeKernel()
+	if err != nil {
+		return nil, 0, err
+	}
+	space, err := lease.Space.Space()
+	if err != nil {
+		return nil, 0, err
+	}
+	j := w.journals[lease.Job]
+	if j == nil {
+		j, err = sweep.OpenJournal(w.JournalPath(lease.Job), space)
+		if err != nil {
+			return nil, 0, err
+		}
+		w.journals[lease.Job] = j
+	}
+	engine, err := sweep.ParseEngine(lease.Engine)
+	if err != nil {
+		return nil, 0, err
+	}
+	opts := sweep.Options{
+		Workers:     w.o.SweepWorkers,
+		Engine:      engine,
+		NoiseStdDev: lease.NoiseStdDev,
+		// The coordinator pre-offset the seed by the global row index;
+		// our local row 0 therefore reproduces the single-node noise
+		// stream for this row exactly.
+		Seed:       lease.Seed,
+		Retries:    w.o.Retries,
+		Backoff:    w.o.Backoff,
+		SimTimeout: w.o.SimTimeout,
+		OnRow: func(m *sweep.Matrix, r int) {
+			if err := j.AppendRow(m, r); err != nil {
+				// A torn local journal is survivable — the row is still
+				// in memory and completes over the wire; only a worker
+				// crash before the ack would cost a recompute.
+				fmt.Fprintf(os.Stderr, "dist worker %s: journal append: %v\n", w.o.Name, err)
+			}
+		},
+	}
+	m, _, err := sweep.Resume(ctx, []*kernel.Kernel{k}, space, opts, j.Prior())
+	if err != nil {
+		return nil, 0, err
+	}
+	r := m.Row(k.Name)
+	if r < 0 || !m.RowComplete(r) {
+		return nil, 0, fmt.Errorf("dist: row %s incomplete after sweep", k.Name)
+	}
+	return m, r, nil
+}
+
+// renewLoop renews the lease every interval until the row context
+// ends; a fenced (409) renewal cancels the row.
+func (w *Worker) renewLoop(ctx context.Context, lease *Lease, every time.Duration, cancel context.CancelFunc) {
+	if every <= 0 {
+		every = time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		start := time.Now()
+		var resp renewResponse
+		status, err := w.post(ctx, "/v1/dist/renew",
+			renewRequest{Job: lease.Job, Row: lease.Row, Epoch: lease.Epoch, Worker: w.o.Name}, &resp)
+		d := time.Since(start)
+		if w.hRenew != nil && err == nil {
+			w.hRenew.Observe(d.Seconds())
+		}
+		if tw := w.o.Trace; tw != nil && err == nil {
+			tw.Complete("renew", "dist", 0, start, d, map[string]any{
+				"job": lease.Job, "row": lease.Row, "worker": w.o.Name, "status": status})
+		}
+		switch {
+		case err != nil:
+			// Dropped/delayed renewals are exactly what the TTL slack
+			// absorbs; keep trying on the next tick.
+		case status == http.StatusConflict:
+			if w.mLost != nil {
+				w.mLost.Inc()
+			}
+			cancel()
+			return
+		case resp.Done:
+			return
+		}
+	}
+}
+
+// completeWithRetry reports an OK row until the coordinator acks it
+// or fences it. Dropped responses are retried — the server-side
+// duplicate check makes that safe — and a 409 means the lease was
+// stolen and the thief's complete won.
+func (w *Worker) completeWithRetry(ctx context.Context, req completeRequest) bool {
+	backoff := 5 * time.Millisecond
+	for {
+		var resp completeResponse
+		status, err := w.post(ctx, "/v1/dist/complete", req, &resp)
+		switch {
+		case err == nil && status == http.StatusOK:
+			return true
+		case err == nil && status == http.StatusConflict:
+			if w.mLost != nil {
+				w.mLost.Inc()
+			}
+			return false
+		case err == nil && status == http.StatusNotFound:
+			return false
+		}
+		if !sleepCtx(ctx, backoff) {
+			return false
+		}
+		if backoff < 100*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// post sends one JSON request and decodes a JSON response into out
+// (when the status has a body). Injected network faults surface here
+// as transport errors.
+func (w *Worker) post(ctx context.Context, path string, body, out any) (int, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.o.Coordinator+path, bytes.NewReader(b))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		if errors.Is(err, fault.ErrDroppedResponse) {
+			return 0, fault.ErrDroppedResponse
+		}
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if out != nil && resp.StatusCode != http.StatusNoContent {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && resp.StatusCode == http.StatusOK {
+			return resp.StatusCode, fmt.Errorf("dist: decoding %s response: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}

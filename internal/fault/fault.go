@@ -17,15 +17,22 @@
 //
 // Beyond the engine, WrapWriter injects torn writes into any
 // io.Writer — the journal's power-loss failure mode — cutting a write
-// short after a deterministic prefix and returning ErrTornWrite.
+// short after a deterministic prefix and returning ErrTornWrite, and
+// WrapTransport injects network-shaped faults into any
+// http.RoundTripper — dropped responses (the request was delivered,
+// the reply was lost), duplicated deliveries, and delayed requests —
+// the failure modes a distributed lease protocol must absorb without
+// double-completing work.
 package fault
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"math"
+	"net/http"
 	"sync"
 	"time"
 
@@ -43,6 +50,12 @@ var ErrInjected = errors.New("fault: injected transient error")
 // torn write fires: part of the buffer reached the underlying writer,
 // the rest was dropped, emulating power loss mid-append.
 var ErrTornWrite = errors.New("fault: injected torn write")
+
+// ErrDroppedResponse is returned by a WrapTransport round trip when a
+// dropped-response fault fires: the request WAS delivered and its
+// side effects applied, but the reply never reached the client — the
+// network failure mode that turns naive retries into duplicates.
+var ErrDroppedResponse = errors.New("fault: injected dropped response")
 
 // Injector describes a fault model. The zero value injects nothing and
 // wraps an engine into itself (modulo attempt accounting). Rates are
@@ -77,12 +90,32 @@ type Injector struct {
 	// the call returns ErrTornWrite. Independent of the engine-side
 	// rates; it never fires through Wrap.
 	TornWriteRate float64
+	// DropResponseRate is the probability a WrapTransport round trip
+	// delivers the request but loses the response: the server applies
+	// the request's effects, the client sees ErrDroppedResponse and
+	// (typically) retries — the exactly-once drill for idempotent
+	// protocols. Independent of the engine-side rates.
+	DropResponseRate float64
+	// DuplicateRate is the probability a WrapTransport round trip
+	// delivers the request twice (the network replayed it); the client
+	// sees the second response. The server must treat the first
+	// delivery's effects as already applied.
+	DuplicateRate float64
+	// DelayRate is the probability a WrapTransport round trip is held
+	// back by a seeded delay in (0, Delay] before delivery — late
+	// lease renewals and slow completes, the stragglers a
+	// work-stealing coordinator exists to absorb.
+	DelayRate float64
 	// Stall is the artificial delay applied when a stall fires;
 	// defaults to 10ms when a StallRate is set but Stall is zero.
 	Stall time.Duration
 	// Latency is the maximum added delay when a latency fault fires;
 	// defaults to 5ms when a LatencyRate is set but Latency is zero.
 	Latency time.Duration
+	// Delay is the maximum added network delay when a delay fault
+	// fires; defaults to 5ms when a DelayRate is set but Delay is
+	// zero.
+	Delay time.Duration
 	// Seed decorrelates the fault stream; different seeds give
 	// different fault patterns, equal seeds identical ones.
 	Seed int64
@@ -110,9 +143,18 @@ const (
 	KindTornWrite
 	// KindLatency is an injected seeded pre-run delay.
 	KindLatency
+	// KindDropResponse is a delivered request whose response was lost
+	// (WrapTransport).
+	KindDropResponse
+	// KindDuplicate is a request delivered twice (WrapTransport).
+	KindDuplicate
+	// KindDelay is a seeded network delay before delivery
+	// (WrapTransport).
+	KindDelay
 )
 
-var kindNames = [...]string{"error", "corrupt", "stall", "panic", "torn-write", "latency"}
+var kindNames = [...]string{"error", "corrupt", "stall", "panic", "torn-write", "latency",
+	"drop-response", "duplicate", "delay"}
 
 // String returns the kind's lower-case name.
 func (k Kind) String() string {
@@ -127,12 +169,13 @@ func (k Kind) String() string {
 // wrapped engine then fails on its own — the decision is the
 // injector's, the outcome the engine's.
 type Decision struct {
-	// Kernel and Config identify the cell. Torn-write decisions have
-	// no cell: Kernel is empty and Config zero.
+	// Kernel and Config identify the cell. Torn-write and network
+	// decisions have no cell: Kernel is empty and Config zero.
 	Kernel string
 	Config hw.Config
 	// Attempt is the cell's 0-based invocation counter — or, for
-	// torn-write decisions, the writer's 0-based write sequence.
+	// torn-write and network decisions, the writer's/transport's
+	// 0-based sequence number.
 	Attempt uint64
 	// Kind is the injected fault.
 	Kind Kind
@@ -144,7 +187,9 @@ func (in Injector) Validate() error {
 		name string
 		v    float64
 	}{{"ErrorRate", in.ErrorRate}, {"CorruptRate", in.CorruptRate}, {"StallRate", in.StallRate},
-		{"PanicRate", in.PanicRate}, {"LatencyRate", in.LatencyRate}, {"TornWriteRate", in.TornWriteRate}} {
+		{"PanicRate", in.PanicRate}, {"LatencyRate", in.LatencyRate}, {"TornWriteRate", in.TornWriteRate},
+		{"DropResponseRate", in.DropResponseRate}, {"DuplicateRate", in.DuplicateRate},
+		{"DelayRate", in.DelayRate}} {
 		if r.v < 0 || r.v > 1 || math.IsNaN(r.v) {
 			return fmt.Errorf("fault: %s %g outside [0,1]", r.name, r.v)
 		}
@@ -153,6 +198,10 @@ func (in Injector) Validate() error {
 	// independent and only bounded by [0,1] above.
 	if sum := in.ErrorRate + in.CorruptRate + in.StallRate + in.PanicRate + in.LatencyRate; sum > 1 {
 		return fmt.Errorf("fault: engine rates sum to %g > 1", sum)
+	}
+	// Network kinds share one roll per round trip.
+	if sum := in.DropResponseRate + in.DuplicateRate + in.DelayRate; sum > 1 {
+		return fmt.Errorf("fault: network rates sum to %g > 1", sum)
 	}
 	return nil
 }
@@ -321,6 +370,129 @@ func (t *tornWriter) Write(b []byte) (int, error) {
 		return n, err
 	}
 	return n, ErrTornWrite
+}
+
+// NetworkActive reports whether the injector can fire through
+// WrapTransport at all. Like TornWriteRate, the network rates are
+// independent of the engine path and never fire through Wrap.
+func (in Injector) NetworkActive() bool {
+	return in.DropResponseRate > 0 || in.DuplicateRate > 0 || in.DelayRate > 0
+}
+
+// WrapTransport returns a round tripper that injects network-shaped
+// faults into rt: dropped responses (request delivered, reply lost,
+// the call returns ErrDroppedResponse), duplicated deliveries (the
+// request reaches the server twice; the caller sees the second
+// response), and seeded delays in (0, Delay] before delivery.
+// Decisions are a pure function of (seed, round-trip sequence) under a
+// distinct stream label, so a given transport faults at the same
+// round trips every run. At most one fault fires per round trip. The
+// returned transport is safe for concurrent use; when no network rate
+// is set, rt is returned unchanged. A nil rt means
+// http.DefaultTransport.
+func (in Injector) WrapTransport(rt http.RoundTripper) http.RoundTripper {
+	if !in.NetworkActive() {
+		if rt == nil {
+			return http.DefaultTransport
+		}
+		return rt
+	}
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	delay := in.Delay
+	if delay <= 0 {
+		delay = 5 * time.Millisecond
+	}
+	return &netTransport{in: in, rt: rt, delay: delay}
+}
+
+// netTransport is the WrapTransport implementation: a round-trip
+// sequence counter drives the same splitmix-finished roll the engine
+// path uses, under the "net-stream" label so network faults stay
+// decorrelated from engine and writer faults.
+type netTransport struct {
+	in    Injector
+	rt    http.RoundTripper
+	delay time.Duration
+	mu    sync.Mutex
+	seq   uint64
+}
+
+func (t *netTransport) next() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.seq
+	t.seq++
+	return n
+}
+
+func (t *netTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	seq := t.next()
+	in := t.in
+	roll, sub := in.roll("net-stream", hw.Config{}, seq)
+	switch {
+	case roll < in.DropResponseRate:
+		// Deliver the request for real — its server-side effects must
+		// apply — then lose the reply. A transport-level failure on the
+		// delivery itself surfaces as-is: nothing was applied, so the
+		// drop would prove nothing.
+		resp, err := t.rt.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		in.decided("", hw.Config{}, seq, KindDropResponse)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, ErrDroppedResponse
+	case roll < in.DropResponseRate+in.DuplicateRate:
+		in.decided("", hw.Config{}, seq, KindDuplicate)
+		return t.duplicate(req)
+	case roll < in.DropResponseRate+in.DuplicateRate+in.DelayRate:
+		in.decided("", hw.Config{}, seq, KindDelay)
+		// Same (0, max] in 1% steps as the engine latency fault.
+		timer := time.NewTimer(t.delay * time.Duration(1+sub%100) / 100)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	return t.rt.RoundTrip(req)
+}
+
+// duplicate delivers req twice and returns the second response — the
+// network replayed the request; the server must treat the first
+// delivery's effects as already applied. The body is buffered so both
+// deliveries carry it. A failed first delivery is ignored (the replay
+// still goes out, as a real network would).
+func (t *netTransport) duplicate(req *http.Request) (*http.Response, error) {
+	var body []byte
+	if req.Body != nil {
+		b, err := io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("fault: buffering request body for duplicate: %w", err)
+		}
+		body = b
+	}
+	send := func() (*http.Response, error) {
+		r := req.Clone(req.Context())
+		if body != nil {
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+			r.GetBody = func() (io.ReadCloser, error) {
+				return io.NopCloser(bytes.NewReader(body)), nil
+			}
+		}
+		return t.rt.RoundTrip(r)
+	}
+	if first, err := send(); err == nil {
+		io.Copy(io.Discard, first.Body)
+		first.Body.Close()
+	}
+	return send()
 }
 
 // decided reports one fired fault to the OnDecision hook, if any.

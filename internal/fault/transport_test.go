@@ -1,0 +1,200 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// transportServer counts deliveries and echoes request bodies so tests
+// can prove a request reached the server even when its response was
+// dropped or replayed.
+type transportServer struct {
+	mu     sync.Mutex
+	bodies []string
+}
+
+func (s *transportServer) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		s.mu.Lock()
+		s.bodies = append(s.bodies, string(b))
+		s.mu.Unlock()
+		io.WriteString(w, "ok:"+string(b))
+	})
+}
+
+func (s *transportServer) deliveries() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.bodies...)
+}
+
+// post sends one POST through the client and returns (body, err),
+// draining and closing the response when there is one.
+func post(t *testing.T, c *http.Client, url, payload string) (string, error) {
+	t.Helper()
+	resp, err := c.Post(url, "text/plain", strings.NewReader(payload))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	return string(b), nil
+}
+
+func TestWrapTransportInactivePassthrough(t *testing.T) {
+	var rt http.RoundTripper = http.DefaultTransport
+	if got := (Injector{}).WrapTransport(rt); got != rt {
+		t.Fatalf("inactive injector should return rt unchanged, got %T", got)
+	}
+	if got := (Injector{}).WrapTransport(nil); got != http.DefaultTransport {
+		t.Fatalf("nil rt should default to http.DefaultTransport, got %T", got)
+	}
+}
+
+func TestWrapTransportDroppedResponse(t *testing.T) {
+	srv := &transportServer{}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	in := Injector{DropResponseRate: 1, Seed: 1}
+	c := &http.Client{Transport: in.WrapTransport(nil)}
+	_, err := post(t, c, ts.URL, "hello")
+	if !errors.Is(err, ErrDroppedResponse) {
+		t.Fatalf("want ErrDroppedResponse, got %v", err)
+	}
+	// The request WAS delivered: that is the whole point of the fault.
+	if got := srv.deliveries(); len(got) != 1 || got[0] != "hello" {
+		t.Fatalf("server should have seen exactly one delivery, got %q", got)
+	}
+}
+
+func TestWrapTransportDuplicateDelivery(t *testing.T) {
+	srv := &transportServer{}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	in := Injector{DuplicateRate: 1, Seed: 1}
+	c := &http.Client{Transport: in.WrapTransport(nil)}
+	body, err := post(t, c, ts.URL, "payload")
+	if err != nil {
+		t.Fatalf("duplicate delivery should still return a response: %v", err)
+	}
+	if body != "ok:payload" {
+		t.Fatalf("unexpected response body %q", body)
+	}
+	got := srv.deliveries()
+	if len(got) != 2 || got[0] != "payload" || got[1] != "payload" {
+		t.Fatalf("server should have seen the same body twice, got %q", got)
+	}
+}
+
+func TestWrapTransportDelayBounded(t *testing.T) {
+	srv := &transportServer{}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	max := 20 * time.Millisecond
+	in := Injector{DelayRate: 1, Delay: max, Seed: 7}
+	c := &http.Client{Transport: in.WrapTransport(nil)}
+	start := time.Now()
+	if _, err := post(t, c, ts.URL, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > max+200*time.Millisecond {
+		t.Fatalf("delay wildly exceeded bound: %v > %v", elapsed, max)
+	}
+	if got := srv.deliveries(); len(got) != 1 {
+		t.Fatalf("delayed request should be delivered exactly once, got %d", len(got))
+	}
+}
+
+func TestWrapTransportDeterministicPerSeed(t *testing.T) {
+	srv := &transportServer{}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	pattern := func(seed int64) []string {
+		var kinds []string
+		var mu sync.Mutex
+		in := Injector{DropResponseRate: 0.3, DuplicateRate: 0.3, Seed: seed,
+			OnDecision: func(d Decision) {
+				mu.Lock()
+				kinds = append(kinds, d.Kind.String())
+				mu.Unlock()
+			}}
+		c := &http.Client{Transport: in.WrapTransport(nil)}
+		for i := 0; i < 24; i++ {
+			if _, err := post(t, c, ts.URL, "x"); err != nil && !errors.Is(err, ErrDroppedResponse) {
+				t.Fatal(err)
+			}
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), kinds...)
+	}
+	a, b := pattern(3), pattern(3)
+	if len(a) == 0 {
+		t.Fatal("expected some faults to fire at 60% combined rate over 24 calls")
+	}
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatalf("same seed should fault identically:\n%v\n%v", a, b)
+	}
+	if c := pattern(4); strings.Join(a, ",") == strings.Join(c, ",") && len(a) == 24 {
+		t.Fatalf("different seeds should decorrelate, both fired on every call: %v", c)
+	}
+}
+
+func TestWrapTransportConcurrentSafe(t *testing.T) {
+	srv := &transportServer{}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	in := Injector{DropResponseRate: 0.2, DuplicateRate: 0.2, DelayRate: 0.2,
+		Delay: time.Millisecond, Seed: 9}
+	c := &http.Client{Transport: in.WrapTransport(nil)}
+	var wg sync.WaitGroup
+	var errs atomic.Int64
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				if _, err := post(t, c, ts.URL, "x"); err != nil {
+					if !errors.Is(err, ErrDroppedResponse) {
+						errs.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := errs.Load(); n != 0 {
+		t.Fatalf("%d unexpected transport errors", n)
+	}
+}
+
+func TestValidateNetworkRates(t *testing.T) {
+	if err := (Injector{DropResponseRate: 1.5}).Validate(); err == nil {
+		t.Fatal("DropResponseRate > 1 should fail validation")
+	}
+	if err := (Injector{DuplicateRate: -0.1}).Validate(); err == nil {
+		t.Fatal("negative DuplicateRate should fail validation")
+	}
+	if err := (Injector{DropResponseRate: 0.5, DuplicateRate: 0.4, DelayRate: 0.3}).Validate(); err == nil {
+		t.Fatal("network rates summing past 1 should fail validation")
+	}
+	if err := (Injector{DropResponseRate: 0.3, DuplicateRate: 0.3, DelayRate: 0.3}).Validate(); err != nil {
+		t.Fatalf("valid network rates rejected: %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"time"
@@ -54,6 +55,18 @@ func retryAfterSeconds(d time.Duration) string {
 		s = 1
 	}
 	return fmt.Sprintf("%d", s)
+}
+
+// jitterRetryAfter renders a Retry-After hint with up to 50% random
+// jitter added, so a whole fleet of workers shed at the same instant
+// spreads its retries instead of returning in lockstep — the
+// recovery-time thundering herd. Jitter only ever lengthens the hint:
+// no client is told to retry before the unjittered value.
+func jitterRetryAfter(d time.Duration) string {
+	if d < time.Second {
+		d = time.Second
+	}
+	return retryAfterSeconds(d + time.Duration(rand.Int63n(int64(d)/2+1)))
 }
 
 // Handler returns the service's HTTP API:
@@ -140,7 +153,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var shed *ShedError
 		if errors.As(err, &shed) {
-			w.Header().Set("Retry-After", retryAfterSeconds(shed.RetryAfter))
+			w.Header().Set("Retry-After", jitterRetryAfter(shed.RetryAfter))
 			writeJSON(w, shedStatus(shed.Reason), apiError{Error: err.Error(), Reason: string(shed.Reason)})
 			return
 		}

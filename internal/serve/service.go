@@ -15,6 +15,8 @@ import (
 
 	"gpuscale/internal/fault"
 	"gpuscale/internal/gcn"
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
 	"gpuscale/internal/obs"
 	"gpuscale/internal/sweep"
 )
@@ -55,6 +57,16 @@ type Config struct {
 	StallGrace time.Duration
 	// Breaker is the per-kernel circuit breaker threshold (0 disables).
 	Breaker int
+	// RunSweep, when non-nil, executes each job's sweep in place of
+	// the local executor — the fan-out seam a distributed coordinator
+	// (internal/dist) plugs into. The callback receives everything the
+	// local path would use, including the job's recovered prior matrix
+	// and the OnRow hook that keeps the service's journal and live
+	// snapshot current; implementations must invoke OnRow as rows
+	// settle (or accept that partial fetches stay empty). Admission,
+	// journaling, terminal-state and recovery semantics are identical
+	// on both paths.
+	RunSweep func(ctx context.Context, req SweepRequest) (*sweep.Matrix, *sweep.RunReport, error)
 	// Registry receives service metrics; nil creates a private one.
 	Registry *obs.Registry
 	// Injector, when active, injects deterministic faults into every
@@ -64,6 +76,30 @@ type Config struct {
 	Now func() time.Time
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
+}
+
+// SweepRequest is what Config.RunSweep receives for one job: the
+// resolved work plus the hooks that keep the service's crash-only
+// bookkeeping intact however the sweep is executed.
+type SweepRequest struct {
+	// JobID is the service's job identifier, usable as a distributed
+	// job name.
+	JobID string
+	// Kernels and Space define the matrix.
+	Kernels []*kernel.Kernel
+	Space   hw.Space
+	// Engine, Seed and Noise must be reproduced exactly by whatever
+	// executes the sweep — they pin the noise stream byte-identity
+	// depends on.
+	Engine sweep.Engine
+	Seed   int64
+	Noise  float64
+	// Prior is the matrix recovered from the job's journal; rows
+	// already complete there need not be recomputed.
+	Prior *sweep.Matrix
+	// OnRow persists a settled row into the job's journal and live
+	// snapshot; safe for concurrent use.
+	OnRow func(m *sweep.Matrix, r int)
 }
 
 // metrics is the service's instrument panel.
@@ -666,7 +702,19 @@ func (s *Service) runJob(j *job) {
 		j.mu.Unlock()
 	}
 
-	m, rep, err := sweep.Resume(ctx, j.res.kernels, j.res.space, opts, journal.Prior())
+	var (
+		m   *sweep.Matrix
+		rep *sweep.RunReport
+	)
+	if s.cfg.RunSweep != nil {
+		m, rep, err = s.cfg.RunSweep(ctx, SweepRequest{
+			JobID: j.id, Kernels: j.res.kernels, Space: j.res.space,
+			Engine: j.res.engine, Seed: j.spec.Seed, Noise: j.spec.Noise,
+			Prior: journal.Prior(), OnRow: opts.OnRow,
+		})
+	} else {
+		m, rep, err = sweep.Resume(ctx, j.res.kernels, j.res.space, opts, journal.Prior())
+	}
 	summary := ""
 	if rep != nil {
 		summary = rep.Summary()

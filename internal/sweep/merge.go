@@ -1,0 +1,174 @@
+package sweep
+
+// Journal merge: folding per-worker row journals back into one
+// canonical matrix journal.
+//
+// A distributed sweep shards the kernel axis across workers, each of
+// which keeps its own v2 journal of the rows it completed. The merge
+// step reads those journals, checks the shards agree wherever they
+// overlap (work-stealing can complete a row on two workers — the
+// seeded noise stream makes both computations bit-identical, so any
+// disagreement is a real bug, not jitter), and writes one journal
+// with rows in a caller-chosen canonical order. Canonical ordering is
+// what makes "byte-identical to a single-node run" checkable: a
+// single-node journal appends rows in completion order, which worker
+// scheduling perturbs, so both sides are compared through
+// WriteCanonicalJournal.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gpuscale/internal/hw"
+)
+
+// ReadJournal reads a v2 journal image without opening it for append:
+// no truncation, no migration, no repair. Unlike OpenJournal it
+// rejects a torn or corrupt tail instead of salvaging — the merge
+// step must not silently drop rows a worker claims to have completed.
+// Returns the recovered matrix, which is nil when the journal holds a
+// space record but no rows.
+func ReadJournal(path string, space hw.Space) (*Matrix, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: reading journal: %w", err)
+	}
+	m, good, reason, err := scanJournal(data, space)
+	if err != nil {
+		return nil, err
+	}
+	if good < int64(len(data)) {
+		return nil, fmt.Errorf("sweep: journal %s: %s", path, reason)
+	}
+	if good == 0 {
+		return nil, fmt.Errorf("sweep: journal %s: missing or torn header", path)
+	}
+	return m, nil
+}
+
+// MergeJournals folds the journals at srcs into one matrix. Every
+// journal must be clean (see ReadJournal) and written for the same
+// space. Rows appear in first-seen order; a kernel present in more
+// than one journal must carry identical planes in each — exact
+// float64 equality, which seeded noise guarantees for honest
+// re-executions of the same row — or the merge fails rather than
+// pick a side.
+func MergeJournals(space hw.Space, srcs ...string) (*Matrix, error) {
+	var merged *Matrix
+	rows := map[string]int{}
+	for _, src := range srcs {
+		m, err := ReadJournal(src, space)
+		if err != nil {
+			return nil, err
+		}
+		if m == nil {
+			continue
+		}
+		for r, k := range m.Kernels {
+			ri, seen := rows[k]
+			if seen {
+				if !rowsEqual(merged, ri, m, r) {
+					return nil, fmt.Errorf("sweep: merge conflict: journal %s disagrees on kernel %s", src, k)
+				}
+				continue
+			}
+			if merged == nil {
+				merged = &Matrix{Space: space}
+			}
+			rows[k] = len(merged.Kernels)
+			merged.Kernels = append(merged.Kernels, k)
+			merged.Throughput = append(merged.Throughput, m.Throughput[r])
+			merged.TimeNS = append(merged.TimeNS, m.TimeNS[r])
+			merged.Bound = append(merged.Bound, m.Bound[r])
+			merged.Status = append(merged.Status, m.Status[r])
+		}
+	}
+	return merged, nil
+}
+
+// rowsEqual compares row a of ma against row b of mb cell by cell.
+func rowsEqual(ma *Matrix, a int, mb *Matrix, b int) bool {
+	for c := 0; c < ma.Space.Size(); c++ {
+		if ma.Throughput[a][c] != mb.Throughput[b][c] ||
+			ma.TimeNS[a][c] != mb.TimeNS[b][c] ||
+			ma.Bound[a][c] != mb.Bound[b][c] {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteCanonicalJournal writes m as a v2 journal at path with rows in
+// the given kernel order — the byte-stable rendering two journals are
+// compared through. Every named kernel must be present in m with a
+// fully OK row. The file is replaced atomically (temp + fsync +
+// rename), so a crash mid-write leaves either the old file or the new
+// one, never a hybrid.
+func WriteCanonicalJournal(path string, m *Matrix, order []string) error {
+	buf, err := canonicalJournalBytes(m, order)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".merge*")
+	if err != nil {
+		return fmt.Errorf("sweep: writing canonical journal: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sweep: writing canonical journal: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sweep: writing canonical journal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("sweep: writing canonical journal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("sweep: writing canonical journal: %w", err)
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// CanonicalJournalBytes renders m as v2 journal bytes with rows in
+// the given kernel order, without touching disk — the comparison form
+// for byte-identity assertions.
+func CanonicalJournalBytes(m *Matrix, order []string) ([]byte, error) {
+	return canonicalJournalBytes(m, order)
+}
+
+func canonicalJournalBytes(m *Matrix, order []string) ([]byte, error) {
+	if m == nil {
+		return nil, fmt.Errorf("sweep: canonical journal: nil matrix")
+	}
+	var buf bytes.Buffer
+	buf.WriteString(journalMagic)
+	framed, err := frameRecord(journalRecord{Space: &journalSpace{
+		CUs:  m.Space.CUCounts,
+		Core: m.Space.CoreClocksMHz,
+		Mem:  m.Space.MemClocksMHz,
+	}})
+	if err != nil {
+		return nil, err
+	}
+	buf.Write(framed)
+	for _, k := range order {
+		r := m.Row(k)
+		if r < 0 {
+			return nil, fmt.Errorf("sweep: canonical journal: kernel %s missing", k)
+		}
+		if !m.RowComplete(r) {
+			return nil, fmt.Errorf("sweep: canonical journal: kernel %s row incomplete", k)
+		}
+		rec, err := rowRecord(m, r)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(rec)
+	}
+	return buf.Bytes(), nil
+}
