@@ -56,9 +56,11 @@ bench-sweep:
 bench-smoke:
 	$(GO) run ./cmd/benchsweep -quick -o -
 
-# Observer-overhead gate: the disabled (no-op) observer must add less
-# than 5% to the sweep hot path. The assertion is env-gated so plain
-# `go test ./...` stays timing-independent.
+# Observer-overhead gates: the disabled (no-op) observer must add less
+# than 5% to the sweep hot path, and the full distributed-tracing path
+# (trace writer + span context + flight recorder) less than 10%. The
+# assertions are env-gated so plain `go test ./...` stays
+# timing-independent.
 bench-obs:
-	GPUSCALE_BENCH_OBS=1 $(GO) test -run TestNopObserverOverhead -v ./internal/sweep/
+	GPUSCALE_BENCH_OBS=1 $(GO) test -run 'TestNopObserverOverhead|TestTracedSweepOverhead' -v ./internal/sweep/
 	$(GO) test -bench 'BenchmarkSweep(SingleKernelFullGrid|NopObserver)$$' -benchmem ./

@@ -49,13 +49,17 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -96,6 +100,9 @@ type cliOptions struct {
 	leaseTTL    time.Duration
 	workerName  string
 	traceOut    string
+	pprof       bool
+	diagAddr    string
+	flightDump  string
 
 	// ready is a test seam: invoked with the server's base URL once it
 	// is listening, alongside the serving loop.
@@ -131,14 +138,118 @@ func main() {
 	flag.DurationVar(&o.leaseTTL, "lease-ttl", 10*time.Second, "how long a row lease lives without renewal before it is stolen (-coordinator)")
 	flag.StringVar(&o.workerName, "worker-name", "", "worker identity in leases and traces (default host-pid)")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write lease/steal/complete/renew spans to this JSONL trace file (see sweeptrace)")
+	flag.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/ (off by default)")
+	flag.StringVar(&o.diagAddr, "diag-addr", "", "worker diagnostics listen address serving /metrics, /debug/flight and (with -pprof) /debug/pprof/; advertised to the coordinator for /metrics/fleet")
+	flag.StringVar(&o.flightDump, "flight-dump", "", "dump a flight recorder and exit: a daemon base URL (fetches /debug/flight) or a flight.ring file path (post-mortem after kill -9)")
 	flag.Parse()
 
+	if o.flightDump != "" {
+		if err := runFlightDump(o.flightDump); err != nil {
+			fmt.Fprintln(os.Stderr, "gpuscaled:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, o); err != nil {
 		fmt.Fprintln(os.Stderr, "gpuscaled:", err)
 		os.Exit(1)
 	}
+}
+
+// runFlightDump renders a flight recorder's ring as JSONL on stdout.
+// A URL asks a live daemon over /debug/flight; a path reads the
+// file-backed ring a dead process left behind — torn slots from the
+// moment of death are skipped by their CRCs.
+func runFlightDump(target string) error {
+	var (
+		evs []obs.FlightEvent
+		err error
+	)
+	if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") {
+		resp, herr := http.Get(strings.TrimSuffix(target, "/") + "/debug/flight")
+		if herr != nil {
+			return herr
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("flight dump: %s answered %d", target, resp.StatusCode)
+		}
+		evs, err = obs.ReadFlightDump(resp.Body)
+	} else {
+		evs, err = obs.ReadFlightFile(target)
+	}
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for i := range evs {
+		if err := enc.Encode(&evs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// openFlight opens the state directory's file-backed flight ring. The
+// ring is written on every record with no fsync: cheap enough for the
+// hot path, durable enough that a kill -9's dirty pages still reach
+// the file via the page cache.
+func openFlight(stateDir string) (*obs.FlightRecorder, error) {
+	if err := os.MkdirAll(stateDir, 0o755); err != nil {
+		return nil, err
+	}
+	return obs.OpenFlightRecorder(filepath.Join(stateDir, "flight.ring"),
+		obs.DefaultFlightSlots, obs.DefaultFlightSlotSize)
+}
+
+// dumpPath is where signal- and panic-triggered dumps land.
+func dumpPath(stateDir string) string {
+	return filepath.Join(stateDir, fmt.Sprintf("flight-%d.dump", os.Getpid()))
+}
+
+// armSigquit dumps the flight ring to disk on SIGQUIT without exiting
+// — kill -QUIT a wedged daemon to get its recent event history.
+func armSigquit(fr *obs.FlightRecorder, stateDir string) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	go func() {
+		for range ch {
+			path := dumpPath(stateDir)
+			if err := fr.DumpToFile(path, "sigquit"); err != nil {
+				fmt.Fprintln(os.Stderr, "gpuscaled: flight dump:", err)
+			} else {
+				fmt.Fprintln(os.Stderr, "gpuscaled: flight recorder dumped to", path)
+			}
+		}
+	}()
+}
+
+// dumpOnPanic must be deferred: it records the panic into the ring,
+// dumps it, and re-panics so the crash still crashes.
+func dumpOnPanic(fr *obs.FlightRecorder, stateDir string) {
+	p := recover()
+	if p == nil {
+		return
+	}
+	fr.Record("panic", map[string]any{"panic": fmt.Sprint(p)})
+	path := dumpPath(stateDir)
+	if err := fr.DumpToFile(path, "panic"); err == nil {
+		fmt.Fprintln(os.Stderr, "gpuscaled: flight recorder dumped to", path)
+	}
+	panic(p)
+}
+
+// mountPprof attaches the net/http/pprof handlers explicitly — the
+// package's init-time DefaultServeMux registration is useless here
+// because the daemon builds its own mux.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // openTrace opens the -trace-out writer, or returns nils when no
@@ -177,15 +288,29 @@ func run(ctx context.Context, o cliOptions) error {
 		return err
 	}
 	defer closeTrace()
+	if trace != nil {
+		trace.SetProcess("coordinator")
+	}
+	flight, err := openFlight(o.stateDir)
+	if err != nil {
+		return err
+	}
+	defer flight.Close()
+	defer dumpOnPanic(flight, o.stateDir)
+	armSigquit(flight, o.stateDir)
 
 	// One registry feeds /metrics for both the service and, in
-	// coordinator mode, the lease protocol.
+	// coordinator mode, the lease protocol; the federation re-exports
+	// it (plus every registered worker) as /metrics/fleet.
 	reg := obs.NewRegistry()
+	fed := obs.NewFederation(reg, nil)
 	var coord *dist.Coordinator
 	var runSweep func(ctx context.Context, req serve.SweepRequest) (*sweep.Matrix, *sweep.RunReport, error)
 	if o.coordinator {
 		coord, err = dist.NewCoordinator(filepath.Join(o.stateDir, "dist"), dist.CoordinatorOptions{
 			DefaultTTL: o.leaseTTL, Metrics: reg, Trace: trace,
+			Flight:   flight,
+			OnWorker: fed.SetTarget,
 		})
 		if err != nil {
 			return err
@@ -193,19 +318,23 @@ func run(ctx context.Context, o cliOptions) error {
 		defer coord.Close()
 		// The fan-out seam: every admitted job becomes a dist job whose
 		// rows the fleet leases; serve's OnRow hook keeps the service's
-		// own journal and live snapshot current as completes land.
+		// own journal and live snapshot current as completes land. The
+		// job's trace context rides along so every lease grant is a
+		// child span of the job.
 		runSweep = func(ctx context.Context, req serve.SweepRequest) (*sweep.Matrix, *sweep.RunReport, error) {
 			return coord.Run(ctx, dist.Job{
 				Name: req.JobID, Kernels: req.Kernels, Space: req.Space,
 				Engine: req.Engine, Seed: req.Seed, NoiseStdDev: req.Noise,
-				OnRow: req.OnRow,
+				OnRow: req.OnRow, Trace: req.Trace,
 			})
 		}
 	}
 
 	svc, err := serve.New(serve.Config{
-		Registry: reg,
-		RunSweep: runSweep,
+		Registry:     reg,
+		RunSweep:     runSweep,
+		Trace:        trace,
+		Flight:       flight,
 		Dir:          o.stateDir,
 		Runners:      o.runners,
 		SweepWorkers: o.workers,
@@ -236,15 +365,20 @@ func run(ctx context.Context, o cliOptions) error {
 	if err != nil {
 		return err
 	}
-	h := svc.Handler()
-	if coord != nil {
-		// The lease API rides the same listener as the job API.
-		mux := http.NewServeMux()
-		mux.Handle("/v1/dist/", coord.Handler())
-		mux.Handle("/", h)
-		h = mux
+	// Diagnostics ride the same listener as the job API: the flight
+	// ring is always fetchable, profiling is opt-in, and coordinator
+	// mode adds the lease protocol plus the fleet-wide metrics view.
+	mux := http.NewServeMux()
+	mux.Handle("/debug/flight", obs.FlightHandler(flight))
+	if o.pprof {
+		mountPprof(mux)
 	}
-	srv := obs.Server(h)
+	if coord != nil {
+		mux.Handle("/v1/dist/", coord.Handler())
+		mux.Handle("/metrics/fleet", fed.Handler())
+	}
+	mux.Handle("/", svc.Handler())
+	srv := obs.Server(mux)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	mode := ""
@@ -273,7 +407,15 @@ func run(ctx context.Context, o cliOptions) error {
 	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer scancel()
 	if err := srv.Shutdown(sctx); err != nil {
-		return fmt.Errorf("http shutdown: %w", err)
+		// A keep-alive connection that was dialed but never carried a
+		// request sits in StateNew until ReadHeaderTimeout, which races
+		// this shutdown budget. Every job is already settled, so
+		// force-close the stragglers instead of failing a clean drain.
+		srv.Close()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("http shutdown: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "gpuscaled: http shutdown timed out; straggler connections closed")
 	}
 	fmt.Fprintln(os.Stderr, "gpuscaled: drained")
 	return nil
@@ -298,16 +440,53 @@ func runWorker(ctx context.Context, o cliOptions) error {
 		return err
 	}
 	defer closeTrace()
+	if trace != nil {
+		trace.SetProcess(name)
+	}
+	flight, err := openFlight(o.stateDir)
+	if err != nil {
+		return err
+	}
+	defer flight.Close()
+	defer dumpOnPanic(flight, o.stateDir)
+	armSigquit(flight, o.stateDir)
+
+	// The optional diagnostics listener is what makes a worker a
+	// first-class federation member: the coordinator scrapes its
+	// /metrics via the URL advertised on every lease acquire.
+	reg := obs.NewRegistry()
+	metricsURL := ""
+	if o.diagAddr != "" {
+		dln, err := net.Listen("tcp", o.diagAddr)
+		if err != nil {
+			return err
+		}
+		dmux := http.NewServeMux()
+		dmux.Handle("/", obs.Handler(reg, nil))
+		dmux.Handle("/debug/flight", obs.FlightHandler(flight))
+		if o.pprof {
+			mountPprof(dmux)
+		}
+		dsrv := obs.Server(dmux)
+		go dsrv.Serve(dln)
+		defer dsrv.Close()
+		metricsURL = fmt.Sprintf("http://%s/metrics", dln.Addr())
+		fmt.Fprintf(os.Stderr, "gpuscaled: worker %s diagnostics on http://%s\n", name, dln.Addr())
+	}
+
 	w, err := dist.NewWorker(dist.WorkerOptions{
-		Name:        name,
-		Coordinator: o.join,
-		Dir:         o.stateDir,
-		Client:      &http.Client{Timeout: 30 * time.Second},
+		Name:         name,
+		Coordinator:  o.join,
+		Dir:          o.stateDir,
+		Client:       &http.Client{Timeout: 30 * time.Second},
 		SweepWorkers: o.workers,
 		Retries:      o.retries,
 		Backoff:      o.backoff,
 		SimTimeout:   o.simTimeout,
 		Trace:        trace,
+		Metrics:      reg,
+		MetricsURL:   metricsURL,
+		Flight:       flight,
 	})
 	if err != nil {
 		return err

@@ -71,7 +71,7 @@ func writeFleetTraces(t *testing.T) []string {
 		name := fmt.Sprintf("w%d", i)
 		w, err := dist.NewWorker(dist.WorkerOptions{
 			Name: name, Coordinator: srv.URL, Dir: dir + "/" + name,
-			Client: &http.Client{Timeout: 10 * time.Second},
+			Client:       &http.Client{Timeout: 10 * time.Second},
 			SweepWorkers: 2, IdleSleep: 2 * time.Millisecond,
 			Trace: newTrace(name),
 		})
@@ -111,7 +111,7 @@ func writeFleetTraces(t *testing.T) []string {
 func TestFleetBreakdown(t *testing.T) {
 	paths := writeFleetTraces(t)
 	var sb strings.Builder
-	if err := run(&sb, paths, "", 10, ""); err != nil {
+	if err := run(&sb, paths, "", 10, "", false, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -147,7 +147,7 @@ func TestFleetBreakdown(t *testing.T) {
 	// A coordinator-only trace still produces the table (rows from
 	// accepted completes, no renewal data needed).
 	sb.Reset()
-	if err := run(&sb, paths[:1], "", 10, ""); err != nil {
+	if err := run(&sb, paths[:1], "", 10, "", false, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "Fleet workers") {

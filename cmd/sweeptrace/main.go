@@ -39,12 +39,14 @@ func main() {
 	top := flag.Int("top", 10, "rows to show in the retry-hotspot table")
 	kernelFilter := flag.String("kernel", "", "only summarize kernels whose name contains this substring")
 	chromeOut := flag.String("chrome", "", "also write the events as a Chrome-viewer JSON array to this file")
+	stitchView := flag.Bool("stitch", false, "stitch multi-process traces by trace ID: per-job workers, exactly-once row accounting, critical path")
+	traceFilter := flag.String("trace", "", "with -stitch, only render traces whose ID starts with this prefix")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: sweeptrace [-top n] [-kernel substr] [-chrome out.json] <trace.jsonl ... | ->")
+		fmt.Fprintln(os.Stderr, "usage: sweeptrace [-top n] [-kernel substr] [-chrome out.json] [-stitch [-trace id]] <trace.jsonl ... | ->")
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, flag.Args(), *kernelFilter, *top, *chromeOut); err != nil {
+	if err := run(os.Stdout, flag.Args(), *kernelFilter, *top, *chromeOut, *stitchView, *traceFilter); err != nil {
 		fmt.Fprintln(os.Stderr, "sweeptrace:", err)
 		os.Exit(1)
 	}
@@ -66,7 +68,7 @@ func readTrace(path string) ([]obs.Event, error) {
 	return evs, nil
 }
 
-func run(w io.Writer, paths []string, kernelFilter string, top int, chromeOut string) error {
+func run(w io.Writer, paths []string, kernelFilter string, top int, chromeOut string, stitchView bool, traceFilter string) error {
 	var evs []obs.Event
 	for _, path := range paths {
 		e, err := readTrace(path)
@@ -80,6 +82,9 @@ func run(w io.Writer, paths []string, kernelFilter string, top int, chromeOut st
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", chromeOut)
+	}
+	if stitchView {
+		return renderStitched(w, evs, traceFilter)
 	}
 	s := summarize(evs, kernelFilter)
 	if kernelFilter != "" && len(s.perKernel) == 0 {

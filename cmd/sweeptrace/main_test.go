@@ -58,7 +58,7 @@ func writeTestTrace(t *testing.T) (string, *sweep.RunReport) {
 func runToString(t *testing.T, path, kernelFilter string, top int, chromeOut string) string {
 	t.Helper()
 	var sb strings.Builder
-	if err := run(&sb, []string{path}, kernelFilter, top, chromeOut); err != nil {
+	if err := run(&sb, []string{path}, kernelFilter, top, chromeOut, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	return sb.String()
@@ -108,7 +108,7 @@ func TestKernelFilter(t *testing.T) {
 			t.Fatalf("filter leaked kernel beta: %s", ln)
 		}
 	}
-	if err := run(io.Discard, []string{path}, "no-such-kernel", 10, ""); err == nil {
+	if err := run(io.Discard, []string{path}, "no-such-kernel", 10, "", false, ""); err == nil {
 		t.Fatal("want error when no events match the filter")
 	}
 }
@@ -162,7 +162,7 @@ func TestChromeExport(t *testing.T) {
 }
 
 func TestMissingFile(t *testing.T) {
-	if err := run(io.Discard, []string{filepath.Join(t.TempDir(), "nope.trace")}, "", 10, ""); err == nil {
+	if err := run(io.Discard, []string{filepath.Join(t.TempDir(), "nope.trace")}, "", 10, "", false, ""); err == nil {
 		t.Fatal("want error for missing trace file")
 	}
 }

@@ -1,0 +1,342 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gpuscale/internal/obs"
+	"gpuscale/internal/report"
+)
+
+// stitched is one distributed trace reassembled from any number of
+// per-process trace files: the serve-side job span, the coordinator's
+// lease grants, the workers' row spans, and the leaf cell events, all
+// linked by span parentage. The stitcher is deliberately tolerant —
+// a partial fleet (a missing worker file, a crashed process) still
+// renders, with the gaps called out instead of papered over.
+type stitched struct {
+	id string
+	// jobs holds serve job spans, one per run attempt (a resumed job
+	// emits a span per attempt under the same trace ID).
+	jobs []obs.Event
+	// leases maps lease span ID -> the coordinator's grant instant
+	// ("lease" or "steal"). Row spans point here via Parent.
+	leases map[string]obs.Event
+	// rows holds worker row spans (ph "X", category "dist").
+	rows []obs.Event
+	// cells maps a row span ID -> that row's cell events.
+	cells map[string][]obs.Event
+	// completes counts coordinator-accepted completions per row index;
+	// exactly-once accounting checks every value is 1.
+	completes map[int]int
+	// leasedRows is the set of row indexes ever granted.
+	leasedRows map[int]bool
+	steals     int
+	fences     int
+	// procs is the set of process names that contributed events.
+	procs map[string]bool
+	// spans is every span ID minted on this trace; used to detect
+	// orphaned events whose Parent resolves to no known span.
+	spans   map[string]bool
+	orphans int
+	events  int
+}
+
+// stitch groups trace-carrying events by trace ID and reassembles
+// each into a stitched view. Events without a trace ID (single-process
+// sweeps, pre-trace files) are ignored here — the flat summary covers
+// them.
+func stitch(evs []obs.Event) []*stitched {
+	byTrace := map[string]*stitched{}
+	get := func(id string) *stitched {
+		st := byTrace[id]
+		if st == nil {
+			st = &stitched{
+				id:         id,
+				leases:     map[string]obs.Event{},
+				cells:      map[string][]obs.Event{},
+				completes:  map[int]int{},
+				leasedRows: map[int]bool{},
+				procs:      map[string]bool{},
+				spans:      map[string]bool{},
+			}
+			byTrace[id] = st
+		}
+		return st
+	}
+	// First pass: collect spans so orphan detection on the second pass
+	// sees the full ID set regardless of file order.
+	for _, e := range evs {
+		if e.Trace == "" {
+			continue
+		}
+		st := get(e.Trace)
+		st.events++
+		if e.Span != "" {
+			st.spans[e.Span] = true
+		}
+		if e.Proc != "" {
+			st.procs[e.Proc] = true
+		}
+	}
+	for _, e := range evs {
+		if e.Trace == "" {
+			continue
+		}
+		st := byTrace[e.Trace]
+		switch e.Name {
+		case "job":
+			st.jobs = append(st.jobs, e)
+		case "lease", "steal":
+			if e.Span != "" {
+				st.leases[e.Span] = e
+			}
+			st.leasedRows[int(num(e.Args, "row"))] = true
+			if e.Name == "steal" {
+				st.steals++
+			}
+		case "row":
+			// Only the dist-layer row span: the sweep executor emits its
+			// own "row" leaf event (category "sweep") under the same name.
+			if e.Cat == "dist" {
+				st.rows = append(st.rows, e)
+			}
+		case "cell":
+			if e.Parent != "" {
+				st.cells[e.Parent] = append(st.cells[e.Parent], e)
+			}
+		case "complete":
+			st.completes[int(num(e.Args, "row"))]++
+		case "fence":
+			st.fences++
+		}
+		// The job span's parent is the submitting client's span, which
+		// lives outside the fleet's files — never an orphan.
+		if e.Parent != "" && e.Name != "job" && !st.spans[e.Parent] {
+			st.orphans++
+		}
+	}
+	out := make([]*stitched, 0, len(byTrace))
+	for _, st := range byTrace {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// end returns a span's finishing timestamp in microseconds.
+func end(e obs.Event) float64 { return e.TS + e.Dur }
+
+// accepted reports whether a row span's completion was accepted by the
+// coordinator (not fenced as a stale epoch).
+func accepted(e obs.Event) bool {
+	ok, _ := e.Args["accepted"].(bool)
+	return ok
+}
+
+// render prints one stitched trace: the job header, per-worker
+// contribution, exactly-once row accounting, and the critical path —
+// the chain job -> latest-finishing row -> slowest cell that bounded
+// the job's wall-clock, named by worker, lease and epoch.
+func (st *stitched) render(w io.Writer) error {
+	fmt.Fprintf(w, "trace %s: %d events from %d processes (%s)\n",
+		st.id, st.events, len(st.procs), joinSorted(st.procs))
+	for _, j := range st.jobs {
+		fmt.Fprintf(w, "  job %s: state=%s rows_done=%.0f wall=%.1fms client=%s proc=%s\n",
+			str(j.Args, "job"), str(j.Args, "state"), num(j.Args, "rows_done"),
+			j.Dur/1000, str(j.Args, "client"), j.Proc)
+	}
+
+	// Per-worker contribution, assembled from lease grants and row
+	// spans. Busy time is the sum of the worker's accepted row spans.
+	type contrib struct {
+		leases, steals, rows, fenced int
+		busyUS                       float64
+	}
+	workers := map[string]*contrib{}
+	wc := func(name string) *contrib {
+		if name == "" {
+			name = "(unnamed)"
+		}
+		c := workers[name]
+		if c == nil {
+			c = &contrib{}
+			workers[name] = c
+		}
+		return c
+	}
+	for _, l := range st.leases {
+		c := wc(str(l.Args, "worker"))
+		c.leases++
+		if l.Name == "steal" {
+			c.steals++
+		}
+	}
+	for _, r := range st.rows {
+		c := wc(str(r.Args, "worker"))
+		if accepted(r) {
+			c.rows++
+			c.busyUS += r.Dur
+		} else {
+			c.fenced++
+		}
+	}
+	if len(workers) > 0 {
+		wt := &report.Table{
+			Title:  "Workers on this trace",
+			Header: []string{"worker", "leases", "steals", "rows", "fenced", "busy(ms)"},
+		}
+		names := make([]string, 0, len(workers))
+		for n := range workers {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			c := workers[n]
+			wt.AddRow(n, c.leases, c.steals, c.rows, c.fenced,
+				report.FormatFloat(c.busyUS/1000))
+		}
+		if err := wt.Render(w); err != nil {
+			return err
+		}
+	}
+
+	st.renderAccounting(w)
+	st.renderCriticalPath(w)
+	if st.orphans > 0 {
+		fmt.Fprintf(w, "  warning: %d events reference spans missing from the given files (add the other processes' traces)\n", st.orphans)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// renderAccounting checks exactly-once completion: every leased row
+// must be accepted by the coordinator exactly once. Duplicates mean a
+// fencing hole; missing rows mean lost work — both are protocol bugs
+// worth shouting about, so anomalies are listed row by row.
+func (st *stitched) renderAccounting(w io.Writer) {
+	if len(st.leasedRows) == 0 && len(st.completes) == 0 {
+		return
+	}
+	var dup, missing []int
+	for r := range st.leasedRows {
+		switch n := st.completes[r]; {
+		case n == 0:
+			missing = append(missing, r)
+		case n > 1:
+			dup = append(dup, r)
+		}
+	}
+	sort.Ints(dup)
+	sort.Ints(missing)
+	done := 0
+	for _, n := range st.completes {
+		if n > 0 {
+			done++
+		}
+	}
+	switch {
+	case len(dup) == 0 && len(missing) == 0:
+		fmt.Fprintf(w, "  rows: %d leased, %d completed — every row exactly once", len(st.leasedRows), done)
+	default:
+		fmt.Fprintf(w, "  rows: %d leased, %d completed — ANOMALIES: %d duplicated %v, %d missing %v",
+			len(st.leasedRows), done, len(dup), dup, len(missing), missing)
+	}
+	if st.fences > 0 {
+		fmt.Fprintf(w, " (%d stale completes fenced)", st.fences)
+	}
+	fmt.Fprintln(w)
+}
+
+// renderCriticalPath names what bounded wall-clock: the accepted row
+// span that finished last, the lease it ran under, and the slowest
+// cell inside it. This is the "why was this job slow" answer — the
+// straggler worker and the straggler cell, read straight off the
+// stitched trace.
+func (st *stitched) renderCriticalPath(w io.Writer) {
+	var last *obs.Event
+	for i := range st.rows {
+		r := &st.rows[i]
+		if !accepted(*r) {
+			continue
+		}
+		if last == nil || end(*r) > end(*last) {
+			last = r
+		}
+	}
+	if last == nil {
+		return
+	}
+	fmt.Fprintln(w, "  critical path (latest-finishing accepted row):")
+	lease := "?"
+	epoch := num(last.Args, "epoch")
+	if l, ok := st.leases[last.Parent]; ok && l.Span != "" {
+		lease = l.Span
+	}
+	fmt.Fprintf(w, "    row %.0f on %s: %.1fms (lease %s epoch %.0f, proc %s)\n",
+		num(last.Args, "row"), str(last.Args, "worker"), last.Dur/1000,
+		lease, epoch, last.Proc)
+	var slow *obs.Event
+	cells := st.cells[last.Span]
+	for i := range cells {
+		if slow == nil || cells[i].Dur > slow.Dur {
+			slow = &cells[i]
+		}
+	}
+	if slow != nil {
+		fmt.Fprintf(w, "    slowest cell: %s @ cu=%.0f core=%g mem=%g — %.1fus, %.0f attempts (of %d cells in the row)\n",
+			str(slow.Args, "kernel"), num(slow.Args, "cus"),
+			num(slow.Args, "core_mhz"), num(slow.Args, "mem_mhz"),
+			slow.Dur, num(slow.Args, "attempts"), len(cells))
+	}
+}
+
+func joinSorted(set map[string]bool) string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+// renderStitched prints the stitched multi-process view for every
+// trace ID found in the merged event stream, optionally restricted to
+// IDs with a given prefix.
+func renderStitched(w io.Writer, evs []obs.Event, traceFilter string) error {
+	traces := stitch(evs)
+	if traceFilter != "" {
+		kept := traces[:0]
+		for _, st := range traces {
+			if len(st.id) >= len(traceFilter) && st.id[:len(traceFilter)] == traceFilter {
+				kept = append(kept, st)
+			}
+		}
+		traces = kept
+	}
+	if len(traces) == 0 {
+		return fmt.Errorf("no distributed traces found (events carry no trace IDs%s)",
+			filterNote(traceFilter))
+	}
+	for _, st := range traces {
+		if err := st.render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func filterNote(f string) string {
+	if f == "" {
+		return ""
+	}
+	return fmt.Sprintf(" matching %q", f)
+}

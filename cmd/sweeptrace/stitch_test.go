@@ -1,0 +1,128 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"gpuscale/internal/obs"
+)
+
+// fleetEvents synthesizes one job's multi-process trace the way a
+// coordinator + two workers would emit it: a serve job span, lease
+// grants (one stolen), worker row spans, leaf cells, and coordinator
+// completes — all linked by span parentage under one trace ID.
+func fleetEvents(traceID string) []obs.Event {
+	ev := func(name, cat, ph, span, parent, proc string, ts, dur float64, args map[string]any) obs.Event {
+		return obs.Event{Name: name, Cat: cat, Phase: ph, TS: ts, Dur: dur,
+			Trace: traceID, Span: span, Parent: parent, Proc: proc, Args: args}
+	}
+	return []obs.Event{
+		ev("job", "serve", "X", "aaaaaaaaaaaaaaaa", "", "coordinator", 0, 5000,
+			map[string]any{"job": "job-1", "state": "complete", "rows_done": 2.0, "client": "cli"}),
+		ev("lease", "dist", "i", "b000000000000001", "aaaaaaaaaaaaaaaa", "coordinator", 10, 0,
+			map[string]any{"job": "job-1", "row": 0.0, "epoch": 1.0, "worker": "w0"}),
+		ev("steal", "dist", "i", "b000000000000002", "aaaaaaaaaaaaaaaa", "coordinator", 20, 0,
+			map[string]any{"job": "job-1", "row": 1.0, "epoch": 2.0, "worker": "w1"}),
+		ev("row", "dist", "X", "c000000000000001", "b000000000000001", "w0", 30, 1000,
+			map[string]any{"job": "job-1", "row": 0.0, "epoch": 1.0, "worker": "w0", "accepted": true}),
+		ev("row", "dist", "X", "c000000000000002", "b000000000000002", "w1", 40, 4000,
+			map[string]any{"job": "job-1", "row": 1.0, "epoch": 2.0, "worker": "w1", "accepted": true}),
+		ev("cell", "sweep", "X", "", "c000000000000002", "w1", 50, 900,
+			map[string]any{"kernel": "hotspot", "cus": 64.0, "core_mhz": 1000.0, "mem_mhz": 1750.0, "attempts": 3.0, "status": "ok"}),
+		ev("cell", "sweep", "X", "", "c000000000000002", "w1", 60, 100,
+			map[string]any{"kernel": "hotspot", "cus": 32.0, "core_mhz": 1000.0, "mem_mhz": 1750.0, "attempts": 1.0, "status": "ok"}),
+		ev("complete", "dist", "i", "", "b000000000000001", "coordinator", 1100, 0,
+			map[string]any{"job": "job-1", "row": 0.0, "epoch": 1.0, "worker": "w0"}),
+		ev("complete", "dist", "i", "", "b000000000000002", "coordinator", 4100, 0,
+			map[string]any{"job": "job-1", "row": 1.0, "epoch": 2.0, "worker": "w1"}),
+	}
+}
+
+func TestStitchExactlyOnceAndCriticalPath(t *testing.T) {
+	var sb strings.Builder
+	if err := renderStitched(&sb, fleetEvents("0123456789abcdef0123456789abcdef"), ""); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"trace 0123456789abcdef0123456789abcdef",
+		"job job-1: state=complete",
+		"every row exactly once",
+		"critical path",
+		"row 1 on w1",     // the 4000us row bounds wall-clock
+		"hotspot @ cu=64", // its slowest cell
+		"w0", "w1", "coordinator",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stitched output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "ANOMALIES") || strings.Contains(out, "warning") {
+		t.Fatalf("clean trace reported anomalies:\n%s", out)
+	}
+}
+
+func TestStitchFlagsDuplicateAndMissingRows(t *testing.T) {
+	evs := fleetEvents("ffffffffffffffffffffffffffffffff")
+	// Duplicate row 0's completion and drop row 1's.
+	var mutated []obs.Event
+	for _, e := range evs {
+		if e.Name == "complete" {
+			if num(e.Args, "row") == 1 {
+				continue
+			}
+			mutated = append(mutated, e, e)
+			continue
+		}
+		mutated = append(mutated, e)
+	}
+	var sb strings.Builder
+	if err := renderStitched(&sb, mutated, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "ANOMALIES") ||
+		!strings.Contains(out, "1 duplicated [0]") ||
+		!strings.Contains(out, "1 missing [1]") {
+		t.Fatalf("expected duplicate/missing anomalies in:\n%s", out)
+	}
+}
+
+func TestStitchOrphanWarningWithPartialFleet(t *testing.T) {
+	evs := fleetEvents("abcdefabcdefabcdefabcdefabcdefab")
+	// Keep only worker w1's events: its row span's parent lease lives in
+	// the coordinator file we "forgot" to pass.
+	var partial []obs.Event
+	for _, e := range evs {
+		if e.Proc == "w1" {
+			partial = append(partial, e)
+		}
+	}
+	var sb strings.Builder
+	if err := renderStitched(&sb, partial, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "warning") {
+		t.Fatalf("partial fleet should warn about unresolvable parents:\n%s", sb.String())
+	}
+}
+
+func TestStitchTraceFilter(t *testing.T) {
+	evs := append(fleetEvents("11111111111111111111111111111111"),
+		fleetEvents("22222222222222222222222222222222")...)
+	var sb strings.Builder
+	if err := renderStitched(&sb, evs, "2222"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "trace 1111") || !strings.Contains(out, "trace 2222") {
+		t.Fatalf("trace filter leaked the wrong trace:\n%s", out)
+	}
+	if err := renderStitched(io_discard{}, evs, "no-such"); err == nil {
+		t.Fatal("expected error for unmatched trace filter")
+	}
+}
+
+type io_discard struct{}
+
+func (io_discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -33,6 +33,12 @@ type Job struct {
 	// TTL is how long a lease lives without renewal; expired leases
 	// are stolen. Zero uses the coordinator default.
 	TTL time.Duration
+	// Trace is the job's span context (usually minted by internal/serve
+	// at admission). Every lease grant becomes a child span of it, so
+	// one submission yields one stitched trace across the fleet. An
+	// invalid (zero) context gets a fresh root at AddJob, so directly
+	// registered jobs trace too.
+	Trace obs.SpanContext
 	// OnRow, when non-nil, is invoked as each row's complete is
 	// accepted (after the row is durably journaled), with the job's
 	// matrix and the row index — the hook internal/serve uses to keep
@@ -52,6 +58,15 @@ type CoordinatorOptions struct {
 	Metrics *obs.Registry
 	// Trace, when non-nil, receives lease lifecycle instants.
 	Trace *obs.TraceWriter
+	// Flight, when non-nil, records lease transitions (grants, steals,
+	// fences, completes, requeues) into the crash flight recorder, so a
+	// dead coordinator's last moves are reconstructable from its ring.
+	Flight *obs.FlightRecorder
+	// OnWorker, when non-nil, is invoked whenever a worker's acquire
+	// advertises a metrics URL — the hook gpuscaled uses to register
+	// the worker with the metrics federation. Called outside the
+	// coordinator lock; must be safe for concurrent use.
+	OnWorker func(worker, metricsURL string)
 	// now is the clock seam for lease-expiry tests.
 	now func() time.Time
 }
@@ -62,6 +77,9 @@ type rowState struct {
 	worker string
 	expiry time.Time
 	done   bool
+	// span is the current epoch's lease span ID; completes and fences
+	// for this epoch parent their trace events under it.
+	span string
 }
 
 // jobState is one registered job plus its durable matrix journal.
@@ -72,6 +90,8 @@ type jobState struct {
 	matrix  *sweep.Matrix
 	journal *sweep.Journal
 	order   []string // kernel names, row order
+	added   time.Time
+	rate    *obs.Gauge // dist_job_cells_per_second SLO instrument
 }
 
 // Coordinator owns lease state for registered jobs and serves the
@@ -163,11 +183,19 @@ func (c *Coordinator) AddJob(job Job) error {
 	if ttl <= 0 {
 		ttl = c.opt.DefaultTTL
 	}
+	if !job.Trace.Valid() {
+		job.Trace = obs.NewSpanContext()
+	}
 	j, err := sweep.OpenJournal(c.JournalPath(job.Name), job.Space)
 	if err != nil {
 		return err
 	}
 	js := &jobState{job: job, ttl: ttl, journal: j, rows: make([]rowState, len(job.Kernels))}
+	js.added = c.now()
+	if r := c.opt.Metrics; r != nil {
+		js.rate = r.Gauge("dist_job_cells_per_second", "Completed cells per second since the job was registered.",
+			obs.L("job", job.Name))
+	}
 	js.matrix = newMatrix(job.Space, job.Kernels)
 	for _, k := range job.Kernels {
 		js.order = append(js.order, k.Name)
@@ -263,6 +291,19 @@ func (c *Coordinator) statusLocked(js *jobState) JobStatus {
 	return st
 }
 
+// TraceID returns a registered job's trace ID, or "" when the job is
+// unknown — the handle tests and tools use to find the job's stitched
+// trace.
+func (c *Coordinator) TraceID(job string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	js, ok := c.jobs[job]
+	if !ok {
+		return ""
+	}
+	return js.job.Trace.TraceID
+}
+
 // Matrix returns a copy-free snapshot of a job's matrix once the job
 // is complete, or false while rows are outstanding.
 func (c *Coordinator) Matrix(job string) (*sweep.Matrix, bool) {
@@ -306,9 +347,14 @@ func (c *Coordinator) Run(ctx context.Context, job Job) (*sweep.Matrix, *sweep.R
 	}
 }
 
-// acquire grants the next available row to worker, persisting the
-// grant before returning it. Returns nil when nothing is available.
-func (c *Coordinator) acquire(worker string) (*Lease, error) {
+// acquire grants the next available row to the requesting worker,
+// persisting the grant before returning it. Returns nil when nothing
+// is available.
+func (c *Coordinator) acquire(req acquireRequest) (*Lease, error) {
+	worker := req.Worker
+	if c.opt.OnWorker != nil && req.MetricsURL != "" {
+		c.opt.OnWorker(worker, req.MetricsURL)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.now()
@@ -334,7 +380,10 @@ func (c *Coordinator) acquire(worker string) (*Lease, error) {
 			if err := c.ledger.append(rec); err != nil {
 				return nil, err
 			}
-			rs.epoch, rs.worker, rs.expiry = epoch, worker, expiry
+			// The lease span: a fresh child of the job span, minted per
+			// grant so each epoch is its own node in the stitched trace.
+			leaseSC := js.job.Trace.Child()
+			rs.epoch, rs.worker, rs.expiry, rs.span = epoch, worker, expiry, leaseSC.SpanID
 			kraw, err := encodeKernel(js.job.Kernels[r])
 			if err != nil {
 				return nil, err
@@ -345,12 +394,16 @@ func (c *Coordinator) acquire(worker string) (*Lease, error) {
 					c.mStolen.Inc()
 				}
 			}
+			ev := "lease"
+			if steal {
+				ev = "steal"
+			}
 			if tw := c.opt.Trace; tw != nil {
-				ev := "lease"
-				if steal {
-					ev = "steal"
-				}
-				tw.Instant(ev, "dist", 0, map[string]any{
+				tw.InstantSpan(ev, "dist", 0, leaseSC, js.job.Trace.SpanID, map[string]any{
+					"job": name, "row": r, "epoch": epoch, "worker": worker})
+			}
+			if fr := c.opt.Flight; fr != nil {
+				fr.Record(ev, map[string]any{
 					"job": name, "row": r, "epoch": epoch, "worker": worker})
 			}
 			return &Lease{
@@ -358,6 +411,7 @@ func (c *Coordinator) acquire(worker string) (*Lease, error) {
 				Space: SpecFor(js.job.Space),
 				Seed:  js.job.Seed + int64(r), NoiseStdDev: js.job.NoiseStdDev,
 				Engine: js.job.Engine.String(), TTLMillis: js.ttl.Milliseconds(),
+				Traceparent: leaseSC.Traceparent(),
 			}, nil
 		}
 	}
@@ -420,7 +474,12 @@ func (c *Coordinator) complete(req completeRequest) (completeResponse, error) {
 			c.mFenced.Inc()
 		}
 		if tw := c.opt.Trace; tw != nil {
-			tw.Instant("fence", "dist", 0, map[string]any{
+			tw.InstantSpan("fence", "dist", 0,
+				obs.SpanContext{TraceID: js.job.Trace.TraceID}, rs.span, map[string]any{
+					"job": req.Job, "row": req.Row, "epoch": req.Epoch, "current": rs.epoch, "worker": req.Worker})
+		}
+		if fr := c.opt.Flight; fr != nil {
+			fr.Record("fence", map[string]any{
 				"job": req.Job, "row": req.Row, "epoch": req.Epoch, "current": rs.epoch, "worker": req.Worker})
 		}
 		return completeResponse{}, errStale
@@ -432,6 +491,10 @@ func (c *Coordinator) complete(req completeRequest) (completeResponse, error) {
 		rs.expiry = c.now()
 		if c.mRequeued != nil {
 			c.mRequeued.Inc()
+		}
+		if fr := c.opt.Flight; fr != nil {
+			fr.Record("requeue", map[string]any{
+				"job": req.Job, "row": req.Row, "epoch": req.Epoch, "worker": req.Worker})
 		}
 		return completeResponse{Requeued: true}, nil
 	}
@@ -470,8 +533,24 @@ func (c *Coordinator) complete(req completeRequest) (completeResponse, error) {
 	if c.mCompleted != nil {
 		c.mCompleted.Inc()
 	}
+	if js.rate != nil {
+		done := 0
+		for i := range js.rows {
+			if js.rows[i].done {
+				done++
+			}
+		}
+		if secs := c.now().Sub(js.added).Seconds(); secs > 0 {
+			js.rate.Set(float64(done*js.job.Space.Size()) / secs)
+		}
+	}
 	if tw := c.opt.Trace; tw != nil {
-		tw.Instant("complete", "dist", 0, map[string]any{
+		tw.InstantSpan("complete", "dist", 0,
+			obs.SpanContext{TraceID: js.job.Trace.TraceID}, rs.span, map[string]any{
+				"job": req.Job, "row": r, "epoch": req.Epoch, "worker": req.Worker})
+	}
+	if fr := c.opt.Flight; fr != nil {
+		fr.Record("complete", map[string]any{
 			"job": req.Job, "row": r, "epoch": req.Epoch, "worker": req.Worker})
 	}
 	return completeResponse{}, nil
@@ -505,7 +584,7 @@ func (c *Coordinator) Handler() http.Handler {
 		if !decodeInto(w, r, &req) {
 			return
 		}
-		lease, err := c.acquire(req.Worker)
+		lease, err := c.acquire(req)
 		if err != nil {
 			writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
 			return

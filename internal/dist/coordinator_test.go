@@ -18,8 +18,8 @@ type testClock struct {
 
 func newTestClock() *testClock { return &testClock{t: time.Unix(1000, 0)} }
 
-func (c *testClock) now() time.Time            { return c.t }
-func (c *testClock) advance(d time.Duration)   { c.t = c.t.Add(d) }
+func (c *testClock) now() time.Time          { return c.t }
+func (c *testClock) advance(d time.Duration) { c.t = c.t.Add(d) }
 
 func testSpace(t *testing.T) hw.Space {
 	t.Helper()
@@ -84,7 +84,7 @@ func TestLeaseGrantCompleteDuplicate(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	l, err := c.acquire("w1")
+	l, err := c.acquire(acquireRequest{Worker: "w1"})
 	if err != nil || l == nil {
 		t.Fatalf("acquire: %v %v", l, err)
 	}
@@ -122,16 +122,16 @@ func TestExpiryRacesLateComplete(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	orig, err := c.acquire("slow")
+	orig, err := c.acquire(acquireRequest{Worker: "slow"})
 	if err != nil || orig == nil {
 		t.Fatalf("acquire: %v", err)
 	}
 	// Not expired yet: nothing to steal.
-	if l, _ := c.acquire("eager"); l != nil {
+	if l, _ := c.acquire(acquireRequest{Worker: "eager"}); l != nil {
 		t.Fatal("unexpired lease must not be re-granted")
 	}
 	clk.advance(2 * time.Second)
-	thief, err := c.acquire("thief")
+	thief, err := c.acquire(acquireRequest{Worker: "thief"})
 	if err != nil || thief == nil {
 		t.Fatalf("steal after expiry: %v", err)
 	}
@@ -177,7 +177,7 @@ func TestExpiredButUnstolenCompleteAccepted(t *testing.T) {
 	if err := c.AddJob(testJob(t, "j", 1)); err != nil {
 		t.Fatal(err)
 	}
-	l, _ := c.acquire("slow")
+	l, _ := c.acquire(acquireRequest{Worker: "slow"})
 	clk.advance(time.Minute)
 	if resp, err := c.complete(okComplete(t, l, "slow")); err != nil || resp.Duplicate {
 		t.Fatalf("expired-but-unstolen complete should be accepted: %+v %v", resp, err)
@@ -195,7 +195,7 @@ func TestRenewalAfterCoordinatorRestart(t *testing.T) {
 	if err := c.AddJob(job); err != nil {
 		t.Fatal(err)
 	}
-	l, err := c.acquire("w1")
+	l, err := c.acquire(acquireRequest{Worker: "w1"})
 	if err != nil || l == nil {
 		t.Fatalf("acquire: %v", err)
 	}
@@ -236,7 +236,7 @@ func TestRestartAfterCompleteNeverRegrants(t *testing.T) {
 	if err := c.AddJob(job); err != nil {
 		t.Fatal(err)
 	}
-	l1, _ := c.acquire("w1")
+	l1, _ := c.acquire(acquireRequest{Worker: "w1"})
 	if _, err := c.complete(okComplete(t, l1, "w1")); err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +250,7 @@ func TestRestartAfterCompleteNeverRegrants(t *testing.T) {
 	}
 	seen := map[int]bool{}
 	for {
-		l, err := c2.acquire("w2")
+		l, err := c2.acquire(acquireRequest{Worker: "w2"})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -280,12 +280,12 @@ func TestNotOKCompleteRequeues(t *testing.T) {
 	if err := c.AddJob(testJob(t, "j", 1)); err != nil {
 		t.Fatal(err)
 	}
-	l, _ := c.acquire("w1")
+	l, _ := c.acquire(acquireRequest{Worker: "w1"})
 	resp, err := c.complete(completeRequest{Job: l.Job, Row: l.Row, Epoch: l.Epoch, Worker: "w1"})
 	if err != nil || !resp.Requeued {
 		t.Fatalf("not-OK complete should requeue: %+v %v", resp, err)
 	}
-	l2, err := c.acquire("w2")
+	l2, err := c.acquire(acquireRequest{Worker: "w2"})
 	if err != nil || l2 == nil {
 		t.Fatal("requeued row should be immediately re-leasable")
 	}
@@ -302,7 +302,7 @@ func TestCompleteValidation(t *testing.T) {
 	if err := c.AddJob(testJob(t, "j", 1)); err != nil {
 		t.Fatal(err)
 	}
-	l, _ := c.acquire("w1")
+	l, _ := c.acquire(acquireRequest{Worker: "w1"})
 	req := okComplete(t, l, "w1")
 	req.Tput = req.Tput[:len(req.Tput)-1]
 	if _, err := c.complete(req); err == nil || !strings.Contains(err.Error(), "plane length") {
@@ -328,7 +328,7 @@ func TestLedgerTornTailSalvage(t *testing.T) {
 	if err := c.AddJob(testJob(t, "j", 1)); err != nil {
 		t.Fatal(err)
 	}
-	l, _ := c.acquire("w1")
+	l, _ := c.acquire(acquireRequest{Worker: "w1"})
 	c.Close()
 
 	// Tear the tail.

@@ -86,6 +86,11 @@ type Lease struct {
 	Engine      string  `json:"engine"`
 	// TTLMillis is how long the lease lives without a renewal.
 	TTLMillis int64 `json:"ttl_ms"`
+	// Traceparent carries the lease span's W3C trace context: the
+	// coordinator mints a span per grant (a child of the job's span)
+	// and the worker parents its row span under it, which is what
+	// stitches one job submission into a single cross-process trace.
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // DecodeKernel rebuilds the leased kernel.
@@ -112,6 +117,10 @@ func encodeKernel(k *kernel.Kernel) (json.RawMessage, error) {
 // acquireRequest asks for the next available row.
 type acquireRequest struct {
 	Worker string `json:"worker"`
+	// MetricsURL, when set, is where this worker serves its Prometheus
+	// exposition; the coordinator registers it with the metrics
+	// federation, so joining the fleet is joining /metrics/fleet.
+	MetricsURL string `json:"metrics_url,omitempty"`
 }
 
 // renewRequest extends a held lease.
@@ -136,11 +145,11 @@ type renewResponse struct {
 // three measurement planes; a failed row carries none and just
 // releases the lease for re-issue.
 type completeRequest struct {
-	Job    string `json:"job"`
-	Row    int    `json:"row"`
-	Epoch  uint64 `json:"epoch"`
-	Worker string `json:"worker"`
-	OK     bool   `json:"ok"`
+	Job    string    `json:"job"`
+	Row    int       `json:"row"`
+	Epoch  uint64    `json:"epoch"`
+	Worker string    `json:"worker"`
+	OK     bool      `json:"ok"`
 	Tput   []float64 `json:"tput,omitempty"`
 	TimeNS []float64 `json:"time_ns,omitempty"`
 	Bound  []int     `json:"bound,omitempty"`

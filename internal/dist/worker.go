@@ -45,6 +45,12 @@ type WorkerOptions struct {
 	Metrics *obs.Registry
 	// Trace, when non-nil, receives per-row and per-renewal spans.
 	Trace *obs.TraceWriter
+	// MetricsURL, when set, is advertised on every lease acquire so the
+	// coordinator can federate this worker's /metrics.
+	MetricsURL string
+	// Flight, when non-nil, records lease transitions and sweep
+	// retries/breaker trips into the crash flight recorder.
+	Flight *obs.FlightRecorder
 }
 
 // Worker runs the lease-acquire / sweep / complete loop against one
@@ -139,7 +145,8 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 // available.
 func (w *Worker) acquire(ctx context.Context) (*Lease, error) {
 	var lease Lease
-	status, err := w.post(ctx, "/v1/dist/lease", acquireRequest{Worker: w.o.Name}, &lease)
+	status, err := w.post(ctx, "/v1/dist/lease",
+		acquireRequest{Worker: w.o.Name, MetricsURL: w.o.MetricsURL}, &lease)
 	if err != nil {
 		return nil, err
 	}
@@ -160,17 +167,30 @@ func (w *Worker) runLease(ctx context.Context, lease *Lease) {
 	rowCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// The lease span arrives over the wire; the row span is its child,
+	// so the coordinator's grant and this worker's execution stitch
+	// into one trace even though they live in different processes.
+	leaseSC, _ := obs.ParseTraceparent(lease.Traceparent)
+	var rowSC obs.SpanContext
+	if leaseSC.Valid() {
+		rowSC = leaseSC.Child()
+	}
+	if fr := w.o.Flight; fr != nil {
+		fr.Record("lease.acquired", map[string]any{
+			"job": lease.Job, "row": lease.Row, "epoch": lease.Epoch, "worker": w.o.Name})
+	}
+
 	// Background renewal at a third of the TTL. A fenced renewal means
 	// the lease was stolen: abandon the row — the thief owns it now.
 	ttl := time.Duration(lease.TTLMillis) * time.Millisecond
 	renewDone := make(chan struct{})
 	go func() {
 		defer close(renewDone)
-		w.renewLoop(rowCtx, lease, ttl/3, cancel)
+		w.renewLoop(rowCtx, lease, leaseSC, ttl/3, cancel)
 	}()
 	defer func() { cancel(); <-renewDone }()
 
-	m, r, err := w.executeRow(rowCtx, lease)
+	m, r, err := w.executeRow(rowCtx, lease, rowSC)
 	if err != nil {
 		// Row incomplete (canceled, fenced, or engine trouble past the
 		// retry budget): tell the coordinator so the row re-leases
@@ -180,6 +200,11 @@ func (w *Worker) runLease(ctx context.Context, lease *Lease) {
 			Worker: w.o.Name, OK: false}
 		var resp completeResponse
 		w.post(ctx, "/v1/dist/complete", req, &resp)
+		if fr := w.o.Flight; fr != nil {
+			fr.Record("lease.abandoned", map[string]any{
+				"job": lease.Job, "row": lease.Row, "epoch": lease.Epoch,
+				"worker": w.o.Name, "err": err.Error()})
+		}
 		return
 	}
 
@@ -195,8 +220,13 @@ func (w *Worker) runLease(ctx context.Context, lease *Lease) {
 	if accepted && w.mRows != nil {
 		w.mRows.Inc()
 	}
+	if fr := w.o.Flight; fr != nil {
+		fr.Record("lease.completed", map[string]any{
+			"job": lease.Job, "row": lease.Row, "epoch": lease.Epoch,
+			"worker": w.o.Name, "accepted": accepted})
+	}
 	if tw := w.o.Trace; tw != nil {
-		tw.Complete("row", "dist", 0, start, time.Since(start), map[string]any{
+		tw.CompleteSpan("row", "dist", 0, rowSC, leaseSC.SpanID, start, time.Since(start), map[string]any{
 			"job": lease.Job, "row": lease.Row, "epoch": lease.Epoch,
 			"worker": w.o.Name, "accepted": accepted})
 	}
@@ -205,7 +235,9 @@ func (w *Worker) runLease(ctx context.Context, lease *Lease) {
 // executeRow produces the leased row's matrix, serving it from the
 // worker journal when this worker already completed the same kernel
 // (a re-lease after a lost ack or a steal of our own expired lease).
-func (w *Worker) executeRow(ctx context.Context, lease *Lease) (*sweep.Matrix, int, error) {
+// rowSC, when valid, joins the row's cell/attempt spans to the job's
+// distributed trace.
+func (w *Worker) executeRow(ctx context.Context, lease *Lease, rowSC obs.SpanContext) (*sweep.Matrix, int, error) {
 	k, err := lease.DecodeKernel()
 	if err != nil {
 		return nil, 0, err
@@ -246,6 +278,14 @@ func (w *Worker) executeRow(ctx context.Context, lease *Lease) (*sweep.Matrix, i
 			}
 		},
 	}
+	// Observer wiring only when a sink exists: the nil-observer fast
+	// path in the sweep executor stays untouched otherwise.
+	if w.o.Metrics != nil || w.o.Trace != nil {
+		tel := sweep.NewTelemetry(w.o.Metrics, w.o.Trace)
+		tel.SetSpanContext(rowSC)
+		tel.SetFlight(w.o.Flight)
+		opts.Observer = tel
+	}
 	m, _, err := sweep.Resume(ctx, []*kernel.Kernel{k}, space, opts, j.Prior())
 	if err != nil {
 		return nil, 0, err
@@ -259,7 +299,7 @@ func (w *Worker) executeRow(ctx context.Context, lease *Lease) (*sweep.Matrix, i
 
 // renewLoop renews the lease every interval until the row context
 // ends; a fenced (409) renewal cancels the row.
-func (w *Worker) renewLoop(ctx context.Context, lease *Lease, every time.Duration, cancel context.CancelFunc) {
+func (w *Worker) renewLoop(ctx context.Context, lease *Lease, leaseSC obs.SpanContext, every time.Duration, cancel context.CancelFunc) {
 	if every <= 0 {
 		every = time.Second
 	}
@@ -280,8 +320,9 @@ func (w *Worker) renewLoop(ctx context.Context, lease *Lease, every time.Duratio
 			w.hRenew.Observe(d.Seconds())
 		}
 		if tw := w.o.Trace; tw != nil && err == nil {
-			tw.Complete("renew", "dist", 0, start, d, map[string]any{
-				"job": lease.Job, "row": lease.Row, "worker": w.o.Name, "status": status})
+			tw.CompleteSpan("renew", "dist", 0,
+				obs.SpanContext{TraceID: leaseSC.TraceID}, leaseSC.SpanID, start, d, map[string]any{
+					"job": lease.Job, "row": lease.Row, "worker": w.o.Name, "status": status})
 		}
 		switch {
 		case err != nil:
@@ -290,6 +331,10 @@ func (w *Worker) renewLoop(ctx context.Context, lease *Lease, every time.Duratio
 		case status == http.StatusConflict:
 			if w.mLost != nil {
 				w.mLost.Inc()
+			}
+			if fr := w.o.Flight; fr != nil {
+				fr.Record("lease.lost", map[string]any{
+					"job": lease.Job, "row": lease.Row, "epoch": lease.Epoch, "worker": w.o.Name})
 			}
 			cancel()
 			return

@@ -170,8 +170,8 @@ func TestFleetUnderNetworkFaults(t *testing.T) {
 			Delay: 2 * time.Millisecond, Seed: int64(100 + i)}
 		w, err := NewWorker(WorkerOptions{
 			Name: string(rune('A' + i)), Coordinator: srv.URL,
-			Dir:    t.TempDir(),
-			Client: &http.Client{Transport: in.WrapTransport(nil), Timeout: 10 * time.Second},
+			Dir:          t.TempDir(),
+			Client:       &http.Client{Transport: in.WrapTransport(nil), Timeout: 10 * time.Second},
 			SweepWorkers: 2, Retries: 2, IdleSleep: 5 * time.Millisecond,
 		})
 		if err != nil {
@@ -254,14 +254,14 @@ func TestWorkerServesReleasedRowFromJournal(t *testing.T) {
 	if err != nil || lease == nil {
 		t.Fatalf("acquire: %v", err)
 	}
-	m1, r1, err := w.executeRow(context.Background(), lease)
+	m1, r1, err := w.executeRow(context.Background(), lease, obs.SpanContext{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Second execution of the same lease must come from the journal:
 	// identical planes, and Resume's Skipped accounting is invisible
 	// here, so prove it by byte-equality of the rows.
-	m2, r2, err := w.executeRow(context.Background(), lease)
+	m2, r2, err := w.executeRow(context.Background(), lease, obs.SpanContext{})
 	if err != nil {
 		t.Fatal(err)
 	}

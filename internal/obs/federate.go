@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Federation aggregates a fleet's metrics into one query surface: the
+// coordinator scrapes every registered worker's /metrics (plus its own
+// registry) and re-emits the union with a worker="<name>" label on
+// every series, so one Prometheus scrape of /metrics/fleet sees the
+// whole fleet without per-worker service discovery.
+//
+// Targets are registered dynamically — workers report their metrics
+// URL on every lease acquire, so joining the fleet IS joining the
+// federation and there is nothing to configure. Scrapes run
+// concurrently with a bounded per-scrape timeout; an unreachable
+// worker degrades to fleet_scrape_up{worker=...} 0 instead of failing
+// the whole page (a dead worker is exactly when you want the rest).
+type Federation struct {
+	// SelfName labels the local registry's series; "coordinator" when
+	// empty.
+	SelfName string
+	// Timeout bounds each scrape round; 2s when zero.
+	Timeout time.Duration
+
+	self   *Registry
+	client *http.Client
+
+	mu      sync.Mutex
+	targets map[string]string // worker name -> metrics URL
+}
+
+// NewFederation builds a federation over the local registry (may be
+// nil) and an HTTP client (nil uses a default; chaos tests hand in a
+// fault.WrapTransport-wrapped one).
+func NewFederation(self *Registry, client *http.Client) *Federation {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	return &Federation{self: self, client: client, targets: map[string]string{}}
+}
+
+// SetTarget registers (or refreshes) one worker's metrics URL. An
+// empty URL removes the worker.
+func (f *Federation) SetTarget(worker, url string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if url == "" {
+		delete(f.targets, worker)
+		return
+	}
+	f.targets[worker] = url
+}
+
+// Targets returns a copy of the registered worker -> URL map.
+func (f *Federation) Targets() map[string]string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]string, len(f.targets))
+	for k, v := range f.targets {
+		out[k] = v
+	}
+	return out
+}
+
+// WriteFleet renders the federated exposition: the local registry
+// first (labelled SelfName), then every target in worker-name order.
+// Scrapes run concurrently; ctx bounds the whole round on top of the
+// per-request Timeout.
+func (f *Federation) WriteFleet(ctx context.Context, w io.Writer) error {
+	timeout := f.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	type scrape struct {
+		worker string
+		body   []byte
+		err    error
+	}
+	targets := f.Targets()
+	names := make([]string, 0, len(targets))
+	for n := range targets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	results := make([]scrape, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name, url string) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			results[i] = scrape{worker: name}
+			req, err := http.NewRequestWithContext(sctx, http.MethodGet, url, nil)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			resp, err := f.client.Do(req)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				results[i].err = fmt.Errorf("status %d", resp.StatusCode)
+				io.Copy(io.Discard, resp.Body)
+				return
+			}
+			results[i].body, results[i].err = io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		}(i, name, targets[name])
+	}
+	wg.Wait()
+
+	bw := bufio.NewWriter(w)
+	seen := map[string]bool{} // family headers already emitted
+	selfName := f.SelfName
+	if selfName == "" {
+		selfName = "coordinator"
+	}
+	if f.self != nil {
+		var buf bytes.Buffer
+		if err := f.self.WriteText(&buf); err != nil {
+			return err
+		}
+		if err := relabelText(bw, &buf, L("worker", selfName), seen); err != nil {
+			return err
+		}
+	}
+	// Liveness of the scrape itself, one series per target.
+	if len(names) > 0 {
+		fmt.Fprintf(bw, "# HELP fleet_scrape_up whether the last federation scrape of this worker succeeded\n")
+		fmt.Fprintf(bw, "# TYPE fleet_scrape_up gauge\n")
+		for _, r := range results {
+			up := 1
+			if r.err != nil {
+				up = 0
+			}
+			fmt.Fprintf(bw, "fleet_scrape_up{worker=\"%s\"} %d\n", EscapeLabelValue(r.worker), up)
+		}
+	}
+	for _, r := range results {
+		if r.err != nil {
+			continue
+		}
+		if err := relabelText(bw, bytes.NewReader(r.body), L("worker", r.worker), seen); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves WriteFleet as /metrics/fleet. Scrape failures of
+// individual workers are not errors; only a broken local writer is.
+func (f *Federation) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = f.WriteFleet(r.Context(), w)
+	})
+}
+
+// relabelText streams one Prometheus text exposition, injecting label
+// into every series line and deduplicating # HELP / # TYPE headers
+// across the federation (the same family arrives from every worker).
+// The injection point is purely syntactic — right after the metric
+// name, before any existing label set — so label VALUES containing
+// braces or spaces (already escaped by the source) are never parsed.
+func relabelText(w io.Writer, r io.Reader, label Label, seen map[string]bool) error {
+	inject := label.Key + `="` + EscapeLabelValue(label.Value) + `"`
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			// "# HELP name ..." / "# TYPE name kind": dedupe per (kind,
+			// family). Unknown comment forms pass through once each.
+			fields := strings.SplitN(line, " ", 4)
+			key := line
+			if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				key = fields[1] + " " + fields[2]
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+			continue
+		}
+		// A series line: `name value`, `name{labels} value`. The metric
+		// name ends at the first '{' or space; nothing before it can be
+		// quoted or escaped.
+		brace := strings.IndexByte(line, '{')
+		space := strings.IndexByte(line, ' ')
+		var out string
+		switch {
+		case brace >= 0 && (space < 0 || brace < space):
+			rest := line[brace+1:]
+			if strings.HasPrefix(rest, "}") {
+				out = line[:brace] + "{" + inject + rest
+			} else {
+				out = line[:brace] + "{" + inject + "," + rest
+			}
+		case space >= 0:
+			out = line[:space] + "{" + inject + "}" + line[space:]
+		default:
+			// No value at all — not a well-formed series; pass through.
+			out = line
+		}
+		if _, err := fmt.Fprintln(w, out); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRelabelTextInjectsWorkerLabel(t *testing.T) {
+	src := strings.Join([]string{
+		"# HELP rows_total rows completed",
+		"# TYPE rows_total counter",
+		"rows_total 7",
+		`cells_total{status="ok"} 3`,
+		`latency_bucket{le="+Inf"} 4`,
+		"",
+	}, "\n")
+	var out bytes.Buffer
+	if err := relabelText(&out, strings.NewReader(src), L("worker", "w0"), map[string]bool{}); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"# HELP rows_total rows completed",
+		`rows_total{worker="w0"} 7`,
+		`cells_total{worker="w0",status="ok"} 3`,
+		`latency_bucket{worker="w0",le="+Inf"} 4`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("relabelled text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRelabelTextDedupesFamilyHeaders(t *testing.T) {
+	src := "# HELP x stuff\n# TYPE x counter\nx 1\n"
+	var out bytes.Buffer
+	seen := map[string]bool{}
+	for _, w := range []string{"w0", "w1"} {
+		if err := relabelText(&out, strings.NewReader(src), L("worker", w), seen); err != nil {
+			t.Fatal(err)
+		}
+	}
+	text := out.String()
+	if n := strings.Count(text, "# TYPE x counter"); n != 1 {
+		t.Errorf("TYPE line appears %d times, want 1:\n%s", n, text)
+	}
+	if n := strings.Count(text, "# HELP x stuff"); n != 1 {
+		t.Errorf("HELP line appears %d times, want 1:\n%s", n, text)
+	}
+	for _, want := range []string{`x{worker="w0"} 1`, `x{worker="w1"} 1`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRelabelTextEscapesWorkerName(t *testing.T) {
+	var out bytes.Buffer
+	if err := relabelText(&out, strings.NewReader("up 1\n"), L("worker", `w"0\x`), map[string]bool{}); err != nil {
+		t.Fatal(err)
+	}
+	want := `up{worker="w\"0\\x"} 1`
+	if !strings.Contains(out.String(), want) {
+		t.Fatalf("escaped injection missing %q:\n%s", want, out.String())
+	}
+}
+
+func newWorkerMetricsServer(t *testing.T, rows int) *httptest.Server {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Counter("fleet_rows_total", "rows completed").Add(uint64(rows))
+	srv := httptest.NewServer(Handler(reg, nil))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestFederationAggregatesWorkers(t *testing.T) {
+	w0 := newWorkerMetricsServer(t, 3)
+	w1 := newWorkerMetricsServer(t, 5)
+
+	self := NewRegistry()
+	self.Gauge("fleet_workers", "registered workers").Set(2)
+	fed := NewFederation(self, nil)
+	fed.SetTarget("w0", w0.URL+"/metrics")
+	fed.SetTarget("w1", w1.URL+"/metrics")
+
+	var buf bytes.Buffer
+	if err := fed.WriteFleet(context.Background(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`fleet_workers{worker="coordinator"} 2`,
+		`fleet_rows_total{worker="w0"} 3`,
+		`fleet_rows_total{worker="w1"} 5`,
+		`fleet_scrape_up{worker="w0"} 1`,
+		`fleet_scrape_up{worker="w1"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("fleet exposition missing %q:\n%s", want, text)
+		}
+	}
+	if n := strings.Count(text, "# TYPE fleet_rows_total counter"); n != 1 {
+		t.Errorf("family header appears %d times, want 1:\n%s", n, text)
+	}
+}
+
+func TestFederationSurvivesDeadWorker(t *testing.T) {
+	alive := newWorkerMetricsServer(t, 2)
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // connection refused from here on
+
+	fed := NewFederation(nil, nil)
+	fed.SetTarget("alive", alive.URL+"/metrics")
+	fed.SetTarget("dead", dead.URL+"/metrics")
+
+	var buf bytes.Buffer
+	if err := fed.WriteFleet(context.Background(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`fleet_scrape_up{worker="alive"} 1`,
+		`fleet_scrape_up{worker="dead"} 0`,
+		`fleet_rows_total{worker="alive"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("fleet exposition missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, `{worker="dead"} 2`) {
+		t.Errorf("dead worker contributed series:\n%s", text)
+	}
+}
+
+func TestFederationTargetRemoval(t *testing.T) {
+	fed := NewFederation(nil, nil)
+	fed.SetTarget("w0", "http://example.invalid/metrics")
+	fed.SetTarget("w0", "") // removal
+	if len(fed.Targets()) != 0 {
+		t.Fatalf("targets = %v, want empty", fed.Targets())
+	}
+}
+
+func TestFederationHandler(t *testing.T) {
+	worker := newWorkerMetricsServer(t, 9)
+	fed := NewFederation(nil, nil)
+	fed.SetTarget("w0", worker.URL+"/metrics")
+	rr := httptest.NewRecorder()
+	fed.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics/fleet", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), `fleet_rows_total{worker="w0"} 9`) {
+		t.Errorf("handler body missing relabelled series:\n%s", rr.Body.String())
+	}
+}

@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// FlightRecorder is the crash flight recorder: a fixed-size ring of
+// recent structured control-plane events (lease transitions, retries,
+// breaker trips, shed decisions) that answers "what was this process
+// doing just before it died?" — the question journals (state-only)
+// cannot, because they record what was durably decided, not what was
+// in flight.
+//
+// Two backings share one API:
+//
+//   - In-memory (NewFlightRecorder): events live in the ring until
+//     someone dumps them — on panic, on SIGQUIT, or over HTTP.
+//   - File-backed (OpenFlightRecorder): every Record also overwrites
+//     one fixed-size CRC-framed slot in a preallocated file via
+//     pwrite, with no fsync. The kernel's page cache makes the slots
+//     survive kill -9 — the process dies, the dirty pages don't —
+//     which is exactly the black-box semantics the name promises.
+//     Only machine loss loses the ring. A torn slot (kill mid-pwrite)
+//     fails its CRC and is skipped at recovery, like journal v2's
+//     torn tail.
+//
+// Record is mutex-serialized and does one small JSON encode plus (for
+// the file backing) one pwrite; events are control-plane-rate (leases,
+// sheds, retries), never per-cell, so this stays far off the sweep
+// hot path.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	ring []FlightEvent
+	next uint64 // total events ever recorded; ring index = (next-1) % len
+
+	f        *os.File // nil for the in-memory backing
+	slotSize int
+	buf      []byte // reusable pwrite buffer, len slotSize
+}
+
+// FlightEvent is one recorded moment.
+type FlightEvent struct {
+	// Seq is the global sequence number (1-based); recovery orders by
+	// it.
+	Seq uint64 `json:"seq"`
+	// TimeNS is the wall-clock time of the event in Unix nanoseconds.
+	// Wall, not monotonic: dumps are read by humans correlating
+	// processes, and the ring survives the process whose monotonic
+	// clock defined it.
+	TimeNS int64 `json:"t"`
+	// Kind classifies the event ("lease", "steal", "complete", "fence",
+	// "shed", "retry", "breaker", ...).
+	Kind string `json:"kind"`
+	// Args carries the event payload (job, row, epoch, worker, ...).
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Flight-file layout: a 24-byte header, then slotCount slots of
+// slotSize bytes. Each slot: u64 seq, u32 payload length, u32
+// CRC32(payload), payload (JSON FlightEvent). All little-endian.
+const (
+	flightMagic      = "GPUFLT01"
+	flightHeaderSize = 24
+	flightSlotHeader = 16
+	// DefaultFlightSlots and DefaultFlightSlotSize size the ring when
+	// callers pass zero: 512 events x 1KiB = a 512KiB black box.
+	DefaultFlightSlots    = 512
+	DefaultFlightSlotSize = 1024
+)
+
+// NewFlightRecorder returns an in-memory recorder holding the last
+// `slots` events (DefaultFlightSlots when <= 0).
+func NewFlightRecorder(slots int) *FlightRecorder {
+	if slots <= 0 {
+		slots = DefaultFlightSlots
+	}
+	return &FlightRecorder{ring: make([]FlightEvent, slots)}
+}
+
+// OpenFlightRecorder returns a file-backed recorder at path,
+// truncating any previous ring there (recover it first with
+// ReadFlightFile if it matters). slots/slotSize <= 0 use the
+// defaults. The file is fully preallocated so a Record never needs to
+// grow it.
+func OpenFlightRecorder(path string, slots, slotSize int) (*FlightRecorder, error) {
+	if slots <= 0 {
+		slots = DefaultFlightSlots
+	}
+	if slotSize <= 0 {
+		slotSize = DefaultFlightSlotSize
+	}
+	if slotSize < flightSlotHeader+2 {
+		return nil, fmt.Errorf("obs: flight slot size %d too small", slotSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening flight file: %w", err)
+	}
+	hdr := make([]byte, flightHeaderSize)
+	copy(hdr, flightMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(slotSize))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(slots))
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: writing flight header: %w", err)
+	}
+	if err := f.Truncate(int64(flightHeaderSize + slots*slotSize)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: sizing flight file: %w", err)
+	}
+	return &FlightRecorder{
+		ring: make([]FlightEvent, slots),
+		f:    f, slotSize: slotSize, buf: make([]byte, slotSize),
+	}, nil
+}
+
+// Record appends one event to the ring (and its file slot, when
+// file-backed). Safe for concurrent use; never fails — a write error
+// on the file backing degrades that slot to its CRC check, it does
+// not lose the in-memory copy.
+func (fr *FlightRecorder) Record(kind string, args map[string]any) {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	fr.next++
+	ev := FlightEvent{Seq: fr.next, TimeNS: time.Now().UnixNano(), Kind: kind, Args: args}
+	fr.ring[int((fr.next-1)%uint64(len(fr.ring)))] = ev
+	if fr.f == nil {
+		return
+	}
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	if len(payload) > fr.slotSize-flightSlotHeader {
+		payload = payload[:fr.slotSize-flightSlotHeader] // oversized events degrade to torn slots
+	}
+	for i := range fr.buf {
+		fr.buf[i] = 0
+	}
+	binary.LittleEndian.PutUint64(fr.buf[0:], ev.Seq)
+	binary.LittleEndian.PutUint32(fr.buf[8:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(fr.buf[12:], crc32.ChecksumIEEE(payload))
+	copy(fr.buf[flightSlotHeader:], payload)
+	off := int64(flightHeaderSize + int((ev.Seq-1)%uint64(len(fr.ring)))*fr.slotSize)
+	// Deliberately no fsync: the page cache IS the durability model.
+	fr.f.WriteAt(fr.buf, off)
+}
+
+// Events returns the ring's current contents, oldest first.
+func (fr *FlightRecorder) Events() []FlightEvent {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	n := fr.next
+	cap64 := uint64(len(fr.ring))
+	count := n
+	if count > cap64 {
+		count = cap64
+	}
+	out := make([]FlightEvent, 0, count)
+	for i := uint64(0); i < count; i++ {
+		seq := n - count + i + 1
+		out = append(out, fr.ring[int((seq-1)%cap64)])
+	}
+	return out
+}
+
+// Recorded returns the total number of events ever recorded.
+func (fr *FlightRecorder) Recorded() uint64 {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return fr.next
+}
+
+// WriteDump renders the ring as JSONL, oldest first, prefixed with
+// one header object ({"flight_dump":...}) identifying the dump.
+func (fr *FlightRecorder) WriteDump(w io.Writer, reason string) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(map[string]any{
+		"flight_dump": reason,
+		"pid":         os.Getpid(),
+		"t":           time.Now().UnixNano(),
+	}); err != nil {
+		return err
+	}
+	for _, ev := range fr.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DumpToFile writes a dump to path (atomically enough for a crash
+// handler: create, write, sync, close).
+func (fr *FlightRecorder) DumpToFile(path, reason string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fr.WriteDump(f, reason); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Close closes the file backing, if any. The on-disk ring remains
+// readable via ReadFlightFile.
+func (fr *FlightRecorder) Close() error {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if fr.f == nil {
+		return nil
+	}
+	err := fr.f.Close()
+	fr.f = nil
+	return err
+}
+
+// ReadFlightFile recovers the events a file-backed recorder left
+// behind — typically after the process was kill -9'd. Slots that are
+// empty, torn (CRC mismatch) or out of range are skipped; survivors
+// are returned oldest first.
+func ReadFlightFile(path string) ([]FlightEvent, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < flightHeaderSize || string(b[:8]) != flightMagic {
+		return nil, fmt.Errorf("obs: %s is not a flight file", path)
+	}
+	slotSize := int(binary.LittleEndian.Uint32(b[8:]))
+	slots := int(binary.LittleEndian.Uint32(b[12:]))
+	if slotSize < flightSlotHeader+2 || slots <= 0 || slots > 1<<20 {
+		return nil, fmt.Errorf("obs: %s has an implausible flight geometry (%d x %d)", path, slots, slotSize)
+	}
+	var out []FlightEvent
+	for i := 0; i < slots; i++ {
+		off := flightHeaderSize + i*slotSize
+		if off+flightSlotHeader > len(b) {
+			break
+		}
+		slot := b[off:min(off+slotSize, len(b))]
+		seq := binary.LittleEndian.Uint64(slot[0:])
+		n := int(binary.LittleEndian.Uint32(slot[8:]))
+		crc := binary.LittleEndian.Uint32(slot[12:])
+		if seq == 0 || n <= 0 || n > len(slot)-flightSlotHeader {
+			continue
+		}
+		payload := slot[flightSlotHeader : flightSlotHeader+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			continue // torn slot: the kill landed mid-pwrite
+		}
+		var ev FlightEvent
+		if err := json.Unmarshal(payload, &ev); err != nil || ev.Seq != seq {
+			continue
+		}
+		out = append(out, ev)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// ReadFlightDump parses a WriteDump stream back into events, skipping
+// the header object.
+func ReadFlightDump(r io.Reader) ([]FlightEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []FlightEvent
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		if line == 1 {
+			var hdr map[string]any
+			if err := json.Unmarshal(b, &hdr); err == nil {
+				if _, ok := hdr["flight_dump"]; ok {
+					continue
+				}
+			}
+		}
+		var ev FlightEvent
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("obs: flight dump line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -48,6 +48,17 @@ func Handler(reg *Registry, p *Progress) http.Handler {
 	return mux
 }
 
+// FlightHandler serves a flight recorder's current ring as a JSONL
+// dump — the live sibling of the on-crash file dump, for operators
+// (and `gpuscaled -flight-dump`) inspecting a healthy or wedged
+// process without killing it.
+func FlightHandler(fr *FlightRecorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		_ = fr.WriteDump(w, "http")
+	})
+}
+
 // Server wraps h in an http.Server with bounded read/write timeouts —
 // the hardening every internet-adjacent listener needs so a stuck or
 // malicious client cannot pin a connection (and its goroutine) forever.

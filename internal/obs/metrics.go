@@ -318,6 +318,35 @@ func (r *Registry) Snapshot() []Sample {
 	return out
 }
 
+// EscapeLabelValue escapes a label value for the Prometheus text
+// exposition format: backslash, double-quote and newline become \\,
+// \" and \n; everything else — tabs, arbitrary UTF-8 — passes through
+// raw, exactly as the format specifies. Go's %q is NOT a substitute:
+// it escapes tabs, control bytes and non-ASCII runes into Go syntax a
+// Prometheus parser would read literally. Worker names and kernel IDs
+// land in labels verbatim, so this is load-bearing, not cosmetic.
+func EscapeLabelValue(v string) string {
+	// Fast path: nothing to escape (the overwhelmingly common case).
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
 // labelString renders {k="v",...} or "" for an unlabelled series.
 func labelString(labels []Label, extra ...Label) string {
 	all := append(append([]Label(nil), labels...), extra...)
@@ -326,7 +355,7 @@ func labelString(labels []Label, extra ...Label) string {
 	}
 	parts := make([]string, len(all))
 	for i, l := range all {
-		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+		parts[i] = l.Key + `="` + EscapeLabelValue(l.Value) + `"`
 	}
 	return "{" + strings.Join(parts, ",") + "}"
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"math"
 	"strings"
 	"sync"
@@ -162,5 +163,45 @@ func TestConcurrentUseIsRaceFree(t *testing.T) {
 	wg.Wait()
 	if got := r.Counter("hits_total", "", L("w", "a")).Value(); got != 8*500 {
 		t.Fatalf("counter = %d, want %d", got, 8*500)
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`say "hi"`, `say \"hi\"`},
+		{"line\nbreak", `line\nbreak`},
+		{"tab\there", "tab\there"}, // raw tab passes through
+		{"ünïcode→", "ünïcode→"},   // raw UTF-8 passes through
+		{`all"three\of` + "\nthem", `all\"three\\of\nthem`},
+	}
+	for _, c := range cases {
+		if got := EscapeLabelValue(c.in); got != c.want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWriteTextEscapesLabelValues(t *testing.T) {
+	reg := NewRegistry()
+	// Worker names and kernel IDs are used as labels and can carry
+	// anything: quotes, backslashes, newlines, unicode.
+	reg.Counter("fleet_rows_total", "rows", L("worker", "w\"0\\host\nx"), L("kernel", "ünïcode")).Add(3)
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := `fleet_rows_total{worker="w\"0\\host\nx",kernel="ünïcode"} 3` + "\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing escaped series line %q:\n%s", want, out)
+	}
+	// Exactly one physical line per series: a raw newline in a label
+	// value would split it.
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("exposition contains an empty line (torn series?):\n%s", out)
+		}
 	}
 }

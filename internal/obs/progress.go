@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"time"
 )
@@ -17,6 +18,7 @@ type Progress struct {
 	Interval time.Duration
 
 	done func() uint64
+	now  func() time.Time // clock seam; tests inject misbehaving clocks
 
 	mu    sync.Mutex
 	total uint64
@@ -28,7 +30,7 @@ type Progress struct {
 // done. Call SetTotal before the campaign starts; the clock starts
 // there.
 func NewProgress(done func() uint64) *Progress {
-	return &Progress{Interval: time.Second, done: done}
+	return &Progress{Interval: time.Second, done: done, now: time.Now}
 }
 
 // SetTotal fixes the campaign size and (re)starts the rate clock.
@@ -36,7 +38,7 @@ func (p *Progress) SetTotal(n uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.total = n
-	p.start = time.Now()
+	p.start = p.now()
 	p.last = time.Time{}
 }
 
@@ -55,7 +57,11 @@ type Snapshot struct {
 	ETA time.Duration
 }
 
-// Snapshot returns the current reading.
+// Snapshot returns the current reading. Every derived field is
+// guarded against the degenerate inputs long campaigns actually hit —
+// zero-cell sweeps (total 0), counters racing past the total, and
+// non-monotonic clock readings — so /progress never serves ±Inf or
+// NaN (which would also make its JSON encoding fail outright).
 func (p *Progress) Snapshot() Snapshot {
 	p.mu.Lock()
 	total, start := p.total, p.start
@@ -64,15 +70,32 @@ func (p *Progress) Snapshot() Snapshot {
 	if start.IsZero() {
 		return s
 	}
-	s.Elapsed = time.Since(start)
+	s.Elapsed = p.now().Sub(start)
+	if s.Elapsed < 0 {
+		// A clock that stepped backwards (or a seeded fake) must not
+		// produce negative rates or ETAs.
+		s.Elapsed = 0
+	}
 	if total > 0 {
 		s.Percent = 100 * float64(s.Done) / float64(total)
+		if s.Percent > 100 {
+			// Done can transiently outrun Total when skipped cells are
+			// counted before SetTotal lands; clamp instead of lying.
+			s.Percent = 100
+		}
 	}
 	if secs := s.Elapsed.Seconds(); secs > 0 {
 		s.Rate = float64(s.Done) / secs
 	}
 	if s.Rate > 0 && s.Done < total {
-		s.ETA = time.Duration(float64(total-s.Done) / s.Rate * float64(time.Second))
+		eta := float64(total-s.Done) / s.Rate * float64(time.Second)
+		if eta > float64(math.MaxInt64) {
+			// A near-zero rate over a huge grid overflows Duration into
+			// garbage (negative); saturate instead.
+			s.ETA = time.Duration(math.MaxInt64)
+		} else {
+			s.ETA = time.Duration(eta)
+		}
 	}
 	return s
 }
@@ -95,7 +118,7 @@ func (p *Progress) Line() string { return p.Snapshot().Line() }
 // reports whether a line was written.
 func (p *Progress) MaybeEmit(w io.Writer) bool {
 	p.mu.Lock()
-	now := time.Now()
+	now := p.now()
 	if !p.last.IsZero() && now.Sub(p.last) < p.Interval {
 		p.mu.Unlock()
 		return false
@@ -110,7 +133,7 @@ func (p *Progress) MaybeEmit(w io.Writer) bool {
 // campaign should never be throttled away.
 func (p *Progress) Emit(w io.Writer) {
 	p.mu.Lock()
-	p.last = time.Now()
+	p.last = p.now()
 	p.mu.Unlock()
 	fmt.Fprintln(w, p.Line())
 }

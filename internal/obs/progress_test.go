@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"net/http/httptest"
 	"strings"
 	"sync/atomic"
@@ -101,4 +102,98 @@ func TestHandlerServesMetricsAndProgress(t *testing.T) {
 	if _, ok := got["eta_seconds"]; !ok {
 		t.Fatal("/progress missing eta_seconds")
 	}
+}
+
+// finite asserts a float is neither NaN nor ±Inf.
+func finite(t *testing.T, name string, v float64) {
+	t.Helper()
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("%s = %v, want finite", name, v)
+	}
+}
+
+// TestProgressDegenerateInputs is the regression test for the ETA
+// math: zero-cell sweeps, done outrunning total, and non-monotonic
+// clocks must never surface ±Inf or NaN in a snapshot (or break the
+// /progress JSON, which rejects those values outright).
+func TestProgressDegenerateInputs(t *testing.T) {
+	t.Run("zero cell sweep", func(t *testing.T) {
+		var done atomic.Uint64
+		p := NewProgress(done.Load)
+		p.SetTotal(0)
+		s := p.Snapshot()
+		finite(t, "Percent", s.Percent)
+		finite(t, "Rate", s.Rate)
+		if s.Percent != 0 || s.ETA != 0 {
+			t.Fatalf("zero-cell snapshot = %+v, want zero percent and ETA", s)
+		}
+		if !strings.Contains(s.Line(), "0/0") {
+			t.Fatalf("zero-cell line = %q", s.Line())
+		}
+	})
+	t.Run("done outruns total", func(t *testing.T) {
+		var done atomic.Uint64
+		p := NewProgress(done.Load)
+		p.SetTotal(10)
+		done.Store(15) // skipped-cell accounting can transiently overshoot
+		s := p.Snapshot()
+		if s.Percent != 100 {
+			t.Fatalf("overshoot percent = %v, want clamped 100", s.Percent)
+		}
+		if s.ETA != 0 {
+			t.Fatalf("overshoot ETA = %v, want 0 (no uint64 underflow)", s.ETA)
+		}
+		finite(t, "Rate", s.Rate)
+	})
+	t.Run("clock steps backwards", func(t *testing.T) {
+		var done atomic.Uint64
+		p := NewProgress(done.Load)
+		now := time.Now()
+		p.now = func() time.Time { return now }
+		p.SetTotal(100)
+		done.Store(50)
+		p.now = func() time.Time { return now.Add(-3 * time.Second) }
+		s := p.Snapshot()
+		if s.Elapsed < 0 {
+			t.Fatalf("negative elapsed %v leaked", s.Elapsed)
+		}
+		if s.Rate < 0 || s.ETA < 0 {
+			t.Fatalf("backwards clock produced rate %v eta %v", s.Rate, s.ETA)
+		}
+		finite(t, "Rate", s.Rate)
+		finite(t, "Percent", s.Percent)
+	})
+	t.Run("vanishing rate saturates eta", func(t *testing.T) {
+		var done atomic.Uint64
+		p := NewProgress(done.Load)
+		now := time.Now()
+		p.now = func() time.Time { return now }
+		p.SetTotal(math.MaxUint64)
+		done.Store(1)
+		p.now = func() time.Time { return now.Add(500 * 24 * time.Hour) }
+		s := p.Snapshot()
+		if s.ETA < 0 {
+			t.Fatalf("huge remaining work overflowed ETA to %v", s.ETA)
+		}
+		finite(t, "Percent", s.Percent)
+	})
+	t.Run("progress json stays encodable", func(t *testing.T) {
+		var done atomic.Uint64
+		p := NewProgress(done.Load)
+		p.SetTotal(0)
+		rr := httptest.NewRecorder()
+		Handler(nil, p).ServeHTTP(rr, httptest.NewRequest("GET", "/progress", nil))
+		if rr.Code != 200 {
+			t.Fatalf("/progress = %d", rr.Code)
+		}
+		var out map[string]any
+		if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+			t.Fatalf("/progress body not JSON (NaN/Inf leak?): %v\n%s", err, rr.Body.String())
+		}
+		for k, v := range out {
+			if f, ok := v.(float64); ok {
+				finite(t, "/progress "+k, f)
+			}
+		}
+	})
 }

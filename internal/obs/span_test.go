@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestNewSpanContextValidAndUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		sc := NewSpanContext()
+		if !sc.Valid() {
+			t.Fatalf("NewSpanContext returned invalid context %+v", sc)
+		}
+		if len(sc.TraceID) != 32 || len(sc.SpanID) != 16 {
+			t.Fatalf("id lengths = %d/%d, want 32/16", len(sc.TraceID), len(sc.SpanID))
+		}
+		if seen[sc.TraceID] {
+			t.Fatalf("trace id %s repeated within 100 draws", sc.TraceID)
+		}
+		seen[sc.TraceID] = true
+	}
+}
+
+func TestChildSharesTraceFreshSpan(t *testing.T) {
+	root := NewSpanContext()
+	child := root.Child()
+	if child.TraceID != root.TraceID {
+		t.Fatalf("child trace %s != root trace %s", child.TraceID, root.TraceID)
+	}
+	if child.SpanID == root.SpanID {
+		t.Fatal("child span id should differ from the root's")
+	}
+	if !child.Valid() {
+		t.Fatalf("child context invalid: %+v", child)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := NewSpanContext()
+	tp := sc.Traceparent()
+	if !strings.HasPrefix(tp, "00-") || !strings.HasSuffix(tp, "-01") {
+		t.Fatalf("traceparent %q not in 00-...-01 form", tp)
+	}
+	got, err := ParseTraceparent(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sc {
+		t.Fatalf("round trip: got %+v want %+v", got, sc)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"garbage",
+		"00-abc-def-01",
+		"00-00000000000000000000000000000000-1234567890abcdef-01", // zero trace id
+		"00-1234567890abcdef1234567890abcdef-0000000000000000-01", // zero span id
+		"00-1234567890ABCDEF1234567890abcdef-1234567890abcdef-01", // upper-case hex
+		"ff-1234567890abcdef1234567890abcdef-1234567890abcdef-01", // reserved version
+	}
+	for _, s := range bad {
+		if _, err := ParseTraceparent(s); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted, want error", s)
+		}
+	}
+	// Forward compatibility: a future version with trailing fields
+	// still yields the IDs.
+	got, err := ParseTraceparent("01-1234567890abcdef1234567890abcdef-1234567890abcdef-01-extra")
+	if err != nil {
+		t.Fatalf("future-version traceparent rejected: %v", err)
+	}
+	if got.TraceID != "1234567890abcdef1234567890abcdef" {
+		t.Fatalf("future-version trace id = %q", got.TraceID)
+	}
+}
+
+func TestHeaderInjectExtract(t *testing.T) {
+	h := http.Header{}
+	if _, ok := ExtractSpanContext(h); ok {
+		t.Fatal("extract from empty headers should report ok=false")
+	}
+	sc := NewSpanContext()
+	sc.Inject(h)
+	got, ok := ExtractSpanContext(h)
+	if !ok || got != sc {
+		t.Fatalf("extract = %+v ok=%v, want %+v", got, ok, sc)
+	}
+	// Invalid contexts must not stamp a header.
+	h2 := http.Header{}
+	SpanContext{}.Inject(h2)
+	if h2.Get(TraceparentHeader) != "" {
+		t.Fatalf("zero context injected %q", h2.Get(TraceparentHeader))
+	}
+	// A malformed header is ignored, not an error.
+	h3 := http.Header{}
+	h3.Set(TraceparentHeader, "not-a-traceparent")
+	if _, ok := ExtractSpanContext(h3); ok {
+		t.Fatal("malformed traceparent extracted ok")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -31,20 +32,38 @@ type Event struct {
 	// matrix row so each kernel renders as its own track.
 	PID int   `json:"pid"`
 	TID int64 `json:"tid"`
+	// Trace, Span and Parent carry distributed-trace identity (see
+	// SpanContext): Trace groups every span of one job across
+	// processes, Span names this event's own span, Parent links it to
+	// the span that caused it — possibly in another process. All
+	// optional; single-process traces leave them empty.
+	Trace  string `json:"trace,omitempty"`
+	Span   string `json:"span,omitempty"`
+	Parent string `json:"parent,omitempty"`
+	// Proc names the emitting process ("coordinator", a worker name),
+	// so a stitched multi-process trace keeps its provenance.
+	Proc string `json:"proc,omitempty"`
 	// Args carries span-specific payload (kernel, config, attempt,
 	// status, error, fault kind, ...).
 	Args map[string]any `json:"args,omitempty"`
+}
+
+// SpanContext returns the event's own span identity.
+func (e *Event) SpanContext() SpanContext {
+	return SpanContext{TraceID: e.Trace, SpanID: e.Span}
 }
 
 // TraceWriter emits Events as JSONL. It is safe for concurrent use;
 // each event is one buffered, atomically written line. The zero
 // timestamp is the writer's creation time.
 type TraceWriter struct {
-	mu    sync.Mutex
-	bw    *bufio.Writer
-	enc   *json.Encoder
-	start time.Time
-	err   error
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	start   time.Time
+	proc    string
+	err     error
+	scratch []byte
 }
 
 // NewTraceWriter wraps w; events are buffered, call Flush (or Close on
@@ -52,6 +71,15 @@ type TraceWriter struct {
 func NewTraceWriter(w io.Writer) *TraceWriter {
 	bw := bufio.NewWriter(w)
 	return &TraceWriter{bw: bw, enc: json.NewEncoder(bw), start: time.Now()}
+}
+
+// SetProcess names the emitting process; every subsequent event whose
+// Proc is empty is stamped with it. Call once at startup, before
+// concurrent emitters exist.
+func (tw *TraceWriter) SetProcess(name string) {
+	tw.mu.Lock()
+	tw.proc = name
+	tw.mu.Unlock()
 }
 
 // Since returns the trace-relative timestamp of t in microseconds.
@@ -67,6 +95,9 @@ func (tw *TraceWriter) Emit(e Event) {
 	defer tw.mu.Unlock()
 	if tw.err != nil {
 		return
+	}
+	if e.Proc == "" {
+		e.Proc = tw.proc
 	}
 	tw.err = tw.enc.Encode(e)
 }
@@ -86,6 +117,155 @@ func (tw *TraceWriter) Instant(name, cat string, tid int64, args map[string]any)
 		Name: name, Cat: cat, Phase: "i",
 		TS: tw.Since(time.Now()), TID: tid, Args: args,
 	})
+}
+
+// CompleteSpan emits a completed span carrying distributed-trace
+// identity: sc names the span itself, parent (may be "") links it to
+// its causal parent, possibly in another process.
+func (tw *TraceWriter) CompleteSpan(name, cat string, tid int64, sc SpanContext, parent string, start time.Time, d time.Duration, args map[string]any) {
+	tw.Emit(Event{
+		Name: name, Cat: cat, Phase: "X",
+		TS: tw.Since(start), Dur: float64(d) / float64(time.Microsecond),
+		TID: tid, Trace: sc.TraceID, Span: sc.SpanID, Parent: parent, Args: args,
+	})
+}
+
+// InstantSpan emits a zero-duration marker carrying trace identity.
+func (tw *TraceWriter) InstantSpan(name, cat string, tid int64, sc SpanContext, parent string, args map[string]any) {
+	tw.Emit(Event{
+		Name: name, Cat: cat, Phase: "i",
+		TS: tw.Since(time.Now()), TID: tid,
+		Trace: sc.TraceID, Span: sc.SpanID, Parent: parent, Args: args,
+	})
+}
+
+// KV is one typed key/value argument for the hot-path emitters. A
+// stack-built []KV replaces the map[string]any allocation per leaf
+// event — on a sweep emitting two events per cell, that map plus the
+// reflective JSON marshal is the difference between tracing costing
+// microseconds per cell and a fraction of one.
+type KV struct {
+	Key string
+	s   string
+	n   float64
+	str bool
+}
+
+// KS builds a string-valued argument.
+func KS(k, v string) KV { return KV{Key: k, s: v, str: true} }
+
+// KN builds a numeric argument.
+func KN(k string, v float64) KV { return KV{Key: k, n: v} }
+
+// EmitFast writes one event through a hand-rolled JSON encoder:
+// no reflection, no args map, one buffered write. The output is
+// line-for-line parseable by ReadEvents exactly like Emit's; dur 0 is
+// omitted (instant markers), as are empty trace identity fields.
+func (tw *TraceWriter) EmitFast(name, cat, phase string, tid int64, traceID, span, parent string, ts, dur float64, kvs []KV) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.err != nil {
+		return
+	}
+	b := tw.scratch[:0]
+	b = append(b, `{"name":`...)
+	b = appendJSONString(b, name)
+	b = append(b, `,"cat":`...)
+	b = appendJSONString(b, cat)
+	b = append(b, `,"ph":`...)
+	b = appendJSONString(b, phase)
+	b = append(b, `,"ts":`...)
+	b = appendJSONFloat(b, ts)
+	if dur != 0 {
+		b = append(b, `,"dur":`...)
+		b = appendJSONFloat(b, dur)
+	}
+	b = append(b, `,"pid":0,"tid":`...)
+	b = strconv.AppendInt(b, tid, 10)
+	if traceID != "" {
+		b = append(b, `,"trace":`...)
+		b = appendJSONString(b, traceID)
+	}
+	if span != "" {
+		b = append(b, `,"span":`...)
+		b = appendJSONString(b, span)
+	}
+	if parent != "" {
+		b = append(b, `,"parent":`...)
+		b = appendJSONString(b, parent)
+	}
+	if tw.proc != "" {
+		b = append(b, `,"proc":`...)
+		b = appendJSONString(b, tw.proc)
+	}
+	if len(kvs) > 0 {
+		b = append(b, `,"args":{`...)
+		for i, kv := range kvs {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendJSONString(b, kv.Key)
+			b = append(b, ':')
+			if kv.str {
+				b = appendJSONString(b, kv.s)
+			} else {
+				b = appendJSONFloat(b, kv.n)
+			}
+		}
+		b = append(b, '}')
+	}
+	b = append(b, '}', '\n')
+	if _, err := tw.bw.Write(b); err != nil {
+		tw.err = err
+	}
+	tw.scratch = b
+}
+
+// CompleteSpanFast is CompleteSpan on the EmitFast path. Empty traceID
+// and parent degrade to a plain single-process span, so one call site
+// serves both traced and untraced sweeps.
+func (tw *TraceWriter) CompleteSpanFast(name, cat string, tid int64, traceID, parent string, start time.Time, d time.Duration, kvs ...KV) {
+	tw.EmitFast(name, cat, "X", tid, traceID, "", parent,
+		tw.Since(start), float64(d)/float64(time.Microsecond), kvs)
+}
+
+// appendJSONString appends s as a JSON string literal. Multi-byte
+// UTF-8 passes through raw (valid JSON); quotes, backslashes and
+// control bytes are escaped.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c >= 0x20:
+			b = append(b, c)
+		case c == '\n':
+			b = append(b, '\\', 'n')
+		case c == '\t':
+			b = append(b, '\\', 't')
+		case c == '\r':
+			b = append(b, '\\', 'r')
+		default:
+			const hex = "0123456789abcdef"
+			b = append(b, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		}
+	}
+	return append(b, '"')
+}
+
+// appendJSONFloat appends v as a JSON number; integral values take
+// the integer fast path, everything else fixed-point with three
+// decimals — nanosecond resolution for microsecond timestamps, and
+// several times cheaper than shortest-round-trip formatting.
+func appendJSONFloat(b []byte, v float64) []byte {
+	if v == float64(int64(v)) {
+		return strconv.AppendInt(b, int64(v), 10)
+	}
+	if v > -1e15 && v < 1e15 {
+		return strconv.AppendFloat(b, v, 'f', 3, 64)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
 }
 
 // Flush drains the buffer and returns the first error seen, if any.

@@ -105,3 +105,95 @@ func TestTraceWriterConcurrent(t *testing.T) {
 		t.Fatalf("read %d events, want %d", len(evs), 8*200)
 	}
 }
+
+// TestTraceWriterConcurrentSpansComplete is the stronger concurrency
+// contract: N goroutines emitting distinct, identifiable span events
+// through one writer must yield a stream that parses line-by-line AND
+// contains every event exactly once with its payload intact — a torn
+// or interleaved line would either fail to parse or merge/lose
+// payloads. Run under -race via `make check`.
+func TestTraceWriterConcurrentSpansComplete(t *testing.T) {
+	const goroutines, perG = 16, 150
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	tw.SetProcess("test-proc")
+	scs := make([]SpanContext, goroutines)
+	for w := range scs {
+		scs[w] = NewSpanContext()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				args := map[string]any{"g": w, "i": i}
+				switch i % 3 {
+				case 0:
+					tw.CompleteSpan("cell", "sweep", int64(w), scs[w].Child(), scs[w].SpanID,
+						time.Now(), time.Microsecond, args)
+				case 1:
+					tw.InstantSpan("fault", "fault", int64(w), scs[w], "", args)
+				default:
+					tw.Complete("cell", "sweep", int64(w), time.Now(), time.Microsecond, args)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("concurrent span writes corrupted the stream: %v", err)
+	}
+	if len(evs) != goroutines*perG {
+		t.Fatalf("read %d events, want %d", len(evs), goroutines*perG)
+	}
+	seen := make([][]bool, goroutines)
+	for i := range seen {
+		seen[i] = make([]bool, perG)
+	}
+	for _, e := range evs {
+		if e.Proc != "test-proc" {
+			t.Fatalf("event lost its process stamp: %+v", e)
+		}
+		g := int(e.Args["g"].(float64))
+		i := int(e.Args["i"].(float64))
+		if seen[g][i] {
+			t.Fatalf("event g=%d i=%d appeared twice", g, i)
+		}
+		seen[g][i] = true
+		if i%3 == 0 {
+			if e.Trace != scs[g].TraceID || e.Parent != scs[g].SpanID || !e.SpanContext().Valid() {
+				t.Fatalf("span identity mangled: %+v (want trace %s parent %s)", e, scs[g].TraceID, scs[g].SpanID)
+			}
+		}
+	}
+	for g := range seen {
+		for i, ok := range seen[g] {
+			if !ok {
+				t.Fatalf("event g=%d i=%d missing from the stream", g, i)
+			}
+		}
+	}
+}
+
+func TestTraceSpanFieldsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	sc := NewSpanContext()
+	tw.CompleteSpan("job", "serve", 0, sc, "feedbeefcafe0001", time.Now(), time.Millisecond, nil)
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadEvents(&buf)
+	if err != nil || len(evs) != 1 {
+		t.Fatalf("ReadEvents = %v, %d events", err, len(evs))
+	}
+	e := evs[0]
+	if e.Trace != sc.TraceID || e.Span != sc.SpanID || e.Parent != "feedbeefcafe0001" {
+		t.Fatalf("span fields did not round-trip: %+v", e)
+	}
+}

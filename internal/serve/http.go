@@ -8,6 +8,8 @@ import (
 	"net"
 	"net/http"
 	"time"
+
+	"gpuscale/internal/obs"
 )
 
 // apiError is the JSON error body every non-2xx response carries.
@@ -149,7 +151,12 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("decoding spec: %v", err)})
 		return
 	}
-	st, err := s.Submit(clientID(r), spec)
+	// A submission carrying a W3C traceparent joins the client's trace;
+	// otherwise the job mints its own root. Either way the job's trace
+	// ID comes back in the status body and the traceparent response
+	// header, so the client can follow the whole fleet run.
+	caller, _ := obs.ExtractSpanContext(r.Header)
+	st, err := s.SubmitTraced(clientID(r), spec, caller)
 	if err != nil {
 		var shed *ShedError
 		if errors.As(err, &shed) {
@@ -159,6 +166,9 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
+	}
+	if st.Trace != "" {
+		w.Header().Set("X-Trace-Id", st.Trace)
 	}
 	writeJSON(w, http.StatusAccepted, st)
 }

@@ -168,6 +168,11 @@ type jobFile struct {
 	ID     string  `json:"id"`
 	Client string  `json:"client,omitempty"`
 	Spec   JobSpec `json:"spec"`
+	// Trace is the job span's traceparent and Parent the submitting
+	// client's span ID; persisting them keeps a crash-recovered job on
+	// its original distributed trace.
+	Trace  string `json:"trace,omitempty"`
+	Parent string `json:"parent,omitempty"`
 }
 
 // stateFile is the on-disk terminal record (<id>.state). Only terminal
@@ -229,4 +234,8 @@ type JobStatus struct {
 	Coverage float64 `json:"coverage"`
 	// Summary is the executor's final accounting (terminal jobs only).
 	Summary string `json:"summary,omitempty"`
+	// Trace is the job's distributed trace ID — the key that finds
+	// every span this job produced, on any process (sweeptrace stitches
+	// by it).
+	Trace string `json:"trace,omitempty"`
 }

@@ -69,6 +69,14 @@ type Config struct {
 	RunSweep func(ctx context.Context, req SweepRequest) (*sweep.Matrix, *sweep.RunReport, error)
 	// Registry receives service metrics; nil creates a private one.
 	Registry *obs.Registry
+	// Trace, when non-nil, receives job spans and — via the sweep
+	// Observer — per-cell spans, all carrying the job's distributed
+	// trace identity. Nil keeps the executor on its nil-observer fast
+	// path.
+	Trace *obs.TraceWriter
+	// Flight, when non-nil, records admissions, shed decisions and job
+	// terminal transitions into the crash flight recorder.
+	Flight *obs.FlightRecorder
 	// Injector, when active, injects deterministic faults into every
 	// job's engine calls and journal writes — the chaos-drill hook.
 	Injector fault.Injector
@@ -100,6 +108,10 @@ type SweepRequest struct {
 	// OnRow persists a settled row into the job's journal and live
 	// snapshot; safe for concurrent use.
 	OnRow func(m *sweep.Matrix, r int)
+	// Trace is the job's span context; a distributed executor hands it
+	// to the coordinator so lease grants become children of the job
+	// span and the whole fleet run stitches into one trace.
+	Trace obs.SpanContext
 }
 
 // metrics is the service's instrument panel.
@@ -112,6 +124,7 @@ type metrics struct {
 	done       map[State]*obs.Counter
 	panics     *obs.Counter
 	admitLat   *obs.Histogram
+	queueWait  *obs.Histogram
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -125,6 +138,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 		panics:     reg.Counter("serve_handler_panics_total", "HTTP handler panics recovered"),
 		admitLat: reg.Histogram("serve_admission_latency_seconds", "submission handling latency",
 			[]float64{0.0001, 0.001, 0.01, 0.1, 1}),
+		queueWait: reg.Histogram("serve_queue_wait_seconds", "admission-to-run queue wait per job",
+			[]float64{0.001, 0.01, 0.1, 1, 10, 60, 600}),
 	}
 	for _, r := range []ShedReason{ShedQueueFull, ShedRateLimited, ShedClientCap, ShedDraining} {
 		m.shed[r] = reg.Counter("serve_shed_total", "submissions refused by admission", obs.L("reason", string(r)))
@@ -141,6 +156,11 @@ type job struct {
 	client string
 	spec   JobSpec
 	res    *resolved
+	// trace is the job's own span; parent is the submitting client's
+	// span ID when the request carried a traceparent header.
+	trace    obs.SpanContext
+	parent   string
+	admitted time.Time
 
 	mu           sync.Mutex
 	state        State
@@ -164,6 +184,7 @@ func (j *job) status() JobStatus {
 		State:   j.state,
 		Reason:  j.reason,
 		Summary: j.summary,
+		Trace:   j.trace.TraceID,
 	}
 	if j.res != nil {
 		st.Kernels = len(j.res.kernels)
@@ -294,7 +315,15 @@ func (s *Service) recover() error {
 		if err := json.Unmarshal(b, &jf); err != nil {
 			return fmt.Errorf("serve: corrupt job file %s: %w", s.jobPath(id), err)
 		}
-		j := &job{id: id, client: jf.Client, spec: jf.Spec}
+		j := &job{id: id, client: jf.Client, spec: jf.Spec, admitted: time.Now()}
+		if sc, err := obs.ParseTraceparent(jf.Trace); err == nil {
+			j.trace, j.parent = sc, jf.Parent
+		} else {
+			// Pre-trace job files (or corrupt ones) still get an identity,
+			// so the resumed run is traceable even if not stitched to the
+			// original submission.
+			j.trace = obs.NewSpanContext()
+		}
 		if sb, err := os.ReadFile(s.statePath(id)); err == nil {
 			var sf stateFile
 			if err := json.Unmarshal(sb, &sf); err != nil {
@@ -355,11 +384,30 @@ func (s *Service) statePath(id string) string   { return filepath.Join(s.cfg.Dir
 func (s *Service) journalPath(id string) string { return filepath.Join(s.cfg.Dir, id+".journal") }
 func (s *Service) matrixPath(id string) string  { return filepath.Join(s.cfg.Dir, id+".csv") }
 
-// Submit admits one job or sheds it with a typed ShedError. The checks
-// run cheapest-first — drain flag, rate limit, then spec resolution,
-// then the per-client and global bounds — so overload costs as little
-// as possible per refused request.
+// shedding increments the shed counter for reason and records the
+// decision in the flight recorder before returning the typed error.
+func (s *Service) shedding(reason ShedReason, client string, retry time.Duration) error {
+	s.met.shed[reason].Inc()
+	if s.cfg.Flight != nil {
+		s.cfg.Flight.Record("shed", map[string]any{"reason": string(reason), "client": client})
+	}
+	return &ShedError{Reason: reason, RetryAfter: retry}
+}
+
+// Submit admits one job or sheds it with a typed ShedError, minting a
+// fresh trace root for the job. HTTP submissions that carry a
+// traceparent go through SubmitTraced instead.
 func (s *Service) Submit(client string, spec JobSpec) (JobStatus, error) {
+	return s.SubmitTraced(client, spec, obs.SpanContext{})
+}
+
+// SubmitTraced is Submit under a caller-supplied trace context: the
+// job's span becomes a child of caller, so the submitting process's
+// own trace and the fleet's stitch together. An invalid caller mints
+// a fresh root. The checks run cheapest-first — drain flag, rate
+// limit, then spec resolution, then the per-client and global bounds —
+// so overload costs as little as possible per refused request.
+func (s *Service) SubmitTraced(client string, spec JobSpec, caller obs.SpanContext) (JobStatus, error) {
 	start := time.Now()
 	defer func() { s.met.admitLat.Observe(time.Since(start).Seconds()) }()
 
@@ -367,41 +415,47 @@ func (s *Service) Submit(client string, spec JobSpec) (JobStatus, error) {
 	draining := s.draining
 	s.mu.Unlock()
 	if draining {
-		s.met.shed[ShedDraining].Inc()
-		return JobStatus{}, &ShedError{Reason: ShedDraining, RetryAfter: 5 * time.Second}
+		return JobStatus{}, s.shedding(ShedDraining, client, 5*time.Second)
 	}
 	if ok, wait := s.bucket.take(); !ok {
-		s.met.shed[ShedRateLimited].Inc()
-		return JobStatus{}, &ShedError{Reason: ShedRateLimited, RetryAfter: wait}
+		return JobStatus{}, s.shedding(ShedRateLimited, client, wait)
 	}
 	res, err := spec.resolve(s.cfg.MaxDeadline)
 	if err != nil {
 		return JobStatus{}, err // client error; the handler maps non-shed errors to 400
 	}
 	if !s.caps.tryAcquire(client) {
-		s.met.shed[ShedClientCap].Inc()
-		return JobStatus{}, &ShedError{Reason: ShedClientCap, RetryAfter: 2 * time.Second}
+		return JobStatus{}, s.shedding(ShedClientCap, client, 2*time.Second)
+	}
+
+	var sc obs.SpanContext
+	var parent string
+	if caller.Valid() {
+		sc, parent = caller.Child(), caller.SpanID
+	} else {
+		sc = obs.NewSpanContext()
 	}
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		s.caps.release(client)
-		s.met.shed[ShedDraining].Inc()
-		return JobStatus{}, &ShedError{Reason: ShedDraining, RetryAfter: 5 * time.Second}
+		return JobStatus{}, s.shedding(ShedDraining, client, 5*time.Second)
 	}
 	if s.open >= s.cfg.MaxJobs {
 		s.mu.Unlock()
 		s.caps.release(client)
-		s.met.shed[ShedQueueFull].Inc()
-		return JobStatus{}, &ShedError{Reason: ShedQueueFull, RetryAfter: 2 * time.Second}
+		return JobStatus{}, s.shedding(ShedQueueFull, client, 2*time.Second)
 	}
 	id := fmt.Sprintf("job-%06d", s.nextID)
 	s.nextID++
-	j := &job{id: id, client: client, spec: spec, res: res, state: StateQueued}
+	j := &job{id: id, client: client, spec: spec, res: res, state: StateQueued,
+		trace: sc, parent: parent, admitted: time.Now()}
 	// Persist the admission before announcing it: once Submit returns
-	// 202 the job must survive any crash.
-	b, err := json.MarshalIndent(jobFile{ID: id, Client: client, Spec: spec}, "", "  ")
+	// 202 the job must survive any crash. The trace context rides
+	// along, so a recovered job resumes under its original trace ID.
+	b, err := json.MarshalIndent(jobFile{ID: id, Client: client, Spec: spec,
+		Trace: sc.Traceparent(), Parent: parent}, "", "  ")
 	if err == nil {
 		err = writeAtomic(s.jobPath(id), b)
 	}
@@ -420,6 +474,10 @@ func (s *Service) Submit(client string, spec JobSpec) (JobStatus, error) {
 	s.met.admitted.Inc()
 	s.cond.Signal()
 	s.mu.Unlock()
+	if s.cfg.Flight != nil {
+		s.cfg.Flight.Record("job.admit", map[string]any{
+			"job": id, "client": client, "trace": sc.TraceID})
+	}
 	s.cfg.Logf("serve: admitted %s for %s (%d kernels, %d configs)", id, client, len(res.kernels), res.space.Size())
 	return j.status(), nil
 }
@@ -622,6 +680,7 @@ func (s *Service) runJob(j *job) {
 		j.mu.Unlock()
 		return
 	}
+	s.met.queueWait.Observe(time.Since(j.admitted).Seconds())
 	j.state = StateRunning
 	ctx := s.root
 	var cancel context.CancelFunc
@@ -682,6 +741,15 @@ func (s *Service) runJob(j *job) {
 	if s.cfg.Injector.Active() {
 		opts.Row = s.cfg.Injector.WrapRow(j.res.engine.Row())
 	}
+	if s.cfg.Trace != nil {
+		// The local executor's cell/row events join the job's trace; a
+		// distributed RunSweep gets the same identity via req.Trace
+		// instead (its workers emit their own spans).
+		tel := sweep.NewTelemetry(s.reg, s.cfg.Trace)
+		tel.SetSpanContext(j.trace)
+		tel.SetFlight(s.cfg.Flight)
+		opts.Observer = tel
+	}
 	opts.OnRow = func(m *sweep.Matrix, r int) {
 		if err := journal.AppendRow(m, r); err != nil {
 			s.cfg.Logf("serve: %s: journal: %v", j.id, err)
@@ -702,6 +770,7 @@ func (s *Service) runJob(j *job) {
 		j.mu.Unlock()
 	}
 
+	runStart := time.Now()
 	var (
 		m   *sweep.Matrix
 		rep *sweep.RunReport
@@ -710,7 +779,7 @@ func (s *Service) runJob(j *job) {
 		m, rep, err = s.cfg.RunSweep(ctx, SweepRequest{
 			JobID: j.id, Kernels: j.res.kernels, Space: j.res.space,
 			Engine: j.res.engine, Seed: j.spec.Seed, Noise: j.spec.Noise,
-			Prior: journal.Prior(), OnRow: opts.OnRow,
+			Prior: journal.Prior(), OnRow: opts.OnRow, Trace: j.trace,
 		})
 	} else {
 		m, rep, err = sweep.Resume(ctx, j.res.kernels, j.res.space, opts, journal.Prior())
@@ -743,6 +812,21 @@ func (s *Service) runJob(j *job) {
 		j.cancel = nil
 		j.mu.Unlock()
 		s.cfg.Logf("serve: %s interrupted by shutdown (%s); will resume", j.id, summary)
+	}
+
+	// The job span closes with whatever the run decided; an interrupted
+	// job emits a span per attempt, all under the same trace ID, so a
+	// stitched view shows the resume chain.
+	j.mu.Lock()
+	state, rows := j.state, j.rowsDone
+	j.mu.Unlock()
+	if tw := s.cfg.Trace; tw != nil {
+		tw.CompleteSpan("job", "serve", 0, j.trace, j.parent, runStart, time.Since(runStart), map[string]any{
+			"job": j.id, "client": j.client, "state": string(state), "rows_done": rows})
+	}
+	if s.cfg.Flight != nil {
+		s.cfg.Flight.Record("job.done", map[string]any{
+			"job": j.id, "state": string(state), "rows_done": rows})
 	}
 }
 

@@ -17,12 +17,14 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"testing"
 	"time"
 
@@ -77,6 +79,7 @@ func TestChaosSoak(t *testing.T) {
 		mu        sync.Mutex
 		admitted  []string
 		shedSeen  uint64
+		lostRes   uint64
 		boundErrs atomic.Uint64
 	)
 	client := &http.Client{Timeout: 5 * time.Second}
@@ -93,7 +96,17 @@ func TestChaosSoak(t *testing.T) {
 				req.Header.Set("X-Client", name)
 				res, err := client.Do(req)
 				if err != nil {
-					// Restart window: back off briefly and retry.
+					// Restart window: back off briefly and retry. An
+					// error on an established connection (anything but
+					// a refused dial) may have severed a response the
+					// server already accounted — the old incarnation's
+					// Close races its final handlers — so remember how
+					// many shed responses could have been lost.
+					if !errors.Is(err, syscall.ECONNREFUSED) {
+						mu.Lock()
+						lostRes++
+						mu.Unlock()
+					}
 					time.Sleep(5 * time.Millisecond)
 					continue
 				}
@@ -208,13 +221,15 @@ func TestChaosSoak(t *testing.T) {
 		t.Fatal("soak admitted zero jobs — the drill exercised nothing")
 	}
 
-	// Shed accounting: every refusal a client saw is in a counter.
+	// Shed accounting: every refusal a client saw is in a counter, and
+	// counters may lead what clients observed only by responses the
+	// restart race severed in flight.
 	wantShed := s1Shed + shedTotal(s2)
 	mu.Lock()
-	observed := shedSeen
+	observed, lost := shedSeen, lostRes
 	mu.Unlock()
-	if observed != wantShed {
-		t.Errorf("clients saw %d sheds, counters account %d", observed, wantShed)
+	if observed > wantShed || wantShed > observed+lost {
+		t.Errorf("clients saw %d sheds (%d responses possibly lost), counters account %d", observed, lost, wantShed)
 	}
 	// Completion accounting: terminal jobs across both incarnations
 	// equal the admitted count (the two services never double-count a

@@ -143,6 +143,18 @@ type Telemetry struct {
 	progress  *obs.Progress
 	progressW io.Writer
 
+	// span, when valid, is the distributed-trace identity of the span
+	// enclosing this sweep (a worker's leased row, a service's job).
+	// Every emitted event then carries the trace ID with Parent set to
+	// span.SpanID, which is what lets sweeptrace stitch a worker's cell
+	// stream under the coordinator's lease grant. Leaf events carry no
+	// span IDs of their own — minting one per cell would put a
+	// crypto/rand read on the measurement hot path.
+	span obs.SpanContext
+	// flight, when non-nil, receives retry and breaker-trip events for
+	// the crash flight recorder.
+	flight *obs.FlightRecorder
+
 	sweepStart time.Time
 }
 
@@ -184,6 +196,43 @@ func NewTelemetry(reg *obs.Registry, tw *obs.TraceWriter) *Telemetry {
 // and spans, so it pays for per-cell clock reads.
 func (t *Telemetry) CellTiming() bool { return true }
 
+// SetSpanContext joins this sweep's events to a distributed trace:
+// every event carries sc's trace ID with sc.SpanID as its parent.
+// Call before the sweep starts; events are emitted concurrently.
+func (t *Telemetry) SetSpanContext(sc obs.SpanContext) { t.span = sc }
+
+// SetFlight wires the crash flight recorder: retries and breaker
+// trips are recorded so a post-mortem ring shows what the sweep was
+// fighting when the process died.
+func (t *Telemetry) SetFlight(fr *obs.FlightRecorder) { t.flight = fr }
+
+// emitComplete routes a completed span through the trace writer,
+// attaching distributed-trace identity when one is set.
+func (t *Telemetry) emitComplete(name, cat string, tid int64, start time.Time, d time.Duration, args map[string]any) {
+	if t.span.Valid() {
+		t.tw.CompleteSpan(name, cat, tid, obs.SpanContext{TraceID: t.span.TraceID}, t.span.SpanID, start, d, args)
+		return
+	}
+	t.tw.Complete(name, cat, tid, start, d, args)
+}
+
+// emitInstant is emitComplete for instant markers.
+func (t *Telemetry) emitInstant(name, cat string, tid int64, args map[string]any) {
+	if t.span.Valid() {
+		t.tw.InstantSpan(name, cat, tid, obs.SpanContext{TraceID: t.span.TraceID}, t.span.SpanID, args)
+		return
+	}
+	t.tw.Instant(name, cat, tid, args)
+}
+
+// emitLeaf is the per-cell span path: typed KV args and a hand-rolled
+// encoder instead of map[string]any plus reflection. Two of these fire
+// per cell (attempt + cell), so their cost IS the tracing overhead
+// budget — see TestTracedSweepOverhead.
+func (t *Telemetry) emitLeaf(name string, tid int64, start time.Time, d time.Duration, kvs ...obs.KV) {
+	t.tw.CompleteSpanFast(name, "sweep", tid, t.span.TraceID, t.span.SpanID, start, d, kvs...)
+}
+
 // Registry returns the backing metrics registry (for /metrics).
 func (t *Telemetry) Registry() *obs.Registry { return t.reg }
 
@@ -198,17 +247,6 @@ func (t *Telemetry) EmitProgress(w io.Writer, interval time.Duration) {
 	t.progressW = w
 }
 
-// cfgArgs renders a configuration into span args, shared by every
-// span so traces key cleanly on kernel/config/attempt.
-func cfgArgs(kernel string, cfg hw.Config) map[string]any {
-	return map[string]any{
-		"kernel":   kernel,
-		"cus":      cfg.CUs,
-		"core_mhz": cfg.CoreClockMHz,
-		"mem_mhz":  cfg.MemClockMHz,
-	}
-}
-
 // SweepStart implements Observer.
 func (t *Telemetry) SweepStart(kernels, configs, skipped int) {
 	t.sweepStart = time.Now()
@@ -218,7 +256,7 @@ func (t *Telemetry) SweepStart(kernels, configs, skipped int) {
 	}
 	t.progress.SetTotal(uint64(kernels * configs))
 	if t.tw != nil {
-		t.tw.Instant("sweep.start", "sweep", 0, map[string]any{
+		t.emitInstant("sweep.start", "sweep", 0, map[string]any{
 			"kernels": kernels, "configs": configs, "skipped": skipped,
 		})
 	}
@@ -229,14 +267,26 @@ func (t *Telemetry) CellAttempt(row int, kernel string, cfg hw.Config, attempt i
 	t.attempts.Inc()
 	if attempt > 1 {
 		t.retries.Inc()
+		if t.flight != nil {
+			args := map[string]any{"kernel": kernel, "row": row, "attempt": attempt}
+			if err != nil {
+				args["err"] = err.Error()
+			}
+			t.flight.Record("retry", args)
+		}
 	}
 	if t.tw != nil {
-		args := cfgArgs(kernel, cfg)
-		args["attempt"] = attempt
-		if err != nil {
-			args["err"] = err.Error()
+		kvs := []obs.KV{
+			obs.KS("kernel", kernel),
+			obs.KN("cus", float64(cfg.CUs)),
+			obs.KN("core_mhz", cfg.CoreClockMHz),
+			obs.KN("mem_mhz", cfg.MemClockMHz),
+			obs.KN("attempt", float64(attempt)),
 		}
-		t.tw.Complete("attempt", "sweep", int64(row), time.Now().Add(-d), d, args)
+		if err != nil {
+			kvs = append(kvs, obs.KS("err", err.Error()))
+		}
+		t.emitLeaf("attempt", int64(row), time.Now().Add(-d), d, kvs...)
 	}
 }
 
@@ -256,10 +306,13 @@ func (t *Telemetry) CellDone(row int, kernel string, cfg hw.Config, status CellS
 	}
 	t.cellLatency.Observe(d.Seconds())
 	if t.tw != nil {
-		args := cfgArgs(kernel, cfg)
-		args["status"] = status.String()
-		args["attempts"] = attempts
-		t.tw.Complete("cell", "sweep", int64(row), time.Now().Add(-d), d, args)
+		t.emitLeaf("cell", int64(row), time.Now().Add(-d), d,
+			obs.KS("kernel", kernel),
+			obs.KN("cus", float64(cfg.CUs)),
+			obs.KN("core_mhz", cfg.CoreClockMHz),
+			obs.KN("mem_mhz", cfg.MemClockMHz),
+			obs.KS("status", status.String()),
+			obs.KN("attempts", float64(attempts)))
 	}
 	if t.progressW != nil {
 		t.progress.MaybeEmit(t.progressW)
@@ -269,8 +322,12 @@ func (t *Telemetry) CellDone(row int, kernel string, cfg hw.Config, status CellS
 // BreakerTripped implements Observer.
 func (t *Telemetry) BreakerTripped(row int, kernel string, consecutive int) {
 	t.breakerTrips.Inc()
+	if t.flight != nil {
+		t.flight.Record("breaker", map[string]any{
+			"kernel": kernel, "row": row, "consecutive_failures": consecutive})
+	}
 	if t.tw != nil {
-		t.tw.Instant("breaker", "sweep", int64(row), map[string]any{
+		t.emitInstant("breaker", "sweep", int64(row), map[string]any{
 			"kernel": kernel, "consecutive_failures": consecutive,
 		})
 	}
@@ -288,7 +345,7 @@ func (t *Telemetry) RowQuarantined(row int, kernel string, status CellStatus, ce
 		t.doneQuarantined.Add(uint64(cells))
 	}
 	if t.tw != nil {
-		t.tw.Instant("row.quarantine", "sweep", int64(row), map[string]any{
+		t.emitInstant("row.quarantine", "sweep", int64(row), map[string]any{
 			"kernel": kernel, "status": status.String(), "cells": cells,
 		})
 	}
@@ -302,7 +359,7 @@ func (t *Telemetry) RowDone(row int, kernel string, queueWait, d time.Duration) 
 	t.rowsDone.Inc()
 	t.queueWait.Observe(queueWait.Seconds())
 	if t.tw != nil {
-		t.tw.Complete("row", "sweep", int64(row), time.Now().Add(-d), d, map[string]any{
+		t.emitComplete("row", "sweep", int64(row), time.Now().Add(-d), d, map[string]any{
 			"kernel": kernel, "queue_wait_us": float64(queueWait) / float64(time.Microsecond),
 		})
 	}
@@ -320,7 +377,7 @@ func (t *Telemetry) SweepEnd(rep *RunReport) {
 		t.reg.Counter(MetricHitRateMemoMisses, "hit-rate model evaluations computed and memoized").Add(uint64(p.HitRateMisses))
 	}
 	if t.tw != nil {
-		t.tw.Complete("sweep", "sweep", 0, t.sweepStart, rep.WallTime, map[string]any{
+		t.emitComplete("sweep", "sweep", 0, t.sweepStart, rep.WallTime, map[string]any{
 			"cells": rep.Cells, "ok": rep.OK, "failed": rep.Failed,
 			"canceled": rep.Canceled, "stalled": rep.Stalled,
 			"quarantined": rep.Quarantined, "skipped": rep.Skipped,
@@ -347,6 +404,6 @@ func (t *Telemetry) JournalAppend(kernel string, d time.Duration, err error) {
 		if err != nil {
 			args["err"] = err.Error()
 		}
-		t.tw.Complete("journal.append", "journal", 0, time.Now().Add(-d), d, args)
+		t.emitComplete("journal.append", "journal", 0, time.Now().Add(-d), d, args)
 	}
 }

@@ -3,6 +3,7 @@ package sweep
 import (
 	"bytes"
 	"context"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -307,6 +308,64 @@ func TestNopObserverOverhead(t *testing.T) {
 	t.Logf("nil observer %.2fms, NopObserver %.2fms, ratio %.3f", base/1e6, nop/1e6, ratio)
 	if ratio > 1.05 {
 		t.Errorf("no-op observer adds %.1f%% to the sweep hot path, budget is 5%%", 100*(ratio-1))
+	}
+}
+
+// TestTracedSweepOverhead gates the full distributed-tracing path: a
+// Telemetry observer with a live trace writer, span context and flight
+// recorder must stay within 10% of the nil-observer sweep, measured on
+// the detailed engine — the cheapest engine with a realistic per-cell
+// cost (~tens of microseconds; the round engine's closed-form cell is
+// cheaper than a clock read, which no tracer could shadow). This is
+// what keeps leaf events on the KV fast path, span-mint-free — if
+// someone adds a crypto/rand read or a reflective marshal per cell,
+// this test is the alarm. Gated like TestNopObserverOverhead:
+// wall-clock ratios are too noisy for every `go test`.
+func TestTracedSweepOverhead(t *testing.T) {
+	if os.Getenv("GPUSCALE_BENCH_OBS") == "" {
+		t.Skip("set GPUSCALE_BENCH_OBS=1 (make bench-obs) to run the overhead gate")
+	}
+	ks := testKernels()
+	space := hw.StudySpace()
+	measure := func(mk func() Observer) float64 {
+		best := 0.0
+		for i := 0; i < 3; i++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				for n := 0; n < b.N; n++ {
+					var o Observer
+					if mk != nil {
+						o = mk()
+					}
+					opts := Options{Engine: Detailed, Observer: o}
+					if _, _, err := RunContext(context.Background(), ks, space, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			ns := float64(r.NsPerOp())
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	base := measure(nil)
+	fr, err := obs.OpenFlightRecorder(filepath.Join(t.TempDir(), "flight.ring"),
+		obs.DefaultFlightSlots, obs.DefaultFlightSlotSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Close()
+	traced := measure(func() Observer {
+		tel := NewTelemetry(nil, obs.NewTraceWriter(io.Discard))
+		tel.SetSpanContext(obs.NewSpanContext())
+		tel.SetFlight(fr)
+		return tel
+	})
+	ratio := traced / base
+	t.Logf("nil observer %.2fms, traced %.2fms, ratio %.3f", base/1e6, traced/1e6, ratio)
+	if ratio > 1.10 {
+		t.Errorf("tracing adds %.1f%% to the sweep hot path, budget is 10%%", 100*(ratio-1))
 	}
 }
 
