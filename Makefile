@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke soak-smoke soak-dist bench bench-obs bench-sweep bench-smoke
+.PHONY: build test check fuzz-smoke soak-smoke soak-dist soak-byzantine bench bench-obs bench-sweep bench-smoke
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,18 @@ soak-smoke:
 # replay it with GPUSCALE_FAULT_SEED=<seed> make soak-dist.
 soak-dist:
 	GPUSCALE_SOAK_MS=10000 $(GO) test -race -run TestChaosSoakDistributed -v -count=1 ./internal/dist/
+
+# Byzantine fleet soak: a worker that corrupts every row it computes
+# (journal, wire and attested digest consistently wrong), a worker on
+# a stale protocol version, two honest workers, and a coordinator
+# crash-restart after the quarantine lands — race-enabled. Asserts the
+# stale worker is fenced before computing, the liar is quarantined
+# with its rows invalidated and re-executed, the merged result stays
+# byte-identical to a single-node run, and the ledger audit names
+# every corrupt row. On failure the log prints the seed; replay it
+# with GPUSCALE_FAULT_SEED=<seed> make soak-byzantine.
+soak-byzantine:
+	GPUSCALE_SOAK_MS=10000 $(GO) test -race -run TestChaosSoakByzantine -v -count=1 ./internal/dist/
 
 # Short coverage-guided fuzz of the journal decoder and the CSV
 # loaders (go test takes one -fuzz target per invocation).

@@ -44,7 +44,18 @@
 //	curl localhost:8080/v1/jobs/job-000000/matrix > m.csv
 //	curl -XDELETE localhost:8080/v1/jobs/job-000000
 //
-// Exit codes: 0 clean drain, 1 startup or serve error.
+// The fleet defends itself against byzantine members, not just
+// crashed ones. Every acquire carries a version + engine-fingerprint
+// handshake (mixed binaries are fenced before computing anything),
+// every completed row is attested with a digest of its journaled
+// bytes, and `-verify-fraction` re-executes a seed-deterministic
+// sample of rows on a second worker — a digest mismatch quarantines
+// the lying worker (`-quarantine-after`), revokes its leases, retracts
+// its unverified rows, and drops it from /metrics/fleet.
+//
+// Exit codes: 0 clean drain, 1 startup or serve error, 4 worker
+// fenced by the version/fingerprint handshake, 5 worker quarantined
+// by the coordinator.
 package main
 
 import (
@@ -72,37 +83,41 @@ import (
 
 // cliOptions collects every flag so tests can drive run directly.
 type cliOptions struct {
-	addr        string
-	stateDir    string
-	runners     int
-	workers     int
-	maxJobs     int
-	rate        float64
-	burst       int
-	clientCap   int
-	maxDeadline time.Duration
-	drainGrace  time.Duration
-	retries     int
-	backoff     time.Duration
-	simTimeout  time.Duration
-	stallGrace  time.Duration
-	breaker     int
-	faultRate   float64
-	panicRate   float64
-	tornRate    float64
-	latency     time.Duration
-	latencyRate float64
-	faultSeed   int64
+	addr         string
+	stateDir     string
+	runners      int
+	workers      int
+	maxJobs      int
+	rate         float64
+	burst        int
+	clientCap    int
+	maxDeadline  time.Duration
+	drainGrace   time.Duration
+	retries      int
+	backoff      time.Duration
+	simTimeout   time.Duration
+	stallGrace   time.Duration
+	breaker      int
+	faultRate    float64
+	panicRate    float64
+	tornRate     float64
+	latency      time.Duration
+	latencyRate  float64
+	faultSeed    int64
+	corruptRate  float64
+	staleVersion string
 
-	coordinator bool
-	worker      bool
-	join        string
-	leaseTTL    time.Duration
-	workerName  string
-	traceOut    string
-	pprof       bool
-	diagAddr    string
-	flightDump  string
+	coordinator    bool
+	worker         bool
+	join           string
+	leaseTTL       time.Duration
+	verifyFraction float64
+	quarantineN    int
+	workerName     string
+	traceOut       string
+	pprof          bool
+	diagAddr       string
+	flightDump     string
 
 	// ready is a test seam: invoked with the server's base URL once it
 	// is listening, alongside the serving loop.
@@ -132,10 +147,14 @@ func main() {
 	flag.DurationVar(&o.latency, "fault-latency", 0, "maximum injected per-call latency (needs -fault-latency-rate)")
 	flag.Float64Var(&o.latencyRate, "fault-latency-rate", 0, "inject seeded per-call latency at this rate (chaos drills)")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault-injection seed")
+	flag.Float64Var(&o.corruptRate, "fault-corrupt-row-rate", 0, "make this -worker byzantine: tamper computed rows at this rate before journaling and attesting them (chaos drills)")
+	flag.StringVar(&o.staleVersion, "fault-stale-version", "", "make this -worker present the given protocol version on acquire instead of its real one (chaos drills)")
 	flag.BoolVar(&o.coordinator, "coordinator", false, "execute jobs by leasing kernel rows to a worker fleet over /v1/dist/")
 	flag.BoolVar(&o.worker, "worker", false, "run as a fleet worker instead of serving the job API (requires -join)")
 	flag.StringVar(&o.join, "join", "", "coordinator base URL a -worker acquires leases from")
 	flag.DurationVar(&o.leaseTTL, "lease-ttl", 10*time.Second, "how long a row lease lives without renewal before it is stolen (-coordinator)")
+	flag.Float64Var(&o.verifyFraction, "verify-fraction", 0, "fraction of rows re-executed on a second worker before acceptance; digest mismatches strike the loser (-coordinator)")
+	flag.IntVar(&o.quarantineN, "quarantine-after", 1, "digest-mismatch strikes that quarantine a worker fleet-wide (-coordinator)")
 	flag.StringVar(&o.workerName, "worker-name", "", "worker identity in leases and traces (default host-pid)")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write lease/steal/complete/renew spans to this JSONL trace file (see sweeptrace)")
 	flag.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/ (off by default)")
@@ -154,7 +173,22 @@ func main() {
 	defer stop()
 	if err := run(ctx, o); err != nil {
 		fmt.Fprintln(os.Stderr, "gpuscaled:", err)
-		os.Exit(1)
+		os.Exit(exitCodeFor(err))
+	}
+}
+
+// exitCodeFor maps terminal errors to documented exit codes, so
+// process supervisors can tell "rebuild me" (4: this binary cannot
+// join that fleet) and "investigate me" (5: the coordinator proved
+// this worker computes wrong answers) from generic failure (1).
+func exitCodeFor(err error) int {
+	switch {
+	case errors.Is(err, dist.ErrVersionFenced):
+		return 4
+	case errors.Is(err, dist.ErrQuarantined):
+		return 5
+	default:
+		return 1
 	}
 }
 
@@ -309,8 +343,17 @@ func run(ctx context.Context, o cliOptions) error {
 	if o.coordinator {
 		coord, err = dist.NewCoordinator(filepath.Join(o.stateDir, "dist"), dist.CoordinatorOptions{
 			DefaultTTL: o.leaseTTL, Metrics: reg, Trace: trace,
-			Flight:   flight,
-			OnWorker: fed.SetTarget,
+			Flight:          flight,
+			OnWorker:        fed.SetTarget,
+			VerifyFraction:  o.verifyFraction,
+			QuarantineAfter: o.quarantineN,
+			// A quarantined worker leaves the federation too: its target
+			// is never scraped again, and fleet_scrape_up pins to 0 so
+			// the departure is visible on /metrics/fleet.
+			OnQuarantine: func(worker string) {
+				fed.Depart(worker)
+				fmt.Fprintf(os.Stderr, "gpuscaled: worker %s quarantined and dropped from the federation\n", worker)
+			},
 		})
 		if err != nil {
 			return err
@@ -487,6 +530,9 @@ func runWorker(ctx context.Context, o cliOptions) error {
 		Metrics:      reg,
 		MetricsURL:   metricsURL,
 		Flight:       flight,
+		Fault: fault.Injector{
+			CorruptRowRate: o.corruptRate, StaleVersion: o.staleVersion, Seed: o.faultSeed,
+		},
 	})
 	if err != nil {
 		return err

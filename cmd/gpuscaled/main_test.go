@@ -7,11 +7,15 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
 	"time"
+
+	"gpuscale/internal/dist"
 )
 
 func TestDaemonServesAndDrains(t *testing.T) {
@@ -109,5 +113,28 @@ func TestDaemonServesAndDrains(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("daemon never drained")
+	}
+}
+
+// TestExitCodeFor: the documented worker exit codes — 4 for "this
+// binary cannot join that fleet" (version fence), 5 for "the
+// coordinator proved this worker computes wrong answers"
+// (quarantine) — survive error wrapping, and everything else is a
+// generic 1.
+func TestExitCodeFor(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{dist.ErrVersionFenced, 4},
+		{fmt.Errorf("worker liar: %w", dist.ErrVersionFenced), 4},
+		{dist.ErrQuarantined, 5},
+		{fmt.Errorf("worker liar: %w", dist.ErrQuarantined), 5},
+		{errors.New("disk on fire"), 1},
+	}
+	for _, tc := range cases {
+		if got := exitCodeFor(tc.err); got != tc.want {
+			t.Fatalf("exitCodeFor(%v) = %d, want %d", tc.err, got, tc.want)
+		}
 	}
 }

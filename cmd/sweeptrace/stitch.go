@@ -34,6 +34,11 @@ type stitched struct {
 	leasedRows map[int]bool
 	steals     int
 	fences     int
+	// verifiedBy counts coordinator-accepted completes per worker that
+	// were settled by independent digest agreement; quarantinedW is the
+	// set of workers the coordinator fenced fleet-wide on this trace.
+	verifiedBy   map[string]int
+	quarantinedW map[string]bool
 	// procs is the set of process names that contributed events.
 	procs map[string]bool
 	// spans is every span ID minted on this trace; used to detect
@@ -53,13 +58,15 @@ func stitch(evs []obs.Event) []*stitched {
 		st := byTrace[id]
 		if st == nil {
 			st = &stitched{
-				id:         id,
-				leases:     map[string]obs.Event{},
-				cells:      map[string][]obs.Event{},
-				completes:  map[int]int{},
-				leasedRows: map[int]bool{},
-				procs:      map[string]bool{},
-				spans:      map[string]bool{},
+				id:           id,
+				leases:       map[string]obs.Event{},
+				cells:        map[string][]obs.Event{},
+				completes:    map[int]int{},
+				leasedRows:   map[int]bool{},
+				procs:        map[string]bool{},
+				spans:        map[string]bool{},
+				verifiedBy:   map[string]int{},
+				quarantinedW: map[string]bool{},
 			}
 			byTrace[id] = st
 		}
@@ -108,8 +115,13 @@ func stitch(evs []obs.Event) []*stitched {
 			}
 		case "complete":
 			st.completes[int(num(e.Args, "row"))]++
+			if ok, _ := e.Args["verified"].(bool); ok {
+				st.verifiedBy[str(e.Args, "worker")]++
+			}
 		case "fence":
 			st.fences++
+		case "quarantine":
+			st.quarantinedW[str(e.Args, "worker")] = true
 		}
 		// The job span's parent is the submitting client's span, which
 		// lives outside the fleet's files — never an orphan.
@@ -183,9 +195,14 @@ func (st *stitched) render(w io.Writer) error {
 		}
 	}
 	if len(workers) > 0 {
+		// Quarantined workers may have no lease or row span at all on a
+		// partial file set — still list them, the fence is the story.
+		for n := range st.quarantinedW {
+			wc(n)
+		}
 		wt := &report.Table{
 			Title:  "Workers on this trace",
-			Header: []string{"worker", "leases", "steals", "rows", "fenced", "busy(ms)"},
+			Header: []string{"worker", "leases", "steals", "rows", "verified", "fenced", "quarantined", "busy(ms)"},
 		}
 		names := make([]string, 0, len(workers))
 		for n := range workers {
@@ -194,7 +211,11 @@ func (st *stitched) render(w io.Writer) error {
 		sort.Strings(names)
 		for _, n := range names {
 			c := workers[n]
-			wt.AddRow(n, c.leases, c.steals, c.rows, c.fenced,
+			q := ""
+			if st.quarantinedW[n] {
+				q = "YES"
+			}
+			wt.AddRow(n, c.leases, c.steals, c.rows, st.verifiedBy[n], c.fenced, q,
 				report.FormatFloat(c.busyUS/1000))
 		}
 		if err := wt.Render(w); err != nil {

@@ -126,3 +126,49 @@ func TestStitchTraceFilter(t *testing.T) {
 type io_discard struct{}
 
 func (io_discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestStitchVerifiedAndQuarantinedColumns: coordinator-side verified
+// completes and quarantine events land in the per-worker table — the
+// byzantine story must be readable straight off a stitched trace,
+// including a quarantined worker that contributed no row span at all.
+func TestStitchVerifiedAndQuarantinedColumns(t *testing.T) {
+	trace := "1123456789abcdef0123456789abcdef"
+	evs := fleetEvents(trace)
+	// Mark row 1's complete as settled by independent verification.
+	for i := range evs {
+		if evs[i].Name == "complete" && num(evs[i].Args, "row") == 1 {
+			evs[i].Args["verified"] = true
+		}
+	}
+	evs = append(evs, obs.Event{Name: "quarantine", Cat: "dist", Phase: "i",
+		Trace: trace, Proc: "coordinator", TS: 4200,
+		Args: map[string]any{"job": "job-1", "row": 0.0, "worker": "liar"}})
+
+	var sb strings.Builder
+	if err := renderStitched(&sb, evs, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"verified", "quarantined", "liar", "YES"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stitched output missing %q:\n%s", want, out)
+		}
+	}
+	// The verified count sits on w1's table row; w0's stays 0, and the
+	// quarantine marker sits on liar's row only.
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.Contains(line, "w1"):
+			if !strings.Contains(line, "1") {
+				t.Fatalf("w1's row should count 1 verified complete: %q", line)
+			}
+			if strings.Contains(line, "YES") {
+				t.Fatalf("w1 must not be marked quarantined: %q", line)
+			}
+		case strings.Contains(line, "liar"):
+			if !strings.Contains(line, "YES") {
+				t.Fatalf("liar's row should carry the quarantine marker: %q", line)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package dist
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -65,10 +66,38 @@ type CoordinatorOptions struct {
 	// OnWorker, when non-nil, is invoked whenever a worker's acquire
 	// advertises a metrics URL — the hook gpuscaled uses to register
 	// the worker with the metrics federation. Called outside the
-	// coordinator lock; must be safe for concurrent use.
+	// coordinator lock; must be safe for concurrent use. Never invoked
+	// for version-fenced or quarantined workers, so a fenced worker
+	// cannot keep refreshing its federation target.
 	OnWorker func(worker, metricsURL string)
+	// VerifyFraction is the fraction of rows re-verified before they
+	// are accepted: a selected row's first complete is held as a vote
+	// and the row is immediately re-leased, preferring a different
+	// worker; the row settles when two distinct workers agree on its
+	// digest. The sample is a pure function of (job seed, row), so it
+	// survives restarts. 0 disables re-verification; 1 verifies every
+	// row.
+	VerifyFraction float64
+	// QuarantineAfter is how many conclusive digest mismatches
+	// (strikes) fence a worker; <= 0 means 1 — the first proven lie
+	// quarantines, because honest workers essentially never lose a
+	// vote (seeded determinism makes honest re-executions
+	// bit-identical).
+	QuarantineAfter int
+	// OnQuarantine, when non-nil, is invoked as a worker is
+	// quarantined — the hook gpuscaled uses to drop the worker from
+	// the metrics federation. Called with the coordinator lock held:
+	// it must not call back into the Coordinator.
+	OnQuarantine func(worker string)
 	// now is the clock seam for lease-expiry tests.
 	now func() time.Time
+}
+
+// rowVote is one worker's re-verification claim about a row.
+type rowVote struct {
+	worker string
+	digest string
+	epoch  uint64
 }
 
 // rowState is the coordinator's in-memory view of one kernel row.
@@ -80,6 +109,24 @@ type rowState struct {
 	// span is the current epoch's lease span ID; completes and fences
 	// for this epoch parent their trace events under it.
 	span string
+	// digest/verified/completedBy describe the accepted complete:
+	// the attested row digest, whether two independent workers agreed
+	// on it, and who computed the accepted planes.
+	digest      string
+	verified    bool
+	completedBy string
+	// pending marks a row in the re-verification sample with open
+	// votes; votes holds one claim per worker, lastVote the time the
+	// most recent one landed (the revote-grace clock).
+	pending  bool
+	votes    []rowVote
+	lastVote time.Time
+	// releasedEarly marks that the current epoch was released before
+	// its grant-time expiry by a deliberate coordinator action (a
+	// requeue, a held vote, a quarantine revocation) — the next grant
+	// records it so the ledger audit can tell an early re-grant from
+	// an overlapping lease.
+	releasedEarly bool
 }
 
 // jobState is one registered job plus its durable matrix journal.
@@ -107,8 +154,13 @@ type Coordinator struct {
 	ledger    *ledger
 	jobs      map[string]*jobState
 	recovered *ledgerRecovery
+	// strikes and quarantined are fleet-wide (cross-job) integrity
+	// state, recovered from the ledger on restart.
+	strikes     map[string]int
+	quarantined map[string]bool
 
-	mGranted, mStolen, mCompleted, mDuplicate, mFenced, mRequeued *obs.Counter
+	mGranted, mStolen, mCompleted, mDuplicate, mFenced, mRequeued            *obs.Counter
+	mVersionFenced, mVerified, mMismatch, mQuarantined, mInvalid, mBadAttest *obs.Counter
 }
 
 // NewCoordinator opens (or resumes) a coordinator rooted at dir. Lease
@@ -126,7 +178,8 @@ func NewCoordinator(dir string, opt CoordinatorOptions) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Coordinator{dir: dir, opt: opt, ledger: led, jobs: map[string]*jobState{}, recovered: rec}
+	c := &Coordinator{dir: dir, opt: opt, ledger: led, jobs: map[string]*jobState{}, recovered: rec,
+		strikes: rec.strikes, quarantined: rec.quarantined}
 	c.now = opt.now
 	if c.now == nil {
 		c.now = time.Now
@@ -138,8 +191,26 @@ func NewCoordinator(dir string, opt CoordinatorOptions) (*Coordinator, error) {
 		c.mDuplicate = r.Counter("dist_completes_duplicate_total", "Idempotent duplicate completes acknowledged.")
 		c.mFenced = r.Counter("dist_completes_fenced_total", "Stale-epoch completes rejected by fencing.")
 		c.mRequeued = r.Counter("dist_rows_requeued_total", "Not-OK completes that released a row for re-lease.")
+		c.mVersionFenced = r.Counter("dist_workers_version_fenced_total", "Acquires rejected by the version/fingerprint handshake.")
+		c.mVerified = r.Counter("dist_rows_verified_total", "Rows settled by independent digest agreement.")
+		c.mMismatch = r.Counter("dist_verify_mismatches_total", "Re-verification votes whose digest lost — one strike each.")
+		c.mQuarantined = r.Counter("dist_workers_quarantined_total", "Workers fenced fleet-wide after crossing the strike threshold.")
+		c.mInvalid = r.Counter("dist_rows_invalidated_total", "Unverified completes retracted from quarantined workers.")
+		c.mBadAttest = r.Counter("dist_completes_badattest_total", "OK completes rejected because the digest does not hash the shipped planes.")
 	}
 	return c, nil
+}
+
+// Quarantined returns the quarantined worker names, sorted.
+func (c *Coordinator) Quarantined() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for w := range c.quarantined {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // LedgerPath returns the coordinator's lease ledger file.
@@ -207,11 +278,69 @@ func (c *Coordinator) AddJob(job Job) error {
 			js.rows[r] = rowState{epoch: g.Epoch, worker: g.Worker,
 				expiry: laterOf(now.Add(ttl), time.Unix(0, g.ExpiryNS))}
 		}
-		if prior := j.Prior(); prior != nil {
-			if pr := prior.Row(k.Name); pr >= 0 && prior.RowComplete(pr) {
-				copyRow(js.matrix, r, prior, pr)
-				js.rows[r].done = true
+		rs := &js.rows[r]
+		rr := c.recovered.rows[key]
+		if rr != nil && rr.invalidated {
+			// The ledger retracted this row after the journal recorded
+			// it: the journaled bytes are the suspect's and must be
+			// ignored. Reopen pending with the replayed votes (at least
+			// the retracted claim) so one honest agreement settles it.
+			rs.pending = true
+			rs.lastVote = now
+			for _, v := range rr.votes {
+				rs.votes = append(rs.votes, rowVote{worker: v.Worker, digest: v.Digest, epoch: v.Epoch})
 			}
+			continue
+		}
+		prior := j.Prior()
+		havePrior := false
+		var pr int
+		if prior != nil {
+			if pr = prior.Row(k.Name); pr >= 0 && prior.RowComplete(pr) {
+				havePrior = true
+			}
+		}
+		switch {
+		case havePrior:
+			copyRow(js.matrix, r, prior, pr)
+			rs.done = true
+			if rr != nil && rr.completed {
+				rs.digest, rs.verified, rs.completedBy = rr.digest, rr.verified, rr.completedBy
+			} else {
+				// Crash between the journal fsync and the ledger's
+				// complete record: the journal is the source of truth, so
+				// the row is done — recompute its digest from the
+				// journaled bytes and credit the last granted worker,
+				// unverified.
+				if d, derr := sweep.RowDigest(js.matrix, r); derr == nil {
+					rs.digest = d
+				}
+				rs.completedBy = rs.worker
+			}
+		case rr != nil && rr.completed:
+			// The ledger acked a complete the journal lost (torn-tail
+			// salvage dropped the row). Done-ness follows the journal:
+			// re-lease the row, keeping the ledgered digest as a vote so
+			// an honest re-execution settles it verified.
+			rs.pending = true
+			rs.lastVote = now
+			rs.votes = []rowVote{{worker: rr.completedBy, digest: rr.digest, epoch: rs.epoch}}
+		case rr != nil && len(rr.votes) > 0:
+			// Open re-verification votes from before the crash.
+			rs.pending = true
+			rs.lastVote = now
+			for _, v := range rr.votes {
+				rs.votes = append(rs.votes, rowVote{worker: v.Worker, digest: v.Digest, epoch: v.Epoch})
+			}
+		}
+	}
+	// A crash mid-quarantine can leave a worker ledgered as
+	// quarantined with unverified completes not yet retracted: finish
+	// the job now, before any of its rows can be trusted.
+	for r := range js.rows {
+		rs := &js.rows[r]
+		if rs.done && !rs.verified && rs.completedBy != "" && c.quarantined[rs.completedBy] {
+			c.invalidateLocked(js, r)
 		}
 	}
 	c.jobs[job.Name] = js
@@ -283,8 +412,13 @@ func (c *Coordinator) statusLocked(js *jobState) JobStatus {
 	for _, r := range js.rows {
 		if r.done {
 			st.Done++
-		} else if r.epoch > 0 && now.Before(r.expiry) {
+			continue
+		}
+		if r.epoch > 0 && now.Before(r.expiry) {
 			st.Leased++
+		}
+		if r.pending {
+			st.Verifying++
 		}
 	}
 	st.Complete = st.Done == st.Rows
@@ -349,14 +483,39 @@ func (c *Coordinator) Run(ctx context.Context, job Job) (*sweep.Matrix, *sweep.R
 
 // acquire grants the next available row to the requesting worker,
 // persisting the grant before returning it. Returns nil when nothing
-// is available.
+// is available. The version handshake and the quarantine fence run
+// before anything else: a worker that fails either never touches
+// lease state, never refreshes its federation target, and never sees
+// a row.
 func (c *Coordinator) acquire(req acquireRequest) (*Lease, error) {
 	worker := req.Worker
+	if req.Proto != ProtoVersion || req.Fingerprint != EngineFingerprint() {
+		if c.mVersionFenced != nil {
+			c.mVersionFenced.Inc()
+		}
+		if fr := c.opt.Flight; fr != nil {
+			fr.Record("version-fence", map[string]any{
+				"worker": worker, "proto": req.Proto, "fingerprint": req.Fingerprint})
+		}
+		return nil, fmt.Errorf("%w: worker %s speaks %q fingerprint %q, coordinator %q fingerprint %q",
+			errVersionMismatch, worker, req.Proto, req.Fingerprint, ProtoVersion, EngineFingerprint())
+	}
+	c.mu.Lock()
+	if c.quarantined[worker] {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", errQuarantined, worker)
+	}
+	c.mu.Unlock()
 	if c.opt.OnWorker != nil && req.MetricsURL != "" {
 		c.opt.OnWorker(worker, req.MetricsURL)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Re-check under the lock: OnWorker ran outside it and a
+	// concurrent complete may have quarantined this worker meanwhile.
+	if c.quarantined[worker] {
+		return nil, fmt.Errorf("%w: %s", errQuarantined, worker)
+	}
 	now := c.now()
 	var names []string
 	for name := range c.jobs {
@@ -370,11 +529,18 @@ func (c *Coordinator) acquire(req acquireRequest) (*Lease, error) {
 			if rs.done || (rs.epoch > 0 && now.Before(rs.expiry)) {
 				continue
 			}
+			if rs.pending && voteBlocked(rs, worker, now, js.ttl) {
+				// The requester already voted on this row: re-verification
+				// needs an independent worker, so hold the row back from
+				// this one while the grace window is open.
+				continue
+			}
 			steal := rs.epoch > 0
 			epoch := rs.epoch + 1
 			expiry := now.Add(js.ttl)
 			rec := LedgerRecord{Kind: "grant", Job: name, Row: r, Epoch: epoch,
-				Worker: worker, GrantedNS: now.UnixNano(), ExpiryNS: expiry.UnixNano(), Steal: steal}
+				Worker: worker, GrantedNS: now.UnixNano(), ExpiryNS: expiry.UnixNano(),
+				Steal: steal, Early: rs.releasedEarly}
 			// Fsync the grant BEFORE the worker can see it: a crash
 			// after this point recovers an epoch some worker may hold.
 			if err := c.ledger.append(rec); err != nil {
@@ -384,6 +550,7 @@ func (c *Coordinator) acquire(req acquireRequest) (*Lease, error) {
 			// grant so each epoch is its own node in the stitched trace.
 			leaseSC := js.job.Trace.Child()
 			rs.epoch, rs.worker, rs.expiry, rs.span = epoch, worker, expiry, leaseSC.SpanID
+			rs.releasedEarly = false
 			kraw, err := encodeKernel(js.job.Kernels[r])
 			if err != nil {
 				return nil, err
@@ -425,11 +592,43 @@ var errStale = fmt.Errorf("dist: stale lease epoch")
 // not know.
 var errUnknown = fmt.Errorf("dist: unknown job or row")
 
+// errVersionMismatch marks an acquire whose proto/fingerprint
+// handshake failed — the worker's binary cannot mix rows with this
+// coordinator's.
+var errVersionMismatch = fmt.Errorf("dist: version/fingerprint mismatch")
+
+// errQuarantined marks any call from a worker fenced fleet-wide.
+var errQuarantined = fmt.Errorf("dist: worker is quarantined")
+
+// errBadAttest marks an OK complete whose digest does not hash the
+// shipped planes.
+var errBadAttest = fmt.Errorf("dist: bad row attestation")
+
+// voteBlocked reports whether a pending row must be held back from
+// worker: it already voted, and the grace window for finding an
+// independent worker is still open. After 2xTTL with no second voter
+// the block lifts — with a one-worker fleet, availability wins and
+// the row settles unverified via the revote path in voteLocked.
+func voteBlocked(rs *rowState, worker string, now time.Time, ttl time.Duration) bool {
+	if now.Sub(rs.lastVote) >= 2*ttl {
+		return false
+	}
+	for _, v := range rs.votes {
+		if v.worker == worker {
+			return true
+		}
+	}
+	return false
+}
+
 // renew extends a held lease. Fenced when the epoch is stale; reports
 // done when the row already completed (stop renewing).
 func (c *Coordinator) renew(req renewRequest) (renewResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.quarantined[req.Worker] {
+		return renewResponse{}, fmt.Errorf("%w: %s", errQuarantined, req.Worker)
+	}
 	js, ok := c.jobs[req.Job]
 	if !ok || req.Row < 0 || req.Row >= len(js.rows) {
 		return renewResponse{}, errUnknown
@@ -450,10 +649,16 @@ func (c *Coordinator) renew(req renewRequest) (renewResponse, error) {
 // an already-done row acks as a duplicate (so retried completes are
 // idempotent); a stale epoch is fenced; an OK row is journaled and
 // ledgered — both fsynced — before the ack; a not-OK row is released
-// for immediate re-lease.
+// for immediate re-lease. The integrity plane hangs off the OK path:
+// the digest must hash the shipped planes, and a row in the
+// re-verification sample is held as a vote until an independent
+// worker agrees on its digest.
 func (c *Coordinator) complete(req completeRequest) (completeResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.quarantined[req.Worker] {
+		return completeResponse{}, fmt.Errorf("%w: %s", errQuarantined, req.Worker)
+	}
 	js, ok := c.jobs[req.Job]
 	if !ok || req.Row < 0 || req.Row >= len(js.rows) {
 		return completeResponse{}, errUnknown
@@ -489,6 +694,7 @@ func (c *Coordinator) complete(req completeRequest) (completeResponse, error) {
 		// dies with this call), expiry is now so the next acquire can
 		// take the row.
 		rs.expiry = c.now()
+		rs.releasedEarly = true
 		if c.mRequeued != nil {
 			c.mRequeued.Inc()
 		}
@@ -501,6 +707,38 @@ func (c *Coordinator) complete(req completeRequest) (completeResponse, error) {
 	if err := validatePlanes(js.job.Space.Size(), req); err != nil {
 		return completeResponse{}, err
 	}
+	// Attestation: the digest must hash exactly the planes shipped.
+	// A mismatch means the payload was damaged in flight or the worker
+	// attested bytes it did not send — either way these planes must
+	// not reach the matrix, and retrying the identical payload cannot
+	// succeed (400, not 409).
+	want, err := sweep.RowPlanesDigest(js.order[req.Row], req.Tput, req.TimeNS, req.Bound)
+	if err != nil {
+		return completeResponse{}, err
+	}
+	if req.Digest != want {
+		if c.mBadAttest != nil {
+			c.mBadAttest.Inc()
+		}
+		if fr := c.opt.Flight; fr != nil {
+			fr.Record("bad-attest", map[string]any{
+				"job": req.Job, "row": req.Row, "worker": req.Worker,
+				"digest": req.Digest, "want": want})
+		}
+		return completeResponse{}, fmt.Errorf("%w: %s row %d digest %q does not hash the shipped planes (%s)",
+			errBadAttest, req.Job, req.Row, req.Digest, want)
+	}
+	if rs.pending || verifySelected(js.job.Seed, req.Row, c.opt.VerifyFraction) {
+		return c.voteLocked(js, rs, req)
+	}
+	return c.acceptLocked(js, rs, req, false)
+}
+
+// acceptLocked lands an attested OK complete: planes into the
+// matrix, row into the journal, complete into the ledger — fsynced in
+// that order before the ack — then the OnRow hook and instruments.
+// Caller holds c.mu.
+func (c *Coordinator) acceptLocked(js *jobState, rs *rowState, req completeRequest, verified bool) (completeResponse, error) {
 	r := req.Row
 	copy(js.matrix.Throughput[r], req.Tput)
 	copy(js.matrix.TimeNS[r], req.TimeNS)
@@ -514,24 +752,29 @@ func (c *Coordinator) complete(req completeRequest) (completeResponse, error) {
 	// source of truth for done-ness), then the complete into the
 	// ledger (the audit trail). A crash between the two recovers as
 	// done from the journal, so the ledger's complete record is
-	// best-effort audit, not load-bearing state.
+	// best-effort audit, not load-bearing state. If the row was
+	// invalidated earlier, this append supersedes the retracted bytes:
+	// journal replay is last-record-wins per kernel.
 	if err := js.journal.AppendRow(js.matrix, r); err != nil {
 		// Roll the in-memory row back so a retry can try again.
-		for i := range js.matrix.Status[r] {
-			js.matrix.Status[r][i] = sweep.StatusCanceled
-		}
+		zeroRow(js.matrix, r)
 		return completeResponse{}, err
 	}
 	if err := c.ledger.append(LedgerRecord{Kind: "complete", Job: req.Job, Row: r,
-		Epoch: req.Epoch, Worker: req.Worker}); err != nil {
+		Epoch: req.Epoch, Worker: req.Worker, Digest: req.Digest, Verified: verified}); err != nil {
 		return completeResponse{}, err
 	}
 	rs.done = true
+	rs.digest, rs.verified, rs.completedBy = req.Digest, verified, req.Worker
+	rs.pending, rs.votes = false, nil
 	if js.job.OnRow != nil {
 		js.job.OnRow(js.matrix, r)
 	}
 	if c.mCompleted != nil {
 		c.mCompleted.Inc()
+	}
+	if verified && c.mVerified != nil {
+		c.mVerified.Inc()
 	}
 	if js.rate != nil {
 		done := 0
@@ -547,13 +790,203 @@ func (c *Coordinator) complete(req completeRequest) (completeResponse, error) {
 	if tw := c.opt.Trace; tw != nil {
 		tw.InstantSpan("complete", "dist", 0,
 			obs.SpanContext{TraceID: js.job.Trace.TraceID}, rs.span, map[string]any{
-				"job": req.Job, "row": r, "epoch": req.Epoch, "worker": req.Worker})
+				"job": req.Job, "row": r, "epoch": req.Epoch, "worker": req.Worker, "verified": verified})
 	}
 	if fr := c.opt.Flight; fr != nil {
 		fr.Record("complete", map[string]any{
-			"job": req.Job, "row": r, "epoch": req.Epoch, "worker": req.Worker})
+			"job": req.Job, "row": r, "epoch": req.Epoch, "worker": req.Worker, "verified": verified})
 	}
-	return completeResponse{}, nil
+	return completeResponse{Verified: verified}, nil
+}
+
+// voteLocked handles an attested complete for a row in the
+// re-verification sample: the claim is ledgered as a vote, and the
+// row settles only when two distinct workers agree on its digest.
+// Dissenting votes at settlement are proven lies — each costs its
+// worker a strike. A lone worker re-voting its own digest after the
+// grace window settles the row unverified (availability over
+// byzantine safety when no independent worker exists). Caller holds
+// c.mu.
+func (c *Coordinator) voteLocked(js *jobState, rs *rowState, req completeRequest) (completeResponse, error) {
+	now := c.now()
+	agree := 1 // the incoming claim
+	revote := false
+	var dissent []rowVote
+	for _, v := range rs.votes {
+		if v.worker == req.Worker {
+			revote = true
+			continue // superseded by the incoming claim
+		}
+		if v.digest == req.Digest {
+			agree++
+		} else {
+			dissent = append(dissent, v)
+		}
+	}
+	// Fsync the vote before any ack: a restarted coordinator must
+	// remember every claim it held a row open for.
+	if err := c.ledger.append(LedgerRecord{Kind: "attest", Job: req.Job, Row: req.Row,
+		Epoch: req.Epoch, Worker: req.Worker, Digest: req.Digest}); err != nil {
+		return completeResponse{}, err
+	}
+	if tw := c.opt.Trace; tw != nil {
+		tw.InstantSpan("attest", "dist", 0,
+			obs.SpanContext{TraceID: js.job.Trace.TraceID}, rs.span, map[string]any{
+				"job": req.Job, "row": req.Row, "epoch": req.Epoch, "worker": req.Worker, "digest": req.Digest})
+	}
+	if fr := c.opt.Flight; fr != nil {
+		fr.Record("attest", map[string]any{
+			"job": req.Job, "row": req.Row, "epoch": req.Epoch, "worker": req.Worker, "digest": req.Digest})
+	}
+	if agree >= 2 {
+		// Independent agreement: accept verified, and every dissenting
+		// vote is now a proven lie.
+		resp, err := c.acceptLocked(js, rs, req, true)
+		if err != nil {
+			return resp, err
+		}
+		for _, v := range dissent {
+			c.strikeLocked(js, v.worker, req.Job, req.Row, v.digest)
+		}
+		return resp, nil
+	}
+	if revote && !rs.lastVote.IsZero() && now.Sub(rs.lastVote) >= 2*js.ttl {
+		// Grace elapsed with no independent worker: the same worker
+		// re-executed the row (fresh lease, fresh computation) and got
+		// the same digest. Accept unverified rather than deadlock a
+		// one-worker fleet.
+		return c.acceptLocked(js, rs, req, false)
+	}
+	replaced := false
+	for i := range rs.votes {
+		if rs.votes[i].worker == req.Worker {
+			rs.votes[i] = rowVote{worker: req.Worker, digest: req.Digest, epoch: req.Epoch}
+			replaced = true
+		}
+	}
+	if !replaced {
+		rs.votes = append(rs.votes, rowVote{worker: req.Worker, digest: req.Digest, epoch: req.Epoch})
+	}
+	rs.pending = true
+	rs.lastVote = now
+	// Release the row for an independent re-execution; the voter's
+	// part is done (its completeWithRetry stops here).
+	rs.expiry = now
+	rs.releasedEarly = true
+	return completeResponse{PendingVerify: true}, nil
+}
+
+// strikeLocked charges worker one conclusive digest mismatch and
+// quarantines it at the threshold. Ledger appends here are
+// best-effort: the strike already landed in memory, and failing the
+// accepted complete over an audit record would trade integrity for
+// bookkeeping. Caller holds c.mu.
+func (c *Coordinator) strikeLocked(js *jobState, worker, job string, row int, digest string) {
+	if c.quarantined[worker] {
+		return
+	}
+	c.strikes[worker]++
+	c.ledger.append(LedgerRecord{Kind: "strike", Job: job, Row: row, Worker: worker, Digest: digest}) //nolint:errcheck // best-effort audit
+	if c.mMismatch != nil {
+		c.mMismatch.Inc()
+	}
+	if fr := c.opt.Flight; fr != nil {
+		fr.Record("strike", map[string]any{
+			"job": job, "row": row, "worker": worker, "digest": digest, "strikes": c.strikes[worker]})
+	}
+	threshold := c.opt.QuarantineAfter
+	if threshold <= 0 {
+		threshold = 1
+	}
+	if c.strikes[worker] >= threshold {
+		c.quarantineLocked(js, worker, job, row, digest)
+	}
+}
+
+// quarantineLocked fences worker fleet-wide: future acquires, renews
+// and completes are rejected; its live leases are revoked for
+// immediate re-lease; and every unverified row it completed is
+// retracted and reopened — graceful degradation, because healthy
+// workers pick the rows back up on their next acquire. Caller holds
+// c.mu.
+func (c *Coordinator) quarantineLocked(js *jobState, worker, job string, row int, digest string) {
+	if c.quarantined[worker] {
+		return
+	}
+	c.quarantined[worker] = true
+	c.ledger.append(LedgerRecord{Kind: "quarantine", Job: job, Row: row, Worker: worker, Digest: digest}) //nolint:errcheck // best-effort audit
+	if c.mQuarantined != nil {
+		c.mQuarantined.Inc()
+	}
+	if tw := c.opt.Trace; tw != nil {
+		tw.InstantSpan("quarantine", "dist", 0,
+			obs.SpanContext{TraceID: js.job.Trace.TraceID}, js.job.Trace.SpanID, map[string]any{
+				"job": job, "row": row, "worker": worker, "digest": digest})
+	}
+	if fr := c.opt.Flight; fr != nil {
+		fr.Record("quarantine", map[string]any{
+			"job": job, "row": row, "worker": worker, "digest": digest})
+	}
+	if c.opt.OnQuarantine != nil {
+		c.opt.OnQuarantine(worker)
+	}
+	now := c.now()
+	for _, other := range c.jobs {
+		for r := range other.rows {
+			rs := &other.rows[r]
+			if rs.done {
+				if rs.completedBy == worker && !rs.verified {
+					c.invalidateLocked(other, r)
+				}
+				continue
+			}
+			if rs.worker == worker && rs.epoch > 0 && now.Before(rs.expiry) {
+				// Revoke the live lease. The epoch stays, so anything the
+				// quarantined worker still sends is fenced stale on top of
+				// being quarantined.
+				rs.expiry = now
+				rs.releasedEarly = true
+			}
+		}
+	}
+}
+
+// invalidateLocked retracts a done row: its ledgered invalidate names
+// the worker and digest being withdrawn, the matrix row is zeroed,
+// and the row reopens pending with the retracted claim seeded as a
+// vote — if an honest worker reproduces the digest, the values were
+// right after all and one agreement settles the row verified. Caller
+// holds c.mu.
+func (c *Coordinator) invalidateLocked(js *jobState, r int) {
+	rs := &js.rows[r]
+	c.ledger.append(LedgerRecord{Kind: "invalidate", Job: js.job.Name, Row: r,
+		Epoch: rs.epoch, Worker: rs.completedBy, Digest: rs.digest}) //nolint:errcheck // best-effort audit
+	rs.votes = []rowVote{{worker: rs.completedBy, digest: rs.digest, epoch: rs.epoch}}
+	rs.done = false
+	rs.pending = true
+	rs.digest, rs.verified, rs.completedBy = "", false, ""
+	now := c.now()
+	rs.lastVote = now
+	rs.expiry = now
+	rs.releasedEarly = true
+	zeroRow(js.matrix, r)
+	if c.mInvalid != nil {
+		c.mInvalid.Inc()
+	}
+	if fr := c.opt.Flight; fr != nil {
+		fr.Record("invalidate", map[string]any{
+			"job": js.job.Name, "row": r, "epoch": rs.epoch})
+	}
+}
+
+// zeroRow resets one matrix row to its never-measured state.
+func zeroRow(m *sweep.Matrix, r int) {
+	for i := range m.Status[r] {
+		m.Throughput[r][i] = 0
+		m.TimeNS[r][i] = 0
+		m.Bound[r][i] = 0
+		m.Status[r][i] = sweep.StatusCanceled
+	}
 }
 
 // validatePlanes applies journal-grade hygiene to a complete's
@@ -586,7 +1019,7 @@ func (c *Coordinator) Handler() http.Handler {
 		}
 		lease, err := c.acquire(req)
 		if err != nil {
-			writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
+			writeLeaseError(w, err)
 			return
 		}
 		if lease == nil {
@@ -621,12 +1054,12 @@ func (c *Coordinator) Handler() http.Handler {
 	})
 	mux.HandleFunc("/v1/dist/job", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			writeJSON(w, http.StatusMethodNotAllowed, errorBody{"GET only"})
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
 			return
 		}
 		st, ok := c.Status(r.URL.Query().Get("name"))
 		if !ok {
-			writeJSON(w, http.StatusNotFound, errorBody{"unknown job"})
+			writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
@@ -637,27 +1070,36 @@ func (c *Coordinator) Handler() http.Handler {
 // decodeInto parses a POST body, answering 4xx itself on failure.
 func decodeInto(w http.ResponseWriter, r *http.Request, v any) bool {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"POST only"})
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
 		return false
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	if err := dec.Decode(v); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad request body: %v", err)})
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
 		return false
 	}
 	return true
 }
 
-// writeLeaseError maps protocol errors to status codes: stale epochs
-// are 409 (the fence), unknown rows 404, anything else 500.
+// writeLeaseError maps protocol errors to status codes and machine
+// codes: the three fences — stale epoch, version mismatch, quarantine
+// — are 409 (retrying as-is cannot succeed, but the request was
+// well-formed), a bad attestation is 400 (the payload itself is
+// wrong), unknown rows 404, anything else 500.
 func writeLeaseError(w http.ResponseWriter, err error) {
-	switch err {
-	case errStale:
-		writeJSON(w, http.StatusConflict, errorBody{err.Error()})
-	case errUnknown:
-		writeJSON(w, http.StatusNotFound, errorBody{err.Error()})
+	switch {
+	case errors.Is(err, errStale):
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error(), Code: "stale-epoch"})
+	case errors.Is(err, errVersionMismatch):
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error(), Code: "version-mismatch"})
+	case errors.Is(err, errQuarantined):
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error(), Code: "quarantined"})
+	case errors.Is(err, errBadAttest):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Code: "bad-attestation"})
+	case errors.Is(err, errUnknown):
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
 	default:
-		writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 	}
 }
 

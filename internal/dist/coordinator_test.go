@@ -49,9 +49,15 @@ func newTestCoordinator(t *testing.T, dir string, clk *testClock) *Coordinator {
 	return c
 }
 
+// acq builds a handshake-passing acquire for worker.
+func acq(worker string) acquireRequest {
+	return acquireRequest{Worker: worker, Proto: ProtoVersion, Fingerprint: EngineFingerprint()}
+}
+
 // okComplete builds a valid OK complete for the granted lease by
 // actually sweeping the leased row — the same computation a worker
-// performs, so the planes pass validation and are deterministic.
+// performs, so the planes pass validation, carry a truthful
+// attestation, and are deterministic.
 func okComplete(t *testing.T, l *Lease, worker string) completeRequest {
 	t.Helper()
 	k, err := l.DecodeKernel()
@@ -72,8 +78,12 @@ func okComplete(t *testing.T, l *Lease, worker string) completeRequest {
 	for c := 0; c < n; c++ {
 		bounds[c] = int(m.Bound[0][c])
 	}
+	digest, err := sweep.RowPlanesDigest(k.Name, m.Throughput[0], m.TimeNS[0], bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return completeRequest{Job: l.Job, Row: l.Row, Epoch: l.Epoch, Worker: worker, OK: true,
-		Tput: m.Throughput[0], TimeNS: m.TimeNS[0], Bound: bounds}
+		Tput: m.Throughput[0], TimeNS: m.TimeNS[0], Bound: bounds, Digest: digest}
 }
 
 func TestLeaseGrantCompleteDuplicate(t *testing.T) {
@@ -84,7 +94,7 @@ func TestLeaseGrantCompleteDuplicate(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	l, err := c.acquire(acquireRequest{Worker: "w1"})
+	l, err := c.acquire(acq("w1"))
 	if err != nil || l == nil {
 		t.Fatalf("acquire: %v %v", l, err)
 	}
@@ -122,16 +132,16 @@ func TestExpiryRacesLateComplete(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	orig, err := c.acquire(acquireRequest{Worker: "slow"})
+	orig, err := c.acquire(acq("slow"))
 	if err != nil || orig == nil {
 		t.Fatalf("acquire: %v", err)
 	}
 	// Not expired yet: nothing to steal.
-	if l, _ := c.acquire(acquireRequest{Worker: "eager"}); l != nil {
+	if l, _ := c.acquire(acq("eager")); l != nil {
 		t.Fatal("unexpired lease must not be re-granted")
 	}
 	clk.advance(2 * time.Second)
-	thief, err := c.acquire(acquireRequest{Worker: "thief"})
+	thief, err := c.acquire(acq("thief"))
 	if err != nil || thief == nil {
 		t.Fatalf("steal after expiry: %v", err)
 	}
@@ -158,12 +168,12 @@ func TestExpiryRacesLateComplete(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	counts, err := AuditLedger(recs)
+	audit, err := AuditLedger(recs)
 	if err != nil {
 		t.Fatalf("ledger audit: %v", err)
 	}
-	if counts["j/0"] != 2 {
-		t.Fatalf("row should have exactly 2 grants, got %d", counts["j/0"])
+	if audit.Grants["j/0"] != 2 {
+		t.Fatalf("row should have exactly 2 grants, got %d", audit.Grants["j/0"])
 	}
 }
 
@@ -177,7 +187,7 @@ func TestExpiredButUnstolenCompleteAccepted(t *testing.T) {
 	if err := c.AddJob(testJob(t, "j", 1)); err != nil {
 		t.Fatal(err)
 	}
-	l, _ := c.acquire(acquireRequest{Worker: "slow"})
+	l, _ := c.acquire(acq("slow"))
 	clk.advance(time.Minute)
 	if resp, err := c.complete(okComplete(t, l, "slow")); err != nil || resp.Duplicate {
 		t.Fatalf("expired-but-unstolen complete should be accepted: %+v %v", resp, err)
@@ -195,7 +205,7 @@ func TestRenewalAfterCoordinatorRestart(t *testing.T) {
 	if err := c.AddJob(job); err != nil {
 		t.Fatal(err)
 	}
-	l, err := c.acquire(acquireRequest{Worker: "w1"})
+	l, err := c.acquire(acq("w1"))
 	if err != nil || l == nil {
 		t.Fatalf("acquire: %v", err)
 	}
@@ -236,7 +246,7 @@ func TestRestartAfterCompleteNeverRegrants(t *testing.T) {
 	if err := c.AddJob(job); err != nil {
 		t.Fatal(err)
 	}
-	l1, _ := c.acquire(acquireRequest{Worker: "w1"})
+	l1, _ := c.acquire(acq("w1"))
 	if _, err := c.complete(okComplete(t, l1, "w1")); err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +260,7 @@ func TestRestartAfterCompleteNeverRegrants(t *testing.T) {
 	}
 	seen := map[int]bool{}
 	for {
-		l, err := c2.acquire(acquireRequest{Worker: "w2"})
+		l, err := c2.acquire(acq("w2"))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -280,12 +290,12 @@ func TestNotOKCompleteRequeues(t *testing.T) {
 	if err := c.AddJob(testJob(t, "j", 1)); err != nil {
 		t.Fatal(err)
 	}
-	l, _ := c.acquire(acquireRequest{Worker: "w1"})
+	l, _ := c.acquire(acq("w1"))
 	resp, err := c.complete(completeRequest{Job: l.Job, Row: l.Row, Epoch: l.Epoch, Worker: "w1"})
 	if err != nil || !resp.Requeued {
 		t.Fatalf("not-OK complete should requeue: %+v %v", resp, err)
 	}
-	l2, err := c.acquire(acquireRequest{Worker: "w2"})
+	l2, err := c.acquire(acq("w2"))
 	if err != nil || l2 == nil {
 		t.Fatal("requeued row should be immediately re-leasable")
 	}
@@ -302,7 +312,7 @@ func TestCompleteValidation(t *testing.T) {
 	if err := c.AddJob(testJob(t, "j", 1)); err != nil {
 		t.Fatal(err)
 	}
-	l, _ := c.acquire(acquireRequest{Worker: "w1"})
+	l, _ := c.acquire(acq("w1"))
 	req := okComplete(t, l, "w1")
 	req.Tput = req.Tput[:len(req.Tput)-1]
 	if _, err := c.complete(req); err == nil || !strings.Contains(err.Error(), "plane length") {
@@ -328,7 +338,7 @@ func TestLedgerTornTailSalvage(t *testing.T) {
 	if err := c.AddJob(testJob(t, "j", 1)); err != nil {
 		t.Fatal(err)
 	}
-	l, _ := c.acquire(acquireRequest{Worker: "w1"})
+	l, _ := c.acquire(acq("w1"))
 	c.Close()
 
 	// Tear the tail.

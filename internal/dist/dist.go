@@ -121,6 +121,14 @@ type acquireRequest struct {
 	// exposition; the coordinator registers it with the metrics
 	// federation, so joining the fleet is joining /metrics/fleet.
 	MetricsURL string `json:"metrics_url,omitempty"`
+	// Proto and Fingerprint are the version handshake: the worker's
+	// protocol version (ProtoVersion) and engine fingerprint
+	// (EngineFingerprint). Either one differing from the
+	// coordinator's — including absent, as a pre-attestation binary
+	// would send — fences the acquire with a typed 409 before any row
+	// is granted.
+	Proto       string `json:"proto,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
 }
 
 // renewRequest extends a held lease.
@@ -153,6 +161,13 @@ type completeRequest struct {
 	Tput   []float64 `json:"tput,omitempty"`
 	TimeNS []float64 `json:"time_ns,omitempty"`
 	Bound  []int     `json:"bound,omitempty"`
+	// Digest attests the row: sweep.RowPlanesDigest over exactly the
+	// planes above, computed by the worker from the bytes it journaled.
+	// The coordinator recomputes it from the received planes and
+	// rejects any OK complete where the two disagree (payload damaged
+	// in flight, or a worker attesting bytes it did not send). Required
+	// on every OK complete.
+	Digest string `json:"digest,omitempty"`
 }
 
 // completeResponse acknowledges a complete.
@@ -164,20 +179,36 @@ type completeResponse struct {
 	// Requeued reports a not-OK complete released the row for
 	// re-lease.
 	Requeued bool `json:"requeued,omitempty"`
+	// PendingVerify reports the row is in the re-verification sample
+	// and this complete was recorded as a vote: the worker's part is
+	// done, but the row stays open until an independent worker
+	// produces a matching digest.
+	PendingVerify bool `json:"pending_verify,omitempty"`
+	// Verified reports this complete settled a re-verified row: two
+	// independent workers agreed on the digest.
+	Verified bool `json:"verified,omitempty"`
 }
 
 // JobStatus is the coordinator's view of one job's progress.
 type JobStatus struct {
-	Job      string `json:"job"`
-	Rows     int    `json:"rows"`
-	Done     int    `json:"done"`
-	Leased   int    `json:"leased"`
-	Complete bool   `json:"complete"`
+	Job    string `json:"job"`
+	Rows   int    `json:"rows"`
+	Done   int    `json:"done"`
+	Leased int    `json:"leased"`
+	// Verifying counts rows holding at least one re-verification vote
+	// and waiting for an independent worker to agree.
+	Verifying int  `json:"verifying,omitempty"`
+	Complete  bool `json:"complete"`
 }
 
-// errorBody is the JSON error envelope, matching internal/serve.
+// errorBody is the JSON error envelope, matching internal/serve. Code
+// discriminates the 4xx family machine-side: "stale-epoch" (the
+// fence), "version-mismatch" (the handshake), "quarantined" (the
+// worker is fenced fleet-wide), "bad-attestation" (digest/payload
+// disagreement).
 type errorBody struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 // reportFor synthesizes a sweep report from a finished distributed

@@ -38,7 +38,11 @@ const ledgerMagic = "gpuscale-lease v1\n"
 
 // LedgerRecord is one persisted lease event.
 type LedgerRecord struct {
-	// Kind is "grant" or "complete".
+	// Kind is the event: "grant", "complete", or — the integrity
+	// plane — "attest" (a re-verification vote), "strike" (a worker's
+	// digest lost a vote), "quarantine" (a worker crossed the strike
+	// threshold and is fenced fleet-wide), "invalidate" (a quarantined
+	// worker's unverified complete was retracted and the row reopened).
 	Kind   string `json:"kind"`
 	Job    string `json:"job"`
 	Row    int    `json:"row"`
@@ -53,6 +57,20 @@ type LedgerRecord struct {
 	// Steal marks a grant that displaced an expired, unfinished
 	// earlier epoch.
 	Steal bool `json:"steal,omitempty"`
+	// Early marks a grant whose previous epoch was released before its
+	// recorded expiry by a deliberate coordinator action (requeue, held
+	// re-verification vote, quarantine revocation) — the audit's
+	// no-overlap check does not apply across such a release.
+	Early bool `json:"early,omitempty"`
+	// Digest is the attested row digest: on "complete", the digest the
+	// accepted planes hash to; on "attest", the voter's claim; on
+	// "strike"/"quarantine"/"invalidate", the digest that triggered
+	// the event.
+	Digest string `json:"digest,omitempty"`
+	// Verified marks a complete that was settled by independent
+	// agreement (two distinct workers, same digest) rather than taken
+	// on one worker's word.
+	Verified bool `json:"verified,omitempty"`
 }
 
 // ledger is the append side. Not safe for concurrent use; the
@@ -62,18 +80,54 @@ type ledger struct {
 	good int64
 }
 
-// ledgerRecovery is what replay yields: the last grant per row and
-// which rows have a complete record.
+// ledgerRecovery is what replay yields: the last grant per row, each
+// row's verification state, and the fleet-wide strike/quarantine
+// state — everything a restarted coordinator needs to resume the
+// integrity plane where it left off.
 type ledgerRecovery struct {
-	grants    map[rowKey]LedgerRecord
-	completed map[rowKey]bool
+	grants map[rowKey]LedgerRecord
+	rows   map[rowKey]*rowRecovery
+	// strikes and quarantined are per-worker: strike counts replayed
+	// from "strike" records, quarantine membership from "quarantine"
+	// records.
+	strikes     map[string]int
+	quarantined map[string]bool
 	// Dropped is the salvage report: bytes of torn tail cut off.
 	dropped int64
+}
+
+// rowRecovery is one row's replayed integrity state.
+type rowRecovery struct {
+	// completed reports the row's latest state is complete (a
+	// "complete" record not followed by an "invalidate").
+	completed bool
+	// invalidated reports an "invalidate" retracted an earlier
+	// complete — the journal may still hold the retracted bytes, and
+	// recovery must ignore them.
+	invalidated bool
+	// digest/verified/completedBy mirror the latest complete record.
+	digest      string
+	verified    bool
+	completedBy string
+	// votes are the open re-verification votes (worker + digest); an
+	// invalidate seeds them with the suspect's retracted claim so one
+	// honest agreement can still settle the row.
+	votes []LedgerRecord
 }
 
 type rowKey struct {
 	job string
 	row int
+}
+
+// row returns (allocating) the recovery slot for k.
+func (rec *ledgerRecovery) row(k rowKey) *rowRecovery {
+	rr := rec.rows[k]
+	if rr == nil {
+		rr = &rowRecovery{}
+		rec.rows[k] = rr
+	}
+	return rr
 }
 
 // openLedger opens or creates the ledger at path, replaying existing
@@ -90,7 +144,8 @@ func openLedger(path string) (*ledger, *ledgerRecovery, error) {
 		return nil, nil, fmt.Errorf("dist: reading lease ledger: %w", err)
 	}
 	l := &ledger{f: f}
-	rec := &ledgerRecovery{grants: map[rowKey]LedgerRecord{}, completed: map[rowKey]bool{}}
+	rec := &ledgerRecovery{grants: map[rowKey]LedgerRecord{}, rows: map[rowKey]*rowRecovery{},
+		strikes: map[string]int{}, quarantined: map[string]bool{}}
 	if len(data) == 0 {
 		if err := l.writeAt(0, []byte(ledgerMagic)); err != nil {
 			f.Close()
@@ -121,7 +176,27 @@ func openLedger(path string) (*ledger, *ledgerRecovery, error) {
 		case "grant":
 			rec.grants[k] = r
 		case "complete":
-			rec.completed[k] = true
+			rr := rec.row(k)
+			rr.completed = true
+			rr.invalidated = false
+			rr.digest, rr.verified, rr.completedBy = r.Digest, r.Verified, r.Worker
+			rr.votes = nil
+		case "attest":
+			rec.row(k).votes = append(rec.row(k).votes, r)
+		case "strike":
+			rec.strikes[r.Worker]++
+		case "quarantine":
+			rec.quarantined[r.Worker] = true
+		case "invalidate":
+			rr := rec.row(k)
+			rr.completed = false
+			rr.invalidated = true
+			// The retracted claim stays on the record as a vote: if an
+			// honest worker reproduces the suspect's digest, the values
+			// were right after all and one agreement settles the row.
+			rr.votes = []LedgerRecord{{Kind: "attest", Job: r.Job, Row: r.Row,
+				Epoch: r.Epoch, Worker: r.Worker, Digest: r.Digest}}
+			rr.digest, rr.verified, rr.completedBy = "", false, ""
 		}
 	}
 	if good < int64(len(data)) {
@@ -249,24 +324,60 @@ func ReadLedger(path string) ([]LedgerRecord, error) {
 	return recs, nil
 }
 
-// AuditLedger checks the exactly-once and no-two-live-epochs
-// invariants a ledger must satisfy:
+// LedgerAudit is what AuditLedger returns when a ledger passes: the
+// grant accounting plus the full integrity-plane history, so a chaos
+// soak (or an operator) can name every quarantine and every retracted
+// row without replaying the protocol.
+type LedgerAudit struct {
+	// Grants maps "job/row" to its grant count (steal accounting).
+	Grants map[string]int
+	// Completes counts complete records, retracted ones included;
+	// Verified counts the ones settled by independent agreement.
+	Completes int
+	Verified  int
+	// Quarantines are the "quarantine" records in ledger order; each
+	// names the fenced worker and the row + digest that tripped it.
+	Quarantines []LedgerRecord
+	// Invalidations are the "invalidate" records: every row retracted
+	// from a quarantined worker, with the digest it had claimed.
+	Invalidations []LedgerRecord
+	// Strikes are the "strike" records: every vote a worker's digest
+	// lost.
+	Strikes []LedgerRecord
+}
+
+// AuditLedger checks the exactly-once, no-two-live-epochs, and
+// integrity-plane invariants a ledger must satisfy:
 //
 //   - per row, grant epochs increase strictly monotonically;
 //   - a later epoch's grant time is at or after the previous epoch's
 //     recorded expiry (leases never overlap);
-//   - at most one complete record per row, and its epoch matches a
-//     granted epoch.
+//   - every complete's and attest's epoch matches a granted epoch;
+//   - at most one live complete per row: a second complete is legal
+//     only after an "invalidate" retracted the first;
+//   - an invalidate only retracts a row that was complete;
+//   - no complete or attest from a worker already quarantined at that
+//     point in the ledger.
 //
-// Returns the per-row grant counts (for steal accounting) or an error
-// describing the first violation.
-func AuditLedger(recs []LedgerRecord) (map[string]int, error) {
+// Returns the audit summary or an error describing the first
+// violation.
+func AuditLedger(recs []LedgerRecord) (*LedgerAudit, error) {
 	type rowAudit struct {
-		grants    []LedgerRecord
-		completes int
+		grants   []LedgerRecord
+		complete bool
 	}
 	rows := map[rowKey]*rowAudit{}
+	quarantined := map[string]bool{}
+	audit := &LedgerAudit{Grants: map[string]int{}}
 	var keys []rowKey
+	epochGranted := func(a *rowAudit, epoch uint64) bool {
+		for _, g := range a.grants {
+			if g.Epoch == epoch {
+				return true
+			}
+		}
+		return false
+	}
 	for _, r := range recs {
 		k := rowKey{r.Job, r.Row}
 		a := rows[k]
@@ -279,17 +390,44 @@ func AuditLedger(recs []LedgerRecord) (map[string]int, error) {
 		case "grant":
 			a.grants = append(a.grants, r)
 		case "complete":
-			a.completes++
-			found := false
-			for _, g := range a.grants {
-				if g.Epoch == r.Epoch {
-					found = true
-					break
-				}
-			}
-			if !found {
+			if !epochGranted(a, r.Epoch) {
 				return nil, fmt.Errorf("dist: audit: %s row %d completed under never-granted epoch %d", r.Job, r.Row, r.Epoch)
 			}
+			if a.complete {
+				return nil, fmt.Errorf("dist: audit: %s row %d completed twice without an invalidate", r.Job, r.Row)
+			}
+			if quarantined[r.Worker] {
+				return nil, fmt.Errorf("dist: audit: %s row %d completed by quarantined worker %s", r.Job, r.Row, r.Worker)
+			}
+			a.complete = true
+			audit.Completes++
+			if r.Verified {
+				audit.Verified++
+			}
+		case "attest":
+			if !epochGranted(a, r.Epoch) {
+				return nil, fmt.Errorf("dist: audit: %s row %d attested under never-granted epoch %d", r.Job, r.Row, r.Epoch)
+			}
+			if quarantined[r.Worker] {
+				return nil, fmt.Errorf("dist: audit: %s row %d attested by quarantined worker %s", r.Job, r.Row, r.Worker)
+			}
+		case "strike":
+			if r.Worker == "" {
+				return nil, fmt.Errorf("dist: audit: strike record without a worker")
+			}
+			audit.Strikes = append(audit.Strikes, r)
+		case "quarantine":
+			if r.Worker == "" {
+				return nil, fmt.Errorf("dist: audit: quarantine record without a worker")
+			}
+			quarantined[r.Worker] = true
+			audit.Quarantines = append(audit.Quarantines, r)
+		case "invalidate":
+			if !a.complete {
+				return nil, fmt.Errorf("dist: audit: %s row %d invalidated while not complete", r.Job, r.Row)
+			}
+			a.complete = false
+			audit.Invalidations = append(audit.Invalidations, r)
 		default:
 			return nil, fmt.Errorf("dist: audit: unknown record kind %q", r.Kind)
 		}
@@ -300,12 +438,8 @@ func AuditLedger(recs []LedgerRecord) (map[string]int, error) {
 		}
 		return keys[i].row < keys[j].row
 	})
-	counts := map[string]int{}
 	for _, k := range keys {
 		a := rows[k]
-		if a.completes > 1 {
-			return nil, fmt.Errorf("dist: audit: %s row %d completed %d times", k.job, k.row, a.completes)
-		}
 		for i, g := range a.grants {
 			if i == 0 {
 				continue
@@ -314,12 +448,12 @@ func AuditLedger(recs []LedgerRecord) (map[string]int, error) {
 			if g.Epoch <= prev.Epoch {
 				return nil, fmt.Errorf("dist: audit: %s row %d epoch regressed %d -> %d", k.job, k.row, prev.Epoch, g.Epoch)
 			}
-			if g.GrantedNS < prev.ExpiryNS {
+			if !g.Early && g.GrantedNS < prev.ExpiryNS {
 				return nil, fmt.Errorf("dist: audit: %s row %d epoch %d granted %dns before epoch %d expired",
 					k.job, k.row, g.Epoch, prev.ExpiryNS-g.GrantedNS, prev.Epoch)
 			}
 		}
-		counts[fmt.Sprintf("%s/%d", k.job, k.row)] = len(a.grants)
+		audit.Grants[fmt.Sprintf("%s/%d", k.job, k.row)] = len(a.grants)
 	}
-	return counts, nil
+	return audit, nil
 }

@@ -56,10 +56,10 @@ func workerMain() int {
 		Delay: 2 * time.Millisecond, Seed: seed,
 	}
 	w, err := NewWorker(WorkerOptions{
-		Name:        os.Getenv("GPUSCALE_DIST_NAME"),
-		Coordinator: os.Getenv("GPUSCALE_DIST_URL"),
-		Dir:         os.Getenv("GPUSCALE_DIST_DIR"),
-		Client:      &http.Client{Transport: in.WrapTransport(nil), Timeout: 10 * time.Second},
+		Name:         os.Getenv("GPUSCALE_DIST_NAME"),
+		Coordinator:  os.Getenv("GPUSCALE_DIST_URL"),
+		Dir:          os.Getenv("GPUSCALE_DIST_DIR"),
+		Client:       &http.Client{Transport: in.WrapTransport(nil), Timeout: 10 * time.Second},
 		SweepWorkers: 2, Retries: 2, IdleSleep: 10 * time.Millisecond,
 	})
 	if err != nil {
@@ -96,7 +96,15 @@ type coordProc struct {
 
 func startCoord(t *testing.T, dir, addr string, job Job) *coordProc {
 	t.Helper()
-	c, err := NewCoordinator(dir, CoordinatorOptions{})
+	return startCoordWith(t, dir, addr, job, CoordinatorOptions{})
+}
+
+// startCoordWith is startCoord with explicit coordinator options —
+// the byzantine soak wires the integrity plane (verification
+// fraction, federation hooks, traces) through here.
+func startCoordWith(t *testing.T, dir, addr string, job Job, opts CoordinatorOptions) *coordProc {
+	t.Helper()
+	c, err := NewCoordinator(dir, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -51,7 +51,23 @@ type WorkerOptions struct {
 	// Flight, when non-nil, records lease transitions and sweep
 	// retries/breaker trips into the crash flight recorder.
 	Flight *obs.FlightRecorder
+	// Fault is the chaos seam: CorruptRowRate makes this worker lie
+	// (tamper a computed row before journaling and attesting it, so
+	// journal, wire and digest are consistently wrong), StaleVersion
+	// makes it present that protocol version on acquire. Zero value
+	// injects nothing.
+	Fault fault.Injector
 }
+
+// ErrVersionFenced reports the coordinator refused this worker's
+// version/fingerprint handshake. Permanent for this binary pair:
+// retrying the same handshake cannot succeed, so Run exits with it.
+var ErrVersionFenced = errors.New("dist: worker fenced: version/fingerprint mismatch")
+
+// ErrQuarantined reports the coordinator quarantined this worker
+// after proven digest mismatches. Permanent: every future call is
+// rejected, so Run exits with it.
+var ErrQuarantined = errors.New("dist: worker quarantined by coordinator")
 
 // Worker runs the lease-acquire / sweep / complete loop against one
 // coordinator.
@@ -113,13 +129,20 @@ func (w *Worker) JournalPath(job string) string {
 // Run loops until ctx ends: acquire a lease, execute the row, report
 // it. Transport errors — including injected network faults — are
 // absorbed with a short pause; the protocol's idempotency does the
-// rest.
+// rest. Two rejections are permanent and end the loop instead:
+// ErrVersionFenced (this binary cannot mix rows with that
+// coordinator) and ErrQuarantined (the coordinator proved this worker
+// wrong and fenced it) — retrying either would just hammer a 409
+// forever.
 func (w *Worker) Run(ctx context.Context) error {
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil
 		}
 		lease, err := w.acquire(ctx)
+		if errors.Is(err, ErrVersionFenced) || errors.Is(err, ErrQuarantined) {
+			return err
+		}
 		if err != nil || lease == nil {
 			if !sleepCtx(ctx, w.o.IdleSleep) {
 				return nil
@@ -141,19 +164,29 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 	}
 }
 
-// acquire asks the coordinator for work. nil lease means none
+// acquire asks the coordinator for work, presenting the version
+// handshake (protocol + engine fingerprint). nil lease means none
 // available.
 func (w *Worker) acquire(ctx context.Context) (*Lease, error) {
+	proto := ProtoVersion
+	if w.o.Fault.StaleVersion != "" {
+		proto = w.o.Fault.StaleVersion
+	}
 	var lease Lease
-	status, err := w.post(ctx, "/v1/dist/lease",
-		acquireRequest{Worker: w.o.Name, MetricsURL: w.o.MetricsURL}, &lease)
+	status, code, err := w.post(ctx, "/v1/dist/lease",
+		acquireRequest{Worker: w.o.Name, MetricsURL: w.o.MetricsURL,
+			Proto: proto, Fingerprint: EngineFingerprint()}, &lease)
 	if err != nil {
 		return nil, err
 	}
-	if status == http.StatusNoContent {
+	switch {
+	case status == http.StatusNoContent:
 		return nil, nil
-	}
-	if status != http.StatusOK {
+	case status == http.StatusConflict && code == "version-mismatch":
+		return nil, fmt.Errorf("%w (worker %s)", ErrVersionFenced, w.o.Name)
+	case status == http.StatusConflict && code == "quarantined":
+		return nil, fmt.Errorf("%w (worker %s)", ErrQuarantined, w.o.Name)
+	case status != http.StatusOK:
 		return nil, fmt.Errorf("dist: lease acquire: status %d", status)
 	}
 	return &lease, nil
@@ -199,7 +232,7 @@ func (w *Worker) runLease(ctx context.Context, lease *Lease) {
 		req := completeRequest{Job: lease.Job, Row: lease.Row, Epoch: lease.Epoch,
 			Worker: w.o.Name, OK: false}
 		var resp completeResponse
-		w.post(ctx, "/v1/dist/complete", req, &resp)
+		w.post(ctx, "/v1/dist/complete", req, &resp) //nolint:errcheck // best-effort release
 		if fr := w.o.Flight; fr != nil {
 			fr.Record("lease.abandoned", map[string]any{
 				"job": lease.Job, "row": lease.Row, "epoch": lease.Epoch,
@@ -213,9 +246,16 @@ func (w *Worker) runLease(ctx context.Context, lease *Lease) {
 	for c := 0; c < nCfg; c++ {
 		bounds[c] = int(m.Bound[r][c])
 	}
+	// Attest the row: the digest hashes exactly the bytes this worker
+	// journaled (and is now shipping), so the coordinator — and later
+	// the attested merge — can hold these planes to this claim.
+	digest, err := sweep.RowPlanesDigest(m.Kernels[r], m.Throughput[r], m.TimeNS[r], bounds)
+	if err != nil {
+		return
+	}
 	req := completeRequest{Job: lease.Job, Row: lease.Row, Epoch: lease.Epoch,
 		Worker: w.o.Name, OK: true,
-		Tput: m.Throughput[r], TimeNS: m.TimeNS[r], Bound: bounds}
+		Tput: m.Throughput[r], TimeNS: m.TimeNS[r], Bound: bounds, Digest: digest}
 	accepted := w.completeWithRetry(ctx, req)
 	if accepted && w.mRows != nil {
 		w.mRows.Inc()
@@ -270,6 +310,14 @@ func (w *Worker) executeRow(ctx context.Context, lease *Lease, rowSC obs.SpanCon
 		Backoff:    w.o.Backoff,
 		SimTimeout: w.o.SimTimeout,
 		OnRow: func(m *sweep.Matrix, r int) {
+			// The byzantine seam: a lying worker corrupts the row BEFORE
+			// journaling it, so its journal, its wire payload and its
+			// digest are consistent — the lie is only catchable by
+			// independent re-execution, which is exactly what sampled
+			// re-verification does.
+			if hit, sub := w.o.Fault.RowTamper(lease.Job+"/"+m.Kernels[r], 0); hit {
+				tamperRow(m, r, sub)
+			}
 			if err := j.AppendRow(m, r); err != nil {
 				// A torn local journal is survivable — the row is still
 				// in memory and completes over the wire; only a worker
@@ -297,6 +345,16 @@ func (w *Worker) executeRow(ctx context.Context, lease *Lease, rowSC obs.SpanCon
 	return m, r, nil
 }
 
+// tamperRow is the injected lie: one cell's throughput nudged by one
+// part in 1024 — small enough to stay positive, finite and
+// plausible (it sails through validatePlanes), large enough to change
+// the float64 bit pattern and therefore the digest. Which cell is
+// chosen by the injector's sub-roll, deterministically.
+func tamperRow(m *sweep.Matrix, r int, sub uint64) {
+	c := int(sub % uint64(m.Space.Size()))
+	m.Throughput[r][c] *= 1 + 1.0/1024
+}
+
 // renewLoop renews the lease every interval until the row context
 // ends; a fenced (409) renewal cancels the row.
 func (w *Worker) renewLoop(ctx context.Context, lease *Lease, leaseSC obs.SpanContext, every time.Duration, cancel context.CancelFunc) {
@@ -313,7 +371,7 @@ func (w *Worker) renewLoop(ctx context.Context, lease *Lease, leaseSC obs.SpanCo
 		}
 		start := time.Now()
 		var resp renewResponse
-		status, err := w.post(ctx, "/v1/dist/renew",
+		status, _, err := w.post(ctx, "/v1/dist/renew",
 			renewRequest{Job: lease.Job, Row: lease.Row, Epoch: lease.Epoch, Worker: w.o.Name}, &resp)
 		d := time.Since(start)
 		if w.hRenew != nil && err == nil {
@@ -346,13 +404,15 @@ func (w *Worker) renewLoop(ctx context.Context, lease *Lease, leaseSC obs.SpanCo
 
 // completeWithRetry reports an OK row until the coordinator acks it
 // or fences it. Dropped responses are retried — the server-side
-// duplicate check makes that safe — and a 409 means the lease was
-// stolen and the thief's complete won.
+// duplicate check makes that safe. Every 4xx is a give-up: a 409
+// means the lease was stolen (or this worker was quarantined) and a
+// 400 means the attestation was rejected — resending the identical
+// payload cannot change either verdict.
 func (w *Worker) completeWithRetry(ctx context.Context, req completeRequest) bool {
 	backoff := 5 * time.Millisecond
 	for {
 		var resp completeResponse
-		status, err := w.post(ctx, "/v1/dist/complete", req, &resp)
+		status, _, err := w.post(ctx, "/v1/dist/complete", req, &resp)
 		switch {
 		case err == nil && status == http.StatusOK:
 			return true
@@ -361,7 +421,7 @@ func (w *Worker) completeWithRetry(ctx context.Context, req completeRequest) boo
 				w.mLost.Inc()
 			}
 			return false
-		case err == nil && status == http.StatusNotFound:
+		case err == nil && (status == http.StatusNotFound || status == http.StatusBadRequest):
 			return false
 		}
 		if !sleepCtx(ctx, backoff) {
@@ -373,34 +433,41 @@ func (w *Worker) completeWithRetry(ctx context.Context, req completeRequest) boo
 	}
 }
 
-// post sends one JSON request and decodes a JSON response into out
-// (when the status has a body). Injected network faults surface here
-// as transport errors.
-func (w *Worker) post(ctx context.Context, path string, body, out any) (int, error) {
+// post sends one JSON request and decodes a JSON response into out on
+// success; on an error status it decodes the errorBody envelope
+// instead and returns its machine code ("stale-epoch",
+// "version-mismatch", "quarantined", "bad-attestation"), best-effort.
+// Injected network faults surface here as transport errors.
+func (w *Worker) post(ctx context.Context, path string, body, out any) (int, string, error) {
 	b, err := json.Marshal(body)
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.o.Coordinator+path, bytes.NewReader(b))
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := w.client.Do(req)
 	if err != nil {
 		if errors.Is(err, fault.ErrDroppedResponse) {
-			return 0, fault.ErrDroppedResponse
+			return 0, "", fault.ErrDroppedResponse
 		}
-		return 0, err
+		return 0, "", err
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
+	if resp.StatusCode >= http.StatusBadRequest {
+		var eb errorBody
+		json.NewDecoder(resp.Body).Decode(&eb) //nolint:errcheck // code is advisory
+		return resp.StatusCode, eb.Code, nil
+	}
 	if out != nil && resp.StatusCode != http.StatusNoContent {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && resp.StatusCode == http.StatusOK {
-			return resp.StatusCode, fmt.Errorf("dist: decoding %s response: %w", path, err)
+			return resp.StatusCode, "", fmt.Errorf("dist: decoding %s response: %w", path, err)
 		}
 	}
-	return resp.StatusCode, nil
+	return resp.StatusCode, "", nil
 }

@@ -57,6 +57,14 @@ var ErrTornWrite = errors.New("fault: injected torn write")
 // network failure mode that turns naive retries into duplicates.
 var ErrDroppedResponse = errors.New("fault: injected dropped response")
 
+// ErrWriteFail is returned by a WrapWriter writer when an injected
+// write error fires: a deterministic prefix of the buffer reached the
+// underlying writer and then the device "filled up" — the ENOSPC
+// failure mode, which unlike a torn write reports the error to the
+// writer in-process, so the append path's self-healing truncation
+// (not just reopen-time salvage) is on trial.
+var ErrWriteFail = errors.New("fault: injected write error (device full)")
+
 // Injector describes a fault model. The zero value injects nothing and
 // wraps an engine into itself (modulo attempt accounting). Rates are
 // probabilities in [0,1] evaluated in order: error, then corruption,
@@ -90,6 +98,24 @@ type Injector struct {
 	// the call returns ErrTornWrite. Independent of the engine-side
 	// rates; it never fires through Wrap.
 	TornWriteRate float64
+	// WriteErrRate is the probability a WrapWriter write fails with
+	// ErrWriteFail after a deterministic prefix landed — the ENOSPC /
+	// failing-disk model. It shares the torn-write roll stream, so
+	// TornWriteRate + WriteErrRate must not exceed 1.
+	WriteErrRate float64
+	// CorruptRowRate is the probability RowTamper tells a byzantine
+	// worker to corrupt one completed row before journaling and
+	// shipping it — the lying-fleet-member model distributed
+	// attestation exists to catch. The tampered values stay plausible
+	// (positive, finite), so only digest comparison against an honest
+	// re-execution can expose them. Never fires through Wrap,
+	// WrapWriter or WrapTransport.
+	CorruptRowRate float64
+	// StaleVersion, when non-empty, is the protocol version string a
+	// byzantine worker advertises instead of its real one — the
+	// mixed-version fleet the coordinator's handshake must fence
+	// before a single cell is computed.
+	StaleVersion string
 	// DropResponseRate is the probability a WrapTransport round trip
 	// delivers the request but loses the response: the server applies
 	// the request's effects, the client sees ErrDroppedResponse and
@@ -151,10 +177,16 @@ const (
 	// KindDelay is a seeded network delay before delivery
 	// (WrapTransport).
 	KindDelay
+	// KindWriteErr is an injected write failure (ENOSPC model) through
+	// WrapWriter.
+	KindWriteErr
+	// KindCorruptRow is a RowTamper decision to corrupt a completed
+	// row's planes before journal and wire.
+	KindCorruptRow
 )
 
 var kindNames = [...]string{"error", "corrupt", "stall", "panic", "torn-write", "latency",
-	"drop-response", "duplicate", "delay"}
+	"drop-response", "duplicate", "delay", "write-error", "corrupt-row"}
 
 // String returns the kind's lower-case name.
 func (k Kind) String() string {
@@ -188,6 +220,7 @@ func (in Injector) Validate() error {
 		v    float64
 	}{{"ErrorRate", in.ErrorRate}, {"CorruptRate", in.CorruptRate}, {"StallRate", in.StallRate},
 		{"PanicRate", in.PanicRate}, {"LatencyRate", in.LatencyRate}, {"TornWriteRate", in.TornWriteRate},
+		{"WriteErrRate", in.WriteErrRate}, {"CorruptRowRate", in.CorruptRowRate},
 		{"DropResponseRate", in.DropResponseRate}, {"DuplicateRate", in.DuplicateRate},
 		{"DelayRate", in.DelayRate}} {
 		if r.v < 0 || r.v > 1 || math.IsNaN(r.v) {
@@ -198,6 +231,10 @@ func (in Injector) Validate() error {
 	// independent and only bounded by [0,1] above.
 	if sum := in.ErrorRate + in.CorruptRate + in.StallRate + in.PanicRate + in.LatencyRate; sum > 1 {
 		return fmt.Errorf("fault: engine rates sum to %g > 1", sum)
+	}
+	// Writer kinds share one roll per write.
+	if sum := in.TornWriteRate + in.WriteErrRate; sum > 1 {
+		return fmt.Errorf("fault: writer rates sum to %g > 1", sum)
 	}
 	// Network kinds share one roll per round trip.
 	if sum := in.DropResponseRate + in.DuplicateRate + in.DelayRate; sum > 1 {
@@ -330,15 +367,19 @@ func (f *faultRow) Eval(cfg hw.Config) (gcn.Result, error) {
 func (f *faultRow) Stats() gcn.PreparedStats { return f.pr.Stats() }
 
 // WrapWriter returns a writer that injects torn writes into w at
-// TornWriteRate. When a tear fires, a deterministic prefix of the
-// buffer (possibly empty) is written through and the call returns
-// ErrTornWrite — the caller sees the same partial-append state a
-// power loss would leave on disk. Decisions are a pure function of
-// (seed, write sequence), so a given writer tears at the same writes
-// every run. The returned writer is safe for concurrent use; with a
-// zero TornWriteRate, w is returned unchanged.
+// TornWriteRate and write errors (the ENOSPC model) at WriteErrRate.
+// When a tear fires, a deterministic prefix of the buffer (possibly
+// empty) is written through and the call returns ErrTornWrite — the
+// caller sees the same partial-append state a power loss would leave
+// on disk. When a write error fires, the same deterministic prefix
+// lands and the call returns ErrWriteFail — the disk filled up
+// mid-record, and the partial bytes are the caller's to clean up.
+// Decisions are a pure function of (seed, write sequence), so a given
+// writer faults at the same writes every run. The returned writer is
+// safe for concurrent use; with both rates zero, w is returned
+// unchanged.
 func (in Injector) WrapWriter(w io.Writer) io.Writer {
-	if in.TornWriteRate <= 0 {
+	if in.TornWriteRate <= 0 && in.WriteErrRate <= 0 {
 		return w
 	}
 	return &tornWriter{in: in, w: w}
@@ -347,7 +388,8 @@ func (in Injector) WrapWriter(w io.Writer) io.Writer {
 // tornWriter is the WrapWriter implementation: a write-sequence
 // counter drives the same splitmix-finished roll the engine path
 // uses, under a distinct stream label so engine and writer faults
-// stay decorrelated.
+// stay decorrelated. Torn writes and write errors share the roll:
+// at most one fires per write.
 type tornWriter struct {
 	in  Injector
 	mu  sync.Mutex
@@ -361,15 +403,40 @@ func (t *tornWriter) Write(b []byte) (int, error) {
 	seq := t.seq
 	t.seq++
 	roll, sub := t.in.roll("torn-write-stream", hw.Config{}, seq)
-	if roll >= t.in.TornWriteRate || len(b) == 0 {
+	if roll >= t.in.TornWriteRate+t.in.WriteErrRate || len(b) == 0 {
 		return t.w.Write(b)
 	}
-	t.in.decided("", hw.Config{}, seq, KindTornWrite)
+	kind, failure := KindTornWrite, ErrTornWrite
+	if roll >= t.in.TornWriteRate {
+		kind, failure = KindWriteErr, ErrWriteFail
+	}
+	t.in.decided("", hw.Config{}, seq, kind)
 	n, err := t.w.Write(b[:int(sub)%len(b)])
 	if err != nil {
 		return n, err
 	}
-	return n, ErrTornWrite
+	return n, failure
+}
+
+// RowTamper rolls a byzantine row-corruption decision for one
+// completed row: key identifies the row (job plus kernel is the
+// natural choice), seq distinguishes repeat executions. It returns
+// whether the caller should tamper with the row before journaling and
+// shipping it, plus a sub-roll to pick the corruption shape. The
+// decision is a pure function of (key, seq, seed) under its own
+// stream label, so a lying worker lies about the same rows on every
+// replay — which is what makes a byzantine soak reproducible from its
+// seed.
+func (in Injector) RowTamper(key string, seq uint64) (bool, uint64) {
+	if in.CorruptRowRate <= 0 {
+		return false, 0
+	}
+	roll, sub := in.roll("byzantine-row-stream|"+key, hw.Config{}, seq)
+	if roll >= in.CorruptRowRate {
+		return false, 0
+	}
+	in.decided(key, hw.Config{}, seq, KindCorruptRow)
+	return true, sub
 }
 
 // NetworkActive reports whether the injector can fire through

@@ -3,6 +3,7 @@ package fault
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
 	"math"
 	"reflect"
@@ -332,5 +333,49 @@ func TestWrapWriterZeroRateIsIdentity(t *testing.T) {
 	var sink bytes.Buffer
 	if w := (Injector{}).WrapWriter(&sink); w != io.Writer(&sink) {
 		t.Fatal("zero TornWriteRate wrapped the writer")
+	}
+}
+
+// TestRowTamperDeterministicPerKey: the byzantine row-corruption
+// decision is a pure function of (key, seq, seed) — a lying worker
+// lies about the same rows on every replay — honours its rate, and
+// reports itself through OnDecision as a corrupt-row kind.
+func TestRowTamperDeterministicPerKey(t *testing.T) {
+	if fire, _ := (Injector{}).RowTamper("j/k", 0); fire {
+		t.Fatal("zero-value injector tampered a row")
+	}
+	var seen []Decision
+	in := Injector{CorruptRowRate: 1, Seed: 11,
+		OnDecision: func(d Decision) { seen = append(seen, d) }}
+	fire1, sub1 := in.RowTamper("j/k", 0)
+	if !fire1 {
+		t.Fatal("rate 1 did not fire")
+	}
+	if len(seen) != 1 || seen[0].Kind != KindCorruptRow || seen[0].Kernel != "j/k" {
+		t.Fatalf("decision not reported as corrupt-row for the key: %+v", seen)
+	}
+	// Same (key, seq, seed) in a fresh injector: identical decision,
+	// identical corruption-shape sub-roll.
+	fire2, sub2 := Injector{CorruptRowRate: 1, Seed: 11}.RowTamper("j/k", 0)
+	if !fire2 || sub2 != sub1 {
+		t.Fatalf("replay diverged: (%v,%d) vs (%v,%d)", fire1, sub1, fire2, sub2)
+	}
+	// Distinct keys draw from distinct streams.
+	if _, other := in.RowTamper("j/other", 0); other == sub1 {
+		if _, third := in.RowTamper("j/third", 0); third == sub1 {
+			t.Fatal("sub-rolls identical across keys: streams not keyed")
+		}
+	}
+	// A fractional rate is roughly honoured across many keys.
+	frac := Injector{CorruptRowRate: 0.3, Seed: 11}
+	fired := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if ok, _ := frac.RowTamper(fmt.Sprintf("j/k%d", i), 0); ok {
+			fired++
+		}
+	}
+	if rate := float64(fired) / n; rate < 0.25 || rate > 0.35 {
+		t.Fatalf("corrupt-row rate %.3f far from requested 0.3", rate)
 	}
 }

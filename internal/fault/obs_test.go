@@ -108,7 +108,8 @@ func TestObserveCountsByKindAndEmitsSpans(t *testing.T) {
 }
 
 func TestKindString(t *testing.T) {
-	for k, want := range map[Kind]string{KindError: "error", KindCorrupt: "corrupt", KindStall: "stall", Kind(9): "kind(9)"} {
+	for k, want := range map[Kind]string{KindError: "error", KindCorrupt: "corrupt", KindStall: "stall",
+		KindWriteErr: "write-error", KindCorruptRow: "corrupt-row", Kind(99): "kind(99)"} {
 		if got := k.String(); got != want {
 			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
 		}

@@ -37,6 +37,13 @@ type Federation struct {
 
 	mu      sync.Mutex
 	targets map[string]string // worker name -> metrics URL
+	// departed marks workers fenced out of the fleet (quarantined, or
+	// version-fenced and gone). A departed worker is never scraped
+	// again — before this existed, the federation kept hammering a
+	// dead/quarantined worker's URL on every fleet scrape forever —
+	// but it stays on the page as fleet_scrape_up 0 so dashboards see
+	// the departure instead of the series silently vanishing.
+	departed map[string]bool
 }
 
 // NewFederation builds a federation over the local registry (may be
@@ -46,19 +53,37 @@ func NewFederation(self *Registry, client *http.Client) *Federation {
 	if client == nil {
 		client = &http.Client{Timeout: 5 * time.Second}
 	}
-	return &Federation{self: self, client: client, targets: map[string]string{}}
+	return &Federation{self: self, client: client,
+		targets: map[string]string{}, departed: map[string]bool{}}
 }
 
 // SetTarget registers (or refreshes) one worker's metrics URL. An
-// empty URL removes the worker.
+// empty URL removes the worker entirely. Registering a departed
+// worker revives it — rejoining the fleet is rejoining the
+// federation.
 func (f *Federation) SetTarget(worker, url string) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if url == "" {
 		delete(f.targets, worker)
+		delete(f.departed, worker)
 		return
 	}
 	f.targets[worker] = url
+	delete(f.departed, worker)
+}
+
+// Depart marks a worker as fenced out of the fleet: it is never
+// scraped again, but its fleet_scrape_up series pins to 0 so the
+// departure is visible. The hook gpuscaled wires to the coordinator's
+// OnQuarantine.
+func (f *Federation) Depart(worker string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.targets[worker]; !ok {
+		return
+	}
+	f.departed[worker] = true
 }
 
 // Targets returns a copy of the registered worker -> URL map.
@@ -86,7 +111,16 @@ func (f *Federation) WriteFleet(ctx context.Context, w io.Writer) error {
 		body   []byte
 		err    error
 	}
-	targets := f.Targets()
+	f.mu.Lock()
+	targets := make(map[string]string, len(f.targets))
+	departed := make(map[string]bool, len(f.departed))
+	for k, v := range f.targets {
+		targets[k] = v
+	}
+	for k := range f.departed {
+		departed[k] = true
+	}
+	f.mu.Unlock()
 	names := make([]string, 0, len(targets))
 	for n := range targets {
 		names = append(names, n)
@@ -96,6 +130,11 @@ func (f *Federation) WriteFleet(ctx context.Context, w io.Writer) error {
 	results := make([]scrape, len(names))
 	var wg sync.WaitGroup
 	for i, name := range names {
+		if departed[name] {
+			// Fenced out of the fleet: never scraped, pinned down.
+			results[i] = scrape{worker: name, err: fmt.Errorf("departed")}
+			continue
+		}
 		wg.Add(1)
 		go func(i int, name, url string) {
 			defer wg.Done()

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -157,5 +158,81 @@ func TestFederationHandler(t *testing.T) {
 	}
 	if !strings.Contains(rr.Body.String(), `fleet_rows_total{worker="w0"} 9`) {
 		t.Errorf("handler body missing relabelled series:\n%s", rr.Body.String())
+	}
+}
+
+// TestFederationDepartedWorkerNeverScraped: quarantined (or otherwise
+// fenced-out) workers must not be hammered on every fleet scrape
+// forever — Depart stops the scraping but pins the worker's
+// fleet_scrape_up to 0 so the departure stays visible. Re-registering
+// the target revives it: rejoining the fleet is rejoining the
+// federation.
+func TestFederationDepartedWorkerNeverScraped(t *testing.T) {
+	var scrapes int32
+	reg := NewRegistry()
+	reg.Counter("fleet_rows_total", "rows completed").Add(7)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&scrapes, 1)
+		Handler(reg, nil).ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	fed := NewFederation(nil, nil)
+	fed.SetTarget("liar", srv.URL+"/metrics")
+
+	var buf bytes.Buffer
+	if err := fed.WriteFleet(context.Background(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&scrapes); got != 1 {
+		t.Fatalf("pre-departure scrape count %d, want 1", got)
+	}
+	if !strings.Contains(buf.String(), `fleet_scrape_up{worker="liar"} 1`) {
+		t.Fatalf("healthy worker should scrape up:\n%s", buf.String())
+	}
+
+	fed.Depart("liar")
+	fed.Depart("never-registered") // unknown worker: a no-op, not a ghost series
+	for i := 0; i < 3; i++ {
+		buf.Reset()
+		if err := fed.WriteFleet(context.Background(), &buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := atomic.LoadInt32(&scrapes); got != 1 {
+		t.Fatalf("departed worker was scraped %d more times", got-1)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `fleet_scrape_up{worker="liar"} 0`) {
+		t.Fatalf("departed worker should pin scrape_up to 0:\n%s", out)
+	}
+	if strings.Contains(out, `fleet_scrape_up{worker="never-registered"}`) {
+		t.Fatalf("unregistered departure must not mint a series:\n%s", out)
+	}
+	if strings.Contains(out, `fleet_rows_total{worker="liar"}`) {
+		t.Fatalf("departed worker's series should vanish from the page:\n%s", out)
+	}
+
+	// Rejoining revives scraping.
+	fed.SetTarget("liar", srv.URL+"/metrics")
+	buf.Reset()
+	if err := fed.WriteFleet(context.Background(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&scrapes); got != 2 {
+		t.Fatalf("revived worker not scraped: %d total scrapes", got)
+	}
+	if !strings.Contains(buf.String(), `fleet_scrape_up{worker="liar"} 1`) {
+		t.Fatalf("revived worker should scrape up again:\n%s", buf.String())
+	}
+	// And removal drops the series entirely, departed or not.
+	fed.Depart("liar")
+	fed.SetTarget("liar", "")
+	buf.Reset()
+	if err := fed.WriteFleet(context.Background(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "liar") {
+		t.Fatalf("removed worker still on the page:\n%s", buf.String())
 	}
 }

@@ -106,7 +106,12 @@ type SweepRequest struct {
 	// already complete there need not be recomputed.
 	Prior *sweep.Matrix
 	// OnRow persists a settled row into the job's journal and live
-	// snapshot; safe for concurrent use.
+	// snapshot; safe for concurrent use. A distributed executor may
+	// invoke it MORE than once for the same row: when a quarantined
+	// worker's complete is retracted and a healthy worker re-executes
+	// the row, the corrected planes arrive through a second OnRow call.
+	// The journal absorbs this naturally — replay is last-record-wins
+	// per kernel, so the corrected append supersedes the retracted one.
 	OnRow func(m *sweep.Matrix, r int)
 	// Trace is the job's span context; a distributed executor hands it
 	// to the coordinator so lease grants become children of the job
@@ -750,6 +755,12 @@ func (s *Service) runJob(j *job) {
 		tel.SetFlight(s.cfg.Flight)
 		opts.Observer = tel
 	}
+	// A distributed executor may deliver the same row more than once —
+	// a retracted byzantine complete followed by the healthy worker's
+	// corrected one — so the counters must be idempotent per row: the
+	// second delivery replaces the first instead of double-counting.
+	rowSeen := make([]bool, len(j.res.kernels))
+	rowOK := make([]int, len(j.res.kernels))
 	opts.OnRow = func(m *sweep.Matrix, r int) {
 		if err := journal.AppendRow(m, r); err != nil {
 			s.cfg.Logf("serve: %s: journal: %v", j.id, err)
@@ -765,8 +776,12 @@ func (s *Service) runJob(j *job) {
 		snap.TimeNS[r] = m.TimeNS[r]
 		snap.Bound[r] = m.Bound[r]
 		snap.Status[r] = m.Status[r]
-		j.rowsDone++
-		j.okCells += ok
+		if !rowSeen[r] {
+			rowSeen[r] = true
+			j.rowsDone++
+		}
+		j.okCells += ok - rowOK[r]
+		rowOK[r] = ok
 		j.mu.Unlock()
 	}
 

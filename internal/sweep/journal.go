@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"hash/fnv"
 	"io"
 	"math"
 	"os"
@@ -634,6 +635,41 @@ func rowRecord(m *Matrix, r int) ([]byte, error) {
 		TimeNS: m.TimeNS[r],
 		Bound:  bounds,
 	})
+}
+
+// RowPlanesDigest hashes one row's measurement planes in their
+// journal wire form: FNV-64a over the JSON payload of the v2 row
+// record those planes would frame as. Because the digest covers
+// exactly the bytes a journal append writes (modulo the CRC frame,
+// which the CRC already guards), "the digest matches" and "the
+// journaled bytes match" are the same statement — which is what lets
+// a coordinator attest a row it received over the wire and a merge
+// verify the row a worker journaled, without either re-running the
+// engine. Honest re-executions of a row are bit-identical (seeded
+// noise), so equal digests mean equal rows, and the hash itself rides
+// the marshaling the append path already pays.
+func RowPlanesDigest(kernelName string, tput, timeNS []float64, bound []int) (string, error) {
+	payload, err := json.Marshal(journalRecord{Kernel: kernelName, Tput: tput, TimeNS: timeNS, Bound: bound})
+	if err != nil {
+		return "", fmt.Errorf("sweep: encoding row for digest: %w", err)
+	}
+	h := fnv.New64a()
+	h.Write(payload)
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// RowDigest is RowPlanesDigest over row r of m. The row must be
+// complete (all StatusOK) — the only kind of row a journal holds.
+func RowDigest(m *Matrix, r int) (string, error) {
+	if !m.RowComplete(r) {
+		return "", fmt.Errorf("sweep: digest of incomplete row %s", m.Kernels[r])
+	}
+	nCfg := m.Space.Size()
+	bounds := make([]int, nCfg)
+	for c := 0; c < nCfg; c++ {
+		bounds[c] = int(m.Bound[r][c])
+	}
+	return RowPlanesDigest(m.Kernels[r], m.Throughput[r], m.TimeNS[r], bounds)
 }
 
 // Prior returns the matrix recovered from an existing journal file,

@@ -56,6 +56,20 @@ func ReadJournal(path string, space hw.Space) (*Matrix, error) {
 // re-executions of the same row — or the merge fails rather than
 // pick a side.
 func MergeJournals(space hw.Space, srcs ...string) (*Matrix, error) {
+	return MergeJournalsAttested(space, nil, srcs...)
+}
+
+// MergeJournalsAttested is MergeJournals under attestation: attest
+// maps kernel names to the digests (RowDigest form) the coordinator
+// recorded when it accepted each row. A journal row whose bytes hash
+// to something other than its attested digest is refused with an
+// error naming the journal, the kernel, its row position, and both
+// digests — the signature of a worker whose journal disagrees with
+// what it shipped over the wire, or of post-hoc file damage the CRC
+// frame cannot see (the frame guards the bytes, the attestation
+// guards the values). Kernels absent from attest merge unverified,
+// so a nil map degrades to plain MergeJournals.
+func MergeJournalsAttested(space hw.Space, attest map[string]string, srcs ...string) (*Matrix, error) {
 	var merged *Matrix
 	rows := map[string]int{}
 	for _, src := range srcs {
@@ -67,10 +81,21 @@ func MergeJournals(space hw.Space, srcs ...string) (*Matrix, error) {
 			continue
 		}
 		for r, k := range m.Kernels {
+			if want, ok := attest[k]; ok {
+				got, err := RowDigest(m, r)
+				if err != nil {
+					return nil, fmt.Errorf("sweep: merge: journal %s row %d (%s): %w", src, r, k, err)
+				}
+				if got != want {
+					return nil, fmt.Errorf("sweep: merge: journal %s row %d (%s): digest %s does not match attested %s",
+						src, r, k, got, want)
+				}
+			}
 			ri, seen := rows[k]
 			if seen {
-				if !rowsEqual(merged, ri, m, r) {
-					return nil, fmt.Errorf("sweep: merge conflict: journal %s disagrees on kernel %s", src, k)
+				if c := rowsDiff(merged, ri, m, r); c >= 0 {
+					return nil, fmt.Errorf("sweep: merge conflict: journal %s row %d disagrees on kernel %s at config %d",
+						src, r, k, c)
 				}
 				continue
 			}
@@ -88,16 +113,18 @@ func MergeJournals(space hw.Space, srcs ...string) (*Matrix, error) {
 	return merged, nil
 }
 
-// rowsEqual compares row a of ma against row b of mb cell by cell.
-func rowsEqual(ma *Matrix, a int, mb *Matrix, b int) bool {
+// rowsDiff compares row a of ma against row b of mb cell by cell,
+// returning the first disagreeing configuration index, or -1 when the
+// rows are identical.
+func rowsDiff(ma *Matrix, a int, mb *Matrix, b int) int {
 	for c := 0; c < ma.Space.Size(); c++ {
 		if ma.Throughput[a][c] != mb.Throughput[b][c] ||
 			ma.TimeNS[a][c] != mb.TimeNS[b][c] ||
 			ma.Bound[a][c] != mb.Bound[b][c] {
-			return false
+			return c
 		}
 	}
-	return true
+	return -1
 }
 
 // WriteCanonicalJournal writes m as a v2 journal at path with rows in
