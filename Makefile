@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke soak-smoke soak-dist soak-byzantine bench bench-obs bench-sweep bench-smoke
+.PHONY: build test check fuzz-smoke soak-smoke soak-dist soak-byzantine bench bench-obs bench-sweep bench-smoke bench-gate
 
 build:
 	$(GO) build ./...
@@ -58,7 +58,7 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # Row-evaluation benchmark: measures every engine over the study grid
-# in both the legacy per-cell and the prepared-row mode and archives
+# in the legacy per-cell, prepared-row, and batched modes and archives
 # the numbers in BENCH_sweep.json (schema documented in README.md).
 # bench-smoke is the quick variant: a 27-config grid, one iteration,
 # stdout only — a sanity check that the harness still runs.
@@ -67,6 +67,14 @@ bench-sweep:
 
 bench-smoke:
 	$(GO) run ./cmd/benchsweep -quick -o -
+
+# Per-cell throughput gate: re-measure the analytic engines' prepared
+# and batched modes and fail if any (engine, mode) pair runs more than
+# 25% slower per cell than the committed BENCH_sweep.json ledger. Only
+# the fast modes are gated (the per-cell event engines take minutes
+# and their variance would drown the signal).
+bench-gate:
+	$(GO) run ./cmd/benchsweep -engines round,pipeline -modes prepared,batch -budget 3s -gate BENCH_sweep.json
 
 # Observer-overhead gates: the disabled (no-op) observer must add less
 # than 5% to the sweep hot path, and the full distributed-tracing path

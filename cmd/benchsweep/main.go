@@ -1,10 +1,11 @@
 // Command benchsweep measures sweep throughput for every engine on
-// both evaluation paths — the legacy per-cell path (one full
-// validate/lower/derive per cell) and the prepared row path (one
-// Prepare per kernel, memoized per-config evaluations) — and archives
-// the numbers as machine-readable JSON.
+// the three evaluation paths — the legacy per-cell path (one full
+// validate/lower/derive per cell), the prepared row path (one Prepare
+// per kernel, memoized per-config evaluations), and the batched row
+// path (the default: one whole-axis EvalBatch call per row) — and
+// archives the numbers as machine-readable JSON.
 //
-// The output file (BENCH_sweep.json, schema "gpuscale/bench-sweep/v1")
+// The output file (BENCH_sweep.json, schema "gpuscale/bench-sweep/v2")
 // is the repository's performance ledger for the data-collection hot
 // path: cells per second, nanoseconds per cell, and allocation rates
 // per engine and mode, measured on a single worker so the numbers
@@ -12,12 +13,20 @@
 // after touching the engines or the sweep runtime and compare against
 // the checked-in copy; see README.md ("Benchmarking the sweep").
 //
+// With -gate, benchsweep instead compares a fresh measurement against
+// a committed baseline ledger and exits non-zero when any matching
+// (engine, mode) entry regressed by more than -gate-slack — the CI
+// guard (`make bench-gate`) that keeps the hot path from silently
+// losing its speed. v1 baselines gate their shared entries; modes
+// absent from the baseline pass vacuously.
+//
 // Usage:
 //
 //	benchsweep                  # full 891-config study grid
 //	benchsweep -quick           # 27-config grid, one iteration (smoke)
 //	benchsweep -o bench.json    # write somewhere else
-//	benchsweep -engines round,pipeline
+//	benchsweep -engines round,pipeline -modes prepared,batch
+//	benchsweep -gate BENCH_sweep.json -engines round,pipeline
 package main
 
 import (
@@ -34,14 +43,20 @@ import (
 	"gpuscale/internal/sweep"
 )
 
-// Schema identifies the report format for downstream tooling.
-const Schema = "gpuscale/bench-sweep/v1"
+// Schema identifies the report format for downstream tooling. v2 adds
+// the "batch" mode (whole-axis EvalBatch rows); v1 reports carry only
+// the percell and prepared modes and remain valid gate baselines for
+// those.
+const Schema = "gpuscale/bench-sweep/v2"
+
+// schemaV1 is accepted read-only as a gate baseline.
+const schemaV1 = "gpuscale/bench-sweep/v1"
 
 // Entry is one (engine, mode) measurement.
 type Entry struct {
 	// Engine is the simulator engine name (round, detailed, wave,
-	// pipeline); Mode is "percell" (legacy path) or "prepared" (row
-	// path).
+	// pipeline); Mode is "percell" (legacy path), "prepared" (row path,
+	// batching disabled) or "batch" (row path, whole-axis EvalBatch).
 	Engine string `json:"engine"`
 	Mode   string `json:"mode"`
 	// Kernel geometry and grid size describe the workload.
@@ -73,13 +88,23 @@ func main() {
 	out := flag.String("o", "BENCH_sweep.json", "write the JSON report here (\"-\" for stdout)")
 	quick := flag.Bool("quick", false, "27-config grid and a single iteration per entry (CI smoke, not a ledger run)")
 	engines := flag.String("engines", "round,detailed,wave,pipeline", "comma-separated engines to measure")
+	modes := flag.String("modes", "percell,prepared,batch", "comma-separated modes to measure (percell, prepared, batch)")
 	budget := flag.Duration("budget", 2*time.Second, "per-entry time budget (at least one iteration always runs)")
+	gate := flag.String("gate", "", "baseline ledger to gate against; exits non-zero on regression instead of writing a report")
+	slack := flag.Float64("gate-slack", 0.25, "allowed fractional ns/cell regression before the gate fails")
 	flag.Parse()
 
-	rep, err := run(*quick, strings.Split(*engines, ","), *budget)
+	rep, err := run(*quick, splitList(*engines), splitList(*modes), *budget)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsweep:", err)
 		os.Exit(1)
+	}
+	if *gate != "" {
+		if err := runGate(rep, *gate, *slack); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsweep:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -98,7 +123,60 @@ func main() {
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 }
 
-func run(quick bool, engineNames []string, budget time.Duration) (*Report, error) {
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// runGate compares fresh measurements against the baseline ledger and
+// fails on any matching (engine, mode) pair whose ns/cell grew by more
+// than slack. Entries without a baseline counterpart (a v1 ledger has
+// no batch mode) pass with a notice: a gate can only hold a line that
+// was drawn.
+func runGate(fresh *Report, baselinePath string, slack float64) error {
+	buf, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("gate baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("gate baseline %s: %w", baselinePath, err)
+	}
+	if base.Schema != Schema && base.Schema != schemaV1 {
+		return fmt.Errorf("gate baseline %s: unknown schema %q", baselinePath, base.Schema)
+	}
+	byKey := map[string]Entry{}
+	for _, e := range base.Entries {
+		byKey[e.Engine+"/"+e.Mode] = e
+	}
+	failed := false
+	for _, e := range fresh.Entries {
+		b, present := byKey[e.Engine+"/"+e.Mode]
+		if !present || b.NsPerCell <= 0 {
+			fmt.Fprintf(os.Stderr, "gate: %-8s %-8s no baseline entry, skipped\n", e.Engine, e.Mode)
+			continue
+		}
+		ratio := e.NsPerCell / b.NsPerCell
+		verdict := "ok"
+		if ratio > 1+slack {
+			verdict = "REGRESSED"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr, "gate: %-8s %-8s %10.0f ns/cell vs %10.0f baseline (%.2fx)  %s\n",
+			e.Engine, e.Mode, e.NsPerCell, b.NsPerCell, ratio, verdict)
+	}
+	if failed {
+		return fmt.Errorf("gate failed: ns/cell regressed more than %.0f%% against %s", slack*100, baselinePath)
+	}
+	return nil
+}
+
+func run(quick bool, engineNames, modes []string, budget time.Duration) (*Report, error) {
 	space := hw.StudySpace()
 	if quick {
 		var err error
@@ -123,10 +201,18 @@ func run(quick bool, engineNames []string, budget time.Duration) (*Report, error
 		if e == sweep.Round {
 			k = bigK
 		}
-		for _, mode := range []string{"percell", "prepared"} {
+		for _, mode := range modes {
 			opts := sweep.Options{Engine: e, Workers: 1}
-			if mode == "percell" {
+			switch mode {
+			case "percell":
 				opts.Sim = e.Func()
+			case "prepared":
+				opts.DisableBatch = true
+			case "batch":
+				// The default options: prepared rows with whole-axis
+				// EvalBatch first attempts.
+			default:
+				return nil, fmt.Errorf("unknown mode %q (want percell, prepared or batch)", mode)
 			}
 			ent, err := measure(e.String(), mode, k, space, opts, quick, budget)
 			if err != nil {

@@ -349,7 +349,13 @@ func (f *faultRowEngine) PrepareRow(k *kernel.Kernel) (gcn.PreparedRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &faultRow{st: f.st, name: k.Name, pr: pr}, nil
+	fr := faultRow{st: f.st, name: k.Name, pr: pr}
+	if br, ok := pr.(gcn.BatchRow); ok {
+		// Only advertise the batch seam when the row underneath has it,
+		// so wrapping never upgrades an engine's capabilities.
+		return &faultBatchRow{faultRow: fr, br: br}, nil
+	}
+	return &fr, nil
 }
 
 // faultRow interposes the fault roll on every Eval; Stats passes
@@ -365,6 +371,70 @@ func (f *faultRow) Eval(cfg hw.Config) (gcn.Result, error) {
 }
 
 func (f *faultRow) Stats() gcn.PreparedStats { return f.pr.Stats() }
+
+// faultBatchRow additionally exposes the batch seam when the wrapped
+// row has one.
+type faultBatchRow struct {
+	faultRow
+	br gcn.BatchRow
+}
+
+// EvalBatch implements gcn.BatchRow under the fault model: the
+// underlying batch evaluates every cell once, then the injector rolls
+// one decision per cell in config order and overlays it on the cell's
+// outcome. Each roll advances the same per-cell attempt counter and is
+// the same pure function of (kernel, configuration, attempt, seed)
+// that Eval rolls, so a sweep draws an identical fault stream whether
+// a row's first attempts run batched or per-cell — and retries, which
+// always run per-cell, continue each cell's stream seamlessly.
+func (f *faultBatchRow) EvalBatch(cfgs []hw.Config, out []gcn.Result, errs []error) error {
+	if err := f.br.EvalBatch(cfgs, out, errs); err != nil {
+		return err
+	}
+	for i := range cfgs {
+		f.st.overlay(f.name, cfgs[i], &out[i], &errs[i])
+	}
+	return nil
+}
+
+// overlay applies one rolled fault decision to an already-computed
+// batched outcome, mirroring invoke kind for kind. The mechanics
+// differ only where a batch forces them to: an injected panic cannot
+// unwind the stack without losing the rest of the row, so it surfaces
+// as an error wrapping gcn.ErrBatchPanic — which the sweep maps onto
+// the same final engine-panic classification the per-cell recover
+// produces — and stall/latency sleeps happen after the engine ran
+// rather than before (the delay reaches the caller either way).
+func (s *faultState) overlay(name string, cfg hw.Config, r *gcn.Result, cellErr *error) {
+	key := cellKey(name, cfg)
+	v, _ := s.attempts.LoadOrStore(key, new(attemptCounter))
+	attempt := v.(*attemptCounter).next()
+	in := s.in
+	roll, sub := in.roll(name, cfg, attempt)
+	switch {
+	case roll < in.ErrorRate:
+		in.decided(name, cfg, attempt, KindError)
+		*r = gcn.Result{}
+		*cellErr = fmt.Errorf("attempt %d: %w", attempt, ErrInjected)
+	case roll < in.ErrorRate+in.CorruptRate:
+		in.decided(name, cfg, attempt, KindCorrupt)
+		// Like invoke: corruption only lands on a result the engine
+		// actually produced; an engine-side failure passes through.
+		if *cellErr == nil {
+			*r = corrupt(*r, sub)
+		}
+	case roll < in.ErrorRate+in.CorruptRate+in.StallRate:
+		in.decided(name, cfg, attempt, KindStall)
+		time.Sleep(s.stall)
+	case roll < in.ErrorRate+in.CorruptRate+in.StallRate+in.PanicRate:
+		in.decided(name, cfg, attempt, KindPanic)
+		*r = gcn.Result{}
+		*cellErr = fmt.Errorf("%w: fault: injected engine panic (%s attempt %d)", gcn.ErrBatchPanic, key, attempt)
+	case roll < in.ErrorRate+in.CorruptRate+in.StallRate+in.PanicRate+in.LatencyRate:
+		in.decided(name, cfg, attempt, KindLatency)
+		time.Sleep(s.latency * time.Duration(1+sub%100) / 100)
+	}
+}
 
 // WrapWriter returns a writer that injects torn writes into w at
 // TornWriteRate and write errors (the ENOSPC model) at WriteErrRate.

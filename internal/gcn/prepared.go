@@ -235,16 +235,19 @@ type RowEngine interface {
 	PrepareRow(k *kernel.Kernel) (PreparedRow, error)
 }
 
-// Row engines for the four simulators.
+// Row engines for the four simulators. Every prepared row also
+// implements BatchRow; the round engine additionally routes batches
+// through its columnar evaluator.
 var (
-	RoundRow    RowEngine = rowEngine{(*Prepared).EvalRound}
-	WaveRow     RowEngine = rowEngine{(*Prepared).EvalWave}
-	PipelineRow RowEngine = rowEngine{(*Prepared).EvalPipeline}
-	DetailedRow RowEngine = rowEngine{(*Prepared).EvalDetailed}
+	RoundRow    RowEngine = rowEngine{eval: (*Prepared).EvalRound, batch: roundBatchRow}
+	WaveRow     RowEngine = rowEngine{eval: (*Prepared).EvalWave}
+	PipelineRow RowEngine = rowEngine{eval: (*Prepared).EvalPipeline}
+	DetailedRow RowEngine = rowEngine{eval: (*Prepared).EvalDetailed}
 )
 
 type rowEngine struct {
-	eval func(*Prepared, hw.Config) (Result, error)
+	eval  func(*Prepared, hw.Config) (Result, error)
+	batch func(*Prepared, []hw.Config, []Result, []error) error
 }
 
 func (e rowEngine) PrepareRow(k *kernel.Kernel) (PreparedRow, error) {
@@ -252,12 +255,13 @@ func (e rowEngine) PrepareRow(k *kernel.Kernel) (PreparedRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	return preparedRow{p: p, eval: e.eval}, nil
+	return preparedRow{p: p, eval: e.eval, batch: e.batch}, nil
 }
 
 type preparedRow struct {
-	p    *Prepared
-	eval func(*Prepared, hw.Config) (Result, error)
+	p     *Prepared
+	eval  func(*Prepared, hw.Config) (Result, error)
+	batch func(*Prepared, []hw.Config, []Result, []error) error
 }
 
 func (r preparedRow) Eval(cfg hw.Config) (Result, error) { return r.eval(r.p, cfg) }

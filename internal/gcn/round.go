@@ -37,7 +37,10 @@ func (p *Prepared) batchTime(cfg hw.Config, d demand, activeCUs, qmax, totalWGs 
 	dramT := 0.0
 	effBW := hier.EffectiveBandwidthGBs(k.Mem.Pattern)
 	if dramBytes > 0 {
-		dramT = dramBytes / effBW
+		// Written as a reciprocal multiply so the batched evaluator can
+		// hoist 1/effBW per distinct memory clock and still agree bit
+		// for bit.
+		dramT = dramBytes * (1 / effBW)
 	}
 
 	// Latency bound: accesses on the most loaded CU are issued with
@@ -53,7 +56,7 @@ func (p *Prepared) batchTime(cfg hw.Config, d demand, activeCUs, qmax, totalWGs 
 		if conc < 1 {
 			conc = 1
 		}
-		floor := max(computeT, l2T, dramT)
+		floor := fmax(fmax(computeT, l2T), dramT)
 		am := hier.AccessModel(hr)
 		// The latency term is f(T) = a + c*q(u) with u = dramT/T and
 		// the M/D/1 stretch q(u) = u / max(1-u, 1/F) (times D/2, folded
@@ -66,23 +69,25 @@ func (p *Prepared) batchTime(cfg hw.Config, d demand, activeCUs, qmax, totalWGs 
 		// (the cap at D*F never binds for u <= 1, and T > floor >= dramT
 		// keeps u below 1). Exactly one root is consistent with its
 		// region; try the smooth one first.
-		total := floor
-		if f := accesses * am.LatencyNS(dramUtil(dramT, floor)) / conc; f > floor {
+		// When the fixed point settles on the floor itself, the latency
+		// term at the floor IS the final latency term (same utilisation,
+		// same expression), so it is computed once and reused; only a
+		// genuine root above the floor changes the utilisation and needs
+		// the recomputation.
+		kl := accesses / conc
+		a := kl * am.UnloadedNS()
+		c := kl * (1 - hr.L1) * (1 - hr.L2) * memory.DRAMDeviceNS / 2
+		latT = latencyTermNS(a, c, dramT, floor)
+		if latT > floor {
 			const qf = memory.MaxQueueFactor
-			kl := accesses / conc
-			a := kl * am.UnloadedNS()
-			c := kl * (1 - hr.L1) * (1 - hr.L2) * memory.DRAMDeviceNS / 2
 			root := (a + dramT + math.Sqrt((a-dramT)*(a-dramT)+4*c*dramT)) / 2
 			if root < dramT*qf/(qf-1) {
 				root = (a + math.Sqrt(a*a+4*c*qf*dramT)) / 2
 			}
-			total = max(root, floor)
+			if total := fmax(root, floor); total != floor {
+				latT = latencyTermNS(a, c, dramT, total)
+			}
 		}
-		util := 0.0
-		if total > 0 {
-			util = dramT / total
-		}
-		latT = accesses * am.LatencyNS(util) / conc
 	}
 
 	t := computeT
@@ -99,13 +104,33 @@ func (p *Prepared) batchTime(cfg hw.Config, d demand, activeCUs, qmax, totalWGs 
 	return t, b, hr
 }
 
-// dramUtil is the DRAM channel utilisation implied by finishing dramT
-// worth of traffic in T.
-func dramUtil(dramT, T float64) float64 {
-	if T > 0 {
-		return dramT / T
+// latencyTermNS is the round engine's latency-bound term a + c*q at
+// DRAM service time dramT against batch duration total: the access
+// curve kl*LatencyNS(dramT/total) with the M/D/1 stretch
+// q(u) = u/max(1-u, 1/F) folded to a single division
+// (u/max(1-u, 1/F) == dramT/max(total-dramT, total/F) for
+// total >= dramT > 0, and the D*F queue cap never binds for u <= 1).
+// Both the scalar and the batched evaluator call exactly this
+// function, which is what keeps the two paths bit-identical.
+func latencyTermNS(a, c, dramT, total float64) float64 {
+	if dramT <= 0 {
+		return a
 	}
-	return 0
+	const invQF = 1.0 / memory.MaxQueueFactor
+	return a + c*(dramT/fmax(total-dramT, total*invQF))
+}
+
+// fmax returns the larger of a and b by a plain compare. The builtin
+// max pays for NaN propagation and signed-zero ordering that the time
+// algebra cannot produce (every operand in the solve is a non-negative
+// sum or product of finite model terms). Both the scalar and the
+// batched evaluator use it, so the two paths agree bit for bit by
+// construction.
+func fmax(a, b float64) float64 {
+	if b > a {
+		return b
+	}
+	return a
 }
 
 // Simulate runs the round engine: one kernel invocation on one
@@ -133,6 +158,7 @@ func (p *Prepared) EvalRound(cfg hw.Config) (Result, error) {
 	var kernelNS float64
 	var boundNS boundTimes
 	var steadyHR memory.HitRates
+	haveSteady := false
 
 	remaining := k.Workgroups
 	// Full batches: every CU holds occWGs workgroups.
@@ -142,9 +168,13 @@ func (p *Prepared) EvalRound(cfg hw.Config) (Result, error) {
 		kernelNS += float64(n) * t
 		boundNS[b] += float64(n) * t
 		steadyHR = hr
+		haveSteady = true
 		remaining -= n * fullBatch
 	}
-	// Tail batch: fewer workgroups than full residency.
+	// Tail batch: fewer workgroups than full residency. The explicit
+	// haveSteady flag (rather than comparing steadyHR against the zero
+	// value) keeps tail-only kernels deterministic even when the model
+	// legitimately reports zero hit rates for the full batch.
 	if remaining > 0 {
 		activeCUs := remaining
 		if activeCUs > cfg.CUs {
@@ -154,7 +184,7 @@ func (p *Prepared) EvalRound(cfg hw.Config) (Result, error) {
 		t, b, hr := p.batchTime(cfg, d, activeCUs, qmax, remaining)
 		kernelNS += t
 		boundNS[b] += t
-		if steadyHR == (memory.HitRates{}) {
+		if !haveSteady {
 			steadyHR = hr
 		}
 	}
@@ -164,12 +194,15 @@ func (p *Prepared) EvalRound(cfg hw.Config) (Result, error) {
 
 	transBytes := d.transBytesPerWG * float64(k.Workgroups)
 	dramBytes := transBytes * (1 - steadyHR.L1) * (1 - steadyHR.L2)
+	// Reciprocal multiplies, matching the batched evaluator's result
+	// assembly expression for expression.
+	invTotal := 1 / total
 	res := Result{
 		TimeNS:         total,
 		KernelNS:       kernelNS,
-		Throughput:     float64(p.der.TotalWorkItems) / total,
-		AchievedGFLOPS: d.flopsPerWG * float64(k.Workgroups) / total,
-		AchievedGBs:    dramBytes / total,
+		Throughput:     float64(p.der.TotalWorkItems) * invTotal,
+		AchievedGFLOPS: d.flopsPerWG * float64(k.Workgroups) * invTotal,
+		AchievedGBs:    dramBytes * invTotal,
 		HitRates:       steadyHR,
 		OccupancyWaves: p.der.OccupancyWavesPerCU,
 		Bound:          dominant,

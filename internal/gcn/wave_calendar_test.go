@@ -1,0 +1,177 @@
+package gcn
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gpuscale/internal/hw"
+	"gpuscale/internal/kernel"
+	"gpuscale/internal/suites"
+)
+
+// assertWaveMatchesReference runs the calendar-queue EvalWave against
+// the heap-based reference on fresh Prepared instances and requires
+// bit equality.
+func assertWaveMatchesReference(t *testing.T, k *kernel.Kernel, cfgs []hw.Config) {
+	t.Helper()
+	pc, err := Prepare(k)
+	if err != nil {
+		t.Fatalf("Prepare(%s): %v", k.Name, err)
+	}
+	ph, err := Prepare(k)
+	if err != nil {
+		t.Fatalf("Prepare(%s): %v", k.Name, err)
+	}
+	for _, cfg := range cfgs {
+		got, gerr := pc.EvalWave(cfg)
+		want, werr := referenceEvalWave(ph, cfg)
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("%s@%+v: calendar err %v, heap err %v", k.Name, cfg, gerr, werr)
+		}
+		if gerr != nil {
+			continue
+		}
+		if !resultBitsEqual(got, want) {
+			t.Fatalf("%s@%+v: calendar %+v != heap %+v", k.Name, cfg, got, want)
+		}
+	}
+}
+
+// waveEquivalenceConfigs is a config set that stresses the calendar
+// queue's sizing across the grid extremes plus off-grid points.
+func waveEquivalenceConfigs() []hw.Config {
+	return []hw.Config{
+		hw.Reference(),
+		hw.Minimum(),
+		{CUs: 44, CoreClockMHz: 1000, MemClockMHz: 150},
+		{CUs: 4, CoreClockMHz: 100, MemClockMHz: 1500},
+		{CUs: 17, CoreClockMHz: 727, MemClockMHz: 475},
+		{CUs: 1, CoreClockMHz: 1200, MemClockMHz: 100},
+		{CUs: 31, CoreClockMHz: 350, MemClockMHz: 925, L2Override: 256 * 1024},
+	}
+}
+
+func TestWaveCalendarMatchesHeapOnArchetypes(t *testing.T) {
+	kernels := []*kernel.Kernel{
+		smaller(computeBoundKernel(), 512),
+		smaller(bandwidthBoundKernel(), 512),
+		parallelismLimitedKernel(),
+		smaller(cuIntolerantKernel(), 512),
+		smaller(latencyBoundKernel(), 256),
+		launchBoundKernel(),
+	}
+	cfgs := waveEquivalenceConfigs()
+	for _, k := range kernels {
+		assertWaveMatchesReference(t, k, cfgs)
+	}
+}
+
+func TestWaveCalendarMatchesHeapOnCorpusSample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus sample is slow")
+	}
+	cfgs := waveEquivalenceConfigs()
+	all := suites.AllKernels(suites.Corpus())
+	for i, k := range all {
+		if i%7 != 0 {
+			continue // every 7th kernel keeps the suite fast
+		}
+		if k.Workgroups > 2048 {
+			k = smaller(k, 2048)
+		}
+		assertWaveMatchesReference(t, k, cfgs)
+	}
+}
+
+func TestWaveCalendarMatchesHeapOnRandomKernels(t *testing.T) {
+	r := rand.New(rand.NewSource(314))
+	cfgs := waveEquivalenceConfigs()
+	built := 0
+	for built < 25 {
+		k := randomBatchKernel(r)
+		if k == nil || k.Workgroups > 1024 {
+			continue
+		}
+		if _, err := Prepare(k); err != nil {
+			continue
+		}
+		built++
+		assertWaveMatchesReference(t, k, cfgs)
+	}
+}
+
+// TestCalQueuePopsInSortedOrder drives the calendar queue directly
+// with adversarial event streams — clustered times, exact ties, huge
+// gaps, deliberately mismatched widths — and checks it always drains
+// in (at, seqKind) order.
+func TestCalQueuePopsInSortedOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		var q calQueue
+		nb := 1 << (2 + r.Intn(6))
+		width := []float64{1e-6, 0.001, 1, 7.25, 1e4}[r.Intn(5)]
+		q.reset(nb, width)
+		n := 1 + r.Intn(400)
+		evs := make([]waveEvent, 0, n)
+		base := 0.0
+		for i := 0; i < n; i++ {
+			switch r.Intn(4) {
+			case 0: // tie with a previous event
+				// keep base
+			case 1: // small step
+				base += r.Float64()
+			case 2: // cluster gap
+				base += 100 * r.Float64()
+			case 3: // huge jump (forces direct-search re-anchor)
+				base += 1e5 * r.Float64()
+			}
+			evs = append(evs, waveEvent{at: base, wave: int32(i), seqKind: uint32(i+1) << 1})
+		}
+		// Interleave pushes and pops the way a simulation would.
+		want := append([]waveEvent(nil), evs...)
+		sort.SliceStable(want, func(i, j int) bool { return waveEventBefore(want[i], want[j]) })
+		for _, e := range evs {
+			q.push(e)
+		}
+		for i := 0; q.n > 0; i++ {
+			got := q.pop()
+			if got != want[i] {
+				t.Fatalf("trial %d (nb=%d w=%g): pop %d = %+v, want %+v", trial, nb, width, i, got, want[i])
+			}
+		}
+	}
+}
+
+// TestCalQueueInterleavedPushPop mimics the engine's push-after-pop
+// pattern: popped events reschedule themselves at later times.
+func TestCalQueueInterleavedPushPop(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var q calQueue
+	q.reset(64, 0.5)
+	seq := uint32(0)
+	push := func(at float64) {
+		seq++
+		q.push(waveEvent{at: at, wave: int32(seq), seqKind: seq << 1})
+	}
+	for i := 0; i < 50; i++ {
+		push(r.Float64() * 10)
+	}
+	last := -1.0
+	lastSeq := uint32(0)
+	pops := 0
+	for q.n > 0 {
+		e := q.pop()
+		pops++
+		if e.at < last || (e.at == last && e.seqKind < lastSeq) {
+			t.Fatalf("pop %d out of order: (%g, %d) after (%g, %d)", pops, e.at, e.seqKind, last, lastSeq)
+		}
+		last, lastSeq = e.at, e.seqKind
+		if pops < 3000 {
+			push(e.at + r.Float64()*20)
+		}
+	}
+	if pops < 3000 {
+		t.Fatalf("drained after only %d pops", pops)
+	}
+}

@@ -1,0 +1,249 @@
+package gcn
+
+import (
+	"fmt"
+	"math"
+
+	"gpuscale/internal/hw"
+	"gpuscale/internal/memory"
+)
+
+// This file preserves the wave engine's original binary-heap scheduler
+// as a test-only reference, following the pipeline engine's
+// pipeline_ref_test.go pattern: the production engine (calendar queue,
+// indexed workgroup counters, hoisted segmentation) must reproduce the
+// reference bit for bit on every configuration. Because (at, seq) is a
+// strict total order on events, any correct priority queue pops the
+// same sequence, so the two implementations are equivalent by
+// construction — this oracle is the executable proof.
+
+type refWaveState struct {
+	cu              int
+	wg              int
+	segsLeft        int
+	computeNSPerSeg float64
+	batchDRAMBytes  float64
+	batchL2Bytes    float64
+}
+
+type refWaveEvent struct {
+	at   float64
+	kind int
+	wave *refWaveState
+	seq  int
+}
+
+type refEventHeap []refWaveEvent
+
+func (h refEventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *refEventHeap) push(e refWaveEvent) {
+	*h = append(*h, e)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *refEventHeap) pop() refWaveEvent {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && s.less(r, c) {
+			c = r
+		}
+		if !s.less(c, i) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	return top
+}
+
+// referenceEvalWave is the pre-calendar-queue EvalWave, verbatim
+// except for fresh (non-scratch) buffers and the renamed heap types.
+func referenceEvalWave(p *Prepared, cfg hw.Config) (Result, error) {
+	k := p.k
+	occWGs := p.occWGs
+	d := p.demandFor(cfg)
+	hier := memory.NewHierarchy(cfg)
+	hr := p.hitRates(occWGs, cfg.CUs, cfg.L2CapacityBytes())
+	effBW := hier.EffectiveBandwidthGBs(k.Mem.Pattern)
+	l2BW := l2BandwidthGBs(cfg)
+
+	wavesPerWG := d.wavesPerWG
+	accPerWave := d.accessesPerWG / float64(wavesPerWG)
+	issuePerWave := d.issueNSPerWG / float64(wavesPerWG)
+	segs := 1
+	if accPerWave > 0 {
+		segs = int(math.Ceil(accPerWave / p.der.EffectiveMLP))
+	}
+	transPerWave := d.transBytesPerWG / float64(wavesPerWG)
+	l2PerBatch := transPerWave * (1 - hr.L1) / float64(segs)
+	dramPerBatch := l2PerBatch * (1 - hr.L2)
+
+	batchLatency := hier.AvgAccessLatencyNS(hr, 0)
+
+	cuIssueFree := make([]float64, cfg.CUs)
+	cuResidentWGs := make([]int, cfg.CUs)
+	wgWavesLeft := make(map[int]int)
+	events := &refEventHeap{}
+	totalWaves := p.der.TotalWaves
+	waves := make([]refWaveState, totalWaves)
+	nextWave := 0
+
+	var l2Free, dramFree float64
+	var dramBusyNS, l2BusyNS, issueBusyNS float64
+	pendingWGs := k.Workgroups
+	nextWG := 0
+	inFlightWaves := 0
+	var now float64
+	seq := 0
+
+	finish := func(w *refWaveState) {
+		inFlightWaves--
+		wgWavesLeft[w.wg]--
+		if wgWavesLeft[w.wg] == 0 {
+			delete(wgWavesLeft, w.wg)
+			cuResidentWGs[w.cu]--
+		}
+	}
+
+	startWave := func(cu, wg int, at float64) {
+		w := &waves[nextWave]
+		nextWave++
+		*w = refWaveState{
+			cu:              cu,
+			wg:              wg,
+			segsLeft:        segs,
+			computeNSPerSeg: issuePerWave / float64(segs),
+			batchDRAMBytes:  dramPerBatch,
+			batchL2Bytes:    l2PerBatch,
+		}
+		grant := max(at, cuIssueFree[cu])
+		done := grant + w.computeNSPerSeg
+		cuIssueFree[cu] = done
+		issueBusyNS += w.computeNSPerSeg
+		seq++
+		events.push(refWaveEvent{at: done, kind: evComputeDone, wave: w, seq: seq})
+		inFlightWaves++
+	}
+
+	dispatch := func(at float64) {
+		for pendingWGs > 0 {
+			best, bestLoad := -1, occWGs
+			for cu := 0; cu < cfg.CUs; cu++ {
+				if cuResidentWGs[cu] < bestLoad {
+					best, bestLoad = cu, cuResidentWGs[cu]
+				}
+			}
+			if best < 0 {
+				return
+			}
+			wg := nextWG
+			nextWG++
+			pendingWGs--
+			cuResidentWGs[best]++
+			wgWavesLeft[wg] = wavesPerWG
+			for i := 0; i < wavesPerWG; i++ {
+				startWave(best, wg, at)
+			}
+		}
+	}
+	dispatch(0)
+
+	processed := 0
+	for len(*events) > 0 {
+		processed++
+		if processed > maxWaveEvents {
+			return Result{}, fmt.Errorf("gcn: wave engine exceeded %d events on %s (launch too large)",
+				maxWaveEvents, k.Name)
+		}
+		ev := events.pop()
+		now = ev.at
+		w := ev.wave
+		switch ev.kind {
+		case evComputeDone:
+			if accPerWave == 0 || w.segsLeft == 0 {
+				finish(w)
+				dispatch(now)
+				continue
+			}
+			w.segsLeft--
+			start := now
+			if w.batchL2Bytes > 0 {
+				grant := max(start, l2Free)
+				service := w.batchL2Bytes / l2BW
+				l2Free = grant + service
+				l2BusyNS += service
+				start = l2Free
+			}
+			if w.batchDRAMBytes > 0 && effBW > 0 {
+				grant := max(start, dramFree)
+				service := w.batchDRAMBytes / effBW
+				dramFree = grant + service
+				dramBusyNS += service
+				start = dramFree
+			}
+			seq++
+			events.push(refWaveEvent{at: start + batchLatency, kind: evMemDone, wave: w, seq: seq})
+		case evMemDone:
+			if w.segsLeft == 0 {
+				finish(w)
+				dispatch(now)
+				continue
+			}
+			grant := max(now, cuIssueFree[w.cu])
+			done := grant + w.computeNSPerSeg
+			cuIssueFree[w.cu] = done
+			issueBusyNS += w.computeNSPerSeg
+			seq++
+			events.push(refWaveEvent{at: done, kind: evComputeDone, wave: w, seq: seq})
+		}
+	}
+
+	kernelNS := now
+	total := kernelNS + k.LaunchOverheadNS
+	var boundNS boundTimes
+	boundNS[BoundCompute] = issueBusyNS / float64(cfg.CUs)
+	boundNS[BoundDRAM] = dramBusyNS
+	boundNS[BoundL2] = l2BusyNS
+	busiest := max(boundNS[BoundCompute], boundNS[BoundDRAM], boundNS[BoundL2])
+	if kernelNS > busiest {
+		boundNS[BoundLatency] = kernelNS - busiest
+	}
+	dominant, share := dominantBound(&boundNS, k.LaunchOverheadNS, total)
+
+	transBytes := d.transBytesPerWG * float64(k.Workgroups)
+	dramBytes := transBytes * (1 - hr.L1) * (1 - hr.L2)
+	return Result{
+		TimeNS:         total,
+		KernelNS:       kernelNS,
+		Throughput:     float64(p.der.TotalWorkItems) / total,
+		AchievedGFLOPS: d.flopsPerWG * float64(k.Workgroups) / total,
+		AchievedGBs:    dramBytes / total,
+		HitRates:       hr,
+		OccupancyWaves: p.der.OccupancyWavesPerCU,
+		Bound:          dominant,
+		BoundShare:     share,
+	}, nil
+}

@@ -81,16 +81,25 @@ var (
 	ErrBadMemClock  = errors.New("hw: memory clock out of range")
 )
 
+// Per-axis predicates of Validate, shared with Space.AxesValid so the
+// grid fast path and the per-config check can never drift. Each is the
+// exact negation of Validate's original rejection condition (note the
+// !(out-of-range) form: a NaN clock compares false on both sides and
+// so passes, as it always has).
+func validCUs(n int) bool         { return !(n < 1 || n > MaxCUs) }
+func validCoreMHz(f float64) bool { return !(f < 100 || f > 1200) }
+func validMemMHz(f float64) bool  { return !(f < 100 || f > 1500) }
+
 // Validate reports whether the configuration lies inside the supported
 // envelope of the modelled part.
 func (c Config) Validate() error {
-	if c.CUs < 1 || c.CUs > MaxCUs {
+	if !validCUs(c.CUs) {
 		return fmt.Errorf("%w: %d (want 1..%d)", ErrBadCUs, c.CUs, MaxCUs)
 	}
-	if c.CoreClockMHz < 100 || c.CoreClockMHz > 1200 {
+	if !validCoreMHz(c.CoreClockMHz) {
 		return fmt.Errorf("%w: %g MHz (want 100..1200)", ErrBadCoreClock, c.CoreClockMHz)
 	}
-	if c.MemClockMHz < 100 || c.MemClockMHz > 1500 {
+	if !validMemMHz(c.MemClockMHz) {
 		return fmt.Errorf("%w: %g MHz (want 100..1500)", ErrBadMemClock, c.MemClockMHz)
 	}
 	if c.L2Override != 0 && (c.L2Override < 64*1024 || c.L2Override > 64*1024*1024) {

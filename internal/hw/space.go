@@ -1,6 +1,9 @@
 package hw
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // Space is a rectangular sweep grid over the three hardware knobs.
 // The zero value is empty; use StudySpace for the paper's 891-point
@@ -74,6 +77,48 @@ func (s Space) Configs() []Config {
 		}
 	}
 	return out
+}
+
+// Equal reports whether two grids have identical axes (element-wise;
+// a NaN axis value never compares equal, as everywhere else).
+func (s Space) Equal(t Space) bool {
+	return slices.Equal(s.CUCounts, t.CUCounts) &&
+		slices.Equal(s.CoreClocksMHz, t.CoreClocksMHz) &&
+		slices.Equal(s.MemClocksMHz, t.MemClocksMHz)
+}
+
+// Clone returns a deep copy of the grid, sharing no axis storage with
+// the receiver.
+func (s Space) Clone() Space {
+	return Space{
+		CUCounts:      slices.Clone(s.CUCounts),
+		CoreClocksMHz: slices.Clone(s.CoreClocksMHz),
+		MemClocksMHz:  slices.Clone(s.MemClocksMHz),
+	}
+}
+
+// AxesValid reports whether every configuration in the grid passes
+// Config.Validate. Grid configs never set L2Override and Validate is a
+// pure conjunction of per-axis range checks, so checking each axis
+// value once decides the full cross product — the sweep's up-front
+// validation uses this to avoid a per-config pass over the grid.
+func (s Space) AxesValid() bool {
+	for _, cu := range s.CUCounts {
+		if !validCUs(cu) {
+			return false
+		}
+	}
+	for _, f := range s.CoreClocksMHz {
+		if !validCoreMHz(f) {
+			return false
+		}
+	}
+	for _, f := range s.MemClocksMHz {
+		if !validMemMHz(f) {
+			return false
+		}
+	}
+	return true
 }
 
 // Index returns the position of config c in the Configs ordering, or

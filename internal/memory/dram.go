@@ -94,7 +94,8 @@ func (h Hierarchy) L2LatencyNS() float64 {
 // AvgAccessLatencyNS returns the mean latency of one vector memory
 // access given the hit-rate split and DRAM utilisation.
 func (h Hierarchy) AvgAccessLatencyNS(hr HitRates, utilization float64) float64 {
-	return h.AccessModel(hr).LatencyNS(utilization)
+	m := h.AccessModel(hr)
+	return m.LatencyNS(utilization)
 }
 
 // AccessModel is the average-access-latency curve of one (config,
@@ -127,13 +128,13 @@ func (h Hierarchy) AccessModel(hr HitRates) AccessModel {
 // UnloadedNS returns LatencyNS(0) without the queueing arithmetic:
 // at zero utilisation the queue term is exactly zero, so the two
 // agree bit for bit.
-func (m AccessModel) UnloadedNS() float64 {
+func (m *AccessModel) UnloadedNS() float64 {
 	return m.hitNS + m.missL1*(m.l2NS+m.missL2*m.dramUnloaded)
 }
 
 // LatencyNS returns the mean access latency at the given DRAM
 // bandwidth utilisation (0..1).
-func (m AccessModel) LatencyNS(utilization float64) float64 {
+func (m *AccessModel) LatencyNS(utilization float64) float64 {
 	u := clamp01(utilization)
 	queue := DRAMDeviceNS * u / (2 * max(1-u, 1.0/MaxQueueFactor))
 	if queue > DRAMDeviceNS*MaxQueueFactor {

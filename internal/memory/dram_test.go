@@ -120,7 +120,8 @@ func TestAccessModelMatchesAvgAccessLatency(t *testing.T) {
 		for _, cfg := range cfgs {
 			h := NewHierarchy(cfg)
 			want := h.AvgAccessLatencyNS(hr, util)
-			got := h.AccessModel(hr).LatencyNS(util)
+			m := h.AccessModel(hr)
+			got := m.LatencyNS(util)
 			if math.Float64bits(want) != math.Float64bits(got) {
 				return false
 			}

@@ -146,6 +146,15 @@ type Options struct {
 	// breaker, observer and journal semantics are identical on both
 	// paths.
 	Row gcn.RowEngine
+	// DisableBatch forces per-cell evaluation even when the row engine
+	// implements gcn.BatchRow. By default a prepared row that supports
+	// batching evaluates the whole config axis in one EvalBatch call
+	// (results are bit-identical; per-cell faults, retries, status and
+	// observer events are preserved), which amortizes the per-cell call
+	// overhead across the row. Batching is automatically skipped when
+	// SimTimeout or StallGrace is set: supervision needs one goroutine
+	// per engine invocation, which is exactly the per-cell shape.
+	DisableBatch bool
 	// NoiseStdDev, when positive, multiplies every measured throughput
 	// by a lognormal factor exp(N(0, stddev)) to emulate run-to-run
 	// measurement noise for robustness experiments. The factor's
@@ -393,6 +402,14 @@ type PreparedTotals struct {
 	// HitRateHits/Misses count cache hit-rate estimates served from /
 	// added to the per-kernel memo.
 	HitRateHits, HitRateMisses int
+	// BatchedRows counts rows whose first attempts ran through one
+	// EvalBatch call over the whole config axis.
+	BatchedRows int
+	// BatchFallbackCells counts per-cell engine invocations that a
+	// batching row still needed: retries of batched cells whose first
+	// attempt faulted, plus every cell of a row whose batch call failed
+	// at the row level.
+	BatchFallbackCells int
 }
 
 // Complete reports whether every cell holds a validated measurement.
@@ -451,17 +468,23 @@ func resume(ctx context.Context, kernels []*kernel.Kernel, space hw.Space, opts 
 	if len(kernels) == 0 {
 		return nil, nil, fmt.Errorf("sweep: no kernels")
 	}
-	configs := space.Configs()
+	configs := gridConfigs(space)
 	if len(configs) == 0 {
 		return nil, nil, fmt.Errorf("sweep: empty configuration space")
 	}
 	// Validate the configuration axis once, up front, with a
 	// positional error — the engines' Eval methods skip the per-cell
 	// re-check, so a bad config must never reach the workers.
-	for i, cfg := range configs {
-		if err := cfg.Validate(); err != nil {
-			return nil, nil, fmt.Errorf("sweep: config %d of %d (cu=%d core=%g mem=%g): %w",
-				i+1, len(configs), cfg.CUs, cfg.CoreClockMHz, cfg.MemClockMHz, err)
+	// Config.Validate is a conjunction of per-axis range checks with no
+	// cross-field terms, so validating each axis value once decides the
+	// whole grid; only when an axis value is bad does the per-config
+	// loop run, to produce the same positional error it always has.
+	if !space.AxesValid() {
+		for i, cfg := range configs {
+			if err := cfg.Validate(); err != nil {
+				return nil, nil, fmt.Errorf("sweep: config %d of %d (cu=%d core=%g mem=%g): %w",
+					i+1, len(configs), cfg.CUs, cfg.CoreClockMHz, cfg.MemClockMHz, err)
+			}
 		}
 	}
 	workers := opts.Workers
@@ -521,43 +544,59 @@ func resume(ctx context.Context, kernels []*kernel.Kernel, space hw.Space, opts 
 	start := time.Now()
 	var mu sync.Mutex      // guards rep tallies beyond Skipped
 	var trips atomic.Int64 // kernel rows whose breaker opened, sweep-wide
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for row := range jobs {
-				// Rows are all queued up front, so queue wait is
-				// measured from sweep start to worker pickup.
-				var pickup time.Time
-				if o != nil {
-					pickup = time.Now()
-				}
-				if opts.QuarantineAfter > 0 && trips.Load() >= int64(opts.QuarantineAfter) {
-					// Enough kernels have tripped their breakers that
-					// the failure is systemic: quarantine rows that
-					// have not started rather than grind through them.
-					quarantineRow(kernels[row], configs, opts, m, row, rep, &mu)
-				} else {
-					sweepRow(ctx, sim, re, kernels[row], configs, opts, m, row, rep, &mu, start, &trips)
-				}
-				if o != nil {
-					o.RowDone(row, kernels[row].Name, pickup.Sub(start), time.Since(pickup))
-				}
-				if opts.OnRow != nil {
-					opts.OnRow(m, row)
-				}
-			}
-		}()
-	}
-	for row := range kernels {
-		if !done[row] {
-			jobs <- row
+	doRow := func(row int) {
+		// Rows are all queued up front, so queue wait is measured
+		// from sweep start to worker pickup.
+		var pickup time.Time
+		if o != nil {
+			pickup = time.Now()
+		}
+		if opts.QuarantineAfter > 0 && trips.Load() >= int64(opts.QuarantineAfter) {
+			// Enough kernels have tripped their breakers that the
+			// failure is systemic: quarantine rows that have not
+			// started rather than grind through them.
+			quarantineRow(kernels[row], configs, opts, m, row, rep, &mu)
+		} else {
+			sweepRow(ctx, sim, re, kernels[row], configs, opts, m, row, rep, &mu, start, &trips)
+		}
+		if o != nil {
+			o.RowDone(row, kernels[row].Name, pickup.Sub(start), time.Since(pickup))
+		}
+		if opts.OnRow != nil {
+			opts.OnRow(m, row)
 		}
 	}
-	close(jobs)
-	wg.Wait()
+	if workers == 1 {
+		// A single worker is sequential either way; running rows on
+		// the calling goroutine skips the spawn, the channel
+		// handshakes, and a fresh worker stack's growth per run —
+		// fixed costs a one-kernel batched sweep otherwise pays on
+		// every call.
+		for row := range kernels {
+			if !done[row] {
+				doRow(row)
+			}
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for row := range jobs {
+					doRow(row)
+				}
+			}()
+		}
+		for row := range kernels {
+			if !done[row] {
+				jobs <- row
+			}
+		}
+		close(jobs)
+		wg.Wait()
+	}
 	rep.WallTime = time.Since(start)
 	if o != nil {
 		o.SweepEnd(rep)
@@ -636,6 +675,18 @@ func failRowPrepare(k *kernel.Kernel, configs []hw.Config, opts Options,
 // call (timeout, stall), the abandoned goroutine may still be using
 // the row's scratch, so the row is poisoned and every later call
 // degrades to the per-cell sim, which shares no state.
+//
+// When the prepared row additionally implements gcn.BatchRow (and
+// batching is not disabled or preempted by supervision), the whole
+// config axis evaluates in one EvalBatch call up front and the cell
+// loop consumes each cell's first attempt from the batch planes.
+// Everything downstream — validation, retry with backoff, breaker,
+// status classification, observer events — is shared with the
+// per-cell path: a batched cell whose first attempt faulted re-enters
+// runCell at attempt two, drawing from the same fault decision stream
+// (injectors roll per (cell, attempt), and the batch advanced each
+// cell's counter exactly once). A row-level batch failure falls back
+// to pure per-cell evaluation for the entire row.
 func sweepRow(ctx context.Context, sim gcn.EngineFunc, re gcn.RowEngine, k *kernel.Kernel, configs []hw.Config,
 	opts Options, m *Matrix, row int, rep *RunReport, mu *sync.Mutex, base time.Time, trips *atomic.Int64) {
 	cellSim := sim
@@ -653,6 +704,19 @@ func sweepRow(ctx context.Context, sim gcn.EngineFunc, re gcn.RowEngine, k *kern
 				return sim(k, cfg)
 			}
 			return prow.Eval(cfg)
+		}
+	}
+
+	// Batched first attempts. The buffers come from a pool so the batch
+	// path allocates nothing per row once warm.
+	var bbuf *batchBuf
+	batched, batchTried := false, false
+	if prow != nil && !opts.DisableBatch && opts.SimTimeout <= 0 && opts.StallGrace <= 0 {
+		if br, ok := prow.(gcn.BatchRow); ok && ctx.Err() == nil {
+			batchTried = true
+			bbuf = getBatchBuf(len(configs))
+			defer putBatchBuf(bbuf)
+			batched = safeBatch(br, configs, bbuf.res, bbuf.errs) == nil
 		}
 	}
 
@@ -679,13 +743,20 @@ func sweepRow(ctx context.Context, sim gcn.EngineFunc, re gcn.RowEngine, k *kern
 	if timed {
 		prev = time.Since(base)
 	}
-	var ok, failed, canceled, stalled, quarantined, attempts, retries int
+	var ok, failed, canceled, stalled, quarantined, attempts, retries, fellBack int
 	var failures []CellFailure
 	// streak counts consecutive hard failures (failed or stalled
 	// cells); Options.Breaker of them in a row opens the breaker and
 	// quarantines the rest of the row.
 	streak, tripped := 0, false
-	for c, cfg := range configs {
+	// cellRes is the per-cell scratch for the unbatched paths; every
+	// producer overwrites it whole, so it never needs re-zeroing. The
+	// batched fast path bypasses it entirely and reads results straight
+	// out of the batch buffer — the wide Result struct is never copied
+	// per cell.
+	var cellRes gcn.Result
+	for c := range configs {
+		cfg := &configs[c]
 		noise := 1.0
 		if rng != nil {
 			noise = math.Exp(rng.NormFloat64() * opts.NoiseStdDev)
@@ -702,29 +773,46 @@ func sweepRow(ctx context.Context, sim gcn.EngineFunc, re gcn.RowEngine, k *kern
 			status[c] = StatusCanceled
 			canceled++
 			if o != nil {
-				o.CellDone(row, k.Name, cfg, StatusCanceled, 0, 0)
+				o.CellDone(row, k.Name, *cfg, StatusCanceled, 0, 0)
 			}
 			continue
 		}
-		var r gcn.Result
+		rp := &cellRes
 		var n int
 		var end time.Duration
 		var err error
+		var first *batchOutcome
+		if batched {
+			// The cell's first attempt already ran inside the batch; an
+			// isolated per-cell panic maps onto the same engine-panic
+			// classification the per-cell recover produces (final, no
+			// retry).
+			rp, err = &bbuf.res[c], bbuf.errs[c]
+			if err != nil && errors.Is(err, gcn.ErrBatchPanic) {
+				err = fmt.Errorf("%w: %v", ErrEnginePanic, err)
+			}
+			if !fastCell {
+				first = &batchOutcome{r: *rp, err: err}
+			}
+		}
 		if fastCell {
 			// A fast cell can never be abandoned, so the row can never
 			// be poisoned: evaluate the prepared row directly instead of
 			// going through cellSim's poison check.
 			n = 1
-			if prow != nil {
-				r, err = safeEval(prow, cfg)
-			} else {
-				r, err = safeCall(cellSim, k, cfg)
+			if !batched {
+				if prow != nil {
+					cellRes, err = safeEval(prow, *cfg)
+				} else {
+					cellRes, err = safeCall(cellSim, k, *cfg)
+				}
 			}
 			if err == nil {
-				err = validate(r)
+				err = validate(rp)
 			}
 		} else {
-			r, n, end, err = runCell(ctx, cellSim, k, cfg, opts, row, timed, base, prev, &poisoned)
+			cellRes, n, end, err = runCell(ctx, cellSim, k, *cfg, opts, row, timed, base, prev, &poisoned, first)
+			rp = &cellRes
 		}
 		var cellDur time.Duration
 		if timed {
@@ -735,6 +823,12 @@ func sweepRow(ctx context.Context, sim gcn.EngineFunc, re gcn.RowEngine, k *kern
 		if n > 1 {
 			retries += n - 1
 		}
+		if batchTried && (!batched || n > 1) {
+			// Per-cell work a batching row still needed: the whole row
+			// after a row-level batch failure, or retries of a batched
+			// cell whose first attempt faulted.
+			fellBack++
+		}
 		if err != nil {
 			if errors.Is(err, ErrStalled) {
 				status[c] = StatusStalled
@@ -743,16 +837,16 @@ func sweepRow(ctx context.Context, sim gcn.EngineFunc, re gcn.RowEngine, k *kern
 				status[c] = StatusCanceled
 				canceled++
 				if o != nil {
-					o.CellDone(row, k.Name, cfg, StatusCanceled, n, cellDur)
+					o.CellDone(row, k.Name, *cfg, StatusCanceled, n, cellDur)
 				}
 				continue
 			} else {
 				status[c] = StatusFailed
 				failed++
 			}
-			failures = append(failures, CellFailure{Kernel: k.Name, Config: cfg, Attempts: n, Err: err})
+			failures = append(failures, CellFailure{Kernel: k.Name, Config: *cfg, Attempts: n, Err: err})
 			if o != nil {
-				o.CellDone(row, k.Name, cfg, status[c], n, cellDur)
+				o.CellDone(row, k.Name, *cfg, status[c], n, cellDur)
 			}
 			streak++
 			if opts.Breaker > 0 && streak >= opts.Breaker {
@@ -765,12 +859,12 @@ func sweepRow(ctx context.Context, sim gcn.EngineFunc, re gcn.RowEngine, k *kern
 			continue
 		}
 		streak = 0
-		tput[c] = r.Throughput * noise
-		times[c] = r.TimeNS
-		bounds[c] = r.Bound
+		tput[c] = rp.Throughput * noise
+		times[c] = rp.TimeNS
+		bounds[c] = rp.Bound
 		ok++
 		if o != nil {
-			o.CellDone(row, k.Name, cfg, StatusOK, n, cellDur)
+			o.CellDone(row, k.Name, *cfg, StatusOK, n, cellDur)
 		}
 	}
 	if tripped && quarantined > 0 && o != nil {
@@ -795,6 +889,10 @@ func sweepRow(ctx context.Context, sim gcn.EngineFunc, re gcn.RowEngine, k *kern
 	rep.Failures = append(rep.Failures, failures...)
 	if prow != nil {
 		rep.Prepared.Rows++
+		if batched {
+			rep.Prepared.BatchedRows++
+		}
+		rep.Prepared.BatchFallbackCells += fellBack
 		if poisoned.Load() {
 			// The abandoned call may still be mutating the row's
 			// scratch and stats; counting the row as abandoned is the
@@ -811,6 +909,14 @@ func sweepRow(ctx context.Context, sim gcn.EngineFunc, re gcn.RowEngine, k *kern
 	mu.Unlock()
 }
 
+// batchOutcome carries a cell's already-evaluated first attempt (from
+// a row-level EvalBatch) into runCell, so the retry machinery treats
+// it exactly like an attempt it ran itself.
+type batchOutcome struct {
+	r   gcn.Result
+	err error
+}
+
 // runCell runs one simulation with validation, retry and backoff.
 // It returns the validated result, the number of attempts consumed,
 // the monotonic offset (from base) at which the last attempt ended
@@ -821,9 +927,12 @@ func sweepRow(ctx context.Context, sim gcn.EngineFunc, re gcn.RowEngine, k *kern
 // attempts (rare) re-read the clock after the backoff sleep so the
 // sleep never pollutes an attempt's duration. timed caches
 // Observer.CellTiming: when false every clock read is skipped and
-// the observer receives zero durations.
+// the observer receives zero durations. A non-nil first supplies the
+// result of attempt one (batched rows evaluate it up front); retries
+// then proceed per-cell with the usual backoff ramp.
 func runCell(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, cfg hw.Config,
-	opts Options, row int, timed bool, base time.Time, startOff time.Duration, abandoned *atomic.Bool) (gcn.Result, int, time.Duration, error) {
+	opts Options, row int, timed bool, base time.Time, startOff time.Duration, abandoned *atomic.Bool,
+	first *batchOutcome) (gcn.Result, int, time.Duration, error) {
 	backoff := opts.Backoff
 	maxBackoff := opts.MaxBackoff
 	if maxBackoff <= 0 {
@@ -856,7 +965,9 @@ func runCell(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, cfg hw.C
 		attempts++
 		var r gcn.Result
 		var err error
-		if opts.SimTimeout <= 0 && opts.StallGrace <= 0 {
+		if try == 0 && first != nil {
+			r, err = first.r, first.err
+		} else if opts.SimTimeout <= 0 && opts.StallGrace <= 0 {
 			// No supervision requested: skip the wrapper frame in the
 			// hot path (simulate would take the same branch, but each
 			// frame copies the full Result back up).
@@ -865,7 +976,7 @@ func runCell(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, cfg hw.C
 			r, err = simulate(ctx, sim, k, cfg, opts.SimTimeout, opts.StallGrace, abandoned)
 		}
 		if err == nil {
-			err = validate(r)
+			err = validate(&r)
 		}
 		if o != nil {
 			if timed {
@@ -911,6 +1022,69 @@ func safeEval(row gcn.PreparedRow, cfg hw.Config) (r gcn.Result, err error) {
 	}()
 	return row.Eval(cfg)
 }
+
+// safeBatch runs a whole-row batch evaluation with panic isolation. A
+// non-nil return (row-level batch failure, or a panic that escaped the
+// engine's own per-cell isolation) makes the caller fall back to pure
+// per-cell evaluation for the row — nothing is lost but the speedup.
+func safeBatch(br gcn.BatchRow, cfgs []hw.Config, out []gcn.Result, errs []error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%w: %v\n%s", ErrEnginePanic, p, debug.Stack())
+		}
+	}()
+	return br.EvalBatch(cfgs, out, errs)
+}
+
+// configsCache memoizes the last materialized config axis. Callers
+// (benchmarks, refinement loops, the distributed driver's per-lease
+// Runs) invoke Run repeatedly over the same grid, and re-deriving the
+// 891-point axis is pure per-run overhead at batched speeds. Axes are
+// compared by value — and the cached Space is a deep copy, so a caller
+// mutating its own axis slices in place can never alias the cache into
+// a stale hit — and the returned slice is shared read-only: nothing
+// downstream of resume writes a Config.
+var configsCache struct {
+	mu      sync.Mutex
+	space   hw.Space
+	configs []hw.Config
+}
+
+func gridConfigs(space hw.Space) []hw.Config {
+	configsCache.mu.Lock()
+	defer configsCache.mu.Unlock()
+	if configsCache.configs != nil && space.Equal(configsCache.space) {
+		return configsCache.configs
+	}
+	cfgs := space.Configs()
+	configsCache.space = space.Clone()
+	configsCache.configs = cfgs
+	return cfgs
+}
+
+// batchBuf holds one row's batched evaluation planes. Buffers are
+// pooled across rows and sweeps so the batch path allocates nothing
+// per row once warm — at ~50ns/cell the round batch would otherwise
+// spend a measurable share of its budget on two 891-element makes.
+type batchBuf struct {
+	res  []gcn.Result
+	errs []error
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchBuf) }}
+
+func getBatchBuf(n int) *batchBuf {
+	b := batchPool.Get().(*batchBuf)
+	if cap(b.res) < n {
+		b.res = make([]gcn.Result, n)
+		b.errs = make([]error, n)
+	}
+	b.res = b.res[:n]
+	b.errs = b.errs[:n]
+	return b
+}
+
+func putBatchBuf(b *batchBuf) { batchPool.Put(b) }
 
 // simulate invokes the engine, bounded by timeout when one is set and
 // supervised by the stall watchdog when grace is set. A timed-out or
@@ -975,14 +1149,24 @@ func simulate(ctx context.Context, sim gcn.EngineFunc, k *kernel.Kernel, cfg hw.
 
 // validate rejects measurements no hardware run could produce —
 // exactly the garbage a flaky rig emits. Corruption is retryable.
-func validate(r gcn.Result) error {
+// Positive, finite, non-NaN is spelled as plain comparisons (x > 0
+// already excludes NaN and -Inf; x <= MaxFloat64 excludes +Inf) so the
+// check inlines into the per-cell loop with no calls.
+func validate(r *gcn.Result) error {
+	if r.Throughput > 0 && r.Throughput <= math.MaxFloat64 &&
+		r.TimeNS > 0 && r.TimeNS <= math.MaxFloat64 {
+		return nil
+	}
+	return corruptErr(r)
+}
+
+// corruptErr builds validate's failure, kept out of line so validate
+// itself inlines into the per-cell loop.
+func corruptErr(r *gcn.Result) error {
 	if !(r.Throughput > 0) || math.IsInf(r.Throughput, 0) {
 		return fmt.Errorf("%w: throughput %g", ErrCorruptResult, r.Throughput)
 	}
-	if !(r.TimeNS > 0) || math.IsInf(r.TimeNS, 0) {
-		return fmt.Errorf("%w: time %g ns", ErrCorruptResult, r.TimeNS)
-	}
-	return nil
+	return fmt.Errorf("%w: time %g ns", ErrCorruptResult, r.TimeNS)
 }
 
 // Runs returns the total simulations a sweep of this shape performs.
