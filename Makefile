@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke soak-smoke soak-dist soak-byzantine bench bench-obs bench-sweep bench-smoke bench-gate
+.PHONY: build test check fuzz-smoke soak-smoke soak-dist soak-byzantine soak-failover bench bench-obs bench-sweep bench-smoke bench-gate
 
 build:
 	$(GO) build ./...
@@ -48,11 +48,27 @@ soak-dist:
 soak-byzantine:
 	GPUSCALE_SOAK_MS=10000 $(GO) test -race -run TestChaosSoakByzantine -v -count=1 ./internal/dist/
 
-# Short coverage-guided fuzz of the journal decoder and the CSV
-# loaders (go test takes one -fuzz target per invocation).
+# Coordinator-failover soak: a primary with a warm standby tailing its
+# lease ledger over a partition-prone replication link, three workers
+# under injected faults including seeded network partitions. The
+# primary is killed mid-sweep, the standby promotes itself under a new
+# term, workers re-join it through peer rotation with jittered
+# backoff, and the deposed primary is term-fenced when it limps back —
+# race-enabled. Asserts exactly-once completion across the failover, a
+# merged matrix byte-identical to a single-node run, and the
+# monotonic-terms / no-two-live-primaries ledger audit. On failure the
+# log prints the seed; replay with GPUSCALE_FAULT_SEED=<seed> make
+# soak-failover.
+soak-failover:
+	GPUSCALE_SOAK_MS=10000 $(GO) test -race -run TestChaosSoakFailover -v -count=1 ./internal/dist/
+
+# Short coverage-guided fuzz of the journal decoder, the CSV loaders
+# and the lease-ledger scanner (go test takes one -fuzz target per
+# invocation).
 fuzz-smoke:
 	$(GO) test ./internal/sweep -run '^$$' -fuzz 'FuzzJournalScan$$' -fuzztime 5s
 	$(GO) test ./internal/sweep -run '^$$' -fuzz 'FuzzReadCSV$$' -fuzztime 5s
+	$(GO) test ./internal/dist -run '^$$' -fuzz 'FuzzLedgerScan$$' -fuzztime 5s
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -53,9 +53,18 @@
 // the lying worker (`-quarantine-after`), revokes its leases, retracts
 // its unverified rows, and drops it from /metrics/fleet.
 //
+// Coordinators come in pairs. `-standby -join URL` runs a warm
+// replica that tails the primary's lease ledger over `/v1/ha/` and
+// promotes itself (at the next coordinator term) after
+// `-promote-after` of primary silence; `-peers` lets a primary probe
+// for a newer term and step down instead of splitting the brain.
+// Workers given a comma-separated `-join` (or extra `-peers`) rotate
+// between coordinators on failure, so a failover loses no in-flight
+// lease that completes within its TTL.
+//
 // Exit codes: 0 clean drain, 1 startup or serve error, 4 worker
 // fenced by the version/fingerprint handshake, 5 worker quarantined
-// by the coordinator.
+// by the coordinator, 6 coordinator deposed by a newer term.
 package main
 
 import (
@@ -71,6 +80,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -108,8 +118,13 @@ type cliOptions struct {
 	staleVersion string
 
 	coordinator    bool
+	standby        bool
 	worker         bool
 	join           string
+	peers          string
+	heartbeatEvery time.Duration
+	promoteAfter   time.Duration
+	selfFenceAfter time.Duration
 	leaseTTL       time.Duration
 	verifyFraction float64
 	quarantineN    int
@@ -150,8 +165,13 @@ func main() {
 	flag.Float64Var(&o.corruptRate, "fault-corrupt-row-rate", 0, "make this -worker byzantine: tamper computed rows at this rate before journaling and attesting them (chaos drills)")
 	flag.StringVar(&o.staleVersion, "fault-stale-version", "", "make this -worker present the given protocol version on acquire instead of its real one (chaos drills)")
 	flag.BoolVar(&o.coordinator, "coordinator", false, "execute jobs by leasing kernel rows to a worker fleet over /v1/dist/")
+	flag.BoolVar(&o.standby, "standby", false, "run as a warm standby coordinator replicating from -join; promotes after -promote-after of primary silence")
 	flag.BoolVar(&o.worker, "worker", false, "run as a fleet worker instead of serving the job API (requires -join)")
-	flag.StringVar(&o.join, "join", "", "coordinator base URL a -worker acquires leases from")
+	flag.StringVar(&o.join, "join", "", "coordinator base URL(s), comma separated: a -worker acquires leases from them (rotating on failure), a -standby replicates from the first")
+	flag.StringVar(&o.peers, "peers", "", "comma-separated peer coordinator base URLs: a -coordinator probes them for newer terms (and steps down if one is live); a -worker adds them to its rotation list")
+	flag.DurationVar(&o.heartbeatEvery, "heartbeat-every", 250*time.Millisecond, "HA heartbeat cadence: peer-probe interval on a -coordinator, replication pacing on a -standby")
+	flag.DurationVar(&o.promoteAfter, "promote-after", 3*time.Second, "missed-heartbeat deadline after which a synced -standby promotes itself to primary")
+	flag.DurationVar(&o.selfFenceAfter, "self-fence-after", 0, "a -coordinator whose standby once tailed it steps down after this long without any tail contact (0 disables)")
 	flag.DurationVar(&o.leaseTTL, "lease-ttl", 10*time.Second, "how long a row lease lives without renewal before it is stolen (-coordinator)")
 	flag.Float64Var(&o.verifyFraction, "verify-fraction", 0, "fraction of rows re-executed on a second worker before acceptance; digest mismatches strike the loser (-coordinator)")
 	flag.IntVar(&o.quarantineN, "quarantine-after", 1, "digest-mismatch strikes that quarantine a worker fleet-wide (-coordinator)")
@@ -179,17 +199,33 @@ func main() {
 
 // exitCodeFor maps terminal errors to documented exit codes, so
 // process supervisors can tell "rebuild me" (4: this binary cannot
-// join that fleet) and "investigate me" (5: the coordinator proved
-// this worker computes wrong answers) from generic failure (1).
+// join that fleet), "investigate me" (5: the coordinator proved this
+// worker computes wrong answers) and "do not restart me as primary"
+// (6: a newer coordinator term is live; restart as -standby or not at
+// all) from generic failure (1).
 func exitCodeFor(err error) int {
 	switch {
 	case errors.Is(err, dist.ErrVersionFenced):
 		return 4
 	case errors.Is(err, dist.ErrQuarantined):
 		return 5
+	case errors.Is(err, dist.ErrDeposed):
+		return 6
 	default:
 		return 1
 	}
+}
+
+// splitList parses a comma-separated URL list, dropping empties and
+// trailing slashes so "a,, b/" and "a,b" address the same peers.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSuffix(strings.TrimSpace(p), "/"); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // runFlightDump renders a flight recorder's ring as JSONL on stdout.
@@ -314,8 +350,11 @@ func run(ctx context.Context, o cliOptions) error {
 	if o.worker {
 		return runWorker(ctx, o)
 	}
+	if o.standby {
+		return runStandby(ctx, o)
+	}
 	if o.join != "" {
-		return fmt.Errorf("-join only makes sense with -worker")
+		return fmt.Errorf("-join only makes sense with -worker or -standby")
 	}
 	trace, closeTrace, err := openTrace(o.traceOut)
 	if err != nil {
@@ -342,11 +381,15 @@ func run(ctx context.Context, o cliOptions) error {
 	var runSweep func(ctx context.Context, req serve.SweepRequest) (*sweep.Matrix, *sweep.RunReport, error)
 	if o.coordinator {
 		coord, err = dist.NewCoordinator(filepath.Join(o.stateDir, "dist"), dist.CoordinatorOptions{
+			ID:         coordinatorID(o),
 			DefaultTTL: o.leaseTTL, Metrics: reg, Trace: trace,
 			Flight:          flight,
 			OnWorker:        fed.SetTarget,
 			VerifyFraction:  o.verifyFraction,
 			QuarantineAfter: o.quarantineN,
+			Peers:           splitList(o.peers),
+			CheckEvery:      o.heartbeatEvery,
+			SelfFenceAfter:  o.selfFenceAfter,
 			// A quarantined worker leaves the federation too: its target
 			// is never scraped again, and fleet_scrape_up pins to 0 so
 			// the departure is visible on /metrics/fleet.
@@ -359,6 +402,12 @@ func run(ctx context.Context, o cliOptions) error {
 			return err
 		}
 		defer coord.Close()
+		// Probe peers once before serving — starting up next to a live
+		// newer term must fail fast with the deposed exit code — then
+		// keep probing (and self-fencing) in the background.
+		if err := coord.StartHA(ctx); err != nil {
+			return err
+		}
 		// The fan-out seam: every admitted job becomes a dist job whose
 		// rows the fleet leases; serve's OnRow hook keeps the service's
 		// own journal and live snapshot current as completes land. The
@@ -373,9 +422,17 @@ func run(ctx context.Context, o cliOptions) error {
 		}
 	}
 
+	// Job specs replicate alongside lease records: a promoted standby
+	// cannot serve the job API, but the admission files it mirrored let
+	// an operator rebuild a primary without re-asking clients.
+	var replicate func(string, []byte)
+	if coord != nil {
+		replicate = coord.ReplicateServeSpec
+	}
 	svc, err := serve.New(serve.Config{
 		Registry:     reg,
 		RunSweep:     runSweep,
+		Replicate:    replicate,
 		Trace:        trace,
 		Flight:       flight,
 		Dir:          o.stateDir,
@@ -418,6 +475,7 @@ func run(ctx context.Context, o cliOptions) error {
 	}
 	if coord != nil {
 		mux.Handle("/v1/dist/", coord.Handler())
+		mux.Handle("/v1/ha/", coord.Handler())
 		mux.Handle("/metrics/fleet", fed.Handler())
 	}
 	mux.Handle("/", svc.Handler())
@@ -433,9 +491,19 @@ func run(ctx context.Context, o cliOptions) error {
 		o.ready("http://" + ln.Addr().String())
 	}
 
+	var deposed <-chan struct{}
+	if coord != nil {
+		deposed = coord.Deposed() // nil channel (blocks forever) otherwise
+	}
 	select {
 	case err := <-serveErr:
 		return err
+	case <-deposed:
+		// A newer term is live: every grant and ack this process could
+		// make is already fenced, so serving on only confuses clients.
+		fmt.Fprintln(os.Stderr, "gpuscaled: deposed — a newer coordinator term is live; exiting")
+		srv.Close()
+		return dist.ErrDeposed
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(os.Stderr, "gpuscaled: draining")
@@ -462,6 +530,143 @@ func run(ctx context.Context, o cliOptions) error {
 	}
 	fmt.Fprintln(os.Stderr, "gpuscaled: drained")
 	return nil
+}
+
+// coordinatorID names a coordinator (or standby) in term records and
+// status probes: -worker-name if given, else host-pid.
+func coordinatorID(o cliOptions) string {
+	if o.workerName != "" {
+		return o.workerName
+	}
+	host, _ := os.Hostname()
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+// runStandby runs the warm-replica half of an HA pair: tail the
+// primary's replication stream into this process's own state
+// directory, serve term probes (and typed 503s for lease traffic) in
+// the meantime, and — after -promote-after of primary silence —
+// promote into a live coordinator at the next term. The promoted
+// coordinator serves the lease protocol on the same listener, so
+// workers carrying this address in their peer list converge without
+// reconfiguration. It does not serve the job API: replicated jobs
+// already live in the dist layer, and admission stays with whichever
+// process owns the client-facing address.
+func runStandby(ctx context.Context, o cliOptions) error {
+	if o.join == "" {
+		return fmt.Errorf("-standby requires -join <primary URL>")
+	}
+	primaries := splitList(o.join)
+	name := coordinatorID(o)
+	trace, closeTrace, err := openTrace(o.traceOut)
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
+	if trace != nil {
+		trace.SetProcess(name)
+	}
+	flight, err := openFlight(o.stateDir)
+	if err != nil {
+		return err
+	}
+	defer flight.Close()
+	defer dumpOnPanic(flight, o.stateDir)
+	armSigquit(flight, o.stateDir)
+
+	reg := obs.NewRegistry()
+	fed := obs.NewFederation(reg, nil)
+	sb, err := dist.NewStandby(filepath.Join(o.stateDir, "dist"), dist.StandbyOptions{
+		ID:           name,
+		Primary:      primaries[0],
+		PollEvery:    o.heartbeatEvery,
+		PromoteAfter: o.promoteAfter,
+		Metrics:      reg,
+		Coordinator: dist.CoordinatorOptions{
+			ID:         name,
+			DefaultTTL: o.leaseTTL, Metrics: reg, Trace: trace, Flight: flight,
+			OnWorker:        fed.SetTarget,
+			VerifyFraction:  o.verifyFraction,
+			QuarantineAfter: o.quarantineN,
+			// After promotion the old primary is a peer to keep probing:
+			// if an operator wrongly restarts it as primary, whoever holds
+			// the older term steps down.
+			Peers:          primaries,
+			CheckEvery:     o.heartbeatEvery,
+			SelfFenceAfter: o.selfFenceAfter,
+			OnQuarantine: func(worker string) {
+				fed.Depart(worker)
+				fmt.Fprintf(os.Stderr, "gpuscaled: worker %s quarantined and dropped from the federation\n", worker)
+			},
+		},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer sb.Close()
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	// The listener outlives the promotion, so the handler behind it is
+	// swappable: standby surface first, the promoted coordinator's
+	// protocol after.
+	var handler atomic.Value
+	smux := http.NewServeMux()
+	smux.Handle("/debug/flight", obs.FlightHandler(flight))
+	smux.Handle("/metrics", obs.Handler(reg, nil))
+	if o.pprof {
+		mountPprof(smux)
+	}
+	smux.Handle("/", sb.Handler())
+	handler.Store(http.Handler(smux))
+	srv := obs.Server(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "gpuscaled: standby %s on http://%s replicating %s (state in %s)\n",
+		name, ln.Addr(), primaries[0], o.stateDir)
+	if o.ready != nil {
+		o.ready("http://" + ln.Addr().String())
+	}
+
+	coord, err := sb.Run(ctx)
+	if err != nil {
+		return err
+	}
+	if coord == nil { // ctx ended while still a standby
+		return nil
+	}
+	defer coord.Close()
+	pmux := http.NewServeMux()
+	pmux.Handle("/debug/flight", obs.FlightHandler(flight))
+	pmux.Handle("/metrics", obs.Handler(reg, nil))
+	if o.pprof {
+		mountPprof(pmux)
+	}
+	pmux.Handle("/v1/dist/", coord.Handler())
+	pmux.Handle("/v1/ha/", coord.Handler())
+	pmux.Handle("/metrics/fleet", fed.Handler())
+	handler.Store(http.Handler(pmux))
+	fmt.Fprintf(os.Stderr, "gpuscaled: promoted to primary at term %d\n", coord.Term())
+	if err := coord.StartHA(ctx); err != nil {
+		return err
+	}
+	select {
+	case err := <-serveErr:
+		return err
+	case <-coord.Deposed():
+		fmt.Fprintln(os.Stderr, "gpuscaled: deposed — a newer coordinator term is live; exiting")
+		return dist.ErrDeposed
+	case <-ctx.Done():
+		return nil
+	}
 }
 
 // runWorker joins a coordinator's fleet: acquire a row lease, sweep
@@ -517,9 +722,14 @@ func runWorker(ctx context.Context, o cliOptions) error {
 		fmt.Fprintf(os.Stderr, "gpuscaled: worker %s diagnostics on http://%s\n", name, dln.Addr())
 	}
 
+	// -join may list several coordinators (primary plus standbys), and
+	// -peers appends more; the worker rotates between them on transport
+	// failure, 503 not-primary and 409 deposed, so a failover needs no
+	// worker restarts.
+	peers := append(splitList(o.join), splitList(o.peers)...)
 	w, err := dist.NewWorker(dist.WorkerOptions{
 		Name:         name,
-		Coordinator:  o.join,
+		Peers:        peers,
 		Dir:          o.stateDir,
 		Client:       &http.Client{Timeout: 30 * time.Second},
 		SweepWorkers: o.workers,

@@ -39,6 +39,14 @@ type stitched struct {
 	// set of workers the coordinator fenced fleet-wide on this trace.
 	verifiedBy   map[string]int
 	quarantinedW map[string]bool
+	// termCoord maps each coordinator term observed on the trace to the
+	// coordinator IDs that asserted it (more than one ID per term means
+	// two live primaries — an HA invariant violation worth rendering).
+	// grantsByTerm counts lease/steal grants made under each term, and
+	// termFences counts completes rejected for carrying a stale term.
+	termCoord    map[int]map[string]bool
+	grantsByTerm map[int]int
+	termFences   int
 	// procs is the set of process names that contributed events.
 	procs map[string]bool
 	// spans is every span ID minted on this trace; used to detect
@@ -67,6 +75,8 @@ func stitch(evs []obs.Event) []*stitched {
 				spans:        map[string]bool{},
 				verifiedBy:   map[string]int{},
 				quarantinedW: map[string]bool{},
+				termCoord:    map[int]map[string]bool{},
+				grantsByTerm: map[int]int{},
 			}
 			byTrace[id] = st
 		}
@@ -103,6 +113,15 @@ func stitch(evs []obs.Event) []*stitched {
 			if e.Name == "steal" {
 				st.steals++
 			}
+			if _, ok := e.Args["term"]; ok {
+				st.grantsByTerm[int(num(e.Args, "term"))]++
+			}
+		case "term":
+			t := int(num(e.Args, "term"))
+			if st.termCoord[t] == nil {
+				st.termCoord[t] = map[string]bool{}
+			}
+			st.termCoord[t][str(e.Args, "coordinator")] = true
 		case "row":
 			// Only the dist-layer row span: the sweep executor emits its
 			// own "row" leaf event (category "sweep") under the same name.
@@ -120,6 +139,10 @@ func stitch(evs []obs.Event) []*stitched {
 			}
 		case "fence":
 			st.fences++
+			// Term fences carry current_term; epoch fences carry current.
+			if _, ok := e.Args["current_term"]; ok {
+				st.termFences++
+			}
 		case "quarantine":
 			st.quarantinedW[str(e.Args, "worker")] = true
 		}
@@ -223,12 +246,63 @@ func (st *stitched) render(w io.Writer) error {
 		}
 	}
 
+	if err := st.renderTerms(w); err != nil {
+		return err
+	}
 	st.renderAccounting(w)
 	st.renderCriticalPath(w)
 	if st.orphans > 0 {
 		fmt.Fprintf(w, "  warning: %d events reference spans missing from the given files (add the other processes' traces)\n", st.orphans)
 	}
 	fmt.Fprintln(w)
+	return nil
+}
+
+// renderTerms prints the failover story: which coordinator asserted
+// each term, how many grants it made under it, and how many stale
+// completes the term fence caught. Two coordinator IDs on one term is
+// the no-two-live-primaries invariant failing and is flagged as such.
+// Pre-HA traces (no term events, no term args) render nothing.
+func (st *stitched) renderTerms(w io.Writer) error {
+	terms := map[int]bool{}
+	for t := range st.termCoord {
+		terms[t] = true
+	}
+	for t := range st.grantsByTerm {
+		terms[t] = true
+	}
+	if len(terms) == 0 {
+		return nil
+	}
+	order := make([]int, 0, len(terms))
+	for t := range terms {
+		order = append(order, t)
+	}
+	sort.Ints(order)
+	tt := &report.Table{
+		Title:  "Coordinator terms on this trace",
+		Header: []string{"term", "coordinator", "grants"},
+	}
+	split := false
+	for _, t := range order {
+		who := joinSorted(st.termCoord[t])
+		if who == "" {
+			who = "(no term event — add the coordinator's trace)"
+		}
+		if len(st.termCoord[t]) > 1 {
+			split = true
+		}
+		tt.AddRow(t, who, st.grantsByTerm[t])
+	}
+	if err := tt.Render(w); err != nil {
+		return err
+	}
+	if split {
+		fmt.Fprintln(w, "  ANOMALY: multiple coordinators asserted the same term — two live primaries")
+	}
+	if len(order) > 1 {
+		fmt.Fprintf(w, "  failovers: %d (%d stale-term completes fenced)\n", len(order)-1, st.termFences)
+	}
 	return nil
 }
 

@@ -172,3 +172,77 @@ func TestStitchVerifiedAndQuarantinedColumns(t *testing.T) {
 		}
 	}
 }
+
+// TestStitchTermTimeline: a failover trace — term 1 granting row 0,
+// term 2 (a promoted standby) granting row 1, plus one stale-term
+// complete caught by the fence — renders as a term table attributing
+// each grant to the primary that made it. A healthy single-term trace
+// must not be flagged, and two coordinators on one term must.
+func TestStitchTermTimeline(t *testing.T) {
+	trace := "2223456789abcdef0123456789abcdef"
+	evs := fleetEvents(trace)
+	for i := range evs {
+		switch evs[i].Name {
+		case "lease":
+			evs[i].Args["term"] = 1.0
+		case "steal":
+			evs[i].Args["term"] = 2.0
+		}
+	}
+	term := func(n float64, coord string, ts float64) obs.Event {
+		return obs.Event{Name: "term", Cat: "dist", Phase: "i", Trace: trace,
+			Proc: coord, TS: ts,
+			Args: map[string]any{"job": "job-1", "term": n, "coordinator": coord}}
+	}
+	evs = append(evs,
+		term(1, "primary-1", 5),
+		term(2, "standby-1", 15),
+		// The deposed primary's worker retried its complete against the
+		// new primary with the old term and was fenced.
+		obs.Event{Name: "fence", Cat: "dist", Phase: "i", Trace: trace,
+			Proc: "standby-1", TS: 4150,
+			Args: map[string]any{"job": "job-1", "row": 0.0, "worker": "w0",
+				"term": 1.0, "current_term": 2.0}},
+	)
+
+	var sb strings.Builder
+	if err := renderStitched(&sb, evs, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Coordinator terms on this trace",
+		"primary-1", "standby-1",
+		"failovers: 1 (1 stale-term completes fenced)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("term timeline missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "two live primaries") {
+		t.Fatalf("clean failover flagged as split-brain:\n%s", out)
+	}
+
+	// Same term asserted by two coordinators = split brain, flagged.
+	split := append(fleetEvents("3333456789abcdef0123456789abcdef"),
+		term(1, "primary-1", 5), term(1, "primary-2", 6))
+	for i := range split {
+		split[i].Trace = "3333456789abcdef0123456789abcdef"
+	}
+	sb.Reset()
+	if err := renderStitched(&sb, split, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "two live primaries") {
+		t.Fatalf("split-brain trace not flagged:\n%s", sb.String())
+	}
+
+	// A pre-HA trace renders no term table at all.
+	sb.Reset()
+	if err := renderStitched(&sb, fleetEvents("4443456789abcdef0123456789abcdef"), ""); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "Coordinator terms") {
+		t.Fatalf("pre-HA trace grew a term table:\n%s", sb.String())
+	}
+}

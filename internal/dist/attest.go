@@ -35,8 +35,10 @@ import (
 // ProtoVersion names the lease protocol this binary speaks. Workers
 // send it on every acquire; a mismatch — including the empty string a
 // pre-attestation binary sends — is fenced with a typed 409 before
-// any work is granted.
-const ProtoVersion = "gpuscale-dist/2"
+// any work is granted. /3 added coordinator terms to every lease,
+// renew and complete: a /2 binary would drop the second fencing
+// factor, so it must not mix rows with an HA fleet.
+const ProtoVersion = "gpuscale-dist/3"
 
 var (
 	fpOnce sync.Once

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -89,8 +90,33 @@ type CoordinatorOptions struct {
 	// the metrics federation. Called with the coordinator lock held:
 	// it must not call back into the Coordinator.
 	OnQuarantine func(worker string)
+	// ID names this coordinator in ledger term records, trace events
+	// and /v1/ha/status; defaults to "coordinator".
+	ID string
+	// Peers are the other coordinators' base URLs (warm standbys, or
+	// whoever replaced us). StartHA probes them: any peer asserting a
+	// higher term means this coordinator was deposed.
+	Peers []string
+	// ReplTimeout bounds the synchronous append-before-ack barrier: how
+	// long a grant or complete ack waits for the attached standby to
+	// durably apply it before degrading to async replication. Defaults
+	// to 1s.
+	ReplTimeout time.Duration
+	// SelfFenceAfter, when positive, steps the primary down if a
+	// standby that had been tailing goes silent for this long — the
+	// primary cannot tell a dead standby from a partition, and past the
+	// promotion deadline it must assume the standby promoted on the
+	// other side. 0 disables (solo coordinators never self-fence).
+	SelfFenceAfter time.Duration
+	// CheckEvery is the HA housekeeping cadence (peer probes,
+	// self-fence checks, lag instruments). Defaults to 250ms.
+	CheckEvery time.Duration
 	// now is the clock seam for lease-expiry tests.
 	now func() time.Time
+	// initialTerm is the term a promoting standby asserts
+	// (Standby.Promote sets it to replicated-term+1); NewCoordinator
+	// adopts the larger of it and the ledger's recovered term.
+	initialTerm uint64
 }
 
 // rowVote is one worker's re-verification claim about a row.
@@ -106,6 +132,12 @@ type rowState struct {
 	worker string
 	expiry time.Time
 	done   bool
+	// term is the coordinator term the current epoch was granted under
+	// — the second fencing factor renews and completes must echo. A
+	// promoted coordinator recovers it from the grant record, so a
+	// lease granted by the old primary (still within TTL) stays
+	// renewable across the failover.
+	term uint64
 	// span is the current epoch's lease span ID; completes and fences
 	// for this epoch parent their trace events under it.
 	span string
@@ -149,11 +181,26 @@ type Coordinator struct {
 	dir string
 	opt CoordinatorOptions
 	now func() time.Time
+	id  string
+	// repl is the replication log a warm standby tails; always present
+	// (a fleet with no standby just never drains it past the backlog).
+	repl *replLog
 
 	mu        sync.Mutex
 	ledger    *ledger
 	jobs      map[string]*jobState
 	recovered *ledgerRecovery
+	// term is this coordinator's reign, asserted in the ledger at
+	// startup; every record and lease carries it. deposed flips once a
+	// newer term is known to be live, after which every protocol call
+	// is fenced.
+	term      uint64
+	deposed   bool
+	deposedCh chan struct{}
+	// serveSpecs are the serve-level admissions replicated alongside
+	// the lease state, keyed by job ID, so an admitted job survives
+	// primary loss.
+	serveSpecs map[string][]byte
 	// strikes and quarantined are fleet-wide (cross-job) integrity
 	// state, recovered from the ledger on restart.
 	strikes     map[string]int
@@ -161,6 +208,8 @@ type Coordinator struct {
 
 	mGranted, mStolen, mCompleted, mDuplicate, mFenced, mRequeued            *obs.Counter
 	mVersionFenced, mVerified, mMismatch, mQuarantined, mInvalid, mBadAttest *obs.Counter
+	mTermFenced, mReplTimeouts                                               *obs.Counter
+	mTerm, mReplLag                                                          *obs.Gauge
 }
 
 // NewCoordinator opens (or resumes) a coordinator rooted at dir. Lease
@@ -179,10 +228,39 @@ func NewCoordinator(dir string, opt CoordinatorOptions) (*Coordinator, error) {
 		return nil, err
 	}
 	c := &Coordinator{dir: dir, opt: opt, ledger: led, jobs: map[string]*jobState{}, recovered: rec,
-		strikes: rec.strikes, quarantined: rec.quarantined}
+		strikes: rec.strikes, quarantined: rec.quarantined,
+		repl: newReplLog(), deposedCh: make(chan struct{}), serveSpecs: map[string][]byte{}}
 	c.now = opt.now
 	if c.now == nil {
 		c.now = time.Now
+	}
+	c.id = opt.ID
+	if c.id == "" {
+		c.id = "coordinator"
+	}
+	if c.opt.ReplTimeout <= 0 {
+		c.opt.ReplTimeout = time.Second
+	}
+	if c.opt.CheckEvery <= 0 {
+		c.opt.CheckEvery = 250 * time.Millisecond
+	}
+	// Adopt the reign: a crash-restart resumes the ledger's recovered
+	// term; a promoting standby asserts its own, higher one; a fresh
+	// ledger starts at 1. The term record is appended (and fsynced)
+	// before any lease can be granted under it, so the ledger's term
+	// history is complete by construction.
+	c.term = rec.term
+	if opt.initialTerm > c.term {
+		c.term = opt.initialTerm
+	}
+	if c.term == 0 {
+		c.term = 1
+	}
+	if c.term != rec.term {
+		if err := c.logAppend(LedgerRecord{Kind: "term", Worker: c.id, GrantedNS: c.now().UnixNano()}); err != nil {
+			led.close()
+			return nil, err
+		}
 	}
 	if r := opt.Metrics; r != nil {
 		c.mGranted = r.Counter("dist_leases_granted_total", "Row leases granted, including steals.")
@@ -197,8 +275,148 @@ func NewCoordinator(dir string, opt CoordinatorOptions) (*Coordinator, error) {
 		c.mQuarantined = r.Counter("dist_workers_quarantined_total", "Workers fenced fleet-wide after crossing the strike threshold.")
 		c.mInvalid = r.Counter("dist_rows_invalidated_total", "Unverified completes retracted from quarantined workers.")
 		c.mBadAttest = r.Counter("dist_completes_badattest_total", "OK completes rejected because the digest does not hash the shipped planes.")
+		c.mTermFenced = r.Counter("dist_completes_term_fenced_total", "Renews and completes rejected because their lease belongs to a deposed coordinator's term.")
+		c.mReplTimeouts = r.Counter("dist_repl_sync_timeouts_total", "Append-before-ack barriers that timed out waiting for the standby and degraded to async.")
+		c.mTerm = r.Gauge("dist_ha_term", "Coordinator term this process believes is current.")
+		c.mReplLag = r.Gauge("dist_repl_lag_records", "Replication-stream records the attached standby has not yet acknowledged.")
+		c.mTerm.Set(float64(c.term))
 	}
 	return c, nil
+}
+
+// Term returns the coordinator's current term.
+func (c *Coordinator) Term() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.term
+}
+
+// Deposed returns a channel closed when this coordinator learns a
+// newer term is live — the process-level signal to exit with the
+// deposed code.
+func (c *Coordinator) Deposed() <-chan struct{} { return c.deposedCh }
+
+// stepDownLocked fences this coordinator permanently: a newer term is
+// live somewhere, so nothing it grants or acks may reach the matrix
+// again. Caller holds c.mu.
+func (c *Coordinator) stepDownLocked(reason string) {
+	if c.deposed {
+		return
+	}
+	c.deposed = true
+	close(c.deposedCh)
+	if fr := c.opt.Flight; fr != nil {
+		fr.Record("deposed", map[string]any{"coordinator": c.id, "term": c.term, "reason": reason})
+	}
+}
+
+// logAppend writes one record to the ledger under the current term
+// and publishes its exact framed bytes to the replication stream.
+// Caller holds c.mu (or has exclusive access during construction).
+func (c *Coordinator) logAppend(rec LedgerRecord) error {
+	rec.Term = c.term
+	framed, err := frameRecord(rec)
+	if err != nil {
+		return err
+	}
+	if err := c.ledger.appendFrame(framed); err != nil {
+		return err
+	}
+	c.repl.publish(replMsg{Kind: "rec", Frame: framed})
+	return nil
+}
+
+// replBarrier is the synchronous half of append-before-ack: called
+// after c.mu is released, it waits (bounded) for the attached standby
+// to durably apply everything published so far. No standby attached
+// means nothing to wait for; a timeout degrades to async and is
+// surfaced on the instruments rather than failing the worker's call —
+// the fencing rules absorb whatever a failover then loses.
+func (c *Coordinator) replBarrier() {
+	target := c.repl.latest()
+	if !c.repl.waitAcked(target, c.opt.ReplTimeout) && c.mReplTimeouts != nil {
+		c.mReplTimeouts.Inc()
+	}
+	if c.mReplLag != nil {
+		c.mReplLag.Set(float64(c.repl.lag()))
+	}
+}
+
+// ReplicateServeSpec publishes a serve-level admission (the raw job
+// file bytes internal/serve persisted) to the replication stream and
+// waits for the standby to hold it, so a job acked 202 survives
+// primary loss.
+func (c *Coordinator) ReplicateServeSpec(id string, raw []byte) {
+	c.mu.Lock()
+	if !c.deposed {
+		b := append([]byte(nil), raw...)
+		c.serveSpecs[id] = b
+		c.repl.publish(replMsg{Kind: "servespec", Spec: &serveSpec{ID: id, Bytes: b}})
+	}
+	c.mu.Unlock()
+	c.replBarrier()
+}
+
+// StartHA begins this coordinator's term bookkeeping against its
+// peers: an immediate probe (a peer already asserting a higher term
+// means we were deposed while down — return ErrDeposed now, before
+// serving anything), then a background loop that keeps probing and
+// enforces the self-fence. ctx ends the loop.
+func (c *Coordinator) StartHA(ctx context.Context) error {
+	client := &http.Client{Timeout: 2 * time.Second}
+	if err := c.probePeers(ctx, client); err != nil {
+		return err
+	}
+	go func() {
+		tick := time.NewTicker(c.opt.CheckEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-c.deposedCh:
+				return
+			case <-tick.C:
+			}
+			if silent, armed := c.repl.silentFor(time.Now()); armed &&
+				c.opt.SelfFenceAfter > 0 && silent > c.opt.SelfFenceAfter {
+				c.mu.Lock()
+				c.stepDownLocked(fmt.Sprintf("standby silent for %v", silent))
+				c.mu.Unlock()
+				return
+			}
+			if err := c.probePeers(ctx, client); err != nil {
+				return
+			}
+			if c.mReplLag != nil {
+				c.mReplLag.Set(float64(c.repl.lag()))
+			}
+		}
+	}()
+	return nil
+}
+
+// probePeers asks every peer's /v1/ha/status for its term; a higher
+// one deposes this coordinator. Unreachable peers are skipped — a
+// partition must never fence the primary by itself (the worker-carried
+// term and the self-fence cover that side).
+func (c *Coordinator) probePeers(ctx context.Context, client *http.Client) error {
+	c.mu.Lock()
+	term := c.term
+	c.mu.Unlock()
+	for _, p := range c.opt.Peers {
+		st, err := fetchHAStatus(ctx, client, p)
+		if err != nil {
+			continue
+		}
+		if st.Term > term {
+			c.mu.Lock()
+			c.stepDownLocked(fmt.Sprintf("peer %s (%s) asserts term %d", p, st.ID, st.Term))
+			c.mu.Unlock()
+			return fmt.Errorf("%w (peer %s serves term %d, ours is %d)", ErrDeposed, st.ID, st.Term, term)
+		}
+	}
+	return nil
 }
 
 // Quarantined returns the quarantined worker names, sorted.
@@ -239,6 +457,16 @@ func sanitize(s string) string {
 // worker that outlived the coordinator crash can still renew and
 // complete) with a conservative fresh TTL from now.
 func (c *Coordinator) AddJob(job Job) error {
+	if err := c.addJob(job); err != nil {
+		return err
+	}
+	// The registration is on the replication stream: wait for the
+	// standby to hold it before the caller can announce the job.
+	c.replBarrier()
+	return nil
+}
+
+func (c *Coordinator) addJob(job Job) error {
 	if job.Name == "" {
 		return fmt.Errorf("dist: job needs a name")
 	}
@@ -275,7 +503,7 @@ func (c *Coordinator) AddJob(job Job) error {
 	for r, k := range job.Kernels {
 		key := rowKey{job.Name, r}
 		if g, ok := c.recovered.grants[key]; ok {
-			js.rows[r] = rowState{epoch: g.Epoch, worker: g.Worker,
+			js.rows[r] = rowState{epoch: g.Epoch, worker: g.Worker, term: g.Term,
 				expiry: laterOf(now.Add(ttl), time.Unix(0, g.ExpiryNS))}
 		}
 		rs := &js.rows[r]
@@ -344,6 +572,17 @@ func (c *Coordinator) AddJob(job Job) error {
 		}
 	}
 	c.jobs[job.Name] = js
+	// Put the registration on the replication stream so a standby can
+	// re-register the job at promotion (the OnRow hook stays local).
+	if spec, err := specForJob(job, ttl); err == nil {
+		c.repl.publish(replMsg{Kind: "job", Job: &spec})
+	}
+	// A per-job term instant: the stitched trace shows which
+	// coordinator, under which term, served this job's grants.
+	if tw := c.opt.Trace; tw != nil {
+		tw.InstantSpan("term", "dist", 0, job.Trace.Child(), job.Trace.SpanID, map[string]any{
+			"job": job.Name, "term": c.term, "coordinator": c.id})
+	}
 	return nil
 }
 
@@ -476,6 +715,14 @@ func (c *Coordinator) Run(ctx context.Context, job Job) (*sweep.Matrix, *sweep.R
 			m := c.jobs[job.Name].matrix
 			c.mu.Unlock()
 			return m, reportFor(m), ctx.Err()
+		case <-c.deposedCh:
+			// A newer term is live: this coordinator will never see the
+			// job finish. Surface the partial matrix and the deposed
+			// error so the process can exit with the distinct code.
+			c.mu.Lock()
+			m := c.jobs[job.Name].matrix
+			c.mu.Unlock()
+			return m, reportFor(m), ErrDeposed
 		case <-tick.C:
 		}
 	}
@@ -516,6 +763,16 @@ func (c *Coordinator) acquire(req acquireRequest) (*Lease, error) {
 	if c.quarantined[worker] {
 		return nil, fmt.Errorf("%w: %s", errQuarantined, worker)
 	}
+	if req.Term > c.term {
+		// The worker has seen a lease from a newer term: a standby
+		// promoted while we were partitioned from it, and the worker's
+		// own traffic is the first we hear of it. Step down — granting
+		// anything now would be a second live primary.
+		c.stepDownLocked(fmt.Sprintf("worker %s carries term %d", worker, req.Term))
+	}
+	if c.deposed {
+		return nil, ErrDeposed
+	}
 	now := c.now()
 	var names []string
 	for name := range c.jobs {
@@ -543,13 +800,14 @@ func (c *Coordinator) acquire(req acquireRequest) (*Lease, error) {
 				Steal: steal, Early: rs.releasedEarly}
 			// Fsync the grant BEFORE the worker can see it: a crash
 			// after this point recovers an epoch some worker may hold.
-			if err := c.ledger.append(rec); err != nil {
+			if err := c.logAppend(rec); err != nil {
 				return nil, err
 			}
 			// The lease span: a fresh child of the job span, minted per
 			// grant so each epoch is its own node in the stitched trace.
 			leaseSC := js.job.Trace.Child()
 			rs.epoch, rs.worker, rs.expiry, rs.span = epoch, worker, expiry, leaseSC.SpanID
+			rs.term = c.term
 			rs.releasedEarly = false
 			kraw, err := encodeKernel(js.job.Kernels[r])
 			if err != nil {
@@ -567,14 +825,14 @@ func (c *Coordinator) acquire(req acquireRequest) (*Lease, error) {
 			}
 			if tw := c.opt.Trace; tw != nil {
 				tw.InstantSpan(ev, "dist", 0, leaseSC, js.job.Trace.SpanID, map[string]any{
-					"job": name, "row": r, "epoch": epoch, "worker": worker})
+					"job": name, "row": r, "epoch": epoch, "worker": worker, "term": c.term})
 			}
 			if fr := c.opt.Flight; fr != nil {
 				fr.Record(ev, map[string]any{
-					"job": name, "row": r, "epoch": epoch, "worker": worker})
+					"job": name, "row": r, "epoch": epoch, "worker": worker, "term": c.term})
 			}
 			return &Lease{
-				Job: name, Row: r, Epoch: epoch, Kernel: kraw,
+				Job: name, Row: r, Epoch: epoch, Term: c.term, Kernel: kraw,
 				Space: SpecFor(js.job.Space),
 				Seed:  js.job.Seed + int64(r), NoiseStdDev: js.job.NoiseStdDev,
 				Engine: js.job.Engine.String(), TTLMillis: js.ttl.Milliseconds(),
@@ -587,6 +845,11 @@ func (c *Coordinator) acquire(req acquireRequest) (*Lease, error) {
 
 // errStale marks a fenced (stale-epoch) renew or complete.
 var errStale = fmt.Errorf("dist: stale lease epoch")
+
+// errStaleTerm marks a renew or complete whose lease was granted
+// under a term that is no longer the row's current one — a deposed
+// coordinator's grant surviving past a failover it must not survive.
+var errStaleTerm = fmt.Errorf("dist: stale coordinator term")
 
 // errUnknown marks a renew/complete for a row the coordinator does
 // not know.
@@ -626,6 +889,9 @@ func voteBlocked(rs *rowState, worker string, now time.Time, ttl time.Duration) 
 func (c *Coordinator) renew(req renewRequest) (renewResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.deposed {
+		return renewResponse{}, ErrDeposed
+	}
 	if c.quarantined[req.Worker] {
 		return renewResponse{}, fmt.Errorf("%w: %s", errQuarantined, req.Worker)
 	}
@@ -636,6 +902,13 @@ func (c *Coordinator) renew(req renewRequest) (renewResponse, error) {
 	rs := &js.rows[req.Row]
 	if rs.done {
 		return renewResponse{Done: true}, nil
+	}
+	if req.Term != rs.term {
+		if c.mTermFenced != nil {
+			c.mTermFenced.Inc()
+		}
+		return renewResponse{}, fmt.Errorf("%w: lease for %s row %d holds term %d, current is %d",
+			errStaleTerm, req.Job, req.Row, req.Term, rs.term)
 	}
 	if req.Epoch != rs.epoch {
 		return renewResponse{}, errStale
@@ -656,6 +929,9 @@ func (c *Coordinator) renew(req renewRequest) (renewResponse, error) {
 func (c *Coordinator) complete(req completeRequest) (completeResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.deposed {
+		return completeResponse{}, ErrDeposed
+	}
 	if c.quarantined[req.Worker] {
 		return completeResponse{}, fmt.Errorf("%w: %s", errQuarantined, req.Worker)
 	}
@@ -665,10 +941,36 @@ func (c *Coordinator) complete(req completeRequest) (completeResponse, error) {
 	}
 	rs := &js.rows[req.Row]
 	if rs.done {
+		// Idempotent even across a failover: a retried complete for a
+		// row that already landed acks as a duplicate regardless of
+		// which term granted it.
 		if c.mDuplicate != nil {
 			c.mDuplicate.Inc()
 		}
 		return completeResponse{Duplicate: true}, nil
+	}
+	if req.Term != rs.term {
+		// The term fence: this lease was granted by a coordinator whose
+		// reign ended (or predates the row's current grant). Like the
+		// epoch fence one level down, the result would be bit-identical
+		// — rejecting it is what keeps "which primary granted which
+		// rows" answerable from the ledger.
+		if c.mTermFenced != nil {
+			c.mTermFenced.Inc()
+		}
+		if tw := c.opt.Trace; tw != nil {
+			tw.InstantSpan("fence", "dist", 0,
+				obs.SpanContext{TraceID: js.job.Trace.TraceID}, rs.span, map[string]any{
+					"job": req.Job, "row": req.Row, "epoch": req.Epoch, "worker": req.Worker,
+					"term": req.Term, "current_term": rs.term})
+		}
+		if fr := c.opt.Flight; fr != nil {
+			fr.Record("term-fence", map[string]any{
+				"job": req.Job, "row": req.Row, "worker": req.Worker,
+				"term": req.Term, "current_term": rs.term})
+		}
+		return completeResponse{}, fmt.Errorf("%w: lease for %s row %d holds term %d, current is %d",
+			errStaleTerm, req.Job, req.Row, req.Term, rs.term)
 	}
 	if req.Epoch != rs.epoch {
 		// The fence: a worker whose lease was stolen finished anyway.
@@ -760,7 +1062,17 @@ func (c *Coordinator) acceptLocked(js *jobState, rs *rowState, req completeReque
 		zeroRow(js.matrix, r)
 		return completeResponse{}, err
 	}
-	if err := c.ledger.append(LedgerRecord{Kind: "complete", Job: req.Job, Row: r,
+	// Replicate the planes before the complete record, mirroring the
+	// local journal-then-ledger order: the standby's journal append for
+	// this row lands at a lower cursor than its complete frame, so a
+	// promotion between the two recovers done-ness from the journal
+	// exactly like a local crash would.
+	c.repl.publish(replMsg{Kind: "row", Row: &RowPlanes{
+		Job: req.Job, Row: r, Kernel: js.order[r],
+		Tput:   append([]float64(nil), req.Tput...),
+		TimeNS: append([]float64(nil), req.TimeNS...),
+		Bound:  append([]int(nil), req.Bound...)}})
+	if err := c.logAppend(LedgerRecord{Kind: "complete", Job: req.Job, Row: r,
 		Epoch: req.Epoch, Worker: req.Worker, Digest: req.Digest, Verified: verified}); err != nil {
 		return completeResponse{}, err
 	}
@@ -825,7 +1137,7 @@ func (c *Coordinator) voteLocked(js *jobState, rs *rowState, req completeRequest
 	}
 	// Fsync the vote before any ack: a restarted coordinator must
 	// remember every claim it held a row open for.
-	if err := c.ledger.append(LedgerRecord{Kind: "attest", Job: req.Job, Row: req.Row,
+	if err := c.logAppend(LedgerRecord{Kind: "attest", Job: req.Job, Row: req.Row,
 		Epoch: req.Epoch, Worker: req.Worker, Digest: req.Digest}); err != nil {
 		return completeResponse{}, err
 	}
@@ -886,7 +1198,7 @@ func (c *Coordinator) strikeLocked(js *jobState, worker, job string, row int, di
 		return
 	}
 	c.strikes[worker]++
-	c.ledger.append(LedgerRecord{Kind: "strike", Job: job, Row: row, Worker: worker, Digest: digest}) //nolint:errcheck // best-effort audit
+	c.logAppend(LedgerRecord{Kind: "strike", Job: job, Row: row, Worker: worker, Digest: digest}) //nolint:errcheck // best-effort audit
 	if c.mMismatch != nil {
 		c.mMismatch.Inc()
 	}
@@ -914,7 +1226,7 @@ func (c *Coordinator) quarantineLocked(js *jobState, worker, job string, row int
 		return
 	}
 	c.quarantined[worker] = true
-	c.ledger.append(LedgerRecord{Kind: "quarantine", Job: job, Row: row, Worker: worker, Digest: digest}) //nolint:errcheck // best-effort audit
+	c.logAppend(LedgerRecord{Kind: "quarantine", Job: job, Row: row, Worker: worker, Digest: digest}) //nolint:errcheck // best-effort audit
 	if c.mQuarantined != nil {
 		c.mQuarantined.Inc()
 	}
@@ -959,7 +1271,7 @@ func (c *Coordinator) quarantineLocked(js *jobState, worker, job string, row int
 // holds c.mu.
 func (c *Coordinator) invalidateLocked(js *jobState, r int) {
 	rs := &js.rows[r]
-	c.ledger.append(LedgerRecord{Kind: "invalidate", Job: js.job.Name, Row: r,
+	c.logAppend(LedgerRecord{Kind: "invalidate", Job: js.job.Name, Row: r,
 		Epoch: rs.epoch, Worker: rs.completedBy, Digest: rs.digest}) //nolint:errcheck // best-effort audit
 	rs.votes = []rowVote{{worker: rs.completedBy, digest: rs.digest, epoch: rs.epoch}}
 	rs.done = false
@@ -1026,6 +1338,12 @@ func (c *Coordinator) Handler() http.Handler {
 			w.WriteHeader(http.StatusNoContent)
 			return
 		}
+		// Append-before-ack, replication half: the grant record is on
+		// the stream; hold the response until the standby holds it too
+		// (bounded — a timeout degrades to async, never fails the
+		// lease). Runs after c.mu is released, so a publisher never
+		// blocks the snapshot or tail handlers.
+		c.replBarrier()
 		writeJSON(w, http.StatusOK, lease)
 	})
 	mux.HandleFunc("/v1/dist/renew", func(w http.ResponseWriter, r *http.Request) {
@@ -1050,6 +1368,10 @@ func (c *Coordinator) Handler() http.Handler {
 			writeLeaseError(w, err)
 			return
 		}
+		// As with grants: the worker's ack means the complete — planes
+		// and record — reached the standby (or the barrier degraded and
+		// said so on the instruments).
+		c.replBarrier()
 		writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("/v1/dist/job", func(w http.ResponseWriter, r *http.Request) {
@@ -1064,7 +1386,110 @@ func (c *Coordinator) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, st)
 	})
+	mux.HandleFunc("/v1/ha/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.haStatus())
+	})
+	mux.HandleFunc("/v1/ha/tail", func(w http.ResponseWriter, r *http.Request) {
+		c.mu.Lock()
+		deposed, term := c.deposed, c.term
+		c.mu.Unlock()
+		if deposed {
+			writeLeaseError(w, ErrDeposed)
+			return
+		}
+		cursor, err := strconv.ParseInt(r.URL.Query().Get("cursor"), 10, 64)
+		if err != nil || cursor < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad cursor"})
+			return
+		}
+		msgs, next, ok := c.repl.tail(cursor, 500*time.Millisecond)
+		if !ok {
+			writeJSON(w, http.StatusConflict, errorBody{
+				Error: "cursor outside the retained replication window", Code: "out-of-sync"})
+			return
+		}
+		writeJSON(w, http.StatusOK, tailResponse{ID: c.id, Term: term, Next: next, Msgs: msgs})
+	})
+	mux.HandleFunc("/v1/ha/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		snap, err := c.snapshot()
+		if err != nil {
+			writeLeaseError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	})
 	return mux
+}
+
+// haStatus is this coordinator's probe view.
+func (c *Coordinator) haStatus() HAStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	role := "primary"
+	if c.deposed {
+		role = "deposed"
+	}
+	return HAStatus{ID: c.id, Role: role, Term: c.term, Cursor: c.repl.latest()}
+}
+
+// snapshot builds a consistent full copy of the durable state for a
+// standby that cannot catch up from the tail: the exact ledger bytes,
+// every job's spec and completed rows, every replicated serve
+// admission, and the cursor at which tailing resumes. Taken under
+// c.mu, so no publish can interleave — the cursor and the state
+// describe the same instant.
+func (c *Coordinator) snapshot() (*haSnapshot, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.deposed {
+		return nil, ErrDeposed
+	}
+	ledgerBytes, err := os.ReadFile(c.LedgerPath())
+	if err != nil {
+		return nil, fmt.Errorf("dist: reading ledger for snapshot: %w", err)
+	}
+	// The file may extend past the clean prefix if a recent append
+	// failed mid-write; ship only what was acked.
+	if int64(len(ledgerBytes)) > c.ledger.good {
+		ledgerBytes = ledgerBytes[:c.ledger.good]
+	}
+	snap := &haSnapshot{ID: c.id, Term: c.term, Cursor: c.repl.latest(), Ledger: ledgerBytes}
+	var names []string
+	for name := range c.jobs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		js := c.jobs[name]
+		spec, err := specForJob(js.job, js.ttl)
+		if err != nil {
+			return nil, err
+		}
+		snap.Jobs = append(snap.Jobs, spec)
+		for r := range js.rows {
+			if !js.rows[r].done {
+				continue
+			}
+			bound := make([]int, len(js.matrix.Bound[r]))
+			for i, b := range js.matrix.Bound[r] {
+				bound[i] = int(b)
+			}
+			snap.Rows = append(snap.Rows, RowPlanes{
+				Job: name, Row: r, Kernel: js.order[r],
+				Tput:   append([]float64(nil), js.matrix.Throughput[r]...),
+				TimeNS: append([]float64(nil), js.matrix.TimeNS[r]...),
+				Bound:  bound})
+		}
+	}
+	var ids []string
+	for id := range c.serveSpecs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		snap.Specs = append(snap.Specs, serveSpec{ID: id, Bytes: c.serveSpecs[id]})
+	}
+	return snap, nil
 }
 
 // decodeInto parses a POST body, answering 4xx itself on failure.
@@ -1090,6 +1515,10 @@ func writeLeaseError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, errStale):
 		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error(), Code: "stale-epoch"})
+	case errors.Is(err, errStaleTerm):
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error(), Code: "stale-term"})
+	case errors.Is(err, ErrDeposed):
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error(), Code: "deposed"})
 	case errors.Is(err, errVersionMismatch):
 		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error(), Code: "version-mismatch"})
 	case errors.Is(err, errQuarantined):

@@ -82,7 +82,7 @@ func okComplete(t *testing.T, l *Lease, worker string) completeRequest {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return completeRequest{Job: l.Job, Row: l.Row, Epoch: l.Epoch, Worker: worker, OK: true,
+	return completeRequest{Job: l.Job, Row: l.Row, Epoch: l.Epoch, Term: l.Term, Worker: worker, OK: true,
 		Tput: m.Throughput[0], TimeNS: m.TimeNS[0], Bound: bounds, Digest: digest}
 }
 
@@ -220,7 +220,7 @@ func TestRenewalAfterCoordinatorRestart(t *testing.T) {
 	if err := c2.AddJob(job); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := c2.renew(renewRequest{Job: l.Job, Row: l.Row, Epoch: l.Epoch, Worker: "w1"})
+	resp, err := c2.renew(renewRequest{Job: l.Job, Row: l.Row, Epoch: l.Epoch, Term: l.Term, Worker: "w1"})
 	if err != nil {
 		t.Fatalf("renewal with pre-crash epoch should succeed after restart: %v", err)
 	}
@@ -228,7 +228,7 @@ func TestRenewalAfterCoordinatorRestart(t *testing.T) {
 		t.Fatalf("renewal should return a fresh TTL: %+v", resp)
 	}
 	// A wrong epoch is still fenced after restart.
-	if _, err := c2.renew(renewRequest{Job: l.Job, Row: l.Row, Epoch: l.Epoch + 7, Worker: "x"}); err != errStale {
+	if _, err := c2.renew(renewRequest{Job: l.Job, Row: l.Row, Epoch: l.Epoch + 7, Term: l.Term, Worker: "x"}); err != errStale {
 		t.Fatalf("bogus epoch should be fenced, got %v", err)
 	}
 	if _, err := c2.complete(okComplete(t, l, "w1")); err != nil {
@@ -291,7 +291,7 @@ func TestNotOKCompleteRequeues(t *testing.T) {
 		t.Fatal(err)
 	}
 	l, _ := c.acquire(acq("w1"))
-	resp, err := c.complete(completeRequest{Job: l.Job, Row: l.Row, Epoch: l.Epoch, Worker: "w1"})
+	resp, err := c.complete(completeRequest{Job: l.Job, Row: l.Row, Epoch: l.Epoch, Term: l.Term, Worker: "w1"})
 	if err != nil || !resp.Requeued {
 		t.Fatalf("not-OK complete should requeue: %+v %v", resp, err)
 	}
@@ -355,7 +355,7 @@ func TestLedgerTornTailSalvage(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The acked grant survived the torn tail.
-	if _, err := c2.renew(renewRequest{Job: l.Job, Row: l.Row, Epoch: l.Epoch, Worker: "w1"}); err != nil {
+	if _, err := c2.renew(renewRequest{Job: l.Job, Row: l.Row, Epoch: l.Epoch, Term: l.Term, Worker: "w1"}); err != nil {
 		t.Fatalf("grant lost to torn tail: %v", err)
 	}
 }

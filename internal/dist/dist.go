@@ -74,6 +74,11 @@ type Lease struct {
 	Job   string `json:"job"`
 	Row   int    `json:"row"`
 	Epoch uint64 `json:"epoch"`
+	// Term is the coordinator term the lease was granted under — the
+	// second fencing factor. Epochs fence stale workers within one
+	// coordinator's reign; terms fence a deposed coordinator's grants
+	// after a standby promoted. Renews and completes echo both.
+	Term uint64 `json:"term,omitempty"`
 	// Kernel is the row's kernel as a one-element kernel JSON array
 	// (the kernel.WriteAll wire form).
 	Kernel json.RawMessage `json:"kernel"`
@@ -129,6 +134,13 @@ type acquireRequest struct {
 	// is granted.
 	Proto       string `json:"proto,omitempty"`
 	Fingerprint string `json:"fingerprint,omitempty"`
+	// Term is the highest coordinator term this worker has observed on
+	// any lease. A coordinator that receives an acquire carrying a term
+	// above its own has been deposed and just didn't know it yet — the
+	// worker traffic itself carries the fencing information, so a
+	// partitioned old primary steps down as soon as any re-joined
+	// worker talks to it.
+	Term uint64 `json:"term,omitempty"`
 }
 
 // renewRequest extends a held lease.
@@ -136,6 +148,7 @@ type renewRequest struct {
 	Job    string `json:"job"`
 	Row    int    `json:"row"`
 	Epoch  uint64 `json:"epoch"`
+	Term   uint64 `json:"term,omitempty"`
 	Worker string `json:"worker"`
 }
 
@@ -156,6 +169,7 @@ type completeRequest struct {
 	Job    string    `json:"job"`
 	Row    int       `json:"row"`
 	Epoch  uint64    `json:"epoch"`
+	Term   uint64    `json:"term,omitempty"`
 	Worker string    `json:"worker"`
 	OK     bool      `json:"ok"`
 	Tput   []float64 `json:"tput,omitempty"`
@@ -203,9 +217,11 @@ type JobStatus struct {
 
 // errorBody is the JSON error envelope, matching internal/serve. Code
 // discriminates the 4xx family machine-side: "stale-epoch" (the
-// fence), "version-mismatch" (the handshake), "quarantined" (the
+// fence), "stale-term" (the lease belongs to a deposed coordinator's
+// reign), "version-mismatch" (the handshake), "quarantined" (the
 // worker is fenced fleet-wide), "bad-attestation" (digest/payload
-// disagreement).
+// disagreement), "deposed" (this coordinator lost its term — find the
+// new primary), "not-primary" (a warm standby that has not promoted).
 type errorBody struct {
 	Error string `json:"error"`
 	Code  string `json:"code,omitempty"`

@@ -42,12 +42,21 @@ type LedgerRecord struct {
 	// plane — "attest" (a re-verification vote), "strike" (a worker's
 	// digest lost a vote), "quarantine" (a worker crossed the strike
 	// threshold and is fenced fleet-wide), "invalidate" (a quarantined
-	// worker's unverified complete was retracted and the row reopened).
+	// worker's unverified complete was retracted and the row reopened)
+	// — or "term", the HA plane: a coordinator (named in Worker)
+	// asserting it now serves the fleet under Term. Terms increase
+	// strictly monotonically, and every other record carries the term
+	// it was written under, which is what lets AuditLedger prove no
+	// two primaries were ever live at once.
 	Kind   string `json:"kind"`
-	Job    string `json:"job"`
-	Row    int    `json:"row"`
-	Epoch  uint64 `json:"epoch"`
+	Job    string `json:"job,omitempty"`
+	Row    int    `json:"row,omitempty"`
+	Epoch  uint64 `json:"epoch,omitempty"`
 	Worker string `json:"worker,omitempty"`
+	// Term is the coordinator term the record was written under (the
+	// asserted term itself on a "term" record). 0 on ledgers from
+	// before the HA plane existed.
+	Term uint64 `json:"term,omitempty"`
 	// GrantedNS and ExpiryNS bound a grant's validity on the
 	// coordinator's clock (UnixNano). ExpiryNS is the grant-time
 	// expiry; renewals may extend the live lease beyond it in memory,
@@ -92,6 +101,9 @@ type ledgerRecovery struct {
 	// records.
 	strikes     map[string]int
 	quarantined map[string]bool
+	// term is the highest coordinator term asserted in the ledger; 0
+	// when the ledger predates the HA plane.
+	term uint64
 	// Dropped is the salvage report: bytes of torn tail cut off.
 	dropped int64
 }
@@ -173,6 +185,10 @@ func openLedger(path string) (*ledger, *ledgerRecovery, error) {
 	for _, r := range records {
 		k := rowKey{r.Job, r.Row}
 		switch r.Kind {
+		case "term":
+			if r.Term > rec.term {
+				rec.term = r.Term
+			}
 		case "grant":
 			rec.grants[k] = r
 		case "complete":
@@ -272,15 +288,33 @@ func parseLedgerRecord(data []byte, off int64) (rec LedgerRecord, next int64, ok
 	return rec, off + start + plen + 1, true
 }
 
+// frameRecord renders one record in the ledger's CRC wire framing.
+// Framing is deterministic (struct field order fixes the JSON), which
+// is what lets a standby replicate frames instead of records and end
+// up with a replica ledger byte-identical to the primary's.
+func frameRecord(rec LedgerRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("dist: encoding ledger record: %w", err)
+	}
+	return []byte(fmt.Sprintf("%08x %d %s\n", crc32.ChecksumIEEE(payload), len(payload), payload)), nil
+}
+
 // append frames, writes and fsyncs one record; on any failure the
 // file is truncated back to the clean prefix so the ledger never
 // accumulates garbage in-process.
 func (l *ledger) append(rec LedgerRecord) error {
-	payload, err := json.Marshal(rec)
+	framed, err := frameRecord(rec)
 	if err != nil {
-		return fmt.Errorf("dist: encoding ledger record: %w", err)
+		return err
 	}
-	framed := []byte(fmt.Sprintf("%08x %d %s\n", crc32.ChecksumIEEE(payload), len(payload), payload))
+	return l.appendFrame(framed)
+}
+
+// appendFrame writes and fsyncs an already-framed record — the
+// replication receive path, where the standby appends the primary's
+// exact bytes.
+func (l *ledger) appendFrame(framed []byte) error {
 	if err := l.writeAt(l.good, framed); err != nil {
 		return fmt.Errorf("dist: appending ledger record: %w", err)
 	}
@@ -344,6 +378,10 @@ type LedgerAudit struct {
 	// Strikes are the "strike" records: every vote a worker's digest
 	// lost.
 	Strikes []LedgerRecord
+	// Terms are the "term" records in ledger order: every coordinator
+	// that ever served this ledger's fleet, in strictly increasing
+	// term order. Empty on pre-HA ledgers.
+	Terms []LedgerRecord
 }
 
 // AuditLedger checks the exactly-once, no-two-live-epochs, and
@@ -357,7 +395,12 @@ type LedgerAudit struct {
 //     only after an "invalidate" retracted the first;
 //   - an invalidate only retracts a row that was complete;
 //   - no complete or attest from a worker already quarantined at that
-//     point in the ledger.
+//     point in the ledger;
+//   - coordinator terms increase strictly monotonically, and every
+//     record is written under the term current at its position — the
+//     no-two-live-primaries invariant: once a promoted standby's term
+//     record lands, nothing from the deposed primary's term can ever
+//     follow it.
 //
 // Returns the audit summary or an error describing the first
 // violation.
@@ -370,6 +413,7 @@ func AuditLedger(recs []LedgerRecord) (*LedgerAudit, error) {
 	quarantined := map[string]bool{}
 	audit := &LedgerAudit{Grants: map[string]int{}}
 	var keys []rowKey
+	var currentTerm uint64
 	epochGranted := func(a *rowAudit, epoch uint64) bool {
 		for _, g := range a.grants {
 			if g.Epoch == epoch {
@@ -379,6 +423,18 @@ func AuditLedger(recs []LedgerRecord) (*LedgerAudit, error) {
 		return false
 	}
 	for _, r := range recs {
+		if r.Kind == "term" {
+			if r.Term <= currentTerm {
+				return nil, fmt.Errorf("dist: audit: term regressed %d -> %d (coordinator %s)", currentTerm, r.Term, r.Worker)
+			}
+			currentTerm = r.Term
+			audit.Terms = append(audit.Terms, r)
+			continue
+		}
+		if r.Term != currentTerm {
+			return nil, fmt.Errorf("dist: audit: %s record for %s row %d written under term %d while term %d was current — two live primaries",
+				r.Kind, r.Job, r.Row, r.Term, currentTerm)
+		}
 		k := rowKey{r.Job, r.Row}
 		a := rows[k]
 		if a == nil {

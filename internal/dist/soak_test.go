@@ -31,6 +31,7 @@ import (
 	"os"
 	"os/exec"
 	"strconv"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -55,9 +56,24 @@ func workerMain() int {
 		DropResponseRate: 0.10, DuplicateRate: 0.10, DelayRate: 0.20,
 		Delay: 2 * time.Millisecond, Seed: seed,
 	}
+	// The failover soak additionally severs links: seeded partition
+	// windows (symmetric and one-way) on the worker's transport.
+	if rate, err := strconv.ParseFloat(os.Getenv("GPUSCALE_DIST_PARTITION_RATE"), 64); err == nil && rate > 0 {
+		in.PartitionRate = rate
+		in.PartitionFor = 150 * time.Millisecond
+	}
+	// GPUSCALE_DIST_PEERS lists every coordinator (primary + standbys)
+	// comma separated; the worker rotates through them on error.
+	var peers []string
+	for _, p := range strings.Split(os.Getenv("GPUSCALE_DIST_PEERS"), ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
 	w, err := NewWorker(WorkerOptions{
 		Name:         os.Getenv("GPUSCALE_DIST_NAME"),
 		Coordinator:  os.Getenv("GPUSCALE_DIST_URL"),
+		Peers:        peers,
 		Dir:          os.Getenv("GPUSCALE_DIST_DIR"),
 		Client:       &http.Client{Transport: in.WrapTransport(nil), Timeout: 10 * time.Second},
 		SweepWorkers: 2, Retries: 2, IdleSleep: 10 * time.Millisecond,
@@ -144,7 +160,7 @@ type workerProc struct {
 	name string
 }
 
-func spawnWorker(t *testing.T, url, dir, name string, faultSeed int64) *workerProc {
+func spawnWorker(t *testing.T, url, dir, name string, faultSeed int64, extraEnv ...string) *workerProc {
 	t.Helper()
 	cmd := exec.Command(os.Args[0], "-test.run=^$")
 	cmd.Env = append(os.Environ(),
@@ -154,6 +170,7 @@ func spawnWorker(t *testing.T, url, dir, name string, faultSeed int64) *workerPr
 		"GPUSCALE_DIST_NAME="+name,
 		"GPUSCALE_DIST_FAULT_SEED="+strconv.FormatInt(faultSeed, 10),
 	)
+	cmd.Env = append(cmd.Env, extraEnv...)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		t.Fatalf("spawning worker %s: %v", name, err)

@@ -6,10 +6,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"gpuscale/internal/fault"
@@ -24,6 +27,13 @@ type WorkerOptions struct {
 	Name string
 	// Coordinator is the coordinator's base URL (http://host:port).
 	Coordinator string
+	// Peers lists every coordinator this worker may talk to — the
+	// primary plus any warm standbys. The worker sticks to one until it
+	// errors (transport failure, 503 not-primary, 409 deposed), then
+	// rotates to the next: after a failover the fleet re-joins the
+	// promoted standby without operator action, and in-flight leases
+	// within TTL complete there. Empty means just Coordinator.
+	Peers []string
 	// Dir is where the worker keeps its per-job row journals; pointing
 	// a restarted worker at the same directory lets it serve re-leased
 	// rows it already finished from disk instead of recomputing.
@@ -40,6 +50,12 @@ type WorkerOptions struct {
 	// IdleSleep is the pause after "no work available"; defaults to
 	// 50ms.
 	IdleSleep time.Duration
+	// MaxBackoff caps the acquire-error backoff window. Errors back off
+	// exponentially from IdleSleep with full jitter (a uniform draw
+	// over the window), so a whole fleet reconnecting after a failover
+	// spreads its retries instead of thundering-herding the new
+	// primary. Defaults to 2s.
+	MaxBackoff time.Duration
 	// Metrics, when non-nil, receives worker-side counters and the
 	// renewal latency histogram.
 	Metrics *obs.Registry
@@ -75,6 +91,17 @@ type Worker struct {
 	o        WorkerOptions
 	client   *http.Client
 	journals map[string]*sweep.Journal
+	// peer indexes o.Peers: the coordinator currently being used.
+	// Rotated (atomically — the renew loop and the complete retries run
+	// on their own goroutines) whenever that coordinator errors.
+	peer atomic.Int32
+	// maxTerm is the highest coordinator term seen on any lease; sent
+	// on every acquire, so worker traffic itself deposes a partitioned
+	// old primary. Only the Run goroutine touches it.
+	maxTerm uint64
+	// rng drives the full-jitter backoff; only the Run goroutine uses
+	// it.
+	rng *rand.Rand
 
 	mRows, mLost *obs.Counter
 	hRenew       *obs.Histogram
@@ -85,8 +112,11 @@ func NewWorker(o WorkerOptions) (*Worker, error) {
 	if o.Name == "" {
 		return nil, fmt.Errorf("dist: worker needs a name")
 	}
-	if o.Coordinator == "" {
-		return nil, fmt.Errorf("dist: worker needs a coordinator URL")
+	if len(o.Peers) == 0 && o.Coordinator != "" {
+		o.Peers = []string{o.Coordinator}
+	}
+	if len(o.Peers) == 0 {
+		return nil, fmt.Errorf("dist: worker needs a coordinator URL or peer list")
 	}
 	if o.Dir == "" {
 		return nil, fmt.Errorf("dist: worker needs a journal dir")
@@ -97,7 +127,15 @@ func NewWorker(o WorkerOptions) (*Worker, error) {
 	if o.IdleSleep <= 0 {
 		o.IdleSleep = 50 * time.Millisecond
 	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
 	w := &Worker{o: o, client: o.Client, journals: map[string]*sweep.Journal{}}
+	// Seed from the worker name so chaos runs replay; distinct names
+	// give distinct jitter streams, which is the whole point.
+	h := fnv.New64a()
+	io.WriteString(h, o.Name)
+	w.rng = rand.New(rand.NewSource(int64(h.Sum64())))
 	if w.client == nil {
 		w.client = &http.Client{Timeout: 30 * time.Second}
 	}
@@ -135,6 +173,7 @@ func (w *Worker) JournalPath(job string) string {
 // wrong and fenced it) — retrying either would just hammer a 409
 // forever.
 func (w *Worker) Run(ctx context.Context) error {
+	failures := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil
@@ -143,13 +182,60 @@ func (w *Worker) Run(ctx context.Context) error {
 		if errors.Is(err, ErrVersionFenced) || errors.Is(err, ErrQuarantined) {
 			return err
 		}
-		if err != nil || lease == nil {
+		if err != nil {
+			// The coordinator we were on errored (down, deposed, or a
+			// standby that isn't primary): rotate to the next peer and
+			// back off with full jitter so a reconnecting fleet doesn't
+			// thundering-herd the new primary.
+			w.rotate()
+			failures++
+			if !sleepCtx(ctx, backoffDelay(w.o.IdleSleep, w.o.MaxBackoff, failures-1, w.rng.Float64())) {
+				return nil
+			}
+			continue
+		}
+		failures = 0
+		if lease == nil {
 			if !sleepCtx(ctx, w.o.IdleSleep) {
 				return nil
 			}
 			continue
 		}
 		w.runLease(ctx, lease)
+	}
+}
+
+// backoffDelay is the rejoin schedule: a uniform draw (roll in [0,1))
+// over an exponentially growing window — base·2^attempt, capped at
+// max. Full jitter rather than jittered-exponential: the delays of N
+// workers retrying the same failed primary spread over the whole
+// window, which is what flattens the reconnect spike after a
+// failover.
+func backoffDelay(base, max time.Duration, attempt int, roll float64) time.Duration {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	window := base
+	for i := 0; i < attempt && window < max; i++ {
+		window *= 2
+	}
+	if window > max {
+		window = max
+	}
+	d := time.Duration(roll * float64(window))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// rotate moves to the next peer in the list.
+func (w *Worker) rotate() {
+	if len(w.o.Peers) > 1 {
+		w.peer.Add(1)
 	}
 }
 
@@ -175,7 +261,7 @@ func (w *Worker) acquire(ctx context.Context) (*Lease, error) {
 	var lease Lease
 	status, code, err := w.post(ctx, "/v1/dist/lease",
 		acquireRequest{Worker: w.o.Name, MetricsURL: w.o.MetricsURL,
-			Proto: proto, Fingerprint: EngineFingerprint()}, &lease)
+			Proto: proto, Fingerprint: EngineFingerprint(), Term: w.maxTerm}, &lease)
 	if err != nil {
 		return nil, err
 	}
@@ -187,7 +273,13 @@ func (w *Worker) acquire(ctx context.Context) (*Lease, error) {
 	case status == http.StatusConflict && code == "quarantined":
 		return nil, fmt.Errorf("%w (worker %s)", ErrQuarantined, w.o.Name)
 	case status != http.StatusOK:
-		return nil, fmt.Errorf("dist: lease acquire: status %d", status)
+		// Covers a warm standby's 503 "not-primary" and a deposed
+		// coordinator's 409 "deposed" alike: not permanent for this
+		// worker, just wrong coordinator — the caller rotates.
+		return nil, fmt.Errorf("dist: lease acquire: status %d (%s)", status, code)
+	}
+	if lease.Term > w.maxTerm {
+		w.maxTerm = lease.Term
 	}
 	return &lease, nil
 }
@@ -230,7 +322,7 @@ func (w *Worker) runLease(ctx context.Context, lease *Lease) {
 		// immediately instead of waiting out the TTL. Best-effort — if
 		// this is lost, expiry re-leases it anyway.
 		req := completeRequest{Job: lease.Job, Row: lease.Row, Epoch: lease.Epoch,
-			Worker: w.o.Name, OK: false}
+			Term: lease.Term, Worker: w.o.Name, OK: false}
 		var resp completeResponse
 		w.post(ctx, "/v1/dist/complete", req, &resp) //nolint:errcheck // best-effort release
 		if fr := w.o.Flight; fr != nil {
@@ -254,7 +346,7 @@ func (w *Worker) runLease(ctx context.Context, lease *Lease) {
 		return
 	}
 	req := completeRequest{Job: lease.Job, Row: lease.Row, Epoch: lease.Epoch,
-		Worker: w.o.Name, OK: true,
+		Term: lease.Term, Worker: w.o.Name, OK: true,
 		Tput: m.Throughput[r], TimeNS: m.TimeNS[r], Bound: bounds, Digest: digest}
 	accepted := w.completeWithRetry(ctx, req)
 	if accepted && w.mRows != nil {
@@ -371,8 +463,9 @@ func (w *Worker) renewLoop(ctx context.Context, lease *Lease, leaseSC obs.SpanCo
 		}
 		start := time.Now()
 		var resp renewResponse
-		status, _, err := w.post(ctx, "/v1/dist/renew",
-			renewRequest{Job: lease.Job, Row: lease.Row, Epoch: lease.Epoch, Worker: w.o.Name}, &resp)
+		status, code, err := w.post(ctx, "/v1/dist/renew",
+			renewRequest{Job: lease.Job, Row: lease.Row, Epoch: lease.Epoch,
+				Term: lease.Term, Worker: w.o.Name}, &resp)
 		d := time.Since(start)
 		if w.hRenew != nil && err == nil {
 			w.hRenew.Observe(d.Seconds())
@@ -385,7 +478,17 @@ func (w *Worker) renewLoop(ctx context.Context, lease *Lease, leaseSC obs.SpanCo
 		switch {
 		case err != nil:
 			// Dropped/delayed renewals are exactly what the TTL slack
-			// absorbs; keep trying on the next tick.
+			// absorbs; rotate in case the coordinator is gone and keep
+			// trying on the next tick.
+			w.rotate()
+		case status == http.StatusConflict && code == "deposed",
+			status == http.StatusServiceUnavailable:
+			// The coordinator we renewed against is deposed (or is a
+			// standby): the lease itself may still be live on the new
+			// primary — it recovered our grant, term and epoch from the
+			// replicated ledger — so rotate and renew there instead of
+			// abandoning the row.
+			w.rotate()
 		case status == http.StatusConflict:
 			if w.mLost != nil {
 				w.mLost.Inc()
@@ -412,10 +515,15 @@ func (w *Worker) completeWithRetry(ctx context.Context, req completeRequest) boo
 	backoff := 5 * time.Millisecond
 	for {
 		var resp completeResponse
-		status, _, err := w.post(ctx, "/v1/dist/complete", req, &resp)
+		status, code, err := w.post(ctx, "/v1/dist/complete", req, &resp)
 		switch {
 		case err == nil && status == http.StatusOK:
 			return true
+		case err == nil && status == http.StatusConflict && code == "deposed":
+			// The coordinator lost its term mid-row; the promoted one
+			// recovered our grant from the replicated ledger and will
+			// accept this complete. Rotate and retry.
+			w.rotate()
 		case err == nil && status == http.StatusConflict:
 			if w.mLost != nil {
 				w.mLost.Inc()
@@ -423,6 +531,8 @@ func (w *Worker) completeWithRetry(ctx context.Context, req completeRequest) boo
 			return false
 		case err == nil && (status == http.StatusNotFound || status == http.StatusBadRequest):
 			return false
+		case err != nil:
+			w.rotate()
 		}
 		if !sleepCtx(ctx, backoff) {
 			return false
@@ -443,7 +553,8 @@ func (w *Worker) post(ctx context.Context, path string, body, out any) (int, str
 	if err != nil {
 		return 0, "", err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.o.Coordinator+path, bytes.NewReader(b))
+	base := w.o.Peers[int(uint32(w.peer.Load()))%len(w.o.Peers)]
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(b))
 	if err != nil {
 		return 0, "", err
 	}

@@ -20,9 +20,11 @@
 // short after a deterministic prefix and returning ErrTornWrite, and
 // WrapTransport injects network-shaped faults into any
 // http.RoundTripper — dropped responses (the request was delivered,
-// the reply was lost), duplicated deliveries, and delayed requests —
-// the failure modes a distributed lease protocol must absorb without
-// double-completing work.
+// the reply was lost), duplicated deliveries, delayed requests, and
+// seeded partition windows (symmetric or one-way) — the failure modes
+// a distributed lease protocol must absorb without double-completing
+// work and a failover protocol must absorb without electing two
+// primaries.
 package fault
 
 import (
@@ -56,6 +58,15 @@ var ErrTornWrite = errors.New("fault: injected torn write")
 // side effects applied, but the reply never reached the client — the
 // network failure mode that turns naive retries into duplicates.
 var ErrDroppedResponse = errors.New("fault: injected dropped response")
+
+// ErrPartitioned is returned by a WrapTransport round trip while an
+// injected network partition window is open. A symmetric partition
+// fails the round trip outright (the request never arrived); a
+// one-way partition delivers the request — its server-side effects
+// apply — and loses the reply, like ErrDroppedResponse but sustained
+// over a window, which is the shape that tests failover promotion
+// races.
+var ErrPartitioned = errors.New("fault: injected network partition")
 
 // ErrWriteFail is returned by a WrapWriter writer when an injected
 // write error fires: a deterministic prefix of the buffer reached the
@@ -132,6 +143,18 @@ type Injector struct {
 	// lease renewals and slow completes, the stragglers a
 	// work-stealing coordinator exists to absorb.
 	DelayRate float64
+	// PartitionRate is the probability a WrapTransport round trip
+	// opens a network-partition window: for the next PartitionFor,
+	// every round trip through this transport fails with
+	// ErrPartitioned. Whether the window is symmetric (requests never
+	// delivered) or one-way (requests delivered, replies lost) is the
+	// window roll's sub-decision — both directions of a real partition,
+	// deterministically. Rolls its own seeded stream
+	// ("partition-stream"), independent of the per-trip network rates.
+	PartitionRate float64
+	// PartitionFor is the partition window length; defaults to 250ms
+	// when PartitionRate is set but PartitionFor is zero.
+	PartitionFor time.Duration
 	// Stall is the artificial delay applied when a stall fires;
 	// defaults to 10ms when a StallRate is set but Stall is zero.
 	Stall time.Duration
@@ -183,10 +206,13 @@ const (
 	// KindCorruptRow is a RowTamper decision to corrupt a completed
 	// row's planes before journal and wire.
 	KindCorruptRow
+	// KindPartition is a WrapTransport decision to open a network
+	// partition window (symmetric or one-way).
+	KindPartition
 )
 
 var kindNames = [...]string{"error", "corrupt", "stall", "panic", "torn-write", "latency",
-	"drop-response", "duplicate", "delay", "write-error", "corrupt-row"}
+	"drop-response", "duplicate", "delay", "write-error", "corrupt-row", "partition"}
 
 // String returns the kind's lower-case name.
 func (k Kind) String() string {
@@ -222,7 +248,7 @@ func (in Injector) Validate() error {
 		{"PanicRate", in.PanicRate}, {"LatencyRate", in.LatencyRate}, {"TornWriteRate", in.TornWriteRate},
 		{"WriteErrRate", in.WriteErrRate}, {"CorruptRowRate", in.CorruptRowRate},
 		{"DropResponseRate", in.DropResponseRate}, {"DuplicateRate", in.DuplicateRate},
-		{"DelayRate", in.DelayRate}} {
+		{"DelayRate", in.DelayRate}, {"PartitionRate", in.PartitionRate}} {
 		if r.v < 0 || r.v > 1 || math.IsNaN(r.v) {
 			return fmt.Errorf("fault: %s %g outside [0,1]", r.name, r.v)
 		}
@@ -513,7 +539,7 @@ func (in Injector) RowTamper(key string, seq uint64) (bool, uint64) {
 // WrapTransport at all. Like TornWriteRate, the network rates are
 // independent of the engine path and never fire through Wrap.
 func (in Injector) NetworkActive() bool {
-	return in.DropResponseRate > 0 || in.DuplicateRate > 0 || in.DelayRate > 0
+	return in.DropResponseRate > 0 || in.DuplicateRate > 0 || in.DelayRate > 0 || in.PartitionRate > 0
 }
 
 // WrapTransport returns a round tripper that injects network-shaped
@@ -554,6 +580,13 @@ type netTransport struct {
 	delay time.Duration
 	mu    sync.Mutex
 	seq   uint64
+	// Partition window state: partSeq numbers the window rolls (its
+	// own stream, so adding PartitionRate never shifts the per-trip
+	// fault pattern), partUntil is when the open window closes,
+	// partOneWay its direction.
+	partSeq    uint64
+	partUntil  time.Time
+	partOneWay bool
 }
 
 func (t *netTransport) next() uint64 {
@@ -564,7 +597,51 @@ func (t *netTransport) next() uint64 {
 	return n
 }
 
+// partitionState reports whether a partition window is open for this
+// round trip, opening a new one when its roll fires.
+func (t *netTransport) partitionState() (open, oneWay bool) {
+	if t.in.PartitionRate <= 0 {
+		return false, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	if now.Before(t.partUntil) {
+		return true, t.partOneWay
+	}
+	seq := t.partSeq
+	t.partSeq++
+	roll, sub := t.in.roll("partition-stream", hw.Config{}, seq)
+	if roll >= t.in.PartitionRate {
+		return false, false
+	}
+	dur := t.in.PartitionFor
+	if dur <= 0 {
+		dur = 250 * time.Millisecond
+	}
+	t.partUntil = now.Add(dur)
+	t.partOneWay = sub&1 == 1
+	t.in.decided("", hw.Config{}, seq, KindPartition)
+	return true, t.partOneWay
+}
+
 func (t *netTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if open, oneWay := t.partitionState(); open {
+		if !oneWay {
+			// Symmetric: the request never crosses; no server-side
+			// effects.
+			return nil, fmt.Errorf("%w (symmetric)", ErrPartitioned)
+		}
+		// One-way: deliver for real — the server applies the effects —
+		// then lose the reply, sustained for the window.
+		resp, err := t.rt.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w (one-way)", ErrPartitioned)
+	}
 	seq := t.next()
 	in := t.in
 	roll, sub := in.roll("net-stream", hw.Config{}, seq)

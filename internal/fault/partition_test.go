@@ -1,0 +1,152 @@
+package fault
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gpuscale/internal/hw"
+)
+
+// partitionErr performs one post and requires it to fail with
+// ErrPartitioned, returning the full error text (which names the
+// direction).
+func partitionErr(t *testing.T, c *http.Client, url string) string {
+	t.Helper()
+	_, err := post(t, c, url, "x")
+	if !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("want ErrPartitioned, got %v", err)
+	}
+	return err.Error()
+}
+
+// findPartitionSeed scans seeds until the first partition window of
+// that seed has the wanted direction — directions are a deterministic
+// sub-decision of the seeded window roll, so both must occur across a
+// small seed range.
+func findPartitionSeed(t *testing.T, oneWay bool) int64 {
+	t.Helper()
+	for seed := int64(1); seed <= 64; seed++ {
+		in := Injector{PartitionRate: 1, PartitionFor: time.Minute, Seed: seed}
+		_, sub := in.roll("partition-stream", hw.Config{}, 0)
+		if (sub&1 == 1) == oneWay {
+			return seed
+		}
+	}
+	t.Fatalf("no seed in [1,64] opens a oneWay=%v window — direction sub-decision broken", oneWay)
+	return 0
+}
+
+func TestPartitionSymmetricNeverDelivers(t *testing.T) {
+	srv := &transportServer{}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	seed := findPartitionSeed(t, false)
+	in := Injector{PartitionRate: 1, PartitionFor: time.Minute, Seed: seed}
+	c := &http.Client{Transport: in.WrapTransport(nil)}
+	for i := 0; i < 3; i++ {
+		msg := partitionErr(t, c, ts.URL)
+		if !strings.Contains(msg, "symmetric") {
+			t.Fatalf("seed %d should open a symmetric window, got %q", seed, msg)
+		}
+	}
+	if n := len(srv.deliveries()); n != 0 {
+		t.Fatalf("symmetric partition must never deliver, server saw %d requests", n)
+	}
+}
+
+func TestPartitionOneWayDeliversAndLosesReply(t *testing.T) {
+	srv := &transportServer{}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	seed := findPartitionSeed(t, true)
+	in := Injector{PartitionRate: 1, PartitionFor: time.Minute, Seed: seed}
+	c := &http.Client{Transport: in.WrapTransport(nil)}
+	for i := 0; i < 3; i++ {
+		msg := partitionErr(t, c, ts.URL)
+		if !strings.Contains(msg, "one-way") {
+			t.Fatalf("seed %d should open a one-way window, got %q", seed, msg)
+		}
+	}
+	// One-way means every request's server-side effects applied even
+	// though the caller saw only errors — the duplicate-making shape.
+	if n := len(srv.deliveries()); n != 3 {
+		t.Fatalf("one-way partition should deliver every request, server saw %d of 3", n)
+	}
+}
+
+// TestPartitionWindowExpires: after PartitionFor, the window closes
+// and (with a rate below 1) traffic flows again on the next clean
+// roll.
+func TestPartitionWindowExpires(t *testing.T) {
+	srv := &transportServer{}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	seed := findPartitionSeed(t, false)
+	in := Injector{PartitionRate: 1, PartitionFor: 30 * time.Millisecond, Seed: seed}
+	rt := in.WrapTransport(nil).(*netTransport)
+	c := &http.Client{Transport: rt}
+	partitionErr(t, c, ts.URL)
+	time.Sleep(50 * time.Millisecond)
+	// The window expired; force the next roll clean so the trip goes
+	// through (rate 1 would immediately reopen).
+	rt.mu.Lock()
+	rt.in.PartitionRate = 0
+	rt.mu.Unlock()
+	if body, err := post(t, c, ts.URL, "after"); err != nil || body != "ok:after" {
+		t.Fatalf("post after window expiry: %q %v", body, err)
+	}
+}
+
+// TestPartitionStreamIndependent: the partition stream rolls
+// separately from the per-trip network stream, so (a) rates need not
+// sum with the per-trip rates, and (b) enabling partitions does not
+// reshuffle which trips the other faults hit.
+func TestPartitionStreamIndependent(t *testing.T) {
+	if err := (Injector{DropResponseRate: 0.9, DuplicateRate: 0.1, PartitionRate: 0.9}).Validate(); err != nil {
+		t.Fatalf("partition rate must not count against the shared network budget: %v", err)
+	}
+	if err := (Injector{PartitionRate: 1.5}).Validate(); err == nil {
+		t.Fatal("PartitionRate outside [0,1] should fail validation")
+	}
+	if !(Injector{PartitionRate: 0.1}).NetworkActive() {
+		t.Fatal("a partition-only injector must activate WrapTransport")
+	}
+
+	// Same seed, same per-trip rates: the trip-level fault pattern must
+	// be identical whether or not partitions are configured (rate ~0:
+	// the stream exists but never fires).
+	run := func(in Injector) []string {
+		srv := &transportServer{}
+		ts := httptest.NewServer(srv.handler())
+		defer ts.Close()
+		c := &http.Client{Transport: in.WrapTransport(nil)}
+		var pattern []string
+		for i := 0; i < 12; i++ {
+			_, err := post(t, c, ts.URL, "p")
+			switch {
+			case err == nil:
+				pattern = append(pattern, "ok")
+			case errors.Is(err, ErrDroppedResponse):
+				pattern = append(pattern, "drop")
+			default:
+				pattern = append(pattern, "other")
+			}
+		}
+		return pattern
+	}
+	base := run(Injector{DropResponseRate: 0.4, Seed: 7})
+	with := run(Injector{DropResponseRate: 0.4, PartitionRate: 1e-12, Seed: 7})
+	for i := range base {
+		if base[i] != with[i] {
+			t.Fatalf("trip %d fault changed when partitions were configured: %q -> %q\nbase %v\nwith %v",
+				i, base[i], with[i], base, with)
+		}
+	}
+}

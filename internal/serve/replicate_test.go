@@ -1,0 +1,131 @@
+package serve
+
+// Job-spec replication hook tests: an HA coordinator registers
+// Config.Replicate to stream every persisted job spec to its warm
+// standby — the hook must fire with the exact on-disk bytes at
+// admission, and again for every non-terminal job a restarted daemon
+// recovers (so a standby that attached after the original admission
+// still learns the job before a failover could orphan it).
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// specCollector is a threadsafe Replicate sink.
+type specCollector struct {
+	mu    sync.Mutex
+	specs map[string][]byte
+}
+
+func (c *specCollector) hook(id string, spec []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.specs == nil {
+		c.specs = map[string][]byte{}
+	}
+	c.specs[id] = append([]byte(nil), spec...)
+}
+
+func (c *specCollector) get(id string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.specs[id]
+	return b, ok
+}
+
+func TestReplicateFiresOnAdmission(t *testing.T) {
+	dir := t.TempDir()
+	var col specCollector
+	s, err := New(Config{Dir: dir, SweepWorkers: 2, Replicate: col.hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain(t, s)
+	st, err := s.Submit("alice", testSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := col.get(st.ID)
+	if !ok {
+		t.Fatalf("Replicate never fired for admitted job %s", st.ID)
+	}
+	want, err := os.ReadFile(s.jobPath(st.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Replicate bytes differ from the persisted %s.job file", st.ID)
+	}
+	waitTerminal(t, s, st.ID)
+}
+
+func TestReplicateReannouncesRecoveredJobs(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(t)
+
+	// Crash between admission and the first cell: Runners -1 means no
+	// runner ever starts, and the service is abandoned without drain.
+	s1, err := New(Config{Dir: dir, SweepWorkers: 2, Runners: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stQueued, err := s1.Submit("alice", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second job that completes fully: terminal jobs must NOT be
+	// re-announced on recovery (the standby only needs live work).
+	// Job IDs are sequential per directory, so burn the first slot in
+	// the side service — the terminal job must not collide with the
+	// crashed directory's job-000000.
+	s2, err := New(Config{Dir: t.TempDir(), SweepWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Submit("bob", spec); err != nil {
+		t.Fatal(err)
+	}
+	stDone, err := s2.Submit("bob", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, s2, stDone.ID)
+	drain(t, s2)
+	// Graft the terminal job's files into the crashed directory so one
+	// recovery pass sees both a live and a finished job.
+	for _, src := range []string{s2.jobPath(stDone.ID), s2.statePath(stDone.ID)} {
+		b, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(src)), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var col specCollector
+	s3, err := New(Config{Dir: dir, SweepWorkers: 2, Replicate: col.hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain(t, s3)
+	got, ok := col.get(stQueued.ID)
+	if !ok {
+		t.Fatalf("Replicate did not re-announce recovered job %s", stQueued.ID)
+	}
+	want, err := os.ReadFile(s3.jobPath(stQueued.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("re-announced bytes differ from the persisted %s.job file", stQueued.ID)
+	}
+	if _, ok := col.get(stDone.ID); ok {
+		t.Fatalf("Replicate re-announced terminal job %s — standbys only need live work", stDone.ID)
+	}
+	waitTerminal(t, s3, stQueued.ID)
+}
